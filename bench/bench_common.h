@@ -1,0 +1,49 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench regenerates one table or figure of the paper: it prints the
+// published claim next to our measured value so EXPERIMENTS.md can record
+// the comparison.  Absolute numbers differ (interpreter vs compiled code on
+// the authors' testbed); the *shape* — who wins, by what factor, where the
+// crossover lies — is what must match.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "core/fuzzer.h"
+#include "interp/interpreter.h"
+
+namespace ff::bench {
+
+inline void banner(const std::string& title) {
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void claim(const std::string& paper, const std::string& measured) {
+    std::printf("  paper:    %s\n  measured: %s\n", paper.c_str(), measured.c_str());
+}
+
+/// Deterministic random inputs for every non-transient container.
+inline interp::Context random_inputs(const ir::SDFG& sdfg, const sym::Bindings& bindings,
+                                     std::uint64_t seed = 4242) {
+    interp::Context ctx;
+    ctx.symbols = bindings;
+    common::Rng rng(seed);
+    for (const auto& [name, desc] : sdfg.containers()) {
+        if (desc.transient) continue;
+        interp::Buffer buf(desc.dtype, desc.concrete_shape(bindings));
+        for (std::int64_t i = 0; i < buf.size(); ++i) {
+            if (ir::dtype_is_float(desc.dtype))
+                buf.store(i, interp::Value::from_double(rng.uniform_double(-1, 1)));
+            else
+                buf.store(i, interp::Value::from_int(rng.uniform_int(-4, 4)));
+        }
+        ctx.buffers.emplace(name, std::move(buf));
+    }
+    return ctx;
+}
+
+}  // namespace ff::bench

@@ -1,0 +1,96 @@
+// Fig. 2 (and Fig. 3): the off-by-one tiling bug in the matrix chain
+// multiplication R = ((A*B)*C)*D.
+//
+// Regenerates: (a) detection of the `<=` tiling bug through the extracted
+// mm2 cutout, (b) the per-trial cost of cutout testing vs whole-application
+// testing (the motivation for cutouts: "executing the application would
+// expose this problem, but ... that becomes costly").
+#include "bench_common.h"
+#include "core/report.h"
+#include "transforms/map_tiling.h"
+#include "workloads/matchain.h"
+
+namespace {
+
+using namespace ff;
+
+constexpr std::int64_t kN = 12;
+
+core::FuzzConfig make_config(bool whole_program) {
+    core::FuzzConfig config;
+    config.max_trials = 10;
+    config.sampler.size_max = kN;
+    config.cutout.defaults = {{"N", kN}};
+    config.whole_program = whole_program;
+    return config;
+}
+
+const xform::Match& mm2_match(const ir::SDFG& p, const xform::MapTiling& tiling) {
+    static std::vector<xform::Match> matches = tiling.find_matches(p);
+    for (const auto& m : matches)
+        if (m.description.find("'mm2'") != std::string::npos) return m;
+    std::abort();
+}
+
+void BM_CutoutTrial(benchmark::State& state) {
+    const ir::SDFG p = workloads::build_matrix_chain();
+    const xform::MapTiling buggy(4, xform::MapTiling::Variant::OffByOne);
+    core::Fuzzer fuzzer(make_config(false));
+    const xform::Match& m = mm2_match(p, buggy);
+    for (auto _ : state) {
+        const core::FuzzReport r = fuzzer.test_instance(p, buggy, m);
+        benchmark::DoNotOptimize(r.trials);
+    }
+}
+BENCHMARK(BM_CutoutTrial)->Unit(benchmark::kMillisecond);
+
+void BM_WholeProgramTrial(benchmark::State& state) {
+    const ir::SDFG p = workloads::build_matrix_chain();
+    const xform::MapTiling buggy(4, xform::MapTiling::Variant::OffByOne);
+    core::Fuzzer fuzzer(make_config(true));
+    const xform::Match& m = mm2_match(p, buggy);
+    for (auto _ : state) {
+        const core::FuzzReport r = fuzzer.test_instance(p, buggy, m);
+        benchmark::DoNotOptimize(r.trials);
+    }
+}
+BENCHMARK(BM_WholeProgramTrial)->Unit(benchmark::kMillisecond);
+
+void print_report() {
+    const ir::SDFG p = workloads::build_matrix_chain();
+    const xform::MapTiling buggy(4, xform::MapTiling::Variant::OffByOne);
+    const xform::Match& m = mm2_match(p, buggy);
+
+    core::Fuzzer cutout_fuzzer(make_config(false));
+    const core::FuzzReport cut = cutout_fuzzer.test_instance(p, buggy, m);
+    core::Fuzzer whole_fuzzer(make_config(true));
+    const core::FuzzReport whole = whole_fuzzer.test_instance(p, buggy, m);
+
+    bench::banner("Fig. 2 - off-by-one tiling on matrix chain (N=" + std::to_string(kN) + ")");
+    bench::claim("the <= tiling bug changes semantics and the mm2 cutout catches it",
+                 std::string("cutout verdict = ") + core::verdict_name(cut.verdict) + " after " +
+                     std::to_string(cut.trials) + " trial(s)");
+    bench::claim("whole-program testing also catches it, at higher cost",
+                 std::string("whole-program verdict = ") + core::verdict_name(whole.verdict));
+    std::printf("  cutout: %zu of %zu dataflow nodes, %.2fx faster than whole-program\n",
+                cut.cutout_nodes, cut.program_nodes,
+                whole.seconds / std::max(cut.seconds, 1e-9));
+
+    core::TextTable table({"mode", "nodes", "verdict", "trials", "seconds"});
+    table.add_row({"cutout (FuzzyFlow)", std::to_string(cut.cutout_nodes),
+                   core::verdict_name(cut.verdict), std::to_string(cut.trials),
+                   std::to_string(cut.seconds)});
+    table.add_row({"whole program", std::to_string(whole.cutout_nodes),
+                   core::verdict_name(whole.verdict), std::to_string(whole.trials),
+                   std::to_string(whole.seconds)});
+    std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    print_report();
+    return 0;
+}

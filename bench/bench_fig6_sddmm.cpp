@@ -1,0 +1,104 @@
+// Fig. 6 / Sec. 6.2: from multi-node to single-node testing.
+//
+// The distributed SDDMM (Vanilla Attention forward) gathers the second
+// dense operand with an allgather.  Testing an optimization of the dense
+// contraction the traditional way means running the whole program on R
+// simulated ranks; FuzzyFlow's cutout excludes the communication, exposing
+// the gathered matrix as a fuzzable input, so every trial runs on one rank.
+//
+// Series: whole-app multi-rank trial time vs single-node cutout trial time
+// over rank counts (the gap grows with the communicator size).
+#include <chrono>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "interp/multirank.h"
+#include "transforms/map_tiling.h"
+#include "workloads/sddmm.h"
+
+namespace {
+
+using namespace ff;
+using Clock = std::chrono::steady_clock;
+
+const xform::Match& contraction_match(const ir::SDFG& p, const xform::MapTiling& tiling) {
+    static std::vector<xform::Match> matches = tiling.find_matches(p);
+    for (const auto& m : matches)
+        if (m.description.find("'sddmm_mm'") != std::string::npos) return m;
+    std::abort();
+}
+
+double multirank_trial_seconds(int ranks, int reps) {
+    const ir::SDFG p = workloads::build_sddmm();
+    const sym::Bindings bindings = workloads::sddmm_defaults(6, 4, 4, ranks);
+    interp::MultiRankInterpreter multi(ranks);
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+        std::vector<interp::Context> ctxs;
+        for (int k = 0; k < ranks; ++k)
+            ctxs.push_back(bench::random_inputs(p, bindings,
+                                                static_cast<std::uint64_t>(r * 64 + k)));
+        const auto result = multi.run(p, ctxs);
+        if (!result.ok()) std::abort();
+    }
+    return std::chrono::duration<double>(Clock::now() - t0).count() / reps;
+}
+
+void BM_MultiRankWholeApp(benchmark::State& state) {
+    const int ranks = static_cast<int>(state.range(0));
+    for (auto _ : state) benchmark::DoNotOptimize(multirank_trial_seconds(ranks, 1));
+}
+BENCHMARK(BM_MultiRankWholeApp)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void print_report() {
+    const ir::SDFG p = workloads::build_sddmm();
+    const xform::MapTiling tiling(4, xform::MapTiling::Variant::Correct);
+    const xform::Match& match = contraction_match(p, tiling);
+
+    // Cutout: extraction must exclude the allgather.
+    core::FuzzConfig fc;
+    fc.max_trials = 5;
+    fc.cutout.defaults = workloads::sddmm_defaults(6, 4, 4, /*ranks=*/4);
+    fc.sampler.size_max = 6;
+    core::Fuzzer fuzzer(fc);
+    const core::FuzzReport report = fuzzer.test_instance(p, tiling, match);
+
+    const core::Cutout cutout =
+        core::extract_cutout(p, tiling.affected_nodes(p, match), fc.cutout);
+    int comm_nodes = 0;
+    for (ir::StateId sid : cutout.program.states())
+        for (ir::NodeId n : cutout.program.state(sid).graph().nodes())
+            comm_nodes += cutout.program.state(sid).graph().node(n).kind ==
+                          ir::NodeKind::Comm;
+
+    bench::banner("Fig. 6 / Sec 6.2 - distributed SDDMM, single-node cutout testing");
+    bench::claim("communication is not part of the cutout",
+                 std::to_string(comm_nodes) + " comm nodes in the cutout; gathered operand "
+                 "exposed as input: " +
+                     (cutout.input_config.count("Bt") ? std::string("yes") : std::string("NO")));
+    bench::claim("optimizations on the contraction are testable on one rank",
+                 std::string("verdict = ") + core::verdict_name(report.verdict) + " over " +
+                     std::to_string(report.trials) + " single-rank trials");
+
+    core::TextTable table({"ranks", "whole-app trial (s)", "cutout trial (s)", "speedup"});
+    const double cutout_trial = report.seconds / std::max(1, report.trials);
+    for (int ranks : {1, 2, 4, 8}) {
+        const double whole = multirank_trial_seconds(ranks, 2);
+        char speedup[32];
+        std::snprintf(speedup, sizeof(speedup), "%.1fx", whole / cutout_trial);
+        table.add_row({std::to_string(ranks), std::to_string(whole),
+                       std::to_string(cutout_trial), speedup});
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf("  (the whole-app column grows with the communicator; the cutout column is\n"
+                "   rank-count independent — the paper's multi-node -> single-node argument)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    print_report();
+    return 0;
+}

@@ -1,0 +1,147 @@
+// Table 1: requirements for localized optimization testing.
+//
+// The table is analytical in the paper; here every capability claimed for
+// the parametric-dataflow row is *demonstrated executable*: each check
+// builds a scenario that requires the capability and verifies our IR-based
+// analyses provide it.
+#include "bench_common.h"
+#include "core/cutout.h"
+#include "core/side_effects.h"
+#include "core/report.h"
+#include "workloads/builders.h"
+
+namespace {
+
+using namespace ff;
+
+/// Scalar side-effect analysis: a written scalar read downstream lands in
+/// the system state.
+bool check_scalar_side_effects() {
+    ir::SDFG p("scalar_fx");
+    p.add_symbol("N");
+    p.add_scalar("s", ir::DType::F64, /*transient=*/true);
+    p.add_array("x", ir::DType::F64, {sym::symb("N")});
+    p.add_array("y", ir::DType::F64, {sym::symb("N")});
+    ir::State& st = p.state(p.add_state("main", true));
+    const ir::NodeId t1 = st.add_tasklet("def_s", "o = 2.5");
+    const ir::NodeId acc_s = st.add_access("s");
+    st.add_edge(t1, "o", acc_s, "", ir::Memlet("s", ir::Subset{}));
+    const sym::ExprPtr i = sym::symb("i");
+    auto [e, x] = st.add_map("use", {"i"}, {ir::Range::full(sym::symb("N"))});
+    const ir::NodeId t2 = st.add_tasklet("use", "o = a * c");
+    const ir::NodeId xin = st.add_access("x");
+    const ir::NodeId yout = st.add_access("y");
+    st.add_edge(xin, "", e, "", ir::Memlet("x", ir::Subset{{ir::Range::full(sym::symb("N"))}}));
+    st.add_edge(acc_s, "", e, "", ir::Memlet("s", ir::Subset{}));
+    st.add_edge(e, "", t2, "a", ir::Memlet("x", ir::Subset{{ir::Range::index(i)}}));
+    st.add_edge(e, "", t2, "c", ir::Memlet("s", ir::Subset{}));
+    st.add_edge(t2, "o", x, "", ir::Memlet("y", ir::Subset{{ir::Range::index(i)}}));
+    st.add_edge(x, "", yout, "", ir::Memlet("y", ir::Subset{{ir::Range::full(sym::symb("N"))}}));
+
+    const core::SideEffects fx = core::analyze_side_effects(
+        p, p.start_state(), {t1}, {acc_s}, {{"N", 4}});
+    return fx.system_state.count("s") > 0;
+}
+
+/// Memory side effects: writes to a container read in a later state.
+bool check_memory_side_effects() {
+    ir::SDFG p("mem_fx");
+    p.add_symbol("N");
+    p.add_array("a", ir::DType::F64, {sym::symb("N")}, /*transient=*/true);
+    p.add_array("x", ir::DType::F64, {sym::symb("N")});
+    p.add_array("y", ir::DType::F64, {sym::symb("N")});
+    const ir::StateId s1 = p.add_state("write", true);
+    workloads::ew_unary(p, p.state(s1), p.state(s1).add_access("x"), "a", "o = i + 1.0");
+    const ir::StateId s2 = p.add_state("read");
+    workloads::ew_unary(p, p.state(s2), p.state(s2).add_access("a"), "y", "o = i");
+    p.add_interstate_edge(s1, s2);
+
+    std::set<ir::NodeId> closure, boundary;
+    for (ir::NodeId n : p.state(s1).graph().nodes()) {
+        if (p.state(s1).graph().node(n).kind == ir::NodeKind::Access) boundary.insert(n);
+        else closure.insert(n);
+    }
+    const core::SideEffects fx = core::analyze_side_effects(p, s1, closure, boundary, {{"N", 4}});
+    return fx.system_state.count("a") > 0;
+}
+
+/// Sub-region analysis: disjoint sub-ranges produce no false side effect.
+bool check_subregion_analysis() {
+    const ir::Subset lo{{ir::Range::span(sym::cst(0), sym::cst(3))}};
+    const ir::Subset hi{{ir::Range::span(sym::cst(8), sym::cst(9))}};
+    const ir::Subset mid{{ir::Range::span(sym::cst(2), sym::cst(8))}};
+    return !core::subsets_may_overlap(lo, hi, {}) && core::subsets_may_overlap(lo, mid, {});
+}
+
+/// Input generalization: a cutout's inputs can be re-sampled (different
+/// values produce a runnable program with different outputs).
+bool check_input_generalization() {
+    const ir::SDFG p = [] {
+        ir::SDFG q("gen");
+        q.add_symbol("N");
+        q.add_array("x", ir::DType::F64, {sym::symb("N")});
+        q.add_array("y", ir::DType::F64, {sym::symb("N")});
+        ir::State& st = q.state(q.add_state("main", true));
+        workloads::ew_unary(q, st, st.add_access("x"), "y", "o = i * 2.0");
+        return q;
+    }();
+    interp::Interpreter interp;
+    auto c1 = bench::random_inputs(p, {{"N", 4}}, 1);
+    auto c2 = bench::random_inputs(p, {{"N", 4}}, 2);
+    if (!interp.run(p, c1).ok() || !interp.run(p, c2).ok()) return false;
+    return !c1.buffers.at("y").bitwise_equal(c2.buffers.at("y"));
+}
+
+/// Size generalization: the same cutout runs under different sizes because
+/// the shape expression N is kept, not a pointer (Sec. 2.1).
+bool check_size_generalization() {
+    const ir::SDFG p = [] {
+        ir::SDFG q("gen");
+        q.add_symbol("N");
+        q.add_array("x", ir::DType::F64, {sym::symb("N") * sym::symb("N")});
+        q.add_array("y", ir::DType::F64, {sym::symb("N") * sym::symb("N")});
+        ir::State& st = q.state(q.add_state("main", true));
+        workloads::ew_unary(q, st, st.add_access("x"), "y", "o = i");
+        return q;
+    }();
+    interp::Interpreter interp;
+    for (std::int64_t n : {1, 3, 9}) {
+        auto ctx = bench::random_inputs(p, {{"N", n}}, 3);
+        if (!interp.run(p, ctx).ok()) return false;
+        if (ctx.buffers.at("y").size() != n * n) return false;
+    }
+    return true;
+}
+
+void BM_SideEffectAnalysis(benchmark::State& state) {
+    for (auto _ : state) benchmark::DoNotOptimize(check_memory_side_effects());
+}
+BENCHMARK(BM_SideEffectAnalysis)->Unit(benchmark::kMicrosecond);
+
+void print_report() {
+    bench::banner("Table 1 - requirements for localized optimization testing");
+    core::TextTable table(
+        {"Capability", "Paper (parametric dataflow)", "Demonstrated here"});
+    table.add_row({"Scalar side effects", "yes",
+                   check_scalar_side_effects() ? "yes" : "NO"});
+    table.add_row({"Memory side effects", "yes",
+                   check_memory_side_effects() ? "yes" : "NO"});
+    table.add_row({"Sub-region analysis", "yes",
+                   check_subregion_analysis() ? "yes" : "NO"});
+    table.add_row({"Input generalization", "yes",
+                   check_input_generalization() ? "yes" : "NO"});
+    table.add_row({"Size generalization", "yes",
+                   check_size_generalization() ? "yes" : "NO"});
+    std::printf("%s", table.to_string().c_str());
+    std::printf("  (AST/SSA/PDG/MLIR rows of Table 1 are analytical; this build implements\n"
+                "   the Parametric Dataflow row and demonstrates each claimed capability.)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    print_report();
+    return 0;
+}

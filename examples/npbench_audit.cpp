@@ -1,0 +1,47 @@
+// Sec. 6.3 walkthrough: auditing a transformation pass list over a kernel
+// suite and printing the Table 2-style summary.
+//
+// Run:  ./npbench_audit [kernel ...]
+//       (default: a representative 8-kernel slice; pass names to select)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/fuzzer.h"
+#include "core/report.h"
+#include "transforms/registry.h"
+#include "workloads/npbench.h"
+
+using namespace ff;
+
+int main(int argc, char** argv) {
+    std::vector<std::string> kernels;
+    for (int i = 1; i < argc; ++i) kernels.push_back(argv[i]);
+    if (kernels.empty())
+        kernels = {"gemm",  "atax",          "l2norm",   "ew_chain",
+                   "jacobi_1d", "alias_stages", "scalar_pipeline", "go_fast"};
+
+    core::FuzzConfig config;
+    config.max_trials = 10;
+    config.diff.exec.max_state_transitions = 2000;
+    config.sampler.size_max = 6;
+    config.cutout.defaults = workloads::npbench_defaults();
+    core::Fuzzer fuzzer(config);
+    const auto passes = xform::builtin_transformations({.table2_bugs = true});
+
+    std::vector<core::FuzzReport> reports;
+    for (const auto& name : kernels) {
+        std::printf("auditing %s ...\n", name.c_str());
+        const ir::SDFG program = workloads::build_npbench_kernel(name);
+        for (const auto& report : fuzzer.audit(program, passes)) {
+            if (report.failed())
+                std::printf("  FLAGGED %s: %s (%s)\n", report.transformation.c_str(),
+                            report.match_description.c_str(),
+                            core::verdict_name(report.verdict));
+            reports.push_back(report);
+        }
+    }
+
+    std::printf("\n%s", core::audit_table(core::summarize_audit(reports)).c_str());
+    return 0;
+}

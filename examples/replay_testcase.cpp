@@ -1,0 +1,50 @@
+// Reproducer replay: re-runs a failing test case emitted by the fuzzer.
+//
+// This is the paper's debugging workflow (Sec. 1/6.4): a transformation bug
+// found while optimizing a supercomputer-scale application is shipped as a
+// small JSON file — cutout, transformed cutout, system-state list, and the
+// exact fault-inducing inputs — and replayed interactively on a consumer
+// workstation.
+//
+// Run:  ./replay_testcase <testcase.json>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/diff_test.h"
+#include "core/testcase_io.h"
+
+using namespace ff;
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <testcase.json>\n", argv[0]);
+        return 2;
+    }
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", argv[1]);
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const core::LoadedTestCase tc = core::testcase_from_json(common::Json::parse(text.str()));
+    std::printf("transformation: %s\n", tc.transformation.c_str());
+    std::printf("recorded verdict: %s (%s)\n", tc.verdict.c_str(), tc.detail.c_str());
+    std::printf("system state:");
+    for (const auto& name : tc.system_state) std::printf(" %s", name.c_str());
+    std::printf("\ninputs: %zu buffer(s), %zu symbol(s)\n", tc.inputs.buffers.size(),
+                tc.inputs.symbols.size());
+    for (const auto& [name, value] : tc.inputs.symbols)
+        std::printf("  %s = %lld\n", name.c_str(), static_cast<long long>(value));
+
+    core::DifferentialTester tester(tc.original, tc.transformed, tc.system_state);
+    const core::TrialOutcome outcome = tester.run_trial(tc.inputs);
+    std::printf("replayed verdict: %s\n", core::verdict_name(outcome.verdict));
+    if (!outcome.detail.empty()) std::printf("  %s\n", outcome.detail.c_str());
+
+    const bool reproduced = std::string(core::verdict_name(outcome.verdict)) == tc.verdict;
+    std::printf("%s\n", reproduced ? "REPRODUCED" : "DID NOT REPRODUCE");
+    return reproduced ? 0 : 1;
+}

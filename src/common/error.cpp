@@ -1,0 +1,10 @@
+#include "common/error.h"
+
+// All error classes are header-only; this translation unit anchors the vtable
+// emission for the base class so the library has a single definition site.
+namespace ff::common {
+namespace {
+// Anchor.
+[[maybe_unused]] const Error* anchor = nullptr;
+}  // namespace
+}  // namespace ff::common

@@ -1,0 +1,65 @@
+// Error types shared across the FuzzyFlow library.
+//
+// The interpreter intentionally converts *all* runtime misbehaviour (out of
+// bounds accesses, unbound symbols, malformed graphs, non-terminating state
+// machines) into typed exceptions.  The differential tester catches them and
+// maps them onto the paper's verdict categories ("crashes or hangs while the
+// original does not", Sec. 5.1).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ff::common {
+
+/// Base class for every error raised by the library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// A symbol was evaluated without a binding (surfaces e.g. the
+/// StateAssignElimination "generates invalid code" bug class).
+class UnboundSymbolError : public Error {
+public:
+    explicit UnboundSymbolError(const std::string& symbol)
+        : Error("unbound symbol: " + symbol), symbol_(symbol) {}
+    const std::string& symbol() const { return symbol_; }
+
+private:
+    std::string symbol_;
+};
+
+/// A container access fell outside the allocated extent.
+class OutOfBoundsError : public Error {
+public:
+    OutOfBoundsError(const std::string& container, long long index, long long size)
+        : Error("out-of-bounds access on '" + container + "': index " +
+                std::to_string(index) + " not in [0, " + std::to_string(size) + ")"),
+          container_(container) {}
+    const std::string& container() const { return container_; }
+
+private:
+    std::string container_;
+};
+
+/// The program graph violates a structural invariant.
+class ValidationError : public Error {
+public:
+    explicit ValidationError(const std::string& msg) : Error("validation: " + msg) {}
+};
+
+/// The state machine exceeded the configured transition budget (hang proxy).
+class HangError : public Error {
+public:
+    explicit HangError(long long limit)
+        : Error("state machine exceeded " + std::to_string(limit) + " transitions") {}
+};
+
+/// Malformed textual input (expression / tasklet / JSON parsing).
+class ParseError : public Error {
+public:
+    explicit ParseError(const std::string& msg) : Error("parse: " + msg) {}
+};
+
+}  // namespace ff::common

@@ -1,0 +1,304 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ff::common {
+
+std::int64_t Json::as_int() const {
+    if (is_int()) return std::get<std::int64_t>(value_);
+    if (is_double()) return static_cast<std::int64_t>(std::get<double>(value_));
+    throw ParseError("json value is not a number");
+}
+
+double Json::as_double() const {
+    if (is_double()) return std::get<double>(value_);
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(value_));
+    throw ParseError("json value is not a number");
+}
+
+Json& Json::operator[](const std::string& key) {
+    if (is_null()) value_ = JsonObject{};
+    return as_object()[key];
+}
+
+const Json& Json::at(const std::string& key) const {
+    const auto& obj = as_object();
+    auto it = obj.find(key);
+    if (it == obj.end()) throw ParseError("missing json key: " + key);
+    return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+    return is_object() && as_object().count(key) > 0;
+}
+
+namespace {
+
+void write_escaped(std::ostringstream& out, const std::string& s) {
+    out << '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': out << "\\\""; break;
+            case '\\': out << "\\\\"; break;
+            case '\n': out << "\\n"; break;
+            case '\t': out << "\\t"; break;
+            case '\r': out << "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out << buf;
+                } else {
+                    out << c;
+                }
+        }
+    }
+    out << '"';
+}
+
+void write_double(std::ostringstream& out, double d) {
+    if (std::isnan(d)) {
+        out << "\"__nan__\"";  // JSON has no NaN literal; round-trips via parser hook.
+        return;
+    }
+    if (std::isinf(d)) {
+        out << (d > 0 ? "\"__inf__\"" : "\"__-inf__\"");
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out << buf;
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+    std::ostringstream out;
+    // Recursive lambda over the variant.
+    auto dump_rec = [&](auto&& self, const Json& v, int depth) -> void {
+        const std::string pad = indent >= 0 ? std::string(static_cast<std::size_t>(indent) * (depth + 1), ' ') : "";
+        const std::string close_pad = indent >= 0 ? std::string(static_cast<std::size_t>(indent) * depth, ' ') : "";
+        const char* nl = indent >= 0 ? "\n" : "";
+        if (v.is_null()) {
+            out << "null";
+        } else if (v.is_bool()) {
+            out << (v.as_bool() ? "true" : "false");
+        } else if (v.is_int()) {
+            out << v.as_int();
+        } else if (v.is_double()) {
+            write_double(out, v.as_double());
+        } else if (v.is_string()) {
+            write_escaped(out, v.as_string());
+        } else if (v.is_array()) {
+            const auto& arr = v.as_array();
+            if (arr.empty()) { out << "[]"; return; }
+            out << '[' << nl;
+            for (std::size_t i = 0; i < arr.size(); ++i) {
+                out << pad;
+                self(self, arr[i], depth + 1);
+                if (i + 1 < arr.size()) out << ',';
+                out << nl;
+            }
+            out << close_pad << ']';
+        } else {
+            const auto& obj = v.as_object();
+            if (obj.empty()) { out << "{}"; return; }
+            out << '{' << nl;
+            std::size_t i = 0;
+            for (const auto& [key, val] : obj) {
+                out << pad;
+                write_escaped(out, key);
+                out << (indent >= 0 ? ": " : ":");
+                self(self, val, depth + 1);
+                if (++i < obj.size()) out << ',';
+                out << nl;
+            }
+            out << close_pad << '}';
+        }
+    };
+    dump_rec(dump_rec, *this, 0);
+    return out.str();
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view cursor.
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json parse() {
+        Json v = value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& msg) const {
+        throw ParseError("json at offset " + std::to_string(pos_) + ": " + msg);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    Json value() {
+        skip_ws();
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return string_value();
+            case 't': literal("true"); return Json(true);
+            case 'f': literal("false"); return Json(false);
+            case 'n': literal("null"); return Json(nullptr);
+            default: return number();
+        }
+    }
+
+    void literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) fail("bad literal");
+        pos_ += lit.size();
+    }
+
+    Json string_value() {
+        std::string s = raw_string();
+        // Round-trip hooks for non-finite doubles (see write_double).
+        if (s == "__nan__") return Json(std::nan(""));
+        if (s == "__inf__") return Json(HUGE_VAL);
+        if (s == "__-inf__") return Json(-HUGE_VAL);
+        return Json(std::move(s));
+    }
+
+    std::string raw_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"') break;
+            if (c == '\\') {
+                if (pos_ >= text_.size()) fail("bad escape");
+                char e = text_[pos_++];
+                switch (e) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'n': out += '\n'; break;
+                    case 't': out += '\t'; break;
+                    case 'r': out += '\r'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    case 'u': {
+                        if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+                        unsigned code = 0;
+                        for (int i = 0; i < 4; ++i) {
+                            char h = text_[pos_++];
+                            code <<= 4;
+                            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+                            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+                            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+                            else fail("bad hex digit");
+                        }
+                        // Only BMP code points are emitted by our writer; encode UTF-8.
+                        if (code < 0x80) {
+                            out += static_cast<char>(code);
+                        } else if (code < 0x800) {
+                            out += static_cast<char>(0xC0 | (code >> 6));
+                            out += static_cast<char>(0x80 | (code & 0x3F));
+                        } else {
+                            out += static_cast<char>(0xE0 | (code >> 12));
+                            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                            out += static_cast<char>(0x80 | (code & 0x3F));
+                        }
+                        break;
+                    }
+                    default: fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    Json number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' || text_[pos_] == '-'))
+            ++pos_;
+        const std::string_view tok = text_.substr(start, pos_ - start);
+        if (tok.empty()) fail("expected number");
+        const bool is_float = tok.find_first_of(".eE") != std::string_view::npos;
+        if (!is_float) {
+            std::int64_t i = 0;
+            auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+            if (ec == std::errc() && ptr == tok.data() + tok.size()) return Json(i);
+        }
+        double d = 0.0;
+        auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (ec != std::errc() || ptr != tok.data() + tok.size()) fail("bad number");
+        return Json(d);
+    }
+
+    Json array() {
+        expect('[');
+        JsonArray arr;
+        skip_ws();
+        if (peek() == ']') { ++pos_; return Json(std::move(arr)); }
+        while (true) {
+            arr.push_back(value());
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            expect(']');
+            break;
+        }
+        return Json(std::move(arr));
+    }
+
+    Json object() {
+        expect('{');
+        JsonObject obj;
+        skip_ws();
+        if (peek() == '}') { ++pos_; return Json(std::move(obj)); }
+        while (true) {
+            skip_ws();
+            std::string key = raw_string();
+            skip_ws();
+            expect(':');
+            obj[std::move(key)] = value();
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            expect('}');
+            break;
+        }
+        return Json(std::move(obj));
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace ff::common

@@ -1,0 +1,78 @@
+// Minimal self-contained JSON value, writer and parser.
+//
+// Used for SDFG serialization and for the minimal-reproducer test cases the
+// fuzzer emits (Sec. 5.1: "fully reproducible, minimal test case including
+// inputs").  No external dependencies; supports the JSON subset we emit
+// (objects, arrays, strings, doubles, 64-bit integers, booleans, null).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ff::common {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+/// A JSON value with value semantics.
+class Json {
+public:
+    Json() : value_(nullptr) {}
+    Json(std::nullptr_t) : value_(nullptr) {}
+    Json(bool b) : value_(b) {}
+    Json(std::int64_t i) : value_(i) {}
+    Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+    Json(std::size_t i) : value_(static_cast<std::int64_t>(i)) {}
+    Json(double d) : value_(d) {}
+    Json(const char* s) : value_(std::string(s)) {}
+    Json(std::string s) : value_(std::move(s)) {}
+    Json(JsonArray a) : value_(std::move(a)) {}
+    Json(JsonObject o) : value_(std::move(o)) {}
+
+    static Json array() { return Json(JsonArray{}); }
+    static Json object() { return Json(JsonObject{}); }
+
+    bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+    bool is_bool() const { return std::holds_alternative<bool>(value_); }
+    bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+    bool is_double() const { return std::holds_alternative<double>(value_); }
+    bool is_number() const { return is_int() || is_double(); }
+    bool is_string() const { return std::holds_alternative<std::string>(value_); }
+    bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+    bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+    bool as_bool() const { return std::get<bool>(value_); }
+    std::int64_t as_int() const;
+    double as_double() const;
+    const std::string& as_string() const { return std::get<std::string>(value_); }
+    const JsonArray& as_array() const { return std::get<JsonArray>(value_); }
+    JsonArray& as_array() { return std::get<JsonArray>(value_); }
+    const JsonObject& as_object() const { return std::get<JsonObject>(value_); }
+    JsonObject& as_object() { return std::get<JsonObject>(value_); }
+
+    /// Object member access; inserts null when missing (non-const).
+    Json& operator[](const std::string& key);
+    /// Const object member access; throws ParseError when missing.
+    const Json& at(const std::string& key) const;
+    bool contains(const std::string& key) const;
+
+    void push_back(Json v) { as_array().push_back(std::move(v)); }
+
+    /// Serialize.  `indent < 0` means compact single-line output.
+    std::string dump(int indent = -1) const;
+
+    /// Parse from text; throws ParseError on malformed input.
+    static Json parse(std::string_view text);
+
+private:
+    std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, JsonArray, JsonObject>
+        value_;
+};
+
+}  // namespace ff::common

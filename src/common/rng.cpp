@@ -1,0 +1,28 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ff::common {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) {
+        // Full 64-bit range requested.
+        return static_cast<std::int64_t>((*this)());
+    }
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::uniform_double(double lo, double hi) {
+    // 53 bits of mantissa from the top of the 64-bit draw.
+    const double unit = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    return lo + unit * (hi - lo);
+}
+
+}  // namespace ff::common

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// Fuzzing campaigns must be exactly reproducible from a single 64-bit seed:
+// a failing test case is re-derivable from (seed, trial index).  We use
+// xoshiro256** seeded via SplitMix64, the same construction AFL-style fuzzers
+// favour for speed and statistical quality.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace ff::common {
+
+/// SplitMix64 — used for seeding and cheap hashing of names to values.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x = splitmix64(x);
+            word = x;
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+    result_type operator()() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [lo, hi).
+    double uniform_double(double lo, double hi);
+
+    /// True with probability p.
+    bool chance(double p) { return uniform_double(0.0, 1.0) < p; }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ff::common

@@ -1,0 +1,130 @@
+#include "core/changeset.h"
+
+namespace ff::core {
+
+namespace {
+
+bool ranges_equal(const std::vector<ir::Range>& a, const std::vector<ir::Range>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (!a[i].equals(b[i])) return false;
+    return true;
+}
+
+bool nodes_equal(const ir::DataflowNode& a, const ir::DataflowNode& b) {
+    if (a.kind != b.kind) return false;
+    switch (a.kind) {
+        case ir::NodeKind::Access: return a.data == b.data;
+        case ir::NodeKind::Tasklet: return a.code == b.code;
+        case ir::NodeKind::MapEntry:
+            return a.params == b.params && ranges_equal(a.map_ranges, b.map_ranges) &&
+                   a.schedule == b.schedule;
+        case ir::NodeKind::MapExit: return a.scope_id == b.scope_id;
+        case ir::NodeKind::Library: return a.lib == b.lib;
+        case ir::NodeKind::Comm: return a.comm == b.comm && a.comm_root == b.comm_root;
+    }
+    return true;
+}
+
+bool memlet_edges_equal(const ir::MemletEdge& a, const ir::MemletEdge& b) {
+    return a.memlet.data == b.memlet.data && a.memlet.subset.equals(b.memlet.subset) &&
+           a.src_conn == b.src_conn && a.dst_conn == b.dst_conn;
+}
+
+bool interstate_equal(const ir::InterstateEdge& a, const ir::InterstateEdge& b) {
+    if ((a.condition == nullptr) != (b.condition == nullptr)) return false;
+    if (a.condition && !a.condition->equals(*b.condition)) return false;
+    if (a.assignments.size() != b.assignments.size()) return false;
+    for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+        if (a.assignments[i].first != b.assignments[i].first) return false;
+        if (!a.assignments[i].second->equals(*b.assignments[i].second)) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+xform::ChangeSet diff_changeset(const ir::SDFG& before, const ir::SDFG& after) {
+    xform::ChangeSet delta;
+
+    // State-level diff (slot ids are stable across in-place mutation).
+    std::set<ir::StateId> before_states, after_states;
+    for (ir::StateId s : before.states()) before_states.insert(s);
+    for (ir::StateId s : after.states()) after_states.insert(s);
+    for (ir::StateId s : before_states)
+        if (!after_states.count(s)) delta.control_flow_states.insert(s);
+    for (ir::StateId s : after_states)
+        if (!before_states.count(s)) delta.control_flow_states.insert(s);
+
+    // Interstate edge diff.
+    const auto ecount = std::max(before.cfg().edges().size(), after.cfg().edges().size());
+    (void)ecount;
+    std::set<graph::EdgeId> before_ise, after_ise;
+    for (graph::EdgeId e : before.cfg().edges()) before_ise.insert(e);
+    for (graph::EdgeId e : after.cfg().edges()) after_ise.insert(e);
+    for (graph::EdgeId e : before_ise) {
+        if (!after_ise.count(e)) {
+            delta.control_flow_states.insert(before.cfg().edge(e).src);
+            delta.control_flow_states.insert(before.cfg().edge(e).dst);
+            continue;
+        }
+        const auto& eb = before.cfg().edge(e);
+        const auto& ea = after.cfg().edge(e);
+        if (eb.src != ea.src || eb.dst != ea.dst || !interstate_equal(eb.data, ea.data)) {
+            delta.control_flow_states.insert(eb.src);
+            delta.control_flow_states.insert(eb.dst);
+        }
+    }
+    for (graph::EdgeId e : after_ise) {
+        if (!before_ise.count(e)) {
+            delta.control_flow_states.insert(after.cfg().edge(e).src);
+            delta.control_flow_states.insert(after.cfg().edge(e).dst);
+        }
+    }
+
+    // Dataflow diff per common state.
+    for (ir::StateId sid : before.states()) {
+        if (!after_states.count(sid)) continue;
+        const auto& gb = before.state(sid).graph();
+        const auto& ga = after.state(sid).graph();
+
+        std::set<ir::NodeId> bn, an;
+        for (ir::NodeId n : gb.nodes()) bn.insert(n);
+        for (ir::NodeId n : ga.nodes()) an.insert(n);
+        for (ir::NodeId n : bn)
+            if (!an.count(n) || !nodes_equal(gb.node(n), ga.node(n))) delta.add(sid, n);
+        // Added nodes have no counterpart in `before`; attribute the change
+        // to their neighbours that do exist there (the paper's edge rule).
+        for (ir::NodeId n : an) {
+            if (bn.count(n)) continue;
+            for (graph::EdgeId eid : ga.in_edges(n))
+                if (bn.count(ga.edge(eid).src)) delta.add(sid, ga.edge(eid).src);
+            for (graph::EdgeId eid : ga.out_edges(n))
+                if (bn.count(ga.edge(eid).dst)) delta.add(sid, ga.edge(eid).dst);
+        }
+
+        std::set<graph::EdgeId> be, ae;
+        for (graph::EdgeId e : gb.edges()) be.insert(e);
+        for (graph::EdgeId e : ga.edges()) ae.insert(e);
+        auto mark_edge = [&](const ir::State::Graph& g, graph::EdgeId e,
+                             const std::set<ir::NodeId>& exists) {
+            if (exists.count(g.edge(e).src)) delta.add(sid, g.edge(e).src);
+            if (exists.count(g.edge(e).dst)) delta.add(sid, g.edge(e).dst);
+        };
+        for (graph::EdgeId e : be) {
+            if (!ae.count(e)) {
+                mark_edge(gb, e, bn);
+                continue;
+            }
+            const auto& eb = gb.edge(e);
+            const auto& ea = ga.edge(e);
+            if (eb.src != ea.src || eb.dst != ea.dst || !memlet_edges_equal(eb.data, ea.data))
+                mark_edge(gb, e, bn);
+        }
+        for (graph::EdgeId e : ae)
+            if (!be.count(e)) mark_edge(ga, e, bn);
+    }
+    return delta;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,19 @@
+// Black-box change isolation: graph diff between G_p and G_T(p).
+//
+// White-box transformations self-report their change set (Sec. 3, step 2);
+// for black-box ones "this change set has to be obtained through analyzing
+// the difference between G_p and G_T(p)".  Because SDFGs have stable node
+// ids under in-place transformation, the diff compares slot-by-slot.
+#pragma once
+
+#include "transforms/transformation.h"
+
+namespace ff::core {
+
+/// Nodes present/changed between `before` and `after`.  Node ids present in
+/// only one side, or whose payload differs, are reported (in `before`'s id
+/// space where possible).  Interstate differences promote the incident
+/// states into `control_flow_states`.
+xform::ChangeSet diff_changeset(const ir::SDFG& before, const ir::SDFG& after);
+
+}  // namespace ff::core

@@ -1,0 +1,96 @@
+#include "core/constraints.h"
+
+#include <algorithm>
+
+namespace ff::core {
+
+std::map<std::string, Interval> detect_loop_ranges(const ir::SDFG& sdfg) {
+    // Collect per symbol: constant initializations, self-increments, and
+    // constant comparison bounds.
+    std::map<std::string, std::vector<std::int64_t>> init_consts;
+    std::map<std::string, bool> self_increment;
+    std::map<std::string, std::vector<std::int64_t>> cmp_bounds;
+
+    for (graph::EdgeId eid : sdfg.cfg().edges()) {
+        const ir::InterstateEdge& e = sdfg.cfg().edge(eid).data;
+        for (const auto& [symbol, expr] : e.assignments) {
+            if (expr->is_constant()) {
+                init_consts[symbol].push_back(expr->constant_value());
+            } else {
+                // s := s + c / s - c?
+                std::set<std::string> syms = expr->free_symbols();
+                if (syms.size() == 1 && syms.count(symbol)) self_increment[symbol] = true;
+            }
+        }
+        if (e.condition && e.condition->kind() == sym::BoolExpr::Kind::Compare) {
+            const auto& lhs = e.condition->lhs();
+            const auto& rhs = e.condition->rhs();
+            if (lhs->is_symbol() && rhs->is_constant())
+                cmp_bounds[lhs->symbol_name()].push_back(rhs->constant_value());
+            if (rhs->is_symbol() && lhs->is_constant())
+                cmp_bounds[rhs->symbol_name()].push_back(lhs->constant_value());
+        }
+    }
+
+    std::map<std::string, Interval> out;
+    for (const auto& [symbol, inits] : init_consts) {
+        if (!self_increment.count(symbol)) continue;
+        auto bit = cmp_bounds.find(symbol);
+        if (bit == cmp_bounds.end()) continue;
+        std::int64_t lo = *std::min_element(inits.begin(), inits.end());
+        std::int64_t hi = *std::max_element(inits.begin(), inits.end());
+        for (std::int64_t b : bit->second) {
+            lo = std::min(lo, b);
+            hi = std::max(hi, b);
+        }
+        out[symbol] = Interval{lo, hi};
+    }
+    return out;
+}
+
+Constraints derive_constraints(const ir::SDFG& original, const ir::SDFG& cutout) {
+    Constraints c;
+
+    // Interstate-assigned symbols are produced by the program itself.
+    std::set<std::string> assigned;
+    for (graph::EdgeId eid : cutout.cfg().edges())
+        for (const auto& [symbol, expr] : cutout.cfg().edge(eid).data.assignments) {
+            (void)expr;
+            assigned.insert(symbol);
+        }
+
+    for (const auto& s : cutout.used_free_symbols())
+        if (!assigned.count(s)) c.free_symbols.insert(s);
+
+    // Size symbols: anything in a container shape.
+    for (const auto& [name, desc] : cutout.containers()) {
+        (void)name;
+        for (const auto& extent : desc.shape)
+            for (const auto& s : extent->free_symbols())
+                if (c.free_symbols.count(s)) c.size_symbols.insert(s);
+    }
+
+    // Index bounds: symbol used as a plain index into dimension d.
+    for (ir::StateId sid : cutout.states()) {
+        const auto& g = cutout.state(sid).graph();
+        for (graph::EdgeId eid : g.edges()) {
+            const ir::Memlet& m = g.edge(eid).data.memlet;
+            for (std::size_t d = 0; d < m.subset.dims(); ++d) {
+                const ir::Range& r = m.subset.ranges[d];
+                if (r.begin->is_symbol() && r.begin->equals(*r.end)) {
+                    const std::string& s = r.begin->symbol_name();
+                    if (c.free_symbols.count(s) && !c.size_symbols.count(s))
+                        c.index_bounds[s].push_back(IndexBound{m.data, d});
+                }
+            }
+        }
+    }
+
+    // Loop context from the original program.
+    for (const auto& [symbol, range] : detect_loop_ranges(original))
+        if (c.free_symbols.count(symbol)) c.loop_ranges[symbol] = range;
+
+    return c;
+}
+
+}  // namespace ff::core

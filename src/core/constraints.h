@@ -1,0 +1,50 @@
+// Gray-box constraint derivation (Sec. 5.1).
+//
+// Static analysis of the cutout and the original program yields sampling
+// constraints that avoid uninteresting crashes:
+//  * symbols used in container shapes are sizes: sampled in [1, size_max];
+//  * symbols used to index into a container are bounded by that dimension's
+//    extent: [0, extent-1] (evaluated after sizes are sampled);
+//  * symbols recognized as loop iteration variables of the original program
+//    are bounded by the loop bounds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/sdfg.h"
+
+namespace ff::core {
+
+struct Interval {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+};
+
+/// Symbol bounded by a container dimension: [0, extent(dim) - 1].
+struct IndexBound {
+    std::string container;
+    std::size_t dim = 0;
+};
+
+struct Constraints {
+    /// Symbols to sample (cutout free symbols minus interstate-assigned).
+    std::set<std::string> free_symbols;
+    /// Subset of free_symbols used in container shapes.
+    std::set<std::string> size_symbols;
+    /// Extent bounds per symbol (conjunction: min over all bounds).
+    std::map<std::string, std::vector<IndexBound>> index_bounds;
+    /// Loop ranges recovered from the original state machine.
+    std::map<std::string, Interval> loop_ranges;
+};
+
+Constraints derive_constraints(const ir::SDFG& original, const ir::SDFG& cutout);
+
+/// Best-effort recognition of state-machine loops: `s := c0` on one edge,
+/// `s := s + c` on a back edge, a comparison `s CMP const` as a condition.
+std::map<std::string, Interval> detect_loop_ranges(const ir::SDFG& sdfg);
+
+}  // namespace ff::core

@@ -1,0 +1,63 @@
+// Cutout extraction (Sec. 3): turns the change set of a transformation into
+// a minimal stand-alone program with an explicit input configuration and
+// system state.
+//
+// Dataflow-only change sets in a single state produce a sub-state cutout:
+// the affected nodes are closed over their enclosing map scopes, direct
+// data dependencies (access nodes) are copied in, containers are minimized
+// to the accessed bounding boxes, and the side-effect analyses classify
+// containers into input configuration and system state.  Containers in
+// either set are exposed as non-transient (fuzzable inputs / compared
+// outputs); everything else becomes transient.
+//
+// Change sets touching control flow promote to a whole-program cutout
+// (conservative and always sound; the paper's multi-state extraction is an
+// optimization of this).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/side_effects.h"
+#include "ir/sdfg.h"
+#include "transforms/transformation.h"
+
+namespace ff::core {
+
+struct CutoutOptions {
+    /// Shrink containers to the accessed bounding box (Sec. 3, step 3).
+    bool minimize_containers = true;
+    /// Symbol values used to concretize overlap tests and volumes.
+    sym::Bindings defaults;
+};
+
+struct Cutout {
+    ir::SDFG program;
+    std::set<std::string> input_config;
+    std::set<std::string> system_state;
+
+    /// Original (state, node) -> cutout (state, node).
+    std::map<xform::NodeRef, xform::NodeRef> node_map;
+    std::map<ir::StateId, ir::StateId> state_map;
+    bool whole_program = false;
+
+    /// Total input-configuration volume (elements) under `bindings`.
+    std::int64_t concrete_input_volume(const sym::Bindings& bindings) const;
+
+    /// Remaps a match found in the original program into this cutout.
+    /// Throws common::Error if a pattern node was not carried over.
+    xform::Match remap_match(const xform::Match& original) const;
+};
+
+/// Extracts a cutout of `p` around the change set `delta`.
+Cutout extract_cutout(const ir::SDFG& p, const xform::ChangeSet& delta,
+                      const CutoutOptions& opts = {});
+
+/// The degenerate "cutout": the whole program, with the input configuration
+/// and system state classified from non-transient containers.  Used as the
+/// traditional-testing baseline the paper compares against.
+Cutout whole_program_cutout(const ir::SDFG& p);
+
+}  // namespace ff::core

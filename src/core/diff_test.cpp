@@ -1,0 +1,71 @@
+#include "core/diff_test.h"
+
+#include "common/error.h"
+
+namespace ff::core {
+
+const char* verdict_name(Verdict v) {
+    switch (v) {
+        case Verdict::Pass: return "pass";
+        case Verdict::SemanticsChanged: return "semantics-changed";
+        case Verdict::TransformedCrash: return "transformed-crash";
+        case Verdict::TransformedHang: return "transformed-hang";
+        case Verdict::InvalidCode: return "invalid-code";
+        case Verdict::Uninteresting: return "uninteresting";
+    }
+    return "?";
+}
+
+DifferentialTester::DifferentialTester(const ir::SDFG& original, const ir::SDFG& transformed,
+                                       std::set<std::string> system_state, DiffConfig config)
+    : original_(original),
+      transformed_(transformed),
+      system_state_(std::move(system_state)),
+      config_(config),
+      interp_original_(config.exec),
+      interp_transformed_(config.exec) {
+    try {
+        transformed_.validate();
+    } catch (const std::exception& e) {
+        valid_ = false;
+        validation_error_ = e.what();
+    }
+}
+
+TrialOutcome DifferentialTester::run_trial(const interp::Context& inputs) {
+    if (!valid_) return TrialOutcome{Verdict::InvalidCode, validation_error_};
+
+    interp::Context ctx_original = inputs;
+    const interp::ExecResult r1 = interp_original_.run(original_, ctx_original);
+    if (!r1.ok()) return TrialOutcome{Verdict::Uninteresting, r1.message};
+
+    interp::Context ctx_transformed = inputs;
+    const interp::ExecResult r2 = interp_transformed_.run(transformed_, ctx_transformed);
+    if (r2.status == interp::ExecStatus::Hang)
+        return TrialOutcome{Verdict::TransformedHang, r2.message};
+    if (r2.status == interp::ExecStatus::Crash)
+        return TrialOutcome{Verdict::TransformedCrash, r2.message};
+
+    // System-state comparison.
+    for (const auto& name : system_state_) {
+        const bool in1 = ctx_original.has_buffer(name);
+        const bool in2 = ctx_transformed.has_buffer(name);
+        if (!in1 && !in2) continue;  // neither side touched it
+        if (in1 != in2)
+            return TrialOutcome{Verdict::SemanticsChanged,
+                                "system state container '" + name +
+                                    "' produced by only one side"};
+        const auto mismatch = interp::compare_buffers(
+            ctx_original.buffers.at(name), ctx_transformed.buffers.at(name), config_.threshold);
+        if (mismatch) {
+            return TrialOutcome{
+                Verdict::SemanticsChanged,
+                "'" + name + "' differs at flat index " + std::to_string(mismatch->flat_index) +
+                    ": " + std::to_string(mismatch->lhs) + " vs " +
+                    std::to_string(mismatch->rhs)};
+        }
+    }
+    return TrialOutcome{Verdict::Pass, ""};
+}
+
+}  // namespace ff::core

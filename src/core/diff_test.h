@@ -1,0 +1,70 @@
+// Differential testing of a cutout against its transformed version (Sec. 5).
+//
+// A trial runs the same input configuration through both programs and
+// compares the system state.  Verdict taxonomy mirrors the paper:
+//  * SemanticsChanged — system state differs beyond the threshold (or
+//    bitwise when threshold <= 0);
+//  * TransformedCrash / TransformedHang — "the transformed program crashes
+//    or hangs while the original does not";
+//  * InvalidCode — the transformation raised while being applied, or
+//    produced a graph that fails validation (Table 2's third class);
+//  * Uninteresting — the *original* cutout rejected the input (both-crash
+//    trials are resampled, not reported).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "interp/interpreter.h"
+#include "ir/sdfg.h"
+
+namespace ff::core {
+
+enum class Verdict {
+    Pass,
+    SemanticsChanged,
+    TransformedCrash,
+    TransformedHang,
+    InvalidCode,
+    Uninteresting,
+};
+
+const char* verdict_name(Verdict v);
+
+struct TrialOutcome {
+    Verdict verdict = Verdict::Pass;
+    std::string detail;
+};
+
+struct DiffConfig {
+    /// Relative/absolute comparison threshold; <= 0 means bitwise (Sec. 5.1,
+    /// default 1e-5 as in the paper).
+    double threshold = 1e-5;
+    interp::ExecConfig exec;
+};
+
+class DifferentialTester {
+public:
+    /// Validates `transformed` once up front.
+    DifferentialTester(const ir::SDFG& original, const ir::SDFG& transformed,
+                       std::set<std::string> system_state, DiffConfig config = {});
+
+    bool transformed_valid() const { return valid_; }
+    const std::string& validation_error() const { return validation_error_; }
+
+    /// Runs one trial on a sampled input configuration.
+    TrialOutcome run_trial(const interp::Context& inputs);
+
+private:
+    const ir::SDFG& original_;
+    const ir::SDFG& transformed_;
+    std::set<std::string> system_state_;
+    DiffConfig config_;
+    bool valid_ = true;
+    std::string validation_error_;
+    interp::Interpreter interp_original_;
+    interp::Interpreter interp_transformed_;
+};
+
+}  // namespace ff::core

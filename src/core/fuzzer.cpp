@@ -1,0 +1,109 @@
+#include "core/fuzzer.h"
+
+#include <chrono>
+
+#include "common/error.h"
+#include "core/testcase_io.h"
+
+namespace ff::core {
+
+namespace {
+
+std::size_t count_dataflow_nodes(const ir::SDFG& sdfg) {
+    std::size_t n = 0;
+    for (ir::StateId sid : sdfg.states()) n += sdfg.state(sid).graph().node_count();
+    return n;
+}
+
+}  // namespace
+
+FuzzReport Fuzzer::test_instance(const ir::SDFG& p, const xform::Transformation& transformation,
+                                 const xform::Match& match) {
+    const auto t0 = std::chrono::steady_clock::now();
+    FuzzReport report;
+    report.transformation = transformation.name();
+    report.match_description = match.description;
+    report.program_nodes = count_dataflow_nodes(p);
+
+    // 1-2. Change isolation (white-box) and cutout extraction.
+    Cutout cutout;
+    if (config_.whole_program) {
+        cutout = whole_program_cutout(p);
+    } else {
+        const xform::ChangeSet delta = transformation.affected_nodes(p, match);
+        cutout = extract_cutout(p, delta, config_.cutout);
+        report.input_volume_before_mincut =
+            cutout.concrete_input_volume(config_.cutout.defaults);
+
+        // 3. Minimum input-flow cut.
+        if (config_.use_mincut && !cutout.whole_program) {
+            MinCutResult mc = minimize_input_configuration(p, delta, cutout, config_.cutout);
+            report.mincut_improved = mc.improved;
+            cutout = std::move(mc.cutout);
+        }
+    }
+    report.whole_program_cutout = cutout.whole_program;
+    report.cutout_nodes = count_dataflow_nodes(cutout.program);
+    report.input_volume = cutout.concrete_input_volume(config_.cutout.defaults);
+    if (report.input_volume_before_mincut == 0)
+        report.input_volume_before_mincut = report.input_volume;
+
+    // 4. Apply the transformation to (a copy of) the cutout.
+    ir::SDFG transformed = cutout.program;
+    try {
+        const xform::Match cutout_match = cutout.remap_match(match);
+        transformation.apply(transformed, cutout_match);
+    } catch (const std::exception& e) {
+        report.verdict = Verdict::InvalidCode;
+        report.detail = std::string("apply failed: ") + e.what();
+        report.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                             .count();
+        return report;
+    }
+
+    // 5. Gray-box constraints + differential fuzzing.
+    const Constraints constraints = derive_constraints(p, cutout.program);
+    const InputSampler sampler(config_.sampler);
+    DifferentialTester tester(cutout.program, transformed, cutout.system_state, config_.diff);
+
+    for (int trial = 0; trial < config_.max_trials; ++trial) {
+        interp::Context inputs;
+        try {
+            inputs = sampler.sample(cutout.program, cutout.input_config, constraints,
+                                    static_cast<std::uint64_t>(trial));
+        } catch (const std::exception&) {
+            ++report.uninteresting;  // unresolvable shapes: resample
+            continue;
+        }
+        const TrialOutcome outcome = tester.run_trial(inputs);
+        if (outcome.verdict == Verdict::Uninteresting) {
+            ++report.uninteresting;
+            continue;
+        }
+        ++report.trials;
+        if (outcome.verdict == Verdict::Pass) continue;
+
+        report.verdict = outcome.verdict;
+        report.detail = outcome.detail;
+        if (!config_.artifact_dir.empty()) {
+            report.artifact_path = save_testcase_artifact(
+                config_.artifact_dir, cutout, transformed, inputs, report);
+        }
+        break;
+    }
+    report.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return report;
+}
+
+std::vector<FuzzReport> Fuzzer::audit(const ir::SDFG& p,
+                                      const std::vector<xform::TransformationPtr>& passes) {
+    std::vector<FuzzReport> reports;
+    for (const auto& pass : passes) {
+        for (const xform::Match& match : pass->find_matches(p))
+            reports.push_back(test_instance(p, *pass, match));
+    }
+    return reports;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,74 @@
+// The FuzzyFlow pipeline (Fig. 1): change isolation -> cutout extraction ->
+// input minimization -> constraint derivation -> differential fuzzing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cutout.h"
+#include "core/diff_test.h"
+#include "core/mincut.h"
+#include "core/sampler.h"
+#include "transforms/transformation.h"
+
+namespace ff::core {
+
+struct FuzzConfig {
+    int max_trials = 100;  ///< "we test each instance ... over 100 trials" (Sec. 6.4)
+    SamplerConfig sampler;
+    DiffConfig diff;
+    CutoutOptions cutout;
+    /// Run the minimum input-flow cut (Sec. 4) after extraction.
+    bool use_mincut = true;
+    /// Baseline mode: skip extraction and test on the whole program
+    /// ("traditional approach" in the paper's comparisons).
+    bool whole_program = false;
+    /// When non-empty, failing trials dump a reproducer JSON here.
+    std::string artifact_dir;
+};
+
+struct FuzzReport {
+    std::string transformation;
+    std::string match_description;
+    Verdict verdict = Verdict::Pass;
+    int trials = 0;            ///< differential trials executed
+    int uninteresting = 0;     ///< resampled trials (original rejected input)
+    double seconds = 0.0;
+    std::string detail;
+    std::string artifact_path;
+
+    // Cutout metrics.
+    std::size_t cutout_nodes = 0;
+    std::size_t program_nodes = 0;
+    std::int64_t input_volume = 0;                ///< elements, after minimization
+    std::int64_t input_volume_before_mincut = 0;  ///< elements
+    bool mincut_improved = false;
+    bool whole_program_cutout = false;
+
+    bool failed() const {
+        return verdict != Verdict::Pass && verdict != Verdict::Uninteresting;
+    }
+};
+
+class Fuzzer {
+public:
+    explicit Fuzzer(FuzzConfig config = {}) : config_(config) {}
+
+    const FuzzConfig& config() const { return config_; }
+    FuzzConfig& config() { return config_; }
+
+    /// Tests one transformation instance on program `p` (p is not mutated;
+    /// the transformation is applied to the extracted cutout).
+    FuzzReport test_instance(const ir::SDFG& p, const xform::Transformation& transformation,
+                             const xform::Match& match);
+
+    /// Tests every instance of every pass; the Sec. 6.3 audit loop.
+    std::vector<FuzzReport> audit(const ir::SDFG& p,
+                                  const std::vector<xform::TransformationPtr>& passes);
+
+private:
+    FuzzConfig config_;
+};
+
+}  // namespace ff::core

@@ -1,0 +1,177 @@
+#include "core/mincut.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "graph/maxflow.h"
+
+namespace ff::core {
+
+using graph::FlowEdge;
+using graph::kInfiniteCapacity;
+using ir::NodeId;
+using ir::NodeKind;
+
+namespace {
+
+/// Memlet volume under defaults; infinite when symbolic parameters remain.
+std::int64_t edge_volume(const ir::MemletEdge& e, const sym::Bindings& defaults) {
+    try {
+        return e.memlet.volume()->evaluate(defaults);
+    } catch (const common::UnboundSymbolError&) {
+        return kInfiniteCapacity;
+    }
+}
+
+std::int64_t container_volume(const ir::SDFG& p, const std::string& name,
+                              const sym::Bindings& defaults) {
+    try {
+        return p.container(name).total_size()->evaluate(defaults);
+    } catch (const common::UnboundSymbolError&) {
+        return kInfiniteCapacity;
+    }
+}
+
+}  // namespace
+
+MinCutResult minimize_input_configuration(const ir::SDFG& p, const xform::ChangeSet& delta,
+                                          const Cutout& initial, const CutoutOptions& opts) {
+    MinCutResult result;
+    result.cutout = initial;
+    result.volume_before = initial.concrete_input_volume(opts.defaults);
+    result.volume_after = result.volume_before;
+    if (initial.whole_program) return result;
+
+    // Cutout node set in the original program.
+    ir::StateId sid = graph::kInvalidNode;
+    std::set<NodeId> cutout_nodes;
+    for (const auto& [orig, mapped] : initial.node_map) {
+        (void)mapped;
+        sid = orig.state;
+        cutout_nodes.insert(orig.node);
+    }
+    if (sid == graph::kInvalidNode) return result;
+    const ir::State& st = p.state(sid);
+    const auto& g = st.graph();
+
+    // Node indexing: state nodes + S + T.
+    std::map<NodeId, int> index;
+    for (NodeId n : g.nodes()) index[n] = static_cast<int>(index.size());
+    const int S = static_cast<int>(index.size());
+    const int T = S + 1;
+    const int num_nodes = T + 1;
+
+    // Nodes that can re-enter the cutout (for the free-edge rule).
+    const std::set<NodeId> reaches_cutout = g.bfs_from(cutout_nodes, /*forward=*/false);
+
+    std::vector<FlowEdge> net;
+    auto add_net_edge = [&](int u, int v, std::int64_t cap) {
+        if (cap <= 0) return;  // zero-capacity edges never carry flow
+        net.push_back(FlowEdge{u, v, cap});
+    };
+
+    // Input-configuration data nodes inside the cutout.
+    std::set<NodeId> input_accesses;
+    for (NodeId n : cutout_nodes) {
+        const auto& node = g.node(n);
+        if (node.kind == NodeKind::Access && initial.input_config.count(node.data))
+            input_accesses.insert(n);
+    }
+
+    // 1/2. Source hookup for nodes outside the cutout.
+    for (NodeId n : g.nodes()) {
+        if (cutout_nodes.count(n)) continue;
+        const auto& node = g.node(n);
+        const bool is_data = node.kind == NodeKind::Access;
+        const bool external = is_data && !p.container(node.data).transient;
+        if (g.in_degree(n) == 0) {
+            add_net_edge(S, index.at(n),
+                         is_data ? container_volume(p, node.data, opts.defaults) : 0);
+        } else if (external) {
+            add_net_edge(S, index.at(n), container_volume(p, node.data, opts.defaults));
+            // Their other in-edges become infinite (handled below by
+            // overriding the capacity rule for edges into external data).
+        }
+    }
+
+    // 3-5. Edge translation.
+    for (graph::EdgeId eid : g.edges()) {
+        const auto& e = g.edge(eid);
+        const bool src_in = cutout_nodes.count(e.src) > 0;
+        const bool dst_in = cutout_nodes.count(e.dst) > 0;
+        if (src_in && dst_in) continue;  // internal: removed with the cutout
+
+        if (!src_in && dst_in) {
+            // Producer feeding the cutout: redirect into T if it feeds an
+            // input-configuration access; other feeds disappear with the
+            // cutout.
+            if (input_accesses.count(e.dst))
+                add_net_edge(index.at(e.src), T, edge_volume(e.data, opts.defaults));
+            continue;
+        }
+        if (src_in && !dst_in) {
+            // Edge leaving the cutout: free (S->T cap 0, i.e. omitted) when
+            // the destination can re-enter the cutout, otherwise re-sourced
+            // at T (irrelevant to S->T flow but kept for fidelity).
+            if (!reaches_cutout.count(e.dst))
+                add_net_edge(T, index.at(e.dst), edge_volume(e.data, opts.defaults));
+            continue;
+        }
+
+        // Plain edge outside the cutout.
+        const auto& dst_node = g.node(e.dst);
+        const auto& src_node = g.node(e.src);
+        std::int64_t cap = edge_volume(e.data, opts.defaults);
+        if (src_node.kind == NodeKind::Access) cap = kInfiniteCapacity;  // cut before data
+        if (dst_node.kind == NodeKind::Access && !p.container(dst_node.data).transient)
+            cap = kInfiniteCapacity;  // external data is always charged via S
+        add_net_edge(index.at(e.src), index.at(e.dst), cap);
+    }
+
+    // Pure-source input accesses: their cost is unavoidable (S->T).
+    for (NodeId a : input_accesses) {
+        bool has_external_producer = false;
+        for (graph::EdgeId eid : g.in_edges(a))
+            has_external_producer |= !cutout_nodes.count(g.edge(eid).src);
+        if (!has_external_producer) {
+            const std::string& data = g.node(a).data;
+            std::int64_t cap = container_volume(p, data, opts.defaults);
+            if (initial.program.has_container(data)) {
+                // Use the minimized extent when available.
+                try {
+                    cap = initial.program.container(data).total_size()->evaluate(opts.defaults);
+                } catch (const common::UnboundSymbolError&) {
+                }
+            }
+            add_net_edge(S, T, cap);
+        }
+    }
+
+    const graph::MaxFlowResult flow = graph::edmonds_karp(num_nodes, net, S, T);
+
+    // Expansion: T-side nodes that can reach the cutout.
+    std::set<NodeId> expansion;
+    for (const auto& [n, idx] : index) {
+        if (flow.source_side.count(idx)) continue;
+        if (cutout_nodes.count(n)) continue;
+        if (!reaches_cutout.count(n)) continue;
+        expansion.insert(n);
+    }
+    if (expansion.empty()) return result;
+
+    xform::ChangeSet expanded_delta = delta;
+    for (NodeId n : expansion) expanded_delta.add(sid, n);
+    Cutout expanded = extract_cutout(p, expanded_delta, opts);
+    const std::int64_t after = expanded.concrete_input_volume(opts.defaults);
+    result.nodes_added = expansion.size();
+    if (after < result.volume_before) {
+        result.improved = true;
+        result.volume_after = after;
+        result.cutout = std::move(expanded);
+    } else {
+        result.nodes_added = 0;
+    }
+    return result;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,39 @@
+// Minimum input-flow cut (Sec. 4): shrinks a cutout's input configuration
+// by including upstream producers when recomputing their outputs is cheaper
+// (in input volume) than sampling them.
+//
+// The state's dataflow graph is turned into a flow network following the
+// preparation of Sec. 4.2:
+//  * a virtual source S feeds every source node (data sources with capacity
+//    equal to their container size) and every external data node (capacity
+//    = size, with their other in-edges made infinite);
+//  * the in-edges of the cutout's input-configuration data nodes are
+//    redirected into a virtual sink T with capacity equal to the moved
+//    volume;
+//  * edges leaving the cutout are redirected (free S->T when they loop
+//    back, re-sourced at T otherwise), cutout nodes are removed, and every
+//    remaining data node's out-edges become infinite so cuts happen before
+//    data, not after.
+//
+// Symbolic capacities are concretized with the caller's default symbol
+// values before running Edmonds–Karp (max-flow min-cut theorem).  The
+// cutout is then extended by every node on the T side that can reach it;
+// the expanded extraction is adopted iff its input volume is smaller.
+#pragma once
+
+#include "core/cutout.h"
+
+namespace ff::core {
+
+struct MinCutResult {
+    bool improved = false;
+    std::int64_t volume_before = 0;  ///< input elements of the initial cutout
+    std::int64_t volume_after = 0;   ///< input elements of the adopted cutout
+    Cutout cutout;                   ///< the adopted cutout
+    std::size_t nodes_added = 0;     ///< dataflow nodes pulled into the cutout
+};
+
+MinCutResult minimize_input_configuration(const ir::SDFG& p, const xform::ChangeSet& delta,
+                                          const Cutout& initial, const CutoutOptions& opts);
+
+}  // namespace ff::core

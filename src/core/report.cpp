@@ -1,0 +1,76 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ff::core {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << "| " << row[c] << std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        out << "|\n";
+    };
+    emit_row(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        out << "|" << std::string(widths[c] + 2, '-');
+    out << "|\n";
+    for (const auto& row : rows_) emit_row(row);
+    return out.str();
+}
+
+std::vector<AuditSummary> summarize_audit(const std::vector<FuzzReport>& reports) {
+    std::map<std::string, AuditSummary> by_name;
+    std::vector<std::string> order;
+    for (const FuzzReport& r : reports) {
+        auto it = by_name.find(r.transformation);
+        if (it == by_name.end()) {
+            order.push_back(r.transformation);
+            it = by_name.emplace(r.transformation, AuditSummary{}).first;
+            it->second.transformation = r.transformation;
+        }
+        AuditSummary& s = it->second;
+        ++s.instances;
+        s.total_seconds += r.seconds;
+        s.total_trials += r.trials;
+        if (r.failed()) {
+            ++s.failures;
+            ++s.categories[verdict_name(r.verdict)];
+        }
+    }
+    std::vector<AuditSummary> out;
+    out.reserve(order.size());
+    for (const auto& name : order) out.push_back(by_name.at(name));
+    return out;
+}
+
+std::string audit_table(const std::vector<AuditSummary>& summaries) {
+    TextTable table({"Transformation", "Instances", "Failures", "Failure classes"});
+    for (const AuditSummary& s : summaries) {
+        std::string classes;
+        for (const auto& [name, count] : s.categories) {
+            if (!classes.empty()) classes += ", ";
+            classes += name + " x" + std::to_string(count);
+        }
+        if (classes.empty()) classes = "-";
+        table.add_row({s.transformation, std::to_string(s.instances),
+                       std::to_string(s.failures), classes});
+    }
+    return table.to_string();
+}
+
+}  // namespace ff::core

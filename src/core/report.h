@@ -1,0 +1,42 @@
+// Reporting helpers: aligned text tables and audit aggregation (the shape
+// of Table 2 and the per-case-study summaries).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/fuzzer.h"
+
+namespace ff::core {
+
+/// Simple monospace table with per-column alignment.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+    std::string to_string() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Per-transformation aggregate of an audit run.
+struct AuditSummary {
+    std::string transformation;
+    int instances = 0;
+    int failures = 0;
+    /// Verdict name -> count among failures.
+    std::map<std::string, int> categories;
+    double total_seconds = 0.0;
+    int total_trials = 0;
+};
+
+std::vector<AuditSummary> summarize_audit(const std::vector<FuzzReport>& reports);
+
+/// Renders the Table 2-style summary.
+std::string audit_table(const std::vector<AuditSummary>& summaries);
+
+}  // namespace ff::core

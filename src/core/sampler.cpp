@@ -1,0 +1,66 @@
+#include "core/sampler.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace ff::core {
+
+interp::Context InputSampler::sample(const ir::SDFG& cutout,
+                                     const std::set<std::string>& input_config,
+                                     const Constraints& constraints,
+                                     std::uint64_t trial) const {
+    common::Rng rng(common::splitmix64(config_.seed) ^ common::splitmix64(trial + 1));
+    interp::Context ctx;
+
+    if (!config_.gray_box) {
+        // Uniform sampling over one wide interval for every symbol.
+        for (const auto& s : constraints.free_symbols)
+            ctx.symbols[s] = rng.uniform_int(config_.uniform_lo, config_.uniform_hi);
+    } else {
+        // Pass 1: sizes (needed to evaluate index bounds).
+        for (const auto& s : constraints.free_symbols)
+            if (constraints.size_symbols.count(s))
+                ctx.symbols[s] = rng.uniform_int(1, config_.size_max);
+        // Pass 2: everything else.
+        for (const auto& s : constraints.free_symbols) {
+            if (constraints.size_symbols.count(s)) continue;
+            auto lit = constraints.loop_ranges.find(s);
+            if (lit != constraints.loop_ranges.end()) {
+                ctx.symbols[s] = rng.uniform_int(lit->second.lo, lit->second.hi);
+                continue;
+            }
+            auto iit = constraints.index_bounds.find(s);
+            if (iit != constraints.index_bounds.end()) {
+                std::int64_t hi = config_.size_max;
+                for (const IndexBound& b : iit->second) {
+                    const ir::DataDesc& desc = cutout.container(b.container);
+                    if (b.dim < desc.shape.size())
+                        hi = std::min(hi, desc.shape[b.dim]->evaluate(ctx.symbols) - 1);
+                }
+                ctx.symbols[s] = rng.uniform_int(0, std::max<std::int64_t>(0, hi));
+                continue;
+            }
+            ctx.symbols[s] = rng.uniform_int(0, config_.size_max);
+        }
+    }
+
+    // Input buffers, filled uniformly at random.
+    for (const auto& name : input_config) {
+        const ir::DataDesc& desc = cutout.container(name);
+        interp::Buffer buf(desc.dtype, desc.concrete_shape(ctx.symbols));
+        const bool is_float = ir::dtype_is_float(desc.dtype);
+        for (std::int64_t i = 0; i < buf.size(); ++i) {
+            if (is_float)
+                buf.store(i, interp::Value::from_double(
+                                 rng.uniform_double(config_.float_lo, config_.float_hi)));
+            else
+                buf.store(i, interp::Value::from_int(
+                                 rng.uniform_int(config_.int_lo, config_.int_hi)));
+        }
+        ctx.buffers.emplace(name, std::move(buf));
+    }
+    return ctx;
+}
+
+}  // namespace ff::core

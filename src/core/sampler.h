@@ -1,0 +1,45 @@
+// Input-configuration sampling for differential fuzzing (Sec. 5.1).
+//
+// Gray-box mode applies the derived constraints: size symbols in
+// [1, size_max], index symbols within the (sampled) container extents, loop
+// variables within their loop ranges.  Uniform mode samples every symbol
+// from one wide interval — the paper's baseline that "may lead to many
+// uninteresting crashes".  Sampling is fully deterministic in
+// (seed, trial index).
+#pragma once
+
+#include "core/constraints.h"
+#include "interp/interpreter.h"
+
+namespace ff::core {
+
+struct SamplerConfig {
+    std::uint64_t seed = 0x5eed;
+    std::int64_t size_max = 16;
+    double float_lo = -1.0;
+    double float_hi = 1.0;
+    std::int64_t int_lo = -8;
+    std::int64_t int_hi = 8;
+    bool gray_box = true;
+    /// Uniform-mode symbol interval (may produce invalid sizes on purpose).
+    std::int64_t uniform_lo = -64;
+    std::int64_t uniform_hi = 64;
+};
+
+class InputSampler {
+public:
+    explicit InputSampler(SamplerConfig config = {}) : config_(config) {}
+
+    const SamplerConfig& config() const { return config_; }
+
+    /// Samples symbol values + input buffers for one trial.  Throws when a
+    /// container shape cannot be resolved from the sampled symbols (the
+    /// caller treats this as an uninteresting trial).
+    interp::Context sample(const ir::SDFG& cutout, const std::set<std::string>& input_config,
+                           const Constraints& constraints, std::uint64_t trial) const;
+
+private:
+    SamplerConfig config_;
+};
+
+}  // namespace ff::core

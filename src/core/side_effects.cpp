@@ -1,0 +1,123 @@
+#include "core/side_effects.h"
+
+#include "common/error.h"
+
+namespace ff::core {
+
+bool subsets_may_overlap(const ir::Subset& a, const ir::Subset& b,
+                         const sym::Bindings& defaults) {
+    try {
+        return ir::concrete_subsets_overlap(a.concretize(defaults), b.concretize(defaults));
+    } catch (const common::UnboundSymbolError&) {
+        return true;  // parametric bounds: conservative
+    }
+}
+
+namespace {
+
+bool overlaps_any(const ir::Subset& subset, const std::vector<ir::Subset>& set,
+                  const sym::Bindings& defaults) {
+    for (const auto& other : set)
+        if (subsets_may_overlap(subset, other, defaults)) return true;
+    return false;
+}
+
+}  // namespace
+
+SideEffects analyze_side_effects(const ir::SDFG& p, ir::StateId sid,
+                                 const std::set<ir::NodeId>& closure,
+                                 const std::set<ir::NodeId>& boundary,
+                                 const sym::Bindings& defaults) {
+    SideEffects out;
+    const ir::State& st = p.state(sid);
+    const auto& g = st.graph();
+
+    std::set<ir::NodeId> cutout_nodes = closure;
+    cutout_nodes.insert(boundary.begin(), boundary.end());
+
+    // Write/read sets of the cutout: edges between cutout nodes with at
+    // least one endpoint in the computation closure.
+    for (graph::EdgeId eid : g.edges()) {
+        const auto& e = g.edge(eid);
+        const bool src_in = cutout_nodes.count(e.src) > 0;
+        const bool dst_in = cutout_nodes.count(e.dst) > 0;
+        const bool touches_closure = closure.count(e.src) || closure.count(e.dst);
+        if (!src_in || !dst_in || !touches_closure) continue;
+        if (g.node(e.dst).kind == ir::NodeKind::Access)
+            out.writes[e.data.memlet.data].push_back(e.data.memlet.subset);
+        if (g.node(e.src).kind == ir::NodeKind::Access)
+            out.reads[e.data.memlet.data].push_back(e.data.memlet.subset);
+    }
+
+    // --- External data analysis (Sec. 3.1 / 3.2) ---
+    for (const auto& [data, subsets] : out.writes) {
+        (void)subsets;
+        if (!p.container(data).transient) out.system_state.insert(data);
+    }
+    for (const auto& [data, subsets] : out.reads) {
+        (void)subsets;
+        if (!p.container(data).transient) out.input_config.insert(data);
+    }
+
+    // --- Program flow analysis: system state (forward BFS) ---
+    // Same state: reads downstream of the cutout.
+    const std::set<ir::NodeId> forward = g.bfs_from(cutout_nodes, /*forward=*/true);
+    for (graph::EdgeId eid : g.edges()) {
+        const auto& e = g.edge(eid);
+        if (g.node(e.src).kind != ir::NodeKind::Access) continue;
+        if (closure.count(e.dst)) continue;  // read inside the cutout
+        if (!forward.count(e.src)) continue;  // not downstream of the cutout
+        auto it = out.writes.find(e.data.memlet.data);
+        if (it == out.writes.end()) continue;
+        if (overlaps_any(e.data.memlet.subset, it->second, defaults)) {
+            out.system_state.insert(e.data.memlet.data);
+            out.downstream_reads[e.data.memlet.data].push_back(e.data.memlet.subset);
+        }
+    }
+    // Later states (all states reachable from sid in the state machine).
+    const std::set<ir::StateId> later = p.cfg().reachable_from(sid);
+    for (ir::StateId other : later) {
+        if (other == sid) continue;
+        const auto& og = p.state(other).graph();
+        for (graph::EdgeId eid : og.edges()) {
+            const auto& e = og.edge(eid);
+            if (og.node(e.src).kind != ir::NodeKind::Access) continue;
+            auto it = out.writes.find(e.data.memlet.data);
+            if (it == out.writes.end()) continue;
+            if (overlaps_any(e.data.memlet.subset, it->second, defaults)) {
+                out.system_state.insert(e.data.memlet.data);
+                out.downstream_reads[e.data.memlet.data].push_back(e.data.memlet.subset);
+            }
+        }
+    }
+
+    // --- Program flow analysis: input configuration (reverse BFS) ---
+    const std::set<ir::NodeId> backward = g.bfs_from(cutout_nodes, /*forward=*/false);
+    for (graph::EdgeId eid : g.edges()) {
+        const auto& e = g.edge(eid);
+        if (g.node(e.dst).kind != ir::NodeKind::Access) continue;  // writes end in accesses
+        if (closure.count(e.src)) continue;  // write inside the cutout
+        if (!backward.count(e.dst)) continue;  // cannot flow into the cutout
+        auto it = out.reads.find(e.data.memlet.data);
+        if (it == out.reads.end()) continue;
+        if (overlaps_any(e.data.memlet.subset, it->second, defaults))
+            out.input_config.insert(e.data.memlet.data);
+    }
+    const std::set<ir::StateId> earlier = p.cfg().reaching(sid);
+    for (ir::StateId other : earlier) {
+        if (other == sid) continue;
+        const auto& og = p.state(other).graph();
+        for (graph::EdgeId eid : og.edges()) {
+            const auto& e = og.edge(eid);
+            if (og.node(e.dst).kind != ir::NodeKind::Access) continue;
+            auto it = out.reads.find(e.data.memlet.data);
+            if (it == out.reads.end()) continue;
+            if (overlaps_any(e.data.memlet.subset, it->second, defaults))
+                out.input_config.insert(e.data.memlet.data);
+        }
+    }
+
+    return out;
+}
+
+}  // namespace ff::core

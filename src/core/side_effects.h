@@ -1,0 +1,51 @@
+// Side-effect analyses: system state and input configuration (Sec. 3.1/3.2).
+//
+// Given the node set of a prospective cutout inside one state of the
+// original program, determine:
+//  * system state — containers written inside the cutout that are external
+//    (non-transient) or read again on some path after the cutout (forward
+//    BFS through the dataflow graph and the state machine, with
+//    subset-overlap checks on the written/read ranges);
+//  * input configuration — containers read inside the cutout that are
+//    external or written on some path reaching the cutout (reverse BFS).
+//
+// Overlap tests concretize symbolic subsets under caller-provided default
+// symbol values; ranges that stay symbolic (e.g. map parameters) are
+// conservatively treated as overlapping.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ir/sdfg.h"
+#include "transforms/transformation.h"
+
+namespace ff::core {
+
+struct SideEffects {
+    std::set<std::string> system_state;
+    std::set<std::string> input_config;
+    /// Union of subsets written per container (for reporting / min-cut).
+    std::map<std::string, std::vector<ir::Subset>> writes;
+    std::map<std::string, std::vector<ir::Subset>> reads;
+    /// Overlapping *downstream* reads of system-state containers.  Container
+    /// minimization must keep these regions: they are the part of the
+    /// system state the rest of the program observes, even where the cutout
+    /// itself only touches a smaller range.
+    std::map<std::string, std::vector<ir::Subset>> downstream_reads;
+};
+
+/// `closure` are the computation nodes of the cutout, `boundary` its copied
+/// access nodes; both live in state `sid` of `p`.
+SideEffects analyze_side_effects(const ir::SDFG& p, ir::StateId sid,
+                                 const std::set<ir::NodeId>& closure,
+                                 const std::set<ir::NodeId>& boundary,
+                                 const sym::Bindings& defaults);
+
+/// Conservative overlap test between two symbolic subsets under `defaults`
+/// (unresolvable bounds count as overlapping).
+bool subsets_may_overlap(const ir::Subset& a, const ir::Subset& b,
+                         const sym::Bindings& defaults);
+
+}  // namespace ff::core

@@ -1,0 +1,112 @@
+#include "core/testcase_io.h"
+
+#include <fstream>
+
+#include "common/rng.h"
+#include "core/fuzzer.h"
+#include "ir/serialize.h"
+
+namespace ff::core {
+
+using common::Json;
+
+Json buffer_to_json(const interp::Buffer& buffer) {
+    Json j = Json::object();
+    j["dtype"] = ir::dtype_name(buffer.dtype());
+    Json shape = Json::array();
+    for (std::int64_t d : buffer.shape()) shape.push_back(Json(d));
+    j["shape"] = std::move(shape);
+    Json data = Json::array();
+    const bool is_float = ir::dtype_is_float(buffer.dtype());
+    for (std::int64_t i = 0; i < buffer.size(); ++i) {
+        const interp::Value v = buffer.load(i);
+        if (is_float) data.push_back(Json(v.as_double()));
+        else data.push_back(Json(v.as_int()));
+    }
+    j["data"] = std::move(data);
+    return j;
+}
+
+interp::Buffer buffer_from_json(const Json& j) {
+    std::vector<std::int64_t> shape;
+    for (const auto& d : j.at("shape").as_array()) shape.push_back(d.as_int());
+    interp::Buffer buf(ir::dtype_from_name(j.at("dtype").as_string()), std::move(shape));
+    const auto& data = j.at("data").as_array();
+    const bool is_float = ir::dtype_is_float(buf.dtype());
+    for (std::int64_t i = 0; i < buf.size(); ++i) {
+        const auto& v = data.at(static_cast<std::size_t>(i));
+        buf.store(i, is_float ? interp::Value::from_double(v.as_double())
+                              : interp::Value::from_int(v.as_int()));
+    }
+    return buf;
+}
+
+Json context_to_json(const interp::Context& ctx) {
+    Json j = Json::object();
+    Json symbols = Json::object();
+    for (const auto& [name, value] : ctx.symbols) symbols[name] = Json(value);
+    j["symbols"] = std::move(symbols);
+    Json buffers = Json::object();
+    for (const auto& [name, buffer] : ctx.buffers) buffers[name] = buffer_to_json(buffer);
+    j["buffers"] = std::move(buffers);
+    return j;
+}
+
+interp::Context context_from_json(const Json& j) {
+    interp::Context ctx;
+    for (const auto& [name, value] : j.at("symbols").as_object())
+        ctx.symbols[name] = value.as_int();
+    for (const auto& [name, buffer] : j.at("buffers").as_object())
+        ctx.buffers.emplace(name, buffer_from_json(buffer));
+    return ctx;
+}
+
+Json testcase_to_json(const Cutout& cutout, const ir::SDFG& transformed,
+                      const interp::Context& inputs, const std::string& transformation,
+                      const std::string& verdict, const std::string& detail) {
+    Json j = Json::object();
+    j["transformation"] = transformation;
+    j["verdict"] = verdict;
+    j["detail"] = detail;
+    j["original"] = ir::to_json(cutout.program);
+    j["transformed"] = ir::to_json(transformed);
+    Json system_state = Json::array();
+    for (const auto& name : cutout.system_state) system_state.push_back(Json(name));
+    j["system_state"] = std::move(system_state);
+    j["inputs"] = context_to_json(inputs);
+    return j;
+}
+
+LoadedTestCase testcase_from_json(const Json& j) {
+    LoadedTestCase tc;
+    tc.original = ir::sdfg_from_json(j.at("original"));
+    tc.transformed = ir::sdfg_from_json(j.at("transformed"));
+    tc.inputs = context_from_json(j.at("inputs"));
+    for (const auto& name : j.at("system_state").as_array())
+        tc.system_state.insert(name.as_string());
+    tc.transformation = j.at("transformation").as_string();
+    tc.verdict = j.at("verdict").as_string();
+    tc.detail = j.at("detail").as_string();
+    return tc;
+}
+
+std::string save_testcase_artifact(const std::string& dir, const Cutout& cutout,
+                                   const ir::SDFG& transformed, const interp::Context& inputs,
+                                   const FuzzReport& report) {
+    const Json j = testcase_to_json(cutout, transformed, inputs, report.transformation,
+                                    verdict_name(report.verdict), report.detail);
+    const std::string text = j.dump(2);
+    // Content-derived name keeps repeated runs deterministic.
+    std::uint64_t h = 0x4242;
+    for (char c : text) h = common::splitmix64(h ^ static_cast<std::uint64_t>(c));
+    char name[64];
+    std::snprintf(name, sizeof(name), "testcase_%016llx.json",
+                  static_cast<unsigned long long>(h));
+    const std::string path = dir + "/" + name;
+    std::ofstream out(path);
+    if (!out) return "";
+    out << text;
+    return path;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,49 @@
+// Reproducer serialization: "a fully reproducible, minimal test case
+// including inputs that can aid in debugging transformations" (Sec. 1).
+//
+// A test case bundles the original cutout, its transformed counterpart, the
+// system-state container list, and the exact failing input configuration
+// (symbols + buffers).  Loading it back allows re-running the failing trial
+// on a workstation without the original application.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "common/json.h"
+#include "core/cutout.h"
+#include "interp/interpreter.h"
+
+namespace ff::core {
+
+struct FuzzReport;  // fuzzer.h
+
+common::Json buffer_to_json(const interp::Buffer& buffer);
+interp::Buffer buffer_from_json(const common::Json& j);
+
+common::Json context_to_json(const interp::Context& ctx);
+interp::Context context_from_json(const common::Json& j);
+
+common::Json testcase_to_json(const Cutout& cutout, const ir::SDFG& transformed,
+                              const interp::Context& inputs, const std::string& transformation,
+                              const std::string& verdict, const std::string& detail);
+
+struct LoadedTestCase {
+    ir::SDFG original;
+    ir::SDFG transformed;
+    interp::Context inputs;
+    std::set<std::string> system_state;
+    std::string transformation;
+    std::string verdict;
+    std::string detail;
+};
+
+LoadedTestCase testcase_from_json(const common::Json& j);
+
+/// Writes the test case into `dir` with a content-derived filename; returns
+/// the path (empty on I/O failure).
+std::string save_testcase_artifact(const std::string& dir, const Cutout& cutout,
+                                   const ir::SDFG& transformed, const interp::Context& inputs,
+                                   const FuzzReport& report);
+
+}  // namespace ff::core

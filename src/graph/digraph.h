@@ -1,0 +1,207 @@
+// Generic directed multigraph with stable integer handles.
+//
+// Both hierarchy levels of the IR (the state machine and each state's
+// dataflow graph) are instances of this template, as is the flow network the
+// minimum input-flow cut builds (Sec. 4.2).  Nodes and edges are stored in
+// slot vectors; removal tombstones the slot so handles held by transformation
+// change sets stay valid.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace ff::graph {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+template <typename NodeData, typename EdgeData>
+class DiGraph {
+public:
+    struct Edge {
+        NodeId src = kInvalidNode;
+        NodeId dst = kInvalidNode;
+        EdgeData data{};
+        bool alive = false;
+    };
+
+    struct NodeSlot {
+        NodeData data{};
+        bool alive = false;
+        std::vector<EdgeId> in_edges;
+        std::vector<EdgeId> out_edges;
+    };
+
+    NodeId add_node(NodeData data) {
+        nodes_.push_back(NodeSlot{std::move(data), true, {}, {}});
+        return static_cast<NodeId>(nodes_.size() - 1);
+    }
+
+    EdgeId add_edge(NodeId src, NodeId dst, EdgeData data) {
+        assert(contains_node(src) && contains_node(dst));
+        edges_.push_back(Edge{src, dst, std::move(data), true});
+        const EdgeId id = static_cast<EdgeId>(edges_.size() - 1);
+        nodes_[static_cast<std::size_t>(src)].out_edges.push_back(id);
+        nodes_[static_cast<std::size_t>(dst)].in_edges.push_back(id);
+        return id;
+    }
+
+    void remove_edge(EdgeId id) {
+        assert(contains_edge(id));
+        Edge& e = edges_[static_cast<std::size_t>(id)];
+        e.alive = false;
+        erase_value(nodes_[static_cast<std::size_t>(e.src)].out_edges, id);
+        erase_value(nodes_[static_cast<std::size_t>(e.dst)].in_edges, id);
+    }
+
+    /// Removes a node and all incident edges.
+    void remove_node(NodeId id) {
+        assert(contains_node(id));
+        NodeSlot& slot = nodes_[static_cast<std::size_t>(id)];
+        // Copy: remove_edge mutates the adjacency lists.
+        for (EdgeId e : std::vector<EdgeId>(slot.in_edges)) remove_edge(e);
+        for (EdgeId e : std::vector<EdgeId>(slot.out_edges)) remove_edge(e);
+        slot.alive = false;
+    }
+
+    bool contains_node(NodeId id) const {
+        return id >= 0 && static_cast<std::size_t>(id) < nodes_.size() &&
+               nodes_[static_cast<std::size_t>(id)].alive;
+    }
+    bool contains_edge(EdgeId id) const {
+        return id >= 0 && static_cast<std::size_t>(id) < edges_.size() &&
+               edges_[static_cast<std::size_t>(id)].alive;
+    }
+
+    NodeData& node(NodeId id) {
+        assert(contains_node(id));
+        return nodes_[static_cast<std::size_t>(id)].data;
+    }
+    const NodeData& node(NodeId id) const {
+        assert(contains_node(id));
+        return nodes_[static_cast<std::size_t>(id)].data;
+    }
+
+    Edge& edge(EdgeId id) {
+        assert(contains_edge(id));
+        return edges_[static_cast<std::size_t>(id)];
+    }
+    const Edge& edge(EdgeId id) const {
+        assert(contains_edge(id));
+        return edges_[static_cast<std::size_t>(id)];
+    }
+
+    const std::vector<EdgeId>& in_edges(NodeId id) const {
+        assert(contains_node(id));
+        return nodes_[static_cast<std::size_t>(id)].in_edges;
+    }
+    const std::vector<EdgeId>& out_edges(NodeId id) const {
+        assert(contains_node(id));
+        return nodes_[static_cast<std::size_t>(id)].out_edges;
+    }
+
+    std::size_t in_degree(NodeId id) const { return in_edges(id).size(); }
+    std::size_t out_degree(NodeId id) const { return out_edges(id).size(); }
+
+    /// All live node ids, in insertion order.
+    std::vector<NodeId> nodes() const {
+        std::vector<NodeId> out;
+        for (std::size_t i = 0; i < nodes_.size(); ++i)
+            if (nodes_[i].alive) out.push_back(static_cast<NodeId>(i));
+        return out;
+    }
+
+    /// All live edge ids, in insertion order.
+    std::vector<EdgeId> edges() const {
+        std::vector<EdgeId> out;
+        for (std::size_t i = 0; i < edges_.size(); ++i)
+            if (edges_[i].alive) out.push_back(static_cast<EdgeId>(i));
+        return out;
+    }
+
+    std::size_t node_count() const {
+        std::size_t n = 0;
+        for (const auto& slot : nodes_) n += slot.alive ? 1 : 0;
+        return n;
+    }
+    std::size_t edge_count() const {
+        std::size_t n = 0;
+        for (const auto& e : edges_) n += e.alive ? 1 : 0;
+        return n;
+    }
+
+    /// Kahn topological sort.  Returns nullopt when the graph has a cycle.
+    std::optional<std::vector<NodeId>> topological_order() const {
+        std::vector<std::size_t> indeg(nodes_.size(), 0);
+        for (const auto& e : edges_)
+            if (e.alive) ++indeg[static_cast<std::size_t>(e.dst)];
+        std::queue<NodeId> ready;
+        for (std::size_t i = 0; i < nodes_.size(); ++i)
+            if (nodes_[i].alive && indeg[i] == 0) ready.push(static_cast<NodeId>(i));
+        std::vector<NodeId> order;
+        while (!ready.empty()) {
+            NodeId n = ready.front();
+            ready.pop();
+            order.push_back(n);
+            for (EdgeId eid : out_edges(n)) {
+                const NodeId m = edge(eid).dst;
+                if (--indeg[static_cast<std::size_t>(m)] == 0) ready.push(m);
+            }
+        }
+        if (order.size() != node_count()) return std::nullopt;
+        return order;
+    }
+
+    /// Nodes reachable from `start` following edge direction (inclusive).
+    std::set<NodeId> reachable_from(NodeId start) const {
+        return bfs(start, /*forward=*/true);
+    }
+
+    /// Nodes that can reach `start` (inclusive).
+    std::set<NodeId> reaching(NodeId start) const { return bfs(start, /*forward=*/false); }
+
+    /// BFS from a set of seeds; `forward` selects edge direction.
+    std::set<NodeId> bfs_from(const std::set<NodeId>& seeds, bool forward) const {
+        std::set<NodeId> visited;
+        std::queue<NodeId> frontier;
+        for (NodeId s : seeds) {
+            if (!contains_node(s)) continue;
+            visited.insert(s);
+            frontier.push(s);
+        }
+        while (!frontier.empty()) {
+            NodeId n = frontier.front();
+            frontier.pop();
+            const auto& next = forward ? out_edges(n) : in_edges(n);
+            for (EdgeId eid : next) {
+                const NodeId m = forward ? edge(eid).dst : edge(eid).src;
+                if (visited.insert(m).second) frontier.push(m);
+            }
+        }
+        return visited;
+    }
+
+private:
+    std::set<NodeId> bfs(NodeId start, bool forward) const {
+        return bfs_from(std::set<NodeId>{start}, forward);
+    }
+
+    static void erase_value(std::vector<EdgeId>& v, EdgeId x) {
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (v[i] == x) {
+                v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+                return;
+            }
+        }
+    }
+
+    std::vector<NodeSlot> nodes_;
+    std::vector<Edge> edges_;
+};
+
+}  // namespace ff::graph

@@ -1,0 +1,108 @@
+#include "graph/maxflow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace ff::graph {
+
+namespace {
+
+/// Residual graph edge; `pair` is the index of the reverse edge.
+struct Residual {
+    int dst;
+    std::int64_t capacity;
+    std::size_t pair;
+    std::size_t original_index;  // index into input edges, or npos for reverse
+};
+
+constexpr std::size_t kNoOriginal = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+MaxFlowResult edmonds_karp(int num_nodes, const std::vector<FlowEdge>& edges, int source,
+                           int sink) {
+    assert(source >= 0 && source < num_nodes);
+    assert(sink >= 0 && sink < num_nodes);
+
+    std::vector<std::vector<std::size_t>> adj(static_cast<std::size_t>(num_nodes));
+    std::vector<Residual> res;
+    res.reserve(edges.size() * 2);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        const FlowEdge& e = edges[i];
+        assert(e.src >= 0 && e.src < num_nodes && e.dst >= 0 && e.dst < num_nodes);
+        const std::size_t fwd = res.size();
+        res.push_back(Residual{e.dst, e.capacity, fwd + 1, i});
+        res.push_back(Residual{e.src, 0, fwd, kNoOriginal});
+        adj[static_cast<std::size_t>(e.src)].push_back(fwd);
+        adj[static_cast<std::size_t>(e.dst)].push_back(fwd + 1);
+    }
+
+    std::int64_t total_flow = 0;
+    std::vector<std::size_t> parent_edge(static_cast<std::size_t>(num_nodes));
+    std::vector<int> parent(static_cast<std::size_t>(num_nodes));
+
+    while (true) {
+        // BFS for the shortest augmenting path.
+        std::fill(parent.begin(), parent.end(), -1);
+        parent[static_cast<std::size_t>(source)] = source;
+        std::queue<int> frontier;
+        frontier.push(source);
+        while (!frontier.empty() && parent[static_cast<std::size_t>(sink)] == -1) {
+            const int u = frontier.front();
+            frontier.pop();
+            for (std::size_t eid : adj[static_cast<std::size_t>(u)]) {
+                const Residual& r = res[eid];
+                if (r.capacity > 0 && parent[static_cast<std::size_t>(r.dst)] == -1) {
+                    parent[static_cast<std::size_t>(r.dst)] = u;
+                    parent_edge[static_cast<std::size_t>(r.dst)] = eid;
+                    frontier.push(r.dst);
+                }
+            }
+        }
+        if (parent[static_cast<std::size_t>(sink)] == -1) break;  // no augmenting path
+
+        // Bottleneck along the path.
+        std::int64_t bottleneck = kInfiniteCapacity;
+        for (int v = sink; v != source; v = parent[static_cast<std::size_t>(v)])
+            bottleneck = std::min(bottleneck, res[parent_edge[static_cast<std::size_t>(v)]].capacity);
+
+        for (int v = sink; v != source; v = parent[static_cast<std::size_t>(v)]) {
+            Residual& fwd = res[parent_edge[static_cast<std::size_t>(v)]];
+            fwd.capacity -= bottleneck;
+            res[fwd.pair].capacity += bottleneck;
+        }
+        total_flow += bottleneck;
+        if (total_flow >= kInfiniteCapacity) break;  // saturated: cut is "infinite"
+    }
+
+    MaxFlowResult result;
+    result.max_flow = total_flow;
+
+    // Source side of the cut: nodes reachable in the residual graph.
+    std::vector<bool> visited(static_cast<std::size_t>(num_nodes), false);
+    std::queue<int> frontier;
+    frontier.push(source);
+    visited[static_cast<std::size_t>(source)] = true;
+    while (!frontier.empty()) {
+        const int u = frontier.front();
+        frontier.pop();
+        result.source_side.insert(u);
+        for (std::size_t eid : adj[static_cast<std::size_t>(u)]) {
+            const Residual& r = res[eid];
+            if (r.capacity > 0 && !visited[static_cast<std::size_t>(r.dst)]) {
+                visited[static_cast<std::size_t>(r.dst)] = true;
+                frontier.push(r.dst);
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        const FlowEdge& e = edges[i];
+        if (visited[static_cast<std::size_t>(e.src)] && !visited[static_cast<std::size_t>(e.dst)])
+            result.cut_edges.push_back(i);
+    }
+    return result;
+}
+
+}  // namespace ff::graph

@@ -1,0 +1,38 @@
+// Edmonds–Karp maximum flow / minimum s-t cut.
+//
+// The minimum input-flow cut (Sec. 4.2) concretizes symbolic edge capacities
+// and solves min s-t cut via max flow (max-flow min-cut theorem).  Capacities
+// are 64-bit with a saturating infinity; parallel edges are supported because
+// dataflow graphs routinely carry several memlets between the same nodes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <vector>
+
+namespace ff::graph {
+
+/// Saturating "infinite" capacity (edges that must never be cut).
+inline constexpr std::int64_t kInfiniteCapacity = std::numeric_limits<std::int64_t>::max() / 4;
+
+struct FlowEdge {
+    int src = 0;
+    int dst = 0;
+    std::int64_t capacity = 0;
+};
+
+struct MaxFlowResult {
+    std::int64_t max_flow = 0;
+    /// Nodes on the source side of the minimum cut.
+    std::set<int> source_side;
+    /// Indices (into the input edge list) of edges crossing the cut.
+    std::vector<std::size_t> cut_edges;
+};
+
+/// Computes max flow from `source` to `sink` over `num_nodes` nodes.
+/// Runs in O(V * E^2); the prepared flow networks are small (one per cutout).
+MaxFlowResult edmonds_karp(int num_nodes, const std::vector<FlowEdge>& edges, int source,
+                           int sink);
+
+}  // namespace ff::graph

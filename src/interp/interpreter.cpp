@@ -1,0 +1,304 @@
+#include "interp/interpreter.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "interp/library_nodes.h"
+
+namespace ff::interp {
+
+using ir::DataflowNode;
+using ir::NodeId;
+using ir::NodeKind;
+
+namespace {
+
+/// Precomputed execution structure of one state: topological order, scope
+/// parenthood, and ordered direct children per scope.  Built once per state
+/// and cached by the interpreter — nested map scopes execute O(iterations)
+/// times and must not re-derive graph structure each time.
+struct StatePlan {
+    std::vector<NodeId> top_level;                       // ordered, no MapExit
+    std::map<NodeId, std::vector<NodeId>> scope_children;  // entry -> ordered children
+};
+
+StatePlan build_plan(const ir::State& state) {
+    const auto topo = state.graph().topological_order();
+    if (!topo) throw common::ValidationError("state '" + state.name() + "' has a dataflow cycle");
+
+    // parent[n] = innermost enclosing MapEntry (kInvalidNode at top level).
+    std::map<NodeId, NodeId> parent;
+    for (NodeId n : *topo) parent[n] = graph::kInvalidNode;
+    struct ScopeInfo {
+        NodeId entry;
+        std::set<NodeId> inside;
+    };
+    std::vector<ScopeInfo> scopes;
+    for (NodeId n : *topo) {
+        if (state.graph().node(n).kind == NodeKind::MapEntry)
+            scopes.push_back(ScopeInfo{n, state.scope_nodes(n)});
+    }
+    for (NodeId n : *topo) {
+        NodeId best = graph::kInvalidNode;
+        std::size_t best_size = 0;
+        for (const ScopeInfo& s : scopes) {
+            if (!s.inside.count(n)) continue;
+            if (best == graph::kInvalidNode || s.inside.size() < best_size) {
+                best = s.entry;
+                best_size = s.inside.size();
+            }
+        }
+        parent[n] = best;
+    }
+
+    StatePlan plan;
+    for (NodeId n : *topo) {
+        const NodeKind k = state.graph().node(n).kind;
+        if (k == NodeKind::MapExit) continue;  // executed with its entry
+        const NodeId p = parent[n];
+        if (p == graph::kInvalidNode) plan.top_level.push_back(n);
+        else plan.scope_children[p].push_back(n);
+    }
+    return plan;
+}
+
+}  // namespace
+
+const void* Interpreter::plan_for(const ir::State& state) {
+    auto it = plan_cache_.find(&state);
+    if (it == plan_cache_.end())
+        it = plan_cache_.emplace(&state, std::make_shared<StatePlan>(build_plan(state))).first;
+    return it->second.get();
+}
+
+ExecResult Interpreter::run(const ir::SDFG& sdfg, Context& ctx) {
+    ExecResult result;
+    try {
+        ir::StateId current = sdfg.start_state();
+        while (true) {
+            execute_state(sdfg, sdfg.state(current), ctx);
+
+            // Pick the first matching transition, in edge insertion order.
+            ir::StateId next = graph::kInvalidNode;
+            const ir::InterstateEdge* taken = nullptr;
+            for (graph::EdgeId eid : sdfg.cfg().out_edges(current)) {
+                const auto& e = sdfg.cfg().edge(eid);
+                if (!e.data.condition || e.data.condition->evaluate(ctx.symbols)) {
+                    next = e.dst;
+                    taken = &e.data;
+                    break;
+                }
+            }
+            if (next == graph::kInvalidNode) break;  // terminate
+
+            // Simultaneous assignment: evaluate all RHS under old bindings.
+            std::vector<std::pair<std::string, std::int64_t>> updates;
+            updates.reserve(taken->assignments.size());
+            for (const auto& [symbol, expr] : taken->assignments)
+                updates.emplace_back(symbol, expr->evaluate(ctx.symbols));
+            for (const auto& [symbol, value] : updates) ctx.symbols[symbol] = value;
+
+            if (++result.state_transitions > config_.max_state_transitions)
+                throw common::HangError(config_.max_state_transitions);
+
+            current = next;
+        }
+    } catch (const common::HangError& e) {
+        result.status = ExecStatus::Hang;
+        result.message = e.what();
+    } catch (const std::exception& e) {
+        result.status = ExecStatus::Crash;
+        result.message = e.what();
+    }
+    return result;
+}
+
+void Interpreter::execute_state(const ir::SDFG& sdfg, const ir::State& state, Context& ctx) {
+    const StatePlan& plan = *static_cast<const StatePlan*>(plan_for(state));
+
+    for (NodeId nid : plan.top_level) {
+        const DataflowNode& node = state.graph().node(nid);
+        if (node.kind == NodeKind::MapEntry) execute_scope(sdfg, state, nid, ctx);
+        else execute_node(sdfg, state, nid, ctx);
+    }
+}
+
+void Interpreter::execute_node(const ir::SDFG& sdfg, const ir::State& state, NodeId nid,
+                               Context& ctx) {
+    const DataflowNode& node = state.graph().node(nid);
+    switch (node.kind) {
+        case NodeKind::Access:
+            ensure_buffer(sdfg, ctx, node.data);
+            execute_access_copies(sdfg, state, nid, ctx);
+            break;
+        case NodeKind::Tasklet: execute_tasklet(sdfg, state, nid, ctx); break;
+        case NodeKind::Library: execute_library(*this, sdfg, state, nid, ctx); break;
+        case NodeKind::Comm: execute_comm_single_rank(sdfg, state, nid, ctx); break;
+        case NodeKind::MapEntry: execute_scope(sdfg, state, nid, ctx); break;
+        case NodeKind::MapExit: break;
+    }
+}
+
+void Interpreter::execute_scope(const ir::SDFG& sdfg, const ir::State& state, NodeId entry,
+                                Context& ctx) {
+    const DataflowNode& map_node = state.graph().node(entry);
+    const StatePlan& plan = *static_cast<const StatePlan*>(plan_for(state));
+
+    static const std::vector<NodeId> kEmpty;
+    auto cit = plan.scope_children.find(entry);
+    const std::vector<NodeId>& children = cit == plan.scope_children.end() ? kEmpty : cit->second;
+
+    // Save shadowed bindings.
+    std::vector<std::pair<std::string, std::optional<std::int64_t>>> saved;
+    saved.reserve(map_node.params.size());
+    for (const auto& p : map_node.params) {
+        auto sit = ctx.symbols.find(p);
+        saved.emplace_back(p, sit == ctx.symbols.end() ? std::nullopt
+                                                       : std::optional<std::int64_t>(sit->second));
+    }
+
+    // Iterate the cartesian product of ranges.  Bounds are evaluated per
+    // level because they may reference parameters of enclosing scopes.
+    const std::size_t nparams = map_node.params.size();
+    auto iterate = [&](auto&& self, std::size_t level) -> void {
+        if (level == nparams) {
+            for (NodeId child : children) {
+                const DataflowNode& cn = state.graph().node(child);
+                if (cn.kind == NodeKind::MapEntry) execute_scope(sdfg, state, child, ctx);
+                else execute_node(sdfg, state, child, ctx);
+            }
+            return;
+        }
+        const ir::Range& r = map_node.map_ranges[level];
+        const std::int64_t begin = r.begin->evaluate(ctx.symbols);
+        const std::int64_t end = r.end->evaluate(ctx.symbols);
+        const std::int64_t step = r.step->evaluate(ctx.symbols);
+        if (step == 0) throw common::Error("map '" + map_node.label + "' has step 0");
+        if (step > 0) {
+            for (std::int64_t v = begin; v <= end; v += step) {
+                ctx.symbols[map_node.params[level]] = v;
+                self(self, level + 1);
+            }
+        } else {
+            for (std::int64_t v = begin; v >= end; v += step) {
+                ctx.symbols[map_node.params[level]] = v;
+                self(self, level + 1);
+            }
+        }
+    };
+    iterate(iterate, 0);
+
+    // Restore bindings.
+    for (const auto& [p, old] : saved) {
+        if (old) ctx.symbols[p] = *old;
+        else ctx.symbols.erase(p);
+    }
+}
+
+Buffer& Interpreter::ensure_buffer(const ir::SDFG& sdfg, Context& ctx, const std::string& name) {
+    auto it = ctx.buffers.find(name);
+    if (it != ctx.buffers.end()) return it->second;
+
+    const ir::DataDesc& desc = sdfg.container(name);
+    Buffer buf(desc.dtype, desc.concrete_shape(ctx.symbols));
+    if (desc.storage == ir::Storage::Device) {
+        // Deterministic garbage, stable per container name.
+        std::uint64_t h = config_.device_garbage_seed;
+        for (char c : name) h = common::splitmix64(h ^ static_cast<std::uint64_t>(c));
+        buf.fill_garbage(h);
+    }
+    // Host buffers are zero-initialized by construction.
+    auto [pos, inserted] = ctx.buffers.emplace(name, std::move(buf));
+    (void)inserted;
+    return pos->second;
+}
+
+std::vector<Value> Interpreter::gather(const ir::SDFG& sdfg, Context& ctx,
+                                       const ir::Memlet& memlet) {
+    Buffer& buf = ensure_buffer(sdfg, ctx, memlet.data);
+    const auto ranges = memlet.subset.concretize(ctx.symbols);
+    std::vector<Value> out;
+    for_each_point(ranges, [&](const std::vector<std::int64_t>& idx) {
+        out.push_back(buf.load(buf.flat_index(idx, memlet.data)));
+    });
+    return out;
+}
+
+void Interpreter::scatter(const ir::SDFG& sdfg, Context& ctx, const ir::Memlet& memlet,
+                          const std::vector<Value>& values) {
+    Buffer& buf = ensure_buffer(sdfg, ctx, memlet.data);
+    const auto ranges = memlet.subset.concretize(ctx.symbols);
+    std::size_t lane = 0;
+    for_each_point(ranges, [&](const std::vector<std::int64_t>& idx) {
+        if (lane >= values.size())
+            throw common::Error("scatter on '" + memlet.data + "': not enough values (" +
+                                std::to_string(values.size()) + ")");
+        buf.store(buf.flat_index(idx, memlet.data), values[lane++]);
+    });
+}
+
+TaskletProgramPtr Interpreter::program_for(const std::string& code) {
+    auto it = tasklet_cache_.find(code);
+    if (it != tasklet_cache_.end()) return it->second;
+    TaskletProgramPtr prog = TaskletProgram::parse(code);
+    tasklet_cache_.emplace(code, prog);
+    return prog;
+}
+
+void Interpreter::execute_tasklet(const ir::SDFG& sdfg, const ir::State& state, NodeId nid,
+                                  Context& ctx) {
+    const DataflowNode& node = state.graph().node(nid);
+    TaskletProgramPtr prog = program_for(node.code);
+
+    ConnectorEnv env;
+    for (graph::EdgeId eid : state.graph().in_edges(nid)) {
+        const auto& edge = state.graph().edge(eid).data;
+        if (edge.dst_conn.empty()) continue;  // ordering-only dependency edge
+        env[edge.dst_conn] = gather(sdfg, ctx, edge.memlet);
+    }
+    prog->execute(env);
+    for (graph::EdgeId eid : state.graph().out_edges(nid)) {
+        const auto& edge = state.graph().edge(eid).data;
+        auto it = env.find(edge.src_conn);
+        if (it == env.end())
+            throw common::Error("tasklet '" + node.label + "' did not produce connector '" +
+                                edge.src_conn + "'");
+        scatter(sdfg, ctx, edge.memlet, it->second);
+    }
+}
+
+void Interpreter::execute_access_copies(const ir::SDFG& sdfg, const ir::State& state, NodeId nid,
+                                        Context& ctx) {
+    // An edge between two access nodes is a copy.  The memlet subset is
+    // interpreted in the *source* container's coordinates and written to the
+    // same coordinates of the destination.
+    const DataflowNode& node = state.graph().node(nid);
+    for (graph::EdgeId eid : state.graph().out_edges(nid)) {
+        const auto& e = state.graph().edge(eid);
+        const DataflowNode& dst = state.graph().node(e.dst);
+        if (dst.kind != NodeKind::Access) continue;
+        const ir::Memlet& m = e.data.memlet;
+        ir::Memlet src_memlet(node.data, m.subset);
+        ir::Memlet dst_memlet(dst.data, m.subset);
+        scatter(sdfg, ctx, dst_memlet, gather(sdfg, ctx, src_memlet));
+    }
+}
+
+void Interpreter::execute_comm_single_rank(const ir::SDFG& sdfg, const ir::State& state,
+                                           NodeId nid, Context& ctx) {
+    // With a single rank every collective degenerates to an identity copy
+    // (sum over one rank, gather of one chunk, broadcast from self).
+    const auto& g = state.graph();
+    const ir::Memlet* in_memlet = nullptr;
+    const ir::Memlet* out_memlet = nullptr;
+    for (graph::EdgeId eid : g.in_edges(nid))
+        if (g.edge(eid).data.dst_conn == "in") in_memlet = &g.edge(eid).data.memlet;
+    for (graph::EdgeId eid : g.out_edges(nid))
+        if (g.edge(eid).data.src_conn == "out") out_memlet = &g.edge(eid).data.memlet;
+    if (!in_memlet || !out_memlet)
+        throw common::ValidationError("comm node missing in/out connector");
+    scatter(sdfg, ctx, *out_memlet, gather(sdfg, ctx, *in_memlet));
+}
+
+}  // namespace ff::interp

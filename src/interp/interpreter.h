@@ -1,0 +1,138 @@
+// SDFG interpreter.
+//
+// Replaces DaCe's code generation + native execution in the original
+// implementation: both sides of every differential test run under this
+// interpreter, so relative measurements (cutout vs whole program, trials to
+// failure) carry the same meaning as in the paper.
+//
+// Execution model:
+//  * The state machine starts at the start state; after a state's dataflow
+//    graph executes, the first outgoing interstate edge whose condition
+//    evaluates true is taken and its assignments applied (simultaneously).
+//    No matching edge terminates the program.  More than
+//    `max_state_transitions` transitions is reported as a hang (Sec. 5.1).
+//  * Within a state, top-level nodes execute in topological order.  Map
+//    scopes iterate their (possibly negative-step) ranges; `Sequential`
+//    order is the definition of program semantics, other schedules are
+//    declarative hints.
+//  * Every container access is bounds-checked; violations and unbound
+//    symbols surface as a Crash result rather than undefined behaviour.
+//  * Containers are allocated lazily on first access: host transients are
+//    zero-filled, Device containers are filled with deterministic garbage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "interp/buffer.h"
+#include "ir/sdfg.h"
+
+namespace ff::interp {
+
+struct ExecConfig {
+    std::int64_t max_state_transitions = 100000;
+    std::uint64_t device_garbage_seed = 0xD00DULL;
+};
+
+enum class ExecStatus { Ok, Crash, Hang };
+
+struct ExecResult {
+    ExecStatus status = ExecStatus::Ok;
+    std::string message;
+    std::int64_t state_transitions = 0;
+
+    bool ok() const { return status == ExecStatus::Ok; }
+};
+
+/// Runtime state of one program execution: symbol values + live buffers.
+struct Context {
+    sym::Bindings symbols;
+    std::map<std::string, Buffer> buffers;
+
+    bool has_buffer(const std::string& name) const { return buffers.count(name) > 0; }
+};
+
+class Interpreter {
+public:
+    explicit Interpreter(ExecConfig config = {}) : config_(config) {}
+
+    const ExecConfig& config() const { return config_; }
+
+    /// Runs the whole SDFG.  The context provides inputs (pre-created
+    /// buffers) and receives all outputs; it is mutated in place.
+    ExecResult run(const ir::SDFG& sdfg, Context& ctx);
+
+    /// Executes one state's dataflow graph (exceptions propagate).
+    /// Exposed for the multi-rank runtime.
+    void execute_state(const ir::SDFG& sdfg, const ir::State& state, Context& ctx);
+
+    /// Executes a single non-scope node (used by the multi-rank runtime to
+    /// interleave ranks at node granularity).
+    void execute_node(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
+                      Context& ctx);
+
+    // --- Data movement helpers (shared with library nodes & multirank) ---
+
+    /// Buffer for `name`, allocating according to descriptor rules.
+    Buffer& ensure_buffer(const ir::SDFG& sdfg, Context& ctx, const std::string& name);
+
+    /// Reads the memlet's subset (row-major over the subset's ranges).
+    std::vector<Value> gather(const ir::SDFG& sdfg, Context& ctx, const ir::Memlet& memlet);
+
+    /// Writes `values` over the memlet's subset (row-major).
+    void scatter(const ir::SDFG& sdfg, Context& ctx, const ir::Memlet& memlet,
+                 const std::vector<Value>& values);
+
+    /// Parsed tasklet for `code`, cached by content.
+    TaskletProgramPtr program_for(const std::string& code);
+
+private:
+    void execute_scope(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId entry,
+                       Context& ctx);
+    void execute_tasklet(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
+                         Context& ctx);
+    void execute_access_copies(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
+                               Context& ctx);
+    void execute_comm_single_rank(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
+                                  Context& ctx);
+
+    /// Cached execution plan (topological order + scope structure) for a
+    /// state.  Valid while the SDFG is not mutated; create a fresh
+    /// Interpreter after applying a transformation.
+    const void* plan_for(const ir::State& state);
+
+    ExecConfig config_;
+    std::unordered_map<std::string, TaskletProgramPtr> tasklet_cache_;
+    std::map<const ir::State*, std::shared_ptr<void>> plan_cache_;
+};
+
+/// Iterates all index tuples of concretized ranges in row-major order,
+/// honouring negative steps; invokes fn(index_tuple).
+template <typename Fn>
+void for_each_point(const std::vector<ir::ConcreteRange>& ranges, Fn&& fn) {
+    std::vector<std::int64_t> idx(ranges.size());
+    // Recursive lambda over dimensions.
+    auto rec = [&](auto&& self, std::size_t dim) -> void {
+        if (dim == ranges.size()) {
+            fn(idx);
+            return;
+        }
+        const auto [begin, end, step] = ranges[dim];
+        if (step > 0) {
+            for (std::int64_t v = begin; v <= end; v += step) {
+                idx[dim] = v;
+                self(self, dim + 1);
+            }
+        } else if (step < 0) {
+            for (std::int64_t v = begin; v >= end; v += step) {
+                idx[dim] = v;
+                self(self, dim + 1);
+            }
+        }
+    };
+    rec(rec, 0);
+}
+
+}  // namespace ff::interp

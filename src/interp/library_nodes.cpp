@@ -1,0 +1,174 @@
+#include "interp/library_nodes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ff::interp {
+
+namespace {
+
+using ir::LibraryKind;
+
+/// Dense operand view materialized from a memlet subset.
+struct Operand {
+    std::vector<std::int64_t> dims;  // subset extents, in order
+    std::vector<Value> values;       // row-major over the subset
+
+    std::int64_t volume() const {
+        std::int64_t v = 1;
+        for (auto d : dims) v *= d;
+        return v;
+    }
+};
+
+Operand gather_operand(Interpreter& interp, const ir::SDFG& sdfg, Context& ctx,
+                       const ir::Memlet& memlet) {
+    Operand op;
+    const auto ranges = memlet.subset.concretize(ctx.symbols);
+    op.dims.reserve(ranges.size());
+    for (const auto& r : ranges) op.dims.push_back(ir::concrete_range_size(r));
+    op.values = interp.gather(sdfg, ctx, memlet);
+    return op;
+}
+
+const ir::Memlet& input_memlet(const ir::State& state, ir::NodeId node, const std::string& conn) {
+    for (graph::EdgeId eid : state.graph().in_edges(node)) {
+        const auto& e = state.graph().edge(eid).data;
+        if (e.dst_conn == conn) return e.memlet;
+    }
+    throw common::Error("library node missing input connector '" + conn + "'");
+}
+
+const ir::Memlet& output_memlet(const ir::State& state, ir::NodeId node,
+                                const std::string& conn) {
+    for (graph::EdgeId eid : state.graph().out_edges(node)) {
+        const auto& e = state.graph().edge(eid).data;
+        if (e.src_conn == conn) return e.memlet;
+    }
+    throw common::Error("library node missing output connector '" + conn + "'");
+}
+
+/// C[M,N] += A[M,K] * B[K,N] for one (pre-offset) batch; C must be zeroed.
+void matmul_2d(const std::vector<Value>& a, std::int64_t a_off, const std::vector<Value>& b,
+               std::int64_t b_off, std::vector<Value>& c, std::int64_t c_off, std::int64_t m,
+               std::int64_t k, std::int64_t n) {
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t l = 0; l < k; ++l) {
+            const double av = a[static_cast<std::size_t>(a_off + i * k + l)].as_double();
+            if (av == 0.0) continue;
+            for (std::int64_t j = 0; j < n; ++j) {
+                const double bv = b[static_cast<std::size_t>(b_off + l * n + j)].as_double();
+                auto& cv = c[static_cast<std::size_t>(c_off + i * n + j)];
+                cv = Value::from_double(cv.as_double() + av * bv);
+            }
+        }
+    }
+}
+
+void do_matmul(const Operand& a, const Operand& b, Operand& c, bool batched) {
+    const std::size_t ad = a.dims.size();
+    const std::size_t bd = b.dims.size();
+    if (ad < 2 || bd < 2) throw common::Error("matmul: operands need >= 2 dims");
+    const std::int64_t m = a.dims[ad - 2];
+    const std::int64_t k = a.dims[ad - 1];
+    const std::int64_t k2 = b.dims[bd - 2];
+    const std::int64_t n = b.dims[bd - 1];
+    if (k != k2)
+        throw common::Error("matmul: inner dimension mismatch (" + std::to_string(k) + " vs " +
+                            std::to_string(k2) + ")");
+    std::int64_t batch = 1;
+    if (batched) {
+        if (ad != bd) throw common::Error("batched matmul: rank mismatch");
+        for (std::size_t d = 0; d + 2 < ad; ++d) {
+            if (a.dims[d] != b.dims[d]) throw common::Error("batched matmul: batch dim mismatch");
+            batch *= a.dims[d];
+        }
+    }
+    c.dims = a.dims;
+    c.dims[ad - 1] = n;
+    c.values.assign(static_cast<std::size_t>(batch * m * n), Value::from_double(0.0));
+    for (std::int64_t bi = 0; bi < batch; ++bi)
+        matmul_2d(a.values, bi * m * k, b.values, bi * k * n, c.values, bi * m * n, m, k, n);
+}
+
+}  // namespace
+
+void execute_library(Interpreter& interp, const ir::SDFG& sdfg, const ir::State& state,
+                     ir::NodeId node, Context& ctx) {
+    const ir::DataflowNode& n = state.graph().node(node);
+    switch (n.lib) {
+        case LibraryKind::MatMul:
+        case LibraryKind::BatchedMatMul: {
+            Operand a = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "A"));
+            Operand b = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "B"));
+            Operand c;
+            do_matmul(a, b, c, n.lib == LibraryKind::BatchedMatMul);
+            interp.scatter(sdfg, ctx, output_memlet(state, node, "C"), c.values);
+            break;
+        }
+        case LibraryKind::Transpose: {
+            Operand a = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "A"));
+            if (a.dims.size() != 2) throw common::Error("transpose: operand must be 2-D");
+            const std::int64_t m = a.dims[0], k = a.dims[1];
+            std::vector<Value> out(static_cast<std::size_t>(m * k));
+            for (std::int64_t i = 0; i < m; ++i)
+                for (std::int64_t j = 0; j < k; ++j)
+                    out[static_cast<std::size_t>(j * m + i)] =
+                        a.values[static_cast<std::size_t>(i * k + j)];
+            interp.scatter(sdfg, ctx, output_memlet(state, node, "B"), out);
+            break;
+        }
+        case LibraryKind::ReduceSum:
+        case LibraryKind::ReduceMax: {
+            Operand in = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "in"));
+            if (in.dims.empty()) throw common::Error("reduce: operand must have >= 1 dim");
+            const std::int64_t axis_len = in.dims.back();
+            if (axis_len <= 0) throw common::Error("reduce: empty reduction axis");
+            const std::int64_t rows = in.volume() / axis_len;
+            std::vector<Value> out(static_cast<std::size_t>(rows));
+            for (std::int64_t r = 0; r < rows; ++r) {
+                double acc = in.values[static_cast<std::size_t>(r * axis_len)].as_double();
+                for (std::int64_t j = 1; j < axis_len; ++j) {
+                    const double v =
+                        in.values[static_cast<std::size_t>(r * axis_len + j)].as_double();
+                    acc = n.lib == LibraryKind::ReduceSum ? acc + v : std::fmax(acc, v);
+                }
+                out[static_cast<std::size_t>(r)] = Value::from_double(acc);
+            }
+            interp.scatter(sdfg, ctx, output_memlet(state, node, "out"), out);
+            break;
+        }
+        case LibraryKind::Softmax: {
+            Operand in = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "in"));
+            if (in.dims.empty()) throw common::Error("softmax: operand must have >= 1 dim");
+            const std::int64_t axis_len = in.dims.back();
+            if (axis_len <= 0) throw common::Error("softmax: empty axis");
+            const std::int64_t rows = in.volume() / axis_len;
+            std::vector<Value> out(in.values.size());
+            for (std::int64_t r = 0; r < rows; ++r) {
+                double row_max = in.values[static_cast<std::size_t>(r * axis_len)].as_double();
+                for (std::int64_t j = 1; j < axis_len; ++j)
+                    row_max = std::fmax(
+                        row_max, in.values[static_cast<std::size_t>(r * axis_len + j)].as_double());
+                double denom = 0.0;
+                for (std::int64_t j = 0; j < axis_len; ++j) {
+                    const double e = std::exp(
+                        in.values[static_cast<std::size_t>(r * axis_len + j)].as_double() -
+                        row_max);
+                    out[static_cast<std::size_t>(r * axis_len + j)] = Value::from_double(e);
+                    denom += e;
+                }
+                for (std::int64_t j = 0; j < axis_len; ++j) {
+                    auto& v = out[static_cast<std::size_t>(r * axis_len + j)];
+                    v = Value::from_double(v.as_double() / denom);
+                }
+            }
+            interp.scatter(sdfg, ctx, output_memlet(state, node, "out"), out);
+            break;
+        }
+    }
+}
+
+}  // namespace ff::interp

@@ -1,0 +1,17 @@
+// Native implementations of coarse-grained library nodes.
+//
+// These stand in for the BLAS/library calls of the paper's workloads (e.g.
+// the MKL-accelerated batched contractions of the BERT encoder, Sec. 6.1).
+// Operand shapes are taken from the concretized memlet subsets.
+#pragma once
+
+#include "interp/interpreter.h"
+
+namespace ff::interp {
+
+/// Executes a Library node; throws on shape mismatch (reported as a crash
+/// by the interpreter's run loop).
+void execute_library(Interpreter& interp, const ir::SDFG& sdfg, const ir::State& state,
+                     ir::NodeId node, Context& ctx);
+
+}  // namespace ff::interp

@@ -1,0 +1,41 @@
+// Simulated multi-rank (distributed-memory) runtime.
+//
+// Replaces the MPI testbed of Sec. 6.2: each rank owns a private Context
+// (buffers + a bound `rank` symbol); the program executes node-major so that
+// communication collectives observe all ranks' inputs.  This models an SPMD
+// program at a synchronization granularity sufficient for static collective
+// patterns (single-state SDFGs, which covers the SDDMM forward pass).
+#pragma once
+
+#include <vector>
+
+#include "interp/interpreter.h"
+
+namespace ff::interp {
+
+struct MultiRankResult {
+    ExecStatus status = ExecStatus::Ok;
+    std::string message;
+    bool ok() const { return status == ExecStatus::Ok; }
+};
+
+class MultiRankInterpreter {
+public:
+    explicit MultiRankInterpreter(int num_ranks, ExecConfig config = {});
+
+    int num_ranks() const { return num_ranks_; }
+
+    /// Runs a *single-state* SDFG across all ranks.  `rank_contexts` must
+    /// have one Context per rank; the `rank` and `num_ranks` symbols are
+    /// bound automatically.
+    MultiRankResult run(const ir::SDFG& sdfg, std::vector<Context>& rank_contexts);
+
+private:
+    void execute_comm(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
+                      std::vector<Context>& rank_contexts);
+
+    int num_ranks_;
+    Interpreter interp_;
+};
+
+}  // namespace ff::interp

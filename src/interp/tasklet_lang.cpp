@@ -1,0 +1,453 @@
+#include "interp/tasklet_lang.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "symbolic/expr.h"
+
+namespace ff::interp {
+
+using common::ParseError;
+
+/// Recursive-descent parser for the tasklet grammar (see header).
+class TaskletParser {
+public:
+    explicit TaskletParser(const std::string& text) : text_(text) {}
+
+    std::shared_ptr<TaskletProgram> parse() {
+        auto prog = std::shared_ptr<TaskletProgram>(new TaskletProgram());
+        prog_ = prog.get();
+        prog_->source_ = text_;
+
+        while (true) {
+            skip_ws();
+            if (pos_ >= text_.size()) break;
+            statement();
+            skip_ws();
+            if (pos_ < text_.size()) {
+                if (text_[pos_] == ';') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '\n') {
+                    ++pos_;
+                    continue;
+                }
+                fail("expected ';' between statements");
+            }
+        }
+        if (prog_->stmts_.empty()) fail("empty tasklet");
+        finalize_connectors();
+        return prog;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& msg) {
+        throw ParseError("tasklet '" + text_ + "' at offset " + std::to_string(pos_) + ": " + msg);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool eat(char c) {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool eat2(const char* two) {
+        skip_ws();
+        if (pos_ + 1 < text_.size() && text_[pos_] == two[0] && text_[pos_ + 1] == two[1]) {
+            pos_ += 2;
+            return true;
+        }
+        return false;
+    }
+
+    char peek() {
+        skip_ws();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    std::string ident() {
+        skip_ws();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_'))
+            ++pos_;
+        if (start == pos_) fail("expected identifier");
+        return std::string(text_.substr(start, pos_ - start));
+    }
+
+    int var_index(const std::string& name) {
+        for (std::size_t i = 0; i < prog_->var_names_.size(); ++i)
+            if (prog_->var_names_[i] == name) return static_cast<int>(i);
+        prog_->var_names_.push_back(name);
+        return static_cast<int>(prog_->var_names_.size() - 1);
+    }
+
+    int lane_suffix() {
+        // Optional constant [k] lane index.
+        if (!eat('[')) return 0;
+        skip_ws();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+        if (start == pos_) fail("expected constant lane index");
+        int lane = 0;
+        std::from_chars(text_.data() + start, text_.data() + pos_, lane);
+        if (!eat(']')) fail("expected ']'");
+        return lane;
+    }
+
+    void statement() {
+        const std::string name = ident();
+        const int lane = peek() == '[' ? lane_suffix() : 0;
+        if (!eat('=')) fail("expected '=' in assignment");
+        const int root = expr();
+        const int vi = var_index(name);
+        note_write(vi, lane);
+        prog_->stmts_.push_back(TaskletProgram::Stmt{vi, lane, root});
+    }
+
+    // --- Expression grammar ---
+
+    int add_node(TaskletProgram::Node n) {
+        prog_->nodes_.push_back(n);
+        return static_cast<int>(prog_->nodes_.size() - 1);
+    }
+
+    int expr() { return ternary(); }
+
+    int ternary() {
+        int cond = logical_or();
+        if (eat('?')) {
+            int a = expr();
+            if (!eat(':')) fail("expected ':' in ternary");
+            int b = expr();
+            TaskletProgram::Node n;
+            n.op = TaskletProgram::Op::Ternary;
+            n.a = cond; n.b = a; n.c = b;
+            return add_node(n);
+        }
+        return cond;
+    }
+
+    int logical_or() {
+        int lhs = logical_and();
+        while (eat2("||")) lhs = binop(TaskletProgram::Op::Or, lhs, logical_and());
+        return lhs;
+    }
+
+    int logical_and() {
+        int lhs = comparison();
+        while (eat2("&&")) lhs = binop(TaskletProgram::Op::And, lhs, comparison());
+        return lhs;
+    }
+
+    int comparison() {
+        int lhs = additive();
+        if (eat2("<=")) return binop(TaskletProgram::Op::Le, lhs, additive());
+        if (eat2(">=")) return binop(TaskletProgram::Op::Ge, lhs, additive());
+        if (eat2("==")) return binop(TaskletProgram::Op::Eq, lhs, additive());
+        if (eat2("!=")) return binop(TaskletProgram::Op::Ne, lhs, additive());
+        if (peek() == '<') { ++pos_; return binop(TaskletProgram::Op::Lt, lhs, additive()); }
+        if (peek() == '>') { ++pos_; return binop(TaskletProgram::Op::Gt, lhs, additive()); }
+        return lhs;
+    }
+
+    int additive() {
+        int lhs = multiplicative();
+        while (true) {
+            if (eat('+')) lhs = binop(TaskletProgram::Op::Add, lhs, multiplicative());
+            else if (peek() == '-') { ++pos_; lhs = binop(TaskletProgram::Op::Sub, lhs, multiplicative()); }
+            else break;
+        }
+        return lhs;
+    }
+
+    int multiplicative() {
+        int lhs = unary();
+        while (true) {
+            if (eat('*')) lhs = binop(TaskletProgram::Op::Mul, lhs, unary());
+            else if (eat('/')) lhs = binop(TaskletProgram::Op::Div, lhs, unary());
+            else if (eat('%')) lhs = binop(TaskletProgram::Op::Mod, lhs, unary());
+            else break;
+        }
+        return lhs;
+    }
+
+    int unary() {
+        if (peek() == '-') {
+            ++pos_;
+            TaskletProgram::Node n;
+            n.op = TaskletProgram::Op::Neg;
+            n.a = unary();
+            return add_node(n);
+        }
+        if (peek() == '!') {
+            ++pos_;
+            TaskletProgram::Node n;
+            n.op = TaskletProgram::Op::Not;
+            n.a = unary();
+            return add_node(n);
+        }
+        return primary();
+    }
+
+    int binop(TaskletProgram::Op op, int a, int b) {
+        TaskletProgram::Node n;
+        n.op = op;
+        n.a = a;
+        n.b = b;
+        return add_node(n);
+    }
+
+    int primary() {
+        skip_ws();
+        if (pos_ >= text_.size()) fail("unexpected end of tasklet");
+        const char c = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') return number();
+        if (c == '(') {
+            ++pos_;
+            int e = expr();
+            if (!eat(')')) fail("expected ')'");
+            return e;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            const std::string name = ident();
+            if (peek() == '(') return function_call(name);
+            const int lane = peek() == '[' ? lane_suffix() : 0;
+            const int vi = var_index(name);
+            note_read(vi, lane);
+            TaskletProgram::Node n;
+            n.op = TaskletProgram::Op::Load;
+            n.var = vi;
+            n.lane = lane;
+            return add_node(n);
+        }
+        fail("unexpected character");
+    }
+
+    int number() {
+        skip_ws();
+        std::size_t start = pos_;
+        bool is_float = false;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) { ++pos_; continue; }
+            if (c == '.' || c == 'e' || c == 'E') { is_float = true; ++pos_; continue; }
+            if ((c == '+' || c == '-') && pos_ > start &&
+                (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')) { ++pos_; continue; }
+            break;
+        }
+        const std::string_view tok(text_.data() + start, pos_ - start);
+        TaskletProgram::Node n;
+        if (is_float) {
+            n.op = TaskletProgram::Op::ConstF;
+            double d = 0;
+            auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+            if (ec != std::errc()) fail("bad number");
+            (void)p;
+            n.fval = d;
+        } else {
+            n.op = TaskletProgram::Op::ConstI;
+            std::int64_t v = 0;
+            auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+            if (ec != std::errc()) fail("bad number");
+            (void)p;
+            n.ival = v;
+        }
+        return add_node(n);
+    }
+
+    int function_call(const std::string& name) {
+        using Op = TaskletProgram::Op;
+        struct Fn { const char* name; Op op; int arity; };
+        static constexpr Fn kFns[] = {
+            {"min", Op::Min, 2},   {"max", Op::Max, 2},   {"abs", Op::Abs, 1},
+            {"exp", Op::Exp, 1},   {"log", Op::Log, 1},   {"sqrt", Op::Sqrt, 1},
+            {"sin", Op::Sin, 1},   {"cos", Op::Cos, 1},   {"tanh", Op::Tanh, 1},
+            {"pow", Op::Pow, 2},   {"floor", Op::Floor, 1}, {"ceil", Op::Ceil, 1},
+            {"select", Op::Select, 3},
+        };
+        const Fn* fn = nullptr;
+        for (const Fn& f : kFns)
+            if (name == f.name) { fn = &f; break; }
+        if (!fn) fail("unknown function: " + name);
+        if (!eat('(')) fail("expected '('");
+        TaskletProgram::Node n;
+        n.op = fn->op;
+        n.a = expr();
+        if (fn->arity >= 2) {
+            if (!eat(',')) fail("expected ','");
+            n.b = expr();
+        }
+        if (fn->arity >= 3) {
+            if (!eat(',')) fail("expected ','");
+            n.c = expr();
+        }
+        if (!eat(')')) fail("expected ')'");
+        return add_node(n);
+    }
+
+    // --- Connector classification ---
+
+    void note_read(int var, int lane) {
+        const std::string& name = prog_->var_names_[static_cast<std::size_t>(var)];
+        if (assigned_.count(name)) return;  // local: assigned earlier in program order
+        auto& width = pending_reads_[name];
+        width = std::max(width, lane + 1);
+    }
+
+    void note_write(int var, int lane) {
+        const std::string& name = prog_->var_names_[static_cast<std::size_t>(var)];
+        assigned_.insert(name);
+        auto& width = pending_writes_[name];
+        width = std::max(width, lane + 1);
+    }
+
+    void finalize_connectors() {
+        prog_->reads_ = pending_reads_;
+        prog_->writes_ = pending_writes_;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    TaskletProgram* prog_ = nullptr;
+    std::set<std::string> assigned_;
+    std::map<std::string, int> pending_reads_;
+    std::map<std::string, int> pending_writes_;
+};
+
+std::shared_ptr<const TaskletProgram> TaskletProgram::parse(const std::string& code) {
+    return TaskletParser(code).parse();
+}
+
+namespace {
+
+inline Value make_bool(bool b) { return Value::from_int(b ? 1 : 0); }
+
+}  // namespace
+
+Value TaskletProgram::eval(int node, const std::vector<std::vector<Value>*>& slots) const {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    switch (n.op) {
+        case Op::ConstF: return Value::from_double(n.fval);
+        case Op::ConstI: return Value::from_int(n.ival);
+        case Op::Load: {
+            const std::vector<Value>* slot = slots[static_cast<std::size_t>(n.var)];
+            if (!slot || static_cast<std::size_t>(n.lane) >= slot->size())
+                throw common::Error("tasklet: unbound connector '" +
+                                    var_names_[static_cast<std::size_t>(n.var)] + "'");
+            return (*slot)[static_cast<std::size_t>(n.lane)];
+        }
+        case Op::Neg: {
+            Value a = eval(n.a, slots);
+            return a.is_float ? Value::from_double(-a.f) : Value::from_int(-a.i);
+        }
+        case Op::Not: return make_bool(!eval(n.a, slots).truthy());
+        default: break;
+    }
+
+    // Binary and ternary operators.
+    if (n.op == Op::Ternary)
+        return eval(n.a, slots).truthy() ? eval(n.b, slots) : eval(n.c, slots);
+    if (n.op == Op::Select)
+        return eval(n.a, slots).truthy() ? eval(n.b, slots) : eval(n.c, slots);
+    if (n.op == Op::And) {
+        // Short-circuiting.
+        if (!eval(n.a, slots).truthy()) return make_bool(false);
+        return make_bool(eval(n.b, slots).truthy());
+    }
+    if (n.op == Op::Or) {
+        if (eval(n.a, slots).truthy()) return make_bool(true);
+        return make_bool(eval(n.b, slots).truthy());
+    }
+
+    const Value a = eval(n.a, slots);
+    // Unary float functions.
+    switch (n.op) {
+        case Op::Abs:
+            return a.is_float ? Value::from_double(std::fabs(a.f))
+                              : Value::from_int(a.i < 0 ? -a.i : a.i);
+        case Op::Exp: return Value::from_double(std::exp(a.as_double()));
+        case Op::Log: return Value::from_double(std::log(a.as_double()));
+        case Op::Sqrt: return Value::from_double(std::sqrt(a.as_double()));
+        case Op::Sin: return Value::from_double(std::sin(a.as_double()));
+        case Op::Cos: return Value::from_double(std::cos(a.as_double()));
+        case Op::Tanh: return Value::from_double(std::tanh(a.as_double()));
+        case Op::Floor: return Value::from_double(std::floor(a.as_double()));
+        case Op::Ceil: return Value::from_double(std::ceil(a.as_double()));
+        default: break;
+    }
+
+    const Value b = eval(n.b, slots);
+    const bool flt = a.is_float || b.is_float;
+    switch (n.op) {
+        case Op::Add:
+            return flt ? Value::from_double(a.as_double() + b.as_double())
+                       : Value::from_int(a.i + b.i);
+        case Op::Sub:
+            return flt ? Value::from_double(a.as_double() - b.as_double())
+                       : Value::from_int(a.i - b.i);
+        case Op::Mul:
+            return flt ? Value::from_double(a.as_double() * b.as_double())
+                       : Value::from_int(a.i * b.i);
+        case Op::Div:
+            if (flt) return Value::from_double(a.as_double() / b.as_double());
+            return Value::from_int(sym::floordiv_i64(a.i, b.i));
+        case Op::Mod:
+            if (flt) return Value::from_double(std::fmod(a.as_double(), b.as_double()));
+            return Value::from_int(sym::floormod_i64(a.i, b.i));
+        case Op::Lt: return make_bool(a.as_double() < b.as_double());
+        case Op::Le: return make_bool(a.as_double() <= b.as_double());
+        case Op::Gt: return make_bool(a.as_double() > b.as_double());
+        case Op::Ge: return make_bool(a.as_double() >= b.as_double());
+        case Op::Eq: return make_bool(a.as_double() == b.as_double());
+        case Op::Ne: return make_bool(a.as_double() != b.as_double());
+        case Op::Min:
+            return flt ? Value::from_double(std::fmin(a.as_double(), b.as_double()))
+                       : Value::from_int(std::min(a.i, b.i));
+        case Op::Max:
+            return flt ? Value::from_double(std::fmax(a.as_double(), b.as_double()))
+                       : Value::from_int(std::max(a.i, b.i));
+        case Op::Pow: return Value::from_double(std::pow(a.as_double(), b.as_double()));
+        default: break;
+    }
+    throw common::Error("tasklet: unhandled op");
+}
+
+void TaskletProgram::execute(ConnectorEnv& env) const {
+    // Bind variable slots once: var index -> env entry.
+    std::vector<std::vector<Value>*> slots(var_names_.size(), nullptr);
+    for (std::size_t i = 0; i < var_names_.size(); ++i) {
+        auto it = env.find(var_names_[i]);
+        if (it != env.end()) slots[i] = &it->second;
+    }
+    // Check declared inputs.
+    for (const auto& [name, width] : reads_) {
+        auto it = env.find(name);
+        if (it == env.end() || it->second.size() < static_cast<std::size_t>(width))
+            throw common::Error("tasklet: missing input connector '" + name + "'");
+    }
+    for (const Stmt& s : stmts_) {
+        const Value v = eval(s.expr, slots);
+        const std::string& name = var_names_[static_cast<std::size_t>(s.var)];
+        auto& slot = env[name];  // std::map: stable addresses on insert
+        if (slot.size() <= static_cast<std::size_t>(s.lane))
+            slot.resize(static_cast<std::size_t>(s.lane) + 1);
+        slot[static_cast<std::size_t>(s.lane)] = v;
+        slots[static_cast<std::size_t>(s.var)] = &slot;
+    }
+}
+
+}  // namespace ff::interp

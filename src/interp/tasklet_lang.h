@@ -1,0 +1,109 @@
+// The tasklet mini-language.
+//
+// Tasklets are the leaf computations of the dataflow graph.  Their code is a
+// short sequence of assignments over scalar (or short fixed-width vector)
+// connectors, e.g.:
+//
+//     out = cin + a * b
+//     v[0] = a[0] * s; v[1] = a[1] * s       (vectorized form)
+//     y = x > 0 ? x : 0
+//
+// Connectors bind to memlets on the enclosing graph edges.  Variables read
+// before being assigned are *input* connectors; variables ever assigned are
+// *output* connectors (assigned-then-read names are locals and outputs).
+//
+// Numeric model: a value is either double or int64.  Mixed arithmetic
+// promotes to double; integer division/modulo use floor semantics to agree
+// with the symbolic layer.  Comparisons and logical operators yield int 0/1.
+//
+// Programs are parsed once and cached by the interpreter (they execute once
+// per map iteration, which is the hot path of fuzzing trials).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ff::interp {
+
+/// A scalar runtime value: double or int64.
+struct Value {
+    bool is_float = true;
+    double f = 0.0;
+    std::int64_t i = 0;
+
+    static Value from_double(double d) { return Value{true, d, 0}; }
+    static Value from_int(std::int64_t v) { return Value{false, 0.0, v}; }
+
+    double as_double() const { return is_float ? f : static_cast<double>(i); }
+    std::int64_t as_int() const { return is_float ? static_cast<std::int64_t>(f) : i; }
+    bool truthy() const { return is_float ? f != 0.0 : i != 0; }
+};
+
+/// Connector storage during one tasklet execution: name -> lane values.
+using ConnectorEnv = std::map<std::string, std::vector<Value>>;
+
+/// A parsed, immutable tasklet program.
+class TaskletProgram {
+public:
+    /// Parses `code`; throws common::ParseError.
+    static std::shared_ptr<const TaskletProgram> parse(const std::string& code);
+
+    /// Input connectors: name -> width (1 for scalars).
+    const std::map<std::string, int>& reads() const { return reads_; }
+    /// Output connectors: name -> width.
+    const std::map<std::string, int>& writes() const { return writes_; }
+
+    /// Executes the program.  `env` must contain every input connector with
+    /// at least the declared width; outputs are created/overwritten.
+    /// Throws common::Error on missing inputs.
+    void execute(ConnectorEnv& env) const;
+
+    const std::string& source() const { return source_; }
+
+private:
+    TaskletProgram() = default;
+
+    // Compact AST in an index-based arena.
+    enum class Op : std::uint8_t {
+        ConstF, ConstI, Load,              // leaf
+        Neg, Not,                          // unary
+        Add, Sub, Mul, Div, Mod,           // arithmetic
+        Lt, Le, Gt, Ge, Eq, Ne,            // comparison
+        And, Or,                           // logical
+        Ternary,                           // cond ? a : b
+        Min, Max, Abs, Exp, Log, Sqrt,     // functions
+        Sin, Cos, Tanh, Pow, Floor, Ceil,
+        Select,                            // select(cond, a, b)
+    };
+    struct Node {
+        Op op;
+        double fval = 0.0;
+        std::int64_t ival = 0;
+        int var = -1;   // index into var_names_ for Load
+        int lane = 0;   // lane for Load
+        int a = -1, b = -1, c = -1;  // child node indices
+    };
+    struct Stmt {
+        int var;   // index into var_names_
+        int lane;
+        int expr;  // root node index
+    };
+
+    Value eval(int node, const std::vector<std::vector<Value>*>& slots) const;
+
+    std::string source_;
+    std::vector<Node> nodes_;
+    std::vector<Stmt> stmts_;
+    std::vector<std::string> var_names_;
+    std::map<std::string, int> reads_;
+    std::map<std::string, int> writes_;
+
+    friend class TaskletParser;
+};
+
+using TaskletProgramPtr = std::shared_ptr<const TaskletProgram>;
+
+}  // namespace ff::interp

@@ -1,0 +1,39 @@
+#include "ir/data_desc.h"
+
+namespace ff::ir {
+
+sym::ExprPtr DataDesc::total_size() const {
+    sym::ExprPtr total = sym::cst(1);
+    for (const auto& extent : shape) total = total * extent;
+    return total;
+}
+
+sym::ExprPtr DataDesc::total_bytes() const {
+    return total_size() * static_cast<std::int64_t>(dtype_size(dtype));
+}
+
+std::vector<std::int64_t> DataDesc::concrete_shape(const sym::Bindings& bindings) const {
+    std::vector<std::int64_t> out;
+    out.reserve(shape.size());
+    for (const auto& extent : shape) out.push_back(extent->evaluate(bindings));
+    return out;
+}
+
+std::string DataDesc::to_string() const {
+    std::string s = name;
+    s += ": ";
+    s += dtype_name(dtype);
+    if (!shape.empty()) {
+        s += "[";
+        for (std::size_t i = 0; i < shape.size(); ++i) {
+            if (i) s += ", ";
+            s += shape[i]->to_string();
+        }
+        s += "]";
+    }
+    if (transient) s += " (transient)";
+    if (storage == Storage::Device) s += " @device";
+    return s;
+}
+
+}  // namespace ff::ir

@@ -1,0 +1,42 @@
+// Data descriptors: named containers with symbolic shapes.
+//
+// The `transient` flag marks containers whose allocation lifetime is managed
+// by the program; everything non-transient "may persist, consequently leaving
+// the chance to be read after the program has exited" (Sec. 3.1, external
+// data analysis).  Shapes are expressions, keeping the parameter/size
+// relationship intact (Sec. 2.1: the size of C is N*N, not an opaque
+// pointer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/dtypes.h"
+#include "symbolic/expr.h"
+
+namespace ff::ir {
+
+struct DataDesc {
+    std::string name;
+    DType dtype = DType::F64;
+    std::vector<sym::ExprPtr> shape;  // empty = scalar
+    bool transient = false;
+    Storage storage = Storage::Host;
+
+    bool is_scalar() const { return shape.empty(); }
+    std::size_t dims() const { return shape.size(); }
+
+    /// Total element count, symbolically (1 for scalars).
+    sym::ExprPtr total_size() const;
+
+    /// Total size in bytes, symbolically.
+    sym::ExprPtr total_bytes() const;
+
+    /// Evaluate the shape under concrete symbol values.
+    std::vector<std::int64_t> concrete_shape(const sym::Bindings& bindings) const;
+
+    std::string to_string() const;
+};
+
+}  // namespace ff::ir

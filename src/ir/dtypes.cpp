@@ -1,0 +1,45 @@
+#include "ir/dtypes.h"
+
+#include "common/error.h"
+
+namespace ff::ir {
+
+std::size_t dtype_size(DType t) {
+    switch (t) {
+        case DType::F64: return 8;
+        case DType::F32: return 4;
+        case DType::I64: return 8;
+        case DType::I32: return 4;
+    }
+    return 0;
+}
+
+bool dtype_is_float(DType t) { return t == DType::F64 || t == DType::F32; }
+
+const char* dtype_name(DType t) {
+    switch (t) {
+        case DType::F64: return "float64";
+        case DType::F32: return "float32";
+        case DType::I64: return "int64";
+        case DType::I32: return "int32";
+    }
+    return "?";
+}
+
+DType dtype_from_name(const std::string& name) {
+    if (name == "float64") return DType::F64;
+    if (name == "float32") return DType::F32;
+    if (name == "int64") return DType::I64;
+    if (name == "int32") return DType::I32;
+    throw common::ParseError("unknown dtype: " + name);
+}
+
+const char* storage_name(Storage s) { return s == Storage::Host ? "host" : "device"; }
+
+Storage storage_from_name(const std::string& name) {
+    if (name == "host") return Storage::Host;
+    if (name == "device") return Storage::Device;
+    throw common::ParseError("unknown storage: " + name);
+}
+
+}  // namespace ff::ir

@@ -1,0 +1,31 @@
+// Element data types for containers and tasklet values.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ff::ir {
+
+enum class DType { F64, F32, I64, I32 };
+
+/// Size in bytes of one element.
+std::size_t dtype_size(DType t);
+
+/// True for floating-point types.
+bool dtype_is_float(DType t);
+
+const char* dtype_name(DType t);
+
+/// Inverse of dtype_name; throws common::ParseError for unknown names.
+DType dtype_from_name(const std::string& name);
+
+/// Storage space of a container.  `Device` simulates GPU global memory:
+/// separate allocations that kernels with GPU schedule may touch, filled
+/// with deterministic garbage on allocation (Sec. 6.4, GPU kernel
+/// extraction bug: whole-container copy-back exposes uninitialized data).
+enum class Storage { Host, Device };
+
+const char* storage_name(Storage s);
+Storage storage_from_name(const std::string& name);
+
+}  // namespace ff::ir

@@ -1,0 +1,109 @@
+#include "ir/node.h"
+
+#include "common/error.h"
+
+namespace ff::ir {
+
+const char* node_kind_name(NodeKind k) {
+    switch (k) {
+        case NodeKind::Access: return "access";
+        case NodeKind::Tasklet: return "tasklet";
+        case NodeKind::MapEntry: return "map_entry";
+        case NodeKind::MapExit: return "map_exit";
+        case NodeKind::Library: return "library";
+        case NodeKind::Comm: return "comm";
+    }
+    return "?";
+}
+
+const char* schedule_name(Schedule s) {
+    switch (s) {
+        case Schedule::Sequential: return "sequential";
+        case Schedule::Parallel: return "parallel";
+        case Schedule::GPU: return "gpu";
+        case Schedule::Vector: return "vector";
+    }
+    return "?";
+}
+
+Schedule schedule_from_name(const std::string& name) {
+    if (name == "sequential") return Schedule::Sequential;
+    if (name == "parallel") return Schedule::Parallel;
+    if (name == "gpu") return Schedule::GPU;
+    if (name == "vector") return Schedule::Vector;
+    throw common::ParseError("unknown schedule: " + name);
+}
+
+const char* library_kind_name(LibraryKind k) {
+    switch (k) {
+        case LibraryKind::MatMul: return "matmul";
+        case LibraryKind::BatchedMatMul: return "batched_matmul";
+        case LibraryKind::Transpose: return "transpose";
+        case LibraryKind::ReduceSum: return "reduce_sum";
+        case LibraryKind::ReduceMax: return "reduce_max";
+        case LibraryKind::Softmax: return "softmax";
+    }
+    return "?";
+}
+
+LibraryKind library_kind_from_name(const std::string& name) {
+    if (name == "matmul") return LibraryKind::MatMul;
+    if (name == "batched_matmul") return LibraryKind::BatchedMatMul;
+    if (name == "transpose") return LibraryKind::Transpose;
+    if (name == "reduce_sum") return LibraryKind::ReduceSum;
+    if (name == "reduce_max") return LibraryKind::ReduceMax;
+    if (name == "softmax") return LibraryKind::Softmax;
+    throw common::ParseError("unknown library kind: " + name);
+}
+
+const char* comm_kind_name(CommKind k) {
+    switch (k) {
+        case CommKind::Broadcast: return "broadcast";
+        case CommKind::Allreduce: return "allreduce";
+        case CommKind::Allgather: return "allgather";
+    }
+    return "?";
+}
+
+CommKind comm_kind_from_name(const std::string& name) {
+    if (name == "broadcast") return CommKind::Broadcast;
+    if (name == "allreduce") return CommKind::Allreduce;
+    if (name == "allgather") return CommKind::Allgather;
+    throw common::ParseError("unknown comm kind: " + name);
+}
+
+std::string DataflowNode::to_string() const {
+    std::string s = node_kind_name(kind);
+    s += "(";
+    switch (kind) {
+        case NodeKind::Access: s += data; break;
+        case NodeKind::Tasklet: s += label; break;
+        case NodeKind::MapEntry:
+        case NodeKind::MapExit: {
+            s += label;
+            if (kind == NodeKind::MapEntry) {
+                s += " ";
+                for (std::size_t i = 0; i < params.size(); ++i) {
+                    if (i) s += ", ";
+                    s += params[i] + "=" + map_ranges[i].to_string();
+                }
+                s += " @";
+                s += schedule_name(schedule);
+            }
+            break;
+        }
+        case NodeKind::Library: s += library_kind_name(lib); break;
+        case NodeKind::Comm: s += comm_kind_name(comm); break;
+    }
+    s += ")";
+    return s;
+}
+
+std::string MemletEdge::to_string() const {
+    std::string s = memlet.to_string();
+    if (!src_conn.empty()) s = src_conn + " <- " + s;
+    if (!dst_conn.empty()) s += " -> " + dst_conn;
+    return s;
+}
+
+}  // namespace ff::ir

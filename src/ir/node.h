@@ -1,0 +1,97 @@
+// Dataflow graph nodes.
+//
+// A single tagged struct rather than a class hierarchy: cutout extraction
+// (Sec. 3, step 3) copies nodes between graphs wholesale, and value semantics
+// make that a plain copy.  Unused fields for a given kind stay default.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/subset.h"
+
+namespace ff::ir {
+
+enum class NodeKind {
+    Access,    ///< View of a data container (may appear multiple times).
+    Tasklet,   ///< Scalar/short-vector computation in the tasklet language.
+    MapEntry,  ///< Opens a parametric loop scope (parallel or sequential).
+    MapExit,   ///< Closes the matching scope.
+    Library,   ///< Coarse-grained operator with a native implementation.
+    Comm,      ///< Communication collective (simulated multi-rank runtime).
+};
+
+/// Execution schedule of a map scope.
+enum class Schedule {
+    Sequential,  ///< Ordered iteration; supports negative steps (loops).
+    Parallel,    ///< Order-independent (CPU parallel loop).
+    GPU,         ///< Simulated GPU kernel: may only touch Device storage.
+    Vector,      ///< Vectorized parallel loop (after Vectorization).
+};
+
+enum class LibraryKind {
+    MatMul,         ///< C[M,N] = A[M,K] @ B[K,N]
+    BatchedMatMul,  ///< C[..,M,N] = A[..,M,K] @ B[..,K,N] over leading dims
+    Transpose,      ///< B = A^T (2-D)
+    ReduceSum,      ///< out = sum(in) over the last axis
+    ReduceMax,      ///< out = max(in) over the last axis
+    Softmax,        ///< out = softmax(in) over the last axis
+};
+
+enum class CommKind {
+    Broadcast,  ///< out = in of root rank
+    Allreduce,  ///< out = elementwise sum over ranks
+    Allgather,  ///< out = concatenation of per-rank inputs on axis 0
+};
+
+const char* node_kind_name(NodeKind k);
+const char* schedule_name(Schedule s);
+Schedule schedule_from_name(const std::string& name);
+const char* library_kind_name(LibraryKind k);
+LibraryKind library_kind_from_name(const std::string& name);
+const char* comm_kind_name(CommKind k);
+CommKind comm_kind_from_name(const std::string& name);
+
+struct DataflowNode {
+    NodeKind kind = NodeKind::Access;
+    std::string label;  ///< Human-readable; not required to be unique.
+
+    // Access
+    std::string data;  ///< Container name.
+
+    // Tasklet
+    std::string code;  ///< Tasklet-language source; parsed lazily by the
+                       ///< interpreter and cached by content.
+
+    // MapEntry / MapExit
+    std::int32_t scope_id = -1;        ///< Pairs entry with exit.
+    std::vector<std::string> params;   ///< Iteration variables.
+    std::vector<Range> map_ranges;     ///< One per param; inclusive bounds.
+    Schedule schedule = Schedule::Parallel;
+
+    // Library
+    LibraryKind lib = LibraryKind::MatMul;
+
+    // Comm
+    CommKind comm = CommKind::Allreduce;
+    std::int32_t comm_root = 0;  ///< For Broadcast.
+
+    /// Generic attributes (e.g. tile sizes recorded by transformations).
+    std::map<std::string, std::string> attrs;
+
+    std::string to_string() const;
+};
+
+/// Edge payload of a state's dataflow graph: a memlet plus the connector
+/// names on either end (the tasklet/library variable the data binds to).
+struct MemletEdge {
+    Memlet memlet;
+    std::string src_conn;  ///< Variable on the producing node ("" if N/A).
+    std::string dst_conn;  ///< Variable on the consuming node ("" if N/A).
+
+    std::string to_string() const;
+};
+
+}  // namespace ff::ir

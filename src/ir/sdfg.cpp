@@ -1,0 +1,114 @@
+#include "ir/sdfg.h"
+
+#include "common/error.h"
+
+namespace ff::ir {
+
+std::string InterstateEdge::to_string() const {
+    std::string s;
+    if (condition) s += "if " + condition->to_string();
+    for (const auto& [symbol, expr] : assignments) {
+        if (!s.empty()) s += "; ";
+        s += symbol + " := " + expr->to_string();
+    }
+    return s.empty() ? "(unconditional)" : s;
+}
+
+DataDesc& SDFG::add_array(const std::string& name, DType dtype, std::vector<sym::ExprPtr> shape,
+                          bool transient, Storage storage) {
+    DataDesc desc;
+    desc.name = name;
+    desc.dtype = dtype;
+    desc.shape = std::move(shape);
+    desc.transient = transient;
+    desc.storage = storage;
+    auto [it, inserted] = containers_.emplace(name, std::move(desc));
+    if (!inserted) throw common::ValidationError("duplicate container: " + name);
+    return it->second;
+}
+
+DataDesc& SDFG::add_scalar(const std::string& name, DType dtype, bool transient) {
+    return add_array(name, dtype, {}, transient);
+}
+
+const DataDesc& SDFG::container(const std::string& name) const {
+    auto it = containers_.find(name);
+    if (it == containers_.end()) throw common::ValidationError("unknown container: " + name);
+    return it->second;
+}
+
+DataDesc& SDFG::container(const std::string& name) {
+    auto it = containers_.find(name);
+    if (it == containers_.end()) throw common::ValidationError("unknown container: " + name);
+    return it->second;
+}
+
+StateId SDFG::add_state(const std::string& name, bool is_start) {
+    const StateId id = cfg_.add_node(State(name));
+    if (is_start || start_state_ == graph::kInvalidNode) start_state_ = id;
+    return id;
+}
+
+graph::EdgeId SDFG::add_interstate_edge(StateId src, StateId dst, InterstateEdge edge) {
+    return cfg_.add_edge(src, dst, std::move(edge));
+}
+
+std::string SDFG::fresh_container_name(const std::string& base) const {
+    if (!has_container(base)) return base;
+    for (int i = 0;; ++i) {
+        std::string candidate = base + "_" + std::to_string(i);
+        if (!has_container(candidate)) return candidate;
+    }
+}
+
+std::set<std::string> SDFG::used_free_symbols() const {
+    std::set<std::string> used;
+    std::set<std::string> bound;  // map parameters
+    for (const auto& [name, desc] : containers_)
+        for (const auto& extent : desc.shape) extent->collect_symbols(used);
+    for (StateId sid : cfg_.nodes()) {
+        const State& st = cfg_.node(sid);
+        for (NodeId n : st.graph().nodes()) {
+            const DataflowNode& node = st.graph().node(n);
+            if (node.kind == NodeKind::MapEntry) {
+                for (const auto& p : node.params) bound.insert(p);
+                for (const auto& r : node.map_ranges) {
+                    r.begin->collect_symbols(used);
+                    r.end->collect_symbols(used);
+                    r.step->collect_symbols(used);
+                }
+            }
+        }
+        for (EdgeId eid : st.graph().edges()) {
+            const auto& memlet = st.graph().edge(eid).data.memlet;
+            for (const auto& r : memlet.subset.ranges) {
+                r.begin->collect_symbols(used);
+                r.end->collect_symbols(used);
+                r.step->collect_symbols(used);
+            }
+        }
+    }
+    for (graph::EdgeId eid : cfg_.edges()) {
+        const InterstateEdge& e = cfg_.edge(eid).data;
+        if (e.condition) e.condition->collect_symbols(used);
+        for (const auto& [symbol, expr] : e.assignments) expr->collect_symbols(used);
+    }
+    for (const auto& b : bound) used.erase(b);
+    return used;
+}
+
+std::string SDFG::to_string() const {
+    std::string s = "sdfg " + name_ + "\n";
+    for (const auto& [name, desc] : containers_) s += "  " + desc.to_string() + "\n";
+    for (StateId sid : cfg_.nodes()) {
+        s += state(sid).to_string() + "\n";
+        for (EdgeId eid : cfg_.out_edges(sid)) {
+            const auto& e = cfg_.edge(eid);
+            s += "  " + state(sid).name() + " -> " + state(e.dst).name() + " : " +
+                 e.data.to_string() + "\n";
+        }
+    }
+    return s;
+}
+
+}  // namespace ff::ir

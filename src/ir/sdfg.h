@@ -1,0 +1,107 @@
+// Stateful dataflow multigraph: the outer hierarchy level.
+//
+// An SDFG is a state machine whose nodes are dataflow states and whose edges
+// carry a condition (symbolic boolean) plus symbol assignments, exactly as in
+// the DaCe IR (Sec. 2.3).  Execution starts at the start state and follows
+// the first outgoing edge whose condition holds, applying its assignments;
+// it terminates when no edge matches.
+//
+// The whole structure has value semantics: copying an SDFG deep-copies the
+// graphs (expressions are immutable and shared), which is what cutout
+// extraction and black-box change isolation rely on.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "ir/data_desc.h"
+#include "ir/state.h"
+
+namespace ff::ir {
+
+/// Condition + symbol assignments on a state machine transition.
+struct InterstateEdge {
+    sym::BoolExprPtr condition;  ///< nullptr means "always true".
+    std::vector<std::pair<std::string, sym::ExprPtr>> assignments;
+
+    bool always_true() const { return condition == nullptr; }
+    std::string to_string() const;
+};
+
+using StateId = graph::NodeId;
+
+class SDFG {
+public:
+    using CFG = graph::DiGraph<State, InterstateEdge>;
+
+    SDFG() = default;
+    explicit SDFG(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+    void set_name(std::string n) { name_ = std::move(n); }
+
+    // --- Containers ---
+
+    /// Adds an array container; returns its descriptor.
+    DataDesc& add_array(const std::string& name, DType dtype, std::vector<sym::ExprPtr> shape,
+                        bool transient = false, Storage storage = Storage::Host);
+
+    /// Adds a scalar container.
+    DataDesc& add_scalar(const std::string& name, DType dtype, bool transient = false);
+
+    bool has_container(const std::string& name) const { return containers_.count(name) > 0; }
+    const DataDesc& container(const std::string& name) const;
+    DataDesc& container(const std::string& name);
+    const std::map<std::string, DataDesc>& containers() const { return containers_; }
+    void remove_container(const std::string& name) { containers_.erase(name); }
+
+    // --- Symbols (free integer parameters) ---
+
+    void add_symbol(const std::string& name) { symbols_.insert(name); }
+    const std::set<std::string>& symbols() const { return symbols_; }
+    bool has_symbol(const std::string& name) const { return symbols_.count(name) > 0; }
+    void remove_symbol(const std::string& name) { symbols_.erase(name); }
+
+    // --- State machine ---
+
+    StateId add_state(const std::string& name, bool is_start = false);
+
+    graph::EdgeId add_interstate_edge(StateId src, StateId dst, InterstateEdge edge = {});
+
+    State& state(StateId id) { return cfg_.node(id); }
+    const State& state(StateId id) const { return cfg_.node(id); }
+
+    CFG& cfg() { return cfg_; }
+    const CFG& cfg() const { return cfg_; }
+
+    StateId start_state() const { return start_state_; }
+    void set_start_state(StateId id) { start_state_ = id; }
+
+    std::vector<StateId> states() const { return cfg_.nodes(); }
+
+    // --- Utilities ---
+
+    /// Unique container name derived from `base`.
+    std::string fresh_container_name(const std::string& base) const;
+
+    /// Free symbols used anywhere (shapes, memlets, ranges, conditions)
+    /// minus map parameters (which are scope-bound).
+    std::set<std::string> used_free_symbols() const;
+
+    /// Structural validation; throws common::ValidationError.
+    void validate() const;
+
+    std::string to_string() const;
+
+private:
+    std::string name_;
+    std::map<std::string, DataDesc> containers_;
+    std::set<std::string> symbols_;
+    CFG cfg_;
+    StateId start_state_ = graph::kInvalidNode;
+};
+
+}  // namespace ff::ir

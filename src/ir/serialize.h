@@ -1,0 +1,21 @@
+// SDFG <-> JSON serialization.
+//
+// Used to persist extracted cutouts alongside the fault-inducing inputs the
+// fuzzer finds, producing the "fully reproducible, minimal test case"
+// artifact of Sec. 5.1.  Expressions round-trip through their textual form.
+#pragma once
+
+#include "common/json.h"
+#include "ir/sdfg.h"
+
+namespace ff::ir {
+
+common::Json to_json(const SDFG& sdfg);
+
+/// Inverse of to_json; throws common::ParseError / ValidationError.
+SDFG sdfg_from_json(const common::Json& j);
+
+common::Json subset_to_json(const Subset& subset);
+Subset subset_from_json(const common::Json& j);
+
+}  // namespace ff::ir

@@ -1,0 +1,143 @@
+#include "ir/state.h"
+
+#include <algorithm>
+
+namespace ff::ir {
+
+NodeId State::add_access(const std::string& data) {
+    DataflowNode n;
+    n.kind = NodeKind::Access;
+    n.label = data;
+    n.data = data;
+    return graph_.add_node(std::move(n));
+}
+
+NodeId State::add_tasklet(const std::string& label, const std::string& code) {
+    DataflowNode n;
+    n.kind = NodeKind::Tasklet;
+    n.label = label;
+    n.code = code;
+    return graph_.add_node(std::move(n));
+}
+
+std::pair<NodeId, NodeId> State::add_map(const std::string& label,
+                                         std::vector<std::string> params,
+                                         std::vector<Range> ranges, Schedule schedule) {
+    const std::int32_t sid = next_scope_id();
+    DataflowNode entry;
+    entry.kind = NodeKind::MapEntry;
+    entry.label = label;
+    entry.scope_id = sid;
+    entry.params = std::move(params);
+    entry.map_ranges = std::move(ranges);
+    entry.schedule = schedule;
+    DataflowNode exit;
+    exit.kind = NodeKind::MapExit;
+    exit.label = label;
+    exit.scope_id = sid;
+    exit.schedule = schedule;
+    const NodeId e = graph_.add_node(std::move(entry));
+    const NodeId x = graph_.add_node(std::move(exit));
+    return {e, x};
+}
+
+NodeId State::add_library(LibraryKind kind, const std::string& label) {
+    DataflowNode n;
+    n.kind = NodeKind::Library;
+    n.label = label.empty() ? library_kind_name(kind) : label;
+    n.lib = kind;
+    return graph_.add_node(std::move(n));
+}
+
+NodeId State::add_comm(CommKind kind, std::int32_t root, const std::string& label) {
+    DataflowNode n;
+    n.kind = NodeKind::Comm;
+    n.label = label.empty() ? comm_kind_name(kind) : label;
+    n.comm = kind;
+    n.comm_root = root;
+    return graph_.add_node(std::move(n));
+}
+
+EdgeId State::add_edge(NodeId src, const std::string& src_conn, NodeId dst,
+                       const std::string& dst_conn, Memlet memlet) {
+    MemletEdge e;
+    e.memlet = std::move(memlet);
+    e.src_conn = src_conn;
+    e.dst_conn = dst_conn;
+    return graph_.add_edge(src, dst, std::move(e));
+}
+
+NodeId State::map_exit_of(NodeId entry) const {
+    const DataflowNode& n = graph_.node(entry);
+    if (n.kind != NodeKind::MapEntry) return graph::kInvalidNode;
+    for (NodeId cand : graph_.nodes()) {
+        const DataflowNode& c = graph_.node(cand);
+        if (c.kind == NodeKind::MapExit && c.scope_id == n.scope_id) return cand;
+    }
+    return graph::kInvalidNode;
+}
+
+NodeId State::map_entry_of(NodeId exit) const {
+    const DataflowNode& n = graph_.node(exit);
+    if (n.kind != NodeKind::MapExit) return graph::kInvalidNode;
+    for (NodeId cand : graph_.nodes()) {
+        const DataflowNode& c = graph_.node(cand);
+        if (c.kind == NodeKind::MapEntry && c.scope_id == n.scope_id) return cand;
+    }
+    return graph::kInvalidNode;
+}
+
+std::set<NodeId> State::scope_nodes(NodeId entry) const {
+    const NodeId exit = map_exit_of(entry);
+    if (exit == graph::kInvalidNode) return {};
+    // Inside = (reachable from entry) ∩ (reaching exit) \ {entry, exit}.
+    std::set<NodeId> fwd = graph_.reachable_from(entry);
+    std::set<NodeId> bwd = graph_.reaching(exit);
+    std::set<NodeId> inside;
+    std::set_intersection(fwd.begin(), fwd.end(), bwd.begin(), bwd.end(),
+                          std::inserter(inside, inside.begin()));
+    inside.erase(entry);
+    inside.erase(exit);
+    return inside;
+}
+
+NodeId State::parent_scope_of(NodeId node) const {
+    NodeId best = graph::kInvalidNode;
+    std::size_t best_size = 0;
+    for (NodeId cand : graph_.nodes()) {
+        if (graph_.node(cand).kind != NodeKind::MapEntry) continue;
+        std::set<NodeId> inside = scope_nodes(cand);
+        if (inside.count(node)) {
+            // The innermost enclosing scope is the smallest one containing it.
+            if (best == graph::kInvalidNode || inside.size() < best_size) {
+                best = cand;
+                best_size = inside.size();
+            }
+        }
+    }
+    return best;
+}
+
+std::vector<NodeId> State::access_nodes(const std::string& data) const {
+    std::vector<NodeId> out;
+    for (NodeId n : graph_.nodes()) {
+        const DataflowNode& node = graph_.node(n);
+        if (node.kind == NodeKind::Access && node.data == data) out.push_back(n);
+    }
+    return out;
+}
+
+std::string State::to_string() const {
+    std::string s = "state " + name_ + " {\n";
+    for (NodeId n : graph_.nodes()) {
+        s += "  [" + std::to_string(n) + "] " + graph_.node(n).to_string() + "\n";
+        for (EdgeId eid : graph_.out_edges(n)) {
+            const auto& e = graph_.edge(eid);
+            s += "    -> [" + std::to_string(e.dst) + "] " + e.data.to_string() + "\n";
+        }
+    }
+    s += "}";
+    return s;
+}
+
+}  // namespace ff::ir

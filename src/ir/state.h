@@ -1,0 +1,84 @@
+// A state: one dataflow multigraph.
+//
+// States are the inner hierarchy level of the IR (Sec. 2.3): an acyclic
+// dataflow graph whose nodes are access nodes, tasklets, map scopes, library
+// and communication nodes, and whose edges carry memlets.  Scope structure
+// (which nodes live inside which map) is derived from graph connectivity,
+// like in DaCe: everything reachable from a MapEntry that can also reach the
+// matching MapExit lies inside the scope.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "ir/node.h"
+
+namespace ff::ir {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+class State {
+public:
+    using Graph = graph::DiGraph<DataflowNode, MemletEdge>;
+
+    State() = default;
+    explicit State(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+    void set_name(std::string n) { name_ = std::move(n); }
+
+    Graph& graph() { return graph_; }
+    const Graph& graph() const { return graph_; }
+
+    // --- Construction helpers ---
+
+    NodeId add_access(const std::string& data);
+
+    NodeId add_tasklet(const std::string& label, const std::string& code);
+
+    /// Adds a paired MapEntry/MapExit; returns {entry, exit}.
+    std::pair<NodeId, NodeId> add_map(const std::string& label, std::vector<std::string> params,
+                                      std::vector<Range> ranges,
+                                      Schedule schedule = Schedule::Parallel);
+
+    NodeId add_library(LibraryKind kind, const std::string& label = "");
+
+    NodeId add_comm(CommKind kind, std::int32_t root = 0, const std::string& label = "");
+
+    /// Adds a memlet edge. Connector names are "" when not applicable.
+    EdgeId add_edge(NodeId src, const std::string& src_conn, NodeId dst,
+                    const std::string& dst_conn, Memlet memlet);
+
+    // --- Scope queries ---
+
+    /// Matching exit for a MapEntry (by scope_id); kInvalidNode if missing.
+    NodeId map_exit_of(NodeId entry) const;
+    /// Matching entry for a MapExit; kInvalidNode if missing.
+    NodeId map_entry_of(NodeId exit) const;
+
+    /// Nodes strictly inside the scope of `entry` (excludes entry and exit,
+    /// includes nested scopes' nodes).
+    std::set<NodeId> scope_nodes(NodeId entry) const;
+
+    /// Innermost MapEntry whose scope contains `node`; kInvalidNode at top level.
+    NodeId parent_scope_of(NodeId node) const;
+
+    /// All access nodes referring to `data`.
+    std::vector<NodeId> access_nodes(const std::string& data) const;
+
+    /// Fresh scope id for transformations that create new maps.
+    std::int32_t next_scope_id() { return scope_counter_++; }
+
+    std::string to_string() const;
+
+private:
+    std::string name_;
+    Graph graph_;
+    std::int32_t scope_counter_ = 0;
+};
+
+}  // namespace ff::ir

@@ -1,0 +1,124 @@
+#include "ir/subset.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ff::ir {
+
+Range Range::index(sym::ExprPtr e) { return Range{e, e, sym::cst(1)}; }
+
+Range Range::span(sym::ExprPtr begin, sym::ExprPtr end) {
+    return Range{std::move(begin), std::move(end), sym::cst(1)};
+}
+
+Range Range::full(const sym::ExprPtr& extent) {
+    return Range{sym::cst(0), extent - 1, sym::cst(1)};
+}
+
+sym::ExprPtr Range::size() const {
+    // ceil((end - begin + 1) / step) for positive steps; with inclusive
+    // bounds this is floor((end - begin) / step) + 1.
+    return sym::floordiv(end - begin, step) + 1;
+}
+
+Range Range::substituted(const sym::SubstMap& subst) const {
+    return Range{begin->substitute(subst), end->substitute(subst), step->substitute(subst)};
+}
+
+bool Range::equals(const Range& other) const {
+    return begin->equals(*other.begin) && end->equals(*other.end) && step->equals(*other.step);
+}
+
+std::string Range::to_string() const {
+    if (begin->equals(*end)) return begin->to_string();
+    std::string s = begin->to_string() + ":" + end->to_string();
+    if (!(step->is_constant() && step->constant_value() == 1)) s += ":" + step->to_string();
+    return s;
+}
+
+std::int64_t concrete_range_size(const ConcreteRange& r) {
+    const auto [begin, end, step] = r;
+    if (step == 0) throw common::Error("range with step 0");
+    if (step > 0) {
+        if (end < begin) return 0;
+        return (end - begin) / step + 1;
+    }
+    if (end > begin) return 0;
+    return (begin - end) / (-step) + 1;
+}
+
+sym::ExprPtr Subset::volume() const {
+    sym::ExprPtr v = sym::cst(1);
+    for (const Range& r : ranges) v = v * r.size();
+    return v;
+}
+
+std::vector<ConcreteRange> Subset::concretize(const sym::Bindings& bindings) const {
+    std::vector<ConcreteRange> out;
+    out.reserve(ranges.size());
+    for (const Range& r : ranges)
+        out.push_back(ConcreteRange{r.begin->evaluate(bindings), r.end->evaluate(bindings),
+                                    r.step->evaluate(bindings)});
+    return out;
+}
+
+Subset Subset::substituted(const sym::SubstMap& subst) const {
+    Subset out;
+    out.ranges.reserve(ranges.size());
+    for (const Range& r : ranges) out.ranges.push_back(r.substituted(subst));
+    return out;
+}
+
+bool Subset::equals(const Subset& other) const {
+    if (ranges.size() != other.ranges.size()) return false;
+    for (std::size_t i = 0; i < ranges.size(); ++i)
+        if (!ranges[i].equals(other.ranges[i])) return false;
+    return true;
+}
+
+std::string Subset::to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        if (i) s += ", ";
+        s += ranges[i].to_string();
+    }
+    return s + "]";
+}
+
+Subset Subset::bounding_union(const Subset& a, const Subset& b) {
+    if (a.ranges.size() != b.ranges.size())
+        throw common::Error("bounding_union: dimensionality mismatch");
+    Subset out;
+    out.ranges.reserve(a.ranges.size());
+    for (std::size_t i = 0; i < a.ranges.size(); ++i) {
+        out.ranges.push_back(Range{sym::min(a.ranges[i].begin, b.ranges[i].begin),
+                                   sym::max(a.ranges[i].end, b.ranges[i].end), sym::cst(1)});
+    }
+    return out;
+}
+
+Subset Subset::full(const std::vector<sym::ExprPtr>& shape) {
+    Subset out;
+    out.ranges.reserve(shape.size());
+    for (const auto& extent : shape) out.ranges.push_back(Range::full(extent));
+    return out;
+}
+
+bool concrete_subsets_overlap(const std::vector<ConcreteRange>& a,
+                              const std::vector<ConcreteRange>& b) {
+    if (a.size() != b.size()) return true;  // shape confusion: be conservative
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // Normalize to [lo, hi] regardless of step sign.
+        const std::int64_t alo = std::min(a[i][0], a[i][1]);
+        const std::int64_t ahi = std::max(a[i][0], a[i][1]);
+        const std::int64_t blo = std::min(b[i][0], b[i][1]);
+        const std::int64_t bhi = std::max(b[i][0], b[i][1]);
+        if (ahi < blo || bhi < alo) return false;  // disjoint in this dimension
+    }
+    return true;
+}
+
+std::string Memlet::to_string() const { return data + subset.to_string(); }
+
+}  // namespace ff::ir

@@ -1,0 +1,91 @@
+// Symbolic index ranges, subsets and memlets.
+//
+// Every data-movement edge is annotated with the *exact* subset accessed
+// (Sec. 2.3) — this is what makes sub-region side-effect analysis possible
+// (Table 1, column "Sub-region").  Ranges are inclusive on both ends, like
+// DaCe: `begin:end:step` touches begin, begin+step, ..., end.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "symbolic/expr.h"
+
+namespace ff::ir {
+
+/// One dimension of a subset: begin/end inclusive, step > 0 or < 0.
+struct Range {
+    sym::ExprPtr begin;
+    sym::ExprPtr end;
+    sym::ExprPtr step;
+
+    /// The range [e, e] with step 1 (a single index).
+    static Range index(sym::ExprPtr e);
+    /// The range [begin, end] with step 1.
+    static Range span(sym::ExprPtr begin, sym::ExprPtr end);
+    /// The full range [0, extent-1] of a dimension.
+    static Range full(const sym::ExprPtr& extent);
+
+    /// Number of points covered, as a symbolic expression; assumes step > 0
+    /// (the analyses only require volumes for positively-stepped memlets).
+    sym::ExprPtr size() const;
+
+    Range substituted(const sym::SubstMap& subst) const;
+    bool equals(const Range& other) const;
+    std::string to_string() const;
+};
+
+/// A concrete (evaluated) range triple: {begin, end, step}.
+using ConcreteRange = std::array<std::int64_t, 3>;
+
+/// Number of iteration points of a concrete range; supports negative steps.
+std::int64_t concrete_range_size(const ConcreteRange& r);
+
+/// Multi-dimensional subset.
+struct Subset {
+    std::vector<Range> ranges;
+
+    Subset() = default;
+    explicit Subset(std::vector<Range> r) : ranges(std::move(r)) {}
+
+    std::size_t dims() const { return ranges.size(); }
+
+    /// Total number of elements, symbolically.
+    sym::ExprPtr volume() const;
+
+    /// Evaluate all bounds under `bindings`.
+    std::vector<ConcreteRange> concretize(const sym::Bindings& bindings) const;
+
+    Subset substituted(const sym::SubstMap& subst) const;
+    bool equals(const Subset& other) const;
+    std::string to_string() const;
+
+    /// Smallest subset covering both (per-dimension bounding box with the
+    /// finer step).  Both subsets must have the same dimensionality.
+    static Subset bounding_union(const Subset& a, const Subset& b);
+
+    /// Covering subset of a whole container shape.
+    static Subset full(const std::vector<sym::ExprPtr>& shape);
+};
+
+/// Conservative overlap test on concretized subsets: per-dimension interval
+/// intersection, ignoring strides (may report overlap where strides miss
+/// each other — sound for side-effect analysis, never unsound).
+bool concrete_subsets_overlap(const std::vector<ConcreteRange>& a,
+                              const std::vector<ConcreteRange>& b);
+
+/// A data movement annotation: which container, which subset.
+struct Memlet {
+    std::string data;
+    Subset subset;
+
+    Memlet() = default;
+    Memlet(std::string d, Subset s) : data(std::move(d)), subset(std::move(s)) {}
+
+    sym::ExprPtr volume() const { return subset.volume(); }
+    std::string to_string() const;
+};
+
+}  // namespace ff::ir

@@ -1,0 +1,239 @@
+// Structural validation of SDFGs.
+//
+// Validation is deliberately strict: the differential tester validates the
+// transformed cutout before running it, so transformations that "generate
+// invalid code" (Table 2: MapExpansion, MapReduceFusion, ...) are caught
+// here and reported as failures, mirroring the paper's crash-on-apply class.
+#include <set>
+#include <string>
+
+#include "common/error.h"
+#include "interp/tasklet_lang.h"
+#include "ir/sdfg.h"
+
+namespace ff::ir {
+
+namespace {
+
+using common::ValidationError;
+
+/// Connector requirements of library/comm nodes.
+struct LibSpec {
+    std::vector<std::string> inputs;
+    std::vector<std::string> outputs;
+};
+
+LibSpec library_spec(LibraryKind kind) {
+    switch (kind) {
+        case LibraryKind::MatMul:
+        case LibraryKind::BatchedMatMul: return {{"A", "B"}, {"C"}};
+        case LibraryKind::Transpose: return {{"A"}, {"B"}};
+        case LibraryKind::ReduceSum:
+        case LibraryKind::ReduceMax:
+        case LibraryKind::Softmax: return {{"in"}, {"out"}};
+    }
+    return {};
+}
+
+/// Map parameters visible at `node` (walking enclosing scopes).
+std::set<std::string> visible_params(const State& st, NodeId node) {
+    std::set<std::string> out;
+    // A MapEntry/MapExit sees its own parameters (its memlets use them).
+    const DataflowNode& n = st.graph().node(node);
+    if (n.kind == NodeKind::MapEntry) {
+        for (const auto& p : n.params) out.insert(p);
+    } else if (n.kind == NodeKind::MapExit) {
+        const NodeId entry = st.map_entry_of(node);
+        if (entry != graph::kInvalidNode)
+            for (const auto& p : st.graph().node(entry).params) out.insert(p);
+    }
+    NodeId scope = st.parent_scope_of(node);
+    while (scope != graph::kInvalidNode) {
+        for (const auto& p : st.graph().node(scope).params) out.insert(p);
+        scope = st.parent_scope_of(scope);
+    }
+    return out;
+}
+
+void validate_state(const SDFG& sdfg, const State& st) {
+    const auto& g = st.graph();
+    const std::string where = "state '" + st.name() + "': ";
+
+    if (!g.topological_order())
+        throw ValidationError(where + "dataflow graph contains a cycle");
+
+    // Node-local checks.
+    for (NodeId nid : g.nodes()) {
+        const DataflowNode& n = g.node(nid);
+        switch (n.kind) {
+            case NodeKind::Access:
+                if (!sdfg.has_container(n.data))
+                    throw ValidationError(where + "access node references unknown container '" +
+                                          n.data + "'");
+                break;
+            case NodeKind::MapEntry: {
+                if (n.params.size() != n.map_ranges.size())
+                    throw ValidationError(where + "map '" + n.label +
+                                          "' has mismatched params/ranges");
+                if (n.params.empty())
+                    throw ValidationError(where + "map '" + n.label + "' has no parameters");
+                if (st.map_exit_of(nid) == graph::kInvalidNode)
+                    throw ValidationError(where + "map '" + n.label + "' has no matching exit");
+                break;
+            }
+            case NodeKind::MapExit:
+                if (st.map_entry_of(nid) == graph::kInvalidNode)
+                    throw ValidationError(where + "map exit '" + n.label +
+                                          "' has no matching entry");
+                break;
+            case NodeKind::Tasklet: {
+                interp::TaskletProgramPtr prog;
+                try {
+                    prog = interp::TaskletProgram::parse(n.code);
+                } catch (const common::ParseError& e) {
+                    throw ValidationError(where + "tasklet '" + n.label + "': " + e.what());
+                }
+                // Every input connector must be fed by exactly the edges
+                // that carry its name; every read must be covered.
+                std::set<std::string> fed, produced;
+                for (graph::EdgeId eid : g.in_edges(nid)) {
+                    const auto& conn = g.edge(eid).data.dst_conn;
+                    if (conn.empty()) continue;  // ordering-only dependency edge
+                    if (!fed.insert(conn).second)
+                        throw ValidationError(where + "tasklet '" + n.label +
+                                              "' input connector '" + conn + "' fed twice");
+                    if (!prog->reads().count(conn))
+                        throw ValidationError(where + "tasklet '" + n.label +
+                                              "' has edge into unused connector '" + conn + "'");
+                }
+                for (const auto& [conn, width] : prog->reads()) {
+                    (void)width;
+                    if (!fed.count(conn))
+                        throw ValidationError(where + "tasklet '" + n.label +
+                                              "' input connector '" + conn + "' is unconnected");
+                }
+                for (graph::EdgeId eid : g.out_edges(nid)) {
+                    const auto& conn = g.edge(eid).data.src_conn;
+                    if (conn.empty())
+                        throw ValidationError(where + "tasklet '" + n.label +
+                                              "' has out-edge without connector");
+                    if (!prog->writes().count(conn))
+                        throw ValidationError(where + "tasklet '" + n.label +
+                                              "' writes unknown connector '" + conn + "'");
+                    produced.insert(conn);
+                }
+                if (produced.empty())
+                    throw ValidationError(where + "tasklet '" + n.label + "' has no outputs");
+                break;
+            }
+            case NodeKind::Library: {
+                const LibSpec spec = library_spec(n.lib);
+                std::set<std::string> fed, produced;
+                for (graph::EdgeId eid : g.in_edges(nid)) fed.insert(g.edge(eid).data.dst_conn);
+                for (graph::EdgeId eid : g.out_edges(nid)) produced.insert(g.edge(eid).data.src_conn);
+                for (const auto& c : spec.inputs)
+                    if (!fed.count(c))
+                        throw ValidationError(where + "library node '" + n.label +
+                                              "' missing input connector '" + c + "'");
+                for (const auto& c : spec.outputs)
+                    if (!produced.count(c))
+                        throw ValidationError(where + "library node '" + n.label +
+                                              "' missing output connector '" + c + "'");
+                break;
+            }
+            case NodeKind::Comm: {
+                bool has_in = false, has_out = false;
+                for (graph::EdgeId eid : g.in_edges(nid))
+                    has_in |= g.edge(eid).data.dst_conn == "in";
+                for (graph::EdgeId eid : g.out_edges(nid))
+                    has_out |= g.edge(eid).data.src_conn == "out";
+                if (!has_in || !has_out)
+                    throw ValidationError(where + "comm node '" + n.label +
+                                          "' needs 'in' and 'out' connectors");
+                break;
+            }
+        }
+    }
+
+    // Edge checks: container existence, dimensionality, symbol visibility.
+    for (graph::EdgeId eid : g.edges()) {
+        const auto& edge = g.edge(eid);
+        const Memlet& m = edge.data.memlet;
+        if (!sdfg.has_container(m.data))
+            throw ValidationError(where + "memlet references unknown container '" + m.data + "'");
+        const DataDesc& desc = sdfg.container(m.data);
+        if (m.subset.dims() != desc.dims())
+            throw ValidationError(where + "memlet on '" + m.data + "' has " +
+                                  std::to_string(m.subset.dims()) + " dims, container has " +
+                                  std::to_string(desc.dims()));
+
+        std::set<std::string> free;
+        for (const auto& r : m.subset.ranges) {
+            r.begin->collect_symbols(free);
+            r.end->collect_symbols(free);
+            r.step->collect_symbols(free);
+        }
+        std::set<std::string> visible = visible_params(st, edge.src);
+        for (const auto& p : visible_params(st, edge.dst)) visible.insert(p);
+        for (const auto& s : free) {
+            if (!sdfg.has_symbol(s) && !visible.count(s))
+                throw ValidationError(where + "memlet '" + m.to_string() +
+                                      "' uses symbol '" + s +
+                                      "' that is neither a program symbol nor a visible map "
+                                      "parameter");
+        }
+    }
+
+    // GPU scope storage discipline: kernels only touch device memory.
+    for (NodeId nid : g.nodes()) {
+        const DataflowNode& n = g.node(nid);
+        if (n.kind != NodeKind::MapEntry || n.schedule != Schedule::GPU) continue;
+        auto check_device = [&](graph::EdgeId eid) {
+            const Memlet& m = g.edge(eid).data.memlet;
+            if (sdfg.container(m.data).storage != Storage::Device)
+                throw ValidationError(where + "GPU map '" + n.label +
+                                      "' accesses host container '" + m.data + "'");
+        };
+        for (NodeId inner : st.scope_nodes(nid)) {
+            for (graph::EdgeId eid : g.in_edges(inner)) check_device(eid);
+            for (graph::EdgeId eid : g.out_edges(inner)) check_device(eid);
+        }
+        for (graph::EdgeId eid : g.in_edges(nid)) check_device(eid);
+        const NodeId exit = st.map_exit_of(nid);
+        for (graph::EdgeId eid : g.out_edges(exit)) check_device(eid);
+    }
+}
+
+}  // namespace
+
+void SDFG::validate() const {
+    if (cfg_.node_count() == 0) throw ValidationError("sdfg '" + name_ + "' has no states");
+    if (!cfg_.contains_node(start_state_))
+        throw ValidationError("sdfg '" + name_ + "' has invalid start state");
+
+    // Container shape symbols must be program symbols.
+    for (const auto& [name, desc] : containers_) {
+        for (const auto& extent : desc.shape) {
+            for (const auto& s : extent->free_symbols()) {
+                if (!has_symbol(s))
+                    throw ValidationError("container '" + name + "' shape uses unknown symbol '" +
+                                          s + "'");
+            }
+        }
+    }
+
+    for (StateId sid : cfg_.nodes()) validate_state(*this, cfg_.node(sid));
+
+    // Interstate edges may only assign to declared symbols.
+    for (graph::EdgeId eid : cfg_.edges()) {
+        const InterstateEdge& e = cfg_.edge(eid).data;
+        for (const auto& [symbol, expr] : e.assignments) {
+            (void)expr;
+            if (!has_symbol(symbol))
+                throw ValidationError("interstate edge assigns to unknown symbol '" + symbol +
+                                      "'");
+        }
+    }
+}
+
+}  // namespace ff::ir

@@ -1,0 +1,143 @@
+// Symbolic integer and boolean expressions.
+//
+// This is the "parametric" half of the parametric dataflow representation
+// (Table 1 of the paper): container shapes, memlet subsets, map ranges and
+// interstate conditions are all expressions over named integer symbols
+// (program parameters such as N, or loop variables).  Keeping sizes symbolic
+// is what lets cutouts generalize over input *sizes*, not just values.
+//
+// Expressions are immutable trees shared via shared_ptr<const Expr>.
+// Construction applies lightweight structural simplification (constant
+// folding, identity elements) so printed IRs stay readable.
+//
+// Division and modulo follow *floor* semantics (like Python / SymPy, which
+// the original DaCe-based implementation relies on), not C truncation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ff::sym {
+
+class Expr;
+class BoolExpr;
+using ExprPtr = std::shared_ptr<const Expr>;
+using BoolExprPtr = std::shared_ptr<const BoolExpr>;
+
+/// Concrete values for symbols, used when evaluating expressions.
+using Bindings = std::map<std::string, std::int64_t>;
+/// Symbol -> replacement expression, used by substitute().
+using SubstMap = std::map<std::string, ExprPtr>;
+
+enum class BinOp { Add, Sub, Mul, FloorDiv, Mod, Min, Max };
+enum class CmpOp { Lt, Le, Gt, Ge, Eq, Ne };
+
+/// Immutable symbolic integer expression.
+class Expr {
+public:
+    enum class Kind { Constant, Symbol, Binary };
+
+    // --- Factories (the only way to build expressions) ---
+    static ExprPtr constant(std::int64_t value);
+    static ExprPtr symbol(std::string name);
+    /// Builds a binary node, folding constants and applying identities.
+    static ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+
+    Kind kind() const { return kind_; }
+    bool is_constant() const { return kind_ == Kind::Constant; }
+    bool is_symbol() const { return kind_ == Kind::Symbol; }
+    /// Only valid for constants.
+    std::int64_t constant_value() const { return constant_; }
+    /// Only valid for symbols.
+    const std::string& symbol_name() const { return symbol_; }
+    /// Only valid for binaries.
+    BinOp op() const { return op_; }
+    const ExprPtr& lhs() const { return lhs_; }
+    const ExprPtr& rhs() const { return rhs_; }
+
+    /// Evaluate with full bindings; throws common::UnboundSymbolError.
+    std::int64_t evaluate(const Bindings& bindings) const;
+
+    /// Replace symbols with expressions (simultaneous substitution).
+    ExprPtr substitute(const SubstMap& subst) const;
+
+    /// Add every free symbol name to `out`.
+    void collect_symbols(std::set<std::string>& out) const;
+    std::set<std::string> free_symbols() const;
+
+    /// Structural equality (after construction-time simplification).
+    bool equals(const Expr& other) const;
+
+    std::string to_string() const;
+
+private:
+    Expr() = default;
+
+    Kind kind_ = Kind::Constant;
+    std::int64_t constant_ = 0;
+    std::string symbol_;
+    BinOp op_ = BinOp::Add;
+    ExprPtr lhs_, rhs_;
+};
+
+// --- Convenience operators on ExprPtr ---
+ExprPtr operator+(const ExprPtr& a, const ExprPtr& b);
+ExprPtr operator-(const ExprPtr& a, const ExprPtr& b);
+ExprPtr operator*(const ExprPtr& a, const ExprPtr& b);
+ExprPtr operator+(const ExprPtr& a, std::int64_t b);
+ExprPtr operator-(const ExprPtr& a, std::int64_t b);
+ExprPtr operator*(const ExprPtr& a, std::int64_t b);
+ExprPtr floordiv(const ExprPtr& a, const ExprPtr& b);
+ExprPtr mod(const ExprPtr& a, const ExprPtr& b);
+ExprPtr min(const ExprPtr& a, const ExprPtr& b);
+ExprPtr max(const ExprPtr& a, const ExprPtr& b);
+
+/// Shorthand factories.
+inline ExprPtr cst(std::int64_t v) { return Expr::constant(v); }
+inline ExprPtr symb(std::string name) { return Expr::symbol(std::move(name)); }
+
+/// Floor division / floor modulo on concrete values (shared with the
+/// interpreter so symbolic and concrete semantics agree).
+std::int64_t floordiv_i64(std::int64_t a, std::int64_t b);
+std::int64_t floormod_i64(std::int64_t a, std::int64_t b);
+
+/// Immutable symbolic boolean expression (interstate edge conditions).
+class BoolExpr {
+public:
+    enum class Kind { Constant, Compare, And, Or, Not };
+
+    static BoolExprPtr constant(bool value);
+    static BoolExprPtr compare(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+    static BoolExprPtr logical_and(BoolExprPtr a, BoolExprPtr b);
+    static BoolExprPtr logical_or(BoolExprPtr a, BoolExprPtr b);
+    static BoolExprPtr logical_not(BoolExprPtr a);
+
+    Kind kind() const { return kind_; }
+    bool constant_value() const { return bconst_; }
+    CmpOp cmp() const { return cmp_; }
+    const ExprPtr& lhs() const { return lhs_; }
+    const ExprPtr& rhs() const { return rhs_; }
+    const BoolExprPtr& a() const { return a_; }
+    const BoolExprPtr& b() const { return b_; }
+
+    bool evaluate(const Bindings& bindings) const;
+    BoolExprPtr substitute(const SubstMap& subst) const;
+    void collect_symbols(std::set<std::string>& out) const;
+    bool equals(const BoolExpr& other) const;
+    std::string to_string() const;
+
+private:
+    BoolExpr() = default;
+
+    Kind kind_ = Kind::Constant;
+    bool bconst_ = true;
+    CmpOp cmp_ = CmpOp::Lt;
+    ExprPtr lhs_, rhs_;
+    BoolExprPtr a_, b_;
+};
+
+}  // namespace ff::sym

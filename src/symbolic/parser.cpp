@@ -1,0 +1,197 @@
+#include "symbolic/parser.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/error.h"
+
+namespace ff::sym {
+
+namespace {
+
+/// Hand-rolled recursive-descent parser with backtracking for the
+/// parenthesized-boolean vs parenthesized-arithmetic ambiguity.
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    ExprPtr parse_expr_all() {
+        ExprPtr e = expr();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters in expression");
+        return e;
+    }
+
+    BoolExprPtr parse_bool_all() {
+        BoolExprPtr e = bool_or();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters in boolean expression");
+        return e;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& msg) {
+        throw common::ParseError("'" + std::string(text_) + "' at offset " +
+                                 std::to_string(pos_) + ": " + msg);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+
+    bool eat(char c) {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool eat_word(std::string_view word) {
+        skip_ws();
+        if (text_.substr(pos_, word.size()) != word) return false;
+        const std::size_t after = pos_ + word.size();
+        if (after < text_.size() &&
+            (std::isalnum(static_cast<unsigned char>(text_[after])) || text_[after] == '_'))
+            return false;  // identifier continues; not a keyword
+        pos_ = after;
+        return true;
+    }
+
+    char peek() {
+        skip_ws();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    ExprPtr expr() {
+        ExprPtr lhs = term();
+        while (true) {
+            if (eat('+')) lhs = Expr::binary(BinOp::Add, lhs, term());
+            else if (peek() == '-' && !is_cmp_start()) { ++pos_; lhs = Expr::binary(BinOp::Sub, lhs, term()); }
+            else break;
+        }
+        return lhs;
+    }
+
+    bool is_cmp_start() { return false; }  // '-' never begins a comparison
+
+    ExprPtr term() {
+        ExprPtr lhs = unary();
+        while (true) {
+            if (eat('*')) lhs = Expr::binary(BinOp::Mul, lhs, unary());
+            else if (eat('/')) lhs = Expr::binary(BinOp::FloorDiv, lhs, unary());
+            else if (eat('%')) lhs = Expr::binary(BinOp::Mod, lhs, unary());
+            else break;
+        }
+        return lhs;
+    }
+
+    ExprPtr unary() {
+        if (eat('-')) return Expr::binary(BinOp::Sub, Expr::constant(0), unary());
+        return atom();
+    }
+
+    ExprPtr atom() {
+        skip_ws();
+        if (pos_ >= text_.size()) fail("unexpected end of expression");
+        const char c = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t start = pos_;
+            while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+            std::int64_t v = 0;
+            std::from_chars(text_.data() + start, text_.data() + pos_, v);
+            return Expr::constant(v);
+        }
+        if (c == '(') {
+            ++pos_;
+            ExprPtr e = expr();
+            if (!eat(')')) fail("expected ')'");
+            return e;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string name = ident();
+            if ((name == "min" || name == "max") && eat('(')) {
+                ExprPtr a = expr();
+                if (!eat(',')) fail("expected ',' in min/max");
+                ExprPtr b = expr();
+                if (!eat(')')) fail("expected ')' in min/max");
+                return Expr::binary(name == "min" ? BinOp::Min : BinOp::Max, a, b);
+            }
+            return Expr::symbol(std::move(name));
+        }
+        fail("unexpected character");
+    }
+
+    std::string ident() {
+        skip_ws();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_'))
+            ++pos_;
+        if (start == pos_) fail("expected identifier");
+        return std::string(text_.substr(start, pos_ - start));
+    }
+
+    // --- Boolean grammar ---
+
+    BoolExprPtr bool_or() {
+        BoolExprPtr lhs = bool_and();
+        while (eat_word("or")) lhs = BoolExpr::logical_or(lhs, bool_and());
+        return lhs;
+    }
+
+    BoolExprPtr bool_and() {
+        BoolExprPtr lhs = bool_not();
+        while (eat_word("and")) lhs = BoolExpr::logical_and(lhs, bool_not());
+        return lhs;
+    }
+
+    BoolExprPtr bool_not() {
+        if (eat_word("not")) return BoolExpr::logical_not(bool_not());
+        return bool_atom();
+    }
+
+    BoolExprPtr bool_atom() {
+        if (eat_word("true")) return BoolExpr::constant(true);
+        if (eat_word("false")) return BoolExpr::constant(false);
+        if (peek() == '(') {
+            // Ambiguous: "(i < 2) and ..." vs "(i + 1) < 2".  Try boolean
+            // first; backtrack to arithmetic comparison on failure.
+            const std::size_t save = pos_;
+            try {
+                ++pos_;  // consume '('
+                BoolExprPtr inner = bool_or();
+                if (!eat(')')) throw common::ParseError("no closing paren");
+                return inner;
+            } catch (const common::ParseError&) {
+                pos_ = save;
+            }
+        }
+        return comparison();
+    }
+
+    BoolExprPtr comparison() {
+        ExprPtr lhs = expr();
+        skip_ws();
+        CmpOp op;
+        if (text_.substr(pos_, 2) == "<=") { op = CmpOp::Le; pos_ += 2; }
+        else if (text_.substr(pos_, 2) == ">=") { op = CmpOp::Ge; pos_ += 2; }
+        else if (text_.substr(pos_, 2) == "==") { op = CmpOp::Eq; pos_ += 2; }
+        else if (text_.substr(pos_, 2) == "!=") { op = CmpOp::Ne; pos_ += 2; }
+        else if (pos_ < text_.size() && text_[pos_] == '<') { op = CmpOp::Lt; ++pos_; }
+        else if (pos_ < text_.size() && text_[pos_] == '>') { op = CmpOp::Gt; ++pos_; }
+        else fail("expected comparison operator");
+        return BoolExpr::compare(op, lhs, expr());
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parse_expr(std::string_view text) { return Parser(text).parse_expr_all(); }
+BoolExprPtr parse_bool(std::string_view text) { return Parser(text).parse_bool_all(); }
+
+}  // namespace ff::sym

@@ -1,0 +1,31 @@
+// Text parsers for symbolic expressions.
+//
+// Grammar (arithmetic):
+//   expr  := term (('+'|'-') term)*
+//   term  := unary (('*'|'/'|'%') unary)*
+//   unary := '-' unary | atom
+//   atom  := INT | IDENT | ('min'|'max') '(' expr ',' expr ')' | '(' expr ')'
+//
+// Grammar (boolean):
+//   bool  := band ('or' band)*
+//   band  := bnot ('and' bnot)*
+//   bnot  := 'not' bnot | batom
+//   batom := 'true' | 'false' | '(' bool ')' | expr CMP expr
+//   CMP   := '<' | '<=' | '>' | '>=' | '==' | '!='
+//
+// Division is *floor* division, consistent with sym::Expr semantics.
+#pragma once
+
+#include <string_view>
+
+#include "symbolic/expr.h"
+
+namespace ff::sym {
+
+/// Parse an arithmetic expression; throws common::ParseError.
+ExprPtr parse_expr(std::string_view text);
+
+/// Parse a boolean expression; throws common::ParseError.
+BoolExprPtr parse_bool(std::string_view text);
+
+}  // namespace ff::sym

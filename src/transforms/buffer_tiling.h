@@ -1,0 +1,42 @@
+// Buffer tiling: tiles a producer/consumer map pair that communicates
+// through a transient buffer, shrinking the buffer to one tile
+// ("BufferTiling: Tiles buffers between loops", Table 2).
+//
+//   map_i { T[i] = f(in[i]) }  ;  map_j { out[j] = g(T[j], ...) }
+//
+// becomes a sequential tile loop containing both (shrunk) maps operating on
+// a tile-sized buffer Tt:
+//
+//   for bt in 0..N step TS:
+//     map_i in [bt, min(bt+TS-1, N-1)] { Tt[i - bt] = f(in[i]) }
+//     map_j in [bt, min(bt+TS-1, N-1)] { out[j] = g(Tt[j - bt], ...) }
+//
+// The bug variant indexes the tile buffer back to front in the consumer
+// (Tt[bt + TS - 1 - j]) — in bounds, but wrong values: the `✗` change in
+// semantics of Table 2.
+#pragma once
+
+#include "transforms/transformation.h"
+
+namespace ff::xform {
+
+class BufferTiling : public Transformation {
+public:
+    enum class Variant { Correct, ReversedOffset };
+
+    explicit BufferTiling(std::int64_t tile_size = 8, Variant variant = Variant::Correct)
+        : tile_size_(tile_size), variant_(variant) {}
+
+    std::string name() const override {
+        return variant_ == Variant::Correct ? "BufferTiling"
+                                            : "BufferTiling[bug:reversed-offset]";
+    }
+    std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
+    void apply(ir::SDFG& sdfg, const Match& match) const override;
+
+private:
+    std::int64_t tile_size_;
+    Variant variant_;
+};
+
+}  // namespace ff::xform

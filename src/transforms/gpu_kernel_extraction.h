@@ -1,0 +1,41 @@
+// GPU kernel extraction (the custom CLOUDSC transformation of Sec. 6.4).
+//
+// Converts a top-level parallel map into a (simulated) GPU kernel:
+//  1. creates a Device-storage twin `gpu_X` for every container the scope
+//     touches,
+//  2. retargets all scope memlets to the twins and sets the GPU schedule,
+//  3. copies inputs host->device before the kernel, and
+//  4. copies every touched container back device->host *in its entirety*
+//     after the kernel (this whole-container copy is faithful to the
+//     engineers' transformation, per the paper).
+//
+// Correct mode also pre-copies *output* containers host->device, so the
+// whole-container copy-back is benign.  The bug variant skips that: device
+// twins of outputs start as uninitialized (garbage-filled) memory, and if
+// the kernel writes only a subset, "this causes garbage values to be copied
+// back to the host, potentially overwriting existing computation results"
+// (Fig. 7).
+#pragma once
+
+#include "transforms/transformation.h"
+
+namespace ff::xform {
+
+class GpuKernelExtraction : public Transformation {
+public:
+    enum class Variant { Correct, NoOutputCopyIn };
+
+    explicit GpuKernelExtraction(Variant variant = Variant::Correct) : variant_(variant) {}
+
+    std::string name() const override {
+        return variant_ == Variant::Correct ? "GpuKernelExtraction"
+                                            : "GpuKernelExtraction[bug:no-output-copy-in]";
+    }
+    std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
+    void apply(ir::SDFG& sdfg, const Match& match) const override;
+
+private:
+    Variant variant_;
+};
+
+}  // namespace ff::xform

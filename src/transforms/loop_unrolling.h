@@ -1,0 +1,34 @@
+// Full loop unrolling of constant-bound sequential maps (the custom CLOUDSC
+// transformation of Sec. 6.4).
+//
+// Correct mode enumerates the iteration values respecting the step sign.
+// The bug variant computes the trip count with the positive-step formula
+// `(end - begin + 1) / step` (floor semantics) — correct for ascending
+// loops, but a loop `for i = 4 down to 1 step -1` yields (1-4+1)/(-1) = 2
+// body instances instead of 4, exactly the failure the paper reports:
+// "the transformation incorrectly unrolls the loop by only creating 2 loop
+// body instances".
+#pragma once
+
+#include "transforms/transformation.h"
+
+namespace ff::xform {
+
+class LoopUnrolling : public Transformation {
+public:
+    enum class Variant { Correct, PositiveStepFormula };
+
+    explicit LoopUnrolling(Variant variant = Variant::Correct) : variant_(variant) {}
+
+    std::string name() const override {
+        return variant_ == Variant::Correct ? "LoopUnrolling"
+                                            : "LoopUnrolling[bug:positive-step-formula]";
+    }
+    std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
+    void apply(ir::SDFG& sdfg, const Match& match) const override;
+
+private:
+    Variant variant_;
+};
+
+}  // namespace ff::xform

@@ -1,0 +1,32 @@
+// Map expansion: splits a multi-dimensional map into a nest of
+// one-dimensional maps ("MapExpansion: Removes collapsing from parallel
+// nested loops", Table 2).
+//
+// The correct mode peels the first parameter into a fresh outer map and
+// rewires the boundary edges through it.  The bug variant forgets to connect
+// the inner exit to the new outer exit: the outer scope becomes malformed
+// (its parameter is no longer visible to the body's memlets), which IR
+// validation rejects — the `generates invalid code` failure class.
+#pragma once
+
+#include "transforms/transformation.h"
+
+namespace ff::xform {
+
+class MapExpansion : public Transformation {
+public:
+    enum class Variant { Correct, DanglingExit };
+
+    explicit MapExpansion(Variant variant = Variant::Correct) : variant_(variant) {}
+
+    std::string name() const override {
+        return variant_ == Variant::Correct ? "MapExpansion" : "MapExpansion[bug:dangling-exit]";
+    }
+    std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
+    void apply(ir::SDFG& sdfg, const Match& match) const override;
+
+private:
+    Variant variant_;
+};
+
+}  // namespace ff::xform

@@ -1,0 +1,21 @@
+// Map fusion: merges two consecutive elementwise maps that communicate
+// through a transient container, keeping the intermediate as an in-scope
+// element (correct-only pass, used to broaden the NPBench audit).
+//
+//   map_i { T[i] = f(x[i]) } ; map_i { y[i] = g(T[i]) }
+//     =>
+//   map_i { T[i] = f(x[i]) ; y[i] = g(T[i]) }
+#pragma once
+
+#include "transforms/transformation.h"
+
+namespace ff::xform {
+
+class MapFusion : public Transformation {
+public:
+    std::string name() const override { return "MapFusion"; }
+    std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
+    void apply(ir::SDFG& sdfg, const Match& match) const override;
+};
+
+}  // namespace ff::xform

@@ -1,0 +1,73 @@
+#include "transforms/map_tiling.h"
+
+namespace ff::xform {
+
+using ir::DataflowNode;
+using ir::NodeKind;
+
+std::string MapTiling::name() const {
+    switch (variant_) {
+        case Variant::Correct: return "MapTiling";
+        case Variant::OffByOne: return "MapTiling[bug:off-by-one]";
+        case Variant::NoRemainder: return "MapTiling[bug:no-remainder]";
+    }
+    return "MapTiling";
+}
+
+std::vector<Match> MapTiling::find_matches(const ir::SDFG& sdfg) const {
+    std::vector<Match> matches;
+    for (ir::StateId sid : sdfg.states()) {
+        const ir::State& st = sdfg.state(sid);
+        for (ir::NodeId nid : st.graph().nodes()) {
+            const DataflowNode& n = st.graph().node(nid);
+            if (n.kind != NodeKind::MapEntry) continue;
+            if (n.schedule == ir::Schedule::GPU || n.schedule == ir::Schedule::Vector) continue;
+            if (n.attrs.count("tiled")) continue;  // avoid repeated tiling
+            // Tiling requires unit steps.
+            bool unit = true;
+            for (const auto& r : n.map_ranges)
+                unit &= r.step->is_constant() && r.step->constant_value() == 1;
+            if (!unit) continue;
+            Match m;
+            m.state = sid;
+            m.nodes = {nid};
+            m.description = "tile map '" + n.label + "' in state '" + st.name() + "'";
+            matches.push_back(std::move(m));
+        }
+    }
+    return matches;
+}
+
+void MapTiling::apply(ir::SDFG& sdfg, const Match& match) const {
+    ir::State& st = sdfg.state(match.state);
+    DataflowNode& entry = st.graph().node(match.nodes.at(0));
+
+    std::vector<std::string> params;
+    std::vector<ir::Range> ranges;
+    const sym::ExprPtr tile = sym::cst(tile_size_);
+
+    // Tile parameters first (outermost), then the original parameters.
+    for (std::size_t i = 0; i < entry.params.size(); ++i) {
+        params.push_back(entry.params[i] + "__tile");
+        ranges.push_back(
+            ir::Range{entry.map_ranges[i].begin, entry.map_ranges[i].end, tile});
+    }
+    for (std::size_t i = 0; i < entry.params.size(); ++i) {
+        const sym::ExprPtr pt = sym::symb(entry.params[i] + "__tile");
+        const sym::ExprPtr& end = entry.map_ranges[i].end;
+        sym::ExprPtr inner_end;
+        switch (variant_) {
+            case Variant::Correct: inner_end = sym::min(pt + (tile_size_ - 1), end); break;
+            case Variant::OffByOne: inner_end = sym::min(pt + tile_size_, end); break;
+            case Variant::NoRemainder: inner_end = pt + (tile_size_ - 1); break;
+        }
+        params.push_back(entry.params[i]);
+        ranges.push_back(ir::Range{pt, inner_end, sym::cst(1)});
+    }
+
+    entry.params = std::move(params);
+    entry.map_ranges = std::move(ranges);
+    entry.attrs["tiled"] = std::to_string(tile_size_);
+}
+
+}  // namespace ff::xform

@@ -1,0 +1,38 @@
+// Loop tiling on map scopes (the Fig. 2 running example).
+//
+// Rewrites a map with parameters (p0, .., pk) into a single map with tile
+// parameters prepended: (p0_t, .., pk_t, p0, .., pk), where the tile
+// parameters stride by the tile size and the original parameters iterate
+// within their tile.  Semantically identical to nesting two maps.
+//
+// Variants:
+//  * Correct     — inner range [pt, min(pt + T - 1, end)]
+//  * OffByOne    — inner range [pt, min(pt + T, end)]; the `<=` bug of
+//                  Fig. 2: one in-bounds extra iteration per tile, which
+//                  corrupts non-idempotent (accumulating) computations.
+//  * NoRemainder — inner range [pt, pt + T - 1] without clamping; out of
+//                  bounds whenever the extent is not a multiple of the tile
+//                  size (the *input-dependent* second bug of Sec. 2.1).
+#pragma once
+
+#include "transforms/transformation.h"
+
+namespace ff::xform {
+
+class MapTiling : public Transformation {
+public:
+    enum class Variant { Correct, OffByOne, NoRemainder };
+
+    explicit MapTiling(std::int64_t tile_size = 32, Variant variant = Variant::Correct)
+        : tile_size_(tile_size), variant_(variant) {}
+
+    std::string name() const override;
+    std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
+    void apply(ir::SDFG& sdfg, const Match& match) const override;
+
+private:
+    std::int64_t tile_size_;
+    Variant variant_;
+};
+
+}  // namespace ff::xform

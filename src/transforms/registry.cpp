@@ -1,0 +1,58 @@
+#include "transforms/registry.h"
+
+#include "transforms/buffer_tiling.h"
+#include "transforms/gpu_kernel_extraction.h"
+#include "transforms/loop_unrolling.h"
+#include "transforms/map_expansion.h"
+#include "transforms/map_fusion.h"
+#include "transforms/map_reduce_fusion.h"
+#include "transforms/map_tiling.h"
+#include "transforms/state_assign_elimination.h"
+#include "transforms/symbol_alias_promotion.h"
+#include "transforms/tasklet_fusion.h"
+#include "transforms/vectorization.h"
+#include "transforms/write_elimination.h"
+
+namespace ff::xform {
+
+std::vector<TransformationPtr> builtin_transformations(const RegistryConfig& config) {
+    const bool bugs = config.table2_bugs;
+    std::vector<TransformationPtr> passes;
+    passes.push_back(std::make_unique<MapTiling>(config.tile_size, MapTiling::Variant::Correct));
+    passes.push_back(std::make_unique<Vectorization>(config.vector_width));
+    passes.push_back(std::make_unique<TaskletFusion>(
+        bugs ? TaskletFusion::Variant::IgnoreDownstreamReads : TaskletFusion::Variant::Correct));
+    passes.push_back(std::make_unique<BufferTiling>(
+        config.tile_size,
+        bugs ? BufferTiling::Variant::ReversedOffset : BufferTiling::Variant::Correct));
+    passes.push_back(std::make_unique<MapExpansion>(
+        bugs ? MapExpansion::Variant::DanglingExit : MapExpansion::Variant::Correct));
+    passes.push_back(std::make_unique<MapReduceFusion>(
+        bugs ? MapReduceFusion::Variant::StaleAccessNode : MapReduceFusion::Variant::Correct));
+    passes.push_back(std::make_unique<StateAssignElimination>(
+        bugs ? StateAssignElimination::Variant::NextStateOnly
+             : StateAssignElimination::Variant::Correct));
+    passes.push_back(std::make_unique<SymbolAliasPromotion>(
+        bugs ? SymbolAliasPromotion::Variant::InterstateOnly
+             : SymbolAliasPromotion::Variant::Correct));
+    passes.push_back(std::make_unique<MapFusion>());
+    passes.push_back(std::make_unique<WriteElimination>(WriteElimination::Variant::Correct));
+    passes.push_back(std::make_unique<LoopUnrolling>(LoopUnrolling::Variant::Correct));
+    return passes;
+}
+
+std::vector<TransformationPtr> cloudsc_transformations(bool with_bugs) {
+    std::vector<TransformationPtr> passes;
+    passes.push_back(std::make_unique<GpuKernelExtraction>(
+        with_bugs ? GpuKernelExtraction::Variant::NoOutputCopyIn
+                  : GpuKernelExtraction::Variant::Correct));
+    passes.push_back(std::make_unique<LoopUnrolling>(
+        with_bugs ? LoopUnrolling::Variant::PositiveStepFormula
+                  : LoopUnrolling::Variant::Correct));
+    passes.push_back(std::make_unique<WriteElimination>(
+        with_bugs ? WriteElimination::Variant::CurrentStateOnly
+                  : WriteElimination::Variant::Correct));
+    return passes;
+}
+
+}  // namespace ff::xform

@@ -1,0 +1,34 @@
+// Pass registry: assembles the transformation sets used by the case studies.
+#pragma once
+
+#include <vector>
+
+#include "transforms/transformation.h"
+
+namespace ff::xform {
+
+/// Configuration of the built-in pass set.
+struct RegistryConfig {
+    /// Plant the Table 2 bug inventory: BufferTiling, TaskletFusion,
+    /// MapExpansion, MapReduceFusion, StateAssignElimination and
+    /// SymbolAliasPromotion ship their buggy variants (Vectorization is
+    /// input-dependent by construction).  When false every pass is correct
+    /// (except Vectorization, whose subject transformation has no correct
+    /// remainder handling).
+    bool table2_bugs = true;
+    std::int64_t tile_size = 8;
+    int vector_width = 4;
+};
+
+/// The "built-in optimizations" set audited in Sec. 6.3 (Table 2):
+/// MapTiling, Vectorization, TaskletFusion, BufferTiling, MapExpansion,
+/// MapReduceFusion, StateAssignElimination, SymbolAliasPromotion, MapFusion,
+/// WriteElimination and LoopUnrolling.
+std::vector<TransformationPtr> builtin_transformations(const RegistryConfig& config = {});
+
+/// The custom CLOUDSC passes of Sec. 6.4: GpuKernelExtraction,
+/// LoopUnrolling and WriteElimination, each in the buggy variant the paper
+/// uncovered (or correct when `with_bugs` is false).
+std::vector<TransformationPtr> cloudsc_transformations(bool with_bugs = true);
+
+}  // namespace ff::xform

@@ -1,0 +1,93 @@
+#include "transforms/state_assign_elimination.h"
+
+namespace ff::xform {
+
+namespace {
+
+/// Symbols read anywhere inside a state's dataflow graph (memlets and map
+/// ranges).
+std::set<std::string> state_used_symbols(const ir::State& st) {
+    std::set<std::string> used;
+    for (ir::NodeId nid : st.graph().nodes()) {
+        const ir::DataflowNode& n = st.graph().node(nid);
+        if (n.kind == ir::NodeKind::MapEntry) {
+            for (const auto& r : n.map_ranges) {
+                r.begin->collect_symbols(used);
+                r.end->collect_symbols(used);
+                r.step->collect_symbols(used);
+            }
+        }
+    }
+    for (graph::EdgeId eid : st.graph().edges()) {
+        for (const auto& r : st.graph().edge(eid).data.memlet.subset.ranges) {
+            r.begin->collect_symbols(used);
+            r.end->collect_symbols(used);
+            r.step->collect_symbols(used);
+        }
+    }
+    return used;
+}
+
+/// Symbols read anywhere in the whole program (states + interstate edges).
+std::set<std::string> program_used_symbols(const ir::SDFG& sdfg) {
+    std::set<std::string> used;
+    for (ir::StateId sid : sdfg.states()) {
+        const auto s = state_used_symbols(sdfg.state(sid));
+        used.insert(s.begin(), s.end());
+    }
+    for (graph::EdgeId eid : sdfg.cfg().edges()) {
+        const ir::InterstateEdge& e = sdfg.cfg().edge(eid).data;
+        if (e.condition) e.condition->collect_symbols(used);
+        for (const auto& [symbol, expr] : e.assignments) {
+            (void)symbol;
+            expr->collect_symbols(used);
+        }
+    }
+    return used;
+}
+
+}  // namespace
+
+std::vector<Match> StateAssignElimination::find_matches(const ir::SDFG& sdfg) const {
+    std::vector<Match> matches;
+    const std::set<std::string> global_used = program_used_symbols(sdfg);
+    for (graph::EdgeId eid : sdfg.cfg().edges()) {
+        const ir::InterstateEdge& e = sdfg.cfg().edge(eid).data;
+        for (std::size_t i = 0; i < e.assignments.size(); ++i) {
+            const std::string& symbol = e.assignments[i].first;
+            bool dead;
+            if (variant_ == Variant::Correct) {
+                dead = !global_used.count(symbol);
+            } else {
+                // BUG: only look at the next state's dataflow.
+                const ir::State& next = sdfg.state(sdfg.cfg().edge(eid).dst);
+                dead = !state_used_symbols(next).count(symbol);
+            }
+            if (!dead) continue;
+            Match m;
+            m.cfg_edge = eid;
+            m.nodes = {static_cast<ir::NodeId>(i)};  // assignment index
+            m.description = "drop assignment '" + symbol + "' on edge " + std::to_string(eid);
+            matches.push_back(std::move(m));
+        }
+    }
+    return matches;
+}
+
+ChangeSet StateAssignElimination::affected_nodes(const ir::SDFG& sdfg,
+                                                 const Match& match) const {
+    ChangeSet delta;
+    const auto& e = sdfg.cfg().edge(match.cfg_edge);
+    delta.control_flow_states.insert(e.src);
+    delta.control_flow_states.insert(e.dst);
+    return delta;
+}
+
+void StateAssignElimination::apply(ir::SDFG& sdfg, const Match& match) const {
+    auto& assignments = sdfg.cfg().edge(match.cfg_edge).data.assignments;
+    const std::size_t index = static_cast<std::size_t>(match.nodes.at(0));
+    if (index < assignments.size())
+        assignments.erase(assignments.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+}  // namespace ff::xform

@@ -1,0 +1,34 @@
+// State-assignment elimination: removes apparently-dead symbol assignments
+// from interstate edges ("StateAssignElimination: Program simplification",
+// Table 2).
+//
+// Correct mode performs a whole-program liveness check.  The bug variant
+// only inspects the memlets of the *immediately following* state — an
+// assignment consumed by a later state or by an interstate condition is
+// removed, and evaluating the now-unbound symbol crashes at runtime
+// (`generates invalid code`).
+#pragma once
+
+#include "transforms/transformation.h"
+
+namespace ff::xform {
+
+class StateAssignElimination : public Transformation {
+public:
+    enum class Variant { Correct, NextStateOnly };
+
+    explicit StateAssignElimination(Variant variant = Variant::Correct) : variant_(variant) {}
+
+    std::string name() const override {
+        return variant_ == Variant::Correct ? "StateAssignElimination"
+                                            : "StateAssignElimination[bug:next-state-only]";
+    }
+    std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
+    ChangeSet affected_nodes(const ir::SDFG& sdfg, const Match& match) const override;
+    void apply(ir::SDFG& sdfg, const Match& match) const override;
+
+private:
+    Variant variant_;
+};
+
+}  // namespace ff::xform

@@ -1,0 +1,84 @@
+#include "transforms/symbol_alias_promotion.h"
+
+namespace ff::xform {
+
+std::vector<Match> SymbolAliasPromotion::find_matches(const ir::SDFG& sdfg) const {
+    std::vector<Match> matches;
+    for (graph::EdgeId eid : sdfg.cfg().edges()) {
+        const ir::InterstateEdge& e = sdfg.cfg().edge(eid).data;
+        for (std::size_t i = 0; i < e.assignments.size(); ++i) {
+            const auto& [s2, rhs] = e.assignments[i];
+            if (!rhs->is_symbol()) continue;
+            const std::string s1 = rhs->symbol_name();
+            if (s1 == s2) continue;
+            // s2 must be assigned only here, and s1 must never be
+            // reassigned (otherwise the alias is not a constant alias).
+            int s2_defs = 0, s1_defs = 0;
+            for (graph::EdgeId other : sdfg.cfg().edges()) {
+                for (const auto& [sym_name, expr] : sdfg.cfg().edge(other).data.assignments) {
+                    (void)expr;
+                    if (sym_name == s2) ++s2_defs;
+                    if (sym_name == s1) ++s1_defs;
+                }
+            }
+            if (s2_defs != 1 || s1_defs != 0) continue;
+            Match m;
+            m.cfg_edge = eid;
+            m.nodes = {static_cast<ir::NodeId>(i)};
+            m.description = "promote alias '" + s2 + "' := '" + s1 + "'";
+            matches.push_back(std::move(m));
+        }
+    }
+    return matches;
+}
+
+ChangeSet SymbolAliasPromotion::affected_nodes(const ir::SDFG& sdfg, const Match& match) const {
+    ChangeSet delta;
+    const auto& e = sdfg.cfg().edge(match.cfg_edge);
+    delta.control_flow_states.insert(e.src);
+    delta.control_flow_states.insert(e.dst);
+    return delta;
+}
+
+void SymbolAliasPromotion::apply(ir::SDFG& sdfg, const Match& match) const {
+    auto& edge = sdfg.cfg().edge(match.cfg_edge);
+    const std::size_t index = static_cast<std::size_t>(match.nodes.at(0));
+    if (index >= edge.data.assignments.size()) return;
+    const std::string s2 = edge.data.assignments[index].first;
+    const std::string s1 = edge.data.assignments[index].second->symbol_name();
+    edge.data.assignments.erase(edge.data.assignments.begin() +
+                                static_cast<std::ptrdiff_t>(index));
+
+    const sym::SubstMap subst{{s2, sym::symb(s1)}};
+
+    // Interstate-level substitution (both variants).
+    for (graph::EdgeId eid : sdfg.cfg().edges()) {
+        ir::InterstateEdge& e = sdfg.cfg().edge(eid).data;
+        if (e.condition) e.condition = e.condition->substitute(subst);
+        for (auto& [sym_name, expr] : e.assignments) {
+            (void)sym_name;
+            expr = expr->substitute(subst);
+        }
+    }
+
+    if (variant_ == Variant::Correct) {
+        // State-level substitution: memlets and map ranges.
+        for (ir::StateId sid : sdfg.states()) {
+            ir::State& st = sdfg.state(sid);
+            for (ir::NodeId nid : st.graph().nodes()) {
+                ir::DataflowNode& n = st.graph().node(nid);
+                if (n.kind == ir::NodeKind::MapEntry)
+                    for (auto& r : n.map_ranges) r = r.substituted(subst);
+            }
+            for (graph::EdgeId eid : st.graph().edges()) {
+                auto& memlet = st.graph().edge(eid).data.memlet;
+                memlet.subset = memlet.subset.substituted(subst);
+            }
+        }
+    }
+    // Both variants retire the symbol; the bug variant leaves state-level
+    // uses of s2 behind, which validation reports as an unknown symbol.
+    sdfg.remove_symbol(s2);
+}
+
+}  // namespace ff::xform

@@ -1,0 +1,34 @@
+// Symbol alias promotion: replaces a pure symbol alias (`s2 := s1` on an
+// interstate edge) by renaming s2 to s1 everywhere and dropping the
+// assignment ("SymbolAliasPromotion: Program simplification", Table 2).
+//
+// Correct mode substitutes in every state's memlets and map ranges as well
+// as all interstate expressions, then retires the symbol.  The bug variant
+// substitutes only at the interstate level and still retires the symbol —
+// state-level memlets keep referring to a symbol that no longer exists,
+// which validation rejects (`generates invalid code`).
+#pragma once
+
+#include "transforms/transformation.h"
+
+namespace ff::xform {
+
+class SymbolAliasPromotion : public Transformation {
+public:
+    enum class Variant { Correct, InterstateOnly };
+
+    explicit SymbolAliasPromotion(Variant variant = Variant::Correct) : variant_(variant) {}
+
+    std::string name() const override {
+        return variant_ == Variant::Correct ? "SymbolAliasPromotion"
+                                            : "SymbolAliasPromotion[bug:interstate-only]";
+    }
+    std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
+    ChangeSet affected_nodes(const ir::SDFG& sdfg, const Match& match) const override;
+    void apply(ir::SDFG& sdfg, const Match& match) const override;
+
+private:
+    Variant variant_;
+};
+
+}  // namespace ff::xform

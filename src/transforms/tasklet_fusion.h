@@ -1,0 +1,33 @@
+// Tasklet fusion: subsume a producer tasklet into its consumer, eliminating
+// the temporary container between them (the Fig. 4 example: fold `z * 2`
+// into the call consuming `tmp`).
+//
+// Correct mode requires the temporary to be transient and accessed nowhere
+// else in the program.  The bug variant skips that check — fusing away a
+// write whose value is read again later, the `✗` (change in semantics)
+// failure of Table 2 (and the same root cause as the CLOUDSC write
+// elimination bug of Sec. 6.4).
+#pragma once
+
+#include "transforms/transformation.h"
+
+namespace ff::xform {
+
+class TaskletFusion : public Transformation {
+public:
+    enum class Variant { Correct, IgnoreDownstreamReads };
+
+    explicit TaskletFusion(Variant variant = Variant::Correct) : variant_(variant) {}
+
+    std::string name() const override {
+        return variant_ == Variant::Correct ? "TaskletFusion"
+                                            : "TaskletFusion[bug:ignores-downstream-reads]";
+    }
+    std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
+    void apply(ir::SDFG& sdfg, const Match& match) const override;
+
+private:
+    Variant variant_;
+};
+
+}  // namespace ff::xform

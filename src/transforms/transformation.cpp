@@ -1,0 +1,101 @@
+#include "transforms/transformation.h"
+
+#include <cctype>
+
+namespace ff::xform {
+
+void ChangeSet::merge(const ChangeSet& other) {
+    nodes.insert(other.nodes.begin(), other.nodes.end());
+    control_flow_states.insert(other.control_flow_states.begin(),
+                               other.control_flow_states.end());
+}
+
+ChangeSet Transformation::affected_nodes(const ir::SDFG& sdfg, const Match& match) const {
+    ChangeSet delta;
+    if (match.state == graph::kInvalidNode) return delta;
+    const ir::State& st = sdfg.state(match.state);
+    for (ir::NodeId n : match.nodes) {
+        delta.add(match.state, n);
+        // "If the change includes modified, added, or removed edges, both
+        // the edge source and destination nodes are considered modified."
+        for (graph::EdgeId eid : st.graph().in_edges(n))
+            delta.add(match.state, st.graph().edge(eid).src);
+        for (graph::EdgeId eid : st.graph().out_edges(n))
+            delta.add(match.state, st.graph().edge(eid).dst);
+    }
+    return delta;
+}
+
+namespace {
+
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Calls `fn(start, end, is_function_call)` for every identifier token.
+template <typename Fn>
+void for_each_identifier(const std::string& code, Fn&& fn) {
+    std::size_t i = 0;
+    while (i < code.size()) {
+        const char c = code[i];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = i;
+            while (i < code.size() && ident_char(code[i])) ++i;
+            // Look ahead for '(' (function call).
+            std::size_t j = i;
+            while (j < code.size() && (code[j] == ' ' || code[j] == '\t')) ++j;
+            const bool is_call = j < code.size() && code[j] == '(';
+            fn(start, i, is_call);
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            // Skip numeric literals (including exponents) so "1e5" is not
+            // treated as containing identifier "e5".
+            while (i < code.size() &&
+                   (ident_char(code[i]) || code[i] == '.' ||
+                    ((code[i] == '+' || code[i] == '-') && i > 0 &&
+                     (code[i - 1] == 'e' || code[i - 1] == 'E'))))
+                ++i;
+        } else {
+            ++i;
+        }
+    }
+}
+
+}  // namespace
+
+std::string rename_identifier(const std::string& code, const std::string& from,
+                              const std::string& to) {
+    std::string out;
+    out.reserve(code.size());
+    std::size_t last = 0;
+    for_each_identifier(code, [&](std::size_t start, std::size_t end, bool is_call) {
+        const std::string tok = code.substr(start, end - start);
+        out.append(code, last, start - last);
+        if (tok == from && !is_call) out += to;
+        else out += tok;
+        last = end;
+    });
+    out.append(code, last, code.size() - last);
+    return out;
+}
+
+std::string vectorize_tasklet_code(const std::string& code, int width,
+                                   const std::set<std::string>& vector_vars) {
+    // Lane-expand: x -> x[l] for vector connectors; function names and
+    // broadcast scalars are untouched.
+    std::string out;
+    for (int lane = 0; lane < width; ++lane) {
+        std::string lane_code;
+        std::size_t last = 0;
+        for_each_identifier(code, [&](std::size_t start, std::size_t end, bool is_call) {
+            const std::string tok = code.substr(start, end - start);
+            lane_code.append(code, last, start - last);
+            lane_code += tok;
+            if (!is_call && vector_vars.count(tok)) lane_code += "[" + std::to_string(lane) + "]";
+            last = end;
+        });
+        lane_code.append(code, last, code.size() - last);
+        if (lane) out += "; ";
+        out += lane_code;
+    }
+    return out;
+}
+
+}  // namespace ff::xform

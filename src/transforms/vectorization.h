@@ -1,0 +1,30 @@
+// Loop vectorization (the Sec. 6.1 case study transformation).
+//
+// Tiles the innermost map dimension by the vector width and rewrites the
+// body tasklet to operate on W lanes.  As in DaCe, correctness *depends on
+// the input size*: when the iteration extent is not a multiple of W the last
+// vector accesses run out of bounds — the `"` (input-dependent) failure
+// class of Table 2.  There is no fully-correct remainder-peeling variant
+// because the paper's subject transformation does not have one either; use
+// `require_divisible` matches only where divisibility is statically known.
+#pragma once
+
+#include "transforms/transformation.h"
+
+namespace ff::xform {
+
+class Vectorization : public Transformation {
+public:
+    explicit Vectorization(int width = 4) : width_(width) {}
+
+    std::string name() const override { return "Vectorization"; }
+    std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
+    void apply(ir::SDFG& sdfg, const Match& match) const override;
+
+    int width() const { return width_; }
+
+private:
+    int width_;
+};
+
+}  // namespace ff::xform

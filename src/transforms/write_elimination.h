@@ -1,0 +1,36 @@
+// Write elimination: removes a redundant elementwise copy map
+// (d1 --copy--> d2) and redirects readers of d2 to d1.
+//
+// This models the DaCe built-in that Sec. 6.4 catches on CLOUDSC: "the
+// transformation removes an intermediate write to a data container which was
+// marked as part of the test cutout's system state", i.e. the eliminated
+// value is read again later in the program.
+//
+// Correct mode requires d2 to be transient, d1 to be written nowhere else,
+// and rewrites *every* use of d2 program-wide.  The bug variant only
+// redirects reads inside the current state — later states keep reading the
+// now-never-written d2.
+#pragma once
+
+#include "transforms/transformation.h"
+
+namespace ff::xform {
+
+class WriteElimination : public Transformation {
+public:
+    enum class Variant { Correct, CurrentStateOnly };
+
+    explicit WriteElimination(Variant variant = Variant::Correct) : variant_(variant) {}
+
+    std::string name() const override {
+        return variant_ == Variant::Correct ? "WriteElimination"
+                                            : "WriteElimination[bug:current-state-only]";
+    }
+    std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
+    void apply(ir::SDFG& sdfg, const Match& match) const override;
+
+private:
+    Variant variant_;
+};
+
+}  // namespace ff::xform

@@ -1,0 +1,135 @@
+#include "workloads/builders.h"
+
+#include "common/error.h"
+
+namespace ff::workloads {
+
+using ir::Memlet;
+using ir::NodeId;
+using ir::Range;
+using ir::Subset;
+
+namespace {
+
+/// Map params / ranges / per-iteration subset over a container shape.
+struct IterSpace {
+    std::vector<std::string> params;
+    std::vector<Range> ranges;
+    Subset point;  // [p0, p1, ...]
+    Subset full;   // [0:d0-1, ...]
+};
+
+IterSpace iter_space(const ir::DataDesc& desc, const std::string& prefix) {
+    static const char* names[] = {"i", "j", "k", "l"};
+    IterSpace is;
+    for (std::size_t d = 0; d < desc.shape.size(); ++d) {
+        const std::string p = prefix + names[d % 4];
+        is.params.push_back(p);
+        is.ranges.push_back(Range::full(desc.shape[d]));
+        is.point.ranges.push_back(Range::index(sym::symb(p)));
+        is.full.ranges.push_back(Range::full(desc.shape[d]));
+    }
+    return is;
+}
+
+}  // namespace
+
+NodeId zero_init(ir::SDFG& sdfg, ir::State& st, const std::string& container) {
+    const ir::DataDesc& desc = sdfg.container(container);
+    if (desc.is_scalar()) {
+        const NodeId t = st.add_tasklet("zero_" + container, "z = 0.0");
+        const NodeId acc = st.add_access(container);
+        st.add_edge(t, "z", acc, "", Memlet(container, Subset{}));
+        return acc;
+    }
+    IterSpace is = iter_space(desc, "z");
+    auto [entry, exit] = st.add_map("zero_" + container, is.params, is.ranges);
+    const NodeId t = st.add_tasklet("zero_" + container, "z = 0.0");
+    const NodeId acc = st.add_access(container);
+    st.add_edge(entry, "", t, "", Memlet(container, is.point));  // ordering only
+    st.add_edge(t, "z", exit, "", Memlet(container, is.point));
+    st.add_edge(exit, "", acc, "", Memlet(container, is.full));
+    return acc;
+}
+
+NodeId ew_unary(ir::SDFG& sdfg, ir::State& st, NodeId in_access,
+                const std::string& out_container, const std::string& code) {
+    const std::string in_name = st.graph().node(in_access).data;  // copy: adds reallocate
+    const ir::DataDesc& out_desc = sdfg.container(out_container);
+    const ir::DataDesc& in_desc = sdfg.container(in_name);
+    IterSpace is = iter_space(out_desc, "e");
+    auto [entry, exit] = st.add_map("ew_" + out_container, is.params, is.ranges);
+    const NodeId t = st.add_tasklet("ew_" + out_container, code);
+    const NodeId out_acc = st.add_access(out_container);
+    const Subset in_point = in_desc.is_scalar() ? Subset{} : is.point;
+    const Subset in_full = in_desc.is_scalar() ? Subset{} : Subset::full(in_desc.shape);
+    st.add_edge(in_access, "", entry, "", Memlet(in_name, in_full));
+    st.add_edge(entry, "", t, "i", Memlet(in_name, in_point));
+    st.add_edge(t, "o", exit, "", Memlet(out_container, is.point));
+    st.add_edge(exit, "", out_acc, "", Memlet(out_container, is.full));
+    return out_acc;
+}
+
+NodeId ew_binary(ir::SDFG& sdfg, ir::State& st, NodeId a_access, NodeId b_access,
+                 const std::string& out_container, const std::string& code) {
+    const std::string a_name = st.graph().node(a_access).data;  // copies: adds reallocate
+    const std::string b_name = st.graph().node(b_access).data;
+    const ir::DataDesc& out_desc = sdfg.container(out_container);
+    IterSpace is = iter_space(out_desc, "e");
+    auto [entry, exit] = st.add_map("ew_" + out_container, is.params, is.ranges);
+    const NodeId t = st.add_tasklet("ew_" + out_container, code);
+    const NodeId out_acc = st.add_access(out_container);
+    auto connect_in = [&](NodeId acc, const std::string& name, const std::string& conn) {
+        const ir::DataDesc& desc = sdfg.container(name);
+        const Subset point = desc.is_scalar() ? Subset{} : is.point;
+        const Subset full = desc.is_scalar() ? Subset{} : Subset::full(desc.shape);
+        st.add_edge(acc, "", entry, "", Memlet(name, full));
+        st.add_edge(entry, "", t, conn, Memlet(name, point));
+    };
+    connect_in(a_access, a_name, "a");
+    connect_in(b_access, b_name, "b");
+    st.add_edge(t, "o", exit, "", Memlet(out_container, is.point));
+    st.add_edge(exit, "", out_acc, "", Memlet(out_container, is.full));
+    return out_acc;
+}
+
+NodeId matmul_nest(ir::SDFG& sdfg, ir::State& st, NodeId a_access, NodeId b_access,
+                   NodeId c_zero_access, const sym::ExprPtr& m, const sym::ExprPtr& k,
+                   const sym::ExprPtr& n, const std::string& label) {
+    const std::string a_name = st.graph().node(a_access).data;  // copies: adds reallocate
+    const std::string b_name = st.graph().node(b_access).data;
+    const std::string c_name = st.graph().node(c_zero_access).data;
+
+    auto [ij_entry, ij_exit] = st.add_map(
+        label, {"i", "j"}, {Range::full(m), Range::full(n)}, ir::Schedule::Parallel);
+    auto [k_entry, k_exit] =
+        st.add_map(label + "_k", {"k"}, {Range::full(k)}, ir::Schedule::Sequential);
+    const NodeId t = st.add_tasklet(label + "_fma", "cout = cin + a * b");
+    const NodeId c_out = st.add_access(c_name);
+
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j"), kk = sym::symb("k");
+    const Subset a_full = Subset::full(sdfg.container(a_name).shape);
+    const Subset b_full = Subset::full(sdfg.container(b_name).shape);
+    const Subset c_full = Subset::full(sdfg.container(c_name).shape);
+    const Subset a_row{{Range::index(i), Range::full(k)}};
+    const Subset b_col{{Range::full(k), Range::index(j)}};
+    const Subset c_ij{{Range::index(i), Range::index(j)}};
+    const Subset a_ik{{Range::index(i), Range::index(kk)}};
+    const Subset b_kj{{Range::index(kk), Range::index(j)}};
+
+    st.add_edge(a_access, "", ij_entry, "", Memlet(a_name, a_full));
+    st.add_edge(b_access, "", ij_entry, "", Memlet(b_name, b_full));
+    st.add_edge(c_zero_access, "", ij_entry, "", Memlet(c_name, c_full));
+    st.add_edge(ij_entry, "", k_entry, "", Memlet(a_name, a_row));
+    st.add_edge(ij_entry, "", k_entry, "", Memlet(b_name, b_col));
+    st.add_edge(ij_entry, "", k_entry, "", Memlet(c_name, c_ij));
+    st.add_edge(k_entry, "", t, "a", Memlet(a_name, a_ik));
+    st.add_edge(k_entry, "", t, "b", Memlet(b_name, b_kj));
+    st.add_edge(k_entry, "", t, "cin", Memlet(c_name, c_ij));
+    st.add_edge(t, "cout", k_exit, "", Memlet(c_name, c_ij));
+    st.add_edge(k_exit, "", ij_exit, "", Memlet(c_name, c_ij));
+    st.add_edge(ij_exit, "", c_out, "", Memlet(c_name, c_full));
+    return c_out;
+}
+
+}  // namespace ff::workloads

@@ -1,0 +1,41 @@
+// Reusable graph-construction helpers shared by the workload builders.
+//
+// All helpers return the access node holding the *result* so chains of
+// operations thread naturally:  auto y = ew_unary(..., x, "y", "o = i * 2");
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/sdfg.h"
+
+namespace ff::workloads {
+
+/// Zero-initializes `container` (1-D/2-D array) with a parallel map; returns
+/// the access node holding the zeroed data.
+ir::NodeId zero_init(ir::SDFG& sdfg, ir::State& st, const std::string& container);
+
+/// Elementwise map over the full (1-D or 2-D) shape of `out_container`:
+/// the tasklet reads connector `i` from `in_access`'s container at the same
+/// indices and writes connector `o`.  `code` defaults to identity.
+ir::NodeId ew_unary(ir::SDFG& sdfg, ir::State& st, ir::NodeId in_access,
+                    const std::string& out_container, const std::string& code = "o = i");
+
+/// Elementwise binary map: connectors `a`, `b` -> `o`.
+ir::NodeId ew_binary(ir::SDFG& sdfg, ir::State& st, ir::NodeId a_access, ir::NodeId b_access,
+                     const std::string& out_container, const std::string& code = "o = a + b");
+
+/// Explicit matmul loop nest: C[M,N] (+)= A[M,K] * B[K,N] built as a
+/// parallel (i,j) map around a sequential k map with an accumulation
+/// tasklet.  `c_zero_access` must hold the zero-initialized C.  Returns the
+/// access node holding the final C.
+ir::NodeId matmul_nest(ir::SDFG& sdfg, ir::State& st, ir::NodeId a_access, ir::NodeId b_access,
+                       ir::NodeId c_zero_access, const sym::ExprPtr& m, const sym::ExprPtr& k,
+                       const sym::ExprPtr& n, const std::string& label);
+
+/// Fresh access node for an existing container.
+inline ir::NodeId access(ir::State& st, const std::string& container) {
+    return st.add_access(container);
+}
+
+}  // namespace ff::workloads

@@ -1,0 +1,190 @@
+#include "workloads/cloudsc.h"
+
+#include "common/rng.h"
+#include "workloads/builders.h"
+
+namespace ff::workloads {
+
+using ir::Memlet;
+using ir::NodeId;
+using ir::Range;
+using ir::Subset;
+
+namespace {
+
+const sym::ExprPtr kLev = sym::symb("NLEV");
+
+/// Simple pool of physics-field names (non-transient, shape [NLEV]).
+std::string field_name(int i) { return "field_" + std::to_string(i); }
+
+const char* kTaskletTemplates[] = {
+    "o = a * 0.5 + b",
+    "o = a + b * 0.25",
+    "o = max(a, b) * 0.9",
+    "o = a - 0.1 * b",
+    "o = (a + b) * 0.5",
+};
+
+/// One GPU-extractable kernel: a parallel map over (a subset of) the
+/// levels, reading two fields and writing one.  `partial` restricts the
+/// write to the lower half of the field; `rmw` makes the output also an
+/// input (both trigger the copy-back bug).
+void add_gpu_kernel(ir::SDFG& sdfg, ir::State& st, int idx, const std::string& in1,
+                    const std::string& in2, const std::string& out, bool partial, bool rmw,
+                    common::Rng& rng) {
+    const sym::ExprPtr i = sym::symb("i");
+    // Partial kernels update the *upper* half of the field (like a column
+    // scheme touching only the lower troposphere levels): the untouched
+    // prefix is what the copy-back bug corrupts.
+    const sym::ExprPtr begin = partial ? sym::floordiv(kLev, sym::cst(2)) : sym::cst(0);
+    const sym::ExprPtr end = kLev - 1;
+    const std::string label = "kernel_" + std::to_string(idx);
+    auto [entry, exit] = st.add_map(label, {"i"}, {Range::span(begin, end)},
+                                    ir::Schedule::Parallel);
+    const char* code = kTaskletTemplates[rng.uniform_int(0, 4)];
+    std::string tasklet_code = code;
+    if (rmw) tasklet_code = "o = c + (" + tasklet_code.substr(4) + ")";
+    const NodeId t = st.add_tasklet(label, tasklet_code);
+    const NodeId a1 = st.add_access(in1);
+    const NodeId a2 = st.add_access(in2);
+    const NodeId ao = st.add_access(out);
+    const Subset pi{{Range::index(i)}};
+    const Subset touched{{Range::span(begin, end)}};
+    st.add_edge(a1, "", entry, "", Memlet(in1, touched));
+    st.add_edge(a2, "", entry, "", Memlet(in2, touched));
+    st.add_edge(entry, "", t, "a", Memlet(in1, pi));
+    st.add_edge(entry, "", t, "b", Memlet(in2, pi));
+    if (rmw) {
+        const NodeId ain = st.add_access(out);
+        st.add_edge(ain, "", entry, "", Memlet(out, touched));
+        st.add_edge(entry, "", t, "c", Memlet(out, pi));
+    }
+    st.add_edge(t, "o", exit, "", Memlet(out, pi));
+    st.add_edge(exit, "", ao, "", Memlet(out, touched));
+}
+
+/// One short constant-bound sequential loop over rows of a staging table.
+void add_unroll_loop(ir::SDFG& sdfg, ir::State& st, int idx, const std::string& table_in,
+                     const std::string& table_out, bool descending) {
+    (void)sdfg;
+    const sym::ExprPtr v = sym::symb("v");
+    const std::string label =
+        descending ? "countdown_" + std::to_string(idx) : "short_loop_" + std::to_string(idx);
+    const Range range = descending ? Range{sym::cst(4), sym::cst(1), sym::cst(-1)}
+                                   : Range{sym::cst(0), sym::cst(3), sym::cst(1)};
+    auto [entry, exit] = st.add_map(label, {"v"}, {range}, ir::Schedule::Sequential);
+    const NodeId t = st.add_tasklet(label, "o = a * 1.5 + 1.0");
+    const NodeId ain = st.add_access(table_in);
+    const NodeId aout = st.add_access(table_out);
+    const Subset pv{{Range::index(v)}};
+    const Subset covered = descending ? Subset{{Range::span(sym::cst(1), sym::cst(4))}}
+                                      : Subset{{Range::span(sym::cst(0), sym::cst(3))}};
+    st.add_edge(ain, "", entry, "", Memlet(table_in, covered));
+    st.add_edge(entry, "", t, "a", Memlet(table_in, pv));
+    st.add_edge(t, "o", exit, "", Memlet(table_out, pv));
+    st.add_edge(exit, "", aout, "", Memlet(table_out, covered));
+}
+
+/// Identity staging copy src -> dst (WriteElimination match).
+NodeId add_copy_map(ir::SDFG& sdfg, ir::State& st, NodeId src_access, const std::string& dst) {
+    return ew_unary(sdfg, st, src_access, dst, "o = i");
+}
+
+}  // namespace
+
+ir::SDFG build_cloudsc(CloudscPart part, const CloudscConfig& config) {
+    common::Rng rng(config.seed);
+    ir::SDFG sdfg("cloudsc_" + std::to_string(static_cast<int>(part)));
+    sdfg.add_symbol("NLEV");
+
+    const bool with_gpu = part == CloudscPart::GpuKernels || part == CloudscPart::Full;
+    const bool with_unroll = part == CloudscPart::UnrollLoops || part == CloudscPart::Full;
+    const bool with_copies = part == CloudscPart::CopyChains || part == CloudscPart::Full;
+
+    // Physics field pool (inputs/outputs of the scheme).
+    const int num_fields = 12;
+    for (int i = 0; i < num_fields; ++i)
+        sdfg.add_array(field_name(i), ir::DType::F64, {kLev}, /*transient=*/false);
+
+    ir::StateId prev = graph::kInvalidNode;
+    auto new_state = [&](const std::string& name) -> ir::State& {
+        const ir::StateId sid = sdfg.add_state(name, prev == graph::kInvalidNode);
+        if (prev != graph::kInvalidNode) sdfg.add_interstate_edge(prev, sid);
+        prev = sid;
+        return sdfg.state(sid);
+    };
+
+    if (with_gpu) {
+        // 62 kernels spread over states.  The first `gpu_partial_or_rmw`
+        // write only a *subset* of their output field — the shape the
+        // whole-container copy-back corrupts (a container the kernel reads,
+        // even partially, is staged to the device and is therefore safe;
+        // only partially-written pure outputs expose the bug, Fig. 7).
+        // The remaining kernels write their output in full, half of them
+        // read-modify-write style (staged, hence also safe).
+        int per_state = 4;
+        ir::State* st = nullptr;
+        for (int k = 0; k < config.gpu_kernels; ++k) {
+            if (k % per_state == 0)
+                st = &new_state("gpu_stage_" + std::to_string(k / per_state));
+            const int in1 = static_cast<int>(rng.uniform_int(0, num_fields - 1));
+            int in2 = static_cast<int>(rng.uniform_int(0, num_fields - 1));
+            if (in2 == in1) in2 = (in2 + 1) % num_fields;
+            int out = static_cast<int>(rng.uniform_int(0, num_fields - 1));
+            if (out == in1 || out == in2) out = (std::max(in1, in2) + 1) % num_fields;
+            const bool partial = k < config.gpu_partial_or_rmw;
+            const bool rmw = !partial && (k % 2 == 1);
+            add_gpu_kernel(sdfg, *st, k, field_name(in1), field_name(in2), field_name(out),
+                           partial, rmw, rng);
+        }
+    }
+
+    if (with_unroll) {
+        // Staging tables for the short loops (length-8 lookup rows).
+        for (int k = 0; k < config.unroll_loops; ++k) {
+            sdfg.add_array("tab_in_" + std::to_string(k), ir::DType::F64, {sym::cst(8)},
+                           /*transient=*/false);
+            sdfg.add_array("tab_out_" + std::to_string(k), ir::DType::F64, {sym::cst(8)},
+                           /*transient=*/false);
+        }
+        int per_state = 4;
+        ir::State* st = nullptr;
+        for (int k = 0; k < config.unroll_loops; ++k) {
+            if (k % per_state == 0)
+                st = &new_state("loop_stage_" + std::to_string(k / per_state));
+            const bool descending = k < config.negative_step_loops;
+            add_unroll_loop(sdfg, *st, k, "tab_in_" + std::to_string(k),
+                            "tab_out_" + std::to_string(k), descending);
+        }
+    }
+
+    if (with_copies) {
+        // Staging copies: field -> transient staging buffer.  Exactly
+        // `copies_read_later` staging buffers are consumed by a later state.
+        for (int k = 0; k < config.copy_maps; ++k)
+            sdfg.add_array("staging_" + std::to_string(k), ir::DType::F64, {kLev},
+                           /*transient=*/true);
+        sdfg.add_array("diag_out", ir::DType::F64, {kLev}, /*transient=*/false);
+
+        int per_state = 8;
+        ir::State* st = nullptr;
+        for (int k = 0; k < config.copy_maps; ++k) {
+            if (k % per_state == 0)
+                st = &new_state("copy_stage_" + std::to_string(k / per_state));
+            const int src = static_cast<int>(rng.uniform_int(0, num_fields - 1));
+            add_copy_map(sdfg, *st, st->add_access(field_name(src)),
+                         "staging_" + std::to_string(k));
+        }
+        // The late consumer reads staging_0 .. staging_{copies_read_later-1}.
+        ir::State& late = new_state("diagnostics");
+        NodeId acc = late.add_access("staging_0");
+        NodeId out = ew_unary(sdfg, late, acc, "diag_out", "o = i * 2.0");
+        (void)out;
+    }
+
+    return sdfg;
+}
+
+sym::Bindings cloudsc_defaults(std::int64_t nlev) { return sym::Bindings{{"NLEV", nlev}}; }
+
+}  // namespace ff::workloads

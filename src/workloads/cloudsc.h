@@ -1,0 +1,42 @@
+// CLOUDSC-like synthetic weather microphysics program (Sec. 6.4).
+//
+// The real CLOUDSC is ECMWF's 3.5k-line Fortran cloud scheme; we generate a
+// structurally equivalent program: a long chain of states over a pool of
+// per-level physics fields, containing
+//  * GPU-extractable parallel loop nests, a controlled fraction of which
+//    write only a *subset* of their output field or read-modify-write it
+//    (the 48-of-62 instances the whole-container copy-back bug corrupts);
+//  * short constant-bound sequential loops, exactly one of which runs
+//    *backwards* (the negative-step loop the unrolling bug miscounts);
+//  * staging copies between fields, exactly one of which feeds a later
+//    state (the write-elimination instance whose removal changes
+//    semantics).
+//
+// The three sections can be built separately so each custom transformation
+// is audited on its own sub-program with the paper's instance counts.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/sdfg.h"
+
+namespace ff::workloads {
+
+struct CloudscConfig {
+    int gpu_kernels = 62;
+    int gpu_partial_or_rmw = 48;  ///< kernels the copy-back bug corrupts
+    int unroll_loops = 19;
+    int negative_step_loops = 1;
+    int copy_maps = 136;
+    int copies_read_later = 1;
+    std::uint64_t seed = 0xC10D5CULL;
+};
+
+enum class CloudscPart { GpuKernels, UnrollLoops, CopyChains, Full };
+
+ir::SDFG build_cloudsc(CloudscPart part, const CloudscConfig& config = {});
+
+/// Default bindings (NLEV vertical levels).
+sym::Bindings cloudsc_defaults(std::int64_t nlev = 12);
+
+}  // namespace ff::workloads

@@ -1,0 +1,36 @@
+#include "workloads/matchain.h"
+
+#include "workloads/builders.h"
+
+namespace ff::workloads {
+
+ir::SDFG build_matrix_chain() {
+    ir::SDFG sdfg("matrix_chain");
+    sdfg.add_symbol("N");
+    const sym::ExprPtr n = sym::symb("N");
+
+    for (const char* name : {"A", "B", "C", "D"})
+        sdfg.add_array(name, ir::DType::F64, {n, n}, /*transient=*/false);
+    sdfg.add_array("U", ir::DType::F64, {n, n}, /*transient=*/true);   // A*B
+    sdfg.add_array("V", ir::DType::F64, {n, n}, /*transient=*/true);   // U*C
+    sdfg.add_array("R", ir::DType::F64, {n, n}, /*transient=*/false);  // V*D
+
+    const ir::StateId sid = sdfg.add_state("main", /*is_start=*/true);
+    ir::State& st = sdfg.state(sid);
+
+    const ir::NodeId a = access(st, "A");
+    const ir::NodeId b = access(st, "B");
+    const ir::NodeId c = access(st, "C");
+    const ir::NodeId d = access(st, "D");
+
+    const ir::NodeId u0 = zero_init(sdfg, st, "U");
+    const ir::NodeId u = matmul_nest(sdfg, st, a, b, u0, n, n, n, "mm1");
+    const ir::NodeId v0 = zero_init(sdfg, st, "V");
+    const ir::NodeId v = matmul_nest(sdfg, st, u, c, v0, n, n, n, "mm2");
+    const ir::NodeId r0 = zero_init(sdfg, st, "R");
+    matmul_nest(sdfg, st, v, d, r0, n, n, n, "mm3");
+
+    return sdfg;
+}
+
+}  // namespace ff::workloads

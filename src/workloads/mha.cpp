@@ -1,0 +1,108 @@
+#include "workloads/mha.h"
+
+#include "workloads/builders.h"
+
+namespace ff::workloads {
+
+using ir::Memlet;
+using ir::Range;
+using ir::Subset;
+
+ir::SDFG build_mha_scale(int extra_layers) {
+    ir::SDFG sdfg("mha_scale");
+    for (const char* s : {"B", "H", "SM", "P"}) sdfg.add_symbol(s);
+    const sym::ExprPtr b = sym::symb("B"), h = sym::symb("H");
+    const sym::ExprPtr sm = sym::symb("SM"), p = sym::symb("P");
+
+    sdfg.add_array("A", ir::DType::F64, {b, h, sm, p}, /*transient=*/false);
+    sdfg.add_array("Bmat", ir::DType::F64, {b, h, p, sm}, /*transient=*/false);
+    sdfg.add_scalar("scale", ir::DType::F64, /*transient=*/false);
+    sdfg.add_array("tmp", ir::DType::F64, {b, h, sm, sm}, /*transient=*/true);
+    sdfg.add_array("att", ir::DType::F64, {b, h, sm, sm}, /*transient=*/true);
+    sdfg.add_array("Vmat", ir::DType::F64, {b, h, sm, p}, /*transient=*/false);
+    sdfg.add_array("out", ir::DType::F64, {b, h, sm, p}, /*transient=*/false);
+
+    const ir::StateId sid = sdfg.add_state("mha", /*is_start=*/true);
+    ir::State& st = sdfg.state(sid);
+
+    const Subset a_full = Subset::full(sdfg.container("A").shape);
+    const Subset bm_full = Subset::full(sdfg.container("Bmat").shape);
+    const Subset tmp_full = Subset::full(sdfg.container("tmp").shape);
+    const Subset v_full = Subset::full(sdfg.container("Vmat").shape);
+    const Subset out_full = Subset::full(sdfg.container("out").shape);
+
+    // tmp = A @ Bmat (batched over B, H).
+    const ir::NodeId acc_a = access(st, "A");
+    const ir::NodeId acc_bm = access(st, "Bmat");
+    const ir::NodeId bmm1 = st.add_library(ir::LibraryKind::BatchedMatMul, "qk_contraction");
+    const ir::NodeId acc_tmp = access(st, "tmp");
+    st.add_edge(acc_a, "", bmm1, "A", Memlet("A", a_full));
+    st.add_edge(acc_bm, "", bmm1, "B", Memlet("Bmat", bm_full));
+    st.add_edge(bmm1, "C", acc_tmp, "", Memlet("tmp", tmp_full));
+
+    // tmp *= scale — the vectorization target (in-place 4-D loop nest).
+    const ir::NodeId acc_scale = access(st, "scale");
+    const ir::NodeId acc_tmp2 = ew_binary(sdfg, st, acc_tmp, acc_scale, "tmp", "o = a * b");
+
+    // att = softmax(tmp) over the last axis.
+    const ir::NodeId softmax = st.add_library(ir::LibraryKind::Softmax, "attention_softmax");
+    const ir::NodeId acc_att = access(st, "att");
+    st.add_edge(acc_tmp2, "", softmax, "in", Memlet("tmp", tmp_full));
+    st.add_edge(softmax, "out", acc_att, "", Memlet("att", tmp_full));
+
+    // out = att @ Vmat.
+    const ir::NodeId acc_v = access(st, "Vmat");
+    const ir::NodeId bmm2 = st.add_library(ir::LibraryKind::BatchedMatMul, "av_contraction");
+    const ir::NodeId acc_out = access(st, "out");
+    st.add_edge(acc_att, "", bmm2, "A", Memlet("att", tmp_full));
+    st.add_edge(acc_v, "", bmm2, "B", Memlet("Vmat", v_full));
+    st.add_edge(bmm2, "C", acc_out, "", Memlet("out", out_full));
+
+    // Further attention-style layers: the rest of the encoder.
+    ir::NodeId cur = acc_out;  // [B, H, SM, P]
+    for (int layer = 0; layer < extra_layers; ++layer) {
+        const std::string suffix = "_l" + std::to_string(layer);
+        sdfg.add_array("K" + suffix, ir::DType::F64, {b, h, p, sm}, /*transient=*/false);
+        sdfg.add_array("V" + suffix, ir::DType::F64, {b, h, sm, p}, /*transient=*/false);
+        sdfg.add_array("scores" + suffix, ir::DType::F64, {b, h, sm, sm}, /*transient=*/true);
+        sdfg.add_array("probs" + suffix, ir::DType::F64, {b, h, sm, sm}, /*transient=*/true);
+        const std::string out_name =
+            layer + 1 == extra_layers ? "encoder_out" : "hidden" + suffix;
+        sdfg.add_array(out_name, ir::DType::F64, {b, h, sm, p},
+                       /*transient=*/layer + 1 != extra_layers);
+
+        const ir::NodeId k_in = access(st, "K" + suffix);
+        const ir::NodeId qk = st.add_library(ir::LibraryKind::BatchedMatMul, "qk" + suffix);
+        const ir::NodeId scores = access(st, "scores" + suffix);
+        st.add_edge(cur, "", qk, "A", Memlet(st.graph().node(cur).data, out_full));
+        st.add_edge(k_in, "", qk, "B", Memlet("K" + suffix, bm_full));
+        st.add_edge(qk, "C", scores, "", Memlet("scores" + suffix, tmp_full));
+
+        const ir::NodeId sm_node = st.add_library(ir::LibraryKind::Softmax, "sm" + suffix);
+        const ir::NodeId probs = access(st, "probs" + suffix);
+        st.add_edge(scores, "", sm_node, "in", Memlet("scores" + suffix, tmp_full));
+        st.add_edge(sm_node, "out", probs, "", Memlet("probs" + suffix, tmp_full));
+
+        // Per-layer elementwise stage (attention scaling), like the one the
+        // vectorization targets — each layer carries a loop nest of its own.
+        const ir::NodeId layer_scale = access(st, "scale");
+        const ir::NodeId probs2 = ew_binary(sdfg, st, probs, layer_scale, "probs" + suffix,
+                                            "o = a * b");
+
+        const ir::NodeId v_in = access(st, "V" + suffix);
+        const ir::NodeId av = st.add_library(ir::LibraryKind::BatchedMatMul, "av" + suffix);
+        const ir::NodeId next = access(st, out_name);
+        st.add_edge(probs2, "", av, "A", Memlet("probs" + suffix, tmp_full));
+        st.add_edge(v_in, "", av, "B", Memlet("V" + suffix, v_full));
+        st.add_edge(av, "C", next, "", Memlet(out_name, out_full));
+        cur = next;
+    }
+
+    return sdfg;
+}
+
+sym::Bindings mha_defaults(std::int64_t sm) {
+    return sym::Bindings{{"B", 8}, {"H", 16}, {"SM", sm}, {"P", sm / 8}};
+}
+
+}  // namespace ff::workloads

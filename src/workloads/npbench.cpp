@@ -1,0 +1,1048 @@
+#include "workloads/npbench.h"
+
+#include <functional>
+#include <map>
+
+#include "common/error.h"
+#include "workloads/builders.h"
+
+namespace ff::workloads {
+
+using ir::Memlet;
+using ir::NodeId;
+using ir::Range;
+using ir::Subset;
+
+namespace {
+
+const sym::ExprPtr kN = sym::symb("N");
+const sym::ExprPtr kM = sym::symb("M");
+const sym::ExprPtr kK = sym::symb("K");
+
+/// One operand of a custom map/nest: where to read and through which
+/// tasklet connector.
+struct In {
+    NodeId acc;
+    Subset point;   ///< per-iteration subset (uses the map parameters)
+    std::string conn;
+};
+
+Subset full_of(const ir::SDFG& sdfg, ir::State& st, NodeId acc) {
+    return Subset::full(sdfg.container(st.graph().node(acc).data).shape);
+}
+
+/// Generic elementwise/custom map: `code` writes connector `o` into
+/// `out[out_point]`; returns the access node holding the result.
+NodeId custom_map(ir::SDFG& sdfg, ir::State& st, const std::string& label,
+                  std::vector<std::string> params, std::vector<Range> ranges,
+                  const std::vector<In>& ins, const std::string& out, const Subset& out_point,
+                  const std::string& code, ir::Schedule schedule = ir::Schedule::Parallel) {
+    auto [entry, exit] = st.add_map(label, std::move(params), std::move(ranges), schedule);
+    const NodeId t = st.add_tasklet(label, code);
+    const NodeId out_acc = st.add_access(out);
+    if (ins.empty()) st.add_edge(entry, "", t, "", Memlet(out, out_point));
+    for (const In& in : ins) {
+        const std::string& name = st.graph().node(in.acc).data;
+        st.add_edge(in.acc, "", entry, "", Memlet(name, full_of(sdfg, st, in.acc)));
+        st.add_edge(entry, "", t, in.conn, Memlet(name, in.point));
+    }
+    st.add_edge(t, "o", exit, "", Memlet(out, out_point));
+    st.add_edge(exit, "", out_acc, "", Memlet(out, Subset::full(sdfg.container(out).shape)));
+    return out_acc;
+}
+
+/// Generic accumulation nest: parallel `params` map around a sequential
+/// `red_params` map, accumulating `out[out_point] += rhs` where `rhs` reads
+/// the In connectors.  `out_zero` holds the initialized output.
+NodeId accum_nest(ir::SDFG& sdfg, ir::State& st, const std::string& label,
+                  std::vector<std::string> params, std::vector<Range> ranges,
+                  std::vector<std::string> red_params, std::vector<Range> red_ranges,
+                  const std::vector<In>& ins, NodeId out_zero, const Subset& out_point,
+                  const std::string& rhs) {
+    const std::string out = st.graph().node(out_zero).data;
+    auto [p_entry, p_exit] = st.add_map(label, std::move(params), std::move(ranges),
+                                        ir::Schedule::Parallel);
+    auto [r_entry, r_exit] = st.add_map(label + "_red", std::move(red_params),
+                                        std::move(red_ranges), ir::Schedule::Sequential);
+    const NodeId t = st.add_tasklet(label + "_acc", "cout = cin + (" + rhs + ")");
+    const NodeId out_acc = st.add_access(out);
+
+    for (const In& in : ins) {
+        const std::string& name = st.graph().node(in.acc).data;
+        const Subset full = full_of(sdfg, st, in.acc);
+        st.add_edge(in.acc, "", p_entry, "", Memlet(name, full));
+        st.add_edge(p_entry, "", r_entry, "", Memlet(name, full));
+        st.add_edge(r_entry, "", t, in.conn, Memlet(name, in.point));
+    }
+    const Subset out_full = Subset::full(sdfg.container(out).shape);
+    st.add_edge(out_zero, "", p_entry, "", Memlet(out, out_full));
+    st.add_edge(p_entry, "", r_entry, "", Memlet(out, out_point));
+    st.add_edge(r_entry, "", t, "cin", Memlet(out, out_point));
+    st.add_edge(t, "cout", r_exit, "", Memlet(out, out_point));
+    st.add_edge(r_exit, "", p_exit, "", Memlet(out, out_point));
+    st.add_edge(p_exit, "", out_acc, "", Memlet(out, out_full));
+    return out_acc;
+}
+
+/// Matrix-vector product nest: y[i] += A[i,k] * x[k].
+NodeId matvec(ir::SDFG& sdfg, ir::State& st, const std::string& label, NodeId a, NodeId x,
+              NodeId y_zero, const sym::ExprPtr& rows, const sym::ExprPtr& cols,
+              bool transposed = false) {
+    const sym::ExprPtr i = sym::symb("i"), k = sym::symb("k");
+    const Subset a_pt = transposed ? Subset{{Range::index(k), Range::index(i)}}
+                                   : Subset{{Range::index(i), Range::index(k)}};
+    return accum_nest(sdfg, st, label, {"i"}, {Range::full(rows)}, {"k"}, {Range::full(cols)},
+                      {In{a, a_pt, "a"}, In{x, Subset{{Range::index(k)}}, "b"}}, y_zero,
+                      Subset{{Range::index(i)}}, "a * b");
+}
+
+/// Scalar tasklet chain producing `out` (scalar container) from scalar
+/// inputs; the tasklet->access->tasklet hop matches TaskletFusion.
+NodeId scalar_chain(ir::SDFG& sdfg, ir::State& st, const std::string& label, NodeId in_acc,
+                    const std::string& mid, const std::string& out, const std::string& code1,
+                    const std::string& code2) {
+    (void)sdfg;
+    const std::string in_name = st.graph().node(in_acc).data;  // copy: adds reallocate
+    const NodeId t1 = st.add_tasklet(label + "_a", code1);
+    const NodeId acc_mid = st.add_access(mid);
+    const NodeId t2 = st.add_tasklet(label + "_b", code2);
+    const NodeId acc_out = st.add_access(out);
+    st.add_edge(in_acc, "", t1, "x", Memlet(in_name, Subset{}));
+    st.add_edge(t1, "o", acc_mid, "", Memlet(mid, Subset{}));
+    st.add_edge(acc_mid, "", t2, "x", Memlet(mid, Subset{}));
+    st.add_edge(t2, "o", acc_out, "", Memlet(out, Subset{}));
+    return acc_out;
+}
+
+/// 1-D elementwise chain in -> T -> out (BufferTiling / MapFusion shape).
+void ew_chain_1d(ir::SDFG& sdfg, ir::State& st, NodeId in_acc, const std::string& mid,
+                 const std::string& out, const std::string& code1, const std::string& code2) {
+    const NodeId t = ew_unary(sdfg, st, in_acc, mid, code1);
+    ew_unary(sdfg, st, t, out, code2);
+}
+
+// ---------------------------------------------------------------------------
+// Kernels.  Each returns a self-contained SDFG.
+// ---------------------------------------------------------------------------
+
+using Builder = std::function<ir::SDFG()>;
+
+ir::SDFG k_gemm() {
+    ir::SDFG s("gemm");
+    s.add_symbol("N");
+    s.add_symbol("M");
+    s.add_symbol("K");
+    s.add_array("A", ir::DType::F64, {kM, kK});
+    s.add_array("B", ir::DType::F64, {kK, kN});
+    s.add_array("Cin", ir::DType::F64, {kM, kN});
+    s.add_scalar("alpha", ir::DType::F64);
+    s.add_scalar("beta", ir::DType::F64);
+    s.add_array("T", ir::DType::F64, {kM, kN}, true);
+    s.add_array("C", ir::DType::F64, {kM, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId t0 = zero_init(s, st, "T");
+    const NodeId t = matmul_nest(s, st, access(st, "A"), access(st, "B"), t0, kM, kK, kN, "mm");
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j");
+    const Subset ij{{Range::index(i), Range::index(j)}};
+    custom_map(s, st, "scale_add", {"i", "j"}, {Range::full(kM), Range::full(kN)},
+               {In{t, ij, "t"}, In{access(st, "Cin"), ij, "c"},
+                In{access(st, "alpha"), Subset{}, "al"}, In{access(st, "beta"), Subset{}, "be"}},
+               "C", ij, "o = al * t + be * c");
+    return s;
+}
+
+ir::SDFG k_2mm() {
+    ir::SDFG s("two_mm");
+    s.add_symbol("N");
+    s.add_array("A", ir::DType::F64, {kN, kN});
+    s.add_array("B", ir::DType::F64, {kN, kN});
+    s.add_array("C", ir::DType::F64, {kN, kN});
+    s.add_array("T", ir::DType::F64, {kN, kN}, true);
+    s.add_array("D", ir::DType::F64, {kN, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId t0 = zero_init(s, st, "T");
+    const NodeId t = matmul_nest(s, st, access(st, "A"), access(st, "B"), t0, kN, kN, kN, "mm1");
+    const NodeId d0 = zero_init(s, st, "D");
+    matmul_nest(s, st, t, access(st, "C"), d0, kN, kN, kN, "mm2");
+    return s;
+}
+
+ir::SDFG k_3mm() {
+    ir::SDFG s("three_mm");
+    s.add_symbol("N");
+    for (const char* a : {"A", "B", "C", "D"}) s.add_array(a, ir::DType::F64, {kN, kN});
+    s.add_array("E", ir::DType::F64, {kN, kN}, true);
+    s.add_array("F", ir::DType::F64, {kN, kN}, true);
+    s.add_array("G", ir::DType::F64, {kN, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId e0 = zero_init(s, st, "E");
+    const NodeId e = matmul_nest(s, st, access(st, "A"), access(st, "B"), e0, kN, kN, kN, "mm1");
+    const NodeId f0 = zero_init(s, st, "F");
+    const NodeId f = matmul_nest(s, st, access(st, "C"), access(st, "D"), f0, kN, kN, kN, "mm2");
+    const NodeId g0 = zero_init(s, st, "G");
+    matmul_nest(s, st, e, f, g0, kN, kN, kN, "mm3");
+    return s;
+}
+
+ir::SDFG k_atax() {
+    ir::SDFG s("atax");
+    s.add_symbol("N");
+    s.add_symbol("M");
+    s.add_array("A", ir::DType::F64, {kM, kN});
+    s.add_array("x", ir::DType::F64, {kN});
+    s.add_array("t", ir::DType::F64, {kM}, true);
+    s.add_array("y", ir::DType::F64, {kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId t0 = zero_init(s, st, "t");
+    const NodeId t = matvec(s, st, "Ax", access(st, "A"), access(st, "x"), t0, kM, kN);
+    const NodeId y0 = zero_init(s, st, "y");
+    matvec(s, st, "Atx", access(st, "A"), t, y0, kN, kM, /*transposed=*/true);
+    return s;
+}
+
+ir::SDFG k_bicg() {
+    ir::SDFG s("bicg");
+    s.add_symbol("N");
+    s.add_symbol("M");
+    s.add_array("A", ir::DType::F64, {kN, kM});
+    s.add_array("p", ir::DType::F64, {kM});
+    s.add_array("r", ir::DType::F64, {kN});
+    s.add_array("q", ir::DType::F64, {kN});
+    s.add_array("s", ir::DType::F64, {kM});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId q0 = zero_init(s, st, "q");
+    matvec(s, st, "Ap", access(st, "A"), access(st, "p"), q0, kN, kM);
+    const NodeId s0 = zero_init(s, st, "s");
+    matvec(s, st, "Atr", access(st, "A"), access(st, "r"), s0, kM, kN, /*transposed=*/true);
+    return s;
+}
+
+ir::SDFG k_mvt() {
+    ir::SDFG s("mvt");
+    s.add_symbol("N");
+    s.add_array("A", ir::DType::F64, {kN, kN});
+    s.add_array("y1", ir::DType::F64, {kN});
+    s.add_array("y2", ir::DType::F64, {kN});
+    s.add_array("x1", ir::DType::F64, {kN});
+    s.add_array("x2", ir::DType::F64, {kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId x1z = zero_init(s, st, "x1");
+    matvec(s, st, "Ay1", access(st, "A"), access(st, "y1"), x1z, kN, kN);
+    const NodeId x2z = zero_init(s, st, "x2");
+    matvec(s, st, "Aty2", access(st, "A"), access(st, "y2"), x2z, kN, kN, /*transposed=*/true);
+    return s;
+}
+
+ir::SDFG k_gesummv() {
+    ir::SDFG s("gesummv");
+    s.add_symbol("N");
+    s.add_array("A", ir::DType::F64, {kN, kN});
+    s.add_array("B", ir::DType::F64, {kN, kN});
+    s.add_array("x", ir::DType::F64, {kN});
+    s.add_scalar("alpha", ir::DType::F64);
+    s.add_scalar("beta", ir::DType::F64);
+    s.add_array("t1", ir::DType::F64, {kN}, true);
+    s.add_array("t2", ir::DType::F64, {kN}, true);
+    s.add_array("y", ir::DType::F64, {kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId t1z = zero_init(s, st, "t1");
+    const NodeId t1 = matvec(s, st, "Ax", access(st, "A"), access(st, "x"), t1z, kN, kN);
+    const NodeId t2z = zero_init(s, st, "t2");
+    const NodeId t2 = matvec(s, st, "Bx", access(st, "B"), access(st, "x"), t2z, kN, kN);
+    const sym::ExprPtr i = sym::symb("i");
+    const Subset pi{{Range::index(i)}};
+    custom_map(s, st, "combine", {"i"}, {Range::full(kN)},
+               {In{t1, pi, "a"}, In{t2, pi, "b"}, In{access(st, "alpha"), Subset{}, "al"},
+                In{access(st, "beta"), Subset{}, "be"}},
+               "y", pi, "o = al * a + be * b");
+    return s;
+}
+
+ir::SDFG k_gemver() {
+    ir::SDFG s("gemver");
+    s.add_symbol("N");
+    s.add_array("A", ir::DType::F64, {kN, kN});
+    s.add_array("u1", ir::DType::F64, {kN});
+    s.add_array("v1", ir::DType::F64, {kN});
+    s.add_array("u2", ir::DType::F64, {kN});
+    s.add_array("v2", ir::DType::F64, {kN});
+    s.add_array("A2", ir::DType::F64, {kN, kN}, true);
+    s.add_array("y", ir::DType::F64, {kN});
+    s.add_array("x", ir::DType::F64, {kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j");
+    const Subset ij{{Range::index(i), Range::index(j)}};
+    const Subset pi{{Range::index(i)}};
+    const Subset pj{{Range::index(j)}};
+    const NodeId a2 = custom_map(
+        s, st, "rank1", {"i", "j"}, {Range::full(kN), Range::full(kN)},
+        {In{access(st, "A"), ij, "a"}, In{access(st, "u1"), pi, "p"},
+         In{access(st, "v1"), pj, "q"}, In{access(st, "u2"), pi, "r"},
+         In{access(st, "v2"), pj, "t"}},
+        "A2", ij, "o = a + p * q + r * t");
+    const NodeId xz = zero_init(s, st, "x");
+    matvec(s, st, "A2y", a2, access(st, "y"), xz, kN, kN, /*transposed=*/true);
+    return s;
+}
+
+ir::SDFG k_syrk() {
+    ir::SDFG s("syrk");
+    s.add_symbol("N");
+    s.add_symbol("M");
+    s.add_array("A", ir::DType::F64, {kN, kM});
+    s.add_array("C", ir::DType::F64, {kN, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j"), k = sym::symb("k");
+    const NodeId cz = zero_init(s, st, "C");
+    const NodeId a = access(st, "A");
+    accum_nest(s, st, "syrk", {"i", "j"}, {Range::full(kN), Range::full(kN)}, {"k"},
+               {Range::full(kM)},
+               {In{a, Subset{{Range::index(i), Range::index(k)}}, "a"},
+                In{a, Subset{{Range::index(j), Range::index(k)}}, "b"}},
+               cz, Subset{{Range::index(i), Range::index(j)}}, "a * b");
+    return s;
+}
+
+ir::SDFG k_syr2k() {
+    ir::SDFG s("syr2k");
+    s.add_symbol("N");
+    s.add_symbol("M");
+    s.add_array("A", ir::DType::F64, {kN, kM});
+    s.add_array("B", ir::DType::F64, {kN, kM});
+    s.add_array("C", ir::DType::F64, {kN, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j"), k = sym::symb("k");
+    const NodeId cz = zero_init(s, st, "C");
+    accum_nest(s, st, "syr2k", {"i", "j"}, {Range::full(kN), Range::full(kN)}, {"k"},
+               {Range::full(kM)},
+               {In{access(st, "A"), Subset{{Range::index(i), Range::index(k)}}, "a"},
+                In{access(st, "B"), Subset{{Range::index(j), Range::index(k)}}, "b"},
+                In{access(st, "A"), Subset{{Range::index(j), Range::index(k)}}, "c"},
+                In{access(st, "B"), Subset{{Range::index(i), Range::index(k)}}, "d"}},
+               cz, Subset{{Range::index(i), Range::index(j)}}, "a * b + c * d");
+    return s;
+}
+
+ir::SDFG k_doitgen() {
+    ir::SDFG s("doitgen");
+    s.add_symbol("N");
+    s.add_symbol("M");
+    s.add_array("A", ir::DType::F64, {kN, kN, kM});
+    s.add_array("C4", ir::DType::F64, {kM, kM});
+    s.add_array("Aout", ir::DType::F64, {kN, kN, kM});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j"), k = sym::symb("k");
+    const sym::ExprPtr l = sym::symb("l");
+    const NodeId az = zero_init(s, st, "Aout");
+    accum_nest(s, st, "doitgen", {"i", "j", "k"},
+               {Range::full(kN), Range::full(kN), Range::full(kM)}, {"l"}, {Range::full(kM)},
+               {In{access(st, "A"), Subset{{Range::index(i), Range::index(j), Range::index(l)}},
+                   "a"},
+                In{access(st, "C4"), Subset{{Range::index(l), Range::index(k)}}, "c"}},
+               az, Subset{{Range::index(i), Range::index(j), Range::index(k)}}, "a * c");
+    return s;
+}
+
+ir::SDFG k_jacobi_1d() {
+    ir::SDFG s("jacobi_1d");
+    s.add_symbol("N");
+    s.add_symbol("TSTEPS");
+    s.add_symbol("t");
+    s.add_array("A", ir::DType::F64, {kN});
+    s.add_array("B", ir::DType::F64, {kN}, true);
+    const ir::StateId init = s.add_state("init", true);
+    ir::State& st = s.state(s.add_state("step"));
+    const sym::ExprPtr i = sym::symb("i");
+    const NodeId a_in = access(st, "A");
+    const NodeId b_mid = custom_map(s, st, "stencil_fwd", {"i"},
+                                    {Range::span(sym::cst(1), kN - 2)},
+                                    {In{a_in, Subset{{Range::span(i - 1, i + 1)}}, "a"}}, "B",
+                                    Subset{{Range::index(i)}}, "o = (a[0] + a[1] + a[2]) / 3.0");
+    custom_map(s, st, "stencil_bwd", {"i"}, {Range::span(sym::cst(1), kN - 2)},
+               {In{b_mid, Subset{{Range::span(i - 1, i + 1)}}, "a"}}, "A",
+               Subset{{Range::index(i)}}, "o = (a[0] + a[1] + a[2]) / 3.0");
+    // Time loop at the state-machine level (initialized by the init edge).
+    const ir::StateId body = s.states()[1];
+    ir::InterstateEdge enter;
+    enter.assignments.emplace_back("t", sym::cst(0));
+    s.add_interstate_edge(init, body, enter);
+    ir::InterstateEdge back;
+    back.condition = sym::BoolExpr::compare(sym::CmpOp::Lt, sym::symb("t"), sym::symb("TSTEPS"));
+    back.assignments.emplace_back("t", sym::symb("t") + 1);
+    s.add_interstate_edge(body, body, back);
+    return s;
+}
+
+ir::SDFG k_jacobi_2d() {
+    ir::SDFG s("jacobi_2d");
+    s.add_symbol("N");
+    s.add_array("A", ir::DType::F64, {kN, kN});
+    s.add_array("B", ir::DType::F64, {kN, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j");
+    custom_map(s, st, "jacobi2d", {"i", "j"},
+               {Range::span(sym::cst(1), kN - 2), Range::span(sym::cst(1), kN - 2)},
+               {In{access(st, "A"), Subset{{Range::span(i - 1, i + 1), Range::span(j - 1, j + 1)}},
+                   "a"}},
+               "B", Subset{{Range::index(i), Range::index(j)}},
+               "o = 0.2 * (a[4] + a[1] + a[7] + a[3] + a[5])");
+    return s;
+}
+
+ir::SDFG k_heat_3d() {
+    ir::SDFG s("heat_3d");
+    s.add_symbol("N");
+    s.add_array("A", ir::DType::F64, {kN, kN, kN});
+    s.add_array("B", ir::DType::F64, {kN, kN, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j"), k = sym::symb("k");
+    custom_map(
+        s, st, "heat3d", {"i", "j", "k"},
+        {Range::span(sym::cst(1), kN - 2), Range::span(sym::cst(1), kN - 2),
+         Range::span(sym::cst(1), kN - 2)},
+        {In{access(st, "A"),
+            Subset{{Range::span(i - 1, i + 1), Range::span(j - 1, j + 1),
+                    Range::span(k - 1, k + 1)}},
+            "a"}},
+        "B", Subset{{Range::index(i), Range::index(j), Range::index(k)}},
+        "o = a[13] + 0.125 * (a[4] + a[22] - 2.0 * a[13]) + 0.125 * (a[10] + a[16] - 2.0 * "
+        "a[13]) + 0.125 * (a[12] + a[14] - 2.0 * a[13])");
+    return s;
+}
+
+ir::SDFG k_fdtd_2d() {
+    ir::SDFG s("fdtd_2d");
+    s.add_symbol("N");
+    s.add_symbol("TSTEPS");
+    s.add_symbol("t");
+    s.add_array("ex", ir::DType::F64, {kN, kN});
+    s.add_array("ey", ir::DType::F64, {kN, kN});
+    s.add_array("hz", ir::DType::F64, {kN, kN});
+    const ir::StateId init = s.add_state("init", true);
+    ir::State& st = s.state(s.add_state("step"));
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j");
+    const NodeId hz_in = access(st, "hz");
+    const NodeId ey2 = custom_map(
+        s, st, "update_ey", {"i", "j"},
+        {Range::span(sym::cst(1), kN - 1), Range::full(kN)},
+        {In{access(st, "ey"), Subset{{Range::index(i), Range::index(j)}}, "e"},
+         In{hz_in, Subset{{Range::span(i - 1, i), Range::index(j)}}, "h"}},
+        "ey", Subset{{Range::index(i), Range::index(j)}}, "o = e - 0.5 * (h[1] - h[0])");
+    const NodeId ex2 = custom_map(
+        s, st, "update_ex", {"i", "j"},
+        {Range::full(kN), Range::span(sym::cst(1), kN - 1)},
+        {In{access(st, "ex"), Subset{{Range::index(i), Range::index(j)}}, "e"},
+         In{hz_in, Subset{{Range::index(i), Range::span(j - 1, j)}}, "h"}},
+        "ex", Subset{{Range::index(i), Range::index(j)}}, "o = e - 0.5 * (h[1] - h[0])");
+    custom_map(
+        s, st, "update_hz", {"i", "j"},
+        {Range::span(sym::cst(0), kN - 2), Range::span(sym::cst(0), kN - 2)},
+        {In{hz_in, Subset{{Range::index(i), Range::index(j)}}, "h"},
+         In{ex2, Subset{{Range::index(i), Range::span(j, j + 1)}}, "e"},
+         In{ey2, Subset{{Range::span(i, i + 1), Range::index(j)}}, "f"}},
+        "hz", Subset{{Range::index(i), Range::index(j)}},
+        "o = h - 0.7 * (e[1] - e[0] + f[1] - f[0])");
+    const ir::StateId body = s.states()[1];
+    ir::InterstateEdge enter;
+    enter.assignments.emplace_back("t", sym::cst(0));
+    s.add_interstate_edge(init, body, enter);
+    ir::InterstateEdge back;
+    back.condition = sym::BoolExpr::compare(sym::CmpOp::Lt, sym::symb("t"), sym::symb("TSTEPS"));
+    back.assignments.emplace_back("t", sym::symb("t") + 1);
+    s.add_interstate_edge(body, body, back);
+    return s;
+}
+
+ir::SDFG k_floyd_warshall() {
+    ir::SDFG s("floyd_warshall");
+    s.add_symbol("N");
+    s.add_symbol("k");
+    s.add_array("path", ir::DType::F64, {kN, kN});
+    s.add_array("pathn", ir::DType::F64, {kN, kN}, true);
+    // Two states: init k, then the relaxation state looping over k via the
+    // state machine (interstate symbol k used inside memlets).  The sweep
+    // double-buffers through `pathn` so iterations stay order-independent.
+    const ir::StateId init = s.add_state("init", true);
+    (void)init;
+    const ir::StateId body = s.add_state("relax");
+    ir::State& st = s.state(body);
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j"), k = sym::symb("k");
+    const NodeId path_in = access(st, "path");
+    const NodeId pathn = custom_map(
+        s, st, "relax", {"i", "j"}, {Range::full(kN), Range::full(kN)},
+        {In{path_in, Subset{{Range::index(i), Range::index(j)}}, "p"},
+         In{path_in, Subset{{Range::index(i), Range::index(k)}}, "a"},
+         In{path_in, Subset{{Range::index(k), Range::index(j)}}, "b"}},
+        "pathn", Subset{{Range::index(i), Range::index(j)}}, "o = min(p, a + b)");
+    ew_unary(s, st, pathn, "path", "o = i");
+    ir::InterstateEdge enter;
+    enter.assignments.emplace_back("k", sym::cst(0));
+    s.add_interstate_edge(init, body, enter);
+    ir::InterstateEdge back;
+    back.condition =
+        sym::BoolExpr::compare(sym::CmpOp::Lt, sym::symb("k"), sym::symb("N") - 1);
+    back.assignments.emplace_back("k", sym::symb("k") + 1);
+    s.add_interstate_edge(body, body, back);
+    return s;
+}
+
+ir::SDFG k_softmax() {
+    ir::SDFG s("softmax_kernel");
+    s.add_symbol("N");
+    s.add_symbol("M");
+    s.add_array("x", ir::DType::F64, {kM, kN});
+    s.add_array("y", ir::DType::F64, {kM, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId x = access(st, "x");
+    const NodeId lib = st.add_library(ir::LibraryKind::Softmax, "softmax");
+    const NodeId y = access(st, "y");
+    st.add_edge(x, "", lib, "in", Memlet("x", Subset::full(s.container("x").shape)));
+    st.add_edge(lib, "out", y, "", Memlet("y", Subset::full(s.container("y").shape)));
+    return s;
+}
+
+ir::SDFG k_mlp() {
+    ir::SDFG s("mlp");
+    s.add_symbol("N");
+    s.add_array("x", ir::DType::F64, {kN, kN});
+    s.add_array("W1", ir::DType::F64, {kN, kN});
+    s.add_array("W2", ir::DType::F64, {kN, kN});
+    s.add_array("h1", ir::DType::F64, {kN, kN}, true);
+    s.add_array("h1r", ir::DType::F64, {kN, kN}, true);
+    s.add_array("out", ir::DType::F64, {kN, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId h1z = zero_init(s, st, "h1");
+    const NodeId h1 = matmul_nest(s, st, access(st, "x"), access(st, "W1"), h1z, kN, kN, kN,
+                                  "fc1");
+    const NodeId h1r = ew_unary(s, st, h1, "h1r", "o = i > 0 ? i : 0");
+    const NodeId oz = zero_init(s, st, "out");
+    matmul_nest(s, st, h1r, access(st, "W2"), oz, kN, kN, kN, "fc2");
+    return s;
+}
+
+ir::SDFG k_l2norm() {
+    ir::SDFG s("l2norm");
+    s.add_symbol("N");
+    s.add_array("x", ir::DType::F64, {kN});
+    s.add_array("sq", ir::DType::F64, {kN}, true);
+    s.add_scalar("norm2", ir::DType::F64);
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId sq = ew_unary(s, st, access(st, "x"), "sq", "o = i * i");
+    const NodeId lib = st.add_library(ir::LibraryKind::ReduceSum, "sum_sq");
+    const NodeId out = access(st, "norm2");
+    st.add_edge(sq, "", lib, "in", Memlet("sq", Subset::full(s.container("sq").shape)));
+    st.add_edge(lib, "out", out, "", Memlet("norm2", Subset{}));
+    return s;
+}
+
+ir::SDFG k_go_fast() {
+    ir::SDFG s("go_fast");
+    s.add_symbol("N");
+    s.add_array("A", ir::DType::F64, {kN, kN});
+    s.add_array("diag", ir::DType::F64, {kN}, true);
+    s.add_array("tdiag", ir::DType::F64, {kN}, true);
+    s.add_scalar("trace", ir::DType::F64);
+    s.add_array("out", ir::DType::F64, {kN, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j");
+    const NodeId diag = custom_map(
+        s, st, "diag", {"i"}, {Range::full(kN)},
+        {In{access(st, "A"), Subset{{Range::index(i), Range::index(i)}}, "a"}}, "diag",
+        Subset{{Range::index(i)}}, "o = a");
+    const NodeId tdiag = ew_unary(s, st, diag, "tdiag", "o = tanh(i)");
+    const NodeId lib = st.add_library(ir::LibraryKind::ReduceSum, "trace");
+    const NodeId tr = access(st, "trace");
+    st.add_edge(tdiag, "", lib, "in", Memlet("tdiag", Subset::full(s.container("tdiag").shape)));
+    st.add_edge(lib, "out", tr, "", Memlet("trace", Subset{}));
+    custom_map(s, st, "add_trace", {"i", "j"}, {Range::full(kN), Range::full(kN)},
+               {In{access(st, "A"), Subset{{Range::index(i), Range::index(j)}}, "a"},
+                In{tr, Subset{}, "t"}},
+               "out", Subset{{Range::index(i), Range::index(j)}}, "o = a + t");
+    return s;
+}
+
+ir::SDFG k_arc_distance() {
+    ir::SDFG s("arc_distance");
+    s.add_symbol("N");
+    s.add_array("t0", ir::DType::F64, {kN});
+    s.add_array("p0", ir::DType::F64, {kN});
+    s.add_array("t1", ir::DType::F64, {kN});
+    s.add_array("p1", ir::DType::F64, {kN});
+    s.add_array("tmp", ir::DType::F64, {kN}, true);
+    s.add_array("dist", ir::DType::F64, {kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i");
+    const Subset pi{{Range::index(i)}};
+    const NodeId tmp = custom_map(
+        s, st, "hav", {"i"}, {Range::full(kN)},
+        {In{access(st, "t0"), pi, "a"}, In{access(st, "p0"), pi, "b"},
+         In{access(st, "t1"), pi, "c"}, In{access(st, "p1"), pi, "d"}},
+        "tmp", pi,
+        "o = sin((c - a) / 2.0) * sin((c - a) / 2.0) + cos(a) * cos(c) * sin((d - b) / 2.0) * "
+        "sin((d - b) / 2.0)");
+    ew_unary(s, st, tmp, "dist", "o = 2.0 * sqrt(i)");
+    return s;
+}
+
+ir::SDFG k_compute() {
+    ir::SDFG s("compute");
+    s.add_symbol("N");
+    s.add_array("a", ir::DType::F64, {kN});
+    s.add_array("b", ir::DType::F64, {kN});
+    s.add_array("t", ir::DType::F64, {kN}, true);
+    s.add_array("out", ir::DType::F64, {kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId t = ew_binary(s, st, access(st, "a"), access(st, "b"), "t",
+                               "o = a * a + b * b + 2.0 * a * b");
+    ew_unary(s, st, t, "out", "o = i > 0 ? i : 0");
+    return s;
+}
+
+ir::SDFG k_scalar_pipeline() {
+    // Scalar tasklet chains (TaskletFusion territory).  The intermediate
+    // `t1` is read again by a *later state* — the pattern where fusing away
+    // its write changes semantics (the Table 2 TaskletFusion bug).
+    ir::SDFG s("scalar_pipeline");
+    s.add_symbol("N");
+    s.add_scalar("alpha", ir::DType::F64);
+    s.add_scalar("t1", ir::DType::F64, true);
+    s.add_scalar("t2", ir::DType::F64, true);
+    s.add_scalar("coef", ir::DType::F64, true);
+    s.add_array("x", ir::DType::F64, {kN});
+    s.add_array("y", ir::DType::F64, {kN});
+    s.add_array("y2", ir::DType::F64, {kN});
+    const ir::StateId main = s.add_state("main", true);
+    {
+        ir::State& st = s.state(main);
+        const NodeId c1 = scalar_chain(s, st, "coef1", access(st, "alpha"), "t1", "t2",
+                                       "o = x * 2.0 + 1.0", "o = x * x");
+        const NodeId coef = scalar_chain(s, st, "coef2", c1, "coef", "coef", "o = x + 1.0",
+                                         "o = x * 0.5");
+        const sym::ExprPtr i = sym::symb("i");
+        custom_map(s, st, "apply", {"i"}, {Range::full(kN)},
+                   {In{access(st, "x"), Subset{{Range::index(i)}}, "a"},
+                    In{coef, Subset{}, "c"}},
+                   "y", Subset{{Range::index(i)}}, "o = a * c");
+    }
+    const ir::StateId late = s.add_state("late_use");
+    {
+        ir::State& st = s.state(late);
+        const sym::ExprPtr i = sym::symb("i");
+        custom_map(s, st, "late_use", {"i"}, {Range::full(kN)},
+                   {In{access(st, "x"), Subset{{Range::index(i)}}, "a"},
+                    In{access(st, "t1"), Subset{}, "c"}},
+                   "y2", Subset{{Range::index(i)}}, "o = a + c");
+    }
+    s.add_interstate_edge(main, late);
+    return s;
+}
+
+ir::SDFG k_ew_chain() {
+    // 1-D producer/consumer chain: BufferTiling + MapFusion shape.
+    ir::SDFG s("ew_chain");
+    s.add_symbol("N");
+    s.add_array("x", ir::DType::F64, {kN});
+    s.add_array("T", ir::DType::F64, {kN}, true);
+    s.add_array("y", ir::DType::F64, {kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    ew_chain_1d(s, st, access(st, "x"), "T", "y", "o = exp(i)", "o = i * 0.5");
+    return s;
+}
+
+ir::SDFG k_covariance() {
+    ir::SDFG s("covariance");
+    s.add_symbol("N");
+    s.add_symbol("M");
+    s.add_array("data", ir::DType::F64, {kN, kM});
+    s.add_array("mean", ir::DType::F64, {kM}, true);
+    s.add_array("centered", ir::DType::F64, {kN, kM}, true);
+    s.add_array("cov", ir::DType::F64, {kM, kM});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j"), k = sym::symb("k");
+    const NodeId mz = zero_init(s, st, "mean");
+    const NodeId mean = accum_nest(
+        s, st, "col_mean", {"i"}, {Range::full(kM)}, {"k"}, {Range::full(kN)},
+        {In{access(st, "data"), Subset{{Range::index(k), Range::index(i)}}, "a"}}, mz,
+        Subset{{Range::index(i)}}, "a");
+    const NodeId centered = custom_map(
+        s, st, "center", {"i", "j"}, {Range::full(kN), Range::full(kM)},
+        {In{access(st, "data"), Subset{{Range::index(i), Range::index(j)}}, "a"},
+         In{mean, Subset{{Range::index(j)}}, "m"}},
+        "centered", Subset{{Range::index(i), Range::index(j)}}, "o = a - m");
+    const NodeId cz = zero_init(s, st, "cov");
+    accum_nest(s, st, "cov", {"i", "j"}, {Range::full(kM), Range::full(kM)}, {"k"},
+               {Range::full(kN)},
+               {In{centered, Subset{{Range::index(k), Range::index(i)}}, "a"},
+                In{centered, Subset{{Range::index(k), Range::index(j)}}, "b"}},
+               cz, Subset{{Range::index(i), Range::index(j)}}, "a * b");
+    return s;
+}
+
+ir::SDFG k_correlation() {
+    ir::SDFG s("correlation");
+    s.add_symbol("N");
+    s.add_symbol("M");
+    s.add_array("data", ir::DType::F64, {kN, kM});
+    s.add_array("sumsq", ir::DType::F64, {kM}, true);
+    s.add_array("stddev", ir::DType::F64, {kM}, true);
+    s.add_array("normed", ir::DType::F64, {kN, kM}, true);
+    s.add_array("corr", ir::DType::F64, {kM, kM});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j"), k = sym::symb("k");
+    const NodeId sz = zero_init(s, st, "sumsq");
+    const NodeId sumsq = accum_nest(
+        s, st, "sumsq", {"i"}, {Range::full(kM)}, {"k"}, {Range::full(kN)},
+        {In{access(st, "data"), Subset{{Range::index(k), Range::index(i)}}, "a"}}, sz,
+        Subset{{Range::index(i)}}, "a * a");
+    const NodeId stddev = ew_unary(s, st, sumsq, "stddev", "o = sqrt(i) + 0.000001");
+    const NodeId normed = custom_map(
+        s, st, "normalize", {"i", "j"}, {Range::full(kN), Range::full(kM)},
+        {In{access(st, "data"), Subset{{Range::index(i), Range::index(j)}}, "a"},
+         In{stddev, Subset{{Range::index(j)}}, "d"}},
+        "normed", Subset{{Range::index(i), Range::index(j)}}, "o = a / d");
+    const NodeId cz = zero_init(s, st, "corr");
+    accum_nest(s, st, "corr", {"i", "j"}, {Range::full(kM), Range::full(kM)}, {"k"},
+               {Range::full(kN)},
+               {In{normed, Subset{{Range::index(k), Range::index(i)}}, "a"},
+                In{normed, Subset{{Range::index(k), Range::index(j)}}, "b"}},
+               cz, Subset{{Range::index(i), Range::index(j)}}, "a * b");
+    return s;
+}
+
+ir::SDFG k_hdiff() {
+    ir::SDFG s("hdiff");
+    s.add_symbol("N");
+    s.add_array("in_field", ir::DType::F64, {kN, kN});
+    s.add_array("lap", ir::DType::F64, {kN, kN}, true);
+    s.add_array("out_field", ir::DType::F64, {kN, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j");
+    const NodeId lap = custom_map(
+        s, st, "laplacian", {"i", "j"},
+        {Range::span(sym::cst(1), kN - 2), Range::span(sym::cst(1), kN - 2)},
+        {In{access(st, "in_field"),
+            Subset{{Range::span(i - 1, i + 1), Range::span(j - 1, j + 1)}}, "a"}},
+        "lap", Subset{{Range::index(i), Range::index(j)}},
+        "o = 4.0 * a[4] - (a[1] + a[7] + a[3] + a[5])");
+    custom_map(s, st, "flux", {"i", "j"},
+               {Range::span(sym::cst(2), kN - 3), Range::span(sym::cst(2), kN - 3)},
+               {In{lap, Subset{{Range::span(i - 1, i + 1), Range::span(j - 1, j + 1)}}, "l"},
+                In{access(st, "in_field"), Subset{{Range::index(i), Range::index(j)}}, "f"}},
+               "out_field", Subset{{Range::index(i), Range::index(j)}},
+               "o = f - 0.25 * (l[1] + l[7] + l[3] + l[5])");
+    return s;
+}
+
+ir::SDFG k_symm() {
+    ir::SDFG s("symm");
+    s.add_symbol("N");
+    s.add_array("A", ir::DType::F64, {kN, kN});
+    s.add_array("B", ir::DType::F64, {kN, kN});
+    s.add_array("C", ir::DType::F64, {kN, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId cz = zero_init(s, st, "C");
+    matmul_nest(s, st, access(st, "A"), access(st, "B"), cz, kN, kN, kN, "symm_mm");
+    return s;
+}
+
+ir::SDFG k_trmm() {
+    ir::SDFG s("trmm");
+    s.add_symbol("N");
+    s.add_array("A", ir::DType::F64, {kN, kN});
+    s.add_array("B", ir::DType::F64, {kN, kN});
+    s.add_array("Bout", ir::DType::F64, {kN, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j"), k = sym::symb("k");
+    const NodeId bz = zero_init(s, st, "Bout");
+    // Triangular accumulation: k in [i, N-1] (range depends on the outer
+    // parameter — exercises parametric inner bounds).
+    accum_nest(s, st, "trmm", {"i", "j"}, {Range::full(kN), Range::full(kN)}, {"k"},
+               {Range::span(i, kN - 1)},
+               {In{access(st, "A"), Subset{{Range::index(k), Range::index(i)}}, "a"},
+                In{access(st, "B"), Subset{{Range::index(k), Range::index(j)}}, "b"}},
+               bz, Subset{{Range::index(i), Range::index(j)}}, "a * b");
+    return s;
+}
+
+ir::SDFG k_spmv_dense() {
+    ir::SDFG s("spmv_dense");
+    s.add_symbol("N");
+    s.add_array("A", ir::DType::F64, {kN, kN});
+    s.add_array("mask", ir::DType::F64, {kN, kN});
+    s.add_array("x", ir::DType::F64, {kN});
+    s.add_array("Am", ir::DType::F64, {kN, kN}, true);
+    s.add_array("y", ir::DType::F64, {kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId am = ew_binary(s, st, access(st, "A"), access(st, "mask"), "Am", "o = a * b");
+    const NodeId yz = zero_init(s, st, "y");
+    matvec(s, st, "spmv", am, access(st, "x"), yz, kN, kN);
+    return s;
+}
+
+ir::SDFG k_vadv_lite() {
+    ir::SDFG s("vadv_lite");
+    s.add_symbol("N");
+    s.add_symbol("M");
+    s.add_array("wcon", ir::DType::F64, {kN, kM});
+    s.add_array("ccol", ir::DType::F64, {kN, kM}, true);
+    s.add_array("dcol", ir::DType::F64, {kN, kM});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i"), j = sym::symb("j");
+    const NodeId ccol = custom_map(
+        s, st, "forward", {"i", "j"}, {Range::full(kN), Range::span(sym::cst(1), kM - 1)},
+        {In{access(st, "wcon"), Subset{{Range::index(i), Range::span(j - 1, j)}}, "w"}},
+        "ccol", Subset{{Range::index(i), Range::index(j)}}, "o = 0.25 * (w[0] + w[1])");
+    custom_map(s, st, "backward", {"i", "j"},
+               {Range::full(kN), Range::span(sym::cst(1), kM - 1)},
+               {In{ccol, Subset{{Range::index(i), Range::index(j)}}, "c"}}, "dcol",
+               Subset{{Range::index(i), Range::index(j)}}, "o = c * 2.0");
+    return s;
+}
+
+ir::SDFG k_alias_stages() {
+    // Two-stage kernel whose second stage addresses through an aliased
+    // symbol M2 := N (SymbolAliasPromotion / StateAssignElimination bait,
+    // as produced by real frontends after inlining).
+    ir::SDFG s("alias_stages");
+    s.add_symbol("N");
+    s.add_symbol("M2");
+    s.add_symbol("dead");
+    s.add_array("x", ir::DType::F64, {kN});
+    s.add_array("T", ir::DType::F64, {kN}, true);
+    s.add_array("y", ir::DType::F64, {kN});
+    const ir::StateId s1 = s.add_state("stage1", true);
+    {
+        ir::State& st = s.state(s1);
+        ew_unary(s, st, access(st, "x"), "T", "o = i * 3.0");
+    }
+    const ir::StateId s2 = s.add_state("stage2");
+    {
+        ir::State& st = s.state(s2);
+        const sym::ExprPtr i = sym::symb("i");
+        custom_map(s, st, "stage2", {"i"},
+                   {Range::span(sym::cst(0), sym::symb("M2") - 1)},
+                   {In{access(st, "T"), Subset{{Range::index(i)}}, "a"}}, "y",
+                   Subset{{Range::index(i)}}, "o = a + 1.0");
+    }
+    ir::InterstateEdge e;
+    e.assignments.emplace_back("M2", sym::symb("N"));
+    e.assignments.emplace_back("dead", sym::cst(7));
+    s.add_interstate_edge(s1, s2, e);
+    return s;
+}
+
+ir::SDFG k_azimint_lite() {
+    ir::SDFG s("azimint_lite");
+    s.add_symbol("N");
+    s.add_array("data", ir::DType::F64, {kN});
+    s.add_array("radius", ir::DType::F64, {kN});
+    s.add_array("weighted", ir::DType::F64, {kN}, true);
+    s.add_scalar("total", ir::DType::F64);
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId w = ew_binary(s, st, access(st, "data"), access(st, "radius"), "weighted",
+                               "o = a * b");
+    const NodeId lib = st.add_library(ir::LibraryKind::ReduceSum, "integrate");
+    const NodeId out = access(st, "total");
+    st.add_edge(w, "", lib, "in", Memlet("weighted", Subset::full(s.container("weighted").shape)));
+    st.add_edge(lib, "out", out, "", Memlet("total", Subset{}));
+    return s;
+}
+
+ir::SDFG k_conv1d() {
+    ir::SDFG s("conv1d");
+    s.add_symbol("N");
+    s.add_symbol("K");
+    s.add_array("x", ir::DType::F64, {kN});
+    s.add_array("w", ir::DType::F64, {kK});
+    s.add_array("y", ir::DType::F64, {kN - kK + 1});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr i = sym::symb("i"), k = sym::symb("k");
+    const NodeId yz = zero_init(s, st, "y");
+    accum_nest(s, st, "conv1d", {"i"}, {Range::full(kN - kK + 1)}, {"k"}, {Range::full(kK)},
+               {In{access(st, "x"), Subset{{Range::index(i + k)}}, "a"},
+                In{access(st, "w"), Subset{{Range::index(k)}}, "b"}},
+               yz, Subset{{Range::index(i)}}, "a * b");
+    return s;
+}
+
+ir::SDFG k_unroll_candidates() {
+    // Short constant-bound sequential loops (LoopUnrolling matches),
+    // including one descending loop (the paper's negative-step failure).
+    ir::SDFG s("unroll_candidates");
+    s.add_symbol("N");
+    s.add_array("x", ir::DType::F64, {sym::cst(8), kN});
+    s.add_array("y", ir::DType::F64, {sym::cst(8), kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const sym::ExprPtr v = sym::symb("v"), i = sym::symb("i");
+    // Ascending: v in 0..3.
+    {
+        auto [entry, exit] = st.add_map("short_loop", {"v"},
+                                        {Range{sym::cst(0), sym::cst(3), sym::cst(1)}},
+                                        ir::Schedule::Sequential);
+        const NodeId inner = st.add_tasklet("short_loop_body", "o = a * 2.0");
+        const NodeId xin = access(st, "x");
+        const NodeId yout = access(st, "y");
+        const Subset row{{Range::index(v), Range::full(kN)}};
+        st.add_edge(xin, "", entry, "",
+                    Memlet("x", Subset{{Range::span(sym::cst(0), sym::cst(3)), Range::full(kN)}}));
+        st.add_edge(entry, "", inner, "a", Memlet("x", Subset{{Range::index(v), Range::index(sym::cst(0))}}));
+        st.add_edge(inner, "o", exit, "", Memlet("y", Subset{{Range::index(v), Range::index(sym::cst(0))}}));
+        st.add_edge(exit, "", yout, "",
+                    Memlet("y", Subset{{Range::span(sym::cst(0), sym::cst(3)), Range::full(kN)}}));
+        (void)i;
+    }
+    // Descending: v in 4..1 step -1 (rows 1..4).
+    {
+        auto [entry, exit] = st.add_map("countdown_loop", {"v"},
+                                        {Range{sym::cst(4), sym::cst(1), sym::cst(-1)}},
+                                        ir::Schedule::Sequential);
+        const NodeId inner = st.add_tasklet("countdown_body", "o = a + 1.0");
+        const NodeId xin = access(st, "x");
+        const NodeId yout = access(st, "y");
+        st.add_edge(xin, "", entry, "",
+                    Memlet("x", Subset{{Range::span(sym::cst(1), sym::cst(4)), Range::full(kN)}}));
+        st.add_edge(entry, "", inner, "a",
+                    Memlet("x", Subset{{Range::index(v), Range::index(sym::cst(1))}}));
+        st.add_edge(inner, "o", exit, "",
+                    Memlet("y", Subset{{Range::index(v), Range::index(sym::cst(1))}}));
+        st.add_edge(exit, "", yout, "",
+                    Memlet("y", Subset{{Range::span(sym::cst(1), sym::cst(4)), Range::full(kN)}}));
+    }
+    return s;
+}
+
+ir::SDFG k_resnet_block_lite() {
+    ir::SDFG s("resnet_block_lite");
+    s.add_symbol("N");
+    s.add_array("x", ir::DType::F64, {kN, kN});
+    s.add_array("W", ir::DType::F64, {kN, kN});
+    s.add_array("h", ir::DType::F64, {kN, kN}, true);
+    s.add_array("hr", ir::DType::F64, {kN, kN}, true);
+    s.add_array("y", ir::DType::F64, {kN, kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId hz = zero_init(s, st, "h");
+    const NodeId h = matmul_nest(s, st, access(st, "x"), access(st, "W"), hz, kN, kN, kN,
+                                 "conv_as_mm");
+    const NodeId hr = ew_unary(s, st, h, "hr", "o = i > 0 ? i : 0");
+    ew_binary(s, st, hr, access(st, "x"), "y", "o = a + b");
+    return s;
+}
+
+ir::SDFG k_durbin_lite() {
+    ir::SDFG s("durbin_lite");
+    s.add_symbol("N");
+    s.add_symbol("iter");
+    s.add_array("r", ir::DType::F64, {kN});
+    s.add_array("y", ir::DType::F64, {kN});
+    const ir::StateId init = s.add_state("init", true);
+    {
+        ir::State& st = s.state(init);
+        ew_unary(s, st, access(st, "r"), "y", "o = -i");
+    }
+    const ir::StateId body = s.add_state("refine");
+    {
+        ir::State& st = s.state(body);
+        const sym::ExprPtr i = sym::symb("i");
+        custom_map(s, st, "refine", {"i"}, {Range::full(kN)},
+                   {In{access(st, "y"), Subset{{Range::index(i)}}, "a"}}, "y",
+                   Subset{{Range::index(i)}}, "o = a * 0.9");
+    }
+    ir::InterstateEdge enter;
+    enter.assignments.emplace_back("iter", sym::cst(0));
+    s.add_interstate_edge(init, body, enter);
+    ir::InterstateEdge back;
+    back.condition = sym::BoolExpr::compare(sym::CmpOp::Lt, sym::symb("iter"), sym::cst(4));
+    back.assignments.emplace_back("iter", sym::symb("iter") + 1);
+    s.add_interstate_edge(body, body, back);
+    return s;
+}
+
+ir::SDFG k_copy_pipeline() {
+    // Copy-heavy staging kernel (WriteElimination matches).
+    ir::SDFG s("copy_pipeline");
+    s.add_symbol("N");
+    s.add_array("src", ir::DType::F64, {kN});
+    s.add_array("stage1", ir::DType::F64, {kN}, true);
+    s.add_array("stage2", ir::DType::F64, {kN}, true);
+    s.add_array("dst", ir::DType::F64, {kN});
+    ir::State& st = s.state(s.add_state("main", true));
+    const NodeId a = ew_unary(s, st, access(st, "src"), "stage1", "o = i");
+    const NodeId b = ew_unary(s, st, a, "stage2", "o = i");
+    ew_unary(s, st, b, "dst", "o = i * 1.5");
+    return s;
+}
+
+const std::vector<std::pair<const char*, Builder>>& kernel_table() {
+    static const std::vector<std::pair<const char*, Builder>> kTable = {
+        {"gemm", k_gemm},
+        {"2mm", k_2mm},
+        {"3mm", k_3mm},
+        {"atax", k_atax},
+        {"bicg", k_bicg},
+        {"mvt", k_mvt},
+        {"gesummv", k_gesummv},
+        {"gemver", k_gemver},
+        {"syrk", k_syrk},
+        {"syr2k", k_syr2k},
+        {"symm", k_symm},
+        {"trmm", k_trmm},
+        {"doitgen", k_doitgen},
+        {"conv1d", k_conv1d},
+        {"jacobi_1d", k_jacobi_1d},
+        {"jacobi_2d", k_jacobi_2d},
+        {"heat_3d", k_heat_3d},
+        {"fdtd_2d", k_fdtd_2d},
+        {"hdiff", k_hdiff},
+        {"vadv_lite", k_vadv_lite},
+        {"floyd_warshall", k_floyd_warshall},
+        {"softmax", k_softmax},
+        {"mlp", k_mlp},
+        {"resnet_block_lite", k_resnet_block_lite},
+        {"covariance", k_covariance},
+        {"correlation", k_correlation},
+        {"spmv_dense", k_spmv_dense},
+        {"l2norm", k_l2norm},
+        {"go_fast", k_go_fast},
+        {"arc_distance", k_arc_distance},
+        {"azimint_lite", k_azimint_lite},
+        {"compute", k_compute},
+        {"scalar_pipeline", k_scalar_pipeline},
+        {"ew_chain", k_ew_chain},
+        {"copy_pipeline", k_copy_pipeline},
+        {"alias_stages", k_alias_stages},
+        {"durbin_lite", k_durbin_lite},
+        {"unroll_candidates", k_unroll_candidates},
+    };
+    return kTable;
+}
+
+}  // namespace
+
+std::vector<NpbenchEntry> npbench_suite() {
+    std::vector<NpbenchEntry> out;
+    for (const auto& [name, builder] : kernel_table())
+        out.push_back(NpbenchEntry{name, builder()});
+    return out;
+}
+
+ir::SDFG build_npbench_kernel(const std::string& name) {
+    for (const auto& [kname, builder] : kernel_table())
+        if (name == kname) return builder();
+    throw common::Error("unknown npbench kernel: " + name);
+}
+
+std::vector<std::string> npbench_kernel_names() {
+    std::vector<std::string> out;
+    for (const auto& [name, builder] : kernel_table()) {
+        (void)builder;
+        out.push_back(name);
+    }
+    return out;
+}
+
+sym::Bindings npbench_defaults() {
+    return sym::Bindings{{"N", 8}, {"M", 6}, {"K", 3}, {"TSTEPS", 2}, {"t", 0},
+                         {"k", 0}, {"iter", 0}, {"M2", 8}, {"dead", 0}};
+}
+
+}  // namespace ff::workloads

@@ -1,0 +1,36 @@
+// NPBench-like kernel suite (Sec. 6.3).
+//
+// NPBench is a NumPy benchmark collection spanning linear algebra, stencils,
+// deep learning and physics kernels; the paper audits every built-in DaCe
+// transformation on all 52 of its programs.  We rebuild the suite's dataflow
+// *shapes* natively: dense contractions as explicit accumulation nests,
+// elementwise chains, stencil sweeps with state-machine time loops,
+// reductions, and multi-state kernels with interstate symbol assignments —
+// enough surface for every pass in the registry to find realistic matches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/sdfg.h"
+
+namespace ff::workloads {
+
+struct NpbenchEntry {
+    std::string name;
+    ir::SDFG sdfg;
+};
+
+/// Builds the whole suite (deterministic order).
+std::vector<NpbenchEntry> npbench_suite();
+
+/// Builds one kernel by name; throws common::Error for unknown names.
+ir::SDFG build_npbench_kernel(const std::string& name);
+
+/// Names of all kernels in suite order.
+std::vector<std::string> npbench_kernel_names();
+
+/// Default symbol values covering every symbol used in the suite.
+sym::Bindings npbench_defaults();
+
+}  // namespace ff::workloads

@@ -1,0 +1,63 @@
+#include "workloads/sddmm.h"
+
+#include "workloads/builders.h"
+
+namespace ff::workloads {
+
+using ir::Memlet;
+using ir::Range;
+using ir::Subset;
+
+ir::SDFG build_sddmm() {
+    ir::SDFG sdfg("sddmm_vanilla_attention");
+    for (const char* s : {"NLOC", "K", "NCHUNK", "NTOT"}) sdfg.add_symbol(s);
+    const sym::ExprPtr nloc = sym::symb("NLOC"), k = sym::symb("K");
+    const sym::ExprPtr nchunk = sym::symb("NCHUNK"), ntot = sym::symb("NTOT");
+
+    sdfg.add_array("A_local", ir::DType::F64, {nloc, k}, /*transient=*/false);
+    sdfg.add_array("B_local", ir::DType::F64, {nchunk, k}, /*transient=*/false);
+    sdfg.add_array("B_full", ir::DType::F64, {ntot, k}, /*transient=*/true);
+    sdfg.add_array("Bt", ir::DType::F64, {k, ntot}, /*transient=*/true);
+    sdfg.add_array("S", ir::DType::F64, {nloc, ntot}, /*transient=*/false);
+    sdfg.add_array("P", ir::DType::F64, {nloc, ntot}, /*transient=*/true);
+    sdfg.add_array("D", ir::DType::F64, {nloc, ntot}, /*transient=*/false);
+
+    const ir::StateId sid = sdfg.add_state("sddmm", /*is_start=*/true);
+    ir::State& st = sdfg.state(sid);
+
+    // B_full = allgather(B_local).
+    const ir::NodeId acc_bl = access(st, "B_local");
+    const ir::NodeId gather = st.add_comm(ir::CommKind::Allgather, 0, "allgather_B");
+    const ir::NodeId acc_bf = access(st, "B_full");
+    st.add_edge(acc_bl, "", gather, "in",
+                Memlet("B_local", Subset::full(sdfg.container("B_local").shape)));
+    st.add_edge(gather, "out", acc_bf, "",
+                Memlet("B_full", Subset::full(sdfg.container("B_full").shape)));
+
+    // Bt = B_full^T (library transpose).
+    const ir::NodeId transpose = st.add_library(ir::LibraryKind::Transpose, "transpose_B");
+    const ir::NodeId acc_bt = access(st, "Bt");
+    st.add_edge(acc_bf, "", transpose, "A",
+                Memlet("B_full", Subset::full(sdfg.container("B_full").shape)));
+    st.add_edge(transpose, "B", acc_bt, "",
+                Memlet("Bt", Subset::full(sdfg.container("Bt").shape)));
+
+    // P = A_local @ Bt (explicit loop nest: the optimization target).
+    const ir::NodeId acc_a = access(st, "A_local");
+    const ir::NodeId p0 = zero_init(sdfg, st, "P");
+    const ir::NodeId acc_p = matmul_nest(sdfg, st, acc_a, acc_bt, p0, nloc, k, ntot, "sddmm_mm");
+
+    // D = S * P (sampling).
+    const ir::NodeId acc_s = access(st, "S");
+    ew_binary(sdfg, st, acc_s, acc_p, "D", "o = a * b");
+
+    return sdfg;
+}
+
+sym::Bindings sddmm_defaults(std::int64_t nloc, std::int64_t k, std::int64_t nchunk,
+                             int ranks) {
+    return sym::Bindings{
+        {"NLOC", nloc}, {"K", k}, {"NCHUNK", nchunk}, {"NTOT", nchunk * ranks}};
+}
+
+}  // namespace ff::workloads

@@ -1,0 +1,61 @@
+// Shared fixtures and mini-program builders for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "ir/sdfg.h"
+#include "workloads/builders.h"
+
+namespace ff::testing {
+
+/// y[i] = x[i] * 2 over a 1-D array of symbolic size N.
+inline ir::SDFG make_scale_sdfg(const std::string& code = "o = i * 2.0") {
+    ir::SDFG sdfg("scale");
+    sdfg.add_symbol("N");
+    const sym::ExprPtr n = sym::symb("N");
+    sdfg.add_array("x", ir::DType::F64, {n}, /*transient=*/false);
+    sdfg.add_array("y", ir::DType::F64, {n}, /*transient=*/false);
+    ir::State& st = sdfg.state(sdfg.add_state("main", true));
+    workloads::ew_unary(sdfg, st, st.add_access("x"), "y", code);
+    return sdfg;
+}
+
+/// Chain x -> T (transient) -> y with two elementwise maps.
+inline ir::SDFG make_chain_sdfg(const std::string& code1 = "o = i + 1.0",
+                                const std::string& code2 = "o = i * 3.0") {
+    ir::SDFG sdfg("chain");
+    sdfg.add_symbol("N");
+    const sym::ExprPtr n = sym::symb("N");
+    sdfg.add_array("x", ir::DType::F64, {n}, /*transient=*/false);
+    sdfg.add_array("T", ir::DType::F64, {n}, /*transient=*/true);
+    sdfg.add_array("y", ir::DType::F64, {n}, /*transient=*/false);
+    ir::State& st = sdfg.state(sdfg.add_state("main", true));
+    const ir::NodeId t = workloads::ew_unary(sdfg, st, st.add_access("x"), "T", code1);
+    workloads::ew_unary(sdfg, st, t, "y", code2);
+    return sdfg;
+}
+
+/// Executes and requires success; returns the context.
+inline interp::Context run_ok(const ir::SDFG& sdfg, interp::Context ctx) {
+    interp::Interpreter interp;
+    const interp::ExecResult result = interp.run(sdfg, ctx);
+    EXPECT_TRUE(result.ok()) << result.message;
+    return ctx;
+}
+
+/// 1-D f64 buffer from values.
+inline interp::Buffer make_buffer(std::vector<double> values) {
+    interp::Buffer buf(ir::DType::F64, {static_cast<std::int64_t>(values.size())});
+    for (std::size_t i = 0; i < values.size(); ++i)
+        buf.store(static_cast<std::int64_t>(i), interp::Value::from_double(values[i]));
+    return buf;
+}
+
+inline std::vector<double> to_vector(const interp::Buffer& buf) {
+    std::vector<double> out;
+    for (std::int64_t i = 0; i < buf.size(); ++i) out.push_back(buf.load_double(i));
+    return out;
+}
+
+}  // namespace ff::testing

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include <cstdio>
+
+#include "core/constraints.h"
+#include "core/diff_test.h"
+#include "core/fuzzer.h"
+#include "core/report.h"
+#include "core/sampler.h"
+#include "core/testcase_io.h"
+#include "helpers.h"
+#include "transforms/map_tiling.h"
+#include "transforms/registry.h"
+#include "transforms/vectorization.h"
+#include "workloads/matchain.h"
+#include "workloads/npbench.h"
+
+namespace ff::core {
+namespace {
+
+using ff::testing::make_scale_sdfg;
+
+FuzzConfig quick_config(std::int64_t default_n = 8) {
+    FuzzConfig config;
+    config.max_trials = 20;
+    config.sampler.size_max = 8;
+    config.cutout.defaults = {{"N", default_n}};
+    return config;
+}
+
+TEST(Constraints, SizeAndIndexClassification) {
+    const ir::SDFG cutout = make_scale_sdfg();
+    const Constraints c = derive_constraints(cutout, cutout);
+    EXPECT_TRUE(c.free_symbols.count("N"));
+    EXPECT_TRUE(c.size_symbols.count("N"));  // used in shapes
+}
+
+TEST(Constraints, LoopDetection) {
+    // durbin_lite loops `iter` from 0 with a constant bound (iter < 4).
+    const ir::SDFG p = workloads::build_npbench_kernel("durbin_lite");
+    const auto loops = detect_loop_ranges(p);
+    ASSERT_TRUE(loops.count("iter"));
+    EXPECT_EQ(loops.at("iter").lo, 0);
+    EXPECT_EQ(loops.at("iter").hi, 4);
+    // floyd_warshall's bound (k < N - 1) is symbolic: best-effort detection
+    // skips it, and the index-bound constraint takes over instead.
+    EXPECT_FALSE(detect_loop_ranges(workloads::build_npbench_kernel("floyd_warshall"))
+                     .count("k"));
+}
+
+TEST(Constraints, InterstateAssignedSymbolsNotSampled) {
+    const ir::SDFG p = workloads::build_npbench_kernel("alias_stages");
+    const Constraints c = derive_constraints(p, p);
+    EXPECT_TRUE(c.free_symbols.count("N"));
+    EXPECT_FALSE(c.free_symbols.count("M2"));   // produced by the program
+    EXPECT_FALSE(c.free_symbols.count("dead"));
+}
+
+TEST(Sampler, DeterministicPerTrial) {
+    const ir::SDFG cutout = make_scale_sdfg();
+    const Constraints c = derive_constraints(cutout, cutout);
+    const InputSampler sampler(SamplerConfig{});
+    const auto a = sampler.sample(cutout, {"x"}, c, 7);
+    const auto b = sampler.sample(cutout, {"x"}, c, 7);
+    const auto other = sampler.sample(cutout, {"x"}, c, 8);
+    EXPECT_EQ(a.symbols, b.symbols);
+    EXPECT_TRUE(a.buffers.at("x").bitwise_equal(b.buffers.at("x")));
+    EXPECT_FALSE(a.symbols == other.symbols &&
+                 a.buffers.at("x").bitwise_equal(other.buffers.at("x")));
+}
+
+TEST(Sampler, GrayBoxRespectsSizeConstraints) {
+    const ir::SDFG cutout = make_scale_sdfg();
+    const Constraints c = derive_constraints(cutout, cutout);
+    SamplerConfig cfg;
+    cfg.size_max = 5;
+    const InputSampler sampler(cfg);
+    for (std::uint64_t trial = 0; trial < 50; ++trial) {
+        const auto ctx = sampler.sample(cutout, {"x"}, c, trial);
+        const std::int64_t n = ctx.symbols.at("N");
+        EXPECT_GE(n, 1);
+        EXPECT_LE(n, 5);
+        EXPECT_EQ(ctx.buffers.at("x").size(), n);
+    }
+}
+
+TEST(Sampler, UniformModeProducesInvalidSizes) {
+    // The paper's motivation for gray-box sampling: uniform draws produce
+    // many uninteresting crashes (sizes <= 0).
+    const ir::SDFG cutout = make_scale_sdfg();
+    const Constraints c = derive_constraints(cutout, cutout);
+    SamplerConfig cfg;
+    cfg.gray_box = false;
+    const InputSampler sampler(cfg);
+    int invalid = 0;
+    for (std::uint64_t trial = 0; trial < 40; ++trial) {
+        try {
+            const auto ctx = sampler.sample(cutout, {"x"}, c, trial);
+            if (ctx.symbols.at("N") <= 0) ++invalid;
+        } catch (const std::exception&) {
+            ++invalid;  // negative shape rejected at buffer construction
+        }
+    }
+    EXPECT_GT(invalid, 5);
+}
+
+TEST(DiffTester, PassesOnIdenticalPrograms) {
+    const ir::SDFG p = make_scale_sdfg();
+    DifferentialTester tester(p, p, {"y"});
+    interp::Context inputs;
+    inputs.symbols["N"] = 4;
+    inputs.buffers.emplace("x", ff::testing::make_buffer({1, 2, 3, 4}));
+    EXPECT_EQ(tester.run_trial(inputs).verdict, Verdict::Pass);
+}
+
+TEST(DiffTester, DetectsSemanticChange) {
+    const ir::SDFG p = make_scale_sdfg("o = i * 2.0");
+    const ir::SDFG q = make_scale_sdfg("o = i * 2.0 + 0.001");
+    DifferentialTester tester(p, q, {"y"});
+    interp::Context inputs;
+    inputs.symbols["N"] = 4;
+    inputs.buffers.emplace("x", ff::testing::make_buffer({1, 2, 3, 4}));
+    const auto outcome = tester.run_trial(inputs);
+    EXPECT_EQ(outcome.verdict, Verdict::SemanticsChanged);
+    EXPECT_NE(outcome.detail.find("y"), std::string::npos);
+}
+
+TEST(DiffTester, ThresholdToleratesNoise) {
+    const ir::SDFG p = make_scale_sdfg("o = i * 2.0");
+    const ir::SDFG q = make_scale_sdfg("o = i * 2.0 + 1e-12");
+    DiffConfig cfg;
+    cfg.threshold = 1e-5;  // paper default
+    DifferentialTester tolerant(p, q, {"y"}, cfg);
+    interp::Context inputs;
+    inputs.symbols["N"] = 2;
+    inputs.buffers.emplace("x", ff::testing::make_buffer({1, 2}));
+    EXPECT_EQ(tolerant.run_trial(inputs).verdict, Verdict::Pass);
+    cfg.threshold = 0.0;  // bitwise
+    DifferentialTester strict(p, q, {"y"}, cfg);
+    EXPECT_EQ(strict.run_trial(inputs).verdict, Verdict::SemanticsChanged);
+}
+
+TEST(DiffTester, InvalidTransformedProgram) {
+    const ir::SDFG p = make_scale_sdfg();
+    ir::SDFG q = p;
+    q.state(q.start_state()).add_access("ghost");  // invalid graph
+    DifferentialTester tester(p, q, {"y"});
+    EXPECT_FALSE(tester.transformed_valid());
+    interp::Context inputs;
+    inputs.symbols["N"] = 2;
+    inputs.buffers.emplace("x", ff::testing::make_buffer({1, 2}));
+    EXPECT_EQ(tester.run_trial(inputs).verdict, Verdict::InvalidCode);
+}
+
+TEST(DiffTester, OriginalCrashIsUninteresting) {
+    const ir::SDFG p = make_scale_sdfg();
+    DifferentialTester tester(p, p, {"y"});
+    interp::Context inputs;  // N unbound: original crashes
+    EXPECT_EQ(tester.run_trial(inputs).verdict, Verdict::Uninteresting);
+}
+
+TEST(Fuzzer, CorrectTilingPasses) {
+    const ir::SDFG p = make_scale_sdfg();
+    xform::MapTiling tiling(4, xform::MapTiling::Variant::Correct);
+    Fuzzer fuzzer(quick_config());
+    const auto matches = tiling.find_matches(p);
+    ASSERT_EQ(matches.size(), 1u);
+    const FuzzReport report = fuzzer.test_instance(p, tiling, matches[0]);
+    EXPECT_EQ(report.verdict, Verdict::Pass) << report.detail;
+    EXPECT_EQ(report.trials, fuzzer.config().max_trials);
+}
+
+TEST(Fuzzer, NoRemainderTilingCaughtAsInputDependent) {
+    const ir::SDFG p = make_scale_sdfg();
+    xform::MapTiling buggy(4, xform::MapTiling::Variant::NoRemainder);
+    Fuzzer fuzzer(quick_config());
+    const FuzzReport report = fuzzer.test_instance(p, buggy, buggy.find_matches(p)[0]);
+    EXPECT_EQ(report.verdict, Verdict::TransformedCrash) << report.detail;
+    // Needs more than one trial only when the first sampled N is a multiple
+    // of 4 — either way, strictly fewer trials than the budget.
+    EXPECT_LE(report.trials, fuzzer.config().max_trials);
+    EXPECT_TRUE(report.failed());
+}
+
+TEST(Fuzzer, Fig2TilingBugFoundOnMatrixChain) {
+    const ir::SDFG p = workloads::build_matrix_chain();
+    xform::MapTiling buggy(4, xform::MapTiling::Variant::OffByOne);
+    FuzzConfig config = quick_config(6);
+    config.sampler.size_max = 6;
+    Fuzzer fuzzer(config);
+    const auto matches = buggy.find_matches(p);
+    const xform::Match* mm2 = nullptr;
+    for (const auto& m : matches)
+        if (m.description.find("'mm2'") != std::string::npos) mm2 = &m;
+    ASSERT_NE(mm2, nullptr);
+    const FuzzReport report = fuzzer.test_instance(p, buggy, *mm2);
+    EXPECT_EQ(report.verdict, Verdict::SemanticsChanged) << report.detail;
+    // The cutout around mm2 is much smaller than the whole chain.
+    EXPECT_LT(report.cutout_nodes, report.program_nodes / 2);
+}
+
+TEST(Fuzzer, WholeProgramBaselineFindsSameBugSlower) {
+    const ir::SDFG p = workloads::build_matrix_chain();
+    xform::MapTiling buggy(4, xform::MapTiling::Variant::OffByOne);
+    const auto matches = buggy.find_matches(p);
+    const xform::Match* mm2 = nullptr;
+    for (const auto& m : matches)
+        if (m.description.find("'mm2'") != std::string::npos) mm2 = &m;
+    ASSERT_NE(mm2, nullptr);
+
+    FuzzConfig config = quick_config(6);
+    config.sampler.size_max = 6;
+    config.whole_program = true;
+    Fuzzer baseline(config);
+    const FuzzReport report = baseline.test_instance(p, buggy, *mm2);
+    EXPECT_EQ(report.verdict, Verdict::SemanticsChanged) << report.detail;
+    EXPECT_TRUE(report.whole_program_cutout);
+    EXPECT_EQ(report.cutout_nodes, report.program_nodes);
+}
+
+TEST(Fuzzer, ArtifactRoundTripReproducesFailure) {
+    const ir::SDFG p = make_scale_sdfg();
+    xform::MapTiling buggy(4, xform::MapTiling::Variant::NoRemainder);
+    FuzzConfig config = quick_config();
+    config.artifact_dir = ::testing::TempDir();
+    Fuzzer fuzzer(config);
+    const FuzzReport report = fuzzer.test_instance(p, buggy, buggy.find_matches(p)[0]);
+    ASSERT_TRUE(report.failed());
+    ASSERT_FALSE(report.artifact_path.empty());
+
+    // Load the reproducer and re-run the failing trial.
+    std::FILE* f = std::fopen(report.artifact_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+    std::fclose(f);
+    const LoadedTestCase tc = testcase_from_json(common::Json::parse(text));
+    EXPECT_EQ(tc.verdict, std::string(verdict_name(report.verdict)));
+
+    DifferentialTester tester(tc.original, tc.transformed, tc.system_state);
+    const auto outcome = tester.run_trial(tc.inputs);
+    EXPECT_EQ(outcome.verdict, report.verdict);
+}
+
+TEST(Report, AuditSummaryAggregates) {
+    FuzzReport a;
+    a.transformation = "X";
+    a.verdict = Verdict::Pass;
+    FuzzReport b = a;
+    b.verdict = Verdict::SemanticsChanged;
+    FuzzReport c;
+    c.transformation = "Y";
+    c.verdict = Verdict::InvalidCode;
+    const auto summaries = summarize_audit({a, b, c});
+    ASSERT_EQ(summaries.size(), 2u);
+    EXPECT_EQ(summaries[0].transformation, "X");
+    EXPECT_EQ(summaries[0].instances, 2);
+    EXPECT_EQ(summaries[0].failures, 1);
+    EXPECT_EQ(summaries[1].failures, 1);
+    const std::string table = audit_table(summaries);
+    EXPECT_NE(table.find("semantics-changed"), std::string::npos);
+    EXPECT_NE(table.find("invalid-code"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ff::core

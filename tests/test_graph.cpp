@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/digraph.h"
+#include "graph/maxflow.h"
+
+namespace ff::graph {
+namespace {
+
+using G = DiGraph<int, int>;
+
+TEST(DiGraph, BasicTopology) {
+    G g;
+    const NodeId a = g.add_node(1);
+    const NodeId b = g.add_node(2);
+    const NodeId c = g.add_node(3);
+    g.add_edge(a, b, 10);
+    g.add_edge(b, c, 20);
+    g.add_edge(a, c, 30);
+
+    EXPECT_EQ(g.node_count(), 3u);
+    EXPECT_EQ(g.edge_count(), 3u);
+    EXPECT_EQ(g.out_degree(a), 2u);
+    EXPECT_EQ(g.in_degree(c), 2u);
+
+    const auto topo = g.topological_order();
+    ASSERT_TRUE(topo.has_value());
+    auto pos = [&](NodeId n) {
+        return std::find(topo->begin(), topo->end(), n) - topo->begin();
+    };
+    EXPECT_LT(pos(a), pos(b));
+    EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(DiGraph, CycleDetection) {
+    G g;
+    const NodeId a = g.add_node(0);
+    const NodeId b = g.add_node(0);
+    g.add_edge(a, b, 0);
+    g.add_edge(b, a, 0);
+    EXPECT_FALSE(g.topological_order().has_value());
+}
+
+TEST(DiGraph, RemovalTombstonesPreserveIds) {
+    G g;
+    const NodeId a = g.add_node(0);
+    const NodeId b = g.add_node(1);
+    const NodeId c = g.add_node(2);
+    g.add_edge(a, b, 0);
+    const EdgeId bc = g.add_edge(b, c, 0);
+    g.remove_node(b);
+    EXPECT_FALSE(g.contains_node(b));
+    EXPECT_FALSE(g.contains_edge(bc));
+    EXPECT_TRUE(g.contains_node(a));
+    EXPECT_TRUE(g.contains_node(c));
+    EXPECT_EQ(g.node(c), 2);  // id stable across removal of others
+    EXPECT_EQ(g.out_degree(a), 0u);
+    EXPECT_EQ(g.in_degree(c), 0u);
+}
+
+TEST(DiGraph, ParallelEdges) {
+    G g;
+    const NodeId a = g.add_node(0);
+    const NodeId b = g.add_node(0);
+    g.add_edge(a, b, 1);
+    g.add_edge(a, b, 2);
+    EXPECT_EQ(g.out_degree(a), 2u);
+}
+
+TEST(DiGraph, Reachability) {
+    // a -> b -> c,  d isolated.
+    G g;
+    const NodeId a = g.add_node(0);
+    const NodeId b = g.add_node(0);
+    const NodeId c = g.add_node(0);
+    const NodeId d = g.add_node(0);
+    g.add_edge(a, b, 0);
+    g.add_edge(b, c, 0);
+
+    EXPECT_EQ(g.reachable_from(a), (std::set<NodeId>{a, b, c}));
+    EXPECT_EQ(g.reaching(c), (std::set<NodeId>{a, b, c}));
+    EXPECT_EQ(g.reachable_from(d), (std::set<NodeId>{d}));
+    EXPECT_EQ(g.bfs_from({a, d}, true), (std::set<NodeId>{a, b, c, d}));
+}
+
+TEST(MaxFlow, SingleEdge) {
+    const auto r = edmonds_karp(2, {{0, 1, 7}}, 0, 1);
+    EXPECT_EQ(r.max_flow, 7);
+    EXPECT_EQ(r.source_side, (std::set<int>{0}));
+    ASSERT_EQ(r.cut_edges.size(), 1u);
+    EXPECT_EQ(r.cut_edges[0], 0u);
+}
+
+TEST(MaxFlow, ClassicDiamond) {
+    //      1
+    //    /   \
+    //  0       3      caps: 0-1:3, 0-2:2, 1-3:2, 2-3:3, 1-2:1
+    //    \   /
+    //      2
+    const std::vector<FlowEdge> edges = {{0, 1, 3}, {0, 2, 2}, {1, 3, 2}, {2, 3, 3}, {1, 2, 1}};
+    const auto r = edmonds_karp(4, edges, 0, 3);
+    EXPECT_EQ(r.max_flow, 5);
+}
+
+TEST(MaxFlow, DisconnectedSink) {
+    const auto r = edmonds_karp(3, {{0, 1, 5}}, 0, 2);
+    EXPECT_EQ(r.max_flow, 0);
+    EXPECT_TRUE(r.source_side.count(0));
+    EXPECT_TRUE(r.source_side.count(1));
+    EXPECT_FALSE(r.source_side.count(2));
+}
+
+TEST(MaxFlow, InfiniteCapacityNeverCut) {
+    // 0 -inf-> 1 -4-> 2: cut must land on the finite edge.
+    const std::vector<FlowEdge> edges = {{0, 1, kInfiniteCapacity}, {1, 2, 4}};
+    const auto r = edmonds_karp(3, edges, 0, 2);
+    EXPECT_EQ(r.max_flow, 4);
+    ASSERT_EQ(r.cut_edges.size(), 1u);
+    EXPECT_EQ(r.cut_edges[0], 1u);
+}
+
+TEST(MaxFlow, ParallelEdgeCapacitiesAdd) {
+    const std::vector<FlowEdge> edges = {{0, 1, 2}, {0, 1, 3}};
+    EXPECT_EQ(edmonds_karp(2, edges, 0, 1).max_flow, 5);
+}
+
+TEST(MaxFlow, RecomputationBeatsLargeInput) {
+    // The Fig. 5 shape in miniature: producer P feeds big tensor edge to T;
+    // P's own inputs are small.  Min cut prefers paying for the inputs.
+    //   S=0, A=1, B=2, P=3, T=4
+    const std::vector<FlowEdge> edges = {
+        {0, 1, 10}, {0, 2, 10},                                 // S->A, S->B (input sizes)
+        {1, 3, kInfiniteCapacity}, {2, 3, kInfiniteCapacity},   // data-node out-edges
+        {3, 4, 100},                                            // producer -> T (big tensor)
+    };
+    const auto r = edmonds_karp(5, edges, 0, 4);
+    EXPECT_EQ(r.max_flow, 20);
+    // A, B and P all fall on the sink side: they join the cutout.
+    EXPECT_FALSE(r.source_side.count(1));
+    EXPECT_FALSE(r.source_side.count(2));
+    EXPECT_FALSE(r.source_side.count(3));
+}
+
+/// Property: max flow equals min cut capacity on random-ish layered graphs.
+class MaxFlowProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxFlowProperty, FlowEqualsCutCapacity) {
+    const int seed = GetParam();
+    // Deterministic pseudo-random layered graph: 2 layers of 3 nodes.
+    std::vector<FlowEdge> edges;
+    std::uint32_t v = static_cast<std::uint32_t>(seed);
+    auto next = [&]() -> std::int64_t {
+        v = v * 1103515245u + 12345u;
+        return static_cast<std::int64_t>(v & 0x7fffffffu);
+    };
+    const int s = 0, t = 7;
+    for (int a = 1; a <= 3; ++a) edges.push_back({s, a, next() % 20 + 1});
+    for (int a = 1; a <= 3; ++a)
+        for (int b = 4; b <= 6; ++b)
+            if (next() % 3) edges.push_back({a, b, next() % 20 + 1});
+    for (int b = 4; b <= 6; ++b) edges.push_back({b, t, next() % 20 + 1});
+
+    const auto r = edmonds_karp(8, edges, s, t);
+    std::int64_t cut_capacity = 0;
+    for (std::size_t idx : r.cut_edges) cut_capacity += edges[idx].capacity;
+    EXPECT_EQ(r.max_flow, cut_capacity);  // max-flow min-cut theorem
+    EXPECT_TRUE(r.source_side.count(s));
+    EXPECT_FALSE(r.source_side.count(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxFlowProperty, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace ff::graph

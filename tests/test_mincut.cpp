@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "core/mincut.h"
+#include "helpers.h"
+#include "transforms/vectorization.h"
+#include "workloads/mha.h"
+
+namespace ff::core {
+namespace {
+
+/// Extract the vectorization cutout of the MHA scaling loop nest and run
+/// the minimum input-flow cut on it.
+struct MhaFixture {
+    ir::SDFG program = workloads::build_mha_scale();
+    xform::Vectorization vec{4};
+    xform::Match match;
+    xform::ChangeSet delta;
+    CutoutOptions opts;
+
+    MhaFixture() {
+        const auto matches = vec.find_matches(program);
+        // The scaling loop nest is the only vectorizable map.
+        EXPECT_EQ(matches.size(), 1u);
+        match = matches.at(0);
+        delta = vec.affected_nodes(program, match);
+        opts.defaults = workloads::mha_defaults(/*sm=*/32);
+    }
+};
+
+TEST(MinCut, MhaReproducesFig5Reduction) {
+    MhaFixture fx;
+    const Cutout initial = extract_cutout(fx.program, fx.delta, fx.opts);
+    // Initial input configuration: tmp (B*H*SM^2) + scale (1).
+    EXPECT_TRUE(initial.input_config.count("tmp"));
+    EXPECT_TRUE(initial.input_config.count("scale"));
+    const std::int64_t before = initial.concrete_input_volume(fx.opts.defaults);
+
+    const MinCutResult result =
+        minimize_input_configuration(fx.program, fx.delta, initial, fx.opts);
+    ASSERT_TRUE(result.improved);
+    EXPECT_GT(result.nodes_added, 0u);
+    // The expanded cutout recomputes tmp from A and Bmat.
+    EXPECT_TRUE(result.cutout.input_config.count("A"));
+    EXPECT_TRUE(result.cutout.input_config.count("Bmat"));
+    EXPECT_FALSE(result.cutout.input_config.count("tmp"));
+    EXPECT_TRUE(result.cutout.input_config.count("scale"));
+
+    // Paper: "this reduces the input configuration by 75%" (P = SM/8).
+    const double reduction =
+        1.0 - static_cast<double>(result.volume_after) / static_cast<double>(before);
+    EXPECT_NEAR(reduction, 0.75, 0.01);
+
+    // The scaled tensor stays the system state.
+    EXPECT_TRUE(result.cutout.system_state.count("tmp"));
+    EXPECT_NO_THROW(result.cutout.program.validate());
+}
+
+TEST(MinCut, ExpandedCutoutStillTestsTheTransformation) {
+    MhaFixture fx;
+    const Cutout initial = extract_cutout(fx.program, fx.delta, fx.opts);
+    const MinCutResult result =
+        minimize_input_configuration(fx.program, fx.delta, initial, fx.opts);
+    ASSERT_TRUE(result.improved);
+    // The vectorization match still remaps into the expanded cutout.
+    const xform::Match remapped = result.cutout.remap_match(fx.match);
+    ir::SDFG transformed = result.cutout.program;
+    EXPECT_NO_THROW(fx.vec.apply(transformed, remapped));
+    EXPECT_NO_THROW(transformed.validate());
+}
+
+TEST(MinCut, NoImprovementWhenInputsAreExternal) {
+    // Cutout inputs that are program inputs cannot be recomputed: the cut
+    // keeps the original cutout.
+    const ir::SDFG p = ff::testing::make_scale_sdfg();
+    xform::Vectorization vec(4);
+    const auto matches = vec.find_matches(p);
+    ASSERT_EQ(matches.size(), 1u);
+    const xform::ChangeSet delta = vec.affected_nodes(p, matches[0]);
+    CutoutOptions opts;
+    opts.defaults = {{"N", 16}};
+    const Cutout initial = extract_cutout(p, delta, opts);
+    const MinCutResult result = minimize_input_configuration(p, delta, initial, opts);
+    EXPECT_FALSE(result.improved);
+    EXPECT_EQ(result.volume_after, result.volume_before);
+}
+
+TEST(MinCut, WholeProgramCutoutIsLeftAlone) {
+    const ir::SDFG p = ff::testing::make_scale_sdfg();
+    Cutout whole = whole_program_cutout(p);
+    xform::ChangeSet delta;
+    CutoutOptions opts;
+    opts.defaults = {{"N", 16}};
+    const MinCutResult result = minimize_input_configuration(p, delta, whole, opts);
+    EXPECT_FALSE(result.improved);
+}
+
+}  // namespace
+}  // namespace ff::core

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "symbolic/expr.h"
+#include "symbolic/parser.h"
+
+namespace ff::sym {
+namespace {
+
+TEST(SymbolicExpr, ConstantFolding) {
+    EXPECT_EQ((cst(2) + cst(3))->constant_value(), 5);
+    EXPECT_EQ((cst(2) * cst(3))->constant_value(), 6);
+    EXPECT_EQ((cst(7) - cst(10))->constant_value(), -3);
+    EXPECT_EQ(floordiv(cst(7), cst(2))->constant_value(), 3);
+    EXPECT_EQ(mod(cst(7), cst(2))->constant_value(), 1);
+    EXPECT_EQ(min(cst(4), cst(9))->constant_value(), 4);
+    EXPECT_EQ(max(cst(4), cst(9))->constant_value(), 9);
+}
+
+TEST(SymbolicExpr, FloorDivisionSemantics) {
+    // Floor, not truncation (agrees with Python / SymPy).
+    EXPECT_EQ(floordiv_i64(-7, 2), -4);
+    EXPECT_EQ(floordiv_i64(7, -2), -4);
+    EXPECT_EQ(floordiv_i64(-7, -2), 3);
+    EXPECT_EQ(floormod_i64(-7, 2), 1);
+    EXPECT_EQ(floormod_i64(7, -2), -1);
+    EXPECT_THROW(floordiv_i64(1, 0), common::Error);
+}
+
+TEST(SymbolicExpr, IdentityElements) {
+    const ExprPtr n = symb("N");
+    EXPECT_TRUE((n + 0)->equals(*n));
+    EXPECT_TRUE((n * 1)->equals(*n));
+    EXPECT_TRUE((n * 0)->is_constant());
+    EXPECT_EQ((n * 0)->constant_value(), 0);
+    EXPECT_TRUE((n - 0)->equals(*n));
+    EXPECT_TRUE(floordiv(n, cst(1))->equals(*n));
+    EXPECT_EQ(mod(n, cst(1))->constant_value(), 0);
+    EXPECT_TRUE((n - n)->is_constant());
+    EXPECT_TRUE(min(n, n)->equals(*n));
+}
+
+TEST(SymbolicExpr, ChainedConstantFolding) {
+    const ExprPtr n = symb("N");
+    // (N - 1) + 1 simplifies back to N — relied upon by container
+    // minimization (bbox.end + 1 == original extent).
+    EXPECT_TRUE(((n - 1) + 1)->equals(*n));
+    EXPECT_TRUE(((n + 2) + 3)->equals(*(n + 5)));
+    EXPECT_TRUE(((n + 5) - 2)->equals(*(n + 3)));
+}
+
+TEST(SymbolicExpr, Evaluate) {
+    const ExprPtr e = symb("N") * symb("N") + 4;
+    EXPECT_EQ(e->evaluate({{"N", 5}}), 29);
+    EXPECT_THROW(e->evaluate({}), common::UnboundSymbolError);
+}
+
+TEST(SymbolicExpr, EvaluateMinMax) {
+    const ExprPtr e = min(symb("a") + 1, symb("b"));
+    EXPECT_EQ(e->evaluate({{"a", 3}, {"b", 10}}), 4);
+    EXPECT_EQ(e->evaluate({{"a", 30}, {"b", 10}}), 10);
+}
+
+TEST(SymbolicExpr, Substitute) {
+    const ExprPtr e = symb("i") + symb("N");
+    const ExprPtr s = e->substitute({{"i", cst(3)}});
+    EXPECT_EQ(s->evaluate({{"N", 7}}), 10);
+    // Simultaneous substitution: swap a and b.
+    const ExprPtr swap = (symb("a") - symb("b"))
+                             ->substitute({{"a", symb("b")}, {"b", symb("a")}});
+    EXPECT_EQ(swap->evaluate({{"a", 1}, {"b", 9}}), 8);
+}
+
+TEST(SymbolicExpr, FreeSymbols) {
+    const ExprPtr e = min(symb("N"), symb("M")) * symb("N") + 2;
+    const auto syms = e->free_symbols();
+    EXPECT_EQ(syms.size(), 2u);
+    EXPECT_TRUE(syms.count("N"));
+    EXPECT_TRUE(syms.count("M"));
+}
+
+TEST(SymbolicExpr, ToStringRoundTrip) {
+    const ExprPtr exprs[] = {
+        symb("N") * symb("N") + 4,
+        (symb("N") - 1) * cst(3),
+        min(symb("i") + 7, symb("N") - 1),
+        floordiv(symb("N"), cst(2)) - symb("M"),
+        mod(symb("i"), symb("N")),
+    };
+    const Bindings bindings{{"N", 13}, {"M", 4}, {"i", 29}};
+    for (const auto& e : exprs) {
+        const ExprPtr reparsed = parse_expr(e->to_string());
+        EXPECT_EQ(e->evaluate(bindings), reparsed->evaluate(bindings)) << e->to_string();
+    }
+}
+
+TEST(SymbolicParser, Precedence) {
+    EXPECT_EQ(parse_expr("2 + 3 * 4")->constant_value(), 14);
+    EXPECT_EQ(parse_expr("(2 + 3) * 4")->constant_value(), 20);
+    EXPECT_EQ(parse_expr("10 - 4 - 3")->constant_value(), 3);   // left assoc
+    EXPECT_EQ(parse_expr("20 / 2 / 5")->constant_value(), 2);   // left assoc
+    EXPECT_EQ(parse_expr("-3 + 5")->constant_value(), 2);
+    EXPECT_EQ(parse_expr("2 * -3")->constant_value(), -6);
+}
+
+TEST(SymbolicParser, MinMaxCalls) {
+    EXPECT_EQ(parse_expr("min(3, max(5, 1))")->constant_value(), 3);
+    EXPECT_EQ(parse_expr("max(N, 0)")->evaluate({{"N", -5}}), 0);
+}
+
+TEST(SymbolicParser, Errors) {
+    EXPECT_THROW(parse_expr(""), common::ParseError);
+    EXPECT_THROW(parse_expr("1 +"), common::ParseError);
+    EXPECT_THROW(parse_expr("foo(1)"), common::ParseError);
+    EXPECT_THROW(parse_expr("(1"), common::ParseError);
+    EXPECT_THROW(parse_expr("1 2"), common::ParseError);
+}
+
+TEST(SymbolicBool, CompareAndLogic) {
+    const BoolExprPtr c = parse_bool("i < N and not (j >= M or i == 0)");
+    EXPECT_TRUE(c->evaluate({{"i", 1}, {"j", 2}, {"N", 5}, {"M", 10}}));
+    EXPECT_FALSE(c->evaluate({{"i", 0}, {"j", 2}, {"N", 5}, {"M", 10}}));
+    EXPECT_FALSE(c->evaluate({{"i", 1}, {"j", 20}, {"N", 5}, {"M", 10}}));
+    EXPECT_FALSE(c->evaluate({{"i", 7}, {"j", 2}, {"N", 5}, {"M", 10}}));
+}
+
+TEST(SymbolicBool, ConstantFolding) {
+    EXPECT_EQ(parse_bool("1 < 2")->kind(), BoolExpr::Kind::Constant);
+    EXPECT_TRUE(parse_bool("1 < 2")->constant_value());
+    EXPECT_FALSE(parse_bool("2 <= 1")->constant_value());
+    // Short-circuit simplification with constants.
+    EXPECT_TRUE(parse_bool("true or i < 0")->constant_value());
+    EXPECT_FALSE(parse_bool("false and i < 0")->constant_value());
+}
+
+TEST(SymbolicBool, ParenthesizedArithmeticVsBool) {
+    // '(' can open either a boolean group or an arithmetic subexpression.
+    EXPECT_TRUE(parse_bool("(i + 1) < 3")->evaluate({{"i", 1}}));
+    EXPECT_TRUE(parse_bool("(i < 3) and (2 < 4)")->evaluate({{"i", 1}}));
+}
+
+TEST(SymbolicBool, SubstituteAndRoundTrip) {
+    const BoolExprPtr c = parse_bool("i < N");
+    const BoolExprPtr s = c->substitute({{"N", cst(3)}});
+    EXPECT_TRUE(s->evaluate({{"i", 2}}));
+    EXPECT_FALSE(s->evaluate({{"i", 3}}));
+    const BoolExprPtr reparsed = parse_bool(c->to_string());
+    EXPECT_TRUE(reparsed->equals(*c));
+}
+
+/// Property sweep: floor-div/mod invariant a == b*(a/b) + a%b.
+class FloorDivProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FloorDivProperty, DivModInvariant) {
+    const auto [a, b] = GetParam();
+    ASSERT_NE(b, 0);
+    EXPECT_EQ(static_cast<std::int64_t>(a),
+              static_cast<std::int64_t>(b) * floordiv_i64(a, b) + floormod_i64(a, b));
+    // Modulo takes the sign of the divisor.
+    const std::int64_t m = floormod_i64(a, b);
+    if (b > 0) EXPECT_TRUE(m >= 0 && m < b);
+    else EXPECT_TRUE(m <= 0 && m > b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FloorDivProperty,
+                         ::testing::Values(std::pair{7, 2}, std::pair{-7, 2}, std::pair{7, -2},
+                                           std::pair{-7, -2}, std::pair{0, 3}, std::pair{5, 5},
+                                           std::pair{-12, 5}, std::pair{12, -5},
+                                           std::pair{1, 7}, std::pair{-1, 7}));
+
+}  // namespace
+}  // namespace ff::sym

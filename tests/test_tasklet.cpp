@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "interp/tasklet_lang.h"
+
+namespace ff::interp {
+namespace {
+
+Value run_scalar(const std::string& code, ConnectorEnv env, const std::string& out = "o") {
+    const auto prog = TaskletProgram::parse(code);
+    prog->execute(env);
+    return env.at(out).at(0);
+}
+
+ConnectorEnv env1(const std::string& name, double v) {
+    return ConnectorEnv{{name, {Value::from_double(v)}}};
+}
+
+TEST(Tasklet, Arithmetic) {
+    EXPECT_DOUBLE_EQ(run_scalar("o = a * 2.0 + 1.0", env1("a", 3)).as_double(), 7.0);
+    EXPECT_DOUBLE_EQ(run_scalar("o = a - 10.0", env1("a", 3)).as_double(), -7.0);
+    EXPECT_DOUBLE_EQ(run_scalar("o = -a", env1("a", 3)).as_double(), -3.0);
+    EXPECT_DOUBLE_EQ(run_scalar("o = a / 4.0", env1("a", 3)).as_double(), 0.75);
+}
+
+TEST(Tasklet, IntegerSemantics) {
+    // int / int is floor division; int + int stays integer.
+    ConnectorEnv env{{"a", {Value::from_int(-7)}}};
+    const Value v = run_scalar("o = a / 2", env);
+    EXPECT_FALSE(v.is_float);
+    EXPECT_EQ(v.i, -4);
+    const Value m = run_scalar("o = a % 3", env);
+    EXPECT_EQ(m.i, 2);
+}
+
+TEST(Tasklet, MixedPromotesToDouble) {
+    ConnectorEnv env{{"a", {Value::from_int(3)}}};
+    const Value v = run_scalar("o = a / 2.0", env);
+    EXPECT_TRUE(v.is_float);
+    EXPECT_DOUBLE_EQ(v.f, 1.5);
+}
+
+TEST(Tasklet, ComparisonAndTernary) {
+    EXPECT_DOUBLE_EQ(run_scalar("o = a > 0 ? a : 0", env1("a", 5)).as_double(), 5.0);
+    EXPECT_DOUBLE_EQ(run_scalar("o = a > 0 ? a : 0", env1("a", -5)).as_double(), 0.0);
+    EXPECT_EQ(run_scalar("o = a <= 3.0", env1("a", 3)).as_int(), 1);
+    EXPECT_EQ(run_scalar("o = a != 3.0", env1("a", 3)).as_int(), 0);
+}
+
+TEST(Tasklet, LogicalShortCircuit) {
+    // Division by zero in the unevaluated branch must not fire.
+    ConnectorEnv env{{"a", {Value::from_double(0)}}};
+    EXPECT_EQ(run_scalar("o = a != 0.0 && 1.0 / a > 0.0", env).as_int(), 0);
+    EXPECT_EQ(run_scalar("o = a == 0.0 || 1.0 / a > 0.0", env).as_int(), 1);
+}
+
+TEST(Tasklet, Functions) {
+    EXPECT_DOUBLE_EQ(run_scalar("o = min(a, 2.0)", env1("a", 5)).as_double(), 2.0);
+    EXPECT_DOUBLE_EQ(run_scalar("o = max(a, 2.0)", env1("a", 5)).as_double(), 5.0);
+    EXPECT_DOUBLE_EQ(run_scalar("o = abs(a)", env1("a", -3)).as_double(), 3.0);
+    EXPECT_DOUBLE_EQ(run_scalar("o = sqrt(a)", env1("a", 16)).as_double(), 4.0);
+    EXPECT_DOUBLE_EQ(run_scalar("o = exp(a)", env1("a", 0)).as_double(), 1.0);
+    EXPECT_DOUBLE_EQ(run_scalar("o = pow(a, 3.0)", env1("a", 2)).as_double(), 8.0);
+    EXPECT_DOUBLE_EQ(run_scalar("o = floor(a)", env1("a", 2.7)).as_double(), 2.0);
+    EXPECT_DOUBLE_EQ(run_scalar("o = ceil(a)", env1("a", 2.1)).as_double(), 3.0);
+    EXPECT_DOUBLE_EQ(run_scalar("o = select(a > 1.0, 10.0, 20.0)", env1("a", 2)).as_double(),
+                     10.0);
+    EXPECT_NEAR(run_scalar("o = tanh(a)", env1("a", 0.5)).as_double(), std::tanh(0.5), 1e-15);
+}
+
+TEST(Tasklet, MultiStatementAndLocals) {
+    // `t` is assigned before use: a local, not an input connector.
+    const auto prog = TaskletProgram::parse("t = a * 2.0; o = t + a");
+    EXPECT_EQ(prog->reads().size(), 1u);
+    EXPECT_TRUE(prog->reads().count("a"));
+    EXPECT_TRUE(prog->writes().count("t"));
+    EXPECT_TRUE(prog->writes().count("o"));
+    ConnectorEnv env = env1("a", 3);
+    prog->execute(env);
+    EXPECT_DOUBLE_EQ(env.at("o").at(0).as_double(), 9.0);
+}
+
+TEST(Tasklet, VectorLanes) {
+    const auto prog = TaskletProgram::parse("o[0] = a[0] * s; o[1] = a[1] * s");
+    EXPECT_EQ(prog->reads().at("a"), 2);
+    EXPECT_EQ(prog->reads().at("s"), 1);
+    EXPECT_EQ(prog->writes().at("o"), 2);
+    ConnectorEnv env{{"a", {Value::from_double(1), Value::from_double(2)}},
+                     {"s", {Value::from_double(10)}}};
+    prog->execute(env);
+    EXPECT_DOUBLE_EQ(env.at("o").at(0).as_double(), 10.0);
+    EXPECT_DOUBLE_EQ(env.at("o").at(1).as_double(), 20.0);
+}
+
+TEST(Tasklet, ReadAfterOwnWrite) {
+    ConnectorEnv env = env1("a", 4);
+    const auto prog = TaskletProgram::parse("o = a; o = o * o");
+    prog->execute(env);
+    EXPECT_DOUBLE_EQ(env.at("o").at(0).as_double(), 16.0);
+}
+
+TEST(Tasklet, MissingInputThrows) {
+    const auto prog = TaskletProgram::parse("o = a + b");
+    ConnectorEnv env = env1("a", 1);
+    EXPECT_THROW(prog->execute(env), common::Error);
+}
+
+TEST(Tasklet, ParseErrors) {
+    EXPECT_THROW(TaskletProgram::parse(""), common::ParseError);
+    EXPECT_THROW(TaskletProgram::parse("o ="), common::ParseError);
+    EXPECT_THROW(TaskletProgram::parse("= a"), common::ParseError);
+    EXPECT_THROW(TaskletProgram::parse("o = frobnicate(a)"), common::ParseError);
+    EXPECT_THROW(TaskletProgram::parse("o = a +* b"), common::ParseError);
+    EXPECT_THROW(TaskletProgram::parse("o = a[b]"), common::ParseError);  // non-const lane
+}
+
+TEST(Tasklet, ScientificNotation) {
+    EXPECT_DOUBLE_EQ(run_scalar("o = a * 1e-5", env1("a", 2)).as_double(), 2e-5);
+    EXPECT_DOUBLE_EQ(run_scalar("o = a + 1.5e2", env1("a", 0)).as_double(), 150.0);
+}
+
+/// Parameterized sweep: relu behaves like max(0, x) across signs.
+class ReluProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReluProperty, TernaryMatchesMax) {
+    const double x = GetParam();
+    const double relu = run_scalar("o = a > 0 ? a : 0", env1("a", x)).as_double();
+    const double via_max = run_scalar("o = max(a, 0.0)", env1("a", x)).as_double();
+    EXPECT_DOUBLE_EQ(relu, via_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReluProperty,
+                         ::testing::Values(-10.0, -0.5, 0.0, 0.25, 3.0, 1e9, -1e9));
+
+}  // namespace
+}  // namespace ff::interp

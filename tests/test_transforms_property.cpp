@@ -1,0 +1,108 @@
+// Property tests: every correct-mode transformation preserves semantics on
+// every kernel of the suite where it matches, across input sizes — the
+// ground truth that makes the differential verdicts in the audits
+// meaningful (a "failure" is the transformation's fault, not the fuzzer's).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "common/rng.h"
+#include "helpers.h"
+#include "interp/interpreter.h"
+#include "transforms/registry.h"
+#include "transforms/vectorization.h"
+#include "workloads/npbench.h"
+
+namespace ff::xform {
+namespace {
+
+interp::Context random_inputs(const ir::SDFG& sdfg, const sym::Bindings& bindings,
+                              std::uint64_t seed) {
+    interp::Context ctx;
+    ctx.symbols = bindings;
+    common::Rng rng(seed);
+    for (const auto& [name, desc] : sdfg.containers()) {
+        if (desc.transient) continue;
+        interp::Buffer buf(desc.dtype, desc.concrete_shape(bindings));
+        for (std::int64_t i = 0; i < buf.size(); ++i) {
+            if (ir::dtype_is_float(desc.dtype))
+                buf.store(i, interp::Value::from_double(rng.uniform_double(-1, 1)));
+            else
+                buf.store(i, interp::Value::from_int(rng.uniform_int(-4, 4)));
+        }
+        ctx.buffers.emplace(name, std::move(buf));
+    }
+    return ctx;
+}
+
+/// Non-transient containers must be unchanged (within fp threshold) between
+/// the original and transformed run.
+void expect_equivalent(const ir::SDFG& p, const ir::SDFG& q, const sym::Bindings& bindings,
+                       const std::string& label) {
+    interp::Interpreter ip, iq;
+    auto cp = random_inputs(p, bindings, 1234);
+    auto cq = cp;
+    const auto rp = ip.run(p, cp);
+    const auto rq = iq.run(q, cq);
+    ASSERT_TRUE(rp.ok()) << label << " original: " << rp.message;
+    ASSERT_TRUE(rq.ok()) << label << " transformed: " << rq.message;
+    for (const auto& [name, desc] : p.containers()) {
+        if (desc.transient) continue;
+        if (!cp.buffers.count(name) || !cq.buffers.count(name)) continue;
+        const auto mismatch =
+            interp::compare_buffers(cp.buffers.at(name), cq.buffers.at(name), 1e-9);
+        EXPECT_FALSE(mismatch.has_value())
+            << label << ": '" << name << "' differs at " << (mismatch ? mismatch->flat_index : 0);
+    }
+}
+
+class CorrectPassProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorrectPassProperty, PreservesSemanticsOnAllMatches) {
+    const std::string kernel = GetParam();
+    const sym::Bindings bindings = workloads::npbench_defaults();
+    const auto passes = builtin_transformations({.table2_bugs = false});
+    for (const auto& pass : passes) {
+        if (pass->name() == "Vectorization") continue;  // input-dependent by design
+        const ir::SDFG original = workloads::build_npbench_kernel(kernel);
+        const auto matches = pass->find_matches(original);
+        // Apply each match to a fresh copy: matches are positional and may
+        // invalidate one another.
+        for (std::size_t i = 0; i < matches.size(); ++i) {
+            ir::SDFG transformed = original;
+            ASSERT_NO_THROW(pass->apply(transformed, matches[i]))
+                << kernel << " / " << pass->name();
+            ASSERT_NO_THROW(transformed.validate()) << kernel << " / " << pass->name();
+            expect_equivalent(original, transformed, bindings,
+                              kernel + " / " + pass->name() + " #" + std::to_string(i));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, CorrectPassProperty,
+                         ::testing::Values("gemm", "atax", "mvt", "gesummv", "syrk",
+                                           "jacobi_1d", "jacobi_2d", "hdiff", "l2norm",
+                                           "go_fast", "compute", "scalar_pipeline", "ew_chain",
+                                           "copy_pipeline", "alias_stages", "arc_distance",
+                                           "unroll_candidates", "conv1d", "vadv_lite"));
+
+/// Vectorization preserves semantics exactly on divisible sizes.
+class VectorizationDivisibleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(VectorizationDivisibleProperty, ExactOnMultiplesOfWidth) {
+    const int n = GetParam();
+    ASSERT_EQ(n % 4, 0);
+    const ir::SDFG original = ff::testing::make_scale_sdfg("o = i * 0.5 + 1.0");
+    ir::SDFG transformed = original;
+    Vectorization vec(4);
+    const auto matches = vec.find_matches(transformed);
+    ASSERT_EQ(matches.size(), 1u);
+    vec.apply(transformed, matches[0]);
+    expect_equivalent(original, transformed, {{"N", n}}, "vectorize N=" + std::to_string(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VectorizationDivisibleProperty,
+                         ::testing::Values(4, 8, 12, 16, 32));
+
+}  // namespace
+}  // namespace ff::xform
