@@ -22,6 +22,10 @@ DifferentialTester::DifferentialTester(const ir::SDFG& original, const ir::SDFG&
       transformed_(transformed),
       system_state_(std::move(system_state)),
       config_(config),
+      // One interpreter per side, retained for the tester's lifetime: state
+      // plans, compiled tasklet bytecode and the execution scratch arena are
+      // built on the first trial and amortized over every subsequent one
+      // (config.exec.use_compiled_tasklets selects the engine).
       interp_original_(config.exec),
       interp_transformed_(config.exec) {
     try {

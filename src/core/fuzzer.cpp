@@ -93,6 +93,9 @@ FuzzReport Fuzzer::test_instance(const ir::SDFG& p, const xform::Transformation&
     }
     report.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const int executed = report.trials + report.uninteresting;
+    if (report.seconds > 0.0 && executed > 0)
+        report.trials_per_second = executed / report.seconds;
     return report;
 }
 

@@ -35,6 +35,10 @@ struct FuzzReport {
     int trials = 0;            ///< differential trials executed
     int uninteresting = 0;     ///< resampled trials (original rejected input)
     double seconds = 0.0;
+    /// End-to-end executed-trial throughput of this instance — resampled
+    /// (uninteresting) trials included, since each runs the original
+    /// program; the metric the compiled tasklet engine exists to maximize.
+    double trials_per_second = 0.0;
     std::string detail;
     std::string artifact_path;
 

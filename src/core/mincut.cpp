@@ -147,7 +147,7 @@ MinCutResult minimize_input_configuration(const ir::SDFG& p, const xform::Change
         }
     }
 
-    const graph::MaxFlowResult flow = graph::edmonds_karp(num_nodes, net, S, T);
+    const graph::MaxFlowResult flow = graph::max_flow(num_nodes, net, S, T);
 
     // Expansion: T-side nodes that can reach the cutout.
     std::set<NodeId> expansion;

@@ -1,6 +1,7 @@
 #include "core/report.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace ff::core {
@@ -47,6 +48,7 @@ std::vector<AuditSummary> summarize_audit(const std::vector<FuzzReport>& reports
         ++s.instances;
         s.total_seconds += r.seconds;
         s.total_trials += r.trials;
+        s.total_uninteresting += r.uninteresting;
         if (r.failed()) {
             ++s.failures;
             ++s.categories[verdict_name(r.verdict)];
@@ -59,7 +61,7 @@ std::vector<AuditSummary> summarize_audit(const std::vector<FuzzReport>& reports
 }
 
 std::string audit_table(const std::vector<AuditSummary>& summaries) {
-    TextTable table({"Transformation", "Instances", "Failures", "Failure classes"});
+    TextTable table({"Transformation", "Instances", "Failures", "Trials/s", "Failure classes"});
     for (const AuditSummary& s : summaries) {
         std::string classes;
         for (const auto& [name, count] : s.categories) {
@@ -67,8 +69,10 @@ std::string audit_table(const std::vector<AuditSummary>& summaries) {
             classes += name + " x" + std::to_string(count);
         }
         if (classes.empty()) classes = "-";
+        char tps[32];
+        std::snprintf(tps, sizeof(tps), "%.0f", s.trials_per_second());
         table.add_row({s.transformation, std::to_string(s.instances),
-                       std::to_string(s.failures), classes});
+                       std::to_string(s.failures), tps, classes});
     }
     return table.to_string();
 }

@@ -32,6 +32,14 @@ struct AuditSummary {
     std::map<std::string, int> categories;
     double total_seconds = 0.0;
     int total_trials = 0;
+    int total_uninteresting = 0;
+
+    /// Aggregate executed-trial throughput across instances (resampled
+    /// trials included — they run the original program too); matches
+    /// FuzzReport::trials_per_second.
+    double trials_per_second() const {
+        return total_seconds > 0.0 ? (total_trials + total_uninteresting) / total_seconds : 0.0;
+    }
 };
 
 std::vector<AuditSummary> summarize_audit(const std::vector<FuzzReport>& reports);

@@ -18,10 +18,88 @@ struct Residual {
 
 constexpr std::size_t kNoOriginal = static_cast<std::size_t>(-1);
 
+/// Dinic's solver state over the residual graph.
+struct Dinic {
+    int sink;
+    std::vector<Residual>& res;
+    const std::vector<std::vector<std::size_t>>& adj;
+    std::vector<int> level;
+    std::vector<std::size_t> iter;  // per-node arc pointer
+
+    Dinic(int num_nodes, int sink_, std::vector<Residual>& res_,
+          const std::vector<std::vector<std::size_t>>& adj_)
+        : sink(sink_),
+          res(res_),
+          adj(adj_),
+          level(static_cast<std::size_t>(num_nodes)),
+          iter(static_cast<std::size_t>(num_nodes)) {}
+
+    /// Builds the BFS level graph; true when the sink is reachable.
+    bool bfs(int source) {
+        std::fill(level.begin(), level.end(), -1);
+        level[static_cast<std::size_t>(source)] = 0;
+        std::queue<int> frontier;
+        frontier.push(source);
+        while (!frontier.empty()) {
+            const int u = frontier.front();
+            frontier.pop();
+            for (std::size_t eid : adj[static_cast<std::size_t>(u)]) {
+                const Residual& r = res[eid];
+                if (r.capacity > 0 && level[static_cast<std::size_t>(r.dst)] == -1) {
+                    level[static_cast<std::size_t>(r.dst)] =
+                        level[static_cast<std::size_t>(u)] + 1;
+                    frontier.push(r.dst);
+                }
+            }
+        }
+        return level[static_cast<std::size_t>(sink)] != -1;
+    }
+
+    /// Pushes one augmenting path along the level graph (iterative — path
+    /// lengths reach V on chain-shaped networks, so no recursion); the arc
+    /// pointer `iter` skips saturated/retired arcs across calls.  Returns
+    /// the pushed flow, 0 when the level graph is exhausted.
+    std::int64_t push_path(int source) {
+        path.clear();
+        int u = source;
+        while (true) {
+            if (u == sink) {
+                std::int64_t bottleneck = kInfiniteCapacity;
+                for (std::size_t eid : path) bottleneck = std::min(bottleneck, res[eid].capacity);
+                for (std::size_t eid : path) {
+                    res[eid].capacity -= bottleneck;
+                    res[res[eid].pair].capacity += bottleneck;
+                }
+                return bottleneck;
+            }
+            const auto& arcs = adj[static_cast<std::size_t>(u)];
+            bool advanced = false;
+            for (std::size_t& i = iter[static_cast<std::size_t>(u)]; i < arcs.size(); ++i) {
+                const Residual& r = res[arcs[i]];
+                if (r.capacity > 0 && level[static_cast<std::size_t>(r.dst)] ==
+                                          level[static_cast<std::size_t>(u)] + 1) {
+                    path.push_back(arcs[i]);
+                    u = r.dst;
+                    advanced = true;
+                    break;
+                }
+            }
+            if (advanced) continue;
+            if (u == source) return 0;
+            // Dead end: retire the arc that led here and back up.
+            const std::size_t back = path.back();
+            path.pop_back();
+            u = res[res[back].pair].dst;
+            ++iter[static_cast<std::size_t>(u)];
+        }
+    }
+
+    std::vector<std::size_t> path;  // residual edge ids of the current walk
+};
+
 }  // namespace
 
-MaxFlowResult edmonds_karp(int num_nodes, const std::vector<FlowEdge>& edges, int source,
-                           int sink) {
+MaxFlowResult max_flow(int num_nodes, const std::vector<FlowEdge>& edges, int source, int sink) {
     assert(source >= 0 && source < num_nodes);
     assert(sink >= 0 && sink < num_nodes);
 
@@ -39,41 +117,15 @@ MaxFlowResult edmonds_karp(int num_nodes, const std::vector<FlowEdge>& edges, in
     }
 
     std::int64_t total_flow = 0;
-    std::vector<std::size_t> parent_edge(static_cast<std::size_t>(num_nodes));
-    std::vector<int> parent(static_cast<std::size_t>(num_nodes));
-
-    while (true) {
-        // BFS for the shortest augmenting path.
-        std::fill(parent.begin(), parent.end(), -1);
-        parent[static_cast<std::size_t>(source)] = source;
-        std::queue<int> frontier;
-        frontier.push(source);
-        while (!frontier.empty() && parent[static_cast<std::size_t>(sink)] == -1) {
-            const int u = frontier.front();
-            frontier.pop();
-            for (std::size_t eid : adj[static_cast<std::size_t>(u)]) {
-                const Residual& r = res[eid];
-                if (r.capacity > 0 && parent[static_cast<std::size_t>(r.dst)] == -1) {
-                    parent[static_cast<std::size_t>(r.dst)] = u;
-                    parent_edge[static_cast<std::size_t>(r.dst)] = eid;
-                    frontier.push(r.dst);
-                }
+    if (source != sink) {
+        Dinic dinic(num_nodes, sink, res, adj);
+        while (total_flow < kInfiniteCapacity && dinic.bfs(source)) {
+            std::fill(dinic.iter.begin(), dinic.iter.end(), 0);
+            while (std::int64_t pushed = dinic.push_path(source)) {
+                total_flow += pushed;
+                if (total_flow >= kInfiniteCapacity) break;  // saturated: cut is "infinite"
             }
         }
-        if (parent[static_cast<std::size_t>(sink)] == -1) break;  // no augmenting path
-
-        // Bottleneck along the path.
-        std::int64_t bottleneck = kInfiniteCapacity;
-        for (int v = sink; v != source; v = parent[static_cast<std::size_t>(v)])
-            bottleneck = std::min(bottleneck, res[parent_edge[static_cast<std::size_t>(v)]].capacity);
-
-        for (int v = sink; v != source; v = parent[static_cast<std::size_t>(v)]) {
-            Residual& fwd = res[parent_edge[static_cast<std::size_t>(v)]];
-            fwd.capacity -= bottleneck;
-            res[fwd.pair].capacity += bottleneck;
-        }
-        total_flow += bottleneck;
-        if (total_flow >= kInfiniteCapacity) break;  // saturated: cut is "infinite"
     }
 
     MaxFlowResult result;

@@ -1,6 +1,7 @@
 #include "interp/interpreter.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -14,16 +15,34 @@ using ir::NodeKind;
 
 namespace {
 
-/// Precomputed execution structure of one state: topological order, scope
-/// parenthood, and ordered direct children per scope.  Built once per state
-/// and cached by the interpreter — nested map scopes execute O(iterations)
-/// times and must not re-derive graph structure each time.
-struct StatePlan {
-    std::vector<NodeId> top_level;                       // ordered, no MapExit
-    std::map<NodeId, std::vector<NodeId>> scope_children;  // entry -> ordered children
-};
+// Indices into the interpreter's scratch_values() pool.  Library nodes use
+// low indices (see library_nodes.cpp); the interpreter's own helpers use the
+// high ones so nested data movement never aliases.
+constexpr std::size_t kCopyScratch = 6;
+constexpr std::size_t kPassthroughBase = 8;  // + per-tasklet passthrough pool index
 
-StatePlan build_plan(const ir::State& state) {
+/// Precomputes subset shape facts that do not depend on symbol values.
+void analyze_subset(AccessPlan& ap) {
+    ap.single_point = true;
+    ap.const_volume = 1;
+    bool volume_known = true;
+    for (const ir::Range& r : ap.memlet->subset.ranges) {
+        const bool step_const_nonzero = r.step->is_constant() && r.step->constant_value() != 0;
+        if (step_const_nonzero && r.begin->equals(*r.end)) continue;  // one index
+        ap.single_point = false;
+        if (step_const_nonzero && r.begin->is_constant() && r.end->is_constant()) {
+            ap.const_volume *= ir::concrete_range_size(ir::ConcreteRange{
+                r.begin->constant_value(), r.end->constant_value(), r.step->constant_value()});
+        } else {
+            volume_known = false;
+        }
+    }
+    if (!volume_known) ap.const_volume = -1;
+}
+
+}  // namespace
+
+StatePlan Interpreter::build_plan(const ir::State& state) {
     const auto topo = state.graph().topological_order();
     if (!topo) throw common::ValidationError("state '" + state.name() + "' has a dataflow cycle");
 
@@ -53,27 +72,135 @@ StatePlan build_plan(const ir::State& state) {
     }
 
     StatePlan plan;
+    NodeId max_id = -1;
     for (NodeId n : *topo) {
+        max_id = std::max(max_id, n);
         const NodeKind k = state.graph().node(n).kind;
         if (k == NodeKind::MapExit) continue;  // executed with its entry
         const NodeId p = parent[n];
         if (p == graph::kInvalidNode) plan.top_level.push_back(n);
         else plan.scope_children[p].push_back(n);
     }
+
+    // Per-tasklet memlet access plans (compiled engine only; the reference
+    // path re-derives connector bindings per execution by design).
+    if (config_.use_compiled_tasklets) {
+        plan.node_to_plan.assign(static_cast<std::size_t>(max_id + 1), -1);
+        int cache_counter = 0;
+        for (NodeId n : *topo) {
+            if (state.graph().node(n).kind != NodeKind::Tasklet) continue;
+            TaskletPlan tp;
+            build_tasklet_plan(state, n, tp, cache_counter);
+            plan.node_to_plan[static_cast<std::size_t>(n)] =
+                static_cast<int>(plan.tasklet_plans.size());
+            plan.tasklet_plans.push_back(std::move(tp));
+        }
+        plan.cache_slots = cache_counter;
+    }
     return plan;
 }
 
-}  // namespace
+void Interpreter::build_tasklet_plan(const ir::State& state, NodeId nid, TaskletPlan& tp,
+                                     int& cache_counter) {
+    const DataflowNode& node = state.graph().node(nid);
+    tp.prog = program_for(node.code);
+    tp.label = node.label;
+    const TaskletProgram& prog = *tp.prog;
 
-const void* Interpreter::plan_for(const ir::State& state) {
+    std::set<std::string> bound;
+    for (graph::EdgeId eid : state.graph().in_edges(nid)) {
+        const auto& edge = state.graph().edge(eid).data;
+        if (edge.dst_conn.empty()) continue;  // ordering-only dependency edge
+        AccessPlan ap;
+        ap.memlet = &edge.memlet;
+        ap.conn = edge.dst_conn;
+        for (const SlotDesc& sd : prog.slot_table()) {
+            if (sd.name == edge.dst_conn) {
+                ap.slot_base = sd.base;
+                ap.width = sd.width;
+                break;
+            }
+        }
+        analyze_subset(ap);
+        ap.cache_index = cache_counter++;
+        bound.insert(edge.dst_conn);
+        for (const std::string& t : prog.trap_connectors())
+            if (t == edge.dst_conn) tp.use_reference = true;
+        tp.inputs.push_back(std::move(ap));
+    }
+
+    // reads() name order = the reference engine's check order.  Multiple
+    // edges binding one connector: the last gather wins in both engines, so
+    // validate against the last matching input.
+    for (const auto& [name, width] : prog.reads()) {
+        TaskletPlan::InputCheck check;
+        check.conn = name;
+        check.width = width;
+        for (std::size_t i = 0; i < tp.inputs.size(); ++i)
+            if (tp.inputs[i].conn == name) check.input_index = static_cast<int>(i);
+        tp.input_checks.push_back(std::move(check));
+    }
+
+    int next_pool = 0;
+    for (graph::EdgeId eid : state.graph().out_edges(nid)) {
+        const auto& edge = state.graph().edge(eid).data;
+        AccessPlan ap;
+        ap.memlet = &edge.memlet;
+        ap.conn = edge.src_conn;
+        for (const SlotDesc& sd : prog.slot_table()) {
+            if (sd.name == edge.src_conn) {
+                ap.slot_base = sd.base;
+                ap.width = sd.width;
+                break;
+            }
+        }
+        if (ap.slot_base < 0) {
+            if (bound.count(edge.src_conn)) {
+                // The program never mentions this connector: the edge
+                // forwards the gathered input values unchanged.  Stage the
+                // pre-execution snapshot in a passthrough pool so an earlier
+                // output writing the same container cannot alter it.
+                for (AccessPlan& in : tp.inputs)
+                    if (in.conn == edge.src_conn) {
+                        if (in.passthrough_pool < 0) in.passthrough_pool = next_pool++;
+                        ap.passthrough_pool = in.passthrough_pool;
+                        break;
+                    }
+            } else {
+                ap.invalid = true;  // raised when this edge executes
+            }
+        } else {
+            // Connector used by the program *and* bound as an input: the
+            // reference engine scatters the full gathered vector, which can
+            // exceed the compiled slot width when the input memlet is larger
+            // than the referenced lanes — only then do the engines diverge,
+            // so run such nodes on the reference engine.
+            for (const AccessPlan& in : tp.inputs)
+                if (in.conn == edge.src_conn &&
+                    (in.const_volume < 0 || in.const_volume > ap.width))
+                    tp.use_reference = true;
+        }
+        analyze_subset(ap);
+        ap.cache_index = cache_counter++;
+        tp.outputs.push_back(std::move(ap));
+    }
+}
+
+const StatePlan& Interpreter::plan_for(const ir::State& state) {
     auto it = plan_cache_.find(&state);
     if (it == plan_cache_.end())
         it = plan_cache_.emplace(&state, std::make_shared<StatePlan>(build_plan(state))).first;
-    return it->second.get();
+    return *it->second;
+}
+
+void Interpreter::invalidate_execution_cache() {
+    scratch_.cache_plan = nullptr;
+    scratch_.cache_ctx = nullptr;
 }
 
 ExecResult Interpreter::run(const ir::SDFG& sdfg, Context& ctx) {
     ExecResult result;
+    invalidate_execution_cache();
     try {
         ir::StateId current = sdfg.start_state();
         while (true) {
@@ -115,35 +242,40 @@ ExecResult Interpreter::run(const ir::SDFG& sdfg, Context& ctx) {
 }
 
 void Interpreter::execute_state(const ir::SDFG& sdfg, const ir::State& state, Context& ctx) {
-    const StatePlan& plan = *static_cast<const StatePlan*>(plan_for(state));
-
-    for (NodeId nid : plan.top_level) {
-        const DataflowNode& node = state.graph().node(nid);
-        if (node.kind == NodeKind::MapEntry) execute_scope(sdfg, state, nid, ctx);
-        else execute_node(sdfg, state, nid, ctx);
-    }
+    const StatePlan& plan = plan_for(state);
+    invalidate_execution_cache();
+    for (NodeId nid : plan.top_level) execute_node_planned(sdfg, state, plan, nid, ctx);
 }
 
 void Interpreter::execute_node(const ir::SDFG& sdfg, const ir::State& state, NodeId nid,
                                Context& ctx) {
+    execute_node_planned(sdfg, state, plan_for(state), nid, ctx);
+}
+
+void Interpreter::execute_node_planned(const ir::SDFG& sdfg, const ir::State& state,
+                                       const StatePlan& plan, NodeId nid, Context& ctx) {
     const DataflowNode& node = state.graph().node(nid);
     switch (node.kind) {
         case NodeKind::Access:
             ensure_buffer(sdfg, ctx, node.data);
             execute_access_copies(sdfg, state, nid, ctx);
             break;
-        case NodeKind::Tasklet: execute_tasklet(sdfg, state, nid, ctx); break;
+        case NodeKind::Tasklet: {
+            const TaskletPlan* tp = config_.use_compiled_tasklets ? plan.plan_of(nid) : nullptr;
+            if (tp && !tp->use_reference) execute_tasklet_planned(sdfg, state, plan, *tp, ctx);
+            else execute_tasklet(sdfg, state, nid, ctx);
+            break;
+        }
         case NodeKind::Library: execute_library(*this, sdfg, state, nid, ctx); break;
         case NodeKind::Comm: execute_comm_single_rank(sdfg, state, nid, ctx); break;
-        case NodeKind::MapEntry: execute_scope(sdfg, state, nid, ctx); break;
+        case NodeKind::MapEntry: execute_scope(sdfg, state, plan, nid, ctx); break;
         case NodeKind::MapExit: break;
     }
 }
 
-void Interpreter::execute_scope(const ir::SDFG& sdfg, const ir::State& state, NodeId entry,
-                                Context& ctx) {
+void Interpreter::execute_scope(const ir::SDFG& sdfg, const ir::State& state,
+                                const StatePlan& plan, NodeId entry, Context& ctx) {
     const DataflowNode& map_node = state.graph().node(entry);
-    const StatePlan& plan = *static_cast<const StatePlan*>(plan_for(state));
 
     static const std::vector<NodeId> kEmpty;
     auto cit = plan.scope_children.find(entry);
@@ -163,11 +295,8 @@ void Interpreter::execute_scope(const ir::SDFG& sdfg, const ir::State& state, No
     const std::size_t nparams = map_node.params.size();
     auto iterate = [&](auto&& self, std::size_t level) -> void {
         if (level == nparams) {
-            for (NodeId child : children) {
-                const DataflowNode& cn = state.graph().node(child);
-                if (cn.kind == NodeKind::MapEntry) execute_scope(sdfg, state, child, ctx);
-                else execute_node(sdfg, state, child, ctx);
-            }
+            for (NodeId child : children)
+                execute_node_planned(sdfg, state, plan, child, ctx);
             return;
         }
         const ir::Range& r = map_node.map_ranges[level];
@@ -216,26 +345,53 @@ Buffer& Interpreter::ensure_buffer(const ir::SDFG& sdfg, Context& ctx, const std
 
 std::vector<Value> Interpreter::gather(const ir::SDFG& sdfg, Context& ctx,
                                        const ir::Memlet& memlet) {
-    Buffer& buf = ensure_buffer(sdfg, ctx, memlet.data);
-    const auto ranges = memlet.subset.concretize(ctx.symbols);
     std::vector<Value> out;
-    for_each_point(ranges, [&](const std::vector<std::int64_t>& idx) {
+    gather_into(sdfg, ctx, memlet, out);
+    return out;
+}
+
+const std::vector<ir::ConcreteRange>& Interpreter::concretize_into(const ir::Subset& subset,
+                                                                   const Context& ctx) {
+    auto& cr = scratch_.ranges;
+    cr.resize(subset.ranges.size());
+    for (std::size_t d = 0; d < subset.ranges.size(); ++d)
+        cr[d] = ir::ConcreteRange{subset.ranges[d].begin->evaluate(ctx.symbols),
+                                  subset.ranges[d].end->evaluate(ctx.symbols),
+                                  subset.ranges[d].step->evaluate(ctx.symbols)};
+    return cr;
+}
+
+void Interpreter::gather_into(const ir::SDFG& sdfg, Context& ctx, const ir::Memlet& memlet,
+                              std::vector<Value>& out) {
+    Buffer& buf = ensure_buffer(sdfg, ctx, memlet.data);
+    out.clear();
+    const auto& cr = concretize_into(memlet.subset, ctx);
+    for_each_point_into(cr, scratch_.idx, [&](const std::vector<std::int64_t>& idx) {
         out.push_back(buf.load(buf.flat_index(idx, memlet.data)));
     });
-    return out;
 }
 
 void Interpreter::scatter(const ir::SDFG& sdfg, Context& ctx, const ir::Memlet& memlet,
                           const std::vector<Value>& values) {
+    scatter_values(sdfg, ctx, memlet, values.data(), values.size());
+}
+
+void Interpreter::scatter_values(const ir::SDFG& sdfg, Context& ctx, const ir::Memlet& memlet,
+                                 const Value* values, std::size_t count) {
     Buffer& buf = ensure_buffer(sdfg, ctx, memlet.data);
-    const auto ranges = memlet.subset.concretize(ctx.symbols);
+    const auto& cr = concretize_into(memlet.subset, ctx);
     std::size_t lane = 0;
-    for_each_point(ranges, [&](const std::vector<std::int64_t>& idx) {
-        if (lane >= values.size())
+    for_each_point_into(cr, scratch_.idx, [&](const std::vector<std::int64_t>& idx) {
+        if (lane >= count)
             throw common::Error("scatter on '" + memlet.data + "': not enough values (" +
-                                std::to_string(values.size()) + ")");
+                                std::to_string(count) + ")");
         buf.store(buf.flat_index(idx, memlet.data), values[lane++]);
     });
+}
+
+std::vector<Value>& Interpreter::scratch_values(std::size_t which) {
+    if (value_pool_.size() <= which) value_pool_.resize(which + 1);
+    return value_pool_[which];
 }
 
 TaskletProgramPtr Interpreter::program_for(const std::string& code) {
@@ -245,6 +401,8 @@ TaskletProgramPtr Interpreter::program_for(const std::string& code) {
     tasklet_cache_.emplace(code, prog);
     return prog;
 }
+
+// --- Tasklet execution: reference path --------------------------------------
 
 void Interpreter::execute_tasklet(const ir::SDFG& sdfg, const ir::State& state, NodeId nid,
                                   Context& ctx) {
@@ -268,6 +426,115 @@ void Interpreter::execute_tasklet(const ir::SDFG& sdfg, const ir::State& state, 
     }
 }
 
+// --- Tasklet execution: compiled path ---------------------------------------
+
+Buffer& Interpreter::plan_buffer(const ir::SDFG& sdfg, Context& ctx, const StatePlan& plan,
+                                 const AccessPlan& ap) {
+    (void)plan;
+    Buffer*& cached = scratch_.buffer_cache[static_cast<std::size_t>(ap.cache_index)];
+    if (!cached) cached = &ensure_buffer(sdfg, ctx, ap.memlet->data);
+    return *cached;
+}
+
+std::int64_t Interpreter::plan_gather(const ir::SDFG& sdfg, Context& ctx, const StatePlan& plan,
+                                      const AccessPlan& ap, Value* slots) {
+    if (ap.passthrough_pool >= 0) {
+        // Snapshot the full subset before the program runs; forwarding
+        // outputs scatter from this pool.
+        auto& tmp = scratch_values(kPassthroughBase + static_cast<std::size_t>(ap.passthrough_pool));
+        gather_into(sdfg, ctx, *ap.memlet, tmp);
+        return static_cast<std::int64_t>(tmp.size());
+    }
+    Buffer& buf = plan_buffer(sdfg, ctx, plan, ap);
+    const auto& sranges = ap.memlet->subset.ranges;
+    auto& idx = scratch_.idx;
+    if (ap.single_point) {
+        // Hot path: a scalar element — evaluate each index expression and
+        // load straight into the connector slot.
+        idx.resize(sranges.size());
+        for (std::size_t d = 0; d < sranges.size(); ++d)
+            idx[d] = sranges[d].begin->evaluate(ctx.symbols);
+        const std::int64_t flat = buf.flat_index(idx, ap.memlet->data);
+        if (ap.slot_base >= 0) slots[ap.slot_base] = buf.load(flat);
+        return 1;
+    }
+    const auto& cr = concretize_into(ap.memlet->subset, ctx);
+    std::int64_t lane = 0;
+    for_each_point_into(cr, idx, [&](const std::vector<std::int64_t>& ix) {
+        const std::int64_t flat = buf.flat_index(ix, ap.memlet->data);
+        if (ap.slot_base >= 0 && lane < ap.width) slots[ap.slot_base + lane] = buf.load(flat);
+        ++lane;
+    });
+    return lane;
+}
+
+void Interpreter::plan_scatter(const ir::SDFG& sdfg, Context& ctx, const StatePlan& plan,
+                               const TaskletPlan& tp, const AccessPlan& ap, const Value* slots) {
+    if (ap.invalid)
+        throw common::Error("tasklet '" + tp.label + "' did not produce connector '" + ap.conn +
+                            "'");
+    if (ap.passthrough_pool >= 0) {
+        const auto& tmp =
+            scratch_values(kPassthroughBase + static_cast<std::size_t>(ap.passthrough_pool));
+        scatter_values(sdfg, ctx, *ap.memlet, tmp.data(), tmp.size());
+        return;
+    }
+    Buffer& buf = plan_buffer(sdfg, ctx, plan, ap);
+    const auto& sranges = ap.memlet->subset.ranges;
+    auto& idx = scratch_.idx;
+    if (ap.single_point) {
+        idx.resize(sranges.size());
+        for (std::size_t d = 0; d < sranges.size(); ++d)
+            idx[d] = sranges[d].begin->evaluate(ctx.symbols);
+        buf.store(buf.flat_index(idx, ap.memlet->data), slots[ap.slot_base]);
+        return;
+    }
+    const auto& cr = concretize_into(ap.memlet->subset, ctx);
+    std::int64_t lane = 0;
+    for_each_point_into(cr, idx, [&](const std::vector<std::int64_t>& ix) {
+        if (lane >= ap.width)
+            throw common::Error("scatter on '" + ap.memlet->data + "': not enough values (" +
+                                std::to_string(ap.width) + ")");
+        buf.store(buf.flat_index(ix, ap.memlet->data), slots[ap.slot_base + lane]);
+        ++lane;
+    });
+}
+
+void Interpreter::execute_tasklet_planned(const ir::SDFG& sdfg, const ir::State& state,
+                                          const StatePlan& plan, const TaskletPlan& tp,
+                                          Context& ctx) {
+    (void)state;
+    Scratch& s = scratch_;
+    if (s.cache_plan != &plan || s.cache_ctx != &ctx) {
+        s.buffer_cache.assign(static_cast<std::size_t>(plan.cache_slots), nullptr);
+        s.cache_plan = &plan;
+        s.cache_ctx = &ctx;
+    }
+
+    const std::size_t nslots = static_cast<std::size_t>(tp.prog->slot_count());
+    const std::size_t nregs = static_cast<std::size_t>(tp.prog->reg_count());
+    if (s.slots.size() < nslots) s.slots.resize(nslots);
+    std::fill_n(s.slots.begin(), nslots, Value{});
+    if (s.regs.size() < nregs) s.regs.resize(nregs);
+
+    // Gather every input first (lazy allocation and bounds checks fire in
+    // edge order, like the reference path), then validate declared inputs
+    // in the reference engine's order.
+    s.input_counts.resize(tp.inputs.size());
+    for (std::size_t i = 0; i < tp.inputs.size(); ++i)
+        s.input_counts[i] = plan_gather(sdfg, ctx, plan, tp.inputs[i], s.slots.data());
+    for (const TaskletPlan::InputCheck& check : tp.input_checks)
+        if (check.input_index < 0 ||
+            s.input_counts[static_cast<std::size_t>(check.input_index)] < check.width)
+            throw common::Error("tasklet: missing input connector '" + check.conn + "'");
+
+    tp.prog->execute_compiled(s.slots.data(), s.regs.data());
+
+    for (const AccessPlan& ap : tp.outputs) plan_scatter(sdfg, ctx, plan, tp, ap, s.slots.data());
+}
+
+// --- Copies and collectives -------------------------------------------------
+
 void Interpreter::execute_access_copies(const ir::SDFG& sdfg, const ir::State& state, NodeId nid,
                                         Context& ctx) {
     // An edge between two access nodes is a copy.  The memlet subset is
@@ -281,7 +548,9 @@ void Interpreter::execute_access_copies(const ir::SDFG& sdfg, const ir::State& s
         const ir::Memlet& m = e.data.memlet;
         ir::Memlet src_memlet(node.data, m.subset);
         ir::Memlet dst_memlet(dst.data, m.subset);
-        scatter(sdfg, ctx, dst_memlet, gather(sdfg, ctx, src_memlet));
+        auto& tmp = scratch_values(kCopyScratch);
+        gather_into(sdfg, ctx, src_memlet, tmp);
+        scatter_values(sdfg, ctx, dst_memlet, tmp.data(), tmp.size());
     }
 }
 
@@ -298,7 +567,9 @@ void Interpreter::execute_comm_single_rank(const ir::SDFG& sdfg, const ir::State
         if (g.edge(eid).data.src_conn == "out") out_memlet = &g.edge(eid).data.memlet;
     if (!in_memlet || !out_memlet)
         throw common::ValidationError("comm node missing in/out connector");
-    scatter(sdfg, ctx, *out_memlet, gather(sdfg, ctx, *in_memlet));
+    auto& tmp = scratch_values(kCopyScratch);
+    gather_into(sdfg, ctx, *in_memlet, tmp);
+    scatter_values(sdfg, ctx, *out_memlet, tmp.data(), tmp.size());
 }
 
 }  // namespace ff::interp

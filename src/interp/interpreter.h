@@ -19,13 +19,34 @@
 //    symbols surface as a Crash result rather than undefined behaviour.
 //  * Containers are allocated lazily on first access: host transients are
 //    zero-filled, Device containers are filled with deterministic garbage.
+//
+// Compiled execution path (the fuzzing hot path):
+//
+// Fuzz throughput is bounded by the innermost loop — one tasklet execution
+// per map point, on both sides of every differential trial.  The interpreter
+// therefore compiles each state once into a StatePlan: topological order and
+// scope structure, plus, per tasklet node, a TaskletPlan binding every
+// incident memlet to a fixed slot range of the tasklet's compiled bytecode
+// program (see tasklet_lang.h) together with precomputed subset shape
+// information (single-point flag, constant element counts).  Execution then
+// runs map points against a reusable flat scratch arena (slot + register
+// Value arrays, index/range buffers, per-state Buffer pointer cache) —
+// no ConnectorEnv map, no per-point gather/scatter vectors, no heap
+// allocation per map point for scalar tasklets.  The legacy tree-walking
+// path is kept bit-for-bit intact behind ExecConfig::use_compiled_tasklets
+// = false as the reference for differential testing and benchmarking.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/error.h"
 #include "interp/buffer.h"
 #include "ir/sdfg.h"
 
@@ -34,6 +55,11 @@ namespace ff::interp {
 struct ExecConfig {
     std::int64_t max_state_transitions = 100000;
     std::uint64_t device_garbage_seed = 0xD00DULL;
+    /// Execute tasklets via the bytecode VM against precomputed memlet
+    /// access plans (the fast path).  false selects the reference AST
+    /// engine with per-point ConnectorEnv construction — kept selectable
+    /// for differential testing and the hot-path benchmark.
+    bool use_compiled_tasklets = true;
 };
 
 enum class ExecStatus { Ok, Crash, Hang };
@@ -52,6 +78,65 @@ struct Context {
     std::map<std::string, Buffer> buffers;
 
     bool has_buffer(const std::string& name) const { return buffers.count(name) > 0; }
+};
+
+/// One memlet of a planned tasklet, resolved to a slot range of its compiled
+/// program.  Subset shape facts that do not depend on symbol values are
+/// precomputed here so the per-point work is index-expression evaluation
+/// plus bounds-checked loads/stores.
+struct AccessPlan {
+    const ir::Memlet* memlet = nullptr;
+    std::string conn;
+    int slot_base = -1;       ///< -1: gathered for side effects only.
+    int width = 0;            ///< Lanes backing the slot range.
+    bool single_point = false;  ///< Every dimension is a single index.
+    std::int64_t const_volume = -1;  ///< Total points if constant, else -1.
+    int cache_index = -1;     ///< Slot in the per-state Buffer* cache.
+    bool invalid = false;     ///< Outputs only: connector never produced.
+    /// Passthrough staging (connector untouched by the program): the input
+    /// gathers its *pre-execution* snapshot into this scratch pool slot and
+    /// the forwarding output scatters from it — matching the reference
+    /// engine, which binds connector values before the program runs.
+    int passthrough_pool = -1;
+};
+
+/// Compiled execution recipe for one tasklet node.
+struct TaskletPlan {
+    TaskletProgramPtr prog;
+    std::string label;
+    std::vector<AccessPlan> inputs;   // in-edge order
+    std::vector<AccessPlan> outputs;  // out-edge order
+    /// Declared-input validation, in the reference engine's check order
+    /// (reads() name order) so both engines name the same connector when
+    /// several are missing/undersized.  input_index -1 = bound by no edge;
+    /// raised on execution (a tasklet inside an empty map never runs).
+    struct InputCheck {
+        std::string conn;
+        int input_index = -1;
+        int width = 0;
+    };
+    std::vector<InputCheck> input_checks;
+    /// Trap connector bound by an edge: the static unbound-lane analysis
+    /// does not apply, run this node on the reference engine.
+    bool use_reference = false;
+};
+
+/// Precomputed execution structure of one state: topological order, scope
+/// parenthood, ordered children per scope, and per-tasklet access plans.
+/// Built once per state and cached — nested map scopes execute
+/// O(iterations) times and must not re-derive any of this per point.
+struct StatePlan {
+    std::vector<ir::NodeId> top_level;                         // ordered, no MapExit
+    std::map<ir::NodeId, std::vector<ir::NodeId>> scope_children;  // entry -> children
+    std::vector<TaskletPlan> tasklet_plans;
+    std::vector<int> node_to_plan;  // NodeId -> index into tasklet_plans, -1 otherwise
+    int cache_slots = 0;            // total AccessPlan count (Buffer* cache size)
+
+    const TaskletPlan* plan_of(ir::NodeId node) const {
+        const auto i = static_cast<std::size_t>(node);
+        if (i >= node_to_plan.size() || node_to_plan[i] < 0) return nullptr;
+        return &tasklet_plans[static_cast<std::size_t>(node_to_plan[i])];
+    }
 };
 
 class Interpreter {
@@ -81,58 +166,128 @@ public:
     /// Reads the memlet's subset (row-major over the subset's ranges).
     std::vector<Value> gather(const ir::SDFG& sdfg, Context& ctx, const ir::Memlet& memlet);
 
+    /// Reads the memlet's subset into `out` (cleared first; capacity — and
+    /// thus prior heap allocations — is reused across calls).
+    void gather_into(const ir::SDFG& sdfg, Context& ctx, const ir::Memlet& memlet,
+                     std::vector<Value>& out);
+
     /// Writes `values` over the memlet's subset (row-major).
     void scatter(const ir::SDFG& sdfg, Context& ctx, const ir::Memlet& memlet,
                  const std::vector<Value>& values);
 
+    /// scatter() without the container: writes `count` values row-major.
+    void scatter_values(const ir::SDFG& sdfg, Context& ctx, const ir::Memlet& memlet,
+                        const Value* values, std::size_t count);
+
+    /// Reusable scratch buffer for data-movement helpers (library nodes,
+    /// copies, collectives).  Buffer `which` remains valid until the same
+    /// index is requested again; distinct indices are independent.
+    std::vector<Value>& scratch_values(std::size_t which);
+
     /// Parsed tasklet for `code`, cached by content.
     TaskletProgramPtr program_for(const std::string& code);
 
+    /// Drops the per-execution Buffer pointer cache.  Call before driving
+    /// execute_node() directly with contexts whose addresses may recycle
+    /// earlier, destroyed contexts (run()/execute_state() do this
+    /// themselves).
+    void invalidate_execution_cache();
+
 private:
-    void execute_scope(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId entry,
-                       Context& ctx);
+    void execute_node_planned(const ir::SDFG& sdfg, const ir::State& state,
+                              const StatePlan& plan, ir::NodeId node, Context& ctx);
+    void execute_scope(const ir::SDFG& sdfg, const ir::State& state, const StatePlan& plan,
+                       ir::NodeId entry, Context& ctx);
     void execute_tasklet(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
                          Context& ctx);
+    void execute_tasklet_planned(const ir::SDFG& sdfg, const ir::State& state,
+                                 const StatePlan& plan, const TaskletPlan& tp, Context& ctx);
     void execute_access_copies(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
                                Context& ctx);
     void execute_comm_single_rank(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
                                   Context& ctx);
 
-    /// Cached execution plan (topological order + scope structure) for a
-    /// state.  Valid while the SDFG is not mutated; create a fresh
-    /// Interpreter after applying a transformation.
-    const void* plan_for(const ir::State& state);
+    /// Cached StatePlan for a state.  Valid while the SDFG is not mutated;
+    /// create a fresh Interpreter after applying a transformation.
+    const StatePlan& plan_for(const ir::State& state);
+    /// Evaluates `subset` under the context's bindings into the shared
+    /// scratch range buffer and returns it.
+    const std::vector<ir::ConcreteRange>& concretize_into(const ir::Subset& subset,
+                                                          const Context& ctx);
+    StatePlan build_plan(const ir::State& state);
+    void build_tasklet_plan(const ir::State& state, ir::NodeId node, TaskletPlan& tp,
+                            int& cache_counter);
+
+    Buffer& plan_buffer(const ir::SDFG& sdfg, Context& ctx, const StatePlan& plan,
+                        const AccessPlan& ap);
+    /// Returns the number of points gathered.
+    std::int64_t plan_gather(const ir::SDFG& sdfg, Context& ctx, const StatePlan& plan,
+                             const AccessPlan& ap, Value* slots);
+    void plan_scatter(const ir::SDFG& sdfg, Context& ctx, const StatePlan& plan,
+                      const TaskletPlan& tp, const AccessPlan& ap, const Value* slots);
 
     ExecConfig config_;
     std::unordered_map<std::string, TaskletProgramPtr> tasklet_cache_;
-    std::map<const ir::State*, std::shared_ptr<void>> plan_cache_;
+    std::map<const ir::State*, std::shared_ptr<StatePlan>> plan_cache_;
+
+    /// Flat, reusable execution scratch: all per-map-point storage lives
+    /// here so steady-state tasklet execution performs no heap allocation.
+    struct Scratch {
+        std::vector<Value> slots;               // tasklet connector lanes
+        std::vector<Value> regs;                // VM register file
+        std::vector<std::int64_t> idx;          // current index tuple
+        std::vector<ir::ConcreteRange> ranges;  // concretized subset
+        std::vector<std::int64_t> input_counts; // gathered points per input
+        std::vector<Buffer*> buffer_cache;      // per-AccessPlan, lazily filled
+        const void* cache_plan = nullptr;
+        const void* cache_ctx = nullptr;
+    };
+    Scratch scratch_;
+    // Deque: growing the pool must not invalidate references handed out for
+    // lower indices (library nodes hold several operands at once).
+    std::deque<std::vector<Value>> value_pool_;
 };
 
 /// Iterates all index tuples of concretized ranges in row-major order,
-/// honouring negative steps; invokes fn(index_tuple).
+/// honouring negative steps; invokes fn(idx) with `idx` as the index tuple
+/// buffer (resized to ranges.size()).  Implemented as an iterative odometer
+/// — no recursion, no allocation beyond `idx` itself.  A range with step 0
+/// raises common::Error (it would otherwise silently execute nothing).
+template <typename Fn>
+void for_each_point_into(const std::vector<ir::ConcreteRange>& ranges,
+                         std::vector<std::int64_t>& idx, Fn&& fn) {
+    const std::size_t dims = ranges.size();
+    idx.resize(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+        const auto [begin, end, step] = ranges[d];
+        if (step == 0) throw common::Error("range with step 0");
+        if (step > 0 ? begin > end : begin < end) return;  // empty dimension
+        idx[d] = begin;
+    }
+    if (dims == 0) {
+        fn(idx);  // a 0-D subset has exactly one (empty) point
+        return;
+    }
+    while (true) {
+        fn(idx);
+        // Odometer carry from the innermost dimension outward.
+        std::size_t d = dims;
+        while (true) {
+            if (d == 0) return;
+            --d;
+            const auto [begin, end, step] = ranges[d];
+            idx[d] += step;
+            if (step > 0 ? idx[d] <= end : idx[d] >= end) break;
+            idx[d] = begin;
+        }
+    }
+}
+
+/// Allocating convenience wrapper around for_each_point_into.
 template <typename Fn>
 void for_each_point(const std::vector<ir::ConcreteRange>& ranges, Fn&& fn) {
-    std::vector<std::int64_t> idx(ranges.size());
-    // Recursive lambda over dimensions.
-    auto rec = [&](auto&& self, std::size_t dim) -> void {
-        if (dim == ranges.size()) {
-            fn(idx);
-            return;
-        }
-        const auto [begin, end, step] = ranges[dim];
-        if (step > 0) {
-            for (std::int64_t v = begin; v <= end; v += step) {
-                idx[dim] = v;
-                self(self, dim + 1);
-            }
-        } else if (step < 0) {
-            for (std::int64_t v = begin; v >= end; v += step) {
-                idx[dim] = v;
-                self(self, dim + 1);
-            }
-        }
-    };
-    rec(rec, 0);
+    std::vector<std::int64_t> idx;
+    for_each_point_into(ranges, idx, std::forward<Fn>(fn));
 }
 
 }  // namespace ff::interp

@@ -11,10 +11,18 @@ namespace {
 
 using ir::LibraryKind;
 
-/// Dense operand view materialized from a memlet subset.
+// Library operands reuse the interpreter's scratch pool (indices 0..2;
+// the interpreter's own copy helpers use higher indices) so repeated
+// library-node executions do not reallocate their dense staging buffers.
+constexpr std::size_t kOperandA = 0;
+constexpr std::size_t kOperandB = 1;
+constexpr std::size_t kOperandC = 2;
+
+/// Dense operand view materialized from a memlet subset into a pooled
+/// scratch buffer.
 struct Operand {
     std::vector<std::int64_t> dims;  // subset extents, in order
-    std::vector<Value> values;       // row-major over the subset
+    std::vector<Value>* values = nullptr;  // row-major over the subset
 
     std::int64_t volume() const {
         std::int64_t v = 1;
@@ -24,12 +32,13 @@ struct Operand {
 };
 
 Operand gather_operand(Interpreter& interp, const ir::SDFG& sdfg, Context& ctx,
-                       const ir::Memlet& memlet) {
+                       const ir::Memlet& memlet, std::size_t pool_index) {
     Operand op;
     const auto ranges = memlet.subset.concretize(ctx.symbols);
     op.dims.reserve(ranges.size());
     for (const auto& r : ranges) op.dims.push_back(ir::concrete_range_size(r));
-    op.values = interp.gather(sdfg, ctx, memlet);
+    op.values = &interp.scratch_values(pool_index);
+    interp.gather_into(sdfg, ctx, memlet, *op.values);
     return op;
 }
 
@@ -88,9 +97,9 @@ void do_matmul(const Operand& a, const Operand& b, Operand& c, bool batched) {
     }
     c.dims = a.dims;
     c.dims[ad - 1] = n;
-    c.values.assign(static_cast<std::size_t>(batch * m * n), Value::from_double(0.0));
+    c.values->assign(static_cast<std::size_t>(batch * m * n), Value::from_double(0.0));
     for (std::int64_t bi = 0; bi < batch; ++bi)
-        matmul_2d(a.values, bi * m * k, b.values, bi * k * n, c.values, bi * m * n, m, k, n);
+        matmul_2d(*a.values, bi * m * k, *b.values, bi * k * n, *c.values, bi * m * n, m, k, n);
 }
 
 }  // namespace
@@ -101,38 +110,45 @@ void execute_library(Interpreter& interp, const ir::SDFG& sdfg, const ir::State&
     switch (n.lib) {
         case LibraryKind::MatMul:
         case LibraryKind::BatchedMatMul: {
-            Operand a = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "A"));
-            Operand b = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "B"));
+            Operand a = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "A"),
+                                       kOperandA);
+            Operand b = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "B"),
+                                       kOperandB);
             Operand c;
+            c.values = &interp.scratch_values(kOperandC);
             do_matmul(a, b, c, n.lib == LibraryKind::BatchedMatMul);
-            interp.scatter(sdfg, ctx, output_memlet(state, node, "C"), c.values);
+            interp.scatter(sdfg, ctx, output_memlet(state, node, "C"), *c.values);
             break;
         }
         case LibraryKind::Transpose: {
-            Operand a = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "A"));
+            Operand a = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "A"),
+                                       kOperandA);
             if (a.dims.size() != 2) throw common::Error("transpose: operand must be 2-D");
             const std::int64_t m = a.dims[0], k = a.dims[1];
-            std::vector<Value> out(static_cast<std::size_t>(m * k));
+            std::vector<Value>& out = interp.scratch_values(kOperandB);
+            out.assign(static_cast<std::size_t>(m * k), Value{});
             for (std::int64_t i = 0; i < m; ++i)
                 for (std::int64_t j = 0; j < k; ++j)
                     out[static_cast<std::size_t>(j * m + i)] =
-                        a.values[static_cast<std::size_t>(i * k + j)];
+                        (*a.values)[static_cast<std::size_t>(i * k + j)];
             interp.scatter(sdfg, ctx, output_memlet(state, node, "B"), out);
             break;
         }
         case LibraryKind::ReduceSum:
         case LibraryKind::ReduceMax: {
-            Operand in = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "in"));
+            Operand in = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "in"),
+                                        kOperandA);
             if (in.dims.empty()) throw common::Error("reduce: operand must have >= 1 dim");
             const std::int64_t axis_len = in.dims.back();
             if (axis_len <= 0) throw common::Error("reduce: empty reduction axis");
             const std::int64_t rows = in.volume() / axis_len;
-            std::vector<Value> out(static_cast<std::size_t>(rows));
+            std::vector<Value>& out = interp.scratch_values(kOperandB);
+            out.assign(static_cast<std::size_t>(rows), Value{});
+            const std::vector<Value>& vals = *in.values;
             for (std::int64_t r = 0; r < rows; ++r) {
-                double acc = in.values[static_cast<std::size_t>(r * axis_len)].as_double();
+                double acc = vals[static_cast<std::size_t>(r * axis_len)].as_double();
                 for (std::int64_t j = 1; j < axis_len; ++j) {
-                    const double v =
-                        in.values[static_cast<std::size_t>(r * axis_len + j)].as_double();
+                    const double v = vals[static_cast<std::size_t>(r * axis_len + j)].as_double();
                     acc = n.lib == LibraryKind::ReduceSum ? acc + v : std::fmax(acc, v);
                 }
                 out[static_cast<std::size_t>(r)] = Value::from_double(acc);
@@ -141,22 +157,24 @@ void execute_library(Interpreter& interp, const ir::SDFG& sdfg, const ir::State&
             break;
         }
         case LibraryKind::Softmax: {
-            Operand in = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "in"));
+            Operand in = gather_operand(interp, sdfg, ctx, input_memlet(state, node, "in"),
+                                        kOperandA);
             if (in.dims.empty()) throw common::Error("softmax: operand must have >= 1 dim");
             const std::int64_t axis_len = in.dims.back();
             if (axis_len <= 0) throw common::Error("softmax: empty axis");
             const std::int64_t rows = in.volume() / axis_len;
-            std::vector<Value> out(in.values.size());
+            const std::vector<Value>& vals = *in.values;
+            std::vector<Value>& out = interp.scratch_values(kOperandB);
+            out.assign(vals.size(), Value{});
             for (std::int64_t r = 0; r < rows; ++r) {
-                double row_max = in.values[static_cast<std::size_t>(r * axis_len)].as_double();
+                double row_max = vals[static_cast<std::size_t>(r * axis_len)].as_double();
                 for (std::int64_t j = 1; j < axis_len; ++j)
                     row_max = std::fmax(
-                        row_max, in.values[static_cast<std::size_t>(r * axis_len + j)].as_double());
+                        row_max, vals[static_cast<std::size_t>(r * axis_len + j)].as_double());
                 double denom = 0.0;
                 for (std::int64_t j = 0; j < axis_len; ++j) {
                     const double e = std::exp(
-                        in.values[static_cast<std::size_t>(r * axis_len + j)].as_double() -
-                        row_max);
+                        vals[static_cast<std::size_t>(r * axis_len + j)].as_double() - row_max);
                     out[static_cast<std::size_t>(r * axis_len + j)] = Value::from_double(e);
                     denom += e;
                 }

@@ -16,6 +16,10 @@ MultiRankInterpreter::MultiRankInterpreter(int num_ranks, ExecConfig config)
 MultiRankResult MultiRankInterpreter::run(const ir::SDFG& sdfg,
                                           std::vector<Context>& rank_contexts) {
     MultiRankResult result;
+    // Contexts may have been destroyed and recreated at recycled addresses
+    // between runs; this runtime drives execute_node() directly, so drop the
+    // interpreter's per-execution buffer cache explicitly.
+    interp_.invalidate_execution_cache();
     try {
         if (rank_contexts.size() != static_cast<std::size_t>(num_ranks_))
             throw common::Error("multirank: context count != rank count");
@@ -66,11 +70,12 @@ void MultiRankInterpreter::execute_comm(const ir::SDFG& sdfg, const ir::State& s
     if (!in_memlet || !out_memlet)
         throw common::ValidationError("comm node '" + node.label + "' missing connectors");
 
-    // Gather each rank's contribution (memlets may reference `rank`).
-    std::vector<std::vector<Value>> contributions;
-    contributions.reserve(rank_contexts.size());
-    for (Context& ctx : rank_contexts)
-        contributions.push_back(interp_.gather(sdfg, ctx, *in_memlet));
+    // Gather each rank's contribution (memlets may reference `rank`) into
+    // the reusable per-rank staging buffers.
+    if (contributions_.size() < rank_contexts.size()) contributions_.resize(rank_contexts.size());
+    std::vector<std::vector<Value>>& contributions = contributions_;
+    for (std::size_t r = 0; r < rank_contexts.size(); ++r)
+        interp_.gather_into(sdfg, rank_contexts[r], *in_memlet, contributions[r]);
 
     switch (node.comm) {
         case CommKind::Broadcast: {
@@ -81,7 +86,8 @@ void MultiRankInterpreter::execute_comm(const ir::SDFG& sdfg, const ir::State& s
             break;
         }
         case CommKind::Allreduce: {
-            std::vector<Value> sum = contributions[0];
+            std::vector<Value>& sum = reduced_;
+            sum = contributions[0];
             for (std::size_t r = 1; r < contributions.size(); ++r) {
                 if (contributions[r].size() != sum.size())
                     throw common::Error("allreduce: contribution size mismatch");
@@ -93,7 +99,8 @@ void MultiRankInterpreter::execute_comm(const ir::SDFG& sdfg, const ir::State& s
             break;
         }
         case CommKind::Allgather: {
-            std::vector<Value> gathered;
+            std::vector<Value>& gathered = reduced_;
+            gathered.clear();
             for (const auto& chunk : contributions)
                 gathered.insert(gathered.end(), chunk.begin(), chunk.end());
             for (Context& ctx : rank_contexts) interp_.scatter(sdfg, ctx, *out_memlet, gathered);

@@ -36,6 +36,10 @@ private:
 
     int num_ranks_;
     Interpreter interp_;
+    /// Per-rank contribution staging for collectives, reused across comm
+    /// nodes (and runs) so the SPMD schedule does not reallocate per node.
+    std::vector<std::vector<Value>> contributions_;
+    std::vector<Value> reduced_;
 };
 
 }  // namespace ff::interp

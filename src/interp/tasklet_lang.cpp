@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <optional>
 #include <set>
 
 #include "common/error.h"
@@ -328,13 +329,60 @@ private:
     std::map<std::string, int> pending_writes_;
 };
 
-std::shared_ptr<const TaskletProgram> TaskletProgram::parse(const std::string& code) {
-    return TaskletParser(code).parse();
-}
+// --- Shared scalar operator semantics -------------------------------------
+//
+// Both engines (AST walker + bytecode VM) call through these helpers so the
+// numeric model cannot drift between them.
 
 namespace {
 
 inline Value make_bool(bool b) { return Value::from_int(b ? 1 : 0); }
+
+inline Value op_neg(const Value& a) {
+    return a.is_float ? Value::from_double(-a.f) : Value::from_int(-a.i);
+}
+
+inline Value op_abs(const Value& a) {
+    return a.is_float ? Value::from_double(std::fabs(a.f)) : Value::from_int(a.i < 0 ? -a.i : a.i);
+}
+
+inline Value op_add(const Value& a, const Value& b) {
+    return (a.is_float || b.is_float) ? Value::from_double(a.as_double() + b.as_double())
+                                      : Value::from_int(a.i + b.i);
+}
+
+inline Value op_sub(const Value& a, const Value& b) {
+    return (a.is_float || b.is_float) ? Value::from_double(a.as_double() - b.as_double())
+                                      : Value::from_int(a.i - b.i);
+}
+
+inline Value op_mul(const Value& a, const Value& b) {
+    return (a.is_float || b.is_float) ? Value::from_double(a.as_double() * b.as_double())
+                                      : Value::from_int(a.i * b.i);
+}
+
+inline Value op_div(const Value& a, const Value& b) {
+    if (a.is_float || b.is_float) return Value::from_double(a.as_double() / b.as_double());
+    return Value::from_int(sym::floordiv_i64(a.i, b.i));
+}
+
+inline Value op_mod(const Value& a, const Value& b) {
+    if (a.is_float || b.is_float)
+        return Value::from_double(std::fmod(a.as_double(), b.as_double()));
+    return Value::from_int(sym::floormod_i64(a.i, b.i));
+}
+
+inline Value op_min(const Value& a, const Value& b) {
+    return (a.is_float || b.is_float)
+               ? Value::from_double(std::fmin(a.as_double(), b.as_double()))
+               : Value::from_int(std::min(a.i, b.i));
+}
+
+inline Value op_max(const Value& a, const Value& b) {
+    return (a.is_float || b.is_float)
+               ? Value::from_double(std::fmax(a.as_double(), b.as_double()))
+               : Value::from_int(std::max(a.i, b.i));
+}
 
 }  // namespace
 
@@ -350,10 +398,7 @@ Value TaskletProgram::eval(int node, const std::vector<std::vector<Value>*>& slo
                                     var_names_[static_cast<std::size_t>(n.var)] + "'");
             return (*slot)[static_cast<std::size_t>(n.lane)];
         }
-        case Op::Neg: {
-            Value a = eval(n.a, slots);
-            return a.is_float ? Value::from_double(-a.f) : Value::from_int(-a.i);
-        }
+        case Op::Neg: return op_neg(eval(n.a, slots));
         case Op::Not: return make_bool(!eval(n.a, slots).truthy());
         default: break;
     }
@@ -376,9 +421,7 @@ Value TaskletProgram::eval(int node, const std::vector<std::vector<Value>*>& slo
     const Value a = eval(n.a, slots);
     // Unary float functions.
     switch (n.op) {
-        case Op::Abs:
-            return a.is_float ? Value::from_double(std::fabs(a.f))
-                              : Value::from_int(a.i < 0 ? -a.i : a.i);
+        case Op::Abs: return op_abs(a);
         case Op::Exp: return Value::from_double(std::exp(a.as_double()));
         case Op::Log: return Value::from_double(std::log(a.as_double()));
         case Op::Sqrt: return Value::from_double(std::sqrt(a.as_double()));
@@ -391,35 +434,20 @@ Value TaskletProgram::eval(int node, const std::vector<std::vector<Value>*>& slo
     }
 
     const Value b = eval(n.b, slots);
-    const bool flt = a.is_float || b.is_float;
     switch (n.op) {
-        case Op::Add:
-            return flt ? Value::from_double(a.as_double() + b.as_double())
-                       : Value::from_int(a.i + b.i);
-        case Op::Sub:
-            return flt ? Value::from_double(a.as_double() - b.as_double())
-                       : Value::from_int(a.i - b.i);
-        case Op::Mul:
-            return flt ? Value::from_double(a.as_double() * b.as_double())
-                       : Value::from_int(a.i * b.i);
-        case Op::Div:
-            if (flt) return Value::from_double(a.as_double() / b.as_double());
-            return Value::from_int(sym::floordiv_i64(a.i, b.i));
-        case Op::Mod:
-            if (flt) return Value::from_double(std::fmod(a.as_double(), b.as_double()));
-            return Value::from_int(sym::floormod_i64(a.i, b.i));
+        case Op::Add: return op_add(a, b);
+        case Op::Sub: return op_sub(a, b);
+        case Op::Mul: return op_mul(a, b);
+        case Op::Div: return op_div(a, b);
+        case Op::Mod: return op_mod(a, b);
         case Op::Lt: return make_bool(a.as_double() < b.as_double());
         case Op::Le: return make_bool(a.as_double() <= b.as_double());
         case Op::Gt: return make_bool(a.as_double() > b.as_double());
         case Op::Ge: return make_bool(a.as_double() >= b.as_double());
         case Op::Eq: return make_bool(a.as_double() == b.as_double());
         case Op::Ne: return make_bool(a.as_double() != b.as_double());
-        case Op::Min:
-            return flt ? Value::from_double(std::fmin(a.as_double(), b.as_double()))
-                       : Value::from_int(std::min(a.i, b.i));
-        case Op::Max:
-            return flt ? Value::from_double(std::fmax(a.as_double(), b.as_double()))
-                       : Value::from_int(std::max(a.i, b.i));
+        case Op::Min: return op_min(a, b);
+        case Op::Max: return op_max(a, b);
         case Op::Pow: return Value::from_double(std::pow(a.as_double(), b.as_double()));
         default: break;
     }
@@ -447,6 +475,440 @@ void TaskletProgram::execute(ConnectorEnv& env) const {
             slot.resize(static_cast<std::size_t>(s.lane) + 1);
         slot[static_cast<std::size_t>(s.lane)] = v;
         slots[static_cast<std::size_t>(s.var)] = &slot;
+    }
+}
+
+// --- Bytecode compiler -----------------------------------------------------
+//
+// Lowers the AST arena into a flat register program.  Register allocation is
+// expression-local (child results live in consecutive registers), so the
+// register file is as deep as the deepest expression.  Constant folding
+// evaluates pure subtrees at compile time — but never folds an operation
+// that could throw at runtime (integer division by a zero constant), so
+// compiled and reference engines crash identically.
+
+class TaskletCompiler {
+public:
+    explicit TaskletCompiler(TaskletProgram& p) : p_(p) { compile(); }
+
+private:
+    using Op = TaskletProgram::Op;
+    using BC = TaskletProgram::BC;
+    using BCInstr = TaskletProgram::BCInstr;
+
+    void compile() {
+        build_slot_table();
+        folded_.assign(p_.nodes_.size(), std::nullopt);
+        folded_known_.assign(p_.nodes_.size(), false);
+
+        for (const TaskletProgram::Stmt& s : p_.stmts_) {
+            compile_expr(s.expr, 0);
+            const SlotDesc& sd = p_.slot_table_[static_cast<std::size_t>(s.var)];
+            emit(BCInstr{BC::StoreSlot, 0, sd.base + s.lane, 0});
+            mark_assigned(s.var, s.lane);
+        }
+        p_.reg_count_ = max_reg_ + 1;
+    }
+
+    void build_slot_table() {
+        const std::size_t nvars = p_.var_names_.size();
+        std::vector<int> width(nvars, 1);
+        auto widen = [&](int var, int lane) {
+            width[static_cast<std::size_t>(var)] =
+                std::max(width[static_cast<std::size_t>(var)], lane + 1);
+        };
+        for (const TaskletProgram::Node& n : p_.nodes_)
+            if (n.op == Op::Load) widen(n.var, n.lane);
+        for (const TaskletProgram::Stmt& s : p_.stmts_) widen(s.var, s.lane);
+
+        p_.slot_table_.resize(nvars);
+        assigned_lanes_.resize(nvars);
+        int base = 0;
+        for (std::size_t v = 0; v < nvars; ++v) {
+            SlotDesc& sd = p_.slot_table_[v];
+            sd.name = p_.var_names_[v];
+            auto rit = p_.reads_.find(sd.name);
+            auto wit = p_.writes_.find(sd.name);
+            sd.is_input = rit != p_.reads_.end();
+            sd.is_output = wit != p_.writes_.end();
+            if (rit != p_.reads_.end()) width[v] = std::max(width[v], rit->second);
+            if (wit != p_.writes_.end()) width[v] = std::max(width[v], wit->second);
+            sd.width = width[v];
+            sd.base = base;
+            base += sd.width;
+            // Input lanes arrive pre-bound; local/output lanes become
+            // available as statements assign them.
+            assigned_lanes_[v].assign(static_cast<std::size_t>(sd.width), sd.is_input);
+        }
+        p_.slot_count_ = base;
+    }
+
+    void mark_assigned(int var, int lane) {
+        auto& lanes = assigned_lanes_[static_cast<std::size_t>(var)];
+        if (static_cast<std::size_t>(lane) < lanes.size())
+            lanes[static_cast<std::size_t>(lane)] = true;
+    }
+
+    int emit(BCInstr in) {
+        p_.bytecode_.push_back(in);
+        return static_cast<int>(p_.bytecode_.size() - 1);
+    }
+
+    int const_index(const Value& v) {
+        p_.consts_.push_back(v);
+        return static_cast<int>(p_.consts_.size() - 1);
+    }
+
+    void touch_reg(int r) { max_reg_ = std::max(max_reg_, r); }
+
+    /// Compile-time evaluation of pure constant subtrees.  Returns nullopt
+    /// when the subtree references a connector or could throw at runtime.
+    std::optional<Value> fold(int ni) {
+        if (folded_known_[static_cast<std::size_t>(ni)])
+            return folded_[static_cast<std::size_t>(ni)];
+        folded_known_[static_cast<std::size_t>(ni)] = true;
+        auto& out = folded_[static_cast<std::size_t>(ni)];
+        const TaskletProgram::Node& n = p_.nodes_[static_cast<std::size_t>(ni)];
+        switch (n.op) {
+            case Op::ConstF: out = Value::from_double(n.fval); break;
+            case Op::ConstI: out = Value::from_int(n.ival); break;
+            case Op::Load: break;
+            case Op::Neg:
+                if (auto a = fold(n.a)) out = op_neg(*a);
+                break;
+            case Op::Not:
+                if (auto a = fold(n.a)) out = make_bool(!a->truthy());
+                break;
+            case Op::And: {
+                auto a = fold(n.a);
+                if (a && !a->truthy()) out = make_bool(false);
+                else if (a) {
+                    if (auto b = fold(n.b)) out = make_bool(b->truthy());
+                }
+                break;
+            }
+            case Op::Or: {
+                auto a = fold(n.a);
+                if (a && a->truthy()) out = make_bool(true);
+                else if (a) {
+                    if (auto b = fold(n.b)) out = make_bool(b->truthy());
+                }
+                break;
+            }
+            case Op::Ternary:
+            case Op::Select: {
+                if (auto c = fold(n.a)) out = fold(c->truthy() ? n.b : n.c);
+                break;
+            }
+            case Op::Abs:
+                if (auto a = fold(n.a)) out = op_abs(*a);
+                break;
+            case Op::Exp: case Op::Log: case Op::Sqrt: case Op::Sin: case Op::Cos:
+            case Op::Tanh: case Op::Floor: case Op::Ceil: {
+                if (auto a = fold(n.a)) out = Value::from_double(fold_unary_f(n.op, *a));
+                break;
+            }
+            default: {  // binary arithmetic / comparison
+                auto a = fold(n.a);
+                auto b = fold(n.b);
+                if (!a || !b) break;
+                // Integer division/modulo by a zero constant throws at
+                // runtime; leave it to the VM so both engines crash alike.
+                if ((n.op == Op::Div || n.op == Op::Mod) && !a->is_float && !b->is_float &&
+                    b->i == 0)
+                    break;
+                out = fold_binary(n.op, *a, *b);
+                break;
+            }
+        }
+        return out;
+    }
+
+    static double fold_unary_f(Op op, const Value& a) {
+        const double x = a.as_double();
+        switch (op) {
+            case Op::Exp: return std::exp(x);
+            case Op::Log: return std::log(x);
+            case Op::Sqrt: return std::sqrt(x);
+            case Op::Sin: return std::sin(x);
+            case Op::Cos: return std::cos(x);
+            case Op::Tanh: return std::tanh(x);
+            case Op::Floor: return std::floor(x);
+            case Op::Ceil: return std::ceil(x);
+            default: throw common::Error("tasklet compiler: not a unary float op");
+        }
+    }
+
+    static Value fold_binary(Op op, const Value& a, const Value& b) {
+        switch (op) {
+            case Op::Add: return op_add(a, b);
+            case Op::Sub: return op_sub(a, b);
+            case Op::Mul: return op_mul(a, b);
+            case Op::Div: return op_div(a, b);
+            case Op::Mod: return op_mod(a, b);
+            case Op::Lt: return make_bool(a.as_double() < b.as_double());
+            case Op::Le: return make_bool(a.as_double() <= b.as_double());
+            case Op::Gt: return make_bool(a.as_double() > b.as_double());
+            case Op::Ge: return make_bool(a.as_double() >= b.as_double());
+            case Op::Eq: return make_bool(a.as_double() == b.as_double());
+            case Op::Ne: return make_bool(a.as_double() != b.as_double());
+            case Op::Min: return op_min(a, b);
+            case Op::Max: return op_max(a, b);
+            case Op::Pow: return Value::from_double(std::pow(a.as_double(), b.as_double()));
+            default: throw common::Error("tasklet compiler: not a binary op");
+        }
+    }
+
+    static BC unary_bc(Op op) {
+        switch (op) {
+            case Op::Neg: return BC::Neg;
+            case Op::Not: return BC::Not;
+            case Op::Abs: return BC::Abs;
+            case Op::Exp: return BC::Exp;
+            case Op::Log: return BC::Log;
+            case Op::Sqrt: return BC::Sqrt;
+            case Op::Sin: return BC::Sin;
+            case Op::Cos: return BC::Cos;
+            case Op::Tanh: return BC::Tanh;
+            case Op::Floor: return BC::Floor;
+            case Op::Ceil: return BC::Ceil;
+            default: throw common::Error("tasklet compiler: not a unary op");
+        }
+    }
+
+    static BC binary_bc(Op op) {
+        switch (op) {
+            case Op::Add: return BC::Add;
+            case Op::Sub: return BC::Sub;
+            case Op::Mul: return BC::Mul;
+            case Op::Div: return BC::Div;
+            case Op::Mod: return BC::Mod;
+            case Op::Lt: return BC::Lt;
+            case Op::Le: return BC::Le;
+            case Op::Gt: return BC::Gt;
+            case Op::Ge: return BC::Ge;
+            case Op::Eq: return BC::Eq;
+            case Op::Ne: return BC::Ne;
+            case Op::Min: return BC::Min;
+            case Op::Max: return BC::Max;
+            case Op::Pow: return BC::Pow;
+            default: throw common::Error("tasklet compiler: not a binary op");
+        }
+    }
+
+    int here() const { return static_cast<int>(p_.bytecode_.size()); }
+
+    /// Compiles `ni` so its value lands in regs[dst]; may clobber any
+    /// register >= dst.
+    void compile_expr(int ni, int dst) {
+        touch_reg(dst);
+        if (auto v = fold(ni)) {
+            emit(BCInstr{BC::Const, dst, const_index(*v), 0});
+            return;
+        }
+        const TaskletProgram::Node& n = p_.nodes_[static_cast<std::size_t>(ni)];
+        switch (n.op) {
+            case Op::Load: {
+                const SlotDesc& sd = p_.slot_table_[static_cast<std::size_t>(n.var)];
+                const auto& lanes = assigned_lanes_[static_cast<std::size_t>(n.var)];
+                const bool bound = static_cast<std::size_t>(n.lane) < lanes.size() &&
+                                   lanes[static_cast<std::size_t>(n.lane)];
+                // A lane that is neither an input nor assigned by an earlier
+                // statement can never hold a value: trap with the same error
+                // the reference engine raises.  (The interpreter falls back
+                // to the reference engine if an edge binds such a connector
+                // at runtime — see StatePlan.)
+                if (!bound) {
+                    emit(BCInstr{BC::Trap, 0, n.var, 0});
+                    const std::string& name = p_.var_names_[static_cast<std::size_t>(n.var)];
+                    bool seen = false;
+                    for (const std::string& t : p_.trap_connectors_) seen = seen || t == name;
+                    if (!seen) p_.trap_connectors_.push_back(name);
+                    return;
+                }
+                emit(BCInstr{BC::LoadSlot, dst, sd.base + n.lane, 0});
+                return;
+            }
+            case Op::Neg: case Op::Not: case Op::Abs: case Op::Exp: case Op::Log:
+            case Op::Sqrt: case Op::Sin: case Op::Cos: case Op::Tanh: case Op::Floor:
+            case Op::Ceil: {
+                compile_expr(n.a, dst);
+                emit(BCInstr{unary_bc(n.op), dst, dst, 0});
+                return;
+            }
+            case Op::And: {
+                // fold() already handled a-constant-false / both-constant.
+                if (auto a = fold(n.a)) {
+                    (void)a;  // constant true: result is bool(b)
+                    compile_expr(n.b, dst);
+                    emit(BCInstr{BC::Bool, dst, dst, 0});
+                    return;
+                }
+                compile_expr(n.a, dst);
+                const int jf = emit(BCInstr{BC::JumpIfFalse, 0, dst, 0});
+                compile_expr(n.b, dst);
+                emit(BCInstr{BC::Bool, dst, dst, 0});
+                const int jend = emit(BCInstr{BC::Jump, 0, 0, 0});
+                p_.bytecode_[static_cast<std::size_t>(jf)].b = here();
+                emit(BCInstr{BC::Const, dst, const_index(make_bool(false)), 0});
+                p_.bytecode_[static_cast<std::size_t>(jend)].a = here();
+                return;
+            }
+            case Op::Or: {
+                if (auto a = fold(n.a)) {
+                    (void)a;  // constant false: result is bool(b)
+                    compile_expr(n.b, dst);
+                    emit(BCInstr{BC::Bool, dst, dst, 0});
+                    return;
+                }
+                compile_expr(n.a, dst);
+                const int jt = emit(BCInstr{BC::JumpIfTrue, 0, dst, 0});
+                compile_expr(n.b, dst);
+                emit(BCInstr{BC::Bool, dst, dst, 0});
+                const int jend = emit(BCInstr{BC::Jump, 0, 0, 0});
+                p_.bytecode_[static_cast<std::size_t>(jt)].b = here();
+                emit(BCInstr{BC::Const, dst, const_index(make_bool(true)), 0});
+                p_.bytecode_[static_cast<std::size_t>(jend)].a = here();
+                return;
+            }
+            case Op::Ternary:
+            case Op::Select: {
+                if (auto c = fold(n.a)) {
+                    compile_expr(c->truthy() ? n.b : n.c, dst);
+                    return;
+                }
+                compile_expr(n.a, dst);
+                const int jf = emit(BCInstr{BC::JumpIfFalse, 0, dst, 0});
+                compile_expr(n.b, dst);
+                const int jend = emit(BCInstr{BC::Jump, 0, 0, 0});
+                p_.bytecode_[static_cast<std::size_t>(jf)].b = here();
+                compile_expr(n.c, dst);
+                p_.bytecode_[static_cast<std::size_t>(jend)].a = here();
+                return;
+            }
+            default: {  // binary arithmetic / comparison
+                compile_expr(n.a, dst);
+                compile_expr(n.b, dst + 1);
+                emit(BCInstr{binary_bc(n.op), dst, dst, dst + 1});
+                return;
+            }
+        }
+    }
+
+    TaskletProgram& p_;
+    std::vector<std::optional<Value>> folded_;
+    std::vector<bool> folded_known_;
+    std::vector<std::vector<bool>> assigned_lanes_;
+    int max_reg_ = 0;
+};
+
+std::shared_ptr<const TaskletProgram> TaskletProgram::parse(const std::string& code) {
+    auto prog = TaskletParser(code).parse();
+    // Lower to bytecode once; every later execution reuses the flat program.
+    TaskletCompiler compiler(*prog);
+    (void)compiler;
+    return prog;
+}
+
+void TaskletProgram::execute_compiled(Value* slots, Value* regs) const {
+    const BCInstr* code = bytecode_.data();
+    const std::size_t n = bytecode_.size();
+    std::size_t pc = 0;
+    while (pc < n) {
+        const BCInstr& in = code[pc];
+        switch (in.op) {
+            case BC::Const: regs[in.dst] = consts_[static_cast<std::size_t>(in.a)]; break;
+            case BC::LoadSlot: regs[in.dst] = slots[in.a]; break;
+            case BC::StoreSlot: slots[in.a] = regs[in.b]; break;
+            case BC::Bool: regs[in.dst] = make_bool(regs[in.a].truthy()); break;
+            case BC::Trap:
+                throw common::Error("tasklet: unbound connector '" +
+                                    var_names_[static_cast<std::size_t>(in.a)] + "'");
+            case BC::Jump: pc = static_cast<std::size_t>(in.a); continue;
+            case BC::JumpIfFalse:
+                if (!regs[in.a].truthy()) { pc = static_cast<std::size_t>(in.b); continue; }
+                break;
+            case BC::JumpIfTrue:
+                if (regs[in.a].truthy()) { pc = static_cast<std::size_t>(in.b); continue; }
+                break;
+            case BC::Neg: regs[in.dst] = op_neg(regs[in.a]); break;
+            case BC::Not: regs[in.dst] = make_bool(!regs[in.a].truthy()); break;
+            case BC::Abs: regs[in.dst] = op_abs(regs[in.a]); break;
+            case BC::Exp: regs[in.dst] = Value::from_double(std::exp(regs[in.a].as_double())); break;
+            case BC::Log: regs[in.dst] = Value::from_double(std::log(regs[in.a].as_double())); break;
+            case BC::Sqrt:
+                regs[in.dst] = Value::from_double(std::sqrt(regs[in.a].as_double()));
+                break;
+            case BC::Sin: regs[in.dst] = Value::from_double(std::sin(regs[in.a].as_double())); break;
+            case BC::Cos: regs[in.dst] = Value::from_double(std::cos(regs[in.a].as_double())); break;
+            case BC::Tanh:
+                regs[in.dst] = Value::from_double(std::tanh(regs[in.a].as_double()));
+                break;
+            case BC::Floor:
+                regs[in.dst] = Value::from_double(std::floor(regs[in.a].as_double()));
+                break;
+            case BC::Ceil:
+                regs[in.dst] = Value::from_double(std::ceil(regs[in.a].as_double()));
+                break;
+            case BC::Add: regs[in.dst] = op_add(regs[in.a], regs[in.b]); break;
+            case BC::Sub: regs[in.dst] = op_sub(regs[in.a], regs[in.b]); break;
+            case BC::Mul: regs[in.dst] = op_mul(regs[in.a], regs[in.b]); break;
+            case BC::Div: regs[in.dst] = op_div(regs[in.a], regs[in.b]); break;
+            case BC::Mod: regs[in.dst] = op_mod(regs[in.a], regs[in.b]); break;
+            case BC::Lt:
+                regs[in.dst] = make_bool(regs[in.a].as_double() < regs[in.b].as_double());
+                break;
+            case BC::Le:
+                regs[in.dst] = make_bool(regs[in.a].as_double() <= regs[in.b].as_double());
+                break;
+            case BC::Gt:
+                regs[in.dst] = make_bool(regs[in.a].as_double() > regs[in.b].as_double());
+                break;
+            case BC::Ge:
+                regs[in.dst] = make_bool(regs[in.a].as_double() >= regs[in.b].as_double());
+                break;
+            case BC::Eq:
+                regs[in.dst] = make_bool(regs[in.a].as_double() == regs[in.b].as_double());
+                break;
+            case BC::Ne:
+                regs[in.dst] = make_bool(regs[in.a].as_double() != regs[in.b].as_double());
+                break;
+            case BC::Min: regs[in.dst] = op_min(regs[in.a], regs[in.b]); break;
+            case BC::Max: regs[in.dst] = op_max(regs[in.a], regs[in.b]); break;
+            case BC::Pow:
+                regs[in.dst] =
+                    Value::from_double(std::pow(regs[in.a].as_double(), regs[in.b].as_double()));
+                break;
+        }
+        ++pc;
+    }
+}
+
+void TaskletProgram::execute_compiled(ConnectorEnv& env) const {
+    // Same input contract as the reference engine.
+    for (const auto& [name, width] : reads_) {
+        auto it = env.find(name);
+        if (it == env.end() || it->second.size() < static_cast<std::size_t>(width))
+            throw common::Error("tasklet: missing input connector '" + name + "'");
+    }
+    std::vector<Value> slots(static_cast<std::size_t>(slot_count_));
+    std::vector<Value> regs(static_cast<std::size_t>(reg_count_));
+    for (const SlotDesc& sd : slot_table_) {
+        auto it = env.find(sd.name);
+        if (it == env.end()) continue;
+        const std::size_t lanes =
+            std::min(it->second.size(), static_cast<std::size_t>(sd.width));
+        for (std::size_t l = 0; l < lanes; ++l)
+            slots[static_cast<std::size_t>(sd.base) + l] = it->second[l];
+    }
+    execute_compiled(slots.data(), regs.data());
+    for (const SlotDesc& sd : slot_table_) {
+        if (!sd.is_output) continue;
+        auto& vec = env[sd.name];
+        const std::size_t width = static_cast<std::size_t>(writes_.at(sd.name));
+        if (vec.size() < width) vec.resize(width);
+        for (std::size_t l = 0; l < width; ++l)
+            vec[l] = slots[static_cast<std::size_t>(sd.base) + l];
     }
 }
 

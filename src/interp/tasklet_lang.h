@@ -16,8 +16,22 @@
 // promotes to double; integer division/modulo use floor semantics to agree
 // with the symbolic layer.  Comparisons and logical operators yield int 0/1.
 //
-// Programs are parsed once and cached by the interpreter (they execute once
-// per map iteration, which is the hot path of fuzzing trials).
+// Execution engines (one program, two implementations):
+//
+//  * Reference: a recursive AST walker (`execute`) over a string-keyed
+//    ConnectorEnv.  Kept as the semantic ground truth for differential
+//    testing and selectable via ExecConfig::use_compiled_tasklets = false.
+//  * Compiled: at parse time every program is lowered to a flat bytecode
+//    register program (`execute_compiled`).  Lowering constant-folds pure
+//    subexpressions, resolves every connector reference to a fixed *slot*
+//    index (no string lookups at runtime), lowers short-circuit && / || and
+//    ternaries to conditional jumps, and turns statically-detectable
+//    unbound-lane reads into trap instructions so both engines fail
+//    identically.  The VM runs against caller-provided flat Value arrays
+//    (slots + registers) and performs no heap allocation — this is the
+//    innermost loop of every fuzzing trial (one execution per map point).
+//
+// Programs are parsed once and cached by the interpreter.
 #pragma once
 
 #include <cstdint>
@@ -43,12 +57,24 @@ struct Value {
 };
 
 /// Connector storage during one tasklet execution: name -> lane values.
+/// Used by the reference engine and by tests; the compiled engine replaces
+/// it with a flat slot array.
 using ConnectorEnv = std::map<std::string, std::vector<Value>>;
+
+/// One connector (or local) of a compiled program: its contiguous lane
+/// range [base, base + width) in the flat slot array.
+struct SlotDesc {
+    std::string name;
+    int base = 0;
+    int width = 1;
+    bool is_input = false;   ///< Read before ever being assigned.
+    bool is_output = false;  ///< Assigned somewhere in the program.
+};
 
 /// A parsed, immutable tasklet program.
 class TaskletProgram {
 public:
-    /// Parses `code`; throws common::ParseError.
+    /// Parses `code` and lowers it to bytecode; throws common::ParseError.
     static std::shared_ptr<const TaskletProgram> parse(const std::string& code);
 
     /// Input connectors: name -> width (1 for scalars).
@@ -56,17 +82,45 @@ public:
     /// Output connectors: name -> width.
     const std::map<std::string, int>& writes() const { return writes_; }
 
-    /// Executes the program.  `env` must contain every input connector with
-    /// at least the declared width; outputs are created/overwritten.
-    /// Throws common::Error on missing inputs.
+    /// Reference engine: executes the program by walking the AST.  `env`
+    /// must contain every input connector with at least the declared width;
+    /// outputs are created/overwritten.  Throws common::Error on missing
+    /// inputs.
     void execute(ConnectorEnv& env) const;
+
+    // --- Compiled engine ---
+
+    /// Slot layout: every variable (inputs, outputs, locals) occupies a
+    /// contiguous lane range in the flat slot array.
+    const std::vector<SlotDesc>& slot_table() const { return slot_table_; }
+    /// Size of the flat slot array `execute_compiled` operates on.
+    int slot_count() const { return slot_count_; }
+    /// Number of scratch registers the VM needs.
+    int reg_count() const { return reg_count_; }
+
+    /// Runs the bytecode program.  `slots` must hold slot_count() values
+    /// with all input lanes pre-loaded (output/local lanes zeroed);
+    /// `regs` must hold reg_count() values (contents ignored).  Performs no
+    /// heap allocation.
+    void execute_compiled(Value* slots, Value* regs) const;
+
+    /// Convenience wrapper driving the bytecode VM from a ConnectorEnv
+    /// (marshals in/out; used by tests to compare engines).  Semantics match
+    /// `execute`, including missing-input errors.
+    void execute_compiled(ConnectorEnv& env) const;
+
+    /// Connectors for which the compiler emitted unbound-lane traps (a read
+    /// of a non-input lane no earlier statement assigns).  The interpreter
+    /// falls back to the reference engine when a graph edge binds one of
+    /// these at runtime — only then could the reference engine succeed.
+    const std::vector<std::string>& trap_connectors() const { return trap_connectors_; }
 
     const std::string& source() const { return source_; }
 
 private:
     TaskletProgram() = default;
 
-    // Compact AST in an index-based arena.
+    // Compact AST in an index-based arena (reference engine + compiler input).
     enum class Op : std::uint8_t {
         ConstF, ConstI, Load,              // leaf
         Neg, Not,                          // unary
@@ -92,6 +146,28 @@ private:
         int expr;  // root node index
     };
 
+    // Bytecode: a flat register program.  Operands are register indices
+    // except where noted; jump targets are instruction indices.
+    enum class BC : std::uint8_t {
+        Const,        // regs[dst] = consts[a]
+        LoadSlot,     // regs[dst] = slots[a]
+        StoreSlot,    // slots[a] = regs[b]
+        Bool,         // regs[dst] = truthy(regs[a]) as int 0/1
+        Trap,         // throw unbound-connector error for var_names_[a]
+        Jump,         // pc = a
+        JumpIfFalse,  // if !truthy(regs[a]) pc = b
+        JumpIfTrue,   // if truthy(regs[a]) pc = b
+        Neg, Not, Abs, Exp, Log, Sqrt, Sin, Cos, Tanh, Floor, Ceil,  // regs[dst] = op(regs[a])
+        Add, Sub, Mul, Div, Mod, Lt, Le, Gt, Ge, Eq, Ne,  // regs[dst] = op(regs[a], regs[b])
+        Min, Max, Pow,
+    };
+    struct BCInstr {
+        BC op;
+        std::int32_t dst = 0;
+        std::int32_t a = 0;
+        std::int32_t b = 0;
+    };
+
     Value eval(int node, const std::vector<std::vector<Value>*>& slots) const;
 
     std::string source_;
@@ -101,7 +177,16 @@ private:
     std::map<std::string, int> reads_;
     std::map<std::string, int> writes_;
 
+    // Compiled form (built once at parse time by TaskletCompiler).
+    std::vector<BCInstr> bytecode_;
+    std::vector<Value> consts_;
+    std::vector<SlotDesc> slot_table_;  // indexed by var index
+    std::vector<std::string> trap_connectors_;
+    int slot_count_ = 0;
+    int reg_count_ = 0;
+
     friend class TaskletParser;
+    friend class TaskletCompiler;
 };
 
 using TaskletProgramPtr = std::shared_ptr<const TaskletProgram>;

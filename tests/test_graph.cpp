@@ -85,7 +85,7 @@ TEST(DiGraph, Reachability) {
 }
 
 TEST(MaxFlow, SingleEdge) {
-    const auto r = edmonds_karp(2, {{0, 1, 7}}, 0, 1);
+    const auto r = max_flow(2, {{0, 1, 7}}, 0, 1);
     EXPECT_EQ(r.max_flow, 7);
     EXPECT_EQ(r.source_side, (std::set<int>{0}));
     ASSERT_EQ(r.cut_edges.size(), 1u);
@@ -99,12 +99,12 @@ TEST(MaxFlow, ClassicDiamond) {
     //    \   /
     //      2
     const std::vector<FlowEdge> edges = {{0, 1, 3}, {0, 2, 2}, {1, 3, 2}, {2, 3, 3}, {1, 2, 1}};
-    const auto r = edmonds_karp(4, edges, 0, 3);
+    const auto r = max_flow(4, edges, 0, 3);
     EXPECT_EQ(r.max_flow, 5);
 }
 
 TEST(MaxFlow, DisconnectedSink) {
-    const auto r = edmonds_karp(3, {{0, 1, 5}}, 0, 2);
+    const auto r = max_flow(3, {{0, 1, 5}}, 0, 2);
     EXPECT_EQ(r.max_flow, 0);
     EXPECT_TRUE(r.source_side.count(0));
     EXPECT_TRUE(r.source_side.count(1));
@@ -114,7 +114,7 @@ TEST(MaxFlow, DisconnectedSink) {
 TEST(MaxFlow, InfiniteCapacityNeverCut) {
     // 0 -inf-> 1 -4-> 2: cut must land on the finite edge.
     const std::vector<FlowEdge> edges = {{0, 1, kInfiniteCapacity}, {1, 2, 4}};
-    const auto r = edmonds_karp(3, edges, 0, 2);
+    const auto r = max_flow(3, edges, 0, 2);
     EXPECT_EQ(r.max_flow, 4);
     ASSERT_EQ(r.cut_edges.size(), 1u);
     EXPECT_EQ(r.cut_edges[0], 1u);
@@ -122,7 +122,7 @@ TEST(MaxFlow, InfiniteCapacityNeverCut) {
 
 TEST(MaxFlow, ParallelEdgeCapacitiesAdd) {
     const std::vector<FlowEdge> edges = {{0, 1, 2}, {0, 1, 3}};
-    EXPECT_EQ(edmonds_karp(2, edges, 0, 1).max_flow, 5);
+    EXPECT_EQ(max_flow(2, edges, 0, 1).max_flow, 5);
 }
 
 TEST(MaxFlow, RecomputationBeatsLargeInput) {
@@ -134,7 +134,7 @@ TEST(MaxFlow, RecomputationBeatsLargeInput) {
         {1, 3, kInfiniteCapacity}, {2, 3, kInfiniteCapacity},   // data-node out-edges
         {3, 4, 100},                                            // producer -> T (big tensor)
     };
-    const auto r = edmonds_karp(5, edges, 0, 4);
+    const auto r = max_flow(5, edges, 0, 4);
     EXPECT_EQ(r.max_flow, 20);
     // A, B and P all fall on the sink side: they join the cutout.
     EXPECT_FALSE(r.source_side.count(1));
@@ -161,7 +161,7 @@ TEST_P(MaxFlowProperty, FlowEqualsCutCapacity) {
             if (next() % 3) edges.push_back({a, b, next() % 20 + 1});
     for (int b = 4; b <= 6; ++b) edges.push_back({b, t, next() % 20 + 1});
 
-    const auto r = edmonds_karp(8, edges, s, t);
+    const auto r = max_flow(8, edges, s, t);
     std::int64_t cut_capacity = 0;
     for (std::size_t idx : r.cut_edges) cut_capacity += edges[idx].capacity;
     EXPECT_EQ(r.max_flow, cut_capacity);  // max-flow min-cut theorem

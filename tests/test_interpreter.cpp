@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "common/error.h"
 #include "helpers.h"
 #include "interp/interpreter.h"
@@ -7,6 +11,52 @@
 #include "ir/sdfg.h"
 #include "symbolic/parser.h"
 #include "workloads/builders.h"
+
+// --- Allocation instrumentation --------------------------------------------
+//
+// Global operator new override counting allocations while a flag is set:
+// used below to prove the compiled tasklet path performs no per-map-point
+// heap allocation in steady state.
+//
+// GCC pairs the replaced aligned operator new (aligned_alloc) with the
+// plain free() in operator delete and warns; free() is the correct
+// deallocator for aligned_alloc on this platform.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<bool> g_count_allocations{false};
+std::atomic<std::size_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+    if (g_count_allocations.load(std::memory_order_relaxed))
+        g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+    if (g_count_allocations.load(std::memory_order_relaxed))
+        g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                     (size + static_cast<std::size_t>(align) - 1) &
+                                         ~(static_cast<std::size_t>(align) - 1)))
+        return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 namespace ff::interp {
 namespace {
@@ -358,6 +408,124 @@ TEST(MultiRank, SingleRankDegeneratesToIdentity) {
     ctx.buffers.emplace("loc", make_buffer({7, 8, 9}));
     const auto r = run_ok(sdfg, ctx);
     EXPECT_EQ(to_vector(r.buffers.at("glob")), (std::vector<double>{7, 8, 9}));
+}
+
+// --- Compiled execution path -------------------------------------------------
+
+TEST(Interpreter, MemletRangeStepZeroIsError) {
+    // for_each_point previously skipped step-0 ranges silently (executing
+    // zero iterations); it must raise instead.
+    const std::vector<ir::ConcreteRange> ranges{{0, 5, 0}};
+    EXPECT_THROW(for_each_point(ranges, [](const std::vector<std::int64_t>&) {}),
+                 common::Error);
+}
+
+TEST(Interpreter, CompiledMatchesReferenceOnBranchyChain) {
+    const ir::SDFG sdfg = make_chain_sdfg("o = i > 0.5 ? i * 2.0 : -i",
+                                          "t = i * i; o = t + min(i, 0.25)");
+    auto run_with = [&](bool compiled) {
+        ExecConfig cfg;
+        cfg.use_compiled_tasklets = compiled;
+        Interpreter interp(cfg);
+        interp::Context ctx;
+        ctx.symbols["N"] = 17;
+        ctx.buffers.emplace("x", make_buffer({-3, -0.25, 0, 0.25, 0.5, 0.75, 1, 2, 3, 4, 5, 6, 7,
+                                              8, 9, 10, 11}));
+        EXPECT_TRUE(interp.run(sdfg, ctx).ok());
+        return ctx;
+    };
+    const interp::Context ref = run_with(false);
+    const interp::Context fast = run_with(true);
+    EXPECT_TRUE(ref.buffers.at("y").bitwise_equal(fast.buffers.at("y")));
+}
+
+TEST(Interpreter, CompiledMatchesReferenceOnMatmulNest) {
+    ir::SDFG sdfg("mm");
+    const sym::ExprPtr m = sym::cst(5), k = sym::cst(4), n = sym::cst(3);
+    sdfg.add_array("A", ir::DType::F64, {m, k});
+    sdfg.add_array("B", ir::DType::F64, {k, n});
+    sdfg.add_array("C", ir::DType::F64, {m, n});
+    ir::State& st = sdfg.state(sdfg.add_state("main", true));
+    const ir::NodeId a = st.add_access("A");
+    const ir::NodeId b = st.add_access("B");
+    const ir::NodeId c0 = workloads::zero_init(sdfg, st, "C");
+    workloads::matmul_nest(sdfg, st, a, b, c0, m, k, n, "mm");
+
+    auto run_with = [&](bool compiled) {
+        ExecConfig cfg;
+        cfg.use_compiled_tasklets = compiled;
+        Interpreter interp(cfg);
+        interp::Context ctx;
+        interp::Buffer av(ir::DType::F64, {5, 4}), bv(ir::DType::F64, {4, 3});
+        for (std::int64_t i = 0; i < av.size(); ++i)
+            av.store(i, Value::from_double(0.5 * static_cast<double>(i) - 3.0));
+        for (std::int64_t i = 0; i < bv.size(); ++i)
+            bv.store(i, Value::from_double(0.25 * static_cast<double>(i % 5) - 0.5));
+        ctx.buffers.emplace("A", std::move(av));
+        ctx.buffers.emplace("B", std::move(bv));
+        EXPECT_TRUE(interp.run(sdfg, ctx).ok());
+        return ctx;
+    };
+    const interp::Context ref = run_with(false);
+    const interp::Context fast = run_with(true);
+    EXPECT_TRUE(ref.buffers.at("C").bitwise_equal(fast.buffers.at("C")));
+}
+
+TEST(Interpreter, PassthroughOutputForwardsPreExecutionSnapshot) {
+    // Connector 'p' is bound by an edge but never mentioned by the program:
+    // the out-edge forwarding it must see the values gathered *before* the
+    // tasklet ran — even though an earlier out-edge overwrites the same
+    // container — on both engines.
+    ir::SDFG sdfg("pass");
+    sdfg.add_array("x", ir::DType::F64, {sym::cst(1)});
+    sdfg.add_array("y", ir::DType::F64, {sym::cst(1)});
+    ir::State& st = sdfg.state(sdfg.add_state("main", true));
+    const ir::NodeId xin = st.add_access("x");
+    const ir::NodeId t = st.add_tasklet("t", "o = 42.0");
+    const ir::NodeId xout = st.add_access("x");
+    const ir::NodeId yout = st.add_access("y");
+    const Subset first{{Range::index(sym::cst(0))}};
+    st.add_edge(xin, "", t, "p", Memlet("x", first));
+    st.add_edge(t, "o", xout, "", Memlet("x", first));  // overwrites x[0] first
+    st.add_edge(t, "p", yout, "", Memlet("y", first));  // then forwards p
+
+    for (bool compiled : {false, true}) {
+        ExecConfig cfg;
+        cfg.use_compiled_tasklets = compiled;
+        Interpreter interp(cfg);
+        interp::Context ctx;
+        ctx.buffers.emplace("x", make_buffer({7.0}));
+        const ExecResult r = interp.run(sdfg, ctx);
+        ASSERT_TRUE(r.ok()) << r.message;
+        EXPECT_DOUBLE_EQ(ctx.buffers.at("x").load_double(0), 42.0) << "compiled=" << compiled;
+        EXPECT_DOUBLE_EQ(ctx.buffers.at("y").load_double(0), 7.0) << "compiled=" << compiled;
+    }
+}
+
+TEST(Interpreter, CompiledSteadyStateAllocationsAreSizeIndependent) {
+    // Acceptance check for the compiled engine: once plans, buffers and
+    // scratch are warm, a full re-execution performs only a constant number
+    // of heap allocations (one per scope for saved bindings and the first
+    // parameter-symbol insert) — none per map point.
+    auto warm_run_allocations = [](std::int64_t n) {
+        const ir::SDFG sdfg = make_chain_sdfg();
+        Interpreter interp;  // compiled engine is the default
+        interp::Context ctx;
+        ctx.symbols["N"] = n;
+        ctx.buffers.emplace("x",
+                            make_buffer(std::vector<double>(static_cast<std::size_t>(n), 1.5)));
+        EXPECT_TRUE(interp.run(sdfg, ctx).ok());  // warm-up: plans + buffers + scratch
+        g_allocation_count.store(0);
+        g_count_allocations.store(true);
+        const ExecResult r = interp.run(sdfg, ctx);
+        g_count_allocations.store(false);
+        EXPECT_TRUE(r.ok()) << r.message;
+        return g_allocation_count.load();
+    };
+    const std::size_t small = warm_run_allocations(8);
+    const std::size_t large = warm_run_allocations(512);
+    EXPECT_EQ(small, large) << "per-map-point allocation detected";
+    EXPECT_LE(large, 16u);
 }
 
 }  // namespace
