@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/rng.h"
@@ -24,6 +25,16 @@ inline void banner(const std::string& title) {
 
 inline void claim(const std::string& paper, const std::string& measured) {
     std::printf("  paper:    %s\n  measured: %s\n", paper.c_str(), measured.c_str());
+}
+
+/// Thread count for the 1-vs-N scaling sections: FF_BENCH_THREADS when set
+/// to a positive integer (CI uses it), else `fallback`.
+inline int env_threads(int fallback = 8) {
+    if (const char* env = std::getenv("FF_BENCH_THREADS")) {
+        const int v = std::atoi(env);
+        if (v > 0) return v;
+    }
+    return fallback;
 }
 
 /// Deterministic random inputs for every non-transient container.

@@ -15,7 +15,10 @@
 // bar for the compiled engine is >= 3x tasklet-executions/second.
 #include "bench_common.h"
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <thread>
 
 #include "workloads/builders.h"
 
@@ -122,6 +125,47 @@ void BM_HotpathCompiled(benchmark::State& state) {
 }
 BENCHMARK(BM_HotpathCompiled)->Unit(benchmark::kMillisecond);
 
+/// Aggregate executions/second with `threads` interpreters running the same
+/// immutable SDFG concurrently over one shared PlanCache — the execution
+/// shape of the parallel fuzzer (per-thread scratch, shared plans).
+double measure_parallel(int threads, int reps_per_thread) {
+    ir::SDFG p = build_hotpath();
+    interp::ExecConfig cfg;
+    cfg.use_compiled_tasklets = true;
+    auto cache = std::make_shared<interp::PlanCache>();
+
+    // Pre-sample every context so the timed region is pure execution.
+    std::vector<std::vector<interp::Context>> contexts(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        for (int r = 0; r < reps_per_thread; ++r)
+            contexts[static_cast<std::size_t>(t)].push_back(bench::random_inputs(
+                p, bindings(), 4242 + static_cast<unsigned>(t * reps_per_thread + r)));
+
+    // Warm the shared cache once so the timed region measures steady state.
+    {
+        interp::Interpreter warm_interp(cfg, cache);
+        interp::Context warm = bench::random_inputs(p, bindings());
+        if (!warm_interp.run(p, warm).ok()) throw common::Error("hotpath warmup failed");
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            interp::Interpreter interp(cfg, cache);
+            for (interp::Context& ctx : contexts[static_cast<std::size_t>(t)])
+                if (!interp.run(p, ctx).ok()) failed.store(true);
+        });
+    }
+    for (std::thread& th : pool) th.join();
+    if (failed.load()) throw common::Error("hotpath parallel run failed");
+    const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                            .count();
+    return static_cast<double>(tasklet_executions_per_run()) * threads * reps_per_thread / secs;
+}
+
 void print_report() {
     const int reps = 6;
     const double ref = measure(/*compiled=*/false, reps);
@@ -135,6 +179,17 @@ void print_report() {
     std::printf("  compiled  (bytecode VM + access plans): %12.0f exec/s\n", fast);
     std::printf("  speedup: %.2fx (acceptance bar: >= 3x)  -> %s\n", speedup,
                 speedup >= 3.0 ? "PASS" : "FAIL");
+
+    // Thread scaling over the shared plan cache.  FF_BENCH_THREADS overrides
+    // the thread count (CI runs 1 and N and prints the ratio).
+    const int threads = bench::env_threads();
+    const unsigned hw = std::thread::hardware_concurrency();
+    bench::banner("Parallel interpreters over a shared plan cache");
+    const double one = measure_parallel(1, 4);
+    const double many = threads > 1 ? measure_parallel(threads, 4) : one;
+    std::printf("  1 thread : %12.0f exec/s\n", one);
+    std::printf("  %d threads: %12.0f exec/s (hardware_concurrency=%u)\n", threads, many, hw);
+    std::printf("  scaling ratio: %.2fx\n", many / one);
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+// Parallel differential-fuzzing throughput: executed trials per second.
+//
+// PR 1 made a single trial cheap (compiled tasklet engine); this bench
+// measures the next multiplier — running independent trials of one
+// transformation instance across a pool of per-thread interpreter pairs over
+// a shared, immutable SDFG pair and plan cache.  Every trial is a pure
+// function of (seed, trial index), so the report is byte-identical at any
+// thread count; only the wall clock changes.
+//
+// The workload is tasklet-dense on purpose (a correct map tiling on an
+// elementwise kernel: every trial runs original + transformed end to end).
+// Acceptance bar: >= 3x executed-trials/s at 8 threads vs 1 thread on
+// hardware with >= 8 cores (the ratio degrades gracefully to the core
+// count; single-core machines print ~1x).
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "core/report.h"
+#include "transforms/map_tiling.h"
+#include "workloads/builders.h"
+
+namespace {
+
+using namespace ff;
+
+constexpr int kTrials = 64;
+
+/// Elementwise chain with a branchy activation: several compiled tasklets
+/// per trial on both sides of the differential test.
+ir::SDFG build_workload() {
+    ir::SDFG p("parallel_trials");
+    p.add_symbol("N");
+    p.add_symbol("M");
+    const sym::ExprPtr n = sym::symb("N"), m = sym::symb("M");
+    p.add_array("x", ir::DType::F64, {n, m});
+    p.add_array("w", ir::DType::F64, {n, m});
+    p.add_array("t1", ir::DType::F64, {n, m}, /*transient=*/true);
+    p.add_array("y", ir::DType::F64, {n, m});
+
+    ir::State& st = p.state(p.add_state("main", true));
+    const ir::NodeId x = st.add_access("x");
+    const ir::NodeId w = st.add_access("w");
+    const ir::NodeId t1 = workloads::ew_binary(p, st, x, w, "t1",
+                                               "o = a > 0.0 ? a * b + 1.0 : -a * b - 1.0");
+    workloads::ew_unary(p, st, t1, "y", "s = i * 0.5; o = s * s + i * 0.25");
+    return p;
+}
+
+core::FuzzReport run_instance(int num_threads) {
+    const ir::SDFG p = build_workload();
+    xform::MapTiling tiling(4, xform::MapTiling::Variant::Correct);
+    const auto matches = tiling.find_matches(p);
+    if (matches.empty()) throw common::Error("no tiling match");
+
+    core::FuzzConfig config;
+    config.max_trials = kTrials;
+    config.num_threads = num_threads;
+    config.sampler.size_max = 24;  // large enough inputs to dominate setup
+    config.cutout.defaults = {{"N", 24}, {"M", 24}};
+    core::Fuzzer fuzzer(config);
+    return fuzzer.test_instance(p, tiling, matches[0]);
+}
+
+/// Returns false when verdict/trial counts diverge across thread counts
+/// (main() propagates this so the CI step actually fails).
+bool print_report() {
+    const int threads = bench::env_threads();
+    const unsigned hw = std::thread::hardware_concurrency();
+
+    const core::FuzzReport one = run_instance(1);
+    const core::FuzzReport many = threads > 1 ? run_instance(threads) : one;
+
+    bench::banner("Parallel differential fuzzing - executed trials per second (" +
+                  std::to_string(kTrials) + " trials/instance)");
+    std::printf("  1 thread : %10.1f trials/s  (verdict %s, %d trials)\n",
+                one.trials_per_second, core::verdict_name(one.verdict), one.trials);
+    std::printf("  %d threads: %10.1f trials/s  (verdict %s, %d trials, hw=%u)\n", threads,
+                many.trials_per_second, core::verdict_name(many.verdict), many.trials, hw);
+    std::printf("  scaling ratio: %.2fx (acceptance bar: >= 3x at 8 threads on >= 8 cores)\n",
+                many.trials_per_second / one.trials_per_second);
+    const bool identical = one.verdict == many.verdict && one.trials == many.trials &&
+                           one.uninteresting == many.uninteresting;
+    std::printf("  determinism (verdict/trial counts identical): %s\n",
+                identical ? "PASS" : "FAIL");
+    return identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return print_report() ? 0 : 1;
+}

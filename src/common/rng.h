@@ -20,6 +20,16 @@ inline std::uint64_t splitmix64(std::uint64_t x) {
     return x ^ (x >> 31);
 }
 
+/// RNG seed of one fuzzing trial: a pure function of (instance seed, trial
+/// index), independent of any loop or thread execution order.  This is what
+/// makes parallel trial execution bit-reproducible — a trial draws the same
+/// input stream whether it runs first on thread 7 or last on thread 0 — and
+/// what lets a failing test case be re-derived from (seed, trial index)
+/// alone.
+inline std::uint64_t trial_seed(std::uint64_t instance_seed, std::uint64_t trial_index) {
+    return splitmix64(instance_seed) ^ splitmix64(trial_index + 1);
+}
+
 /// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator.
 class Rng {
 public:

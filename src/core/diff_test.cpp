@@ -16,8 +16,21 @@ const char* verdict_name(Verdict v) {
     return "?";
 }
 
+ValidationResult ValidationResult::of(const ir::SDFG& transformed) {
+    ValidationResult result;
+    try {
+        transformed.validate();
+    } catch (const std::exception& e) {
+        result.valid = false;
+        result.error = e.what();
+    }
+    return result;
+}
+
 DifferentialTester::DifferentialTester(const ir::SDFG& original, const ir::SDFG& transformed,
-                                       std::set<std::string> system_state, DiffConfig config)
+                                       std::set<std::string> system_state, DiffConfig config,
+                                       interp::PlanCachePtr plan_cache,
+                                       const ValidationResult* prevalidated)
     : original_(original),
       transformed_(transformed),
       system_state_(std::move(system_state)),
@@ -25,15 +38,16 @@ DifferentialTester::DifferentialTester(const ir::SDFG& original, const ir::SDFG&
       // One interpreter per side, retained for the tester's lifetime: state
       // plans, compiled tasklet bytecode and the execution scratch arena are
       // built on the first trial and amortized over every subsequent one
-      // (config.exec.use_compiled_tasklets selects the engine).
-      interp_original_(config.exec),
-      interp_transformed_(config.exec) {
-    try {
-        transformed_.validate();
-    } catch (const std::exception& e) {
-        valid_ = false;
-        validation_error_ = e.what();
-    }
+      // (config.exec.use_compiled_tasklets selects the engine).  Both sides
+      // share one plan cache — and with it every sibling tester running
+      // trials of the same instance on other threads.
+      interp_original_(config.exec, plan_cache ? plan_cache
+                                               : std::make_shared<interp::PlanCache>()),
+      interp_transformed_(config.exec, interp_original_.plan_cache()) {
+    const ValidationResult result =
+        prevalidated ? *prevalidated : ValidationResult::of(transformed_);
+    valid_ = result.valid;
+    validation_error_ = result.error;
 }
 
 TrialOutcome DifferentialTester::run_trial(const interp::Context& inputs) {

@@ -44,11 +44,27 @@ struct DiffConfig {
     interp::ExecConfig exec;
 };
 
+/// Outcome of validating a transformed graph, computable once and shared
+/// across the per-thread testers of one fuzzing instance.
+struct ValidationResult {
+    bool valid = true;
+    std::string error;
+
+    static ValidationResult of(const ir::SDFG& transformed);
+};
+
 class DifferentialTester {
 public:
-    /// Validates `transformed` once up front.
+    /// Validates `transformed` once up front (pass `prevalidated` to reuse a
+    /// ValidationResult computed elsewhere instead of re-walking the graph).
+    /// `plan_cache` may be shared with other testers over the same SDFG
+    /// pair — the parallel fuzzer constructs one tester per worker thread
+    /// against one cache, so state plans and compiled tasklet programs are
+    /// built once, not per thread (nullptr creates a private cache).
     DifferentialTester(const ir::SDFG& original, const ir::SDFG& transformed,
-                       std::set<std::string> system_state, DiffConfig config = {});
+                       std::set<std::string> system_state, DiffConfig config = {},
+                       interp::PlanCachePtr plan_cache = nullptr,
+                       const ValidationResult* prevalidated = nullptr);
 
     bool transformed_valid() const { return valid_; }
     const std::string& validation_error() const { return validation_error_; }

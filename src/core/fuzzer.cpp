@@ -1,6 +1,11 @@
 #include "core/fuzzer.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
 
 #include "common/error.h"
 #include "core/testcase_io.h"
@@ -14,6 +19,60 @@ std::size_t count_dataflow_nodes(const ir::SDFG& sdfg) {
     for (ir::StateId sid : sdfg.states()) n += sdfg.state(sid).graph().node_count();
     return n;
 }
+
+int resolve_thread_count(int requested, int max_trials) {
+    int t = requested;
+    if (t <= 0) t = static_cast<int>(std::thread::hardware_concurrency());
+    // Never more workers than trials (a zero-trial budget needs one worker
+    // at most — it exits on its first claim).
+    return std::clamp(t, 1, std::max(max_trials, 1));
+}
+
+/// Outcome of one trial, recorded at its trial index so aggregation can
+/// replay the canonical sequential order regardless of which thread ran it.
+struct TrialRecord {
+    enum class Kind : std::uint8_t { NotRun, Uninteresting, Pass, Failed };
+    Kind kind = Kind::NotRun;
+    Verdict verdict = Verdict::Pass;
+    std::string detail;
+    /// Inputs are retained only for failing trials (artifact reproduction).
+    std::unique_ptr<interp::Context> inputs;
+};
+
+/// Runs trials by claiming indices off a shared atomic counter until the
+/// budget is exhausted or a failure at a lower index makes further indices
+/// irrelevant.  Claims are monotonically increasing, so every trial with an
+/// index <= the lowest failure is guaranteed to execute — the property the
+/// sequential-order aggregation relies on.  (For uniform micro-tasks like
+/// fuzz trials, work stealing degenerates to exactly this single shared
+/// queue; per-thread deques would only add overhead.)
+class TrialScheduler {
+public:
+    explicit TrialScheduler(int max_trials) : max_trials_(max_trials), stop_at_(max_trials) {}
+
+    /// Next trial index to run, or -1 when done.
+    int claim() {
+        const int t = next_.fetch_add(1, std::memory_order_relaxed);
+        if (t >= max_trials_ || t > stop_at_.load(std::memory_order_acquire)) return -1;
+        return t;
+    }
+
+    /// Records a failure at `trial`; later indices stop being claimed.
+    void fail_at(int trial) {
+        int cur = stop_at_.load(std::memory_order_acquire);
+        while (trial < cur &&
+               !stop_at_.compare_exchange_weak(cur, trial, std::memory_order_acq_rel)) {
+        }
+    }
+
+    /// Aborts all further claims (worker raised an exception).
+    void abort() { stop_at_.store(-1, std::memory_order_release); }
+
+private:
+    const int max_trials_;
+    std::atomic<int> next_{0};
+    std::atomic<int> stop_at_;
+};
 
 }  // namespace
 
@@ -61,33 +120,97 @@ FuzzReport Fuzzer::test_instance(const ir::SDFG& p, const xform::Transformation&
         return report;
     }
 
-    // 5. Gray-box constraints + differential fuzzing.
+    // 5. Gray-box constraints + differential fuzzing, fanned out over a
+    // pool of per-thread testers sharing one plan cache.  Trial inputs are
+    // a pure function of (seed, trial index) and records are aggregated in
+    // index order below, so any thread count yields a byte-identical report.
     const Constraints constraints = derive_constraints(p, cutout.program);
     const InputSampler sampler(config_.sampler);
-    DifferentialTester tester(cutout.program, transformed, cutout.system_state, config_.diff);
+    const int threads = resolve_thread_count(config_.num_threads, config_.max_trials);
+    report.threads = threads;
+    auto plan_cache = std::make_shared<interp::PlanCache>();
+    // Validate the transformed graph once; every per-thread tester reuses
+    // the result instead of re-walking the same immutable graph.
+    const ValidationResult validation = ValidationResult::of(transformed);
 
-    for (int trial = 0; trial < config_.max_trials; ++trial) {
-        interp::Context inputs;
+    std::vector<TrialRecord> records(
+        static_cast<std::size_t>(std::max(config_.max_trials, 0)));
+    TrialScheduler scheduler(config_.max_trials);
+    std::exception_ptr worker_error;
+    std::mutex error_mutex;
+
+    auto run_trials = [&](DifferentialTester& tester) {
         try {
-            inputs = sampler.sample(cutout.program, cutout.input_config, constraints,
-                                    static_cast<std::uint64_t>(trial));
-        } catch (const std::exception&) {
-            ++report.uninteresting;  // unresolvable shapes: resample
-            continue;
+            for (;;) {
+                const int trial = scheduler.claim();
+                if (trial < 0) break;
+                TrialRecord& rec = records[static_cast<std::size_t>(trial)];
+                interp::Context inputs;
+                try {
+                    inputs = sampler.sample(cutout.program, cutout.input_config, constraints,
+                                            static_cast<std::uint64_t>(trial));
+                } catch (const std::exception&) {
+                    rec.kind = TrialRecord::Kind::Uninteresting;  // unresolvable shapes
+                    continue;
+                }
+                const TrialOutcome outcome = tester.run_trial(inputs);
+                if (outcome.verdict == Verdict::Uninteresting) {
+                    rec.kind = TrialRecord::Kind::Uninteresting;
+                    continue;
+                }
+                if (outcome.verdict == Verdict::Pass) {
+                    rec.kind = TrialRecord::Kind::Pass;
+                    continue;
+                }
+                rec.verdict = outcome.verdict;
+                rec.detail = outcome.detail;
+                rec.inputs = std::make_unique<interp::Context>(std::move(inputs));
+                rec.kind = TrialRecord::Kind::Failed;
+                scheduler.fail_at(trial);
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!worker_error) worker_error = std::current_exception();
+            scheduler.abort();
         }
-        const TrialOutcome outcome = tester.run_trial(inputs);
-        if (outcome.verdict == Verdict::Uninteresting) {
+    };
+
+    if (threads == 1) {
+        DifferentialTester tester(cutout.program, transformed, cutout.system_state,
+                                  config_.diff, plan_cache, &validation);
+        run_trials(tester);
+    } else {
+        std::vector<std::unique_ptr<DifferentialTester>> testers;
+        testers.reserve(static_cast<std::size_t>(threads));
+        for (int i = 0; i < threads; ++i)
+            testers.push_back(std::make_unique<DifferentialTester>(
+                cutout.program, transformed, cutout.system_state, config_.diff, plan_cache,
+                &validation));
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(threads));
+        for (int i = 0; i < threads; ++i)
+            pool.emplace_back([&run_trials, &testers, i] { run_trials(*testers[i]); });
+        for (std::thread& t : pool) t.join();
+    }
+    if (worker_error) std::rethrow_exception(worker_error);
+
+    // Sequential-order aggregation: replays exactly what the single-thread
+    // loop would have counted, stopping at the lowest-indexed failure.
+    for (int trial = 0; trial < config_.max_trials; ++trial) {
+        const TrialRecord& rec = records[static_cast<std::size_t>(trial)];
+        if (rec.kind == TrialRecord::Kind::NotRun) break;  // past the first failure
+        if (rec.kind == TrialRecord::Kind::Uninteresting) {
             ++report.uninteresting;
             continue;
         }
         ++report.trials;
-        if (outcome.verdict == Verdict::Pass) continue;
+        if (rec.kind == TrialRecord::Kind::Pass) continue;
 
-        report.verdict = outcome.verdict;
-        report.detail = outcome.detail;
+        report.verdict = rec.verdict;
+        report.detail = rec.detail;
         if (!config_.artifact_dir.empty()) {
             report.artifact_path = save_testcase_artifact(
-                config_.artifact_dir, cutout, transformed, inputs, report);
+                config_.artifact_dir, cutout, transformed, *rec.inputs, report);
         }
         break;
     }

@@ -16,6 +16,13 @@ namespace ff::core {
 
 struct FuzzConfig {
     int max_trials = 100;  ///< "we test each instance ... over 100 trials" (Sec. 6.4)
+    /// Worker threads running trials of one instance concurrently, each with
+    /// its own DifferentialTester (two interpreters) over a shared plan
+    /// cache.  0 = hardware concurrency.  Any value produces byte-identical
+    /// FuzzReports: trial inputs are a pure function of (seed, trial index)
+    /// and results are aggregated in trial order, so the reported verdict is
+    /// always the lowest-indexed failing trial.
+    int num_threads = 1;
     SamplerConfig sampler;
     DiffConfig diff;
     CutoutOptions cutout;
@@ -34,10 +41,13 @@ struct FuzzReport {
     Verdict verdict = Verdict::Pass;
     int trials = 0;            ///< differential trials executed
     int uninteresting = 0;     ///< resampled trials (original rejected input)
-    double seconds = 0.0;
+    int threads = 1;           ///< worker threads that ran the trials
+    double seconds = 0.0;      ///< wall-clock, whole instance
     /// End-to-end executed-trial throughput of this instance — resampled
     /// (uninteresting) trials included, since each runs the original
     /// program; the metric the compiled tasklet engine exists to maximize.
+    /// Wall-clock based: under concurrency this is aggregate throughput of
+    /// the whole pool, never a sum of per-thread rates.
     double trials_per_second = 0.0;
     std::string detail;
     std::string artifact_path;

@@ -49,6 +49,7 @@ std::vector<AuditSummary> summarize_audit(const std::vector<FuzzReport>& reports
         s.total_seconds += r.seconds;
         s.total_trials += r.trials;
         s.total_uninteresting += r.uninteresting;
+        s.threads = std::max(s.threads, r.threads);
         if (r.failed()) {
             ++s.failures;
             ++s.categories[verdict_name(r.verdict)];
@@ -61,7 +62,8 @@ std::vector<AuditSummary> summarize_audit(const std::vector<FuzzReport>& reports
 }
 
 std::string audit_table(const std::vector<AuditSummary>& summaries) {
-    TextTable table({"Transformation", "Instances", "Failures", "Trials/s", "Failure classes"});
+    TextTable table(
+        {"Transformation", "Instances", "Failures", "Trials/s", "Threads", "Failure classes"});
     for (const AuditSummary& s : summaries) {
         std::string classes;
         for (const auto& [name, count] : s.categories) {
@@ -72,7 +74,7 @@ std::string audit_table(const std::vector<AuditSummary>& summaries) {
         char tps[32];
         std::snprintf(tps, sizeof(tps), "%.0f", s.trials_per_second());
         table.add_row({s.transformation, std::to_string(s.instances),
-                       std::to_string(s.failures), tps, classes});
+                       std::to_string(s.failures), tps, std::to_string(s.threads), classes});
     }
     return table.to_string();
 }

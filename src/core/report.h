@@ -33,6 +33,8 @@ struct AuditSummary {
     double total_seconds = 0.0;
     int total_trials = 0;
     int total_uninteresting = 0;
+    /// Worker threads used (max across instances; they share one config).
+    int threads = 1;
 
     /// Aggregate executed-trial throughput across instances (resampled
     /// trials included — they run the original program too); matches

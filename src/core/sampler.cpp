@@ -10,7 +10,7 @@ interp::Context InputSampler::sample(const ir::SDFG& cutout,
                                      const std::set<std::string>& input_config,
                                      const Constraints& constraints,
                                      std::uint64_t trial) const {
-    common::Rng rng(common::splitmix64(config_.seed) ^ common::splitmix64(trial + 1));
+    common::Rng rng(common::trial_seed(config_.seed, trial));
     interp::Context ctx;
 
     if (!config_.gray_box) {

@@ -40,6 +40,16 @@ void analyze_subset(AccessPlan& ap) {
     if (!volume_known) ap.const_volume = -1;
 }
 
+/// Lowers one symbolic range triple to interned programs.
+RangePlan lower_range(const ir::Range& r, sym::SymbolTable& tab,
+                      std::vector<sym::SymId>& used) {
+    RangePlan rp;
+    rp.begin = sym::CompiledExpr::lower(r.begin, tab, &used);
+    rp.end = sym::CompiledExpr::lower(r.end, tab, &used);
+    rp.step = sym::CompiledExpr::lower(r.step, tab, &used);
+    return rp;
+}
+
 }  // namespace
 
 StatePlan Interpreter::build_plan(const ir::State& state) {
@@ -73,39 +83,96 @@ StatePlan Interpreter::build_plan(const ir::State& state) {
 
     StatePlan plan;
     NodeId max_id = -1;
+    std::map<NodeId, std::vector<NodeId>> scope_children;
     for (NodeId n : *topo) {
         max_id = std::max(max_id, n);
         const NodeKind k = state.graph().node(n).kind;
         if (k == NodeKind::MapExit) continue;  // executed with its entry
         const NodeId p = parent[n];
         if (p == graph::kInvalidNode) plan.top_level.push_back(n);
-        else plan.scope_children[p].push_back(n);
+        else scope_children[p].push_back(n);
     }
 
-    // Per-tasklet memlet access plans (compiled engine only; the reference
-    // path re-derives connector bindings per execution by design).
-    if (config_.use_compiled_tasklets) {
-        plan.node_to_plan.assign(static_cast<std::size_t>(max_id + 1), -1);
-        int cache_counter = 0;
-        for (NodeId n : *topo) {
-            if (state.graph().node(n).kind != NodeKind::Tasklet) continue;
+    // Per-tasklet memlet access plans and per-scope iteration plans.  Both
+    // are engine-independent (the reference path simply ignores the tasklet
+    // plans), so one shared plan serves interpreters of either config.
+    sym::SymbolTable& tab = plans_->symbols();
+    std::vector<sym::SymId> used;
+
+    plan.node_to_plan.assign(static_cast<std::size_t>(max_id + 1), -1);
+    plan.node_to_scope.assign(static_cast<std::size_t>(max_id + 1), -1);
+    int cache_counter = 0;
+    for (NodeId n : *topo) {
+        const DataflowNode& node = state.graph().node(n);
+        if (node.kind == NodeKind::Tasklet) {
             TaskletPlan tp;
-            build_tasklet_plan(state, n, tp, cache_counter);
+            build_tasklet_plan(state, n, tp, cache_counter, used);
             plan.node_to_plan[static_cast<std::size_t>(n)] =
                 static_cast<int>(plan.tasklet_plans.size());
             plan.tasklet_plans.push_back(std::move(tp));
+        } else if (node.kind == NodeKind::MapEntry) {
+            ScopePlan sp;
+            sp.label = node.label;
+            for (std::size_t i = 0; i < node.params.size(); ++i) {
+                const sym::SymId id = tab.intern(node.params[i]);
+                sp.params.push_back(id);
+                sp.param_names.push_back(&node.params[i]);
+                // Referenced so a same-named free symbol (shadowing) is
+                // mirrored; the scope save/restore handles the rest.
+                if (std::find(used.begin(), used.end(), id) == used.end())
+                    used.push_back(id);
+                sp.ranges.push_back(lower_range(node.map_ranges[i], tab, used));
+            }
+            sp.children = std::move(scope_children[n]);
+            plan.node_to_scope[static_cast<std::size_t>(n)] =
+                static_cast<int>(plan.scope_plans.size());
+            plan.scope_plans.push_back(std::move(sp));
         }
-        plan.cache_slots = cache_counter;
     }
+    plan.cache_slots = cache_counter;
+
+    // Scope purity, innermost-first (reverse topological order guarantees a
+    // nested entry is classified before its parent).
+    for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
+        const NodeId n = *it;
+        if (state.graph().node(n).kind != NodeKind::MapEntry) continue;
+        ScopePlan& sp = plan.scope_plans[static_cast<std::size_t>(
+            plan.node_to_scope[static_cast<std::size_t>(n)])];
+        bool pure = true;
+        for (NodeId c : sp.children) {
+            const NodeKind k = state.graph().node(c).kind;
+            if (k == NodeKind::Tasklet) {
+                const TaskletPlan* tp = plan.plan_of(c);
+                pure = pure && tp && !tp->use_reference;
+            } else if (k == NodeKind::MapEntry) {
+                pure = pure && plan.scope_of(c).pure;
+            } else {
+                // Access copies, library and comm nodes read ctx.symbols.
+                pure = false;
+            }
+        }
+        sp.pure = pure;
+    }
+
+    plan.referenced.reserve(used.size());
+    for (const sym::SymId id : used) plan.referenced.emplace_back(id, tab.name(id));
+    plan.symtab_size = tab.size();
     return plan;
 }
 
 void Interpreter::build_tasklet_plan(const ir::State& state, NodeId nid, TaskletPlan& tp,
-                                     int& cache_counter) {
+                                     int& cache_counter, std::vector<sym::SymId>& used) {
     const DataflowNode& node = state.graph().node(nid);
     tp.prog = program_for(node.code);
     tp.label = node.label;
     const TaskletProgram& prog = *tp.prog;
+    sym::SymbolTable& tab = plans_->symbols();
+
+    auto lower_dims = [&](AccessPlan& ap) {
+        ap.dims.reserve(ap.memlet->subset.ranges.size());
+        for (const ir::Range& r : ap.memlet->subset.ranges)
+            ap.dims.push_back(lower_range(r, tab, used));
+    };
 
     std::set<std::string> bound;
     for (graph::EdgeId eid : state.graph().in_edges(nid)) {
@@ -122,6 +189,7 @@ void Interpreter::build_tasklet_plan(const ir::State& state, NodeId nid, Tasklet
             }
         }
         analyze_subset(ap);
+        lower_dims(ap);
         ap.cache_index = cache_counter++;
         bound.insert(edge.dst_conn);
         for (const std::string& t : prog.trap_connectors())
@@ -181,16 +249,39 @@ void Interpreter::build_tasklet_plan(const ir::State& state, NodeId nid, Tasklet
                     tp.use_reference = true;
         }
         analyze_subset(ap);
+        lower_dims(ap);
         ap.cache_index = cache_counter++;
         tp.outputs.push_back(std::move(ap));
     }
 }
 
-const StatePlan& Interpreter::plan_for(const ir::State& state) {
-    auto it = plan_cache_.find(&state);
-    if (it == plan_cache_.end())
-        it = plan_cache_.emplace(&state, std::make_shared<StatePlan>(build_plan(state))).first;
+const StatePlan& Interpreter::plan_for(const ir::SDFG& sdfg, const ir::State& state) {
+    const PlanKey key{sdfg.plan_uid(), sdfg.mutation_epoch(), &state};
+    auto it = plan_memo_.find(key);
+    if (it == plan_memo_.end()) {
+        // Drop memo entries of this SDFG from older mutation epochs: they
+        // can never hit again (epochs only grow), and a warm interpreter
+        // reused across many transformations must not accumulate them.
+        const auto first = plan_memo_.lower_bound(PlanKey{sdfg.plan_uid(), 0, nullptr});
+        const auto last =
+            plan_memo_.lower_bound(PlanKey{sdfg.plan_uid(), sdfg.mutation_epoch(), nullptr});
+        plan_memo_.erase(first, last);
+        auto plan = plans_->get_or_build(key, [&] { return build_plan(state); });
+        it = plan_memo_.emplace(key, std::move(plan)).first;
+    }
     return *it->second;
+}
+
+void Interpreter::sync_flat_bindings(const StatePlan& plan, const Context& ctx) {
+    Scratch& s = scratch_;
+    s.flat.reset(plan.symtab_size);
+    s.eval_stack.clear();
+    s.param_stack.clear();
+    s.active_params.clear();
+    for (const auto& [id, name] : plan.referenced) {
+        auto it = ctx.symbols.find(name);
+        if (it != ctx.symbols.end()) s.flat.bind(id, it->second);
+    }
 }
 
 void Interpreter::invalidate_execution_cache() {
@@ -242,14 +333,17 @@ ExecResult Interpreter::run(const ir::SDFG& sdfg, Context& ctx) {
 }
 
 void Interpreter::execute_state(const ir::SDFG& sdfg, const ir::State& state, Context& ctx) {
-    const StatePlan& plan = plan_for(state);
+    const StatePlan& plan = plan_for(sdfg, state);
     invalidate_execution_cache();
+    sync_flat_bindings(plan, ctx);
     for (NodeId nid : plan.top_level) execute_node_planned(sdfg, state, plan, nid, ctx);
 }
 
 void Interpreter::execute_node(const ir::SDFG& sdfg, const ir::State& state, NodeId nid,
                                Context& ctx) {
-    execute_node_planned(sdfg, state, plan_for(state), nid, ctx);
+    const StatePlan& plan = plan_for(sdfg, state);
+    sync_flat_bindings(plan, ctx);
+    execute_node_planned(sdfg, state, plan, nid, ctx);
 }
 
 void Interpreter::execute_node_planned(const ir::SDFG& sdfg, const ir::State& state,
@@ -275,54 +369,72 @@ void Interpreter::execute_node_planned(const ir::SDFG& sdfg, const ir::State& st
 
 void Interpreter::execute_scope(const ir::SDFG& sdfg, const ir::State& state,
                                 const StatePlan& plan, NodeId entry, Context& ctx) {
-    const DataflowNode& map_node = state.graph().node(entry);
+    const ScopePlan& sp = plan.scope_of(entry);
+    const std::size_t nparams = sp.params.size();
+    Scratch& s = scratch_;
+    // Pure scopes iterate entirely in the flat bindings: parameter binding
+    // is an array store.  Impure scopes (library/comm/access/reference-
+    // engine nodes inside) additionally maintain the string-keyed Context
+    // bindings those nodes read, exactly like the legacy engine.
+    const bool interned_only = config_.use_compiled_tasklets && sp.pure;
 
-    static const std::vector<NodeId> kEmpty;
-    auto cit = plan.scope_children.find(entry);
-    const std::vector<NodeId>& children = cit == plan.scope_children.end() ? kEmpty : cit->second;
-
-    // Save shadowed bindings.
-    std::vector<std::pair<std::string, std::optional<std::int64_t>>> saved;
-    saved.reserve(map_node.params.size());
-    for (const auto& p : map_node.params) {
-        auto sit = ctx.symbols.find(p);
-        saved.emplace_back(p, sit == ctx.symbols.end() ? std::nullopt
-                                                       : std::optional<std::int64_t>(sit->second));
+    // Save shadowed bindings (stack discipline on reusable scratch vectors:
+    // nested scopes push above their parent, no steady-state allocation).
+    const std::size_t pbase = s.param_stack.size();
+    const std::size_t abase = s.active_params.size();
+    for (std::size_t i = 0; i < nparams; ++i) {
+        Scratch::SavedParam sv;
+        sv.id = sp.params[i];
+        sv.flat_bound = s.flat.is_bound(sv.id);
+        sv.flat_value = sv.flat_bound ? s.flat.value(sv.id) : 0;
+        sv.str_bound = false;
+        sv.str_value = 0;
+        if (!interned_only) {
+            auto it = ctx.symbols.find(*sp.param_names[i]);
+            if (it != ctx.symbols.end()) {
+                sv.str_bound = true;
+                sv.str_value = it->second;
+            }
+        }
+        s.param_stack.push_back(sv);
+        s.active_params.push_back(Scratch::ActiveParam{sp.param_names[i], 0});
     }
 
     // Iterate the cartesian product of ranges.  Bounds are evaluated per
     // level because they may reference parameters of enclosing scopes.
-    const std::size_t nparams = map_node.params.size();
     auto iterate = [&](auto&& self, std::size_t level) -> void {
         if (level == nparams) {
-            for (NodeId child : children)
+            for (NodeId child : sp.children)
                 execute_node_planned(sdfg, state, plan, child, ctx);
             return;
         }
-        const ir::Range& r = map_node.map_ranges[level];
-        const std::int64_t begin = r.begin->evaluate(ctx.symbols);
-        const std::int64_t end = r.end->evaluate(ctx.symbols);
-        const std::int64_t step = r.step->evaluate(ctx.symbols);
-        if (step == 0) throw common::Error("map '" + map_node.label + "' has step 0");
-        if (step > 0) {
-            for (std::int64_t v = begin; v <= end; v += step) {
-                ctx.symbols[map_node.params[level]] = v;
-                self(self, level + 1);
-            }
-        } else {
-            for (std::int64_t v = begin; v >= end; v += step) {
-                ctx.symbols[map_node.params[level]] = v;
-                self(self, level + 1);
-            }
+        const RangePlan& r = sp.ranges[level];
+        const std::int64_t begin = r.begin.eval(s.flat, s.eval_stack);
+        const std::int64_t end = r.end.eval(s.flat, s.eval_stack);
+        const std::int64_t step = r.step.eval(s.flat, s.eval_stack);
+        if (step == 0) throw common::Error("map '" + sp.label + "' has step 0");
+        const sym::SymId id = sp.params[level];
+        for (std::int64_t v = begin; step > 0 ? v <= end : v >= end; v += step) {
+            s.flat.bind(id, v);
+            s.active_params[abase + level].value = v;
+            if (!interned_only) ctx.symbols[*sp.param_names[level]] = v;
+            self(self, level + 1);
         }
     };
     iterate(iterate, 0);
 
     // Restore bindings.
-    for (const auto& [p, old] : saved) {
-        if (old) ctx.symbols[p] = *old;
-        else ctx.symbols.erase(p);
+    for (std::size_t i = 0; i < nparams; ++i) {
+        const Scratch::SavedParam& sv = s.param_stack[pbase + i];
+        if (sv.flat_bound) s.flat.bind(sv.id, sv.flat_value);
+        else s.flat.unbind(sv.id);
+        if (!interned_only) {
+            if (sv.str_bound) ctx.symbols[*sp.param_names[i]] = sv.str_value;
+            else ctx.symbols.erase(*sp.param_names[i]);
+        }
     }
+    s.param_stack.resize(pbase);
+    s.active_params.resize(abase);
 }
 
 Buffer& Interpreter::ensure_buffer(const ir::SDFG& sdfg, Context& ctx, const std::string& name) {
@@ -330,7 +442,22 @@ Buffer& Interpreter::ensure_buffer(const ir::SDFG& sdfg, Context& ctx, const std
     if (it != ctx.buffers.end()) return it->second;
 
     const ir::DataDesc& desc = sdfg.container(name);
-    Buffer buf(desc.dtype, desc.concrete_shape(ctx.symbols));
+    std::vector<std::int64_t> shape;
+    if (scratch_.active_params.empty()) {
+        shape = desc.concrete_shape(ctx.symbols);
+    } else {
+        // Allocating inside a map scope: the legacy engine resolved shapes
+        // with the scope parameters bound (they were written into
+        // ctx.symbols per iteration).  Interned scopes keep parameters in
+        // the flat bindings only, so overlay the active parameters —
+        // innermost last, shadowing any same-named outer symbol — to
+        // preserve those semantics.  Cold path: runs once per container
+        // per trial.
+        sym::Bindings merged = ctx.symbols;
+        for (const auto& ap : scratch_.active_params) merged[*ap.name] = ap.value;
+        shape = desc.concrete_shape(merged);
+    }
+    Buffer buf(desc.dtype, std::move(shape));
     if (desc.storage == ir::Storage::Device) {
         // Deterministic garbage, stable per container name.
         std::uint64_t h = config_.device_garbage_seed;
@@ -358,6 +485,17 @@ const std::vector<ir::ConcreteRange>& Interpreter::concretize_into(const ir::Sub
         cr[d] = ir::ConcreteRange{subset.ranges[d].begin->evaluate(ctx.symbols),
                                   subset.ranges[d].end->evaluate(ctx.symbols),
                                   subset.ranges[d].step->evaluate(ctx.symbols)};
+    return cr;
+}
+
+const std::vector<ir::ConcreteRange>& Interpreter::concretize_plan(const AccessPlan& ap) {
+    Scratch& s = scratch_;
+    auto& cr = s.ranges;
+    cr.resize(ap.dims.size());
+    for (std::size_t d = 0; d < ap.dims.size(); ++d)
+        cr[d] = ir::ConcreteRange{ap.dims[d].begin.eval(s.flat, s.eval_stack),
+                                  ap.dims[d].end.eval(s.flat, s.eval_stack),
+                                  ap.dims[d].step.eval(s.flat, s.eval_stack)};
     return cr;
 }
 
@@ -395,11 +533,7 @@ std::vector<Value>& Interpreter::scratch_values(std::size_t which) {
 }
 
 TaskletProgramPtr Interpreter::program_for(const std::string& code) {
-    auto it = tasklet_cache_.find(code);
-    if (it != tasklet_cache_.end()) return it->second;
-    TaskletProgramPtr prog = TaskletProgram::parse(code);
-    tasklet_cache_.emplace(code, prog);
-    return prog;
+    return plans_->program_for(code);
 }
 
 // --- Tasklet execution: reference path --------------------------------------
@@ -438,27 +572,32 @@ Buffer& Interpreter::plan_buffer(const ir::SDFG& sdfg, Context& ctx, const State
 
 std::int64_t Interpreter::plan_gather(const ir::SDFG& sdfg, Context& ctx, const StatePlan& plan,
                                       const AccessPlan& ap, Value* slots) {
+    Buffer& buf = plan_buffer(sdfg, ctx, plan, ap);
+    Scratch& s = scratch_;
+    auto& idx = s.idx;
     if (ap.passthrough_pool >= 0) {
         // Snapshot the full subset before the program runs; forwarding
         // outputs scatter from this pool.
-        auto& tmp = scratch_values(kPassthroughBase + static_cast<std::size_t>(ap.passthrough_pool));
-        gather_into(sdfg, ctx, *ap.memlet, tmp);
+        auto& tmp =
+            scratch_values(kPassthroughBase + static_cast<std::size_t>(ap.passthrough_pool));
+        tmp.clear();
+        const auto& cr = concretize_plan(ap);
+        for_each_point_into(cr, idx, [&](const std::vector<std::int64_t>& ix) {
+            tmp.push_back(buf.load(buf.flat_index(ix, ap.memlet->data)));
+        });
         return static_cast<std::int64_t>(tmp.size());
     }
-    Buffer& buf = plan_buffer(sdfg, ctx, plan, ap);
-    const auto& sranges = ap.memlet->subset.ranges;
-    auto& idx = scratch_.idx;
     if (ap.single_point) {
-        // Hot path: a scalar element — evaluate each index expression and
-        // load straight into the connector slot.
-        idx.resize(sranges.size());
-        for (std::size_t d = 0; d < sranges.size(); ++d)
-            idx[d] = sranges[d].begin->evaluate(ctx.symbols);
+        // Hot path: a scalar element — evaluate each index program against
+        // the flat bindings and load straight into the connector slot.
+        idx.resize(ap.dims.size());
+        for (std::size_t d = 0; d < ap.dims.size(); ++d)
+            idx[d] = ap.dims[d].begin.eval(s.flat, s.eval_stack);
         const std::int64_t flat = buf.flat_index(idx, ap.memlet->data);
         if (ap.slot_base >= 0) slots[ap.slot_base] = buf.load(flat);
         return 1;
     }
-    const auto& cr = concretize_into(ap.memlet->subset, ctx);
+    const auto& cr = concretize_plan(ap);
     std::int64_t lane = 0;
     for_each_point_into(cr, idx, [&](const std::vector<std::int64_t>& ix) {
         const std::int64_t flat = buf.flat_index(ix, ap.memlet->data);
@@ -473,23 +612,30 @@ void Interpreter::plan_scatter(const ir::SDFG& sdfg, Context& ctx, const StatePl
     if (ap.invalid)
         throw common::Error("tasklet '" + tp.label + "' did not produce connector '" + ap.conn +
                             "'");
+    Buffer& buf = plan_buffer(sdfg, ctx, plan, ap);
+    Scratch& s = scratch_;
+    auto& idx = s.idx;
     if (ap.passthrough_pool >= 0) {
         const auto& tmp =
             scratch_values(kPassthroughBase + static_cast<std::size_t>(ap.passthrough_pool));
-        scatter_values(sdfg, ctx, *ap.memlet, tmp.data(), tmp.size());
+        const auto& cr = concretize_plan(ap);
+        std::size_t lane = 0;
+        for_each_point_into(cr, idx, [&](const std::vector<std::int64_t>& ix) {
+            if (lane >= tmp.size())
+                throw common::Error("scatter on '" + ap.memlet->data + "': not enough values (" +
+                                    std::to_string(tmp.size()) + ")");
+            buf.store(buf.flat_index(ix, ap.memlet->data), tmp[lane++]);
+        });
         return;
     }
-    Buffer& buf = plan_buffer(sdfg, ctx, plan, ap);
-    const auto& sranges = ap.memlet->subset.ranges;
-    auto& idx = scratch_.idx;
     if (ap.single_point) {
-        idx.resize(sranges.size());
-        for (std::size_t d = 0; d < sranges.size(); ++d)
-            idx[d] = sranges[d].begin->evaluate(ctx.symbols);
+        idx.resize(ap.dims.size());
+        for (std::size_t d = 0; d < ap.dims.size(); ++d)
+            idx[d] = ap.dims[d].begin.eval(s.flat, s.eval_stack);
         buf.store(buf.flat_index(idx, ap.memlet->data), slots[ap.slot_base]);
         return;
     }
-    const auto& cr = concretize_into(ap.memlet->subset, ctx);
+    const auto& cr = concretize_plan(ap);
     std::int64_t lane = 0;
     for_each_point_into(cr, idx, [&](const std::vector<std::int64_t>& ix) {
         if (lane >= ap.width)

@@ -35,6 +35,30 @@
 // allocation per map point for scalar tasklets.  The legacy tree-walking
 // path is kept bit-for-bit intact behind ExecConfig::use_compiled_tasklets
 // = false as the reference for differential testing and benchmarking.
+//
+// Interned symbols (no hot-path string lookups):
+//
+// Plans lower every symbol reference — map parameters, map range bounds,
+// memlet index expressions — to dense sym::SymId slots of the plan cache's
+// SymbolTable at build time (sym::CompiledExpr).  Execution mirrors the
+// symbols a plan references from the string-keyed Context bindings into a
+// flat i64 vector once per state execution; from then on map-parameter
+// resolution in the scope odometer is an array store and every index
+// expression evaluates against array loads.  Scopes whose subtree consists
+// entirely of compiled-engine tasklets ("pure" scopes) never touch the
+// string-keyed bindings at all; scopes containing library/comm/access/
+// reference-engine nodes additionally maintain the string bindings per
+// iteration, preserving the legacy semantics for those nodes.
+//
+// Plan sharing across threads:
+//
+// All derived artifacts live in a PlanCache (see plan_cache.h) keyed by
+// (SDFG plan uid, mutation epoch, state).  Several interpreters — e.g. one
+// per worker thread of the parallel fuzzer — can share one cache over the
+// same immutable SDFG pair; per-interpreter scratch keeps execution state
+// thread-private.  Applying a transformation bumps the SDFG's mutation
+// epoch, so a warm interpreter transparently rebuilds plans for the
+// transformed graph instead of requiring a fresh instance.
 #pragma once
 
 #include <cstdint>
@@ -48,7 +72,9 @@
 
 #include "common/error.h"
 #include "interp/buffer.h"
+#include "interp/plan_cache.h"
 #include "ir/sdfg.h"
+#include "symbolic/interned.h"
 
 namespace ff::interp {
 
@@ -80,6 +106,11 @@ struct Context {
     bool has_buffer(const std::string& name) const { return buffers.count(name) > 0; }
 };
 
+/// One dimension of a subset, lowered to interned-symbol programs.
+struct RangePlan {
+    sym::CompiledExpr begin, end, step;
+};
+
 /// One memlet of a planned tasklet, resolved to a slot range of its compiled
 /// program.  Subset shape facts that do not depend on symbol values are
 /// precomputed here so the per-point work is index-expression evaluation
@@ -98,6 +129,9 @@ struct AccessPlan {
     /// the forwarding output scatters from it — matching the reference
     /// engine, which binds connector values before the program runs.
     int passthrough_pool = -1;
+    /// Subset index expressions lowered to interned-slot programs; evaluated
+    /// against the flat bindings on the compiled path (no string lookups).
+    std::vector<RangePlan> dims;
 };
 
 /// Compiled execution recipe for one tasklet node.
@@ -121,29 +155,59 @@ struct TaskletPlan {
     bool use_reference = false;
 };
 
+/// Compiled execution recipe for one map scope.
+struct ScopePlan {
+    std::string label;                       ///< For diagnostics (step 0).
+    std::vector<sym::SymId> params;          ///< Interned iteration variables.
+    std::vector<const std::string*> param_names;  ///< Into the MapEntry node.
+    std::vector<RangePlan> ranges;           ///< One per param.
+    std::vector<ir::NodeId> children;        ///< Ordered nodes inside the scope.
+    /// Subtree contains only compiled-engine tasklets and pure nested
+    /// scopes: iteration binds parameters in the flat bindings only, never
+    /// touching the string-keyed Context map.
+    bool pure = false;
+};
+
 /// Precomputed execution structure of one state: topological order, scope
-/// parenthood, ordered children per scope, and per-tasklet access plans.
-/// Built once per state and cached — nested map scopes execute
-/// O(iterations) times and must not re-derive any of this per point.
+/// plans (interned params + lowered range bounds + ordered children), and
+/// per-tasklet access plans.  Built once per (state, mutation epoch), cached
+/// in the PlanCache and shared across interpreter threads — nested map
+/// scopes execute O(iterations) times and must not re-derive any of this
+/// per point.
 struct StatePlan {
-    std::vector<ir::NodeId> top_level;                         // ordered, no MapExit
-    std::map<ir::NodeId, std::vector<ir::NodeId>> scope_children;  // entry -> children
+    std::vector<ir::NodeId> top_level;  // ordered, no MapExit
     std::vector<TaskletPlan> tasklet_plans;
-    std::vector<int> node_to_plan;  // NodeId -> index into tasklet_plans, -1 otherwise
-    int cache_slots = 0;            // total AccessPlan count (Buffer* cache size)
+    std::vector<int> node_to_plan;   // NodeId -> index into tasklet_plans, -1 otherwise
+    std::vector<ScopePlan> scope_plans;
+    std::vector<int> node_to_scope;  // NodeId -> index into scope_plans, -1 otherwise
+    int cache_slots = 0;             // total AccessPlan count (Buffer* cache size)
+    /// Symbols this plan references: flat-binding slots mirrored from the
+    /// Context's string-keyed map once per state execution.
+    std::vector<std::pair<sym::SymId, std::string>> referenced;
+    /// Flat-binding vector size the plan's ids index into.
+    std::size_t symtab_size = 0;
 
     const TaskletPlan* plan_of(ir::NodeId node) const {
         const auto i = static_cast<std::size_t>(node);
         if (i >= node_to_plan.size() || node_to_plan[i] < 0) return nullptr;
         return &tasklet_plans[static_cast<std::size_t>(node_to_plan[i])];
     }
+    const ScopePlan& scope_of(ir::NodeId node) const {
+        return scope_plans[static_cast<std::size_t>(
+            node_to_scope[static_cast<std::size_t>(node)])];
+    }
 };
 
 class Interpreter {
 public:
-    explicit Interpreter(ExecConfig config = {}) : config_(config) {}
+    /// `plans` may be shared with other interpreters (one per worker thread
+    /// of the parallel fuzzer); nullptr creates a private cache.
+    explicit Interpreter(ExecConfig config = {}, PlanCachePtr plans = nullptr)
+        : config_(config),
+          plans_(plans ? std::move(plans) : std::make_shared<PlanCache>()) {}
 
     const ExecConfig& config() const { return config_; }
+    const PlanCachePtr& plan_cache() const { return plans_; }
 
     /// Runs the whole SDFG.  The context provides inputs (pre-created
     /// buffers) and receives all outputs; it is mutated in place.
@@ -184,7 +248,7 @@ public:
     /// index is requested again; distinct indices are independent.
     std::vector<Value>& scratch_values(std::size_t which);
 
-    /// Parsed tasklet for `code`, cached by content.
+    /// Parsed tasklet for `code`, cached by content (in the shared cache).
     TaskletProgramPtr program_for(const std::string& code);
 
     /// Drops the per-execution Buffer pointer cache.  Call before driving
@@ -207,16 +271,22 @@ private:
     void execute_comm_single_rank(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
                                   Context& ctx);
 
-    /// Cached StatePlan for a state.  Valid while the SDFG is not mutated;
-    /// create a fresh Interpreter after applying a transformation.
-    const StatePlan& plan_for(const ir::State& state);
+    /// Cached StatePlan, keyed by (sdfg plan uid, mutation epoch, state).
+    /// Lock-free after the first lookup (per-interpreter memo over the
+    /// shared cache); a mutation-epoch bump invalidates transparently.
+    const StatePlan& plan_for(const ir::SDFG& sdfg, const ir::State& state);
+    /// Mirrors the symbols `plan` references from ctx.symbols into the flat
+    /// bindings (once per state execution; also resets the scope stacks).
+    void sync_flat_bindings(const StatePlan& plan, const Context& ctx);
     /// Evaluates `subset` under the context's bindings into the shared
     /// scratch range buffer and returns it.
     const std::vector<ir::ConcreteRange>& concretize_into(const ir::Subset& subset,
                                                           const Context& ctx);
+    /// Evaluates an access plan's lowered dims against the flat bindings.
+    const std::vector<ir::ConcreteRange>& concretize_plan(const AccessPlan& ap);
     StatePlan build_plan(const ir::State& state);
     void build_tasklet_plan(const ir::State& state, ir::NodeId node, TaskletPlan& tp,
-                            int& cache_counter);
+                            int& cache_counter, std::vector<sym::SymId>& used);
 
     Buffer& plan_buffer(const ir::SDFG& sdfg, Context& ctx, const StatePlan& plan,
                         const AccessPlan& ap);
@@ -227,8 +297,9 @@ private:
                       const TaskletPlan& tp, const AccessPlan& ap, const Value* slots);
 
     ExecConfig config_;
-    std::unordered_map<std::string, TaskletProgramPtr> tasklet_cache_;
-    std::map<const ir::State*, std::shared_ptr<StatePlan>> plan_cache_;
+    PlanCachePtr plans_;  ///< Shared derived-artifact cache (see plan_cache.h).
+    /// Thread-private memo over plans_: steady-state lookups take no lock.
+    std::map<PlanKey, std::shared_ptr<const StatePlan>> plan_memo_;
 
     /// Flat, reusable execution scratch: all per-map-point storage lives
     /// here so steady-state tasklet execution performs no heap allocation.
@@ -241,6 +312,28 @@ private:
         std::vector<Buffer*> buffer_cache;      // per-AccessPlan, lazily filled
         const void* cache_plan = nullptr;
         const void* cache_ctx = nullptr;
+
+        // Interned-symbol execution state.
+        sym::FlatBindings flat;      // SymId -> value for the current state
+        sym::EvalStack eval_stack;   // CompiledExpr scratch
+        /// Saved shadowed bindings per active scope parameter (stack,
+        /// base-offset discipline: no allocation in steady state).
+        struct SavedParam {
+            sym::SymId id;
+            bool flat_bound;
+            std::int64_t flat_value;
+            bool str_bound;               // impure scopes only
+            std::int64_t str_value;
+        };
+        std::vector<SavedParam> param_stack;
+        /// Name + current value of every active map parameter, innermost
+        /// last; lets cold paths (buffer shape resolution) see scope-bound
+        /// symbols without per-iteration string-map writes.
+        struct ActiveParam {
+            const std::string* name;
+            std::int64_t value;
+        };
+        std::vector<ActiveParam> active_params;
     };
     Scratch scratch_;
     // Deque: growing the pool must not invalidate references handed out for

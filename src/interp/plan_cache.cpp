@@ -1,0 +1,22 @@
+#include "interp/plan_cache.h"
+
+namespace ff::interp {
+
+void PlanCache::evict_stale_epochs(const PlanKey& key) {
+    // Keys order by (uid, epoch, state), so the same SDFG's entries are
+    // contiguous: erase the range [ (uid, 0, nullptr), (uid, epoch, nullptr) ).
+    const auto first = plans_.lower_bound(PlanKey{std::get<0>(key), 0, nullptr});
+    const auto last = plans_.lower_bound(PlanKey{std::get<0>(key), std::get<1>(key), nullptr});
+    plans_.erase(first, last);
+}
+
+TaskletProgramPtr PlanCache::program_for(const std::string& code) {
+    std::lock_guard<std::mutex> lock(programs_mutex_);
+    auto it = programs_.find(code);
+    if (it != programs_.end()) return it->second;
+    TaskletProgramPtr prog = TaskletProgram::parse(code);
+    programs_.emplace(code, prog);
+    return prog;
+}
+
+}  // namespace ff::interp

@@ -1,0 +1,88 @@
+// Shared, thread-safe caches for compiled execution artifacts.
+//
+// The parallel trial engine runs one interpreter per worker thread over a
+// *shared, immutable* SDFG pair.  Everything derived from the graphs —
+// parsed/compiled tasklet programs, per-state StatePlans, and the interned
+// symbol table their expressions are lowered against — is input-independent
+// and therefore shared through this cache:
+//
+//  * Plans are built once under a lock (builds are serialized; the build is
+//    cheap and happens once per state per mutation epoch).
+//  * Steady-state reads are lock-free: each Interpreter keeps a private memo
+//    of shared_ptrs into the cache, so after the first execution of a state
+//    no lock is touched on the trial path.
+//  * Cache keys carry the SDFG's plan uid and mutation epoch, so applying a
+//    transformation (which bumps the epoch via Transformation::apply)
+//    naturally invalidates without any cross-thread coordination, and
+//    address reuse across destroyed graphs can never alias.  Direct IR
+//    mutation bypassing Transformation::apply must bump the epoch manually
+//    (see ir::SDFG::mutation_epoch) or warm interpreters serve stale plans.
+//
+// A default-constructed Interpreter creates a private cache; callers that
+// fan trials out across threads construct one PlanCache and hand it to every
+// interpreter (see core::Fuzzer / core::DifferentialTester).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+
+#include "interp/tasklet_lang.h"
+#include "symbolic/interned.h"
+
+namespace ff::ir {
+class State;
+}
+
+namespace ff::interp {
+
+struct StatePlan;
+
+/// Identity of one state's plan: (SDFG uid, mutation epoch, state address).
+using PlanKey = std::tuple<std::uint64_t, std::uint64_t, const ir::State*>;
+
+class PlanCache {
+public:
+    /// Interned symbol table every plan in this cache is lowered against.
+    /// Thread-safe (see sym::SymbolTable).
+    sym::SymbolTable& symbols() { return symbols_; }
+
+    /// Plan for `key`, building it via `build` under the cache lock when
+    /// missing.  The returned plan is immutable and shared.  A miss first
+    /// evicts plans of the same SDFG from older mutation epochs — they can
+    /// never be requested again (epochs only grow) and hold pointers into
+    /// the pre-mutation graph, so a long-lived cache reused across many
+    /// transformations stays bounded.
+    template <typename BuildFn>
+    std::shared_ptr<const StatePlan> get_or_build(const PlanKey& key, BuildFn&& build) {
+        std::lock_guard<std::mutex> lock(plans_mutex_);
+        auto it = plans_.find(key);
+        if (it == plans_.end()) {
+            evict_stale_epochs(key);
+            it = plans_.emplace(key, std::make_shared<const StatePlan>(build())).first;
+        }
+        return it->second;
+    }
+
+    /// Parsed+compiled tasklet program for `code`, cached by content.
+    TaskletProgramPtr program_for(const std::string& code);
+
+private:
+    /// Drops entries with `key`'s SDFG uid and a mutation epoch older than
+    /// `key`'s.  Caller holds plans_mutex_.
+    void evict_stale_epochs(const PlanKey& key);
+
+    std::mutex plans_mutex_;
+    std::map<PlanKey, std::shared_ptr<const StatePlan>> plans_;
+    std::mutex programs_mutex_;
+    std::unordered_map<std::string, TaskletProgramPtr> programs_;
+    sym::SymbolTable symbols_;
+};
+
+using PlanCachePtr = std::shared_ptr<PlanCache>;
+
+}  // namespace ff::interp

@@ -1,8 +1,63 @@
 #include "ir/sdfg.h"
 
+#include <atomic>
+#include <utility>
+
 #include "common/error.h"
 
 namespace ff::ir {
+
+std::uint64_t SDFG::next_plan_uid() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+SDFG::SDFG(const SDFG& other)
+    : name_(other.name_),
+      containers_(other.containers_),
+      symbols_(other.symbols_),
+      cfg_(other.cfg_),
+      start_state_(other.start_state_),
+      mutation_epoch_(other.mutation_epoch_),
+      plan_uid_(next_plan_uid()) {}
+
+SDFG::SDFG(SDFG&& other) noexcept
+    : name_(std::move(other.name_)),
+      containers_(std::move(other.containers_)),
+      symbols_(std::move(other.symbols_)),
+      cfg_(std::move(other.cfg_)),
+      start_state_(other.start_state_),
+      mutation_epoch_(other.mutation_epoch_),
+      plan_uid_(other.plan_uid_) {
+    other.start_state_ = graph::kInvalidNode;
+    other.plan_uid_ = next_plan_uid();
+}
+
+SDFG& SDFG::operator=(const SDFG& other) {
+    if (this == &other) return *this;
+    name_ = other.name_;
+    containers_ = other.containers_;
+    symbols_ = other.symbols_;
+    cfg_ = other.cfg_;
+    start_state_ = other.start_state_;
+    mutation_epoch_ = other.mutation_epoch_;
+    plan_uid_ = next_plan_uid();
+    return *this;
+}
+
+SDFG& SDFG::operator=(SDFG&& other) noexcept {
+    if (this == &other) return *this;
+    name_ = std::move(other.name_);
+    containers_ = std::move(other.containers_);
+    symbols_ = std::move(other.symbols_);
+    cfg_ = std::move(other.cfg_);
+    start_state_ = other.start_state_;
+    mutation_epoch_ = other.mutation_epoch_;
+    plan_uid_ = other.plan_uid_;
+    other.start_state_ = graph::kInvalidNode;
+    other.plan_uid_ = next_plan_uid();
+    return *this;
+}
 
 std::string InterstateEdge::to_string() const {
     std::string s;

@@ -11,6 +11,7 @@
 // extraction and black-box change isolation rely on.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -37,8 +38,17 @@ class SDFG {
 public:
     using CFG = graph::DiGraph<State, InterstateEdge>;
 
-    SDFG() = default;
-    explicit SDFG(std::string name) : name_(std::move(name)) {}
+    SDFG() : plan_uid_(next_plan_uid()) {}
+    explicit SDFG(std::string name) : name_(std::move(name)), plan_uid_(next_plan_uid()) {}
+
+    // Copies get a fresh plan uid (their states are new objects); moves keep
+    // it (the state storage — and thus every cached plan's pointers — moves
+    // intact).  The moved-from SDFG is re-identified so its reuse can never
+    // alias the moved-to graph in a plan cache.
+    SDFG(const SDFG& other);
+    SDFG(SDFG&& other) noexcept;
+    SDFG& operator=(const SDFG& other);
+    SDFG& operator=(SDFG&& other) noexcept;
 
     const std::string& name() const { return name_; }
     void set_name(std::string n) { name_ = std::move(n); }
@@ -96,12 +106,37 @@ public:
 
     std::string to_string() const;
 
+    // --- Plan-cache identity (interpreter support) ---
+
+    /// Counter the interpreter plan caches key on: bumping it invalidates
+    /// every cached plan for this SDFG, so a mutated graph can safely reuse
+    /// a warm interpreter instead of requiring a fresh instance.
+    ///
+    /// Contract: xform::Transformation::apply bumps it automatically.  Code
+    /// that mutates the IR *directly* (add_state, State::add_edge, ...)
+    /// after an interpreter has already executed this graph must call
+    /// bump_mutation_epoch() itself — otherwise warm interpreters keep
+    /// serving plans built from the pre-mutation graph.  (Build-then-run
+    /// code, which never interleaves mutation with execution, needs no
+    /// bumps.)
+    std::uint64_t mutation_epoch() const { return mutation_epoch_; }
+    void bump_mutation_epoch() { ++mutation_epoch_; }
+
+    /// Process-unique identity of this SDFG object for plan caching.  Fresh
+    /// per construction and per copy, so cache entries can never alias a
+    /// different graph that reuses the same heap addresses.
+    std::uint64_t plan_uid() const { return plan_uid_; }
+
 private:
+    static std::uint64_t next_plan_uid();
+
     std::string name_;
     std::map<std::string, DataDesc> containers_;
     std::set<std::string> symbols_;
     CFG cfg_;
     StateId start_state_ = graph::kInvalidNode;
+    std::uint64_t mutation_epoch_ = 0;
+    std::uint64_t plan_uid_ = 0;
 };
 
 }  // namespace ff::ir

@@ -1,0 +1,130 @@
+#include "symbolic/interned.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace ff::sym {
+
+SymId SymbolTable::intern(const std::string& name) {
+    {
+        std::shared_lock lock(mutex_);
+        auto it = ids_.find(name);
+        if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock lock(mutex_);
+    auto [it, inserted] = ids_.emplace(name, static_cast<SymId>(names_.size()));
+    if (inserted) names_.push_back(name);
+    return it->second;
+}
+
+SymId SymbolTable::find(const std::string& name) const {
+    std::shared_lock lock(mutex_);
+    auto it = ids_.find(name);
+    return it == ids_.end() ? kNoSym : it->second;
+}
+
+std::string SymbolTable::name(SymId id) const {
+    std::shared_lock lock(mutex_);
+    if (id < 0 || static_cast<std::size_t>(id) >= names_.size())
+        return "<sym#" + std::to_string(id) + ">";
+    return names_[static_cast<std::size_t>(id)];
+}
+
+std::size_t SymbolTable::size() const {
+    std::shared_lock lock(mutex_);
+    return names_.size();
+}
+
+namespace {
+
+std::int64_t apply_bin(BinOp op, std::int64_t a, std::int64_t b) {
+    switch (op) {
+        case BinOp::Add: return a + b;
+        case BinOp::Sub: return a - b;
+        case BinOp::Mul: return a * b;
+        case BinOp::FloorDiv: return floordiv_i64(a, b);
+        case BinOp::Mod: return floormod_i64(a, b);
+        case BinOp::Min: return a < b ? a : b;
+        case BinOp::Max: return a > b ? a : b;
+    }
+    throw common::Error("unreachable binop");
+}
+
+}  // namespace
+
+CompiledExpr CompiledExpr::lower(const ExprPtr& expr, SymbolTable& table,
+                                 std::vector<SymId>* used) {
+    CompiledExpr ce;
+    ce.table_ = &table;
+    auto walk = [&](auto&& self, const Expr& e) -> void {
+        switch (e.kind()) {
+            case Expr::Kind::Constant: {
+                Op op;
+                op.kind = OpKind::PushConst;
+                op.value = e.constant_value();
+                ce.ops_.push_back(op);
+                return;
+            }
+            case Expr::Kind::Symbol: {
+                Op op;
+                op.kind = OpKind::PushSym;
+                op.sym = table.intern(e.symbol_name());
+                ce.ops_.push_back(op);
+                if (used && std::find(used->begin(), used->end(), op.sym) == used->end())
+                    used->push_back(op.sym);
+                return;
+            }
+            case Expr::Kind::Binary: {
+                self(self, *e.lhs());
+                self(self, *e.rhs());
+                Op op;
+                op.kind = OpKind::Binary;
+                op.bin = e.op();
+                ce.ops_.push_back(op);
+                return;
+            }
+        }
+        throw common::Error("unreachable expr kind");
+    };
+    walk(walk, *expr);
+    return ce;
+}
+
+void CompiledExpr::raise_unbound(SymId id) const {
+    throw common::UnboundSymbolError(table_ ? table_->name(id)
+                                            : "<sym#" + std::to_string(id) + ">");
+}
+
+std::int64_t CompiledExpr::eval(const FlatBindings& env, EvalStack& stack) const {
+    // Fast path: a bare constant or symbol (the overwhelmingly common shape
+    // of map bounds and memlet indices) needs no stack traffic.
+    if (ops_.size() == 1) {
+        const Op& op = ops_[0];
+        if (op.kind == OpKind::PushConst) return op.value;
+        if (!env.is_bound(op.sym)) raise_unbound(op.sym);
+        return env.value(op.sym);
+    }
+
+    stack.clear();
+    for (const Op& op : ops_) {
+        switch (op.kind) {
+            case OpKind::PushConst: stack.push_back(op.value); break;
+            case OpKind::PushSym:
+                if (!env.is_bound(op.sym)) raise_unbound(op.sym);
+                stack.push_back(env.value(op.sym));
+                break;
+            case OpKind::Binary: {
+                const std::int64_t b = stack.back();
+                stack.pop_back();
+                std::int64_t& a = stack.back();
+                a = apply_bin(op.bin, a, b);
+                break;
+            }
+        }
+    }
+    return stack.back();
+}
+
+}  // namespace ff::sym

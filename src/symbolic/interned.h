@@ -1,0 +1,124 @@
+// Interned symbols: dense ids replacing string-keyed lookups on the hot path.
+//
+// Expression evaluation against `Bindings` (std::map<std::string, i64>) costs
+// one red-black-tree walk with full string comparisons per symbol reference —
+// paid once per map point for every map-parameter resolution and memlet index
+// expression.  This header provides the interned alternative the interpreter
+// plans against:
+//
+//  * SymbolTable — assigns each symbol name a dense SymId at plan-build time.
+//    Thread-safe: plan construction interns under a writer lock while
+//    concurrently executing interpreter threads resolve names (error paths
+//    only) under reader locks.
+//  * FlatBindings — the execution-time environment: a flat i64 vector plus a
+//    bound-flag byte per id.  Binding a map parameter is an array store;
+//    reading a symbol is an array load.
+//  * CompiledExpr — a sym::Expr lowered once to a flat postfix program over
+//    SymIds.  Evaluation walks the op array against FlatBindings with a
+//    reusable stack: no tree recursion, no string comparisons, no allocation
+//    in steady state.
+//
+// The string-keyed `Bindings` map stays the source of truth on cold paths
+// (trial inputs, interstate assignments, buffer shapes); the interpreter
+// mirrors the symbols a state plan references into FlatBindings once per
+// state execution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "symbolic/expr.h"
+
+namespace ff::sym {
+
+/// Dense symbol id; valid ids are >= 0.
+using SymId = std::int32_t;
+constexpr SymId kNoSym = -1;
+
+/// Name <-> dense id registry shared by every plan built against one cache.
+class SymbolTable {
+public:
+    /// Id for `name`, interning it on first sight.  Writer-locked.
+    SymId intern(const std::string& name);
+
+    /// Id for `name` or kNoSym.  Reader-locked.
+    SymId find(const std::string& name) const;
+
+    /// Name of `id` (by value: the table may grow concurrently).
+    std::string name(SymId id) const;
+
+    std::size_t size() const;
+
+private:
+    mutable std::shared_mutex mutex_;
+    std::unordered_map<std::string, SymId> ids_;
+    std::vector<std::string> names_;
+};
+
+/// Flat symbol environment indexed by SymId: one i64 + one bound flag per id.
+class FlatBindings {
+public:
+    /// Resizes to `n` ids, all unbound.
+    void reset(std::size_t n) {
+        values_.assign(n, 0);
+        bound_.assign(n, 0);
+    }
+
+    std::size_t size() const { return values_.size(); }
+
+    void bind(SymId id, std::int64_t v) {
+        values_[static_cast<std::size_t>(id)] = v;
+        bound_[static_cast<std::size_t>(id)] = 1;
+    }
+    void unbind(SymId id) { bound_[static_cast<std::size_t>(id)] = 0; }
+
+    bool is_bound(SymId id) const { return bound_[static_cast<std::size_t>(id)] != 0; }
+    std::int64_t value(SymId id) const { return values_[static_cast<std::size_t>(id)]; }
+
+private:
+    std::vector<std::int64_t> values_;
+    std::vector<std::uint8_t> bound_;
+};
+
+/// Reusable evaluation stack for CompiledExpr (lives in interpreter scratch).
+using EvalStack = std::vector<std::int64_t>;
+
+/// A symbolic integer expression lowered to a flat postfix program over
+/// interned symbol ids.  Immutable after lowering; safe to evaluate from
+/// multiple threads concurrently (each with its own stack).
+class CompiledExpr {
+public:
+    CompiledExpr() = default;
+
+    /// Lowers `expr`, interning every referenced symbol into `table`.  Ids of
+    /// referenced symbols are added to `used` when non-null.
+    static CompiledExpr lower(const ExprPtr& expr, SymbolTable& table,
+                              std::vector<SymId>* used = nullptr);
+
+    /// Evaluates against `env`; throws common::UnboundSymbolError (with the
+    /// symbol's name) on an unbound reference.  `stack` is caller-provided
+    /// scratch, reused across calls.
+    std::int64_t eval(const FlatBindings& env, EvalStack& stack) const;
+
+    bool is_constant() const { return ops_.size() == 1 && ops_[0].kind == OpKind::PushConst; }
+
+private:
+    enum class OpKind : std::uint8_t { PushConst, PushSym, Binary };
+    struct Op {
+        OpKind kind = OpKind::PushConst;
+        BinOp bin = BinOp::Add;  // Binary only
+        SymId sym = kNoSym;      // PushSym only
+        std::int64_t value = 0;  // PushConst only
+    };
+
+    [[noreturn]] void raise_unbound(SymId id) const;
+
+    std::vector<Op> ops_;
+    const SymbolTable* table_ = nullptr;  // error reporting only
+};
+
+}  // namespace ff::sym

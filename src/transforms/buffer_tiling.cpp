@@ -86,7 +86,7 @@ std::vector<Match> BufferTiling::find_matches(const ir::SDFG& sdfg) const {
     return matches;
 }
 
-void BufferTiling::apply(ir::SDFG& sdfg, const Match& match) const {
+void BufferTiling::apply_impl(ir::SDFG& sdfg, const Match& match) const {
     ir::State& st = sdfg.state(match.state);
     auto& g = st.graph();
     const ir::NodeId m1_entry = match.nodes.at(0);

@@ -32,7 +32,8 @@ public:
                                             : "BufferTiling[bug:reversed-offset]";
     }
     std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
-    void apply(ir::SDFG& sdfg, const Match& match) const override;
+protected:
+    void apply_impl(ir::SDFG& sdfg, const Match& match) const override;
 
 private:
     std::int64_t tile_size_;

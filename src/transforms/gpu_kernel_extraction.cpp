@@ -40,7 +40,7 @@ std::vector<Match> GpuKernelExtraction::find_matches(const ir::SDFG& sdfg) const
     return matches;
 }
 
-void GpuKernelExtraction::apply(ir::SDFG& sdfg, const Match& match) const {
+void GpuKernelExtraction::apply_impl(ir::SDFG& sdfg, const Match& match) const {
     ir::State& st = sdfg.state(match.state);
     auto& g = st.graph();
     const ir::NodeId entry = match.nodes.at(0);

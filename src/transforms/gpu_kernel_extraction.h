@@ -32,7 +32,8 @@ public:
                                             : "GpuKernelExtraction[bug:no-output-copy-in]";
     }
     std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
-    void apply(ir::SDFG& sdfg, const Match& match) const override;
+protected:
+    void apply_impl(ir::SDFG& sdfg, const Match& match) const override;
 
 private:
     Variant variant_;

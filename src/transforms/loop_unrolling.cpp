@@ -49,7 +49,7 @@ std::vector<Match> LoopUnrolling::find_matches(const ir::SDFG& sdfg) const {
     return matches;
 }
 
-void LoopUnrolling::apply(ir::SDFG& sdfg, const Match& match) const {
+void LoopUnrolling::apply_impl(ir::SDFG& sdfg, const Match& match) const {
     ir::State& st = sdfg.state(match.state);
     auto& g = st.graph();
     const ir::NodeId entry = match.nodes.at(0);

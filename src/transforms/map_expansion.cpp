@@ -48,7 +48,7 @@ std::vector<Match> MapExpansion::find_matches(const ir::SDFG& sdfg) const {
     return matches;
 }
 
-void MapExpansion::apply(ir::SDFG& sdfg, const Match& match) const {
+void MapExpansion::apply_impl(ir::SDFG& sdfg, const Match& match) const {
     ir::State& st = sdfg.state(match.state);
     auto& g = st.graph();
     const ir::NodeId inner_entry = match.nodes.at(0);

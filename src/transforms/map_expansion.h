@@ -23,7 +23,8 @@ public:
         return variant_ == Variant::Correct ? "MapExpansion" : "MapExpansion[bug:dangling-exit]";
     }
     std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
-    void apply(ir::SDFG& sdfg, const Match& match) const override;
+protected:
+    void apply_impl(ir::SDFG& sdfg, const Match& match) const override;
 
 private:
     Variant variant_;

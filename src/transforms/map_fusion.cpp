@@ -79,7 +79,7 @@ std::vector<Match> MapFusion::find_matches(const ir::SDFG& sdfg) const {
     return matches;
 }
 
-void MapFusion::apply(ir::SDFG& sdfg, const Match& match) const {
+void MapFusion::apply_impl(ir::SDFG& sdfg, const Match& match) const {
     ir::State& st = sdfg.state(match.state);
     auto& g = st.graph();
     const ir::NodeId m1_entry = match.nodes.at(0);

@@ -15,7 +15,8 @@ class MapFusion : public Transformation {
 public:
     std::string name() const override { return "MapFusion"; }
     std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
-    void apply(ir::SDFG& sdfg, const Match& match) const override;
+protected:
+    void apply_impl(ir::SDFG& sdfg, const Match& match) const override;
 };
 
 }  // namespace ff::xform

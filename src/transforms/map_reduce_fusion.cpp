@@ -60,7 +60,7 @@ std::vector<Match> MapReduceFusion::find_matches(const ir::SDFG& sdfg) const {
     return matches;
 }
 
-void MapReduceFusion::apply(ir::SDFG& sdfg, const Match& match) const {
+void MapReduceFusion::apply_impl(ir::SDFG& sdfg, const Match& match) const {
     ir::State& st = sdfg.state(match.state);
     auto& g = st.graph();
     const ir::NodeId m_entry = match.nodes.at(0);

@@ -27,7 +27,8 @@ public:
                                             : "MapReduceFusion[bug:stale-access-node]";
     }
     std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
-    void apply(ir::SDFG& sdfg, const Match& match) const override;
+protected:
+    void apply_impl(ir::SDFG& sdfg, const Match& match) const override;
 
 private:
     Variant variant_;

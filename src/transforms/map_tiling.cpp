@@ -38,7 +38,7 @@ std::vector<Match> MapTiling::find_matches(const ir::SDFG& sdfg) const {
     return matches;
 }
 
-void MapTiling::apply(ir::SDFG& sdfg, const Match& match) const {
+void MapTiling::apply_impl(ir::SDFG& sdfg, const Match& match) const {
     ir::State& st = sdfg.state(match.state);
     DataflowNode& entry = st.graph().node(match.nodes.at(0));
 

@@ -83,7 +83,7 @@ ChangeSet StateAssignElimination::affected_nodes(const ir::SDFG& sdfg,
     return delta;
 }
 
-void StateAssignElimination::apply(ir::SDFG& sdfg, const Match& match) const {
+void StateAssignElimination::apply_impl(ir::SDFG& sdfg, const Match& match) const {
     auto& assignments = sdfg.cfg().edge(match.cfg_edge).data.assignments;
     const std::size_t index = static_cast<std::size_t>(match.nodes.at(0));
     if (index < assignments.size())

@@ -25,7 +25,8 @@ public:
     }
     std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
     ChangeSet affected_nodes(const ir::SDFG& sdfg, const Match& match) const override;
-    void apply(ir::SDFG& sdfg, const Match& match) const override;
+protected:
+    void apply_impl(ir::SDFG& sdfg, const Match& match) const override;
 
 private:
     Variant variant_;

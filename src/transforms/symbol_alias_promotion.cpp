@@ -40,7 +40,7 @@ ChangeSet SymbolAliasPromotion::affected_nodes(const ir::SDFG& sdfg, const Match
     return delta;
 }
 
-void SymbolAliasPromotion::apply(ir::SDFG& sdfg, const Match& match) const {
+void SymbolAliasPromotion::apply_impl(ir::SDFG& sdfg, const Match& match) const {
     auto& edge = sdfg.cfg().edge(match.cfg_edge);
     const std::size_t index = static_cast<std::size_t>(match.nodes.at(0));
     if (index >= edge.data.assignments.size()) return;

@@ -56,7 +56,7 @@ std::vector<Match> TaskletFusion::find_matches(const ir::SDFG& sdfg) const {
     return matches;
 }
 
-void TaskletFusion::apply(ir::SDFG& sdfg, const Match& match) const {
+void TaskletFusion::apply_impl(ir::SDFG& sdfg, const Match& match) const {
     ir::State& st = sdfg.state(match.state);
     auto& g = st.graph();
     const ir::NodeId t1 = match.nodes.at(0);

@@ -24,7 +24,8 @@ public:
                                             : "TaskletFusion[bug:ignores-downstream-reads]";
     }
     std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
-    void apply(ir::SDFG& sdfg, const Match& match) const override;
+protected:
+    void apply_impl(ir::SDFG& sdfg, const Match& match) const override;
 
 private:
     Variant variant_;

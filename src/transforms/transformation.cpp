@@ -10,6 +10,16 @@ void ChangeSet::merge(const ChangeSet& other) {
                                other.control_flow_states.end());
 }
 
+void Transformation::apply(ir::SDFG& sdfg, const Match& match) const {
+    try {
+        apply_impl(sdfg, match);
+    } catch (...) {
+        sdfg.bump_mutation_epoch();
+        throw;
+    }
+    sdfg.bump_mutation_epoch();
+}
+
 ChangeSet Transformation::affected_nodes(const ir::SDFG& sdfg, const Match& match) const {
     ChangeSet delta;
     if (match.state == graph::kInvalidNode) return delta;

@@ -69,10 +69,17 @@ public:
     /// reports the pattern nodes plus the endpoints of their incident edges.
     virtual ChangeSet affected_nodes(const ir::SDFG& sdfg, const Match& match) const;
 
-    /// Applies to one match, mutating `sdfg`.  Must rely only on the
-    /// pattern structure (so it can be replayed inside an extracted cutout
-    /// through the extraction node mapping).
-    virtual void apply(ir::SDFG& sdfg, const Match& match) const = 0;
+    /// Applies to one match, mutating `sdfg`, and bumps the SDFG's mutation
+    /// epoch so interpreter plan caches keyed on it are invalidated — a warm
+    /// interpreter can be reused on the transformed graph.  The epoch is
+    /// bumped even when apply_impl throws (the graph may be half-rewritten).
+    void apply(ir::SDFG& sdfg, const Match& match) const;
+
+protected:
+    /// The rewrite itself.  Must rely only on the pattern structure (so it
+    /// can be replayed inside an extracted cutout through the extraction
+    /// node mapping).
+    virtual void apply_impl(ir::SDFG& sdfg, const Match& match) const = 0;
 };
 
 using TransformationPtr = std::unique_ptr<Transformation>;

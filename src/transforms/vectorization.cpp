@@ -64,7 +64,7 @@ std::vector<Match> Vectorization::find_matches(const ir::SDFG& sdfg) const {
     return matches;
 }
 
-void Vectorization::apply(ir::SDFG& sdfg, const Match& match) const {
+void Vectorization::apply_impl(ir::SDFG& sdfg, const Match& match) const {
     ir::State& st = sdfg.state(match.state);
     DataflowNode& entry = st.graph().node(match.nodes.at(0));
     const ir::NodeId body = match.nodes.at(1);

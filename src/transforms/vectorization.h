@@ -19,8 +19,10 @@ public:
 
     std::string name() const override { return "Vectorization"; }
     std::vector<Match> find_matches(const ir::SDFG& sdfg) const override;
-    void apply(ir::SDFG& sdfg, const Match& match) const override;
+protected:
+    void apply_impl(ir::SDFG& sdfg, const Match& match) const override;
 
+public:
     int width() const { return width_; }
 
 private:

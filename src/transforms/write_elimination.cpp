@@ -99,7 +99,7 @@ std::vector<Match> WriteElimination::find_matches(const ir::SDFG& sdfg) const {
     return matches;
 }
 
-void WriteElimination::apply(ir::SDFG& sdfg, const Match& match) const {
+void WriteElimination::apply_impl(ir::SDFG& sdfg, const Match& match) const {
     ir::State& st = sdfg.state(match.state);
     auto& g = st.graph();
     const ir::NodeId a1 = match.nodes.at(0);
