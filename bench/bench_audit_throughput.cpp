@@ -1,0 +1,161 @@
+// Audit-wide scheduling throughput: executed trials per second across a
+// multi-instance audit.
+//
+// PR 2 made the trials of ONE instance scale across a worker pool, but the
+// audit loop still ran instance after instance: a fresh pool was spawned and
+// joined per instance, and stragglers of each instance idled every other
+// worker at the join barrier.  The audit-wide scheduler (this PR) keeps one
+// fixed pool for the whole audit and drains a global queue of
+// (instance, trial) units, so trials of independent instances overlap and
+// pool spawn/join is paid once.
+//
+// Three configurations over the same K-instance workload:
+//   per-instance  — K sequential Fuzzer::test_instance calls at N workers
+//                   each (the PR 2 architecture: pool per instance);
+//   audit @ 1     — Fuzzer::audit with a single worker (serial baseline);
+//   audit @ N     — Fuzzer::audit with N workers (the audit-wide pool).
+//
+// Acceptance bar: on hardware with >= N cores, audit@N scales vs audit@1
+// (>= 3x at 8 workers) and is no slower than per-instance@N — the gap over
+// per-instance widens with K since barriers and pool spawns scale with K.
+// Reports must be byte-identical across all three (determinism check; the
+// process exits non-zero otherwise).
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.h"
+#include "transforms/map_tiling.h"
+#include "workloads/builders.h"
+
+namespace {
+
+using namespace ff;
+
+constexpr int kInstances = 12;
+constexpr int kTrialsPerInstance = 24;
+
+/// `kInstances` independent elementwise map chains: one MapTiling match
+/// (= one audit instance) per chain, each trial tasklet-dense on both sides
+/// of the differential test.
+ir::SDFG build_workload() {
+    ir::SDFG p("audit_throughput");
+    p.add_symbol("N");
+    const sym::ExprPtr n = sym::symb("N");
+    ir::State& st = p.state(p.add_state("main", true));
+    for (int i = 0; i < kInstances; ++i) {
+        const std::string x = "x" + std::to_string(i);
+        const std::string y = "y" + std::to_string(i);
+        p.add_array(x, ir::DType::F64, {n});
+        p.add_array(y, ir::DType::F64, {n});
+        workloads::ew_unary(p, st, st.add_access(x), y,
+                            "s = i * 0.5; o = s * s + i * 0.25");
+    }
+    return p;
+}
+
+core::FuzzConfig make_config(int num_threads) {
+    core::FuzzConfig config;
+    config.max_trials = kTrialsPerInstance;
+    config.num_threads = num_threads;
+    config.sampler.size_max = 24;  // large enough inputs to dominate setup
+    config.cutout.defaults = {{"N", 24}};
+    return config;
+}
+
+struct RunResult {
+    std::vector<core::FuzzReport> reports;
+    double seconds = 0.0;
+    int executed = 0;  ///< trials + uninteresting across all instances
+
+    double trials_per_second() const { return seconds > 0.0 ? executed / seconds : 0.0; }
+};
+
+void tally(RunResult& run) {
+    for (const auto& r : run.reports) run.executed += r.trials + r.uninteresting;
+}
+
+/// The PR 2 architecture: a fresh per-instance pool (spawned and joined) for
+/// every match, instances strictly sequential.
+RunResult run_per_instance(const ir::SDFG& p, const xform::MapTiling& tiling,
+                           const std::vector<xform::Match>& matches, int num_threads) {
+    core::Fuzzer fuzzer(make_config(num_threads));
+    RunResult run;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& m : matches) run.reports.push_back(fuzzer.test_instance(p, tiling, m));
+    run.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    tally(run);
+    return run;
+}
+
+/// The audit-wide scheduler: one pool over every (instance, trial) unit.
+RunResult run_audit(const ir::SDFG& p, int num_threads) {
+    std::vector<xform::TransformationPtr> passes;
+    passes.push_back(std::make_unique<xform::MapTiling>(4, xform::MapTiling::Variant::Correct));
+    core::Fuzzer fuzzer(make_config(num_threads));
+    RunResult run;
+    const auto t0 = std::chrono::steady_clock::now();
+    run.reports = fuzzer.audit(p, passes);
+    run.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    tally(run);
+    return run;
+}
+
+/// Returns false when reports diverge across configurations (main()
+/// propagates this so the CI step actually fails).
+bool identical(const RunResult& a, const RunResult& b) {
+    if (a.reports.size() != b.reports.size()) return false;
+    for (std::size_t i = 0; i < a.reports.size(); ++i) {
+        const auto& x = a.reports[i];
+        const auto& y = b.reports[i];
+        if (x.verdict != y.verdict || x.trials != y.trials ||
+            x.uninteresting != y.uninteresting || x.detail != y.detail)
+            return false;
+    }
+    return true;
+}
+
+bool print_report() {
+    const int threads = bench::env_threads();
+    const unsigned hw = std::thread::hardware_concurrency();
+
+    const ir::SDFG p = build_workload();
+    const xform::MapTiling tiling(4, xform::MapTiling::Variant::Correct);
+    const auto matches = tiling.find_matches(p);
+    if (static_cast<int>(matches.size()) != kInstances)
+        throw common::Error("expected " + std::to_string(kInstances) + " matches");
+
+    const RunResult audit_one = run_audit(p, 1);
+    const RunResult audit_many = threads > 1 ? run_audit(p, threads) : audit_one;
+    const RunResult per_instance = run_per_instance(p, tiling, matches, threads);
+
+    bench::banner("Audit-wide scheduling - executed trials per second (" +
+                  std::to_string(kInstances) + " instances x " +
+                  std::to_string(kTrialsPerInstance) + " trials)");
+    std::printf("  audit @ 1 worker   : %10.1f trials/s  (%d executed)\n",
+                audit_one.trials_per_second(), audit_one.executed);
+    std::printf("  per-instance @ %-2d  : %10.1f trials/s  (pool spawned/joined per instance)\n",
+                threads, per_instance.trials_per_second());
+    std::printf("  audit @ %-2d workers : %10.1f trials/s  (one pool, global unit queue, hw=%u)\n",
+                threads, audit_many.trials_per_second(), hw);
+    std::printf("  scaling vs 1 worker      : %.2fx (bar: >= 3x at 8 workers on >= 8 cores)\n",
+                audit_many.trials_per_second() / audit_one.trials_per_second());
+    std::printf("  vs per-instance pools    : %.2fx (bar: >= 1x; gap widens with instance count)\n",
+                audit_many.trials_per_second() / per_instance.trials_per_second());
+
+    const bool ok = identical(audit_one, audit_many) && identical(audit_one, per_instance);
+    std::printf("  determinism (reports identical across all configurations): %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return print_report() ? 0 : 1;
+}

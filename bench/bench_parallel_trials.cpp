@@ -1,11 +1,17 @@
-// Parallel differential-fuzzing throughput: executed trials per second.
+// Single-instance trial scaling: executed trials per second of ONE
+// transformation instance.
 //
-// PR 1 made a single trial cheap (compiled tasklet engine); this bench
-// measures the next multiplier — running independent trials of one
-// transformation instance across a pool of per-thread interpreter pairs over
-// a shared, immutable SDFG pair and plan cache.  Every trial is a pure
-// function of (seed, trial index), so the report is byte-identical at any
-// thread count; only the wall clock changes.
+// PR 1 made a single trial cheap (compiled tasklet engine).  Since PR 3 the
+// top-level parallelism is the audit-wide scheduler — one worker pool over
+// every (instance, trial) unit of a whole audit (see
+// bench_audit_throughput and docs/ARCHITECTURE.md); this bench isolates the
+// floor of that scheduler: how the trials of a single instance spread over
+// the pool when there is nothing else to overlap with.  Workers claim trial
+// units of the one instance off the global queue, each bound to an
+// execution context (two interpreters) over the instance's shared plan
+// cache.  Every trial is a pure function of (seed, trial index), so the
+// report is byte-identical at any worker count; only the wall clock
+// changes.
 //
 // The workload is tasklet-dense on purpose (a correct map tiling on an
 // elementwise kernel: every trial runs original + transformed end to end).
@@ -72,8 +78,8 @@ bool print_report() {
     const core::FuzzReport one = run_instance(1);
     const core::FuzzReport many = threads > 1 ? run_instance(threads) : one;
 
-    bench::banner("Parallel differential fuzzing - executed trials per second (" +
-                  std::to_string(kTrials) + " trials/instance)");
+    bench::banner("Single-instance trial scaling - executed trials per second (" +
+                  std::to_string(kTrials) + " trials, one instance)");
     std::printf("  1 thread : %10.1f trials/s  (verdict %s, %d trials)\n",
                 one.trials_per_second, core::verdict_name(one.verdict), one.trials);
     std::printf("  %d threads: %10.1f trials/s  (verdict %s, %d trials, hw=%u)\n", threads,

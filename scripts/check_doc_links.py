@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Check that internal markdown links in docs/*.md and README.md resolve.
+
+Validates every `[text](target)` link whose target is not an external URL:
+the referenced file must exist (relative to the linking file), and when the
+target carries a `#fragment` pointing into a markdown file, a heading with
+the matching GitHub-style anchor must exist there.  Exits non-zero with one
+line per broken link (the CI docs job runs this).
+"""
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"#{1,6}\s+(.*)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style heading anchor: lowercase, drop punctuation, hyphenate."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def markdown_lines(path: pathlib.Path):
+    """Yields (line_number, line) outside fenced code blocks."""
+    in_code = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if not in_code:
+            yield number, line
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    anchors = set()
+    for _, line in markdown_lines(path):
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(slugify(match.group(1)))
+    return anchors
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list:
+    errors = []
+    rel = path.relative_to(root)
+    for number, line in markdown_lines(path):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            dest = path if not path_part else (path.parent / path_part).resolve()
+            if path_part and not dest.exists():
+                errors.append(f"{rel}:{number}: broken link target '{target}'")
+                continue
+            if fragment and dest.suffix == ".md":
+                if slugify(fragment) not in anchors_of(dest):
+                    errors.append(f"{rel}:{number}: no heading for anchor '{target}'")
+    return errors
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    files = sorted((root / "docs").glob("*.md")) + [root / "README.md"]
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error)
+    print(f"checked {len(files)} files: "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} broken links)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,45 +27,56 @@ ValidationResult ValidationResult::of(const ir::SDFG& transformed) {
     return result;
 }
 
+DifferentialTester::DifferentialTester(DiffConfig config)
+    // One interpreter per side, retained for the tester's lifetime: state
+    // plans, compiled tasklet bytecode and the execution scratch arena are
+    // built on the first trial of a binding and amortized over every
+    // subsequent one (config.exec.use_compiled_tasklets selects the engine).
+    // An unbound tester carries throwaway private caches; bind() installs
+    // the instance's shared cache.
+    : config_(config), interp_original_(config.exec), interp_transformed_(config.exec) {}
+
 DifferentialTester::DifferentialTester(const ir::SDFG& original, const ir::SDFG& transformed,
                                        std::set<std::string> system_state, DiffConfig config,
                                        interp::PlanCachePtr plan_cache,
                                        const ValidationResult* prevalidated)
-    : original_(original),
-      transformed_(transformed),
-      system_state_(std::move(system_state)),
-      config_(config),
-      // One interpreter per side, retained for the tester's lifetime: state
-      // plans, compiled tasklet bytecode and the execution scratch arena are
-      // built on the first trial and amortized over every subsequent one
-      // (config.exec.use_compiled_tasklets selects the engine).  Both sides
-      // share one plan cache — and with it every sibling tester running
-      // trials of the same instance on other threads.
-      interp_original_(config.exec, plan_cache ? plan_cache
-                                               : std::make_shared<interp::PlanCache>()),
-      interp_transformed_(config.exec, interp_original_.plan_cache()) {
-    const ValidationResult result =
-        prevalidated ? *prevalidated : ValidationResult::of(transformed_);
-    valid_ = result.valid;
-    validation_error_ = result.error;
+    : DifferentialTester(config) {
+    owned_system_state_ = std::move(system_state);
+    bind(original, transformed, owned_system_state_, std::move(plan_cache), prevalidated);
+}
+
+void DifferentialTester::bind(const ir::SDFG& original, const ir::SDFG& transformed,
+                              const std::set<std::string>& system_state,
+                              interp::PlanCachePtr plan_cache,
+                              const ValidationResult* prevalidated) {
+    original_ = &original;
+    transformed_ = &transformed;
+    system_state_ = &system_state;
+    // Both sides share one plan cache — and with it every sibling tester
+    // running trials of the same instance on other threads.
+    interp_original_.rebind_plan_cache(plan_cache ? std::move(plan_cache)
+                                                  : std::make_shared<interp::PlanCache>());
+    interp_transformed_.rebind_plan_cache(interp_original_.plan_cache());
+    validation_ = prevalidated ? *prevalidated : ValidationResult::of(transformed);
 }
 
 TrialOutcome DifferentialTester::run_trial(const interp::Context& inputs) {
-    if (!valid_) return TrialOutcome{Verdict::InvalidCode, validation_error_};
+    if (!original_) throw common::Error("DifferentialTester: run_trial on unbound tester");
+    if (!validation_.valid) return TrialOutcome{Verdict::InvalidCode, validation_.error};
 
     interp::Context ctx_original = inputs;
-    const interp::ExecResult r1 = interp_original_.run(original_, ctx_original);
+    const interp::ExecResult r1 = interp_original_.run(*original_, ctx_original);
     if (!r1.ok()) return TrialOutcome{Verdict::Uninteresting, r1.message};
 
     interp::Context ctx_transformed = inputs;
-    const interp::ExecResult r2 = interp_transformed_.run(transformed_, ctx_transformed);
+    const interp::ExecResult r2 = interp_transformed_.run(*transformed_, ctx_transformed);
     if (r2.status == interp::ExecStatus::Hang)
         return TrialOutcome{Verdict::TransformedHang, r2.message};
     if (r2.status == interp::ExecStatus::Crash)
         return TrialOutcome{Verdict::TransformedCrash, r2.message};
 
     // System-state comparison.
-    for (const auto& name : system_state_) {
+    for (const auto& name : *system_state_) {
         const bool in1 = ctx_original.has_buffer(name);
         const bool in2 = ctx_transformed.has_buffer(name);
         if (!in1 && !in2) continue;  // neither side touched it
@@ -84,6 +95,62 @@ TrialOutcome DifferentialTester::run_trial(const interp::Context& inputs) {
         }
     }
     return TrialOutcome{Verdict::Pass, ""};
+}
+
+std::unique_ptr<DifferentialTester> TesterCache::acquire(
+    std::uint64_t instance, const std::function<void(DifferentialTester&)>& bind_fn) {
+    std::unique_ptr<DifferentialTester> tester;
+    bool needs_bind = true;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Prefer an idle tester already bound to this instance...
+        for (auto it = idle_.begin(); it != idle_.end(); ++it) {
+            if (it->instance == instance) {
+                tester = std::move(it->tester);
+                idle_.erase(it);
+                needs_bind = false;
+                ++stats_.hits;
+                break;
+            }
+        }
+        // ...else repurpose the least recently released one.
+        if (!tester && !idle_.empty()) {
+            auto lru = idle_.begin();
+            for (auto it = idle_.begin(); it != idle_.end(); ++it)
+                if (it->stamp < lru->stamp) lru = it;
+            tester = std::move(lru->tester);
+            idle_.erase(lru);
+            ++stats_.rebinds;
+        }
+        if (!tester) ++stats_.built;
+    }
+    if (!tester) tester = std::make_unique<DifferentialTester>(config_);
+    if (needs_bind) bind_fn(*tester);
+    return tester;
+}
+
+void TesterCache::release(std::unique_ptr<DifferentialTester> tester, std::uint64_t instance) {
+    std::unique_ptr<DifferentialTester> evicted;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (idle_.size() < bound_) {
+            idle_.push_back(Entry{std::move(tester), instance, ++clock_});
+        } else {
+            evicted = std::move(tester);
+            ++stats_.evictions;
+        }
+    }
+    // `evicted` (two interpreters) is destroyed outside the lock.
+}
+
+TesterCache::Stats TesterCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t TesterCache::idle_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return idle_.size();
 }
 
 }  // namespace ff::core

@@ -12,75 +12,191 @@
 //    trials are resampled, not reported).
 #pragma once
 
+/// \file
+/// Differential execution contexts: verdicts, the reusable
+/// instance-switchable DifferentialTester, and the bounded TesterCache.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "interp/interpreter.h"
 #include "ir/sdfg.h"
 
 namespace ff::core {
 
+/// Classification of one trial (or one whole instance), mirroring the
+/// paper's failure taxonomy (Table 2).
 enum class Verdict {
-    Pass,
-    SemanticsChanged,
-    TransformedCrash,
-    TransformedHang,
-    InvalidCode,
-    Uninteresting,
+    Pass,              ///< System state matched within the threshold.
+    SemanticsChanged,  ///< System state differs beyond the threshold.
+    TransformedCrash,  ///< Transformed side crashed; original did not.
+    TransformedHang,   ///< Transformed side exceeded the transition budget.
+    InvalidCode,       ///< apply() raised, or the result fails validation.
+    Uninteresting,     ///< The *original* rejected the input; resampled.
 };
 
+/// Stable lower-case name of `v` (used in reports and artifacts).
 const char* verdict_name(Verdict v);
 
+/// Result of one differential trial.
 struct TrialOutcome {
-    Verdict verdict = Verdict::Pass;
-    std::string detail;
+    Verdict verdict = Verdict::Pass;  ///< Classification of the trial.
+    std::string detail;               ///< Human-readable mismatch/crash info.
 };
 
+/// Comparison and execution parameters of the differential tester.
 struct DiffConfig {
     /// Relative/absolute comparison threshold; <= 0 means bitwise (Sec. 5.1,
     /// default 1e-5 as in the paper).
     double threshold = 1e-5;
-    interp::ExecConfig exec;
+    interp::ExecConfig exec;  ///< Interpreter settings for both sides.
 };
 
 /// Outcome of validating a transformed graph, computable once and shared
-/// across the per-thread testers of one fuzzing instance.
+/// across every execution context that fuzzes the same instance.
 struct ValidationResult {
-    bool valid = true;
-    std::string error;
+    bool valid = true;  ///< Whether the transformed graph validated.
+    std::string error;  ///< Validation failure message when !valid.
 
+    /// Validates `transformed`, capturing the exception message on failure.
     static ValidationResult of(const ir::SDFG& transformed);
 };
 
+/// A reusable differential-execution context: two interpreters (original /
+/// transformed side) plus their scratch arenas.
+///
+/// A tester is *bound* to one transformation instance — an (original,
+/// transformed, system-state, plan-cache) tuple — and runs any number of
+/// trials against it.  Binding is switchable: the audit-wide scheduler keeps
+/// a bounded cache of idle testers and rebinds the least recently used one
+/// when a worker moves to a different instance, so interpreter scratch
+/// allocations are reused across the whole audit instead of being rebuilt
+/// per instance (see core::Fuzzer).
 class DifferentialTester {
 public:
-    /// Validates `transformed` once up front (pass `prevalidated` to reuse a
+    /// Unbound tester: interpreters and scratch only.  bind() must be called
+    /// before run_trial().
+    explicit DifferentialTester(DiffConfig config = {});
+
+    /// Bound tester over `original` vs `transformed` (kept by reference —
+    /// both must outlive the tester or its next bind()).  Validates
+    /// `transformed` once up front (pass `prevalidated` to reuse a
     /// ValidationResult computed elsewhere instead of re-walking the graph).
     /// `plan_cache` may be shared with other testers over the same SDFG
-    /// pair — the parallel fuzzer constructs one tester per worker thread
-    /// against one cache, so state plans and compiled tasklet programs are
-    /// built once, not per thread (nullptr creates a private cache).
+    /// pair — the parallel fuzzer binds every worker's tester of one
+    /// instance to one cache, so state plans and compiled tasklet programs
+    /// are built once, not per thread (nullptr creates a private cache).
     DifferentialTester(const ir::SDFG& original, const ir::SDFG& transformed,
                        std::set<std::string> system_state, DiffConfig config = {},
                        interp::PlanCachePtr plan_cache = nullptr,
                        const ValidationResult* prevalidated = nullptr);
 
-    bool transformed_valid() const { return valid_; }
-    const std::string& validation_error() const { return validation_error_; }
+    /// Not copyable/movable: a bound tester may point into its own
+    /// owned_system_state_, which a generated copy would leave dangling.
+    /// The scheduler pools testers via unique_ptr (see TesterCache).
+    DifferentialTester(const DifferentialTester&) = delete;
+    DifferentialTester& operator=(const DifferentialTester&) = delete;
 
-    /// Runs one trial on a sampled input configuration.
+    /// Rebinds this tester to a different instance.  The interpreters keep
+    /// their scratch arenas but swap plan caches (per-interpreter memos are
+    /// dropped), so the first trial after a rebind pays plan-lookup cost and
+    /// steady state is as fast as a freshly constructed tester.  `original`,
+    /// `transformed` and `system_state` are captured by reference and must
+    /// outlive the binding; `prevalidated` (when given) is copied.
+    void bind(const ir::SDFG& original, const ir::SDFG& transformed,
+              const std::set<std::string>& system_state, interp::PlanCachePtr plan_cache,
+              const ValidationResult* prevalidated = nullptr);
+
+    /// Whether the bound transformed graph passed validation.
+    bool transformed_valid() const { return validation_.valid; }
+
+    /// Validation failure message (empty when transformed_valid()).
+    const std::string& validation_error() const { return validation_.error; }
+
+    /// Runs one trial on a sampled input configuration.  Requires a bound
+    /// instance (common::Error otherwise).
     TrialOutcome run_trial(const interp::Context& inputs);
 
 private:
-    const ir::SDFG& original_;
-    const ir::SDFG& transformed_;
-    std::set<std::string> system_state_;
-    DiffConfig config_;
-    bool valid_ = true;
-    std::string validation_error_;
-    interp::Interpreter interp_original_;
-    interp::Interpreter interp_transformed_;
+    const ir::SDFG* original_ = nullptr;     ///< Bound original side.
+    const ir::SDFG* transformed_ = nullptr;  ///< Bound transformed side.
+    /// Bound system-state container set (points at owned_system_state_ when
+    /// constructed with an owning set).
+    const std::set<std::string>* system_state_ = nullptr;
+    std::set<std::string> owned_system_state_;  ///< Backing for the owning ctor.
+    DiffConfig config_;                         ///< Comparison + exec settings.
+    ValidationResult validation_;               ///< Of the bound transformed graph.
+    interp::Interpreter interp_original_;       ///< Original-side interpreter.
+    interp::Interpreter interp_transformed_;    ///< Transformed-side interpreter.
+};
+
+/// Bounded, thread-safe cache of idle DifferentialTesters, keyed by the
+/// instance they are bound to.
+///
+/// The audit-wide scheduler's workers check their execution context in here
+/// whenever they switch instances and check one out for the instance they
+/// are about to run:
+///  * a *hit* returns a tester already bound to that instance — warm plans,
+///    no binding work at all;
+///  * a *rebind* repurposes the least recently released idle tester: its
+///    interpreters keep their scratch arenas and only swap plan caches;
+///  * a *build* (empty cache) constructs a tester from scratch.
+///
+/// `bound` caps the number of *idle* testers retained; testers checked out
+/// on a worker are never counted or touched, so eviction only ever destroys
+/// idle contexts.  All operations are mutex-guarded (they happen once per
+/// instance switch, not per trial).
+class TesterCache {
+public:
+    /// Cache retaining at most `bound` idle testers, constructing new ones
+    /// with `config`.
+    TesterCache(std::size_t bound, DiffConfig config)
+        : bound_(bound), config_(std::move(config)) {}
+
+    /// Cache-behaviour counters (monotonic over the cache's lifetime).
+    struct Stats {
+        int built = 0;      ///< Testers constructed from scratch.
+        int hits = 0;       ///< Acquires satisfied by a same-instance idle tester.
+        int rebinds = 0;    ///< Acquires that repurposed an idle tester (LRU).
+        int evictions = 0;  ///< Idle testers destroyed over the bound.
+    };
+
+    /// Checks out a tester for `instance`.  `bind_fn` is invoked (with the
+    /// tester to bind) only when the returned tester is not already bound to
+    /// that instance — i.e. on rebinds and builds, never on hits.
+    std::unique_ptr<DifferentialTester> acquire(
+        std::uint64_t instance, const std::function<void(DifferentialTester&)>& bind_fn);
+
+    /// Checks `tester` back in as idle for `instance`; destroys it instead
+    /// when the idle set is at the bound.
+    void release(std::unique_ptr<DifferentialTester> tester, std::uint64_t instance);
+
+    /// Snapshot of the counters.
+    Stats stats() const;
+
+    /// Idle testers currently retained (always <= the bound).
+    std::size_t idle_count() const;
+
+private:
+    /// One idle tester and the instance it is still bound to.
+    struct Entry {
+        std::unique_ptr<DifferentialTester> tester;  ///< The idle context.
+        std::uint64_t instance = 0;                  ///< Its current binding.
+        std::uint64_t stamp = 0;  ///< Release order (LRU victim selection).
+    };
+
+    mutable std::mutex mutex_;  ///< Guards idle_, clock_, stats_.
+    const std::size_t bound_;   ///< Idle-tester capacity.
+    const DiffConfig config_;   ///< Settings for built testers.
+    std::vector<Entry> idle_;   ///< The idle set.
+    std::uint64_t clock_ = 0;   ///< Monotonic release stamp.
+    Stats stats_;               ///< Lifetime counters.
 };
 
 }  // namespace ff::core

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "common/error.h"
+#include "core/report.h"
 #include "core/testcase_io.h"
 
 namespace ff::core {
@@ -20,214 +23,418 @@ std::size_t count_dataflow_nodes(const ir::SDFG& sdfg) {
     return n;
 }
 
-int resolve_thread_count(int requested, int max_trials) {
+int resolve_thread_count(int requested, std::int64_t available_units) {
     int t = requested;
     if (t <= 0) t = static_cast<int>(std::thread::hardware_concurrency());
-    // Never more workers than trials (a zero-trial budget needs one worker
-    // at most — it exits on its first claim).
-    return std::clamp(t, 1, std::max(max_trials, 1));
+    // Never more workers than units (a zero-unit audit needs one worker at
+    // most — it exits on its first claim).
+    const std::int64_t cap = std::max<std::int64_t>(available_units, 1);
+    return static_cast<int>(std::clamp<std::int64_t>(t, 1, cap));
 }
 
-/// Outcome of one trial, recorded at its trial index so aggregation can
-/// replay the canonical sequential order regardless of which thread ran it.
-struct TrialRecord {
-    enum class Kind : std::uint8_t { NotRun, Uninteresting, Pass, Failed };
-    Kind kind = Kind::NotRun;
-    Verdict verdict = Verdict::Pass;
-    std::string detail;
-    /// Inputs are retained only for failing trials (artifact reproduction).
-    std::unique_ptr<interp::Context> inputs;
+/// One prepared transformation instance: the cutout pipeline's output plus
+/// everything trial execution writes.  Pinned in a deque (atomics make it
+/// immovable; workers index it concurrently).
+struct InstanceJob {
+    std::size_t index = 0;      ///< Position in the audit (= plan-cache key).
+    FuzzReport report;          ///< Filled by prepare, merged by finalize.
+    Cutout cutout;              ///< Extracted (possibly min-cut) cutout.
+    ir::SDFG transformed;       ///< Cutout with the transformation applied.
+    Constraints constraints;    ///< Gray-box sampling constraints.
+    InputSampler sampler;       ///< Deterministic (seed, trial) input source.
+    ValidationResult validation;  ///< Of `transformed`, computed once.
+    std::vector<TrialRecord> records;  ///< Per-trial slots, indexed by trial.
+    bool runnable = false;      ///< false: report is final (apply failed).
+    double setup_seconds = 0.0;  ///< Cutout + min-cut + apply + constraints.
+    /// Trial-phase wall clock: ns offsets from the pool epoch of the first
+    /// claimed and last finished unit (CAS min/max, any worker).
+    std::atomic<std::int64_t> first_ns{std::numeric_limits<std::int64_t>::max()};
+    std::atomic<std::int64_t> last_ns{-1};
 };
 
-/// Runs trials by claiming indices off a shared atomic counter until the
-/// budget is exhausted or a failure at a lower index makes further indices
-/// irrelevant.  Claims are monotonically increasing, so every trial with an
-/// index <= the lowest failure is guaranteed to execute — the property the
-/// sequential-order aggregation relies on.  (For uniform micro-tasks like
-/// fuzz trials, work stealing degenerates to exactly this single shared
-/// queue; per-thread deques would only add overhead.)
-class TrialScheduler {
+/// Global (instance, trial) unit queue.  The unit space is the flat index
+/// `instance * max_trials + trial`; a single monotonic cursor hands out
+/// chunks of consecutive trials of one instance (chunks never straddle an
+/// instance boundary).  Monotonicity gives the determinism invariant: every
+/// trial with an index <= its instance's lowest failure is guaranteed to
+/// execute, which is all merge_trial_records needs.  (For uniform
+/// micro-tasks like fuzz trials, work stealing degenerates to exactly this
+/// single shared queue; per-thread deques would only add overhead — see
+/// docs/ARCHITECTURE.md.)
+class AuditScheduler {
 public:
-    explicit TrialScheduler(int max_trials) : max_trials_(max_trials), stop_at_(max_trials) {}
+    /// A claimed run of consecutive trials of one instance.
+    struct Claim {
+        int instance = 0;  ///< Instance (job) index.
+        int first = 0;     ///< First trial index of the run.
+        int count = 0;     ///< Number of trials claimed.
+    };
 
-    /// Next trial index to run, or -1 when done.
-    int claim() {
-        const int t = next_.fetch_add(1, std::memory_order_relaxed);
-        if (t >= max_trials_ || t > stop_at_.load(std::memory_order_acquire)) return -1;
-        return t;
+    AuditScheduler(std::size_t instances, int max_trials, int chunk)
+        : max_trials_(std::max(max_trials, 0)),
+          chunk_(std::max(chunk, 1)),
+          total_(static_cast<std::int64_t>(instances) * max_trials_),
+          stop_(instances) {
+        for (auto& s : stop_) s.store(max_trials_, std::memory_order_relaxed);
     }
 
-    /// Records a failure at `trial`; later indices stop being claimed.
-    void fail_at(int trial) {
-        int cur = stop_at_.load(std::memory_order_acquire);
-        while (trial < cur &&
-               !stop_at_.compare_exchange_weak(cur, trial, std::memory_order_acq_rel)) {
+    /// Excludes an instance entirely (setup failed); its units are skipped.
+    void skip_instance(std::size_t instance) {
+        stop_[instance].store(-1, std::memory_order_release);
+    }
+
+    /// Claims the next chunk; false when the queue is drained (or aborted).
+    bool claim(Claim& c) {
+        std::int64_t u = next_.load(std::memory_order_relaxed);
+        for (;;) {
+            if (aborted_.load(std::memory_order_acquire)) return false;
+            if (u >= total_) return false;
+            const int inst = static_cast<int>(u / max_trials_);
+            const int first = static_cast<int>(u % max_trials_);
+            if (first > stop_at(static_cast<std::size_t>(inst))) {
+                // Everything left in this instance is past its stop index:
+                // jump the cursor to the next instance's first unit.
+                const std::int64_t next_inst =
+                    (static_cast<std::int64_t>(inst) + 1) * max_trials_;
+                if (next_.compare_exchange_weak(u, next_inst, std::memory_order_acq_rel))
+                    u = next_inst;
+                continue;
+            }
+            const int count = std::min(chunk_, max_trials_ - first);
+            if (next_.compare_exchange_weak(u, u + count, std::memory_order_acq_rel)) {
+                c = Claim{inst, first, count};
+                return true;
+            }
         }
     }
 
-    /// Aborts all further claims (worker raised an exception).
-    void abort() { stop_at_.store(-1, std::memory_order_release); }
+    /// Records a failure; later trials of that instance stop being claimed.
+    void fail_at(std::size_t instance, int trial) {
+        auto& stop = stop_[instance];
+        int cur = stop.load(std::memory_order_acquire);
+        while (trial < cur &&
+               !stop.compare_exchange_weak(cur, trial, std::memory_order_acq_rel)) {
+        }
+    }
+
+    /// Current stop index of `instance` (trials above it are irrelevant).
+    int stop_at(std::size_t instance) const {
+        return stop_[instance].load(std::memory_order_acquire);
+    }
+
+    /// Instance the cursor currently points into: all lower instances are
+    /// fully claimed (workers retire their plan caches past this watermark).
+    int cursor_instance() const {
+        if (max_trials_ == 0) return 0;
+        return static_cast<int>(next_.load(std::memory_order_acquire) / max_trials_);
+    }
+
+    /// Stops all further claims (a worker raised).
+    void abort() { aborted_.store(true, std::memory_order_release); }
+
+    /// Whether abort() was called (workers also poll this inside a claimed
+    /// chunk so a large trial_chunk cannot delay error propagation).
+    bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
 private:
     const int max_trials_;
-    std::atomic<int> next_{0};
-    std::atomic<int> stop_at_;
+    const int chunk_;
+    const std::int64_t total_;
+    std::atomic<std::int64_t> next_{0};
+    std::atomic<bool> aborted_{false};
+    std::vector<std::atomic<int>> stop_;  // per-instance early-stop index
 };
 
-}  // namespace
+/// Everything the worker pool shares for one run.
+struct PoolShared {
+    PoolShared(std::deque<InstanceJob>& j, AuditScheduler& s, TesterCache& c,
+               interp::PlanCacheRegistry& r)
+        : jobs(j), scheduler(s), cache(c), registry(r) {}
 
-FuzzReport Fuzzer::test_instance(const ir::SDFG& p, const xform::Transformation& transformation,
-                                 const xform::Match& match) {
+    std::deque<InstanceJob>& jobs;
+    AuditScheduler& scheduler;
+    TesterCache& cache;
+    interp::PlanCacheRegistry& registry;
+    std::chrono::steady_clock::time_point epoch{};
+    std::atomic<int> retire_watermark{0};
+    std::atomic<std::int64_t> units{0};
+    std::atomic<std::int64_t> claims{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+};
+
+std::int64_t ns_since(std::chrono::steady_clock::time_point epoch) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+void atomic_store_min(std::atomic<std::int64_t>& a, std::int64_t v) {
+    std::int64_t cur = a.load(std::memory_order_relaxed);
+    while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_acq_rel)) {
+    }
+}
+
+void atomic_store_max(std::atomic<std::int64_t>& a, std::int64_t v) {
+    std::int64_t cur = a.load(std::memory_order_relaxed);
+    while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_acq_rel)) {
+    }
+}
+
+/// Retires the plan caches of every instance below the scheduler cursor:
+/// once the cursor is past an instance, no new claims (and thus no new
+/// context binds) for it can occur, so its compiled artifacts are only kept
+/// alive by in-flight stragglers and the bounded registry/context caches.
+void advance_retire_watermark(PoolShared& sh, int cursor_instance) {
+    int w = sh.retire_watermark.load(std::memory_order_acquire);
+    while (w < cursor_instance) {
+        if (sh.retire_watermark.compare_exchange_weak(w, cursor_instance,
+                                                      std::memory_order_acq_rel)) {
+            for (int i = w; i < cursor_instance; ++i)
+                sh.registry.retire(static_cast<std::uint64_t>(i));
+            return;
+        }
+    }
+}
+
+/// Runs one (instance, trial) unit: sample inputs, differential-execute,
+/// record the outcome in the instance's trial slot.
+void run_unit(InstanceJob& job, int trial, DifferentialTester& tester,
+              AuditScheduler& scheduler) {
+    TrialRecord& rec = job.records[static_cast<std::size_t>(trial)];
+    interp::Context inputs;
+    try {
+        inputs = job.sampler.sample(job.cutout.program, job.cutout.input_config,
+                                    job.constraints, static_cast<std::uint64_t>(trial));
+    } catch (const std::exception&) {
+        rec.kind = TrialRecord::Kind::Uninteresting;  // unresolvable shapes
+        return;
+    }
+    const TrialOutcome outcome = tester.run_trial(inputs);
+    if (outcome.verdict == Verdict::Uninteresting) {
+        rec.kind = TrialRecord::Kind::Uninteresting;
+        return;
+    }
+    if (outcome.verdict == Verdict::Pass) {
+        rec.kind = TrialRecord::Kind::Pass;
+        return;
+    }
+    rec.verdict = outcome.verdict;
+    rec.detail = outcome.detail;
+    rec.inputs = std::make_unique<interp::Context>(std::move(inputs));
+    rec.kind = TrialRecord::Kind::Failed;
+    scheduler.fail_at(job.index, trial);
+}
+
+/// One worker of the audit-wide pool: claims unit chunks off the global
+/// queue, lazily (re)binding its execution context when the chunk belongs to
+/// a different instance than the previous one.
+void run_worker(PoolShared& sh) {
+    std::unique_ptr<DifferentialTester> tester;
+    std::size_t bound_instance = std::numeric_limits<std::size_t>::max();
+    try {
+        AuditScheduler::Claim c;
+        while (sh.scheduler.claim(c)) {
+            sh.claims.fetch_add(1, std::memory_order_relaxed);
+            // Retire only instances strictly below the claimed one — the
+            // cursor may already be past c.instance (this claim could be its
+            // last), and retiring it before binding would evict the very
+            // plan cache the bind below is about to acquire.
+            advance_retire_watermark(sh, c.instance);
+            InstanceJob& job = sh.jobs[static_cast<std::size_t>(c.instance)];
+            // Stamp before the context (re)bind so plan building counts
+            // toward the instance's trial-phase wall clock.
+            atomic_store_min(job.first_ns, ns_since(sh.epoch));
+            if (static_cast<std::size_t>(c.instance) != bound_instance) {
+                if (tester) sh.cache.release(std::move(tester), bound_instance);
+                tester = sh.cache.acquire(job.index, [&job, &sh](DifferentialTester& t) {
+                    t.bind(job.cutout.program, job.transformed, job.cutout.system_state,
+                           sh.registry.acquire(job.index), &job.validation);
+                });
+                bound_instance = static_cast<std::size_t>(c.instance);
+            }
+            for (int trial = c.first; trial < c.first + c.count; ++trial) {
+                // A failure below this chunk (or another worker's abort)
+                // may have landed meanwhile; the remaining trials' records
+                // would never be read.
+                if (sh.scheduler.aborted() || trial > sh.scheduler.stop_at(job.index)) break;
+                run_unit(job, trial, *tester, sh.scheduler);
+                sh.units.fetch_add(1, std::memory_order_relaxed);
+            }
+            atomic_store_max(job.last_ns, ns_since(sh.epoch));
+        }
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(sh.error_mutex);
+        if (!sh.error) sh.error = std::current_exception();
+        sh.scheduler.abort();
+    }
+    if (tester) sh.cache.release(std::move(tester), bound_instance);
+}
+
+/// Steps 1-4 of the pipeline for one instance: isolation, extraction,
+/// min-cut, transformation application, plus constraint derivation and
+/// validation.  On failure to apply, the job's report is final and the job
+/// is marked not runnable.
+void prepare_instance(const FuzzConfig& config, const ir::SDFG& p,
+                      const xform::Transformation& transformation, const xform::Match& match,
+                      InstanceJob& job) {
     const auto t0 = std::chrono::steady_clock::now();
-    FuzzReport report;
+    FuzzReport& report = job.report;
     report.transformation = transformation.name();
     report.match_description = match.description;
     report.program_nodes = count_dataflow_nodes(p);
 
     // 1-2. Change isolation (white-box) and cutout extraction.
-    Cutout cutout;
-    if (config_.whole_program) {
-        cutout = whole_program_cutout(p);
+    if (config.whole_program) {
+        job.cutout = whole_program_cutout(p);
     } else {
         const xform::ChangeSet delta = transformation.affected_nodes(p, match);
-        cutout = extract_cutout(p, delta, config_.cutout);
+        job.cutout = extract_cutout(p, delta, config.cutout);
         report.input_volume_before_mincut =
-            cutout.concrete_input_volume(config_.cutout.defaults);
+            job.cutout.concrete_input_volume(config.cutout.defaults);
 
         // 3. Minimum input-flow cut.
-        if (config_.use_mincut && !cutout.whole_program) {
-            MinCutResult mc = minimize_input_configuration(p, delta, cutout, config_.cutout);
+        if (config.use_mincut && !job.cutout.whole_program) {
+            MinCutResult mc = minimize_input_configuration(p, delta, job.cutout, config.cutout);
             report.mincut_improved = mc.improved;
-            cutout = std::move(mc.cutout);
+            job.cutout = std::move(mc.cutout);
         }
     }
-    report.whole_program_cutout = cutout.whole_program;
-    report.cutout_nodes = count_dataflow_nodes(cutout.program);
-    report.input_volume = cutout.concrete_input_volume(config_.cutout.defaults);
+    report.whole_program_cutout = job.cutout.whole_program;
+    report.cutout_nodes = count_dataflow_nodes(job.cutout.program);
+    report.input_volume = job.cutout.concrete_input_volume(config.cutout.defaults);
     if (report.input_volume_before_mincut == 0)
         report.input_volume_before_mincut = report.input_volume;
 
     // 4. Apply the transformation to (a copy of) the cutout.
-    ir::SDFG transformed = cutout.program;
+    job.transformed = job.cutout.program;
     try {
-        const xform::Match cutout_match = cutout.remap_match(match);
-        transformation.apply(transformed, cutout_match);
+        const xform::Match cutout_match = job.cutout.remap_match(match);
+        transformation.apply(job.transformed, cutout_match);
     } catch (const std::exception& e) {
         report.verdict = Verdict::InvalidCode;
         report.detail = std::string("apply failed: ") + e.what();
-        report.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                             .count();
-        return report;
+        report.seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        return;  // job.runnable stays false; the report is final
     }
 
-    // 5. Gray-box constraints + differential fuzzing, fanned out over a
-    // pool of per-thread testers sharing one plan cache.  Trial inputs are
-    // a pure function of (seed, trial index) and records are aggregated in
-    // index order below, so any thread count yields a byte-identical report.
-    const Constraints constraints = derive_constraints(p, cutout.program);
-    const InputSampler sampler(config_.sampler);
-    const int threads = resolve_thread_count(config_.num_threads, config_.max_trials);
-    report.threads = threads;
-    auto plan_cache = std::make_shared<interp::PlanCache>();
-    // Validate the transformed graph once; every per-thread tester reuses
-    // the result instead of re-walking the same immutable graph.
-    const ValidationResult validation = ValidationResult::of(transformed);
+    // 5. Gray-box constraints; validation happens once here so every
+    // execution context that binds this instance reuses the result instead
+    // of re-walking the same immutable graph.
+    job.constraints = derive_constraints(p, job.cutout.program);
+    job.sampler = InputSampler(config.sampler);
+    job.validation = ValidationResult::of(job.transformed);
+    job.records.resize(static_cast<std::size_t>(std::max(config.max_trials, 0)));
+    job.runnable = true;
+    job.setup_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
 
-    std::vector<TrialRecord> records(
-        static_cast<std::size_t>(std::max(config_.max_trials, 0)));
-    TrialScheduler scheduler(config_.max_trials);
-    std::exception_ptr worker_error;
-    std::mutex error_mutex;
+/// Drains every (instance, trial) unit of `jobs` with one worker pool.
+void run_jobs(const FuzzConfig& config, std::deque<InstanceJob>& jobs, SchedulerStats& stats) {
+    stats = SchedulerStats{};
+    const int max_trials = std::max(config.max_trials, 0);
+    AuditScheduler scheduler(jobs.size(), max_trials, config.trial_chunk);
+    std::int64_t available_units = 0;
+    for (InstanceJob& job : jobs) {
+        if (job.runnable)
+            available_units += max_trials;
+        else
+            scheduler.skip_instance(job.index);
+    }
+    const int workers = resolve_thread_count(config.num_threads, available_units);
+    stats.workers = workers;
+    for (InstanceJob& job : jobs)
+        if (job.runnable) job.report.threads = workers;
 
-    auto run_trials = [&](DifferentialTester& tester) {
-        try {
-            for (;;) {
-                const int trial = scheduler.claim();
-                if (trial < 0) break;
-                TrialRecord& rec = records[static_cast<std::size_t>(trial)];
-                interp::Context inputs;
-                try {
-                    inputs = sampler.sample(cutout.program, cutout.input_config, constraints,
-                                            static_cast<std::uint64_t>(trial));
-                } catch (const std::exception&) {
-                    rec.kind = TrialRecord::Kind::Uninteresting;  // unresolvable shapes
-                    continue;
-                }
-                const TrialOutcome outcome = tester.run_trial(inputs);
-                if (outcome.verdict == Verdict::Uninteresting) {
-                    rec.kind = TrialRecord::Kind::Uninteresting;
-                    continue;
-                }
-                if (outcome.verdict == Verdict::Pass) {
-                    rec.kind = TrialRecord::Kind::Pass;
-                    continue;
-                }
-                rec.verdict = outcome.verdict;
-                rec.detail = outcome.detail;
-                rec.inputs = std::make_unique<interp::Context>(std::move(inputs));
-                rec.kind = TrialRecord::Kind::Failed;
-                scheduler.fail_at(trial);
-            }
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (!worker_error) worker_error = std::current_exception();
-            scheduler.abort();
-        }
-    };
+    interp::PlanCacheRegistry registry(
+        static_cast<std::size_t>(std::max(config.plan_cache_bound, 0)));
+    const std::size_t context_bound = config.context_cache_bound > 0
+                                          ? static_cast<std::size_t>(config.context_cache_bound)
+                                          : static_cast<std::size_t>(workers);
+    TesterCache cache(context_bound, config.diff);
+    PoolShared sh{jobs, scheduler, cache, registry};
+    sh.epoch = std::chrono::steady_clock::now();
 
-    if (threads == 1) {
-        DifferentialTester tester(cutout.program, transformed, cutout.system_state,
-                                  config_.diff, plan_cache, &validation);
-        run_trials(tester);
+    if (workers == 1) {
+        run_worker(sh);
     } else {
-        std::vector<std::unique_ptr<DifferentialTester>> testers;
-        testers.reserve(static_cast<std::size_t>(threads));
-        for (int i = 0; i < threads; ++i)
-            testers.push_back(std::make_unique<DifferentialTester>(
-                cutout.program, transformed, cutout.system_state, config_.diff, plan_cache,
-                &validation));
         std::vector<std::thread> pool;
-        pool.reserve(static_cast<std::size_t>(threads));
-        for (int i = 0; i < threads; ++i)
-            pool.emplace_back([&run_trials, &testers, i] { run_trials(*testers[i]); });
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int i = 0; i < workers; ++i) pool.emplace_back([&sh] { run_worker(sh); });
         for (std::thread& t : pool) t.join();
     }
-    if (worker_error) std::rethrow_exception(worker_error);
+    if (sh.error) std::rethrow_exception(sh.error);
 
-    // Sequential-order aggregation: replays exactly what the single-thread
-    // loop would have counted, stopping at the lowest-indexed failure.
-    for (int trial = 0; trial < config_.max_trials; ++trial) {
-        const TrialRecord& rec = records[static_cast<std::size_t>(trial)];
-        if (rec.kind == TrialRecord::Kind::NotRun) break;  // past the first failure
-        if (rec.kind == TrialRecord::Kind::Uninteresting) {
-            ++report.uninteresting;
-            continue;
-        }
-        ++report.trials;
-        if (rec.kind == TrialRecord::Kind::Pass) continue;
+    // Flush remaining retires (stragglers, tail instances) so registry
+    // eviction counts are deterministic for a completed run.
+    for (InstanceJob& job : jobs) registry.retire(job.index);
+    stats.units = sh.units.load(std::memory_order_relaxed);
+    stats.claims = sh.claims.load(std::memory_order_relaxed);
+    const TesterCache::Stats cache_stats = cache.stats();
+    stats.contexts_built = cache_stats.built;
+    stats.context_hits = cache_stats.hits;
+    stats.context_rebinds = cache_stats.rebinds;
+    stats.context_evictions = cache_stats.evictions;
+    stats.plan_caches_evicted = static_cast<std::int64_t>(registry.evictions());
+}
 
-        report.verdict = rec.verdict;
-        report.detail = rec.detail;
-        if (!config_.artifact_dir.empty()) {
-            report.artifact_path = save_testcase_artifact(
-                config_.artifact_dir, cutout, transformed, *rec.inputs, report);
-        }
-        break;
-    }
-    report.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+/// Merges one instance's trial slots into its report (canonical order, see
+/// report.h), saves the reproducer artifact for failing instances, and
+/// derives the wall-clock metrics.
+void finalize_instance(const FuzzConfig& config, InstanceJob& job) {
+    if (!job.runnable) return;  // report already final (apply failed)
+    FuzzReport& report = job.report;
+    const TrialRecord* failing = merge_trial_records(job.records, report);
+    if (failing && !config.artifact_dir.empty())
+        report.artifact_path = save_testcase_artifact(config.artifact_dir, job.cutout,
+                                                      job.transformed, *failing->inputs, report);
+    const std::int64_t first = job.first_ns.load(std::memory_order_relaxed);
+    const std::int64_t last = job.last_ns.load(std::memory_order_relaxed);
+    const double trial_seconds =
+        last >= 0 && first <= last ? static_cast<double>(last - first) * 1e-9 : 0.0;
+    report.seconds = job.setup_seconds + trial_seconds;
     const int executed = report.trials + report.uninteresting;
     if (report.seconds > 0.0 && executed > 0)
         report.trials_per_second = executed / report.seconds;
-    return report;
+}
+
+}  // namespace
+
+FuzzReport Fuzzer::test_instance(const ir::SDFG& p, const xform::Transformation& transformation,
+                                 const xform::Match& match) {
+    std::deque<InstanceJob> jobs;
+    InstanceJob& job = jobs.emplace_back();
+    job.index = 0;
+    prepare_instance(config_, p, transformation, match, job);
+    run_jobs(config_, jobs, stats_);
+    finalize_instance(config_, job);
+    return std::move(job.report);
 }
 
 std::vector<FuzzReport> Fuzzer::audit(const ir::SDFG& p,
                                       const std::vector<xform::TransformationPtr>& passes) {
-    std::vector<FuzzReport> reports;
+    // Phase 1: prepare every instance (deterministic match order — this
+    // fixes the canonical instance indexing the merge replays).
+    std::deque<InstanceJob> jobs;
     for (const auto& pass : passes) {
-        for (const xform::Match& match : pass->find_matches(p))
-            reports.push_back(test_instance(p, *pass, match));
+        for (const xform::Match& match : pass->find_matches(p)) {
+            InstanceJob& job = jobs.emplace_back();
+            job.index = jobs.size() - 1;
+            prepare_instance(config_, p, *pass, match, job);
+        }
+    }
+
+    // Phase 2: one pool over all (instance, trial) units.
+    run_jobs(config_, jobs, stats_);
+
+    // Phase 3: canonical instance x trial order merge.
+    std::vector<FuzzReport> reports;
+    reports.reserve(jobs.size());
+    for (InstanceJob& job : jobs) {
+        finalize_instance(config_, job);
+        reports.push_back(std::move(job.report));
     }
     return reports;
 }

@@ -1,7 +1,21 @@
 // The FuzzyFlow pipeline (Fig. 1): change isolation -> cutout extraction ->
 // input minimization -> constraint derivation -> differential fuzzing.
+//
+// Execution model (see docs/ARCHITECTURE.md): audit() prepares every
+// transformation instance, then drains one global queue of (instance, trial)
+// units with a fixed pool of workers.  Workers lazily acquire a per-instance
+// execution context (two interpreters + scratch) from a bounded context
+// cache; per-instance plan caches are managed by a bounded registry.  Trial
+// inputs are a pure function of (seed, trial index) and per-instance results
+// are merged in canonical trial order, so reports are byte-identical at any
+// worker count.
 #pragma once
 
+/// \file
+/// Differential fuzzer (core::Fuzzer): instance preparation and the
+/// audit-wide (instance, trial) scheduler.
+
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -14,18 +28,38 @@
 
 namespace ff::core {
 
+/// Configuration of one fuzzing run (a single instance or a whole audit).
 struct FuzzConfig {
     int max_trials = 100;  ///< "we test each instance ... over 100 trials" (Sec. 6.4)
-    /// Worker threads running trials of one instance concurrently, each with
-    /// its own DifferentialTester (two interpreters) over a shared plan
-    /// cache.  0 = hardware concurrency.  Any value produces byte-identical
-    /// FuzzReports: trial inputs are a pure function of (seed, trial index)
-    /// and results are aggregated in trial order, so the reported verdict is
-    /// always the lowest-indexed failing trial.
+    /// Workers of the audit-wide trial pool.  One pool serves the whole
+    /// audit: workers drain a global queue of (instance, trial) units, so
+    /// trials of independent instances overlap and there is no join barrier
+    /// between instances.  0 = hardware concurrency.  Any value produces
+    /// byte-identical FuzzReports: trial inputs are a pure function of
+    /// (seed, trial index) and per-instance results are merged in canonical
+    /// instance x trial order, so the reported verdict is always the
+    /// lowest-indexed failing trial of each instance.
     int num_threads = 1;
-    SamplerConfig sampler;
-    DiffConfig diff;
-    CutoutOptions cutout;
+    /// Consecutive trials of one instance claimed per scheduler operation.
+    /// Larger chunks cost one atomic claim per `trial_chunk` trials and keep
+    /// workers on one instance longer (fewer context rebinds); 1 reproduces
+    /// per-trial claiming.  Determinism is unaffected.  Values < 1 clamp
+    /// to 1.
+    int trial_chunk = 1;
+    /// Idle execution contexts (two interpreters + scratch each) the
+    /// audit-wide context cache retains; contexts in flight on a worker are
+    /// not counted.  Smaller bounds trade interpreter-reuse hits for memory;
+    /// eviction only ever destroys idle contexts, never running ones.
+    /// 0 = one per worker.
+    int context_cache_bound = 0;
+    /// Retired per-instance plan caches (compiled state plans + tasklet
+    /// bytecode) kept resident after the scheduler's cursor passes their
+    /// instance.  Bounds audit memory to O(bound) instances' artifacts; a
+    /// straggler that rebinds to an evicted instance transparently rebuilds.
+    int plan_cache_bound = 4;
+    SamplerConfig sampler;  ///< Input-configuration sampling (Sec. 5.1).
+    DiffConfig diff;        ///< Comparison threshold + interpreter settings.
+    CutoutOptions cutout;   ///< Cutout extraction options (Sec. 3).
     /// Run the minimum input-flow cut (Sec. 4) after extraction.
     bool use_mincut = true;
     /// Baseline mode: skip extraction and test on the whole program
@@ -35,54 +69,92 @@ struct FuzzConfig {
     std::string artifact_dir;
 };
 
+/// Result of fuzzing one transformation instance.
 struct FuzzReport {
-    std::string transformation;
-    std::string match_description;
-    Verdict verdict = Verdict::Pass;
+    std::string transformation;     ///< Transformation name.
+    std::string match_description;  ///< Which match was tested.
+    Verdict verdict = Verdict::Pass;  ///< Lowest-indexed failing trial's verdict.
     int trials = 0;            ///< differential trials executed
     int uninteresting = 0;     ///< resampled trials (original rejected input)
-    int threads = 1;           ///< worker threads that ran the trials
-    double seconds = 0.0;      ///< wall-clock, whole instance
+    int threads = 1;           ///< workers of the pool that ran the trials
+    /// Wall-clock seconds: instance setup plus the span from the instance's
+    /// first claimed trial to its last completed one.  Under the audit-wide
+    /// scheduler instances overlap, so per-instance seconds sum to more than
+    /// the audit's wall time.
+    double seconds = 0.0;
     /// End-to-end executed-trial throughput of this instance — resampled
     /// (uninteresting) trials included, since each runs the original
     /// program; the metric the compiled tasklet engine exists to maximize.
     /// Wall-clock based: under concurrency this is aggregate throughput of
     /// the whole pool, never a sum of per-thread rates.
     double trials_per_second = 0.0;
-    std::string detail;
-    std::string artifact_path;
+    std::string detail;         ///< Failure detail of the reported verdict.
+    std::string artifact_path;  ///< Saved reproducer (failing instances only).
 
     // Cutout metrics.
-    std::size_t cutout_nodes = 0;
-    std::size_t program_nodes = 0;
+    std::size_t cutout_nodes = 0;   ///< Dataflow nodes in the cutout.
+    std::size_t program_nodes = 0;  ///< Dataflow nodes in the full program.
     std::int64_t input_volume = 0;                ///< elements, after minimization
     std::int64_t input_volume_before_mincut = 0;  ///< elements
-    bool mincut_improved = false;
-    bool whole_program_cutout = false;
+    bool mincut_improved = false;        ///< Whether the min cut shrank inputs.
+    bool whole_program_cutout = false;   ///< Extraction fell back to whole program.
 
+    /// Whether this instance found a bug (any verdict besides Pass /
+    /// Uninteresting).
     bool failed() const {
         return verdict != Verdict::Pass && verdict != Verdict::Uninteresting;
     }
 };
 
+/// Counters of the audit-wide scheduler, reset by every audit() /
+/// test_instance() call.  `workers` is deterministic; every other field can
+/// depend on thread timing (e.g. `units` varies with how many in-flight
+/// trials past a failure still ran) — they exist for benchmarks, tuning
+/// (docs/TUNING.md) and the eviction tests, and only become run-to-run
+/// stable at one worker or on failure-free audits.
+struct SchedulerStats {
+    int workers = 0;             ///< Pool size after clamping to the unit count.
+    std::int64_t units = 0;      ///< (instance, trial) units executed.
+    std::int64_t claims = 0;     ///< Scheduler claim operations (chunked).
+    int contexts_built = 0;      ///< Execution contexts constructed.
+    int context_hits = 0;        ///< Cache hits already bound to the instance.
+    int context_rebinds = 0;     ///< Idle contexts rebound to a new instance.
+    int context_evictions = 0;   ///< Idle contexts destroyed over the bound.
+    std::int64_t plan_caches_evicted = 0;  ///< Registry evictions (see plan_cache.h).
+};
+
+/// Differential fuzzer: tests transformation instances (Sec. 5) and audits
+/// whole pass pipelines (Sec. 6.3) over the audit-wide scheduler.
 class Fuzzer {
 public:
+    /// Fuzzer with the given configuration.
     explicit Fuzzer(FuzzConfig config = {}) : config_(config) {}
 
+    /// Current configuration (read-only).
     const FuzzConfig& config() const { return config_; }
+    /// Current configuration (mutable; applies to subsequent calls).
     FuzzConfig& config() { return config_; }
 
     /// Tests one transformation instance on program `p` (p is not mutated;
-    /// the transformation is applied to the extracted cutout).
+    /// the transformation is applied to the extracted cutout).  Runs the
+    /// same scheduler as audit(), over a single instance's trials.
     FuzzReport test_instance(const ir::SDFG& p, const xform::Transformation& transformation,
                              const xform::Match& match);
 
-    /// Tests every instance of every pass; the Sec. 6.3 audit loop.
+    /// Tests every instance of every pass; the Sec. 6.3 audit loop.  All
+    /// instances are prepared first (cutout, min-cut, transformation,
+    /// constraints — sequential, deterministic order), then one worker pool
+    /// drains every (instance, trial) unit.  Reports come back in instance
+    /// order and are byte-identical at any num_threads.
     std::vector<FuzzReport> audit(const ir::SDFG& p,
                                   const std::vector<xform::TransformationPtr>& passes);
 
+    /// Scheduler counters of the last audit()/test_instance() call.
+    const SchedulerStats& last_stats() const { return stats_; }
+
 private:
-    FuzzConfig config_;
+    FuzzConfig config_;    ///< Active configuration.
+    SchedulerStats stats_;  ///< Counters of the last run.
 };
 
 }  // namespace ff::core

@@ -6,6 +6,23 @@
 
 namespace ff::core {
 
+const TrialRecord* merge_trial_records(const std::vector<TrialRecord>& records,
+                                       FuzzReport& report) {
+    for (const TrialRecord& rec : records) {
+        if (rec.kind == TrialRecord::Kind::NotRun) break;  // past the first failure
+        if (rec.kind == TrialRecord::Kind::Uninteresting) {
+            ++report.uninteresting;
+            continue;
+        }
+        ++report.trials;
+        if (rec.kind == TrialRecord::Kind::Pass) continue;
+        report.verdict = rec.verdict;
+        report.detail = rec.detail;
+        return &rec;
+    }
+    return nullptr;
+}
+
 TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
 
 void TextTable::add_row(std::vector<std::string> cells) {

@@ -1,8 +1,13 @@
-// Reporting helpers: aligned text tables and audit aggregation (the shape
-// of Table 2 and the per-case-study summaries).
+// Reporting helpers: per-instance trial aggregation slots, aligned text
+// tables and audit aggregation (the shape of Table 2 and the per-case-study
+// summaries).
 #pragma once
 
+/// \file
+/// Trial-record slots, the canonical-order merge, and audit report tables.
+
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,29 +15,65 @@
 
 namespace ff::core {
 
+/// Outcome slot of one differential trial, recorded at its trial index so
+/// the merge can replay the canonical sequential order regardless of which
+/// worker (or machine) ran it.  A vector of these, indexed by trial, is the
+/// per-instance aggregation surface every scheduler writes into.
+struct TrialRecord {
+    /// What happened to this trial slot.
+    enum class Kind : std::uint8_t {
+        NotRun,         ///< Slot never executed (past the first failure).
+        Uninteresting,  ///< Original rejected the input; trial resampled.
+        Pass,           ///< Both sides agreed.
+        Failed,         ///< verdict/detail/inputs describe the failure.
+    };
+    Kind kind = Kind::NotRun;         ///< Slot state.
+    Verdict verdict = Verdict::Pass;  ///< Failure classification (Failed only).
+    std::string detail;               ///< Failure detail (Failed only).
+    /// Inputs are retained only for failing trials (artifact reproduction).
+    std::unique_ptr<interp::Context> inputs;
+};
+
+/// Canonical-order merge of one instance's trial slots into its FuzzReport:
+/// replays exactly what a sequential trial loop would have counted, stopping
+/// at the lowest-indexed failure, and returns that failing record (for
+/// reproducer-artifact saving) or nullptr when the instance passed.
+///
+/// This is the normative half of the determinism contract (see
+/// docs/ARCHITECTURE.md): any scheduler — single thread, audit-wide worker
+/// pool, or cross-process shards — may fill `records` in any order, as long
+/// as every index below the lowest failure is filled; the merged verdict,
+/// trial counts and detail are then byte-identical to the sequential run.
+const TrialRecord* merge_trial_records(const std::vector<TrialRecord>& records,
+                                       FuzzReport& report);
+
 /// Simple monospace table with per-column alignment.
 class TextTable {
 public:
+    /// Table with the given column headers.
     explicit TextTable(std::vector<std::string> header);
 
+    /// Appends a row (padded/truncated to the header width).
     void add_row(std::vector<std::string> cells);
+
+    /// Renders the table with aligned columns.
     std::string to_string() const;
 
 private:
-    std::vector<std::string> header_;
-    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> header_;             ///< Column headers.
+    std::vector<std::vector<std::string>> rows_;  ///< Body rows.
 };
 
 /// Per-transformation aggregate of an audit run.
 struct AuditSummary {
-    std::string transformation;
-    int instances = 0;
-    int failures = 0;
+    std::string transformation;  ///< Transformation name.
+    int instances = 0;           ///< Matches tested.
+    int failures = 0;            ///< Instances with a failing verdict.
     /// Verdict name -> count among failures.
     std::map<std::string, int> categories;
-    double total_seconds = 0.0;
-    int total_trials = 0;
-    int total_uninteresting = 0;
+    double total_seconds = 0.0;     ///< Summed per-instance wall-clock.
+    int total_trials = 0;           ///< Differential trials executed.
+    int total_uninteresting = 0;    ///< Resampled trials.
     /// Worker threads used (max across instances; they share one config).
     int threads = 1;
 
@@ -44,6 +85,8 @@ struct AuditSummary {
     }
 };
 
+/// Folds per-instance reports into per-transformation summaries (stable
+/// first-seen transformation order).
 std::vector<AuditSummary> summarize_audit(const std::vector<FuzzReport>& reports);
 
 /// Renders the Table 2-style summary.

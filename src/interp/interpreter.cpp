@@ -289,6 +289,16 @@ void Interpreter::invalidate_execution_cache() {
     scratch_.cache_ctx = nullptr;
 }
 
+void Interpreter::rebind_plan_cache(PlanCachePtr plans) {
+    plans_ = plans ? std::move(plans) : std::make_shared<PlanCache>();
+    // The memo holds shared_ptrs into the *previous* cache; plans compiled
+    // against a different cache's symbol table must never be mixed, so the
+    // memo goes with it.  Scratch stays: its vectors are sized per state on
+    // entry and reusing their capacity is the point of rebinding.
+    plan_memo_.clear();
+    invalidate_execution_cache();
+}
+
 ExecResult Interpreter::run(const ir::SDFG& sdfg, Context& ctx) {
     ExecResult result;
     invalidate_execution_cache();

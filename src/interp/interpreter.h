@@ -209,6 +209,14 @@ public:
     const ExecConfig& config() const { return config_; }
     const PlanCachePtr& plan_cache() const { return plans_; }
 
+    /// Swaps the shared plan cache and drops the per-interpreter plan memo
+    /// and execution cache, so a *warm* interpreter — scratch arena and value
+    /// pool intact — can be rebound to a different SDFG pair.  This is how
+    /// the audit-wide scheduler reuses one execution context across
+    /// transformation instances (see core::Fuzzer).  nullptr installs a
+    /// fresh private cache.
+    void rebind_plan_cache(PlanCachePtr plans);
+
     /// Runs the whole SDFG.  The context provides inputs (pre-created
     /// buffers) and receives all outputs; it is mutated in place.
     ExecResult run(const ir::SDFG& sdfg, Context& ctx);

@@ -20,8 +20,15 @@
 //
 // A default-constructed Interpreter creates a private cache; callers that
 // fan trials out across threads construct one PlanCache and hand it to every
-// interpreter (see core::Fuzzer / core::DifferentialTester).
+// interpreter.  The audit-wide scheduler (core::Fuzzer::audit) manages one
+// cache per transformation instance through a PlanCacheRegistry, which
+// bounds how many finished instances' artifacts stay resident.
 #pragma once
+
+/// \file
+/// Shared caches for compiled execution artifacts (PlanCache) and the
+/// bounded per-instance registry behind the audit-wide scheduler
+/// (PlanCacheRegistry).
 
 #include <cstdint>
 #include <map>
@@ -45,6 +52,10 @@ struct StatePlan;
 /// Identity of one state's plan: (SDFG uid, mutation epoch, state address).
 using PlanKey = std::tuple<std::uint64_t, std::uint64_t, const ir::State*>;
 
+/// Thread-safe cache of the compiled artifacts derived from one (or more)
+/// immutable SDFGs: per-state StatePlans, content-keyed tasklet programs,
+/// and the interned symbol table every plan is lowered against.  Shared by
+/// all interpreters that execute the same program pair concurrently.
 class PlanCache {
 public:
     /// Interned symbol table every plan in this cache is lowered against.
@@ -76,13 +87,79 @@ private:
     /// `key`'s.  Caller holds plans_mutex_.
     void evict_stale_epochs(const PlanKey& key);
 
-    std::mutex plans_mutex_;
-    std::map<PlanKey, std::shared_ptr<const StatePlan>> plans_;
-    std::mutex programs_mutex_;
-    std::unordered_map<std::string, TaskletProgramPtr> programs_;
-    sym::SymbolTable symbols_;
+    std::mutex plans_mutex_;                                  ///< Guards plans_.
+    std::map<PlanKey, std::shared_ptr<const StatePlan>> plans_;  ///< Keyed plans.
+    std::mutex programs_mutex_;                               ///< Guards programs_.
+    std::unordered_map<std::string, TaskletProgramPtr> programs_;  ///< By content.
+    sym::SymbolTable symbols_;  ///< Interned symbols shared by all plans.
 };
 
+/// Shared handle to a PlanCache; interpreters and the context cache hold
+/// these, so registry eviction can never free artifacts still in use.
 using PlanCachePtr = std::shared_ptr<PlanCache>;
+
+/// Thread-safe registry of per-instance plan caches for audit-wide
+/// scheduling.
+///
+/// Each transformation instance fuzzes a *different* SDFG pair, so instances
+/// do not share compiled artifacts — they share the registry, which hands
+/// out one PlanCache per instance key and bounds how many *retired*
+/// (finished) instances keep their artifacts resident.  The protocol:
+///
+///  * `acquire(key)` returns the instance's cache, creating it on first use
+///    (and re-creating it if a stale straggler asks after eviction — plans
+///    are rebuilt, correctness is unaffected).
+///  * `retire(key)` marks the instance finished.  Eviction is epoch-keyed:
+///    every acquire/retire stamps a monotonically increasing epoch, and when
+///    more than `retained_bound` retired entries exist the oldest-retired
+///    ones are erased.  In-flight interpreters hold PlanCachePtr shared
+///    handles, so erasing an entry frees memory only once the last user lets
+///    go.
+///
+/// The audit scheduler retires instances as the global unit cursor passes
+/// them, so a long audit over hundreds of instances keeps O(bound) compiled
+/// artifacts resident instead of all of them.
+class PlanCacheRegistry {
+public:
+    /// `retained_bound`: retired caches kept resident (0 keeps none).
+    explicit PlanCacheRegistry(std::size_t retained_bound = 4)
+        : retained_bound_(retained_bound) {}
+
+    /// Cache for instance `key`, creating (or re-creating) it when absent.
+    /// Re-acquiring a retired key un-retires it.
+    PlanCachePtr acquire(std::uint64_t key);
+
+    /// Marks `key` finished and evicts oldest-retired entries beyond the
+    /// bound.  Idempotent; unknown keys are ignored.
+    void retire(std::uint64_t key);
+
+    /// Entries currently registered (live + retained retired).
+    std::size_t size() const;
+
+    /// Retired caches erased so far (the eviction counter tests assert on).
+    std::uint64_t evictions() const;
+
+    /// Caches created so far (> distinct keys iff an evicted key was
+    /// re-acquired).
+    std::uint64_t creations() const;
+
+private:
+    /// One registered instance cache and its eviction bookkeeping.
+    struct Entry {
+        PlanCachePtr cache;       ///< The instance's shared cache.
+        std::uint64_t epoch = 0;  ///< Last acquire/retire stamp (LRU order).
+        bool retired = false;     ///< Eligible for eviction.
+    };
+
+    /// Erases oldest-retired entries beyond the bound.  Caller holds mutex_.
+    void evict_over_bound();
+
+    mutable std::mutex mutex_;  ///< Guards all registry state.
+    std::size_t retained_bound_;
+    std::uint64_t epoch_ = 0;      ///< Monotonic stamp source.
+    std::uint64_t evictions_ = 0;  ///< Total retired entries erased.
+    std::uint64_t creations_ = 0;  ///< Total caches constructed.
+    std::unordered_map<std::uint64_t, Entry> entries_;  ///< By instance key.
+};
 
 }  // namespace ff::interp

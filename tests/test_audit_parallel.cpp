@@ -1,0 +1,312 @@
+// Audit-wide scheduler: one worker pool over every (instance, trial) unit.
+//
+// The contract under test (docs/ARCHITECTURE.md "Determinism contract"):
+// a full audit produces byte-identical reports — verdicts, trial counts,
+// failure details, reproducer artifacts, instance order — at any worker
+// count, any trial chunking, and any context/plan-cache bound, because
+// trial inputs are a pure function of (seed, trial index) and per-instance
+// records are merged in canonical instance x trial order.  This file also
+// unit-tests the two bounded caches behind the scheduler (core::TesterCache,
+// interp::PlanCacheRegistry) and doubles as a TSan target alongside
+// test_parallel (see the FF_SANITIZE=thread CI job).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/fuzzer.h"
+#include "core/report.h"
+#include "helpers.h"
+#include "interp/plan_cache.h"
+#include "transforms/map_tiling.h"
+#include "transforms/registry.h"
+#include "workloads/matchain.h"
+
+namespace ff {
+namespace {
+
+using ff::testing::make_scale_sdfg;
+
+/// Chain of `k` elementwise maps x -> t1 -> ... -> y: `k` independent
+/// MapTiling matches, i.e. a k-instance audit.
+ir::SDFG make_k_map_chain(int k) {
+    ir::SDFG p("kchain");
+    p.add_symbol("N");
+    const sym::ExprPtr n = sym::symb("N");
+    p.add_array("x", ir::DType::F64, {n});
+    for (int i = 1; i < k; ++i)
+        p.add_array("t" + std::to_string(i), ir::DType::F64, {n}, /*transient=*/true);
+    p.add_array("y", ir::DType::F64, {n});
+    ir::State& st = p.state(p.add_state("main", true));
+    ir::NodeId cur = st.add_access("x");
+    for (int i = 1; i < k; ++i)
+        cur = workloads::ew_unary(p, st, cur, "t" + std::to_string(i), "o = i + 1.0");
+    workloads::ew_unary(p, st, cur, "y", "o = i * 3.0");
+    p.validate();
+    return p;
+}
+
+core::FuzzConfig quick_config(std::int64_t default_n = 8) {
+    core::FuzzConfig config;
+    config.max_trials = 20;
+    config.sampler.size_max = 8;
+    config.cutout.defaults = {{"N", default_n}};
+    return config;
+}
+
+std::string read_file(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    if (!f) return "";
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+    std::fclose(f);
+    return text;
+}
+
+/// Everything that must be identical across scheduler configurations.
+void expect_reports_identical(const core::FuzzReport& a, const core::FuzzReport& b,
+                              const std::string& what) {
+    EXPECT_EQ(a.transformation, b.transformation) << what;
+    EXPECT_EQ(a.match_description, b.match_description) << what;
+    EXPECT_EQ(a.verdict, b.verdict) << what;
+    EXPECT_EQ(a.trials, b.trials) << what;
+    EXPECT_EQ(a.uninteresting, b.uninteresting) << what;
+    EXPECT_EQ(a.detail, b.detail) << what;
+    EXPECT_EQ(a.cutout_nodes, b.cutout_nodes) << what;
+    EXPECT_EQ(a.input_volume, b.input_volume) << what;
+}
+
+/// An audit's deterministic outputs: reports plus reproducer artifact bytes
+/// (read immediately, before another run can overwrite the shared dir).
+struct AuditSnapshot {
+    std::vector<core::FuzzReport> reports;
+    std::vector<std::string> artifacts;  // empty string for passing instances
+};
+
+AuditSnapshot run_audit_snapshot(const ir::SDFG& p,
+                                 const std::vector<xform::TransformationPtr>& passes,
+                                 core::FuzzConfig config) {
+    config.artifact_dir = ::testing::TempDir();
+    core::Fuzzer fuzzer(config);
+    AuditSnapshot snap;
+    snap.reports = fuzzer.audit(p, passes);
+    for (const core::FuzzReport& r : snap.reports)
+        snap.artifacts.push_back(r.artifact_path.empty() ? "" : read_file(r.artifact_path));
+    return snap;
+}
+
+void expect_snapshots_identical(const AuditSnapshot& a, const AuditSnapshot& b,
+                                const std::string& what) {
+    ASSERT_EQ(a.reports.size(), b.reports.size()) << what;
+    for (std::size_t i = 0; i < a.reports.size(); ++i) {
+        expect_reports_identical(a.reports[i], b.reports[i],
+                                 what + " instance " + std::to_string(i));
+        EXPECT_EQ(a.artifacts[i], b.artifacts[i]) << what << " artifact " << i;
+    }
+}
+
+// --- Cross-instance determinism of the audit-wide pool -----------------------
+
+TEST(AuditParallel, FullAuditByteIdenticalAt1_2_8Workers) {
+    const ir::SDFG p = workloads::build_matrix_chain();
+    const auto passes = xform::builtin_transformations();
+
+    core::FuzzConfig config = quick_config(6);
+    config.sampler.size_max = 6;
+    config.max_trials = 10;
+
+    config.num_threads = 1;
+    const AuditSnapshot one = run_audit_snapshot(p, passes, config);
+    ASSERT_FALSE(one.reports.empty());
+    // The builtin registry carries buggy variants: some instance must fail,
+    // or the artifact comparison below compares nothing.
+    bool any_failed = false;
+    for (const auto& r : one.reports) any_failed |= r.failed();
+    EXPECT_TRUE(any_failed);
+
+    config.num_threads = 2;
+    expect_snapshots_identical(one, run_audit_snapshot(p, passes, config), "1 vs 2 workers");
+    config.num_threads = 8;
+    expect_snapshots_identical(one, run_audit_snapshot(p, passes, config), "1 vs 8 workers");
+}
+
+TEST(AuditParallel, TrialChunkingPreservesReports) {
+    const ir::SDFG p = workloads::build_matrix_chain();
+    const auto passes = xform::builtin_transformations();
+
+    core::FuzzConfig config = quick_config(6);
+    config.sampler.size_max = 6;
+    config.max_trials = 10;
+    config.num_threads = 4;
+
+    config.trial_chunk = 1;
+    const AuditSnapshot baseline = run_audit_snapshot(p, passes, config);
+    config.trial_chunk = 7;
+    expect_snapshots_identical(baseline, run_audit_snapshot(p, passes, config),
+                               "chunk 1 vs chunk 7");
+    config.trial_chunk = 1000;  // clamps to one whole instance per claim
+    expect_snapshots_identical(baseline, run_audit_snapshot(p, passes, config),
+                               "chunk 1 vs chunk 1000");
+}
+
+TEST(AuditParallel, TinyCacheBoundsStillByteIdentical) {
+    // Starving both the context cache and the plan-cache registry must only
+    // cost rebuilds, never change results.
+    const ir::SDFG p = make_k_map_chain(5);
+    std::vector<xform::TransformationPtr> passes;
+    passes.push_back(std::make_unique<xform::MapTiling>(4, xform::MapTiling::Variant::Correct));
+
+    core::FuzzConfig config = quick_config();
+    config.num_threads = 1;
+    const AuditSnapshot baseline = run_audit_snapshot(p, passes, config);
+    ASSERT_EQ(baseline.reports.size(), 5u);
+    for (const auto& r : baseline.reports)
+        EXPECT_EQ(r.verdict, core::Verdict::Pass) << r.detail;
+
+    config.num_threads = 8;
+    config.context_cache_bound = 1;
+    config.plan_cache_bound = 0;  // retire drops every finished instance's cache
+    expect_snapshots_identical(baseline, run_audit_snapshot(p, passes, config),
+                               "default vs starved caches");
+}
+
+TEST(AuditParallel, SchedulerStatsCountUnitsAndClaims) {
+    const ir::SDFG p = make_scale_sdfg();
+    xform::MapTiling tiling(4, xform::MapTiling::Variant::Correct);
+    const auto matches = tiling.find_matches(p);
+    ASSERT_EQ(matches.size(), 1u);
+
+    core::FuzzConfig config = quick_config();
+    config.max_trials = 20;
+    config.trial_chunk = 4;
+    config.num_threads = 1;
+    core::Fuzzer fuzzer(config);
+    const core::FuzzReport report = fuzzer.test_instance(p, tiling, matches[0]);
+    EXPECT_EQ(report.verdict, core::Verdict::Pass) << report.detail;
+    EXPECT_EQ(report.threads, 1);
+
+    const core::SchedulerStats& stats = fuzzer.last_stats();
+    EXPECT_EQ(stats.workers, 1);
+    EXPECT_EQ(stats.units, 20);       // every trial of the passing instance ran
+    EXPECT_EQ(stats.claims, 5);       // ceil(20 / chunk 4)
+    EXPECT_EQ(stats.contexts_built, 1);
+    EXPECT_EQ(stats.context_hits, 0);
+    EXPECT_EQ(stats.context_rebinds, 0);
+    EXPECT_EQ(stats.context_evictions, 0);
+}
+
+TEST(AuditParallel, PlanCacheRegistryEvictsRetiredInstancesDuringAudit) {
+    // One worker claims instances strictly in order, so the retire watermark
+    // and the final flush make registry eviction exact: every instance's
+    // cache is retired and, with a bound of one, all but one is evicted.
+    const ir::SDFG p = make_k_map_chain(6);
+    std::vector<xform::TransformationPtr> passes;
+    passes.push_back(std::make_unique<xform::MapTiling>(4, xform::MapTiling::Variant::Correct));
+
+    core::FuzzConfig config = quick_config();
+    config.num_threads = 1;
+    config.plan_cache_bound = 1;
+    core::Fuzzer fuzzer(config);
+    const auto reports = fuzzer.audit(p, passes);
+    ASSERT_EQ(reports.size(), 6u);
+    for (const auto& r : reports) EXPECT_EQ(r.verdict, core::Verdict::Pass) << r.detail;
+    EXPECT_EQ(fuzzer.last_stats().plan_caches_evicted, 5);
+    EXPECT_EQ(fuzzer.last_stats().units, 6 * config.max_trials);
+}
+
+// --- TesterCache: bounded idle-context cache ---------------------------------
+
+TEST(TesterCache, HitSkipsBindingAndRebindIsLru) {
+    core::TesterCache cache(/*bound=*/4, core::DiffConfig{});
+    int binds = 0;
+    const auto count_bind = [&binds](core::DifferentialTester&) { ++binds; };
+
+    // Build two contexts (cache empty), bound to instances 7 and 9.
+    auto t7 = cache.acquire(7, count_bind);
+    auto t9 = cache.acquire(9, count_bind);
+    EXPECT_EQ(binds, 2);
+    EXPECT_EQ(cache.stats().built, 2);
+    core::DifferentialTester* raw7 = t7.get();
+    core::DifferentialTester* raw9 = t9.get();
+    cache.release(std::move(t7), 7);
+    cache.release(std::move(t9), 9);
+    EXPECT_EQ(cache.idle_count(), 2u);
+
+    // Same-instance acquire: hit, no bind, same object back.
+    auto again = cache.acquire(9, count_bind);
+    EXPECT_EQ(binds, 2);
+    EXPECT_EQ(again.get(), raw9);
+    EXPECT_EQ(cache.stats().hits, 1);
+    cache.release(std::move(again), 9);
+
+    // Unknown instance: the least recently released idle context (7) is
+    // rebound instead of building a third.
+    auto rebound = cache.acquire(1, count_bind);
+    EXPECT_EQ(binds, 3);
+    EXPECT_EQ(rebound.get(), raw7);
+    EXPECT_EQ(cache.stats().rebinds, 1);
+    EXPECT_EQ(cache.stats().built, 2);
+}
+
+TEST(TesterCache, EvictsIdleContextsOverBound) {
+    core::TesterCache cache(/*bound=*/1, core::DiffConfig{});
+    const auto no_bind = [](core::DifferentialTester&) {};
+
+    // Two contexts in flight at once (two workers); the bound only applies
+    // when they come back idle.
+    auto a = cache.acquire(0, no_bind);
+    auto b = cache.acquire(1, no_bind);
+    EXPECT_EQ(cache.stats().built, 2);
+    cache.release(std::move(a), 0);
+    EXPECT_EQ(cache.idle_count(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 0);
+    cache.release(std::move(b), 1);  // over the bound: destroyed
+    EXPECT_EQ(cache.idle_count(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+// --- PlanCacheRegistry: bounded per-instance cache registry ------------------
+
+TEST(PlanCacheRegistry, RetireEvictsOldestBeyondBound) {
+    interp::PlanCacheRegistry registry(/*retained_bound=*/1);
+    const interp::PlanCachePtr c0 = registry.acquire(0);
+    const interp::PlanCachePtr c1 = registry.acquire(1);
+    const interp::PlanCachePtr c2 = registry.acquire(2);
+    EXPECT_EQ(registry.size(), 3u);
+    EXPECT_EQ(registry.creations(), 3u);
+    ASSERT_NE(c0, c1);  // instances never share a cache
+
+    registry.retire(0);
+    EXPECT_EQ(registry.evictions(), 0u);  // within the bound
+    registry.retire(1);                    // two retired: oldest (0) goes
+    EXPECT_EQ(registry.evictions(), 1u);
+    EXPECT_EQ(registry.size(), 2u);
+    registry.retire(1);  // idempotent
+    EXPECT_EQ(registry.evictions(), 1u);
+
+    // The shared_ptr held above keeps the evicted cache itself alive — only
+    // the registry entry is gone; re-acquiring creates a fresh cache.
+    const interp::PlanCachePtr c0b = registry.acquire(0);
+    EXPECT_NE(c0b, c0);
+    EXPECT_EQ(registry.creations(), 4u);
+}
+
+TEST(PlanCacheRegistry, ReacquireUnretires) {
+    interp::PlanCacheRegistry registry(/*retained_bound=*/1);
+    const interp::PlanCachePtr c0 = registry.acquire(0);
+    registry.retire(0);
+    // A straggler re-acquires: same cache back, and it no longer counts as
+    // retired (retiring another instance must not evict it first).
+    EXPECT_EQ(registry.acquire(0), c0);
+    const interp::PlanCachePtr c1 = registry.acquire(1);
+    registry.retire(1);
+    EXPECT_EQ(registry.evictions(), 0u);  // 0 is live again, 1 is within bound
+    EXPECT_EQ(registry.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ff
