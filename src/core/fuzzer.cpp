@@ -370,6 +370,7 @@ void run_jobs(const FuzzConfig& config, std::deque<InstanceJob>& jobs, Scheduler
     // Flush remaining retires (stragglers, tail instances) so registry
     // eviction counts are deterministic for a completed run.
     for (InstanceJob& job : jobs) registry.retire(job.index);
+    stats.spec = registry.spec_totals();
     stats.units = sh.units.load(std::memory_order_relaxed);
     stats.claims = sh.claims.load(std::memory_order_relaxed);
     const TesterCache::Stats cache_stats = cache.stats();
@@ -409,25 +410,77 @@ FuzzReport Fuzzer::test_instance(const ir::SDFG& p, const xform::Transformation&
     job.index = 0;
     prepare_instance(config_, p, transformation, match, job);
     run_jobs(config_, jobs, stats_);
+    stats_.prepare_seconds = job.setup_seconds;
     finalize_instance(config_, job);
     return std::move(job.report);
 }
 
 std::vector<FuzzReport> Fuzzer::audit(const ir::SDFG& p,
                                       const std::vector<xform::TransformationPtr>& passes) {
-    // Phase 1: prepare every instance (deterministic match order — this
-    // fixes the canonical instance indexing the merge replays).
+    // Phase 1: prepare every instance.  Match discovery stays sequential —
+    // its order fixes the canonical instance indexing the merge replays —
+    // then the per-instance pipelines (cutout, min-cut, apply, constraints),
+    // which are independent pure functions of (program, match) writing only
+    // their own job slot, fan out over the worker pool.  Reports are
+    // byte-identical at any thread count; only prepare_seconds varies.
+    const auto prep0 = std::chrono::steady_clock::now();
     std::deque<InstanceJob> jobs;
+    std::vector<std::pair<const xform::Transformation*, xform::Match>> units;
     for (const auto& pass : passes) {
-        for (const xform::Match& match : pass->find_matches(p)) {
+        for (xform::Match& match : pass->find_matches(p)) {
             InstanceJob& job = jobs.emplace_back();
             job.index = jobs.size() - 1;
-            prepare_instance(config_, p, *pass, match, job);
+            units.emplace_back(pass.get(), std::move(match));
         }
     }
+    const int prep_workers =
+        resolve_thread_count(config_.num_threads, static_cast<std::int64_t>(jobs.size()));
+    if (prep_workers <= 1 || jobs.size() <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            prepare_instance(config_, p, *units[i].first, units[i].second, jobs[i]);
+    } else {
+        // Claims are monotonic, so when a prepare throws, every lower-index
+        // instance has already been claimed and will finish — rethrowing the
+        // lowest-index failure reproduces exactly what the sequential loop
+        // would have raised.
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> abort{false};
+        std::mutex error_mutex;
+        std::size_t error_index = std::numeric_limits<std::size_t>::max();
+        std::exception_ptr error;
+        auto prep_worker = [&] {
+            for (;;) {
+                // Check abort *before* claiming: a claimed index is always
+                // prepared, so every index below any failing one is
+                // attempted and the lowest-index rethrow below matches the
+                // sequential loop exactly.
+                if (abort.load(std::memory_order_acquire)) return;
+                const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= jobs.size()) return;
+                try {
+                    prepare_instance(config_, p, *units[i].first, units[i].second, jobs[i]);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (i < error_index) {
+                        error_index = i;
+                        error = std::current_exception();
+                    }
+                    abort.store(true, std::memory_order_release);
+                }
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(prep_workers));
+        for (int t = 0; t < prep_workers; ++t) pool.emplace_back(prep_worker);
+        for (std::thread& t : pool) t.join();
+        if (error) std::rethrow_exception(error);
+    }
+    const double prepare_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - prep0).count();
 
     // Phase 2: one pool over all (instance, trial) units.
     run_jobs(config_, jobs, stats_);
+    stats_.prepare_seconds = prepare_seconds;
 
     // Phase 3: canonical instance x trial order merge.
     std::vector<FuzzReport> reports;

@@ -31,10 +31,13 @@ namespace ff::core {
 /// Configuration of one fuzzing run (a single instance or a whole audit).
 struct FuzzConfig {
     int max_trials = 100;  ///< "we test each instance ... over 100 trials" (Sec. 6.4)
-    /// Workers of the audit-wide trial pool.  One pool serves the whole
-    /// audit: workers drain a global queue of (instance, trial) units, so
-    /// trials of independent instances overlap and there is no join barrier
-    /// between instances.  0 = hardware concurrency.  Any value produces
+    /// Workers of the audit-wide trial pool (and of the audit prepare
+    /// phase, which fans cutout extraction / min-cut / constraint
+    /// derivation of independent instances over the same count).  One pool
+    /// serves the whole audit: workers drain a global queue of (instance,
+    /// trial) units, so trials of independent instances overlap and there
+    /// is no join barrier between instances.  0 = hardware concurrency.
+    /// Any value produces
     /// byte-identical FuzzReports: trial inputs are a pure function of
     /// (seed, trial index) and per-instance results are merged in canonical
     /// instance x trial order, so the reported verdict is always the
@@ -121,6 +124,16 @@ struct SchedulerStats {
     int context_rebinds = 0;     ///< Idle contexts rebound to a new instance.
     int context_evictions = 0;   ///< Idle contexts destroyed over the bound.
     std::int64_t plan_caches_evicted = 0;  ///< Registry evictions (see plan_cache.h).
+    /// Wall clock of the prepare phase (cutout, min-cut, transformation
+    /// application, constraint derivation across all instances; audit()
+    /// fans it over the worker pool).  Deterministic in outcome, not value.
+    double prepare_seconds = 0.0;
+    /// Specialization counters summed over every per-instance plan cache of
+    /// the run: how many scopes/tasklets classified into the flat-stride /
+    /// untagged-f64 tiers and how the kernel launches went (see
+    /// interp::SpecStats and docs/TUNING.md).  Plan-time fields are
+    /// deterministic; launch counters scale with executed trials.
+    interp::SpecStats spec;
 };
 
 /// Differential fuzzer: tests transformation instances (Sec. 5) and audits

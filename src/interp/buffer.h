@@ -26,8 +26,24 @@ public:
 
     ir::DType dtype() const { return dtype_; }
     const std::vector<std::int64_t>& shape() const { return shape_; }
+    /// Row-major element strides (same length as shape()); exposed so the
+    /// interpreter's flat-stride map kernels can fold affine index
+    /// expressions into precomputed flat-offset advances.
+    const std::vector<std::int64_t>& strides() const { return strides_; }
     std::size_t dims() const { return shape_.size(); }
     std::int64_t size() const { return size_; }
+
+    /// Raw f64 storage, or nullptr unless dtype() == F64.  The flat-stride
+    /// kernel path reads/writes through this pointer after validating the
+    /// whole iteration footprint up front — callers own the bounds proof.
+    double* f64_data() {
+        auto* v = std::get_if<std::vector<double>>(&data_);
+        return v ? v->data() : nullptr;
+    }
+    const double* f64_data() const {
+        const auto* v = std::get_if<std::vector<double>>(&data_);
+        return v ? v->data() : nullptr;
+    }
 
     /// Row-major flat index; throws common::OutOfBoundsError (tagged with
     /// `container` for diagnostics) when any coordinate is out of range.

@@ -52,7 +52,7 @@ RangePlan lower_range(const ir::Range& r, sym::SymbolTable& tab,
 
 }  // namespace
 
-StatePlan Interpreter::build_plan(const ir::State& state) {
+StatePlan Interpreter::build_plan(const ir::SDFG& sdfg, const ir::State& state) {
     const auto topo = state.graph().topological_order();
     if (!topo) throw common::ValidationError("state '" + state.name() + "' has a dataflow cycle");
 
@@ -106,7 +106,7 @@ StatePlan Interpreter::build_plan(const ir::State& state) {
         const DataflowNode& node = state.graph().node(n);
         if (node.kind == NodeKind::Tasklet) {
             TaskletPlan tp;
-            build_tasklet_plan(state, n, tp, cache_counter, used);
+            build_tasklet_plan(sdfg, state, n, tp, cache_counter, used);
             plan.node_to_plan[static_cast<std::size_t>(n)] =
                 static_cast<int>(plan.tasklet_plans.size());
             plan.tasklet_plans.push_back(std::move(tp));
@@ -154,14 +154,99 @@ StatePlan Interpreter::build_plan(const ir::State& state) {
         sp.pure = pure;
     }
 
+    // Specialization tier: flat-stride kernels for qualifying scopes.
+    std::int64_t f64_count = 0;
+    for (const TaskletPlan& tp : plan.tasklet_plans) f64_count += tp.use_f64 ? 1 : 0;
+    std::int64_t specialized = 0;
+    for (ScopePlan& sp : plan.scope_plans) {
+        classify_scope_kernel(sdfg, state, plan, sp);
+        specialized += sp.kernel >= 0 ? 1 : 0;
+    }
+    plans_->note_classification(static_cast<std::int64_t>(plan.scope_plans.size()), specialized,
+                                static_cast<std::int64_t>(plan.tasklet_plans.size()), f64_count);
+
     plan.referenced.reserve(used.size());
     for (const sym::SymId id : used) plan.referenced.emplace_back(id, tab.name(id));
     plan.symtab_size = tab.size();
     return plan;
 }
 
-void Interpreter::build_tasklet_plan(const ir::State& state, NodeId nid, TaskletPlan& tp,
-                                     int& cache_counter, std::vector<sym::SymId>& used) {
+void Interpreter::classify_scope_kernel(const ir::SDFG& sdfg, const ir::State& state,
+                                        StatePlan& plan, ScopePlan& sp) {
+    const std::size_t nparams = sp.params.size();
+    if (!sp.pure || nparams == 0) return;
+
+    // Range bounds must be evaluable once at scope entry: no bound may
+    // reference the scope's own parameters (triangular nests stay generic).
+    for (const RangePlan& r : sp.ranges)
+        if (r.begin.uses_any(sp.params.data(), nparams) ||
+            r.end.uses_any(sp.params.data(), nparams) ||
+            r.step.uses_any(sp.params.data(), nparams))
+            return;
+
+    ScopeKernel kern;
+    for (const ir::NodeId c : sp.children) {
+        if (state.graph().node(c).kind != NodeKind::Tasklet) return;  // nested scope etc.
+        const TaskletPlan* tp = plan.plan_of(c);
+        if (!tp || tp->use_reference) return;
+        // Input validation must be statically satisfied: single-point
+        // gathers deliver exactly one lane, so any wider (or unbound)
+        // declared input would throw per point — leave that to the generic
+        // path.
+        for (const TaskletPlan::InputCheck& check : tp->input_checks)
+            if (check.input_index < 0 || check.width > 1) return;
+        // The committed point loop must be throw-free: lane buffers are
+        // pre-allocated at launch, so a tasklet throwing mid-loop would
+        // leave different partial allocations than the lazily-allocating
+        // generic path.  Trap instructions always throw when reached;
+        // integer division/modulo can throw on a zero divisor — allowed
+        // only when the f64 feasibility proof (all inputs arrive as
+        // doubles, so the int division path is unreachable) applies, i.e.
+        // the program is feasible and every input container is float.
+        if (!tp->prog->trap_connectors().empty()) return;
+        if (tp->prog->has_div_mod()) {
+            bool floats_only = tp->prog->has_f64_variant();
+            for (const AccessPlan& ap : tp->inputs)
+                floats_only = floats_only && sdfg.has_container(ap.memlet->data) &&
+                              ir::dtype_is_float(sdfg.container(ap.memlet->data).dtype);
+            if (!floats_only) return;
+        }
+        const int tindex = static_cast<int>(kern.tasklets.size());
+        auto classify_access = [&](const AccessPlan& ap, bool output, int index) {
+            if (!ap.single_point || ap.invalid || ap.passthrough_pool >= 0) return false;
+            if (output && ap.slot_base < 0) return false;
+            if (!sdfg.has_container(ap.memlet->data)) return false;
+            const ir::DataDesc& desc = sdfg.container(ap.memlet->data);
+            // Rank mismatches raise inside the loop on the generic path.
+            if (desc.dims() != ap.dims.size()) return false;
+            KernelAccess ka;
+            ka.tasklet = tindex;
+            ka.output = output;
+            ka.index = index;
+            ka.coeffs.reserve(ap.dims.size() * nparams);
+            for (const ir::Range& r : ap.memlet->subset.ranges) {
+                // single_point: begin == end structurally, begin is the index.
+                const auto coeffs = ir::affine_coefficients(r.begin, sp.param_names);
+                if (!coeffs) return false;
+                ka.coeffs.insert(ka.coeffs.end(), coeffs->begin(), coeffs->end());
+            }
+            kern.accesses.push_back(std::move(ka));
+            return true;
+        };
+        for (std::size_t i = 0; i < tp->inputs.size(); ++i)
+            if (!classify_access(tp->inputs[i], false, static_cast<int>(i))) return;
+        for (std::size_t i = 0; i < tp->outputs.size(); ++i)
+            if (!classify_access(tp->outputs[i], true, static_cast<int>(i))) return;
+        kern.tasklets.push_back(plan.node_to_plan[static_cast<std::size_t>(c)]);
+    }
+
+    sp.kernel = static_cast<int>(plan.kernels.size());
+    plan.kernels.push_back(std::move(kern));
+}
+
+void Interpreter::build_tasklet_plan(const ir::SDFG& sdfg, const ir::State& state, NodeId nid,
+                                     TaskletPlan& tp, int& cache_counter,
+                                     std::vector<sym::SymId>& used) {
     const DataflowNode& node = state.graph().node(nid);
     tp.prog = program_for(node.code);
     tp.label = node.label;
@@ -253,6 +338,19 @@ void Interpreter::build_tasklet_plan(const ir::State& state, NodeId nid, Tasklet
         ap.cache_index = cache_counter++;
         tp.outputs.push_back(std::move(ap));
     }
+
+    // Untagged f64 engine selection: program-side feasibility (proved at
+    // parse time under the all-inputs-are-doubles assumption) plus
+    // graph-side facts — every connector binds a single-point subset of an
+    // F64 container, with no passthrough staging or invalid outputs.
+    tp.use_f64 = !tp.use_reference && prog.has_f64_variant();
+    auto f64_access = [&](const AccessPlan& ap) {
+        return ap.single_point && !ap.invalid && ap.passthrough_pool < 0 &&
+               sdfg.has_container(ap.memlet->data) &&
+               sdfg.container(ap.memlet->data).dtype == ir::DType::F64;
+    };
+    for (const AccessPlan& ap : tp.inputs) tp.use_f64 = tp.use_f64 && f64_access(ap);
+    for (const AccessPlan& ap : tp.outputs) tp.use_f64 = tp.use_f64 && f64_access(ap);
 }
 
 const StatePlan& Interpreter::plan_for(const ir::SDFG& sdfg, const ir::State& state) {
@@ -266,7 +364,7 @@ const StatePlan& Interpreter::plan_for(const ir::SDFG& sdfg, const ir::State& st
         const auto last =
             plan_memo_.lower_bound(PlanKey{sdfg.plan_uid(), sdfg.mutation_epoch(), nullptr});
         plan_memo_.erase(first, last);
-        auto plan = plans_->get_or_build(key, [&] { return build_plan(state); });
+        auto plan = plans_->get_or_build(key, [&] { return build_plan(sdfg, state); });
         it = plan_memo_.emplace(key, std::move(plan)).first;
     }
     return *it->second;
@@ -410,6 +508,18 @@ void Interpreter::execute_scope(const ir::SDFG& sdfg, const ir::State& state,
         s.active_params.push_back(Scratch::ActiveParam{sp.param_names[i], 0});
     }
 
+    // Flat-stride kernel: when the scope classified at plan time and this
+    // launch's ranks/footprint validate, the whole nest runs over
+    // precomputed flat-offset advances (execute_scope_kernel); otherwise
+    // fall through to the generic odometer below, which reproduces the
+    // unspecialized path's exact effects and errors.
+    bool kernel_done = false;
+    if (interned_only && config_.specialize && sp.kernel >= 0) {
+        kernel_done = execute_scope_kernel(
+            sdfg, plan, sp, plan.kernels[static_cast<std::size_t>(sp.kernel)], ctx);
+        plans_->note_kernel_launch(kernel_done);
+    }
+
     // Iterate the cartesian product of ranges.  Bounds are evaluated per
     // level because they may reference parameters of enclosing scopes.
     auto iterate = [&](auto&& self, std::size_t level) -> void {
@@ -431,7 +541,7 @@ void Interpreter::execute_scope(const ir::SDFG& sdfg, const ir::State& state,
             self(self, level + 1);
         }
     };
-    iterate(iterate, 0);
+    if (!kernel_done) iterate(iterate, 0);
 
     // Restore bindings.
     for (std::size_t i = 0; i < nparams; ++i) {
@@ -445,6 +555,181 @@ void Interpreter::execute_scope(const ir::SDFG& sdfg, const ir::State& state,
     }
     s.param_stack.resize(pbase);
     s.active_params.resize(abase);
+}
+
+bool Interpreter::execute_scope_kernel(const ir::SDFG& sdfg, const StatePlan& plan,
+                                       const ScopePlan& sp, const ScopeKernel& kern,
+                                       Context& ctx) {
+    Scratch& s = scratch_;
+    const std::size_t nparams = sp.params.size();
+    const std::size_t nlanes = kern.accesses.size();
+    // Caller (execute_scope) pushed this scope's active_params block.
+    const std::size_t abase = s.active_params.size() - nparams;
+
+    // The kernel bypasses execute_tasklet_planned, so it owns the Buffer*
+    // cache guard its per-point loop relies on.
+    if (s.cache_plan != &plan || s.cache_ctx != &ctx) {
+        s.buffer_cache.assign(static_cast<std::size_t>(plan.cache_slots), nullptr);
+        s.cache_plan = &plan;
+        s.cache_ctx = &ctx;
+    }
+
+    // 1. Ranges, level by level: an empty level returns before a deeper
+    // level's step-0 / unbound-symbol error fires, exactly like the generic
+    // path (whose inner levels are never evaluated under an empty outer one).
+    s.kbegin.resize(nparams);
+    s.kstep.resize(nparams);
+    s.kcount.resize(nparams);
+    for (std::size_t k = 0; k < nparams; ++k) {
+        const RangePlan& r = sp.ranges[k];
+        const std::int64_t begin = r.begin.eval(s.flat, s.eval_stack);
+        const std::int64_t end = r.end.eval(s.flat, s.eval_stack);
+        const std::int64_t step = r.step.eval(s.flat, s.eval_stack);
+        if (step == 0) throw common::Error("map '" + sp.label + "' has step 0");
+        const std::int64_t count =
+            ir::concrete_range_size(ir::ConcreteRange{begin, end, step});
+        if (count == 0) return true;  // empty nest: nothing executes, committed
+        // Extents past 2^31 make no throughput difference either way; keep
+        // the footprint arithmetic comfortably inside __int128.
+        if (count > (std::int64_t{1} << 31)) return false;
+        s.kbegin[k] = begin;
+        s.kstep[k] = step;
+        s.kcount[k] = count;
+    }
+
+    // 2. Bind parameters to the begin point, so base-index evaluation and
+    // any lazy buffer-shape resolution see exactly what the generic path's
+    // first iteration would.
+    for (std::size_t k = 0; k < nparams; ++k) {
+        s.flat.bind(sp.params[k], s.kbegin[k]);
+        s.active_params[abase + k].value = s.kbegin[k];
+    }
+
+    // 3. Per access, in the generic path's first-point order: ensure the
+    // buffer, evaluate the base index, validate rank and the whole iteration
+    // footprint, and fold the affine coefficients into flat-offset deltas.
+    // Any validation failure — *including* anything thrown (shape
+    // resolution, unbound index symbol) — falls back: the generic odometer
+    // owns error semantics outright, re-raising from the exact point the
+    // unspecialized run would (with earlier sibling tasklets' first-point
+    // effects in place, which this pre-pass must not shortcut).  Everything
+    // attempted here is idempotent (allocation, pure evaluation), so the
+    // replay is byte-identical.
+    s.lanes.resize(nlanes);
+    s.lane_delta.assign(nlanes * nparams, 0);
+    const auto setup_lane = [&](std::size_t a) {
+        const KernelAccess& ka = kern.accesses[a];
+        const TaskletPlan& tp =
+            plan.tasklet_plans[static_cast<std::size_t>(kern.tasklets[ka.tasklet])];
+        const AccessPlan& ap =
+            ka.output ? tp.outputs[static_cast<std::size_t>(ka.index)]
+                      : tp.inputs[static_cast<std::size_t>(ka.index)];
+        Buffer& buf = plan_buffer(sdfg, ctx, plan, ap);
+        Scratch::KernelLane& lane = s.lanes[a];
+        lane.buf = &buf;
+        lane.f64 = tp.use_f64 ? buf.f64_data() : nullptr;
+        lane.slot = ap.slot_base;
+        const std::size_t dims = ap.dims.size();
+        if (buf.dims() != dims) return false;  // generic raises rank mismatch
+        if (tp.use_f64 && !lane.f64) return false;  // defensive: dtype drift
+        const auto& shape = buf.shape();
+        const auto& strides = buf.strides();
+        __int128 flat0 = 0;
+        for (std::size_t d = 0; d < dims; ++d) {
+            const std::int64_t base = ap.dims[d].begin.eval(s.flat, s.eval_stack);
+            __int128 lo = base, hi = base;
+            for (std::size_t k = 0; k < nparams; ++k) {
+                const __int128 travel = static_cast<__int128>(ka.coeffs[d * nparams + k]) *
+                                        (s.kcount[k] - 1) * s.kstep[k];
+                (travel < 0 ? lo : hi) += travel;
+            }
+            if (lo < 0 || hi >= shape[d]) return false;  // could fault: generic raises
+            flat0 += static_cast<__int128>(base) * strides[d];
+        }
+        // Every point's offset is now proven in [0, size), so every delta —
+        // a difference of reachable offsets — fits an int64.
+        lane.offset = static_cast<std::int64_t>(flat0);
+        std::int64_t* delta = &s.lane_delta[a * nparams];
+        std::int64_t suffix = 0;  // full traversal of the levels below k
+        for (std::size_t k = nparams; k-- > 0;) {
+            std::int64_t adv = 0;
+            if (s.kcount[k] > 1)
+                for (std::size_t d = 0; d < dims; ++d)
+                    adv += ka.coeffs[d * nparams + k] * s.kstep[k] * strides[d];
+            delta[k] = adv - suffix;
+            suffix += adv * (s.kcount[k] - 1);
+        }
+        return true;
+    };
+    try {
+        for (std::size_t a = 0; a < nlanes; ++a)
+            if (!setup_lane(a)) return false;
+    } catch (...) {
+        return false;  // generic replay re-raises from the right point
+    }
+
+    // 4. The loop.  Per point: gather -> VM -> scatter per tasklet through
+    // the lanes; advancing to the next point is one add per lane.
+    s.kiter.assign(nparams, 0);
+    const std::size_t ntasklets = kern.tasklets.size();
+    for (;;) {
+        std::size_t a = 0;
+        for (std::size_t t = 0; t < ntasklets; ++t) {
+            const TaskletPlan& tp =
+                plan.tasklet_plans[static_cast<std::size_t>(kern.tasklets[t])];
+            const std::size_t nin = tp.inputs.size();
+            const std::size_t nout = tp.outputs.size();
+            if (tp.use_f64) {
+                const std::size_t nslots = static_cast<std::size_t>(tp.prog->slot_count());
+                const std::size_t nregs = static_cast<std::size_t>(tp.prog->reg_count());
+                if (s.f64_slots.size() < nslots) s.f64_slots.resize(nslots);
+                std::fill_n(s.f64_slots.begin(), nslots, 0.0);
+                if (s.f64_regs.size() < nregs) s.f64_regs.resize(nregs);
+                for (std::size_t i = 0; i < nin; ++i, ++a) {
+                    const Scratch::KernelLane& lane = s.lanes[a];
+                    if (lane.slot >= 0)
+                        s.f64_slots[static_cast<std::size_t>(lane.slot)] =
+                            lane.f64[lane.offset];
+                }
+                tp.prog->execute_f64(s.f64_slots.data(), s.f64_regs.data());
+                for (std::size_t i = 0; i < nout; ++i, ++a) {
+                    const Scratch::KernelLane& lane = s.lanes[a];
+                    lane.f64[lane.offset] =
+                        s.f64_slots[static_cast<std::size_t>(lane.slot)];
+                }
+            } else {
+                const std::size_t nslots = static_cast<std::size_t>(tp.prog->slot_count());
+                const std::size_t nregs = static_cast<std::size_t>(tp.prog->reg_count());
+                if (s.slots.size() < nslots) s.slots.resize(nslots);
+                std::fill_n(s.slots.begin(), nslots, Value{});
+                if (s.regs.size() < nregs) s.regs.resize(nregs);
+                for (std::size_t i = 0; i < nin; ++i, ++a) {
+                    const Scratch::KernelLane& lane = s.lanes[a];
+                    if (lane.slot >= 0)
+                        s.slots[static_cast<std::size_t>(lane.slot)] =
+                            lane.buf->load(lane.offset);
+                }
+                tp.prog->execute_compiled(s.slots.data(), s.regs.data());
+                for (std::size_t i = 0; i < nout; ++i, ++a) {
+                    const Scratch::KernelLane& lane = s.lanes[a];
+                    lane.buf->store(lane.offset,
+                                    s.slots[static_cast<std::size_t>(lane.slot)]);
+                }
+            }
+        }
+        // Odometer: find the deepest level that advances; the precomputed
+        // delta folds that advance plus every deeper level's reset into one
+        // add per lane.
+        std::size_t k = nparams - 1;
+        for (;;) {
+            if (++s.kiter[k] < static_cast<std::int64_t>(s.kcount[k])) break;
+            s.kiter[k] = 0;
+            if (k == 0) return true;  // every level wrapped: done
+            --k;
+        }
+        for (std::size_t l = 0; l < nlanes; ++l)
+            s.lanes[l].offset += s.lane_delta[l * nparams + k];
+    }
 }
 
 Buffer& Interpreter::ensure_buffer(const ir::SDFG& sdfg, Context& ctx, const std::string& name) {
@@ -666,6 +951,7 @@ void Interpreter::execute_tasklet_planned(const ir::SDFG& sdfg, const ir::State&
         s.cache_plan = &plan;
         s.cache_ctx = &ctx;
     }
+    if (tp.use_f64 && config_.specialize && execute_tasklet_f64(sdfg, plan, tp, ctx)) return;
 
     const std::size_t nslots = static_cast<std::size_t>(tp.prog->slot_count());
     const std::size_t nregs = static_cast<std::size_t>(tp.prog->reg_count());
@@ -687,6 +973,64 @@ void Interpreter::execute_tasklet_planned(const ir::SDFG& sdfg, const ir::State&
     tp.prog->execute_compiled(s.slots.data(), s.regs.data());
 
     for (const AccessPlan& ap : tp.outputs) plan_scatter(sdfg, ctx, plan, tp, ap, s.slots.data());
+}
+
+bool Interpreter::execute_tasklet_f64(const ir::SDFG& sdfg, const StatePlan& plan,
+                                      const TaskletPlan& tp, Context& ctx) {
+    // Twin of execute_tasklet_planned for tp.use_f64 nodes outside
+    // flat-stride kernels: every access is a single F64 point (by
+    // classification), so gathers and scatters move raw doubles between
+    // bounds-checked flat indices and the untagged slot array.  Evaluation
+    // order — inputs in edge order, declared-input checks, program, outputs
+    // in edge order — matches the tagged path instruction for instruction,
+    // including lazy output-buffer allocation at each scatter (an earlier
+    // output's bounds error must leave later outputs unallocated, exactly
+    // like the tagged path).  The output dtype-drift check is therefore a
+    // pure lookup: a buffer absent from the context will be allocated from
+    // the declared F64 container and cannot have drifted.
+    Scratch& s = scratch_;
+    const std::size_t nslots = static_cast<std::size_t>(tp.prog->slot_count());
+    const std::size_t nregs = static_cast<std::size_t>(tp.prog->reg_count());
+    if (s.f64_slots.size() < nslots) s.f64_slots.resize(nslots);
+    std::fill_n(s.f64_slots.begin(), nslots, 0.0);
+    if (s.f64_regs.size() < nregs) s.f64_regs.resize(nregs);
+
+    auto& idx = s.idx;
+    auto flat_of = [&](Buffer& buf, const AccessPlan& ap) {
+        idx.resize(ap.dims.size());
+        for (std::size_t d = 0; d < ap.dims.size(); ++d)
+            idx[d] = ap.dims[d].begin.eval(s.flat, s.eval_stack);
+        return buf.flat_index(idx, ap.memlet->data);
+    };
+
+    s.input_counts.resize(tp.inputs.size());
+    for (std::size_t i = 0; i < tp.inputs.size(); ++i) {
+        const AccessPlan& ap = tp.inputs[i];
+        Buffer& buf = plan_buffer(sdfg, ctx, plan, ap);
+        const double* data = buf.f64_data();
+        if (!data) return false;  // dtype drift: tagged path handles it
+        const std::int64_t flat = flat_of(buf, ap);
+        if (ap.slot_base >= 0)
+            s.f64_slots[static_cast<std::size_t>(ap.slot_base)] = data[flat];
+        s.input_counts[i] = 1;
+    }
+    for (const TaskletPlan::InputCheck& check : tp.input_checks)
+        if (check.input_index < 0 ||
+            s.input_counts[static_cast<std::size_t>(check.input_index)] < check.width)
+            throw common::Error("tasklet: missing input connector '" + check.conn + "'");
+    for (const AccessPlan& ap : tp.outputs) {
+        const auto it = ctx.buffers.find(ap.memlet->data);
+        if (it != ctx.buffers.end() && !it->second.f64_data()) return false;
+    }
+
+    tp.prog->execute_f64(s.f64_slots.data(), s.f64_regs.data());
+
+    for (const AccessPlan& ap : tp.outputs) {
+        Buffer& buf = plan_buffer(sdfg, ctx, plan, ap);
+        buf.f64_data()[flat_of(buf, ap)] =
+            s.f64_slots[static_cast<std::size_t>(ap.slot_base)];
+    }
+    return true;
 }
 
 // --- Copies and collectives -------------------------------------------------

@@ -50,6 +50,25 @@
 // reference-engine nodes additionally maintain the string bindings per
 // iteration, preserving the legacy semantics for those nodes.
 //
+// Specialization tiers (plan-level loop specialization):
+//
+// On top of the compiled path, build_plan classifies every map scope.  A
+// scope whose children are all compiled tasklets, whose range bounds are
+// evaluable at scope entry (they never reference the scope's own
+// parameters), and whose memlet indices are affine in the scope parameters
+// with constant coefficients carries a ScopeKernel: per-access flat-stride
+// advances replace the odometer's per-point index-expression evaluation and
+// bounds-checked flat_index calls — advancing a point is one add per
+// connector, and the whole iteration footprint is validated once per launch
+// (a launch that could fault falls back to the generic odometer, which owns
+// partial-effect and error-ordering semantics).  Independently, a tasklet
+// whose connectors all bind scalar F64 containers and whose program admits
+// it (see TaskletProgram::has_f64_variant) selects the untagged double-only
+// VM; inside a kernel its inner loop runs over raw Buffer f64 storage.
+// Classification lives in the shared plan (keyed, like everything else, on
+// plan uid + mutation epoch); ExecConfig::specialize selects whether
+// execution uses it, and results are byte-identical either way.
+//
 // Plan sharing across threads:
 //
 // All derived artifacts live in a PlanCache (see plan_cache.h) keyed by
@@ -86,6 +105,13 @@ struct ExecConfig {
     /// engine with per-point ConnectorEnv construction — kept selectable
     /// for differential testing and the hot-path benchmark.
     bool use_compiled_tasklets = true;
+    /// Use the plan's specialization tiers: flat-stride map kernels and the
+    /// untagged f64 tasklet VM (only meaningful with compiled tasklets).
+    /// Plans always carry the classification; this selects whether execution
+    /// uses it.  Off reproduces the generic compiled path — results are
+    /// byte-identical either way (the determinism contract), so this knob
+    /// exists for benchmarking and differential self-checks.
+    bool specialize = true;
 };
 
 enum class ExecStatus { Ok, Crash, Hang };
@@ -153,6 +179,11 @@ struct TaskletPlan {
     /// Trap connector bound by an edge: the static unbound-lane analysis
     /// does not apply, run this node on the reference engine.
     bool use_reference = false;
+    /// Run the untagged double-only bytecode: the program admits it (see
+    /// TaskletProgram::has_f64_variant) and every connector binds a
+    /// single-point subset of an F64 container.  Gated at execution time by
+    /// ExecConfig::specialize.
+    bool use_f64 = false;
 };
 
 /// Compiled execution recipe for one map scope.
@@ -166,6 +197,34 @@ struct ScopePlan {
     /// scopes: iteration binds parameters in the flat bindings only, never
     /// touching the string-keyed Context map.
     bool pure = false;
+    /// Index into StatePlan::kernels when this scope classified as a
+    /// flat-stride kernel; -1 otherwise.
+    int kernel = -1;
+};
+
+/// One memlet of a flat-stride kernel: the affine decomposition of its
+/// (single-point) subset over the scope parameters.  index_d = base_d +
+/// sum_k coeffs[d * params + k] * param_k, where base_d is obtained at
+/// launch time by evaluating the lowered index programs at the ranges'
+/// begin point.
+struct KernelAccess {
+    int tasklet = 0;      ///< Index into ScopeKernel::tasklets.
+    bool output = false;  ///< Input or output of that tasklet.
+    int index = 0;        ///< Position among the tasklet's inputs/outputs.
+    std::vector<std::int64_t> coeffs;  ///< dims x params, row-major.
+};
+
+/// Flat-stride specialization of one map scope: every child is a compiled
+/// tasklet, every range bound is evaluable at scope entry, and every memlet
+/// index is affine in the scope parameters with constant coefficients —
+/// per-point addressing collapses to one precomputed flat-offset add per
+/// connector.  Classified once at plan time; every launch still validates
+/// ranks and the concrete iteration footprint, handing scopes that could
+/// fault back to the generic odometer (which owns partial-effect and
+/// error-ordering semantics).
+struct ScopeKernel {
+    std::vector<int> tasklets;           ///< tasklet_plans indices, child order.
+    std::vector<KernelAccess> accesses;  ///< Grouped by tasklet, inputs first.
 };
 
 /// Precomputed execution structure of one state: topological order, scope
@@ -180,6 +239,7 @@ struct StatePlan {
     std::vector<int> node_to_plan;   // NodeId -> index into tasklet_plans, -1 otherwise
     std::vector<ScopePlan> scope_plans;
     std::vector<int> node_to_scope;  // NodeId -> index into scope_plans, -1 otherwise
+    std::vector<ScopeKernel> kernels;  // flat-stride scopes (ScopePlan::kernel)
     int cache_slots = 0;             // total AccessPlan count (Buffer* cache size)
     /// Symbols this plan references: flat-binding slots mirrored from the
     /// Context's string-keyed map once per state execution.
@@ -270,10 +330,27 @@ private:
                               const StatePlan& plan, ir::NodeId node, Context& ctx);
     void execute_scope(const ir::SDFG& sdfg, const ir::State& state, const StatePlan& plan,
                        ir::NodeId entry, Context& ctx);
+    /// Attempts one flat-stride launch of a kernelized scope.  Returns false
+    /// when per-launch validation (rank match, footprint in bounds, sane
+    /// extents) fails — the caller then runs the generic odometer, which
+    /// reproduces the exact partial effects and error of the unspecialized
+    /// path.  Ranges are evaluated level by level exactly like the generic
+    /// path, so step-0 / unbound-symbol errors surface identically.
+    bool execute_scope_kernel(const ir::SDFG& sdfg, const StatePlan& plan, const ScopePlan& sp,
+                              const ScopeKernel& kern, Context& ctx);
     void execute_tasklet(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
                          Context& ctx);
     void execute_tasklet_planned(const ir::SDFG& sdfg, const ir::State& state,
                                  const StatePlan& plan, const TaskletPlan& tp, Context& ctx);
+    /// Untagged f64 twin of execute_tasklet_planned (tp.use_f64 only):
+    /// single-point gathers/scatters straight between raw F64 storage and a
+    /// flat double slot array, no Value tags anywhere.  Returns false —
+    /// before any store, with only idempotent work done — when a
+    /// caller-provided context buffer's dtype drifted from the declared F64
+    /// container; the caller then runs the tagged path, which handles any
+    /// dtype.
+    bool execute_tasklet_f64(const ir::SDFG& sdfg, const StatePlan& plan, const TaskletPlan& tp,
+                             Context& ctx);
     void execute_access_copies(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
                                Context& ctx);
     void execute_comm_single_rank(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
@@ -292,9 +369,13 @@ private:
                                                           const Context& ctx);
     /// Evaluates an access plan's lowered dims against the flat bindings.
     const std::vector<ir::ConcreteRange>& concretize_plan(const AccessPlan& ap);
-    StatePlan build_plan(const ir::State& state);
-    void build_tasklet_plan(const ir::State& state, ir::NodeId node, TaskletPlan& tp,
-                            int& cache_counter, std::vector<sym::SymId>& used);
+    StatePlan build_plan(const ir::SDFG& sdfg, const ir::State& state);
+    void build_tasklet_plan(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
+                            TaskletPlan& tp, int& cache_counter, std::vector<sym::SymId>& used);
+    /// Classifies one scope for flat-stride execution; appends to
+    /// plan.kernels and links sp.kernel on success.
+    void classify_scope_kernel(const ir::SDFG& sdfg, const ir::State& state, StatePlan& plan,
+                               ScopePlan& sp);
 
     Buffer& plan_buffer(const ir::SDFG& sdfg, Context& ctx, const StatePlan& plan,
                         const AccessPlan& ap);
@@ -342,6 +423,27 @@ private:
             std::int64_t value;
         };
         std::vector<ActiveParam> active_params;
+
+        // Untagged f64 tasklet execution (TaskletPlan::use_f64).
+        std::vector<double> f64_slots;  // connector lanes, raw doubles
+        std::vector<double> f64_regs;   // f64 VM register file
+
+        // Flat-stride kernel launch state (reused across launches).
+        /// One access of the running kernel: its buffer, an optional raw f64
+        /// pointer (F64 fast path), and the current flat offset.
+        struct KernelLane {
+            Buffer* buf = nullptr;
+            double* f64 = nullptr;
+            std::int64_t offset = 0;
+            int slot = -1;  // connector slot base; -1 = side-effect-only gather
+        };
+        std::vector<KernelLane> lanes;
+        /// lanes x params: offset delta applied when level k advances (its
+        /// own stride times step, minus the full traversal of every deeper
+        /// level — the odometer reset folded into one add).
+        std::vector<std::int64_t> lane_delta;
+        std::vector<std::int64_t> kbegin, kstep, kcount;  // per level
+        std::vector<std::int64_t> kiter;                  // odometer counters
     };
     Scratch scratch_;
     // Deque: growing the pool must not invalidate references handed out for

@@ -59,9 +59,19 @@ void PlanCacheRegistry::evict_over_bound() {
             }
         }
         if (retired <= retained_bound_ || oldest == entries_.end()) return;
+        // Fold the evicted cache's specialization counters into the running
+        // total so spec_totals() survives eviction.
+        evicted_spec_ += oldest->second.cache->spec_stats();
         entries_.erase(oldest);
         ++evictions_;
     }
+}
+
+SpecStats PlanCacheRegistry::spec_totals() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SpecStats total = evicted_spec_;
+    for (const auto& [key, entry] : entries_) total += entry.cache->spec_stats();
+    return total;
 }
 
 std::size_t PlanCacheRegistry::size() const {

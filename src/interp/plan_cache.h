@@ -30,6 +30,7 @@
 /// bounded per-instance registry behind the audit-wide scheduler
 /// (PlanCacheRegistry).
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -51,6 +52,34 @@ struct StatePlan;
 
 /// Identity of one state's plan: (SDFG uid, mutation epoch, state address).
 using PlanKey = std::tuple<std::uint64_t, std::uint64_t, const ir::State*>;
+
+/// Specialization counters of one plan cache (see docs/TUNING.md).
+///
+/// The plan-time fields count classification outcomes — how many map scopes
+/// collapsed to flat-stride kernels and how many tasklets got the untagged
+/// f64 engine — once per built StatePlan.  The runtime fields count kernel
+/// launches: a *fallback* is a launch whose per-execution validation (rank or
+/// footprint) handed the scope back to the generic odometer.  Counter values
+/// never influence results; they exist for benchmarks and tuning.
+struct SpecStats {
+    std::int64_t scopes_planned = 0;      ///< Map scopes classified.
+    std::int64_t scopes_specialized = 0;  ///< ... that carry a flat-stride kernel.
+    std::int64_t tasklets_planned = 0;    ///< Tasklet plans built.
+    std::int64_t tasklets_f64 = 0;        ///< ... selecting the untagged f64 VM.
+    std::int64_t kernel_launches = 0;     ///< Flat-stride executions committed.
+    std::int64_t kernel_fallbacks = 0;    ///< Launches revalidated onto the generic path.
+
+    /// Field-wise accumulation (registry totals over many caches).
+    SpecStats& operator+=(const SpecStats& o) {
+        scopes_planned += o.scopes_planned;
+        scopes_specialized += o.scopes_specialized;
+        tasklets_planned += o.tasklets_planned;
+        tasklets_f64 += o.tasklets_f64;
+        kernel_launches += o.kernel_launches;
+        kernel_fallbacks += o.kernel_fallbacks;
+        return *this;
+    }
+};
 
 /// Thread-safe cache of the compiled artifacts derived from one (or more)
 /// immutable SDFGs: per-state StatePlans, content-keyed tasklet programs,
@@ -82,6 +111,37 @@ public:
     /// Parsed+compiled tasklet program for `code`, cached by content.
     TaskletProgramPtr program_for(const std::string& code);
 
+    /// Accumulates plan-time classification counts (once per built plan;
+    /// called from inside the build callback, so effectively serialized).
+    void note_classification(std::int64_t scopes, std::int64_t specialized,
+                             std::int64_t tasklets, std::int64_t f64) {
+        scopes_planned_.fetch_add(scopes, std::memory_order_relaxed);
+        scopes_specialized_.fetch_add(specialized, std::memory_order_relaxed);
+        tasklets_planned_.fetch_add(tasklets, std::memory_order_relaxed);
+        tasklets_f64_.fetch_add(f64, std::memory_order_relaxed);
+    }
+
+    /// Counts one flat-stride launch attempt: `committed` false records a
+    /// per-execution validation fallback to the generic odometer.  Called
+    /// once per scope execution (not per point), so the relaxed atomic is
+    /// off the per-point hot path.
+    void note_kernel_launch(bool committed) {
+        (committed ? kernel_launches_ : kernel_fallbacks_)
+            .fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Snapshot of the counters.
+    SpecStats spec_stats() const {
+        SpecStats s;
+        s.scopes_planned = scopes_planned_.load(std::memory_order_relaxed);
+        s.scopes_specialized = scopes_specialized_.load(std::memory_order_relaxed);
+        s.tasklets_planned = tasklets_planned_.load(std::memory_order_relaxed);
+        s.tasklets_f64 = tasklets_f64_.load(std::memory_order_relaxed);
+        s.kernel_launches = kernel_launches_.load(std::memory_order_relaxed);
+        s.kernel_fallbacks = kernel_fallbacks_.load(std::memory_order_relaxed);
+        return s;
+    }
+
 private:
     /// Drops entries with `key`'s SDFG uid and a mutation epoch older than
     /// `key`'s.  Caller holds plans_mutex_.
@@ -92,6 +152,14 @@ private:
     std::mutex programs_mutex_;                               ///< Guards programs_.
     std::unordered_map<std::string, TaskletProgramPtr> programs_;  ///< By content.
     sym::SymbolTable symbols_;  ///< Interned symbols shared by all plans.
+
+    // Specialization counters (see SpecStats).
+    std::atomic<std::int64_t> scopes_planned_{0};
+    std::atomic<std::int64_t> scopes_specialized_{0};
+    std::atomic<std::int64_t> tasklets_planned_{0};
+    std::atomic<std::int64_t> tasklets_f64_{0};
+    std::atomic<std::int64_t> kernel_launches_{0};
+    std::atomic<std::int64_t> kernel_fallbacks_{0};
 };
 
 /// Shared handle to a PlanCache; interpreters and the context cache hold
@@ -143,6 +211,12 @@ public:
     /// re-acquired).
     std::uint64_t creations() const;
 
+    /// Summed specialization counters over every cache this registry has
+    /// handed out, including already-evicted ones (their counts are folded
+    /// into a running total at eviction).  The fuzzer surfaces this through
+    /// core::SchedulerStats.
+    SpecStats spec_totals() const;
+
 private:
     /// One registered instance cache and its eviction bookkeeping.
     struct Entry {
@@ -159,6 +233,7 @@ private:
     std::uint64_t epoch_ = 0;      ///< Monotonic stamp source.
     std::uint64_t evictions_ = 0;  ///< Total retired entries erased.
     std::uint64_t creations_ = 0;  ///< Total caches constructed.
+    SpecStats evicted_spec_;       ///< Counters folded in from evicted caches.
     std::unordered_map<std::uint64_t, Entry> entries_;  ///< By instance key.
 };
 

@@ -508,6 +508,135 @@ private:
             mark_assigned(s.var, s.lane);
         }
         p_.reg_count_ = max_reg_ + 1;
+        for (const BCInstr& in : p_.bytecode_)
+            if (in.op == BC::Div || in.op == BC::Mod) p_.has_div_mod_ = true;
+        analyze_f64();
+    }
+
+    // --- Untagged f64 feasibility (see TaskletProgram::has_f64_variant) ---
+
+    /// Abstract value: which runtime tags a value can carry, plus a bound on
+    /// its magnitude while integer (so we know doubles represent it exactly).
+    struct AbsVal {
+        bool can_int = false;
+        bool can_float = false;
+        double ibound = 0.0;
+
+        static AbsVal flt() { return AbsVal{false, true, 0.0}; }
+        static AbsVal intv(double bound) { return AbsVal{true, false, bound}; }
+        void merge(const AbsVal& o) {
+            can_int = can_int || o.can_int;
+            can_float = can_float || o.can_float;
+            ibound = std::max(ibound, o.ibound);
+        }
+    };
+    struct AbsState {
+        std::vector<AbsVal> slots, regs;
+        void merge(const AbsState& o) {
+            for (std::size_t i = 0; i < slots.size(); ++i) slots[i].merge(o.slots[i]);
+            for (std::size_t i = 0; i < regs.size(); ++i) regs[i].merge(o.regs[i]);
+        }
+    };
+
+    /// Forward abstract interpretation over the bytecode (all jumps are
+    /// forward, so one in-order pass with merges at join points converges).
+    /// Assumes every slot starts as a double: input lanes are loaded from F64
+    /// containers by construction of the selection rule, and non-input lanes
+    /// are zero-initialized to float 0.0 by both engines.
+    void analyze_f64() {
+        // Integer intermediates beyond 2^50 could round in double
+        // representation; products and sums of a few stay well inside 2^53.
+        constexpr double kIntBound = 1125899906842624.0;  // 2^50
+        const std::size_t n = p_.bytecode_.size();
+        std::vector<std::optional<AbsState>> entry(n + 1);
+        AbsState init;
+        init.slots.assign(static_cast<std::size_t>(p_.slot_count_), AbsVal::flt());
+        init.regs.assign(static_cast<std::size_t>(p_.reg_count_), AbsVal{});
+        entry[0] = std::move(init);
+
+        auto merge_into = [&](std::size_t pc, const AbsState& s) {
+            if (pc > n) return;
+            if (!entry[pc]) entry[pc] = s;
+            else entry[pc]->merge(s);
+        };
+
+        bool feasible = true;
+        for (std::size_t pc = 0; pc < n && feasible; ++pc) {
+            if (!entry[pc]) continue;  // unreachable
+            AbsState s = *entry[pc];
+            const BCInstr& in = p_.bytecode_[pc];
+            auto out = [&](AbsVal v) {
+                if (v.can_int && v.ibound > kIntBound) feasible = false;
+                s.regs[static_cast<std::size_t>(in.dst)] = v;
+            };
+            const auto ra = [&]() -> const AbsVal& {
+                return s.regs[static_cast<std::size_t>(in.a)];
+            };
+            const auto rb = [&]() -> const AbsVal& {
+                return s.regs[static_cast<std::size_t>(in.b)];
+            };
+            bool falls_through = true;
+            switch (in.op) {
+                case BC::Const: {
+                    const Value& c = p_.consts_[static_cast<std::size_t>(in.a)];
+                    out(c.is_float ? AbsVal::flt()
+                                   : AbsVal::intv(std::fabs(static_cast<double>(c.i))));
+                    break;
+                }
+                case BC::LoadSlot: out(s.slots[static_cast<std::size_t>(in.a)]); break;
+                case BC::StoreSlot:
+                    s.slots[static_cast<std::size_t>(in.a)] = rb();
+                    break;
+                case BC::Bool: out(AbsVal::intv(1.0)); break;
+                case BC::Trap: feasible = false; break;
+                case BC::Jump:
+                    merge_into(static_cast<std::size_t>(in.a), s);
+                    falls_through = false;
+                    break;
+                case BC::JumpIfFalse:
+                case BC::JumpIfTrue:
+                    merge_into(static_cast<std::size_t>(in.b), s);
+                    break;
+                case BC::Neg:
+                case BC::Abs: out(ra()); break;
+                case BC::Not: out(AbsVal::intv(1.0)); break;
+                case BC::Exp: case BC::Log: case BC::Sqrt: case BC::Sin: case BC::Cos:
+                case BC::Tanh: case BC::Floor: case BC::Ceil: case BC::Pow:
+                    out(AbsVal::flt());
+                    break;
+                case BC::Add:
+                case BC::Sub:
+                    out(AbsVal{ra().can_int && rb().can_int, ra().can_float || rb().can_float,
+                               ra().ibound + rb().ibound});
+                    break;
+                case BC::Mul:
+                    out(AbsVal{ra().can_int && rb().can_int, ra().can_float || rb().can_float,
+                               ra().ibound * rb().ibound});
+                    break;
+                case BC::Div:
+                case BC::Mod:
+                    // Both operands integer at runtime would take the tagged
+                    // VM's floor-semantics (and zero-throwing) int path.
+                    if (ra().can_int && rb().can_int) feasible = false;
+                    out(AbsVal::flt());
+                    break;
+                case BC::Lt: case BC::Le: case BC::Gt: case BC::Ge:
+                case BC::Eq: case BC::Ne:
+                    out(AbsVal::intv(1.0));
+                    break;
+                case BC::Min:
+                case BC::Max:
+                    out(AbsVal{ra().can_int && rb().can_int, ra().can_float || rb().can_float,
+                               std::max(ra().ibound, rb().ibound)});
+                    break;
+            }
+            if (falls_through) merge_into(pc + 1, s);
+        }
+
+        p_.f64_feasible_ = feasible;
+        if (!feasible) return;
+        p_.f64consts_.reserve(p_.consts_.size());
+        for (const Value& c : p_.consts_) p_.f64consts_.push_back(c.as_double());
     }
 
     void build_slot_table() {
@@ -879,6 +1008,60 @@ void TaskletProgram::execute_compiled(Value* slots, Value* regs) const {
                 regs[in.dst] =
                     Value::from_double(std::pow(regs[in.a].as_double(), regs[in.b].as_double()));
                 break;
+        }
+        ++pc;
+    }
+}
+
+void TaskletProgram::execute_f64(double* slots, double* regs) const {
+    const BCInstr* code = bytecode_.data();
+    const std::size_t n = bytecode_.size();
+    const double* consts = f64consts_.data();
+    std::size_t pc = 0;
+    while (pc < n) {
+        const BCInstr& in = code[pc];
+        switch (in.op) {
+            case BC::Const: regs[in.dst] = consts[in.a]; break;
+            case BC::LoadSlot: regs[in.dst] = slots[in.a]; break;
+            case BC::StoreSlot: slots[in.a] = regs[in.b]; break;
+            case BC::Bool: regs[in.dst] = regs[in.a] != 0.0 ? 1.0 : 0.0; break;
+            case BC::Trap:
+                // Feasibility analysis rejects programs with traps; keep the
+                // tagged VM's error for defense in depth.
+                throw common::Error("tasklet: unbound connector '" +
+                                    var_names_[static_cast<std::size_t>(in.a)] + "'");
+            case BC::Jump: pc = static_cast<std::size_t>(in.a); continue;
+            case BC::JumpIfFalse:
+                if (regs[in.a] == 0.0) { pc = static_cast<std::size_t>(in.b); continue; }
+                break;
+            case BC::JumpIfTrue:
+                if (regs[in.a] != 0.0) { pc = static_cast<std::size_t>(in.b); continue; }
+                break;
+            case BC::Neg: regs[in.dst] = -regs[in.a]; break;
+            case BC::Not: regs[in.dst] = regs[in.a] == 0.0 ? 1.0 : 0.0; break;
+            case BC::Abs: regs[in.dst] = std::fabs(regs[in.a]); break;
+            case BC::Exp: regs[in.dst] = std::exp(regs[in.a]); break;
+            case BC::Log: regs[in.dst] = std::log(regs[in.a]); break;
+            case BC::Sqrt: regs[in.dst] = std::sqrt(regs[in.a]); break;
+            case BC::Sin: regs[in.dst] = std::sin(regs[in.a]); break;
+            case BC::Cos: regs[in.dst] = std::cos(regs[in.a]); break;
+            case BC::Tanh: regs[in.dst] = std::tanh(regs[in.a]); break;
+            case BC::Floor: regs[in.dst] = std::floor(regs[in.a]); break;
+            case BC::Ceil: regs[in.dst] = std::ceil(regs[in.a]); break;
+            case BC::Add: regs[in.dst] = regs[in.a] + regs[in.b]; break;
+            case BC::Sub: regs[in.dst] = regs[in.a] - regs[in.b]; break;
+            case BC::Mul: regs[in.dst] = regs[in.a] * regs[in.b]; break;
+            case BC::Div: regs[in.dst] = regs[in.a] / regs[in.b]; break;
+            case BC::Mod: regs[in.dst] = std::fmod(regs[in.a], regs[in.b]); break;
+            case BC::Lt: regs[in.dst] = regs[in.a] < regs[in.b] ? 1.0 : 0.0; break;
+            case BC::Le: regs[in.dst] = regs[in.a] <= regs[in.b] ? 1.0 : 0.0; break;
+            case BC::Gt: regs[in.dst] = regs[in.a] > regs[in.b] ? 1.0 : 0.0; break;
+            case BC::Ge: regs[in.dst] = regs[in.a] >= regs[in.b] ? 1.0 : 0.0; break;
+            case BC::Eq: regs[in.dst] = regs[in.a] == regs[in.b] ? 1.0 : 0.0; break;
+            case BC::Ne: regs[in.dst] = regs[in.a] != regs[in.b] ? 1.0 : 0.0; break;
+            case BC::Min: regs[in.dst] = std::fmin(regs[in.a], regs[in.b]); break;
+            case BC::Max: regs[in.dst] = std::fmax(regs[in.a], regs[in.b]); break;
+            case BC::Pow: regs[in.dst] = std::pow(regs[in.a], regs[in.b]); break;
         }
         ++pc;
     }

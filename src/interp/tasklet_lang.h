@@ -109,11 +109,40 @@ public:
     /// `execute`, including missing-input errors.
     void execute_compiled(ConnectorEnv& env) const;
 
+    // --- Untagged f64 engine ---
+
+    /// Whether the untagged double-only variant of this program exists.
+    ///
+    /// At parse time an abstract interpretation over the bytecode decides
+    /// whether — assuming every input lane arrives as a double, which the
+    /// interpreter guarantees by selecting this engine only for tasklets
+    /// whose connectors all bind F64 containers — representing every runtime
+    /// value as a raw double is bit-identical to the tagged VM.  The checks:
+    /// no trap instructions; no Div/Mod whose operands could both be integers
+    /// (those take the floor-semantics int path in the tagged VM); and no
+    /// integer intermediate whose magnitude could exceed 2^50 (doubles
+    /// represent such values exactly, so int and double arithmetic agree).
+    /// Comparisons, min/max and promotions already evaluate through
+    /// as_double() in the tagged VM, so 0/1 booleans and small integer
+    /// constants are representation-equivalent.
+    bool has_f64_variant() const { return f64_feasible_; }
+
+    /// Runs the untagged variant: same slot/register layout and bytecode as
+    /// execute_compiled, but `slots`/`regs` are raw doubles and no opcode
+    /// dispatches on a value tag.  Only valid when has_f64_variant().
+    void execute_f64(double* slots, double* regs) const;
+
     /// Connectors for which the compiler emitted unbound-lane traps (a read
     /// of a non-input lane no earlier statement assigns).  The interpreter
     /// falls back to the reference engine when a graph edge binds one of
     /// these at runtime — only then could the reference engine succeed.
     const std::vector<std::string>& trap_connectors() const { return trap_connectors_; }
+
+    /// Whether the bytecode contains any division/modulo instruction — the
+    /// only opcodes (besides traps) that can throw at runtime (integer
+    /// division by zero).  Kernel classification uses this to prove a
+    /// tasklet's inner loop throw-free.
+    bool has_div_mod() const { return has_div_mod_; }
 
     const std::string& source() const { return source_; }
 
@@ -180,6 +209,9 @@ private:
     // Compiled form (built once at parse time by TaskletCompiler).
     std::vector<BCInstr> bytecode_;
     std::vector<Value> consts_;
+    std::vector<double> f64consts_;  ///< consts_ as doubles (f64 engine).
+    bool f64_feasible_ = false;      ///< See has_f64_variant().
+    bool has_div_mod_ = false;       ///< See has_div_mod().
     std::vector<SlotDesc> slot_table_;  // indexed by var index
     std::vector<std::string> trap_connectors_;
     int slot_count_ = 0;

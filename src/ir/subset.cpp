@@ -105,6 +105,84 @@ Subset Subset::full(const std::vector<sym::ExprPtr>& shape) {
     return out;
 }
 
+namespace {
+
+/// Coefficient magnitudes beyond this bound reject the decomposition so the
+/// interpreter's footprint arithmetic (coeff * extent * step in __int128)
+/// can never overflow.
+constexpr std::int64_t kMaxAffineCoeff = std::int64_t{1} << 20;
+
+/// Walks `e`, accumulating parameter coefficients.  Returns false when the
+/// expression is not affine with constant coefficients.  `scale` is the
+/// constant multiplier of the current subtree.
+bool accumulate_affine(const sym::Expr& e, const std::vector<const std::string*>& params,
+                       std::int64_t scale, std::vector<std::int64_t>& coeffs) {
+    using sym::BinOp;
+    // A runaway scale can never produce an in-bound coefficient (conservative
+    // for exotic cancelling expressions, which is fine).
+    if (scale > kMaxAffineCoeff || scale < -kMaxAffineCoeff) return false;
+    switch (e.kind()) {
+        case sym::Expr::Kind::Constant:
+            return true;
+        case sym::Expr::Kind::Symbol: {
+            for (std::size_t k = 0; k < params.size(); ++k) {
+                if (*params[k] != e.symbol_name()) continue;
+                coeffs[k] += scale;
+                if (coeffs[k] > kMaxAffineCoeff || coeffs[k] < -kMaxAffineCoeff) return false;
+                return true;
+            }
+            return true;  // free symbol: part of the base
+        }
+        case sym::Expr::Kind::Binary:
+            break;
+    }
+    switch (e.op()) {
+        case BinOp::Add:
+            return accumulate_affine(*e.lhs(), params, scale, coeffs) &&
+                   accumulate_affine(*e.rhs(), params, scale, coeffs);
+        case BinOp::Sub:
+            return accumulate_affine(*e.lhs(), params, scale, coeffs) &&
+                   accumulate_affine(*e.rhs(), params, -scale, coeffs);
+        case BinOp::Mul: {
+            // One side must be a literal constant for the product to keep
+            // constant coefficients; two param-free sides are also fine
+            // (the whole product lands in the base).
+            if (e.lhs()->is_constant()) {
+                const std::int64_t c = e.lhs()->constant_value();
+                if (c > kMaxAffineCoeff || c < -kMaxAffineCoeff) return false;
+                return accumulate_affine(*e.rhs(), params, scale * c, coeffs);
+            }
+            if (e.rhs()->is_constant()) {
+                const std::int64_t c = e.rhs()->constant_value();
+                if (c > kMaxAffineCoeff || c < -kMaxAffineCoeff) return false;
+                return accumulate_affine(*e.lhs(), params, scale * c, coeffs);
+            }
+            break;
+        }
+        case BinOp::FloorDiv:
+        case BinOp::Mod:
+        case BinOp::Min:
+        case BinOp::Max:
+            break;  // affine only when wholly param-free
+    }
+    // Non-affine operator: acceptable only if the whole subtree is free of
+    // the params (then it is part of the base, evaluated at runtime).
+    std::set<std::string> free;
+    e.collect_symbols(free);
+    for (const std::string* p : params)
+        if (free.count(*p)) return false;
+    return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::int64_t>> affine_coefficients(
+    const sym::ExprPtr& expr, const std::vector<const std::string*>& params) {
+    std::vector<std::int64_t> coeffs(params.size(), 0);
+    if (!expr || !accumulate_affine(*expr, params, 1, coeffs)) return std::nullopt;
+    return coeffs;
+}
+
 bool concrete_subsets_overlap(const std::vector<ConcreteRange>& a,
                               const std::vector<ConcreteRange>& b) {
     if (a.size() != b.size()) return true;  // shape confusion: be conservative

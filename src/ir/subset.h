@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,18 @@ struct Subset {
     /// Covering subset of a whole container shape.
     static Subset full(const std::vector<sym::ExprPtr>& shape);
 };
+
+/// Affine decomposition of an index expression over a parameter set:
+/// expr == base + sum_k coeffs[k] * params[k], with every coefficient a
+/// compile-time integer constant.  `base` — everything not involving the
+/// params — is not materialized: callers evaluate the original expression at
+/// a known parameter point instead (the interpreter's flat-stride map
+/// kernels evaluate at the ranges' begin point and then advance by the
+/// coefficients).  Returns nullopt when the expression is not affine in the
+/// params, a coefficient is not constant, or a coefficient's magnitude
+/// exceeds an overflow-safety bound.
+std::optional<std::vector<std::int64_t>> affine_coefficients(
+    const sym::ExprPtr& expr, const std::vector<const std::string*>& params);
 
 /// Conservative overlap test on concretized subsets: per-dimension interval
 /// intersection, ignoring strides (may report overlap where strides miss

@@ -92,6 +92,15 @@ CompiledExpr CompiledExpr::lower(const ExprPtr& expr, SymbolTable& table,
     return ce;
 }
 
+bool CompiledExpr::uses_any(const SymId* ids, std::size_t count) const {
+    for (const Op& op : ops_) {
+        if (op.kind != OpKind::PushSym) continue;
+        for (std::size_t i = 0; i < count; ++i)
+            if (ids[i] == op.sym) return true;
+    }
+    return false;
+}
+
 void CompiledExpr::raise_unbound(SymId id) const {
     throw common::UnboundSymbolError(table_ ? table_->name(id)
                                             : "<sym#" + std::to_string(id) + ">");

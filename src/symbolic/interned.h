@@ -106,6 +106,12 @@ public:
 
     bool is_constant() const { return ops_.size() == 1 && ops_[0].kind == OpKind::PushConst; }
 
+    /// Whether the program references any of `ids` (plan-time scope
+    /// classification: a specialized map kernel requires its range bounds to
+    /// be evaluable at scope entry, i.e. independent of the scope's own
+    /// parameters).
+    bool uses_any(const SymId* ids, std::size_t count) const;
+
 private:
     enum class OpKind : std::uint8_t { PushConst, PushSym, Binary };
     struct Op {
