@@ -149,6 +149,20 @@ bool print_report() {
     const bool ok = identical(audit_one, audit_many) && identical(audit_one, per_instance);
     std::printf("  determinism (reports identical across all configurations): %s\n",
                 ok ? "PASS" : "FAIL");
+
+    // Machine-readable baseline for scripts/bench_audit_json.py (the
+    // BENCH_audit.json CI artifact, like bench_interp_hotpath's BENCH_KV
+    // lines feeding BENCH_hotpath.json).
+    std::printf("BENCH_KV audit_instances=%d audit_trials_per_instance=%d audit_threads=%d\n",
+                kInstances, kTrialsPerInstance, threads);
+    std::printf(
+        "BENCH_KV audit1_trials_per_s=%.1f auditN_trials_per_s=%.1f "
+        "per_instance_trials_per_s=%.1f\n",
+        audit_one.trials_per_second(), audit_many.trials_per_second(),
+        per_instance.trials_per_second());
+    std::printf("BENCH_KV audit_scaling=%.3f audit_vs_per_instance=%.3f audit_determinism_ok=%d\n",
+                audit_many.trials_per_second() / audit_one.trials_per_second(),
+                audit_many.trials_per_second() / per_instance.trials_per_second(), ok ? 1 : 0);
     return ok;
 }
 

@@ -4,32 +4,50 @@
 // found while optimizing a supercomputer-scale application is shipped as a
 // small JSON file — cutout, transformed cutout, system-state list, and the
 // exact fault-inducing inputs — and replayed interactively on a consumer
-// workstation.
+// workstation.  The same loader and replay path back `ffaudit replay`
+// (core::load_testcase_file / core::replay_testcase); this example only
+// adds the pretty-printing.
 //
-// Run:  ./replay_testcase <testcase.json>
+// Run:  ./example_replay_testcase <testcase.json>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <string>
 
-#include "core/diff_test.h"
 #include "core/testcase_io.h"
 
 using namespace ff;
 
-int main(int argc, char** argv) {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: %s <testcase.json>\n", argv[0]);
-        return 2;
-    }
-    std::ifstream in(argv[1]);
-    if (!in) {
-        std::fprintf(stderr, "cannot open %s\n", argv[1]);
-        return 2;
-    }
-    std::ostringstream text;
-    text << in.rdbuf();
+namespace {
 
-    const core::LoadedTestCase tc = core::testcase_from_json(common::Json::parse(text.str()));
+int usage(const char* prog, const char* detail) {
+    if (detail) std::fprintf(stderr, "%s: %s\n", prog, detail);
+    std::fprintf(stderr,
+                 "usage: %s <testcase.json>\n"
+                 "\n"
+                 "Replays a reproducer artifact written by the fuzzer (FuzzConfig::\n"
+                 "artifact_dir) or `ffaudit run`/`ffaudit merge --artifact-dir`: runs the\n"
+                 "recorded inputs through both the original and the transformed cutout and\n"
+                 "checks the differential verdict against the recorded one.\n"
+                 "\n"
+                 "exit status: 0 reproduced, 1 did not reproduce, 2 bad usage or\n"
+                 "unreadable test case\n",
+                 prog);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 2) return usage(argv[0], argc < 2 ? "missing test case file" : "too many arguments");
+    const std::string path = argv[1];
+    if (path == "--help" || path == "-h") return usage(argv[0], nullptr);
+
+    core::LoadedTestCase tc;
+    try {
+        tc = core::load_testcase_file(path);
+    } catch (const std::exception& e) {
+        return usage(argv[0], e.what());
+    }
+
     std::printf("transformation: %s\n", tc.transformation.c_str());
     std::printf("recorded verdict: %s (%s)\n", tc.verdict.c_str(), tc.detail.c_str());
     std::printf("system state:");
@@ -39,12 +57,9 @@ int main(int argc, char** argv) {
     for (const auto& [name, value] : tc.inputs.symbols)
         std::printf("  %s = %lld\n", name.c_str(), static_cast<long long>(value));
 
-    core::DifferentialTester tester(tc.original, tc.transformed, tc.system_state);
-    const core::TrialOutcome outcome = tester.run_trial(tc.inputs);
-    std::printf("replayed verdict: %s\n", core::verdict_name(outcome.verdict));
-    if (!outcome.detail.empty()) std::printf("  %s\n", outcome.detail.c_str());
-
-    const bool reproduced = std::string(core::verdict_name(outcome.verdict)) == tc.verdict;
-    std::printf("%s\n", reproduced ? "REPRODUCED" : "DID NOT REPRODUCE");
-    return reproduced ? 0 : 1;
+    const core::ReplayResult replay = core::replay_testcase(tc);
+    std::printf("replayed verdict: %s\n", core::verdict_name(replay.outcome.verdict));
+    if (!replay.outcome.detail.empty()) std::printf("  %s\n", replay.outcome.detail.c_str());
+    std::printf("%s\n", replay.reproduced ? "REPRODUCED" : "DID NOT REPRODUCE");
+    return replay.reproduced ? 0 : 1;
 }

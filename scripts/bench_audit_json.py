@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Fold bench_audit_throughput output into a BENCH_audit.json baseline.
+
+Two sections feed the artifact:
+
+1. The bench's BENCH_KV lines (audit-wide scheduler throughput: audit@1,
+   audit@N, per-instance pools, scaling ratios, determinism check) —
+   same convention as scripts/bench_hotpath_json.py.
+
+2. A sharding section measured here by driving the `ffaudit` CLI as real
+   subprocesses: a small npbench audit is planned and executed as 1 shard
+   and as 4 shards (sequentially, so the numbers compare plan+run+merge
+   overhead rather than parallelism), and the merged report is diffed
+   byte-for-byte against the single-process `ffaudit run` output
+   (`shard_report_identical`).
+
+Usage:
+    ./build/bench_audit_throughput | \
+        python3 scripts/bench_audit_json.py - BENCH_audit.json --ffaudit build/ffaudit
+
+Omit --ffaudit to skip the subprocess section (the bench keys alone then
+must be present).  Exits non-zero when a required key is missing or the
+shard/single-process reports diverge, so a silently-empty or
+non-deterministic baseline cannot pass CI.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCH_REQUIRED_KEYS = (
+    "audit1_trials_per_s",
+    "auditN_trials_per_s",
+    "per_instance_trials_per_s",
+    "audit_scaling",
+    "audit_determinism_ok",
+)
+
+SHARD_REQUIRED_KEYS = (
+    "shard1_seconds",
+    "shard4_seconds",
+    "shard_merge_seconds",
+    "shard_report_identical",
+)
+
+JOB_FLAGS = [
+    "--workload", "gemm",
+    "--passes", "table2",
+    "--trials", "10",
+    "--size-max", "6",
+    "--max-transitions", "2000",
+]
+
+
+def parse_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def collect(lines) -> dict:
+    data = {}
+    for line in lines:
+        if not line.startswith("BENCH_KV "):
+            continue
+        for pair in line[len("BENCH_KV "):].split():
+            key, sep, value = pair.partition("=")
+            if sep:
+                data[key] = parse_value(value)
+    return data
+
+
+def run(cmd) -> float:
+    """Runs a subprocess (raising on failure); returns wall seconds."""
+    t0 = time.monotonic()
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    return time.monotonic() - t0
+
+
+def sharded_run(ffaudit: str, root: Path, count: int) -> tuple[float, float, Path]:
+    """plan + run-shard x count + merge; returns (run_seconds, merge_seconds,
+    merged report path)."""
+    plan_dir = root / f"plan{count}"
+    rec_dir = root / f"rec{count}"
+    report = root / f"report-shard{count}.json"
+    run([ffaudit, "plan", *JOB_FLAGS, "--shards", str(count),
+         "--checkpoint-interval", "16", "--out-dir", str(plan_dir)])
+    run_seconds = 0.0
+    for i in range(count):
+        run_seconds += run([ffaudit, "run-shard", "--manifest",
+                            str(plan_dir / f"shard-{i}.json"), "--records-dir", str(rec_dir)])
+    merge_seconds = run([ffaudit, "merge", "--records-dir", str(rec_dir),
+                         "--out", str(report)])
+    return run_seconds, merge_seconds, report
+
+
+def shard_section(ffaudit: str) -> dict:
+    data = {}
+    with tempfile.TemporaryDirectory(prefix="bench_audit_shard_") as tmp:
+        root = Path(tmp)
+        reference = root / "report-single.json"
+        data["shard_single_seconds"] = round(
+            run([ffaudit, "run", *JOB_FLAGS, "--out", str(reference)]), 3)
+        run1, merge1, report1 = sharded_run(ffaudit, root, 1)
+        run4, merge4, report4 = sharded_run(ffaudit, root, 4)
+        data["shard1_seconds"] = round(run1, 3)
+        data["shard4_seconds"] = round(run4, 3)
+        data["shard_merge_seconds"] = round(merge1 + merge4, 3)
+        ref_bytes = reference.read_bytes()
+        data["shard_report_identical"] = int(
+            report1.read_bytes() == ref_bytes and report4.read_bytes() == ref_bytes)
+    return data
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("bench_output", help="bench_audit_throughput output file, or - for stdin")
+    parser.add_argument("json_out", help="baseline JSON to write")
+    parser.add_argument("--ffaudit", help="path to the ffaudit binary (enables the shard section)")
+    args = parser.parse_args()
+
+    if args.bench_output == "-":
+        lines = sys.stdin.readlines()
+    else:
+        lines = Path(args.bench_output).read_text().splitlines()
+    data = collect(lines)
+
+    missing = [k for k in BENCH_REQUIRED_KEYS if k not in data]
+    if missing:
+        print(f"bench_audit_json: missing BENCH_KV keys: {missing}", file=sys.stderr)
+        return 1
+    if not data["audit_determinism_ok"]:
+        print("bench_audit_json: bench reported non-deterministic reports", file=sys.stderr)
+        return 1
+
+    if args.ffaudit:
+        data.update(shard_section(args.ffaudit))
+        missing = [k for k in SHARD_REQUIRED_KEYS if k not in data]
+        if missing:
+            print(f"bench_audit_json: missing shard keys: {missing}", file=sys.stderr)
+            return 1
+        if not data["shard_report_identical"]:
+            print("bench_audit_json: sharded merge diverged from single-process report",
+                  file=sys.stderr)
+            return 1
+
+    Path(args.json_out).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Shard smoke test: plan / run / interrupt / resume / merge, byte-for-byte.
+
+Drives the `ffaudit` CLI as real subprocesses through the full distribution
+workflow on a small npbench audit:
+
+1. single-process reference: `ffaudit run` (canonical report + artifacts);
+2. `ffaudit plan` with 3 shards;
+3. shards 0 and 2 run to completion as separate processes;
+4. shard 1 is interrupted mid-run (`--interrupt-after-units`, the runner's
+   deterministic stand-in for kill -9: records of the completed chunks, a
+   torn final line, no checkpoint for the chunk in flight);
+5. merging with the interrupted shard must FAIL (incomplete coverage);
+6. shard 1 is re-invoked and resumes from its last checkpoint (the log
+   must prove it resumed rather than restarted);
+7. `ffaudit merge` over all three record files must produce a report file
+   and reproducer artifacts byte-identical to step 1.
+
+Usage:  python3 scripts/shard_smoke.py --ffaudit build/ffaudit
+Exits non-zero on the first violated expectation.
+"""
+
+import argparse
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+JOB_FLAGS = [
+    "--workload", "gemm",
+    "--passes", "table2",
+    "--trials", "10",
+    "--size-max", "6",
+    "--max-transitions", "2000",
+]
+
+
+def fail(message: str) -> None:
+    print(f"shard_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(cmd, expect_rc=0) -> str:
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    print(f"$ {' '.join(str(c) for c in cmd)}")
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != expect_rc:
+        fail(f"expected exit {expect_rc}, got {proc.returncode}")
+    return proc.stdout
+
+
+def dir_bytes(path: Path) -> dict:
+    return {p.name: p.read_bytes() for p in sorted(path.iterdir())} if path.exists() else {}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--ffaudit", required=True, help="path to the ffaudit binary")
+    args = parser.parse_args()
+    ffaudit = args.ffaudit
+
+    with tempfile.TemporaryDirectory(prefix="shard_smoke_") as tmp:
+        root = Path(tmp)
+        plan_dir, rec_dir = root / "plan", root / "rec"
+        ref_report, merged_report = root / "report-single.json", root / "report-merged.json"
+        ref_art, merged_art = root / "art-single", root / "art-merged"
+
+        # 1. Single-process reference.
+        run([ffaudit, "run", *JOB_FLAGS, "--out", ref_report, "--artifact-dir", ref_art])
+
+        # 2. Plan 3 shards with small chunks so the interruption lands
+        # between checkpoints.
+        run([ffaudit, "plan", *JOB_FLAGS, "--shards", "3",
+             "--checkpoint-interval", "5", "--out-dir", plan_dir])
+
+        # 3. Shards 0 and 2 complete normally (different worker counts on
+        # purpose — the contract says they cannot matter).
+        run([ffaudit, "run-shard", "--manifest", plan_dir / "shard-0.json",
+             "--records-dir", rec_dir, "--threads", "2"])
+        run([ffaudit, "run-shard", "--manifest", plan_dir / "shard-2.json",
+             "--records-dir", rec_dir, "--threads", "4"])
+
+        # 4. Shard 1 dies mid-run (exit 3 = interrupted, torn record tail).
+        run([ffaudit, "run-shard", "--manifest", plan_dir / "shard-1.json",
+             "--records-dir", rec_dir, "--interrupt-after-units", "7"], expect_rc=3)
+
+        # 5. Merging an incomplete shard set must be refused.
+        run([ffaudit, "merge", "--records-dir", rec_dir, "--out", merged_report],
+            expect_rc=1)
+
+        # 6. Resume shard 1 from its checkpoint.
+        out = run([ffaudit, "run-shard", "--manifest", plan_dir / "shard-1.json",
+                   "--records-dir", rec_dir])
+        if "resumed" not in out:
+            fail("second run-shard invocation did not resume from the checkpoint")
+
+        # 7. Merge and compare byte-for-byte.
+        run([ffaudit, "merge", "--records-dir", rec_dir, "--out", merged_report,
+             "--artifact-dir", merged_art])
+        if merged_report.read_bytes() != ref_report.read_bytes():
+            fail("merged report differs from the single-process report")
+        ref_artifacts = dir_bytes(ref_art)
+        if not ref_artifacts:
+            fail("reference run produced no reproducer artifacts — smoke job lost its teeth")
+        if dir_bytes(merged_art) != ref_artifacts:
+            fail("merged reproducer artifacts differ from the single-process ones")
+
+    print("shard_smoke: PASS (interrupted shard resumed; merge byte-identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/error.h"
@@ -69,6 +70,14 @@ void write_double(std::ostringstream& out, double d) {
     }
     if (std::isinf(d)) {
         out << (d > 0 ? "\"__inf__\"" : "\"__-inf__\"");
+        return;
+    }
+    if (d == 0.0 && std::signbit(d)) {
+        // %.17g prints "-0", which the parser reads back as the *integer*
+        // zero, dropping the sign; force a double-typed literal so negative
+        // zero survives a round trip (the shard wire format relies on
+        // serialization being lossless).
+        out << "-0.0";
         return;
     }
     char buf[40];
@@ -300,5 +309,14 @@ private:
 }  // namespace
 
 Json Json::parse(std::string_view text) { return Parser(text).parse(); }
+
+Json Json::parse_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw Error("cannot open " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (in.bad()) throw Error("read failed on " + path);
+    return parse(text.str());
+}
 
 }  // namespace ff::common

@@ -70,6 +70,11 @@ public:
     /// Parse from text; throws ParseError on malformed input.
     static Json parse(std::string_view text);
 
+    /// Reads and parses a whole file; throws Error when the file cannot be
+    /// read, ParseError on malformed JSON.  The one loader path for SDFG
+    /// files, shard manifests and reproducer test cases.
+    static Json parse_file(const std::string& path);
+
 private:
     std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, JsonArray, JsonObject>
         value_;

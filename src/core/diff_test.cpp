@@ -16,6 +16,14 @@ const char* verdict_name(Verdict v) {
     return "?";
 }
 
+Verdict verdict_from_name(const std::string& name) {
+    for (Verdict v : {Verdict::Pass, Verdict::SemanticsChanged, Verdict::TransformedCrash,
+                      Verdict::TransformedHang, Verdict::InvalidCode, Verdict::Uninteresting}) {
+        if (name == verdict_name(v)) return v;
+    }
+    throw common::Error("unknown verdict name: " + name);
+}
+
 ValidationResult ValidationResult::of(const ir::SDFG& transformed) {
     ValidationResult result;
     try {

@@ -44,6 +44,10 @@ enum class Verdict {
 /// Stable lower-case name of `v` (used in reports and artifacts).
 const char* verdict_name(Verdict v);
 
+/// Inverse of verdict_name (test-case and shard-record deserialization);
+/// throws common::Error for unknown names.
+Verdict verdict_from_name(const std::string& name);
+
 /// Result of one differential trial.
 struct TrialOutcome {
     Verdict verdict = Verdict::Pass;  ///< Classification of the trial.

@@ -52,12 +52,14 @@ struct InstanceJob {
     std::atomic<std::int64_t> last_ns{-1};
 };
 
-/// Global (instance, trial) unit queue.  The unit space is the flat index
-/// `instance * max_trials + trial`; a single monotonic cursor hands out
-/// chunks of consecutive trials of one instance (chunks never straddle an
-/// instance boundary).  Monotonicity gives the determinism invariant: every
-/// trial with an index <= its instance's lowest failure is guaranteed to
-/// execute, which is all merge_trial_records needs.  (For uniform
+/// Global (instance, trial) unit queue over one contiguous range of the
+/// flat unit space `instance * max_trials + trial`; a single monotonic
+/// cursor hands out chunks of consecutive trials of one instance (chunks
+/// never straddle an instance boundary).  Monotonicity gives the
+/// determinism invariant: every trial with an index <= its instance's
+/// lowest failure is guaranteed to execute *within the range*, which is all
+/// merge_trial_records needs once every range of the unit space has run
+/// somewhere (single process or cross-process shards).  (For uniform
 /// micro-tasks like fuzz trials, work stealing degenerates to exactly this
 /// single shared queue; per-thread deques would only add overhead — see
 /// docs/ARCHITECTURE.md.)
@@ -70,10 +72,12 @@ public:
         int count = 0;     ///< Number of trials claimed.
     };
 
-    AuditScheduler(std::size_t instances, int max_trials, int chunk)
+    AuditScheduler(std::size_t instances, int max_trials, int chunk, std::int64_t unit_begin,
+                   std::int64_t unit_end)
         : max_trials_(std::max(max_trials, 0)),
           chunk_(std::max(chunk, 1)),
-          total_(static_cast<std::int64_t>(instances) * max_trials_),
+          end_(unit_end),
+          next_(unit_begin),
           stop_(instances) {
         for (auto& s : stop_) s.store(max_trials_, std::memory_order_relaxed);
     }
@@ -83,12 +87,12 @@ public:
         stop_[instance].store(-1, std::memory_order_release);
     }
 
-    /// Claims the next chunk; false when the queue is drained (or aborted).
+    /// Claims the next chunk; false when the range is drained (or aborted).
     bool claim(Claim& c) {
         std::int64_t u = next_.load(std::memory_order_relaxed);
         for (;;) {
             if (aborted_.load(std::memory_order_acquire)) return false;
-            if (u >= total_) return false;
+            if (u >= end_) return false;
             const int inst = static_cast<int>(u / max_trials_);
             const int first = static_cast<int>(u % max_trials_);
             if (first > stop_at(static_cast<std::size_t>(inst))) {
@@ -100,7 +104,8 @@ public:
                     u = next_inst;
                 continue;
             }
-            const int count = std::min(chunk_, max_trials_ - first);
+            const int count = static_cast<int>(std::min<std::int64_t>(
+                std::min(chunk_, max_trials_ - first), end_ - u));
             if (next_.compare_exchange_weak(u, u + count, std::memory_order_acq_rel)) {
                 c = Claim{inst, first, count};
                 return true;
@@ -139,8 +144,8 @@ public:
 private:
     const int max_trials_;
     const int chunk_;
-    const std::int64_t total_;
-    std::atomic<std::int64_t> next_{0};
+    const std::int64_t end_;  // one past the last unit of the range
+    std::atomic<std::int64_t> next_;
     std::atomic<bool> aborted_{false};
     std::vector<std::atomic<int>> stop_;  // per-instance early-stop index
 };
@@ -331,56 +336,6 @@ void prepare_instance(const FuzzConfig& config, const ir::SDFG& p,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
-/// Drains every (instance, trial) unit of `jobs` with one worker pool.
-void run_jobs(const FuzzConfig& config, std::deque<InstanceJob>& jobs, SchedulerStats& stats) {
-    stats = SchedulerStats{};
-    const int max_trials = std::max(config.max_trials, 0);
-    AuditScheduler scheduler(jobs.size(), max_trials, config.trial_chunk);
-    std::int64_t available_units = 0;
-    for (InstanceJob& job : jobs) {
-        if (job.runnable)
-            available_units += max_trials;
-        else
-            scheduler.skip_instance(job.index);
-    }
-    const int workers = resolve_thread_count(config.num_threads, available_units);
-    stats.workers = workers;
-    for (InstanceJob& job : jobs)
-        if (job.runnable) job.report.threads = workers;
-
-    interp::PlanCacheRegistry registry(
-        static_cast<std::size_t>(std::max(config.plan_cache_bound, 0)));
-    const std::size_t context_bound = config.context_cache_bound > 0
-                                          ? static_cast<std::size_t>(config.context_cache_bound)
-                                          : static_cast<std::size_t>(workers);
-    TesterCache cache(context_bound, config.diff);
-    PoolShared sh{jobs, scheduler, cache, registry};
-    sh.epoch = std::chrono::steady_clock::now();
-
-    if (workers == 1) {
-        run_worker(sh);
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(static_cast<std::size_t>(workers));
-        for (int i = 0; i < workers; ++i) pool.emplace_back([&sh] { run_worker(sh); });
-        for (std::thread& t : pool) t.join();
-    }
-    if (sh.error) std::rethrow_exception(sh.error);
-
-    // Flush remaining retires (stragglers, tail instances) so registry
-    // eviction counts are deterministic for a completed run.
-    for (InstanceJob& job : jobs) registry.retire(job.index);
-    stats.spec = registry.spec_totals();
-    stats.units = sh.units.load(std::memory_order_relaxed);
-    stats.claims = sh.claims.load(std::memory_order_relaxed);
-    const TesterCache::Stats cache_stats = cache.stats();
-    stats.contexts_built = cache_stats.built;
-    stats.context_hits = cache_stats.hits;
-    stats.context_rebinds = cache_stats.rebinds;
-    stats.context_evictions = cache_stats.evictions;
-    stats.plan_caches_evicted = static_cast<std::int64_t>(registry.evictions());
-}
-
 /// Merges one instance's trial slots into its report (canonical order, see
 /// report.h), saves the reproducer artifact for failing instances, and
 /// derives the wall-clock metrics.
@@ -388,9 +343,14 @@ void finalize_instance(const FuzzConfig& config, InstanceJob& job) {
     if (!job.runnable) return;  // report already final (apply failed)
     FuzzReport& report = job.report;
     const TrialRecord* failing = merge_trial_records(job.records, report);
-    if (failing && !config.artifact_dir.empty())
-        report.artifact_path = save_testcase_artifact(config.artifact_dir, job.cutout,
-                                                      job.transformed, *failing->inputs, report);
+    if (failing && !config.artifact_dir.empty()) {
+        if (failing->inputs)
+            report.artifact_path =
+                save_testcase_artifact(config.artifact_dir, job.cutout, job.transformed,
+                                       *failing->inputs, report, &report.artifact_error);
+        else  // unreachable for records this process executed
+            report.artifact_error = "failing record carries no inputs; no artifact saved";
+    }
     const std::int64_t first = job.first_ns.load(std::memory_order_relaxed);
     const std::int64_t last = job.last_ns.load(std::memory_order_relaxed);
     const double trial_seconds =
@@ -403,28 +363,214 @@ void finalize_instance(const FuzzConfig& config, InstanceJob& job) {
 
 }  // namespace
 
+/// Prepared jobs plus everything that persists across run_range calls: the
+/// bounded context/plan caches (so a chunked shard run reuses warm
+/// interpreters between checkpoints) and the accumulated scheduler stats.
+struct PreparedAudit::Impl {
+    FuzzConfig config;              ///< Captured at prepare time.
+    std::deque<InstanceJob> jobs;   ///< Pinned (atomics make them immovable).
+    SchedulerStats stats;           ///< Accumulated over run_range calls.
+    std::unique_ptr<interp::PlanCacheRegistry> registry;  ///< Lazily built.
+    std::unique_ptr<TesterCache> cache;                   ///< Lazily built.
+    std::chrono::steady_clock::time_point epoch;  ///< Trial wall-clock base.
+    /// Lowest known failing trial per instance (max_trials = none): seeds
+    /// the scheduler's early-stop across run_range calls and set_record
+    /// injections.
+    std::vector<int> lowest_failure;
+
+    int max_trials() const { return std::max(config.max_trials, 0); }
+    std::int64_t unit_count() const {
+        return static_cast<std::int64_t>(jobs.size()) * max_trials();
+    }
+
+    void run_range(std::int64_t begin, std::int64_t end);
+    void note_failures(std::int64_t begin, std::int64_t end);
+};
+
+/// Executes every unit of [begin, end) with one worker pool (the audit-wide
+/// scheduler restricted to the range).
+void PreparedAudit::Impl::run_range(std::int64_t begin, std::int64_t end) {
+    const int mt = max_trials();
+    const std::int64_t total = unit_count();
+    begin = std::clamp<std::int64_t>(begin, 0, total);
+    end = std::clamp<std::int64_t>(end, begin, total);
+
+    AuditScheduler scheduler(jobs.size(), mt, config.trial_chunk, begin, end);
+    std::int64_t available_units = 0;
+    for (InstanceJob& job : jobs) {
+        if (!job.runnable) {
+            scheduler.skip_instance(job.index);
+            continue;
+        }
+        const std::int64_t lo =
+            std::max<std::int64_t>(begin, static_cast<std::int64_t>(job.index) * mt);
+        const std::int64_t hi =
+            std::min<std::int64_t>(end, static_cast<std::int64_t>(job.index + 1) * mt);
+        if (hi > lo) available_units += hi - lo;
+        // Failures found by earlier ranges (or injected records) early-stop
+        // this range's trials of the same instance.
+        if (lowest_failure[job.index] < mt) scheduler.fail_at(job.index, lowest_failure[job.index]);
+    }
+    const int workers = resolve_thread_count(config.num_threads, available_units);
+    stats.workers = workers;
+    for (InstanceJob& job : jobs)
+        if (job.runnable) job.report.threads = workers;
+
+    if (!registry)
+        registry = std::make_unique<interp::PlanCacheRegistry>(
+            static_cast<std::size_t>(std::max(config.plan_cache_bound, 0)));
+    if (!cache) {
+        const std::size_t context_bound =
+            config.context_cache_bound > 0 ? static_cast<std::size_t>(config.context_cache_bound)
+                                           : static_cast<std::size_t>(workers);
+        cache = std::make_unique<TesterCache>(context_bound, config.diff);
+    }
+    PoolShared sh{jobs, scheduler, *cache, *registry};
+    sh.epoch = epoch;
+
+    if (workers == 1) {
+        run_worker(sh);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int i = 0; i < workers; ++i) pool.emplace_back([&sh] { run_worker(sh); });
+        for (std::thread& t : pool) t.join();
+    }
+    if (sh.error) std::rethrow_exception(sh.error);
+
+    // Flush retires for instances the range has fully passed (stragglers,
+    // tail instances) so registry eviction counts are deterministic for a
+    // completed range.  Instances extending past `end` stay live: a later
+    // range (the next shard checkpoint chunk) will claim their units.
+    for (InstanceJob& job : jobs)
+        if (static_cast<std::int64_t>(job.index + 1) * mt <= end) registry->retire(job.index);
+    stats.spec = registry->spec_totals();
+    stats.units += sh.units.load(std::memory_order_relaxed);
+    stats.claims += sh.claims.load(std::memory_order_relaxed);
+    const TesterCache::Stats cache_stats = cache->stats();
+    stats.contexts_built = cache_stats.built;
+    stats.context_hits = cache_stats.hits;
+    stats.context_rebinds = cache_stats.rebinds;
+    stats.context_evictions = cache_stats.evictions;
+    stats.plan_caches_evicted = static_cast<std::int64_t>(registry->evictions());
+
+    note_failures(begin, end);
+}
+
+/// Folds failures recorded in [begin, end) into the per-instance
+/// lowest-failure watermarks.
+void PreparedAudit::Impl::note_failures(std::int64_t begin, std::int64_t end) {
+    const int mt = max_trials();
+    if (mt == 0) return;
+    for (std::int64_t u = begin; u < end; ++u) {
+        const std::size_t inst = static_cast<std::size_t>(u / mt);
+        const int trial = static_cast<int>(u % mt);
+        if (trial >= lowest_failure[inst]) {
+            // Skip to this instance's last unit of the range.
+            const std::int64_t next_inst = (static_cast<std::int64_t>(inst) + 1) * mt;
+            u = std::min(next_inst, end) - 1;
+            continue;
+        }
+        const InstanceJob& job = jobs[inst];
+        if (!job.runnable) {
+            u = std::min((static_cast<std::int64_t>(inst) + 1) * mt, end) - 1;
+            continue;
+        }
+        if (job.records[static_cast<std::size_t>(trial)].kind == TrialRecord::Kind::Failed)
+            lowest_failure[inst] = trial;
+    }
+}
+
+PreparedAudit::PreparedAudit() : impl_(std::make_unique<Impl>()) {}
+PreparedAudit::~PreparedAudit() = default;
+PreparedAudit::PreparedAudit(PreparedAudit&&) noexcept = default;
+PreparedAudit& PreparedAudit::operator=(PreparedAudit&&) noexcept = default;
+
+std::size_t PreparedAudit::instance_count() const { return impl_->jobs.size(); }
+
+int PreparedAudit::max_trials() const { return impl_->max_trials(); }
+
+std::int64_t PreparedAudit::unit_count() const { return impl_->unit_count(); }
+
+bool PreparedAudit::instance_runnable(std::size_t instance) const {
+    return impl_->jobs.at(instance).runnable;
+}
+
+const FuzzReport& PreparedAudit::prepared_report(std::size_t instance) const {
+    return impl_->jobs.at(instance).report;
+}
+
+void PreparedAudit::run_range(std::int64_t unit_begin, std::int64_t unit_end) {
+    impl_->run_range(unit_begin, unit_end);
+}
+
+const std::vector<TrialRecord>& PreparedAudit::records(std::size_t instance) const {
+    return impl_->jobs.at(instance).records;
+}
+
+void PreparedAudit::set_record(std::int64_t unit, TrialRecord record) {
+    const int mt = impl_->max_trials();
+    if (mt == 0 || unit < 0 || unit >= impl_->unit_count())
+        throw common::Error("set_record: unit " + std::to_string(unit) +
+                            " outside the audit's unit space");
+    const std::size_t instance = static_cast<std::size_t>(unit / mt);
+    const int trial = static_cast<int>(unit % mt);
+    InstanceJob& job = impl_->jobs[instance];
+    if (!job.runnable) return;  // report final since prepare; slots unused
+    if (record.kind == TrialRecord::Kind::Failed && trial < impl_->lowest_failure[instance])
+        impl_->lowest_failure[instance] = trial;
+    job.records[static_cast<std::size_t>(trial)] = std::move(record);
+}
+
+std::vector<FuzzReport> PreparedAudit::finalize() {
+    std::vector<FuzzReport> reports;
+    reports.reserve(impl_->jobs.size());
+    for (InstanceJob& job : impl_->jobs) {
+        finalize_instance(impl_->config, job);
+        reports.push_back(std::move(job.report));
+    }
+    return reports;
+}
+
+const SchedulerStats& PreparedAudit::stats() const { return impl_->stats; }
+
 FuzzReport Fuzzer::test_instance(const ir::SDFG& p, const xform::Transformation& transformation,
                                  const xform::Match& match) {
-    std::deque<InstanceJob> jobs;
-    InstanceJob& job = jobs.emplace_back();
+    PreparedAudit audit;
+    audit.impl_->config = config_;
+    InstanceJob& job = audit.impl_->jobs.emplace_back();
     job.index = 0;
     prepare_instance(config_, p, transformation, match, job);
-    run_jobs(config_, jobs, stats_);
-    stats_.prepare_seconds = job.setup_seconds;
-    finalize_instance(config_, job);
-    return std::move(job.report);
+    audit.impl_->lowest_failure.assign(1, audit.impl_->max_trials());
+    audit.impl_->stats.prepare_seconds = job.setup_seconds;
+    audit.impl_->epoch = std::chrono::steady_clock::now();
+    audit.run_range(0, audit.unit_count());
+    std::vector<FuzzReport> reports = audit.finalize();
+    stats_ = audit.stats();
+    return std::move(reports.front());
 }
 
 std::vector<FuzzReport> Fuzzer::audit(const ir::SDFG& p,
                                       const std::vector<xform::TransformationPtr>& passes) {
-    // Phase 1: prepare every instance.  Match discovery stays sequential —
-    // its order fixes the canonical instance indexing the merge replays —
-    // then the per-instance pipelines (cutout, min-cut, apply, constraints),
-    // which are independent pure functions of (program, match) writing only
-    // their own job slot, fan out over the worker pool.  Reports are
-    // byte-identical at any thread count; only prepare_seconds varies.
+    PreparedAudit prepared = prepare(p, passes);
+    prepared.run_range(0, prepared.unit_count());
+    std::vector<FuzzReport> reports = prepared.finalize();
+    stats_ = prepared.stats();
+    return reports;
+}
+
+PreparedAudit Fuzzer::prepare(const ir::SDFG& p,
+                              const std::vector<xform::TransformationPtr>& passes) {
+    // Match discovery stays sequential — its order fixes the canonical
+    // instance indexing the merge replays — then the per-instance pipelines
+    // (cutout, min-cut, apply, constraints), which are independent pure
+    // functions of (program, match) writing only their own job slot, fan
+    // out over the worker pool.  Reports are byte-identical at any thread
+    // count; only prepare_seconds varies.
     const auto prep0 = std::chrono::steady_clock::now();
-    std::deque<InstanceJob> jobs;
+    PreparedAudit prepared;
+    prepared.impl_->config = config_;
+    std::deque<InstanceJob>& jobs = prepared.impl_->jobs;
     std::vector<std::pair<const xform::Transformation*, xform::Match>> units;
     for (const auto& pass : passes) {
         for (xform::Match& match : pass->find_matches(p)) {
@@ -475,21 +621,11 @@ std::vector<FuzzReport> Fuzzer::audit(const ir::SDFG& p,
         for (std::thread& t : pool) t.join();
         if (error) std::rethrow_exception(error);
     }
-    const double prepare_seconds =
+    prepared.impl_->stats.prepare_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - prep0).count();
-
-    // Phase 2: one pool over all (instance, trial) units.
-    run_jobs(config_, jobs, stats_);
-    stats_.prepare_seconds = prepare_seconds;
-
-    // Phase 3: canonical instance x trial order merge.
-    std::vector<FuzzReport> reports;
-    reports.reserve(jobs.size());
-    for (InstanceJob& job : jobs) {
-        finalize_instance(config_, job);
-        reports.push_back(std::move(job.report));
-    }
-    return reports;
+    prepared.impl_->lowest_failure.assign(jobs.size(), prepared.impl_->max_trials());
+    prepared.impl_->epoch = std::chrono::steady_clock::now();
+    return prepared;
 }
 
 }  // namespace ff::core

@@ -16,6 +16,7 @@
 /// audit-wide (instance, trial) scheduler.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +28,8 @@
 #include "transforms/transformation.h"
 
 namespace ff::core {
+
+struct TrialRecord;  // report.h
 
 /// Configuration of one fuzzing run (a single instance or a whole audit).
 struct FuzzConfig {
@@ -93,6 +96,11 @@ struct FuzzReport {
     double trials_per_second = 0.0;
     std::string detail;         ///< Failure detail of the reported verdict.
     std::string artifact_path;  ///< Saved reproducer (failing instances only).
+    /// Why writing the reproducer artifact failed (empty on success or when
+    /// no artifact was due).  A failing instance with a configured
+    /// `artifact_dir` but an empty `artifact_path` always carries the I/O
+    /// error here; the audit table sums these per transformation.
+    std::string artifact_error;
 
     // Cutout metrics.
     std::size_t cutout_nodes = 0;   ///< Dataflow nodes in the cutout.
@@ -136,6 +144,78 @@ struct SchedulerStats {
     interp::SpecStats spec;
 };
 
+/// A prepared audit whose trial units can be executed in arbitrary
+/// sub-ranges of the global unit space — the entry point cross-process
+/// sharding (src/shard) builds on.
+///
+/// Preparation (match discovery + the per-instance cutout pipelines) is a
+/// pure function of `(program, passes, config)`, so two processes that
+/// prepare the same job agree on the canonical instance indexing and on the
+/// flat unit space `unit = instance * max_trials + trial`.  A shard then
+/// executes any contiguous unit range with run_range(); a merger injects
+/// records produced elsewhere with set_record(); finalize() performs the
+/// canonical-order merge and artifact saving either way.  `Fuzzer::audit`
+/// itself is prepare + run_range(0, unit_count()) + finalize().
+///
+/// run_range() may be called repeatedly (the shard runner executes one
+/// checkpoint chunk per call); execution contexts and plan caches persist
+/// across calls.  Determinism contract (docs/ARCHITECTURE.md): for a fixed
+/// prepared job, the records of every executed unit are byte-identical
+/// regardless of how the unit space is cut into ranges, processes, or
+/// worker threads.
+class PreparedAudit {
+public:
+    PreparedAudit();   ///< Empty audit (0 instances) — assign over it.
+    ~PreparedAudit();  ///< Releases jobs, caches and contexts.
+    PreparedAudit(PreparedAudit&&) noexcept;             ///< Movable,
+    PreparedAudit& operator=(PreparedAudit&&) noexcept;  ///< not copyable.
+
+    /// Prepared instances, in canonical (match-discovery) order.
+    std::size_t instance_count() const;
+    /// Trials per instance (= FuzzConfig::max_trials at prepare time).
+    int max_trials() const;
+    /// Size of the flat unit space: instance_count() * max_trials().
+    std::int64_t unit_count() const;
+
+    /// Whether instance `i` has trial units to run (false when the
+    /// transformation failed to apply — its report is already final and its
+    /// units are skipped by every scheduler).
+    bool instance_runnable(std::size_t instance) const;
+
+    /// The instance's report as of preparation (final for non-runnable
+    /// instances, partial otherwise — finalize() completes it).
+    const FuzzReport& prepared_report(std::size_t instance) const;
+
+    /// Executes every unit in [unit_begin, unit_end) with the configured
+    /// worker pool, recording outcomes into the per-instance trial slots.
+    /// Failures early-stop later trials of the same instance (including
+    /// across subsequent run_range calls); slots past a failure may stay
+    /// NotRun — the merge never reads them.
+    void run_range(std::int64_t unit_begin, std::int64_t unit_end);
+
+    /// Trial slots of instance `i` (empty for non-runnable instances).
+    const std::vector<TrialRecord>& records(std::size_t instance) const;
+
+    /// Injects a record produced elsewhere (a shard merger) at flat unit
+    /// index `unit`.  Ignored for units of non-runnable instances, whose
+    /// reports are final from preparation.
+    void set_record(std::int64_t unit, TrialRecord record);
+
+    /// Canonical-order merge of every instance's slots into its FuzzReport
+    /// (core::merge_trial_records), saving reproducer artifacts when the
+    /// prepare-time config set `artifact_dir`.  Call once, after all
+    /// execution/injection.
+    std::vector<FuzzReport> finalize();
+
+    /// Scheduler counters accumulated over every run_range() call.
+    const SchedulerStats& stats() const;
+
+private:
+    friend class Fuzzer;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;  ///< Prepared jobs + persistent caches.
+};
+
 /// Differential fuzzer: tests transformation instances (Sec. 5) and audits
 /// whole pass pipelines (Sec. 6.3) over the audit-wide scheduler.
 class Fuzzer {
@@ -161,6 +241,13 @@ public:
     /// order and are byte-identical at any num_threads.
     std::vector<FuzzReport> audit(const ir::SDFG& p,
                                   const std::vector<xform::TransformationPtr>& passes);
+
+    /// Runs only the prepare phase of audit() and hands back the prepared
+    /// instances for ranged unit execution (see PreparedAudit) — the
+    /// cross-process sharding entry point.  The returned audit captures the
+    /// current config; later config changes do not affect it.
+    PreparedAudit prepare(const ir::SDFG& p,
+                          const std::vector<xform::TransformationPtr>& passes);
 
     /// Scheduler counters of the last audit()/test_instance() call.
     const SchedulerStats& last_stats() const { return stats_; }

@@ -66,6 +66,7 @@ std::vector<AuditSummary> summarize_audit(const std::vector<FuzzReport>& reports
         s.total_seconds += r.seconds;
         s.total_trials += r.trials;
         s.total_uninteresting += r.uninteresting;
+        if (!r.artifact_error.empty()) ++s.artifact_errors;
         s.threads = std::max(s.threads, r.threads);
         if (r.failed()) {
             ++s.failures;
@@ -79,8 +80,8 @@ std::vector<AuditSummary> summarize_audit(const std::vector<FuzzReport>& reports
 }
 
 std::string audit_table(const std::vector<AuditSummary>& summaries) {
-    TextTable table(
-        {"Transformation", "Instances", "Failures", "Trials/s", "Threads", "Failure classes"});
+    TextTable table({"Transformation", "Instances", "Failures", "Trials/s", "Threads",
+                     "Failure classes", "Artifact errors"});
     for (const AuditSummary& s : summaries) {
         std::string classes;
         for (const auto& [name, count] : s.categories) {
@@ -90,8 +91,9 @@ std::string audit_table(const std::vector<AuditSummary>& summaries) {
         if (classes.empty()) classes = "-";
         char tps[32];
         std::snprintf(tps, sizeof(tps), "%.0f", s.trials_per_second());
-        table.add_row({s.transformation, std::to_string(s.instances),
-                       std::to_string(s.failures), tps, std::to_string(s.threads), classes});
+        table.add_row({s.transformation, std::to_string(s.instances), std::to_string(s.failures),
+                       tps, std::to_string(s.threads), classes,
+                       s.artifact_errors > 0 ? std::to_string(s.artifact_errors) : "-"});
     }
     return table.to_string();
 }

@@ -74,6 +74,9 @@ struct AuditSummary {
     double total_seconds = 0.0;     ///< Summed per-instance wall-clock.
     int total_trials = 0;           ///< Differential trials executed.
     int total_uninteresting = 0;    ///< Resampled trials.
+    /// Instances whose reproducer artifact failed to write (the per-report
+    /// details live in FuzzReport::artifact_error).
+    int artifact_errors = 0;
     /// Worker threads used (max across instances; they share one config).
     int threads = 1;
 

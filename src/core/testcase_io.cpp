@@ -1,14 +1,40 @@
 #include "core/testcase_io.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 
+#include "common/error.h"
 #include "common/rng.h"
-#include "core/fuzzer.h"
+#include "core/report.h"
 #include "ir/serialize.h"
 
 namespace ff::core {
 
 using common::Json;
+
+namespace {
+
+const char* trial_kind_name(TrialRecord::Kind kind) {
+    switch (kind) {
+        case TrialRecord::Kind::NotRun: return "not-run";
+        case TrialRecord::Kind::Uninteresting: return "uninteresting";
+        case TrialRecord::Kind::Pass: return "pass";
+        case TrialRecord::Kind::Failed: return "failed";
+    }
+    return "not-run";
+}
+
+TrialRecord::Kind trial_kind_from_name(const std::string& name) {
+    if (name == "not-run") return TrialRecord::Kind::NotRun;
+    if (name == "uninteresting") return TrialRecord::Kind::Uninteresting;
+    if (name == "pass") return TrialRecord::Kind::Pass;
+    if (name == "failed") return TrialRecord::Kind::Failed;
+    throw common::Error("unknown trial record kind: " + name);
+}
+
+}  // namespace
 
 Json buffer_to_json(const interp::Buffer& buffer) {
     Json j = Json::object();
@@ -61,6 +87,75 @@ interp::Context context_from_json(const Json& j) {
     return ctx;
 }
 
+Json trial_record_to_json(const TrialRecord& record) {
+    Json j = Json::object();
+    j["kind"] = trial_kind_name(record.kind);
+    if (record.kind == TrialRecord::Kind::Failed) {
+        j["verdict"] = verdict_name(record.verdict);
+        j["detail"] = record.detail;
+        if (record.inputs) j["inputs"] = context_to_json(*record.inputs);
+    }
+    return j;
+}
+
+TrialRecord trial_record_from_json(const Json& j) {
+    TrialRecord record;
+    record.kind = trial_kind_from_name(j.at("kind").as_string());
+    if (record.kind == TrialRecord::Kind::Failed) {
+        record.verdict = verdict_from_name(j.at("verdict").as_string());
+        record.detail = j.at("detail").as_string();
+        // Failing records must carry their inputs: the merge-time artifact
+        // save dereferences them, so a record without them is malformed
+        // wire data, rejected here rather than crashing the merger.
+        record.inputs = std::make_unique<interp::Context>(context_from_json(j.at("inputs")));
+    }
+    return record;
+}
+
+Json fuzz_report_to_json(const FuzzReport& report) {
+    Json j = Json::object();
+    j["transformation"] = report.transformation;
+    j["match_description"] = report.match_description;
+    j["verdict"] = verdict_name(report.verdict);
+    j["trials"] = report.trials;
+    j["uninteresting"] = report.uninteresting;
+    j["threads"] = report.threads;
+    j["seconds"] = report.seconds;
+    j["trials_per_second"] = report.trials_per_second;
+    j["detail"] = report.detail;
+    j["artifact_path"] = report.artifact_path;
+    j["artifact_error"] = report.artifact_error;
+    j["cutout_nodes"] = report.cutout_nodes;
+    j["program_nodes"] = report.program_nodes;
+    j["input_volume"] = report.input_volume;
+    j["input_volume_before_mincut"] = report.input_volume_before_mincut;
+    j["mincut_improved"] = report.mincut_improved;
+    j["whole_program_cutout"] = report.whole_program_cutout;
+    return j;
+}
+
+FuzzReport fuzz_report_from_json(const Json& j) {
+    FuzzReport report;
+    report.transformation = j.at("transformation").as_string();
+    report.match_description = j.at("match_description").as_string();
+    report.verdict = verdict_from_name(j.at("verdict").as_string());
+    report.trials = static_cast<int>(j.at("trials").as_int());
+    report.uninteresting = static_cast<int>(j.at("uninteresting").as_int());
+    report.threads = static_cast<int>(j.at("threads").as_int());
+    report.seconds = j.at("seconds").as_double();
+    report.trials_per_second = j.at("trials_per_second").as_double();
+    report.detail = j.at("detail").as_string();
+    report.artifact_path = j.at("artifact_path").as_string();
+    report.artifact_error = j.at("artifact_error").as_string();
+    report.cutout_nodes = static_cast<std::size_t>(j.at("cutout_nodes").as_int());
+    report.program_nodes = static_cast<std::size_t>(j.at("program_nodes").as_int());
+    report.input_volume = j.at("input_volume").as_int();
+    report.input_volume_before_mincut = j.at("input_volume_before_mincut").as_int();
+    report.mincut_improved = j.at("mincut_improved").as_bool();
+    report.whole_program_cutout = j.at("whole_program_cutout").as_bool();
+    return report;
+}
+
 Json testcase_to_json(const Cutout& cutout, const ir::SDFG& transformed,
                       const interp::Context& inputs, const std::string& transformation,
                       const std::string& verdict, const std::string& detail) {
@@ -90,9 +185,21 @@ LoadedTestCase testcase_from_json(const Json& j) {
     return tc;
 }
 
+LoadedTestCase load_testcase_file(const std::string& path) {
+    return testcase_from_json(Json::parse_file(path));
+}
+
+ReplayResult replay_testcase(const LoadedTestCase& tc, DiffConfig config) {
+    DifferentialTester tester(tc.original, tc.transformed, tc.system_state, std::move(config));
+    ReplayResult result;
+    result.outcome = tester.run_trial(tc.inputs);
+    result.reproduced = verdict_name(result.outcome.verdict) == tc.verdict;
+    return result;
+}
+
 std::string save_testcase_artifact(const std::string& dir, const Cutout& cutout,
                                    const ir::SDFG& transformed, const interp::Context& inputs,
-                                   const FuzzReport& report) {
+                                   const FuzzReport& report, std::string* error) {
     const Json j = testcase_to_json(cutout, transformed, inputs, report.transformation,
                                     verdict_name(report.verdict), report.detail);
     const std::string text = j.dump(2);
@@ -104,8 +211,17 @@ std::string save_testcase_artifact(const std::string& dir, const Cutout& cutout,
                   static_cast<unsigned long long>(h));
     const std::string path = dir + "/" + name;
     std::ofstream out(path);
-    if (!out) return "";
+    if (!out) {
+        if (error) *error = "cannot open " + path + ": " + std::strerror(errno);
+        return "";
+    }
     out << text;
+    out.close();
+    if (out.fail()) {
+        if (error) *error = "short write to " + path + ": " + std::strerror(errno);
+        std::remove(path.c_str());  // never leave a truncated reproducer behind
+        return "";
+    }
     return path;
 }
 

@@ -1,0 +1,141 @@
+#include "shard/manifest.h"
+
+#include <memory>
+
+#include "common/error.h"
+#include "ir/serialize.h"
+#include "transforms/map_tiling.h"
+#include "transforms/registry.h"
+#include "workloads/npbench.h"
+
+namespace ff::shard {
+
+using common::Json;
+
+Json JobSpec::to_json() const {
+    Json j = Json::object();
+    j["workload"] = workload;
+    j["sdfg_path"] = sdfg_path;
+    j["passes"] = passes;
+    j["seed"] = static_cast<std::int64_t>(seed);
+    j["max_trials"] = max_trials;
+    j["size_max"] = size_max;
+    j["threshold"] = threshold;
+    j["max_state_transitions"] = max_state_transitions;
+    j["use_mincut"] = use_mincut;
+    Json defs = Json::object();
+    for (const auto& [name, value] : defaults) defs[name] = value;
+    j["defaults"] = std::move(defs);
+    return j;
+}
+
+JobSpec JobSpec::from_json(const Json& j) {
+    JobSpec spec;
+    spec.workload = j.at("workload").as_string();
+    spec.sdfg_path = j.at("sdfg_path").as_string();
+    spec.passes = j.at("passes").as_string();
+    spec.seed = static_cast<std::uint64_t>(j.at("seed").as_int());
+    spec.max_trials = static_cast<int>(j.at("max_trials").as_int());
+    spec.size_max = j.at("size_max").as_int();
+    spec.threshold = j.at("threshold").as_double();
+    spec.max_state_transitions = j.at("max_state_transitions").as_int();
+    spec.use_mincut = j.at("use_mincut").as_bool();
+    for (const auto& [name, value] : j.at("defaults").as_object())
+        spec.defaults[name] = value.as_int();
+    return spec;
+}
+
+ir::SDFG load_job_program(const JobSpec& job) {
+    if (!job.workload.empty() && !job.sdfg_path.empty())
+        throw common::Error("job specifies both a workload name and an SDFG path");
+    if (!job.workload.empty()) return workloads::build_npbench_kernel(job.workload);
+    if (job.sdfg_path.empty()) throw common::Error("job specifies neither workload nor SDFG path");
+    return ir::sdfg_from_json(Json::parse_file(job.sdfg_path));
+}
+
+std::vector<xform::TransformationPtr> job_passes(const JobSpec& job) {
+    if (job.passes == "table2") return xform::builtin_transformations({.table2_bugs = true});
+    if (job.passes == "correct") return xform::builtin_transformations({.table2_bugs = false});
+    if (job.passes == "tiling") {
+        std::vector<xform::TransformationPtr> passes;
+        passes.push_back(std::make_unique<xform::MapTiling>(4, xform::MapTiling::Variant::Correct));
+        return passes;
+    }
+    throw common::Error("unknown pass set: " + job.passes +
+                        " (expected table2, correct, or tiling)");
+}
+
+core::FuzzConfig job_fuzz_config(const JobSpec& job) {
+    core::FuzzConfig config;
+    config.max_trials = job.max_trials;
+    config.sampler.seed = job.seed;
+    config.sampler.size_max = job.size_max;
+    config.diff.threshold = job.threshold;
+    if (job.max_state_transitions > 0)
+        config.diff.exec.max_state_transitions = job.max_state_transitions;
+    config.use_mincut = job.use_mincut;
+    config.cutout.defaults = job.defaults;
+    return config;
+}
+
+Json ShardManifest::to_json() const {
+    Json j = Json::object();
+    j["format_version"] = format_version;
+    j["job"] = job.to_json();
+    j["shard_index"] = shard_index;
+    j["shard_count"] = shard_count;
+    j["unit_begin"] = unit_begin;
+    j["unit_end"] = unit_end;
+    j["instance_count"] = instance_count;
+    j["checkpoint_interval"] = checkpoint_interval;
+    return j;
+}
+
+ShardManifest ShardManifest::from_json(const Json& j) {
+    ShardManifest m;
+    m.format_version = static_cast<int>(j.at("format_version").as_int());
+    if (m.format_version != kFormatVersion)
+        throw common::Error("unsupported shard format version " +
+                            std::to_string(m.format_version) + " (this build speaks " +
+                            std::to_string(kFormatVersion) + ")");
+    m.job = JobSpec::from_json(j.at("job"));
+    m.shard_index = static_cast<int>(j.at("shard_index").as_int());
+    m.shard_count = static_cast<int>(j.at("shard_count").as_int());
+    m.unit_begin = j.at("unit_begin").as_int();
+    m.unit_end = j.at("unit_end").as_int();
+    m.instance_count = j.at("instance_count").as_int();
+    m.checkpoint_interval = static_cast<int>(j.at("checkpoint_interval").as_int());
+    return m;
+}
+
+std::vector<ShardManifest> plan_shards(const JobSpec& job, const ir::SDFG& program,
+                                       int shard_count, int checkpoint_interval) {
+    if (shard_count < 1) throw common::Error("shard count must be >= 1");
+    // Match discovery alone fixes the instance count (and its order fixes
+    // the canonical instance indexing) — the expensive per-instance cutout
+    // pipelines are left to the shard runners.
+    std::int64_t instances = 0;
+    for (const auto& pass : job_passes(job)) instances += pass->find_matches(program).size();
+    const std::int64_t units = instances * std::max(job.max_trials, 0);
+
+    std::vector<ShardManifest> shards;
+    shards.reserve(static_cast<std::size_t>(shard_count));
+    const std::int64_t base = units / shard_count;
+    const std::int64_t extra = units % shard_count;
+    std::int64_t next = 0;
+    for (int i = 0; i < shard_count; ++i) {
+        ShardManifest m;
+        m.job = job;
+        m.shard_index = i;
+        m.shard_count = shard_count;
+        m.unit_begin = next;
+        next += base + (i < extra ? 1 : 0);
+        m.unit_end = next;
+        m.instance_count = instances;
+        m.checkpoint_interval = std::max(checkpoint_interval, 1);
+        shards.push_back(std::move(m));
+    }
+    return shards;
+}
+
+}  // namespace ff::shard

@@ -1,0 +1,107 @@
+#include "shard/merger.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "core/report.h"
+#include "core/testcase_io.h"
+#include "shard/records.h"
+
+namespace ff::shard {
+
+using common::Json;
+
+MergeResult merge_shards(const std::vector<std::string>& record_paths,
+                         const MergeOptions& options) {
+    if (record_paths.empty()) throw common::Error("no shard record files to merge");
+
+    std::vector<ShardRecordFile> files;
+    files.reserve(record_paths.size());
+    for (const std::string& path : record_paths) files.push_back(read_record_file(path));
+
+    // One job, complete shards.
+    const std::string job_key = files.front().manifest.job.key();
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        if (files[i].manifest.job.key() != job_key)
+            throw common::Error(record_paths[i] + ": shard belongs to a different job than " +
+                                record_paths[0]);
+        if (!files[i].complete())
+            throw common::Error(record_paths[i] + ": shard is incomplete (checkpoint at " +
+                                std::to_string(files[i].checkpoint) + " of [" +
+                                std::to_string(files[i].manifest.unit_begin) + ", " +
+                                std::to_string(files[i].manifest.unit_end) +
+                                ")) — resume it with `ffaudit run-shard` before merging");
+    }
+
+    // Arrival order is irrelevant: sort by range and demand an exact tiling
+    // of the unit space.
+    std::sort(files.begin(), files.end(), [](const ShardRecordFile& a, const ShardRecordFile& b) {
+        return a.manifest.unit_begin < b.manifest.unit_begin;
+    });
+    const std::int64_t total =
+        files.front().manifest.instance_count *
+        static_cast<std::int64_t>(std::max(files.front().manifest.job.max_trials, 0));
+    std::int64_t next = 0;
+    for (const ShardRecordFile& file : files) {
+        if (file.manifest.unit_begin > next)
+            throw common::Error("coverage gap: units [" + std::to_string(next) + ", " +
+                                std::to_string(file.manifest.unit_begin) +
+                                ") are in no shard record file");
+        if (file.manifest.unit_begin < next)
+            throw common::Error("overlap: unit " + std::to_string(file.manifest.unit_begin) +
+                                " appears in more than one shard record file");
+        next = file.manifest.unit_end;
+    }
+    if (next != total)
+        throw common::Error("coverage gap: units [" + std::to_string(next) + ", " +
+                            std::to_string(total) + ") are in no shard record file");
+
+    // Reconstruct the audit and inject every record into its canonical
+    // slot; finalize() then performs the same merge + artifact saving the
+    // single-process audit does.
+    const JobSpec& job = files.front().manifest.job;
+    core::FuzzConfig config = job_fuzz_config(job);
+    config.num_threads = options.num_threads;
+    config.artifact_dir = options.artifact_dir;
+    const ir::SDFG program = load_job_program(job);
+    core::Fuzzer fuzzer(config);
+    core::PreparedAudit audit = fuzzer.prepare(program, job_passes(job));
+    if (static_cast<std::int64_t>(audit.instance_count()) != files.front().manifest.instance_count)
+        throw common::Error("prepared " + std::to_string(audit.instance_count()) +
+                            " instances but the shard files say " +
+                            std::to_string(files.front().manifest.instance_count) +
+                            " — merger and planner disagree about the job");
+
+    MergeResult result;
+    result.shard_files = files.size();
+    for (ShardRecordFile& file : files) {
+        for (auto& [unit, record] : file.records) {
+            audit.set_record(unit, std::move(record));
+            ++result.records;
+        }
+    }
+    result.reports = audit.finalize();
+    return result;
+}
+
+void canonicalize_report(core::FuzzReport& report) {
+    report.seconds = 0.0;
+    report.trials_per_second = 0.0;
+    report.threads = 0;
+    const std::size_t slash = report.artifact_path.find_last_of('/');
+    if (slash != std::string::npos) report.artifact_path = report.artifact_path.substr(slash + 1);
+}
+
+Json canonical_report_document(std::vector<core::FuzzReport> reports) {
+    for (core::FuzzReport& report : reports) canonicalize_report(report);
+    Json doc = Json::object();
+    doc["format_version"] = kFormatVersion;
+    Json arr = Json::array();
+    for (const core::FuzzReport& report : reports) arr.push_back(core::fuzz_report_to_json(report));
+    doc["reports"] = std::move(arr);
+    doc["table"] = core::audit_table(core::summarize_audit(reports));
+    return doc;
+}
+
+}  // namespace ff::shard

@@ -1,0 +1,63 @@
+// Lossless shard merge: any complete set of shard record files back into
+// the exact single-process audit report.
+//
+// The merger re-prepares the job, validates that the shard files (in any
+// order) tile the audit's unit space exactly — same job key, no gaps, no
+// overlaps, every shard complete — injects every record into its canonical
+// slot, and finalizes through core::merge_trial_records: the same
+// canonical-order merge the in-process scheduler uses, so the audit table
+// and reproducer artifacts are byte-identical to `Fuzzer::audit` at any
+// shard count, worker count, or arrival order (the determinism contract,
+// docs/ARCHITECTURE.md "Sharded execution").
+#pragma once
+
+/// \file
+/// merge_shards and the canonical (machine-independent) report form.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "core/fuzzer.h"
+
+namespace ff::shard {
+
+/// Merge-time options.
+struct MergeOptions {
+    /// When non-empty, failing instances' reproducer artifacts are written
+    /// here during the merge — same content-addressed files the
+    /// single-process audit would have produced.
+    std::string artifact_dir;
+    /// Workers for the merge's prepare phase (0 = hardware concurrency).
+    /// Merging runs no trials; this only parallelizes cutout pipelines.
+    int num_threads = 0;
+};
+
+/// A reconstructed audit.
+struct MergeResult {
+    std::vector<core::FuzzReport> reports;  ///< Canonical per-instance reports.
+    std::size_t shard_files = 0;            ///< Record files merged.
+    std::int64_t records = 0;               ///< Record lines injected.
+};
+
+/// Merges the given shard record files; throws common::Error when they do
+/// not form exactly one complete audit (mixed jobs, format drift, a gap or
+/// overlap in the unit range, or an incomplete shard).
+MergeResult merge_shards(const std::vector<std::string>& record_paths,
+                         const MergeOptions& options = {});
+
+/// Zeroes the fields the determinism contract exempts — wall-clock
+/// (`seconds`, `trials_per_second`), worker count (`threads`) — and reduces
+/// `artifact_path` to its content-derived basename, so reports produced on
+/// different machines (or via different shard counts) compare
+/// byte-identical.
+void canonicalize_report(core::FuzzReport& report);
+
+/// The canonical report document `ffaudit run` and `ffaudit merge` both
+/// emit: every report canonicalized and serialized, plus the rendered audit
+/// table.  Byte-identical across shard counts, worker counts, machines and
+/// arrival orders for a fixed job.
+common::Json canonical_report_document(std::vector<core::FuzzReport> reports);
+
+}  // namespace ff::shard

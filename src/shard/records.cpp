@@ -1,0 +1,126 @@
+#include "shard/records.h"
+
+#include <filesystem>
+
+#include "common/error.h"
+#include "core/testcase_io.h"
+
+namespace ff::shard {
+
+using common::Json;
+
+RecordWriter RecordWriter::create(const std::string& path, const ShardManifest& manifest) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw common::Error("cannot create record file: " + path);
+    Json header = Json::object();
+    header["type"] = "header";
+    header["format"] = kFormatVersion;
+    header["manifest"] = manifest.to_json();
+    out << header.dump() << '\n';
+    out.flush();
+    if (!out) throw common::Error("write failed on record file: " + path);
+    return RecordWriter(std::move(out));
+}
+
+RecordWriter RecordWriter::resume(const std::string& path, std::int64_t resume_offset) {
+    // Drop the interrupted chunk (and any torn final line) before
+    // appending: the resumed run re-executes it, and duplicate record lines
+    // would break the reader's ascending-unit invariant.
+    std::error_code ec;
+    std::filesystem::resize_file(path, static_cast<std::uintmax_t>(resume_offset), ec);
+    if (ec)
+        throw common::Error("cannot truncate record file " + path + " for resume: " +
+                            ec.message());
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out) throw common::Error("cannot reopen record file for resume: " + path);
+    return RecordWriter(std::move(out));
+}
+
+void RecordWriter::write_record(std::int64_t unit, const core::TrialRecord& record) {
+    Json line = Json::object();
+    line["type"] = "record";
+    line["unit"] = unit;
+    line["rec"] = core::trial_record_to_json(record);
+    out_ << line.dump() << '\n';
+    if (!out_) throw common::Error("write failed on record stream");
+}
+
+void RecordWriter::checkpoint(std::int64_t completed) {
+    Json line = Json::object();
+    line["type"] = "checkpoint";
+    line["completed"] = completed;
+    out_ << line.dump() << '\n';
+    out_.flush();
+    if (!out_) throw common::Error("checkpoint write failed on record stream");
+}
+
+void RecordWriter::append_raw(const std::string& bytes) {
+    out_ << bytes;
+    out_.flush();
+}
+
+ShardRecordFile read_record_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw common::Error("cannot open record file: " + path);
+
+    ShardRecordFile file;
+    bool have_header = false;
+    std::int64_t offset = 0;  // byte position of the current line's start
+    std::string line;
+    while (std::getline(in, line)) {
+        // A final line without its trailing newline is a torn write from an
+        // interrupted process: everything from here on is discarded (the
+        // resume path truncates it away).
+        if (in.eof()) break;
+        const std::int64_t line_end = offset + static_cast<std::int64_t>(line.size()) + 1;
+        Json j;
+        try {
+            j = Json::parse(line);
+        } catch (const std::exception&) {
+            break;  // torn/corrupt tail: stop at the last intact checkpoint
+        }
+        const std::string& type = j.at("type").as_string();
+        if (type == "header") {
+            if (have_header) throw common::Error(path + ": duplicate header line");
+            if (j.at("format").as_int() != kFormatVersion)
+                throw common::Error(path + ": unsupported record format version " +
+                                    std::to_string(j.at("format").as_int()));
+            file.manifest = ShardManifest::from_json(j.at("manifest"));
+            file.checkpoint = file.manifest.unit_begin;
+            file.resume_offset = line_end;
+            have_header = true;
+        } else if (type == "record") {
+            if (!have_header) throw common::Error(path + ": record line before header");
+            const std::int64_t unit = j.at("unit").as_int();
+            const std::int64_t expected =
+                file.manifest.unit_begin + static_cast<std::int64_t>(file.records.size());
+            if (unit != expected)
+                throw common::Error(path + ": record for unit " + std::to_string(unit) +
+                                    " where unit " + std::to_string(expected) + " was expected");
+            if (unit >= file.manifest.unit_end)
+                throw common::Error(path + ": record for unit " + std::to_string(unit) +
+                                    " outside the shard range");
+            file.records.emplace_back(unit, core::trial_record_from_json(j.at("rec")));
+        } else if (type == "checkpoint") {
+            if (!have_header) throw common::Error(path + ": checkpoint line before header");
+            const std::int64_t completed = j.at("completed").as_int();
+            const std::int64_t covered =
+                file.manifest.unit_begin + static_cast<std::int64_t>(file.records.size());
+            if (completed != covered)
+                throw common::Error(path + ": checkpoint claims " + std::to_string(completed) +
+                                    " units but records cover " + std::to_string(covered));
+            file.checkpoint = completed;
+            file.resume_offset = line_end;
+        } else {
+            throw common::Error(path + ": unknown line type '" + type + "'");
+        }
+        offset = line_end;
+    }
+    if (!have_header) throw common::Error(path + ": no record stream header");
+    // Records past the last checkpoint belong to a chunk that never
+    // completed — siblings may be missing, so none of them are durable.
+    file.records.resize(static_cast<std::size_t>(file.checkpoint - file.manifest.unit_begin));
+    return file;
+}
+
+}  // namespace ff::shard

@@ -1,0 +1,92 @@
+// The shard record wire format: one append-only JSONL stream per shard.
+//
+// Line types (each a compact single-line JSON object):
+//   {"type":"header","format":1,"manifest":{...}}       — first line
+//   {"type":"record","unit":<u>,"rec":{...}}            — one trial slot
+//   {"type":"checkpoint","completed":<u>}               — durability marker
+//
+// Records appear in ascending unit order.  A checkpoint line asserts that
+// every unit in [manifest.unit_begin, completed) has a record line above
+// it and has been flushed to disk; an interrupted shard resumes from its
+// last checkpoint instead of restarting (the partially written chunk after
+// it — including a torn final line from a mid-write kill — is discarded by
+// truncation).  A shard is *complete* when its last checkpoint reaches
+// manifest.unit_end.
+//
+// The record payload is core::trial_record_to_json: kind, and for failing
+// trials the verdict, detail and exact inputs — everything the canonical
+// merge and reproducer-artifact saving consume.  Trials skipped by
+// early-stop (and units of instances whose setup failed) are written as
+// explicit "not-run" records, so a complete shard always carries exactly
+// `unit_end - unit_begin` record lines and coverage validation is a count,
+// not a guess.
+#pragma once
+
+/// \file
+/// Shard record streams: append-only writer with checkpoints, tolerant
+/// reader with a resume point.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/report.h"
+#include "shard/manifest.h"
+
+namespace ff::shard {
+
+/// Append-only writer of one shard's record stream.  All writes go through
+/// the filesystem page cache until checkpoint(), which flushes — a crash
+/// between checkpoints loses at most one chunk.
+class RecordWriter {
+public:
+    /// Fresh stream: truncates/creates `path` and writes the header line.
+    static RecordWriter create(const std::string& path, const ShardManifest& manifest);
+
+    /// Resume: truncates `path` to `resume_offset` (the byte offset just
+    /// past the last checkpoint line, from read_record_file) — dropping any
+    /// partially written chunk — and appends after it.
+    static RecordWriter resume(const std::string& path, std::int64_t resume_offset);
+
+    /// Appends one trial slot at flat unit index `unit`.
+    void write_record(std::int64_t unit, const core::TrialRecord& record);
+
+    /// Flushes everything written so far and appends a checkpoint line:
+    /// every unit in [unit_begin, completed) is durably recorded.
+    void checkpoint(std::int64_t completed);
+
+    /// Appends raw bytes without a newline or flush — a test hook that
+    /// simulates a process killed mid-write (torn final line).
+    void append_raw(const std::string& bytes);
+
+private:
+    explicit RecordWriter(std::ofstream out) : out_(std::move(out)) {}
+    std::ofstream out_;  ///< The append-only stream.
+};
+
+/// Parsed view of one shard record file.
+struct ShardRecordFile {
+    ShardManifest manifest;      ///< From the header line.
+    std::int64_t checkpoint = 0;  ///< Units [unit_begin, checkpoint) are durable.
+    /// Byte offset just past the last checkpoint line (or the header when
+    /// none) — where RecordWriter::resume truncates to.
+    std::int64_t resume_offset = 0;
+    /// (unit, record) pairs covered by the last checkpoint, ascending by
+    /// unit.  Record lines past the checkpoint (an interrupted chunk) are
+    /// dropped: their chunk never completed, so siblings may be missing.
+    std::vector<std::pair<std::int64_t, core::TrialRecord>> records;
+
+    /// Whether the shard ran to the end of its range.
+    bool complete() const { return checkpoint == manifest.unit_end; }
+};
+
+/// Reads a shard record stream.  Tolerates a torn final line (truncated by
+/// a kill mid-write) by stopping at the last intact checkpoint; throws
+/// common::Error when the file is missing, has no parseable header, or
+/// violates the format (records out of range/order, checkpoint without its
+/// records).
+ShardRecordFile read_record_file(const std::string& path);
+
+}  // namespace ff::shard

@@ -1,0 +1,120 @@
+#include "shard/runner.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "common/error.h"
+#include "core/report.h"
+#include "shard/records.h"
+
+namespace ff::shard {
+
+namespace {
+
+/// The record slot of flat unit `unit` (a static NotRun record for units of
+/// instances whose setup failed — their reports are final from prepare and
+/// no trial slots exist, but the stream still carries one line per unit so
+/// coverage validation stays a plain count).
+const core::TrialRecord& unit_record(const core::PreparedAudit& audit, std::int64_t unit,
+                                     const core::TrialRecord& not_run) {
+    const int mt = audit.max_trials();
+    const std::size_t instance = static_cast<std::size_t>(unit / mt);
+    const std::size_t trial = static_cast<std::size_t>(unit % mt);
+    if (!audit.instance_runnable(instance)) return not_run;
+    return audit.records(instance)[trial];
+}
+
+}  // namespace
+
+RunShardResult run_shard(const ShardManifest& manifest, const std::string& records_path,
+                         const RunShardOptions& options) {
+    core::FuzzConfig config = job_fuzz_config(manifest.job);
+    config.num_threads = options.num_threads;
+    config.trial_chunk = options.trial_chunk;
+    const ir::SDFG program = load_job_program(manifest.job);
+    core::Fuzzer fuzzer(config);
+    core::PreparedAudit audit = fuzzer.prepare(program, job_passes(manifest.job));
+
+    // Cross-check the prepared shape against the planner's: a mismatch
+    // means the worker machine sees a different program or pass set than
+    // the plan was made from, and its records would merge into the wrong
+    // slots.
+    if (static_cast<std::int64_t>(audit.instance_count()) != manifest.instance_count)
+        throw common::Error("prepared " + std::to_string(audit.instance_count()) +
+                            " instances but the manifest says " +
+                            std::to_string(manifest.instance_count) +
+                            " — planner and runner disagree about the job");
+    if (manifest.unit_begin < 0 || manifest.unit_begin > manifest.unit_end ||
+        manifest.unit_end > audit.unit_count())
+        throw common::Error("manifest unit range [" + std::to_string(manifest.unit_begin) + ", " +
+                            std::to_string(manifest.unit_end) + ") outside the audit's " +
+                            std::to_string(audit.unit_count()) + " units");
+
+    // Open the stream: fresh, or resumed from the last intact checkpoint.
+    std::int64_t start = manifest.unit_begin;
+    std::optional<RecordWriter> writer;
+    std::error_code ec;
+    const bool existing_nonempty = std::filesystem::exists(records_path, ec) &&
+                                   std::filesystem::file_size(records_path, ec) > 0 && !ec;
+    if (options.resume && existing_nonempty) {
+        // A file the reader cannot make sense of at all (e.g. the previous
+        // run died inside the header write) holds nothing resumable; every
+        // record is a pure function of the job, so starting fresh loses no
+        // information.  A *parseable* file from a different shard or job,
+        // however, means the caller pointed at the wrong directory —
+        // refuse rather than overwrite it.
+        std::optional<ShardRecordFile> existing;
+        try {
+            existing.emplace(read_record_file(records_path));
+        } catch (const common::Error&) {
+            existing.reset();
+        }
+        if (existing) {
+            if (existing->manifest.to_json().dump() != manifest.to_json().dump())
+                throw common::Error(records_path +
+                                    " belongs to a different shard or job; refusing to resume");
+            start = existing->checkpoint;
+            // Completed records re-enter the audit so early-stop watermarks
+            // (a failure recorded before the interruption) keep suppressing
+            // later trials of the same instance.
+            for (auto& [unit, record] : existing->records)
+                audit.set_record(unit, std::move(record));
+            writer.emplace(RecordWriter::resume(records_path, existing->resume_offset));
+        } else {
+            writer.emplace(RecordWriter::create(records_path, manifest));
+        }
+    } else {
+        writer.emplace(RecordWriter::create(records_path, manifest));
+    }
+
+    RunShardResult result;
+    result.resumed_from = start;
+    const std::int64_t interval = std::max(manifest.checkpoint_interval, 1);
+    const core::TrialRecord not_run;
+    for (std::int64_t u = start; u < manifest.unit_end; u += interval) {
+        const std::int64_t chunk_end = std::min(u + interval, manifest.unit_end);
+        audit.run_range(u, chunk_end);
+        result.units_run += chunk_end - u;
+        if (options.interrupt_after_units >= 0 &&
+            chunk_end - start > options.interrupt_after_units) {
+            // Deterministic stand-in for a kill -9 mid-chunk: half the
+            // chunk's records, then a torn line, never the checkpoint.
+            const std::int64_t torn_at = u + std::max<std::int64_t>(1, (chunk_end - u) / 2);
+            for (std::int64_t unit = u; unit < torn_at; ++unit)
+                writer->write_record(unit, unit_record(audit, unit, not_run));
+            writer->append_raw("{\"type\":\"record\",\"unit\":");
+            result.stats = audit.stats();
+            return result;  // completed stays false
+        }
+        for (std::int64_t unit = u; unit < chunk_end; ++unit)
+            writer->write_record(unit, unit_record(audit, unit, not_run));
+        writer->checkpoint(chunk_end);
+    }
+    result.completed = true;
+    result.stats = audit.stats();
+    return result;
+}
+
+}  // namespace ff::shard

@@ -1,0 +1,52 @@
+// Shard execution: runs one manifest's unit range and streams the records.
+//
+// The runner re-prepares the job (a pure function of the JobSpec, so every
+// shard agrees on instance indexing), cross-checks the prepared shape
+// against the manifest, then executes the shard's range in
+// checkpoint-interval chunks: run a chunk with the in-process worker pool,
+// append its records in unit order, checkpoint, repeat.  If the process is
+// killed, re-invoking with resume enabled picks up from the last
+// checkpoint — completed chunks are never re-executed.
+#pragma once
+
+/// \file
+/// run_shard: chunked, checkpointed execution of one shard manifest.
+
+#include <cstdint>
+#include <string>
+
+#include "core/fuzzer.h"
+#include "shard/manifest.h"
+
+namespace ff::shard {
+
+/// Execution-only knobs of one run_shard invocation (none of these can
+/// affect the recorded results — the determinism contract).
+struct RunShardOptions {
+    int num_threads = 1;  ///< Workers of the in-process pool (0 = hardware).
+    int trial_chunk = 1;  ///< Scheduler claim chunking (FuzzConfig::trial_chunk).
+    /// Continue from an existing record file's last checkpoint.  When
+    /// false, an existing file is overwritten from scratch.
+    bool resume = true;
+    /// Test/ops hook: deterministically interrupt the run once more than
+    /// this many units have executed in THIS invocation — the chunk in
+    /// flight writes some records and a torn final line but no checkpoint,
+    /// exactly like a kill -9 mid-write.  < 0 runs to completion.
+    std::int64_t interrupt_after_units = -1;
+};
+
+/// What one run_shard invocation did.
+struct RunShardResult {
+    std::int64_t resumed_from = 0;  ///< First unit executed (== unit_begin when fresh).
+    std::int64_t units_run = 0;     ///< Units executed by this invocation.
+    bool completed = false;         ///< Reached manifest.unit_end (file is mergeable).
+    core::SchedulerStats stats;     ///< Scheduler counters of this invocation.
+};
+
+/// Executes `manifest`'s unit range, streaming records to `records_path`.
+/// Throws common::Error when the prepared audit disagrees with the manifest
+/// (instance count / trial budget drift) or on I/O failure.
+RunShardResult run_shard(const ShardManifest& manifest, const std::string& records_path,
+                         const RunShardOptions& options = {});
+
+}  // namespace ff::shard

@@ -1,0 +1,497 @@
+// Sharded audits (src/shard): wire-format losslessness, the deterministic
+// planner, checkpoint/resume semantics, merge validation, and the
+// end-to-end acceptance bar — for a fixed (workload, seed, trial budget),
+// merging shard record files at ANY shard count (including a shard that
+// was interrupted mid-chunk and resumed) reconstructs a report document and
+// reproducer artifacts byte-identical to the single-process Fuzzer::audit
+// (docs/ARCHITECTURE.md "Sharded execution").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/report.h"
+#include "core/testcase_io.h"
+#include "helpers.h"
+#include "ir/serialize.h"
+#include "shard/manifest.h"
+#include "shard/merger.h"
+#include "shard/records.h"
+#include "shard/runner.h"
+#include "workloads/npbench.h"
+
+namespace ff {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty scratch directory under the gtest temp root.
+std::string scratch_dir(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "ff_shard_" + name;
+    fs::remove_all(path);
+    fs::create_directories(path);
+    return path;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+/// filename -> bytes of every regular file in `dir`.
+std::map<std::string, std::string> dir_contents(const std::string& dir) {
+    std::map<std::string, std::string> out;
+    if (!fs::exists(dir)) return out;
+    for (const auto& entry : fs::directory_iterator(dir))
+        if (entry.is_regular_file())
+            out[entry.path().filename().string()] = read_file(entry.path().string());
+    return out;
+}
+
+// --- Wire-format round trips --------------------------------------------------
+
+interp::Context random_context(common::Rng& rng) {
+    interp::Context ctx;
+    const int nsym = static_cast<int>(rng() % 4);
+    for (int s = 0; s < nsym; ++s)
+        ctx.symbols["sym" + std::to_string(s)] = static_cast<std::int64_t>(rng()) % 1000;
+    const int nbuf = static_cast<int>(rng() % 3) + 1;
+    for (int b = 0; b < nbuf; ++b) {
+        const ir::DType dtype =
+            std::vector<ir::DType>{ir::DType::F64, ir::DType::F32, ir::DType::I64,
+                                   ir::DType::I32}[rng() % 4];
+        const std::int64_t rank = 1 + static_cast<std::int64_t>(rng() % 2);
+        std::vector<std::int64_t> shape;
+        for (std::int64_t r = 0; r < rank; ++r)
+            shape.push_back(1 + static_cast<std::int64_t>(rng() % 4));
+        interp::Buffer buf(dtype, std::move(shape));
+        for (std::int64_t i = 0; i < buf.size(); ++i) {
+            if (ir::dtype_is_float(dtype)) {
+                // Exercise values that break naive float printing: huge,
+                // tiny, negative zero, long mantissas.
+                const double picks[] = {1.0 / 3.0, -0.0, 1e300, 5e-324, -123456.789012345,
+                                        static_cast<double>(rng()) / 7.0};
+                buf.store(i, interp::Value::from_double(picks[rng() % 6]));
+            } else {
+                buf.store(i, interp::Value::from_int(static_cast<std::int64_t>(rng())));
+            }
+        }
+        ctx.buffers.emplace("buf" + std::to_string(b), std::move(buf));
+    }
+    return ctx;
+}
+
+core::TrialRecord random_record(common::Rng& rng) {
+    core::TrialRecord rec;
+    switch (rng() % 4) {
+        case 0: rec.kind = core::TrialRecord::Kind::NotRun; break;
+        case 1: rec.kind = core::TrialRecord::Kind::Uninteresting; break;
+        case 2: rec.kind = core::TrialRecord::Kind::Pass; break;
+        default: {
+            rec.kind = core::TrialRecord::Kind::Failed;
+            const core::Verdict verdicts[] = {core::Verdict::SemanticsChanged,
+                                              core::Verdict::TransformedCrash,
+                                              core::Verdict::TransformedHang,
+                                              core::Verdict::InvalidCode};
+            rec.verdict = verdicts[rng() % 4];
+            rec.detail = "mismatch at [\"x\"][3]: 1.0000000000000002 != 1\nline2 \\ \"quoted\"";
+            rec.inputs = std::make_unique<interp::Context>(random_context(rng));
+            break;
+        }
+    }
+    return rec;
+}
+
+TEST(ShardWire, TrialRecordJsonRoundTripProperty) {
+    common::Rng rng(0xC0FFEE);
+    for (int iter = 0; iter < 200; ++iter) {
+        const core::TrialRecord rec = random_record(rng);
+        const common::Json j = core::trial_record_to_json(rec);
+        const core::TrialRecord back = core::trial_record_from_json(j);
+        // Lossless: re-serializing the deserialized record reproduces the
+        // exact wire bytes (the property the byte-identical merge rides on).
+        EXPECT_EQ(core::trial_record_to_json(back).dump(), j.dump()) << "iteration " << iter;
+        EXPECT_EQ(back.kind, rec.kind);
+        if (rec.kind == core::TrialRecord::Kind::Failed) {
+            EXPECT_EQ(back.verdict, rec.verdict);
+            EXPECT_EQ(back.detail, rec.detail);
+            ASSERT_NE(back.inputs, nullptr);
+            EXPECT_EQ(core::context_to_json(*back.inputs).dump(),
+                      core::context_to_json(*rec.inputs).dump());
+        }
+    }
+}
+
+TEST(ShardWire, FuzzReportJsonRoundTrip) {
+    core::FuzzReport r;
+    r.transformation = "MapTiling";
+    r.match_description = "map 3 in state main";
+    r.verdict = core::Verdict::TransformedHang;
+    r.trials = 17;
+    r.uninteresting = 4;
+    r.threads = 8;
+    r.seconds = 1.25;
+    r.trials_per_second = 13.6;
+    r.detail = "transition budget exceeded";
+    r.artifact_path = "/tmp/artifacts/testcase_0123456789abcdef.json";
+    r.artifact_error = "cannot open /ro/x.json: Permission denied";
+    r.cutout_nodes = 12;
+    r.program_nodes = 345;
+    r.input_volume = 64;
+    r.input_volume_before_mincut = 128;
+    r.mincut_improved = true;
+    r.whole_program_cutout = false;
+
+    const core::FuzzReport back = core::fuzz_report_from_json(core::fuzz_report_to_json(r));
+    EXPECT_EQ(core::fuzz_report_to_json(back).dump(), core::fuzz_report_to_json(r).dump());
+    EXPECT_EQ(back.verdict, r.verdict);
+    EXPECT_EQ(back.trials, r.trials);
+    EXPECT_EQ(back.artifact_error, r.artifact_error);
+    EXPECT_DOUBLE_EQ(back.seconds, r.seconds);
+}
+
+TEST(ShardWire, FailedRecordWithoutInputsIsRejected) {
+    // A failing record's inputs feed the merge-time artifact save; wire
+    // data without them is malformed and must fail deserialization instead
+    // of crashing the merger later.
+    const common::Json j = common::Json::parse(
+        R"({"kind":"failed","verdict":"semantics-changed","detail":"d"})");
+    EXPECT_THROW(core::trial_record_from_json(j), common::Error);
+}
+
+TEST(ShardWire, VerdictNamesRoundTrip) {
+    for (core::Verdict v :
+         {core::Verdict::Pass, core::Verdict::SemanticsChanged, core::Verdict::TransformedCrash,
+          core::Verdict::TransformedHang, core::Verdict::InvalidCode,
+          core::Verdict::Uninteresting})
+        EXPECT_EQ(core::verdict_from_name(core::verdict_name(v)), v);
+    EXPECT_THROW(core::verdict_from_name("bogus"), common::Error);
+}
+
+// --- Planner ------------------------------------------------------------------
+
+shard::JobSpec gemm_job(int trials = 8) {
+    shard::JobSpec job;
+    job.workload = "gemm";
+    job.passes = "table2";
+    job.max_trials = trials;
+    job.size_max = 5;
+    job.max_state_transitions = 2000;
+    job.defaults = workloads::npbench_defaults();
+    return job;
+}
+
+TEST(ShardPlanner, TilesBalancesAndIsDeterministic) {
+    const shard::JobSpec job = gemm_job(10);
+    const ir::SDFG program = shard::load_job_program(job);
+    for (int count : {1, 2, 3, 4, 7, 9, 16}) {
+        const auto shards = shard::plan_shards(job, program, count, /*checkpoint_interval=*/5);
+        ASSERT_EQ(shards.size(), static_cast<std::size_t>(count));
+        EXPECT_EQ(shards.front().unit_begin, 0);
+        const std::int64_t units = shards.front().instance_count * 10;
+        EXPECT_GT(units, 0);
+        std::int64_t next = 0;
+        std::int64_t smallest = units, largest = 0;
+        for (int i = 0; i < count; ++i) {
+            EXPECT_EQ(shards[i].shard_index, i);
+            EXPECT_EQ(shards[i].shard_count, count);
+            EXPECT_EQ(shards[i].unit_begin, next) << "contiguous partition";
+            next = shards[i].unit_end;
+            const std::int64_t size = shards[i].unit_end - shards[i].unit_begin;
+            smallest = std::min(smallest, size);
+            largest = std::max(largest, size);
+        }
+        EXPECT_EQ(next, units) << "exact coverage";
+        EXPECT_LE(largest - smallest, 1) << "balanced to within one unit";
+
+        const auto again = shard::plan_shards(job, program, count, 5);
+        for (int i = 0; i < count; ++i)
+            EXPECT_EQ(again[i].to_json().dump(), shards[i].to_json().dump()) << "deterministic";
+    }
+    EXPECT_THROW(shard::plan_shards(job, program, 0, 5), common::Error);
+}
+
+TEST(ShardPlanner, ManifestJsonRoundTrip) {
+    const shard::JobSpec job = gemm_job();
+    const ir::SDFG program = shard::load_job_program(job);
+    for (const auto& m : shard::plan_shards(job, program, 3, 7)) {
+        const shard::ShardManifest back = shard::ShardManifest::from_json(m.to_json());
+        EXPECT_EQ(back.to_json().dump(), m.to_json().dump());
+    }
+}
+
+// --- Record streams: checkpoints, torn tails, resume --------------------------
+
+shard::ShardManifest tiny_manifest(std::int64_t begin, std::int64_t end) {
+    shard::ShardManifest m;
+    m.job = gemm_job();
+    m.unit_begin = begin;
+    m.unit_end = end;
+    m.instance_count = 9;  // gemm/table2; only range checks read this here
+    m.checkpoint_interval = 4;
+    return m;
+}
+
+TEST(ShardRecords, WriterReaderRoundTripWithTornTail) {
+    const std::string dir = scratch_dir("records_torn");
+    const std::string path = dir + "/records-0.jsonl";
+    const shard::ShardManifest manifest = tiny_manifest(10, 30);
+    common::Rng rng(7);
+
+    auto writer = shard::RecordWriter::create(path, manifest);
+    std::vector<std::string> wire;
+    for (std::int64_t u = 10; u < 18; ++u) {
+        core::TrialRecord rec = random_record(rng);
+        wire.push_back(core::trial_record_to_json(rec).dump());
+        writer.write_record(u, rec);
+    }
+    writer.checkpoint(18);
+    // An interrupted chunk: two records and a torn final line, no checkpoint.
+    writer.write_record(18, core::TrialRecord{});
+    writer.write_record(19, core::TrialRecord{});
+    writer.append_raw("{\"type\":\"record\",\"unit\":2");
+
+    const shard::ShardRecordFile file = shard::read_record_file(path);
+    EXPECT_EQ(file.manifest.to_json().dump(), manifest.to_json().dump());
+    EXPECT_EQ(file.checkpoint, 18);
+    EXPECT_FALSE(file.complete());
+    ASSERT_EQ(file.records.size(), 8u) << "post-checkpoint records dropped";
+    for (std::size_t i = 0; i < file.records.size(); ++i) {
+        EXPECT_EQ(file.records[i].first, 10 + static_cast<std::int64_t>(i));
+        EXPECT_EQ(core::trial_record_to_json(file.records[i].second).dump(), wire[i]);
+    }
+
+    // Resume truncates the interrupted chunk and completes the range.
+    auto resumed = shard::RecordWriter::resume(path, file.resume_offset);
+    for (std::int64_t u = 18; u < 30; ++u) resumed.write_record(u, core::TrialRecord{});
+    resumed.checkpoint(30);
+    const shard::ShardRecordFile done = shard::read_record_file(path);
+    EXPECT_TRUE(done.complete());
+    EXPECT_EQ(done.records.size(), 20u);
+}
+
+TEST(ShardRecords, ReaderRejectsCorruptStreams) {
+    const std::string dir = scratch_dir("records_corrupt");
+    const shard::ShardManifest manifest = tiny_manifest(0, 8);
+
+    {  // no header
+        const std::string path = dir + "/no_header.jsonl";
+        std::ofstream(path) << "{\"type\":\"record\",\"unit\":0,\"rec\":{\"kind\":\"pass\"}}\n";
+        EXPECT_THROW(shard::read_record_file(path), common::Error);
+    }
+    {  // out-of-order record
+        const std::string path = dir + "/out_of_order.jsonl";
+        auto writer = shard::RecordWriter::create(path, manifest);
+        writer.write_record(0, core::TrialRecord{});
+        writer.append_raw("{\"rec\":{\"kind\":\"pass\"},\"type\":\"record\",\"unit\":5}\n");
+        EXPECT_THROW(shard::read_record_file(path), common::Error);
+    }
+    {  // checkpoint claiming units its records do not cover
+        const std::string path = dir + "/bad_checkpoint.jsonl";
+        auto writer = shard::RecordWriter::create(path, manifest);
+        writer.write_record(0, core::TrialRecord{});
+        writer.append_raw("{\"completed\":5,\"type\":\"checkpoint\"}\n");
+        EXPECT_THROW(shard::read_record_file(path), common::Error);
+    }
+    EXPECT_THROW(shard::read_record_file(dir + "/missing.jsonl"), common::Error);
+}
+
+// --- End-to-end: shard counts, interruption, merge validation -----------------
+
+/// The single-process reference: same canonical document `ffaudit run`
+/// emits.
+common::Json reference_document(const shard::JobSpec& job, const std::string& artifact_dir,
+                                int threads) {
+    core::FuzzConfig config = shard::job_fuzz_config(job);
+    config.num_threads = threads;
+    config.artifact_dir = artifact_dir;
+    core::Fuzzer fuzzer(config);
+    std::vector<core::FuzzReport> reports =
+        fuzzer.audit(shard::load_job_program(job), shard::job_passes(job));
+    return shard::canonical_report_document(std::move(reports));
+}
+
+/// Plans `count` shards, runs each to a record file (heterogeneous worker
+/// counts on purpose), merges, returns the canonical document.
+common::Json sharded_document(const shard::JobSpec& job, int count, const std::string& dir,
+                              const std::string& artifact_dir, int checkpoint_interval,
+                              bool interrupt_one = false) {
+    const ir::SDFG program = shard::load_job_program(job);
+    const auto manifests = shard::plan_shards(job, program, count, checkpoint_interval);
+    std::vector<std::string> paths;
+    for (const auto& m : manifests) {
+        const std::string path = dir + "/records-" + std::to_string(m.shard_index) + ".jsonl";
+        shard::RunShardOptions options;
+        options.num_threads = 1 + m.shard_index % 3;
+        options.trial_chunk = 1 + m.shard_index % 4;
+        if (interrupt_one && m.shard_index == count / 2 && m.unit_end - m.unit_begin > 2) {
+            shard::RunShardOptions interrupting = options;
+            interrupting.interrupt_after_units = (m.unit_end - m.unit_begin) / 2;
+            const auto first = shard::run_shard(m, path, interrupting);
+            EXPECT_FALSE(first.completed);
+            const auto second = shard::run_shard(m, path, options);  // resume
+            EXPECT_TRUE(second.completed);
+            EXPECT_GT(second.resumed_from, m.unit_begin) << "resume skipped completed chunks";
+        } else {
+            const auto result = shard::run_shard(m, path, options);
+            EXPECT_TRUE(result.completed);
+        }
+        paths.push_back(path);
+    }
+    shard::MergeOptions merge_options;
+    merge_options.artifact_dir = artifact_dir;
+    shard::MergeResult merged = shard::merge_shards(paths, merge_options);
+    EXPECT_EQ(merged.shard_files, static_cast<std::size_t>(count));
+    return shard::canonical_report_document(std::move(merged.reports));
+}
+
+TEST(ShardEndToEnd, MergeByteIdenticalAcrossShardCounts) {
+    const shard::JobSpec job = gemm_job();
+    const std::string root = scratch_dir("e2e");
+    const std::string ref_art = root + "/art_ref";
+    fs::create_directories(ref_art);
+    const common::Json reference = reference_document(job, ref_art, 1);
+    const std::string ref_dump = reference.dump(2);
+
+    // The reference audit must exercise the interesting paths: failures
+    // (so artifacts exist) and a non-runnable instance (apply failed).
+    const auto contents = dir_contents(ref_art);
+    EXPECT_FALSE(contents.empty()) << "no reproducer artifacts — job too tame for this test";
+    EXPECT_NE(ref_dump.find("invalid-code"), std::string::npos);
+
+    for (int count : {1, 2, 4, 8}) {
+        const std::string dir = root + "/shards" + std::to_string(count);
+        const std::string art = root + "/art" + std::to_string(count);
+        fs::create_directories(dir);
+        fs::create_directories(art);
+        const common::Json doc =
+            sharded_document(job, count, dir, art, /*checkpoint_interval=*/5,
+                             /*interrupt_one=*/count == 4);
+        EXPECT_EQ(doc.dump(2), ref_dump) << "shard count " << count;
+        EXPECT_EQ(dir_contents(art), contents) << "artifact bytes, shard count " << count;
+    }
+}
+
+TEST(ShardEndToEnd, SdfgFileJobMergesLosslessly) {
+    const std::string root = scratch_dir("sdfg_job");
+    const std::string sdfg_path = root + "/chain.json";
+    std::ofstream(sdfg_path) << ir::to_json(ff::testing::make_chain_sdfg()).dump(2);
+
+    shard::JobSpec job;
+    job.sdfg_path = sdfg_path;
+    job.passes = "tiling";
+    job.max_trials = 12;
+    job.size_max = 6;
+    job.defaults = {{"N", 8}};
+
+    const common::Json reference = reference_document(job, "", 2);
+    fs::create_directories(root + "/rec");
+    const common::Json doc = sharded_document(job, 3, root + "/rec", "", 4);
+    EXPECT_EQ(doc.dump(2), reference.dump(2));
+}
+
+TEST(ShardEndToEnd, MergeValidatesCoverageOverlapAndCompleteness) {
+    const shard::JobSpec job = gemm_job(4);
+    const std::string root = scratch_dir("merge_validation");
+    const ir::SDFG program = shard::load_job_program(job);
+    const auto manifests = shard::plan_shards(job, program, 3, 4);
+    std::vector<std::string> paths;
+    for (const auto& m : manifests) {
+        paths.push_back(root + "/records-" + std::to_string(m.shard_index) + ".jsonl");
+        shard::run_shard(m, paths.back(), {});
+    }
+
+    EXPECT_NO_THROW(shard::merge_shards(paths, {}));
+    // Arrival order is irrelevant.
+    EXPECT_NO_THROW(shard::merge_shards({paths[2], paths[0], paths[1]}, {}));
+    // A missing shard is a coverage gap.
+    EXPECT_THROW(shard::merge_shards({paths[0], paths[2]}, {}), common::Error);
+    // The same shard twice is an overlap.
+    EXPECT_THROW(shard::merge_shards({paths[0], paths[1], paths[2], paths[1]}, {}),
+                 common::Error);
+    // An interrupted, never-resumed shard refuses to merge.
+    const std::string interrupted = root + "/records-interrupted.jsonl";
+    shard::RunShardOptions interrupt;
+    interrupt.interrupt_after_units = 1;
+    shard::run_shard(manifests[1], interrupted, interrupt);
+    EXPECT_THROW(shard::merge_shards({paths[0], interrupted, paths[2]}, {}), common::Error);
+    // Shards of a different job (different seed) refuse to mix.
+    shard::JobSpec other = job;
+    other.seed = 999;
+    const auto other_manifests = shard::plan_shards(other, program, 3, 4);
+    const std::string other_path = root + "/records-other.jsonl";
+    shard::run_shard(other_manifests[1], other_path, {});
+    EXPECT_THROW(shard::merge_shards({paths[0], other_path, paths[2]}, {}), common::Error);
+}
+
+TEST(ShardEndToEnd, ResumeStartsFreshOverUnparseableFileButRefusesForeignShard) {
+    const shard::JobSpec job = gemm_job(4);
+    const ir::SDFG program = shard::load_job_program(job);
+    const auto manifests = shard::plan_shards(job, program, 2, 4);
+    const std::string root = scratch_dir("resume_edge");
+
+    // A previous run died inside the header write: nothing is resumable,
+    // and every record is recomputable, so the runner starts fresh.
+    const std::string torn = root + "/records-0.jsonl";
+    std::ofstream(torn) << "{\"type\":\"hea";
+    const auto result = shard::run_shard(manifests[0], torn, {});
+    EXPECT_TRUE(result.completed);
+    EXPECT_TRUE(shard::read_record_file(torn).complete());
+
+    // A parseable file from a different shard means a mispointed
+    // --records path: refuse instead of overwriting it.
+    EXPECT_THROW(shard::run_shard(manifests[1], torn, {}), common::Error);
+}
+
+TEST(ShardEndToEnd, RunShardRejectsManifestDrift) {
+    const shard::JobSpec job = gemm_job(4);
+    const ir::SDFG program = shard::load_job_program(job);
+    auto manifests = shard::plan_shards(job, program, 2, 4);
+    const std::string root = scratch_dir("drift");
+    manifests[0].instance_count += 1;  // planner/runner disagreement
+    EXPECT_THROW(shard::run_shard(manifests[0], root + "/r.jsonl", {}), common::Error);
+}
+
+// --- Satellite: artifact write failures surface in report + table -------------
+
+TEST(ArtifactErrors, SurfacedInReportAndAuditTable) {
+    const shard::JobSpec job = gemm_job(6);
+    core::FuzzConfig config = shard::job_fuzz_config(job);
+    // Parent directory does not exist, so every artifact write fails.
+    config.artifact_dir = scratch_dir("art_err") + "/missing_subdir/deeper";
+    core::Fuzzer fuzzer(config);
+    const std::vector<core::FuzzReport> reports =
+        fuzzer.audit(shard::load_job_program(job), shard::job_passes(job));
+
+    int errors = 0;
+    for (const auto& r : reports) {
+        if (r.failed() && r.verdict != core::Verdict::InvalidCode) {
+            // InvalidCode from a failed apply has no failing trial inputs,
+            // hence no artifact attempt; every other failure attempted one.
+            EXPECT_TRUE(r.artifact_path.empty());
+        }
+        if (!r.artifact_error.empty()) {
+            ++errors;
+            EXPECT_TRUE(r.artifact_path.empty()) << "path and error are mutually exclusive";
+        }
+    }
+    ASSERT_GT(errors, 0) << "job produced no artifact attempts — test needs a failing instance";
+
+    const auto summaries = core::summarize_audit(reports);
+    int table_errors = 0;
+    for (const auto& s : summaries) table_errors += s.artifact_errors;
+    EXPECT_EQ(table_errors, errors);
+    const std::string table = core::audit_table(summaries);
+    EXPECT_NE(table.find("Artifact errors"), std::string::npos);
+    EXPECT_NE(table.find(std::to_string(errors)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ff

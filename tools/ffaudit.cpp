@@ -1,0 +1,297 @@
+// ffaudit — plan, run, distribute and merge FuzzyFlow audits.
+//
+// The distribution workflow (docs/ARCHITECTURE.md "Sharded execution"):
+//
+//   ffaudit plan  --workload gemm --shards 4 --out-dir plan/
+//       partitions the audit's (instance, trial) unit space into 4
+//       contiguous shards and writes one manifest JSON per shard;
+//   ffaudit run-shard --manifest plan/shard-2.json --records-dir records/
+//       executes one shard (any machine that can rebuild the job), streaming
+//       checkpointed records; killed runs resume from the last checkpoint;
+//   ffaudit merge --records-dir records/ --out report.json
+//       validates coverage and reconstructs the exact single-process report
+//       — byte-identical to `ffaudit run` at any shard/worker count;
+//   ffaudit run   --workload gemm --out report.json
+//       the single-process reference (same canonical report document);
+//   ffaudit replay testcase.json
+//       re-runs a reproducer artifact through the differential tester.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/report.h"
+#include "core/testcase_io.h"
+#include "shard/manifest.h"
+#include "shard/merger.h"
+#include "shard/records.h"
+#include "shard/runner.h"
+#include "workloads/npbench.h"
+
+using namespace ff;
+
+namespace {
+
+int usage(const char* detail = nullptr) {
+    if (detail) std::fprintf(stderr, "ffaudit: %s\n\n", detail);
+    std::fprintf(stderr,
+                 "usage: ffaudit <command> [options]\n"
+                 "\n"
+                 "commands:\n"
+                 "  plan       partition an audit into shard manifests\n"
+                 "  run-shard  execute one shard manifest (checkpointed, resumable)\n"
+                 "  merge      merge complete shard record files into the canonical report\n"
+                 "  run        single-process audit emitting the same canonical report\n"
+                 "  replay     re-run a reproducer test case JSON\n"
+                 "\n"
+                 "job options (plan, run):\n"
+                 "  --workload <name>        npbench kernel (see --list-workloads)\n"
+                 "  --sdfg <file>            serialized SDFG instead of a named workload\n"
+                 "  --passes <set>           table2 | correct | tiling   [table2]\n"
+                 "  --seed <n>               sampler seed               [0x5eed]\n"
+                 "  --trials <n>             trials per instance        [100]\n"
+                 "  --size-max <n>           sampler size bound         [16]\n"
+                 "  --threshold <x>          comparison threshold       [1e-5]\n"
+                 "  --max-transitions <n>    interpreter budget         [default]\n"
+                 "  --no-mincut              skip the minimum input-flow cut\n"
+                 "  --default <sym>=<val>    default symbol binding (repeatable)\n"
+                 "\n"
+                 "plan:      --shards <n> --out-dir <dir> [--checkpoint-interval <n>]\n"
+                 "run-shard: --manifest <file> --records-dir <dir> [--records <file>]\n"
+                 "           [--threads <n>] [--trial-chunk <n>] [--no-resume]\n"
+                 "           [--interrupt-after-units <n>]\n"
+                 "merge:     --records-dir <dir> | --records <file>... \n"
+                 "           [--artifact-dir <dir>] [--out <file>] [--threads <n>]\n"
+                 "run:       [--threads <n>] [--artifact-dir <dir>] [--out <file>]\n"
+                 "replay:    <testcase.json>\n");
+    return 2;
+}
+
+/// Value of a --flag; advances `i`.  Throws common::Error when missing.
+std::string flag_value(const std::vector<std::string>& args, std::size_t& i) {
+    if (i + 1 >= args.size()) throw common::Error("missing value for " + args[i]);
+    return args[++i];
+}
+
+std::int64_t int_value(const std::vector<std::string>& args, std::size_t& i) {
+    const std::string v = flag_value(args, i);
+    return std::stoll(v, nullptr, 0);
+}
+
+/// Parses one job option; returns false when `args[i]` is not a job flag.
+bool parse_job_flag(shard::JobSpec& job, const std::vector<std::string>& args, std::size_t& i) {
+    const std::string& a = args[i];
+    if (a == "--workload") job.workload = flag_value(args, i);
+    else if (a == "--sdfg") job.sdfg_path = flag_value(args, i);
+    else if (a == "--passes") job.passes = flag_value(args, i);
+    else if (a == "--seed") job.seed = static_cast<std::uint64_t>(int_value(args, i));
+    else if (a == "--trials") job.max_trials = static_cast<int>(int_value(args, i));
+    else if (a == "--size-max") job.size_max = int_value(args, i);
+    else if (a == "--threshold") job.threshold = std::stod(flag_value(args, i));
+    else if (a == "--max-transitions") job.max_state_transitions = int_value(args, i);
+    else if (a == "--no-mincut") job.use_mincut = false;
+    else if (a == "--default") {
+        const std::string kv = flag_value(args, i);
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos) throw common::Error("--default expects <sym>=<val>: " + kv);
+        job.defaults[kv.substr(0, eq)] = std::stoll(kv.substr(eq + 1));
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/// Fills workload-derived defaults a self-contained manifest needs.
+void finalize_job(shard::JobSpec& job) {
+    if (job.workload.empty() && job.sdfg_path.empty())
+        throw common::Error("a job needs --workload or --sdfg");
+    if (!job.workload.empty() && job.defaults.empty()) job.defaults = workloads::npbench_defaults();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw common::Error("cannot write " + path);
+    out << text;
+    out.close();
+    if (out.fail()) throw common::Error("short write to " + path);
+}
+
+/// Emits the canonical report document to `out_path` ("" = stdout) and the
+/// audit table to stdout.
+void emit_report(std::vector<core::FuzzReport> reports, const std::string& out_path) {
+    const common::Json doc = shard::canonical_report_document(std::move(reports));
+    const std::string text = doc.dump(2) + "\n";
+    if (out_path.empty()) {
+        std::fputs(text.c_str(), stdout);
+    } else {
+        write_text_file(out_path, text);
+        std::printf("report: %s\n", out_path.c_str());
+    }
+    std::printf("%s", doc.at("table").as_string().c_str());
+}
+
+std::string records_path_for(const std::string& dir, int shard_index) {
+    return dir + "/records-" + std::to_string(shard_index) + ".jsonl";
+}
+
+int cmd_plan(const std::vector<std::string>& args) {
+    shard::JobSpec job;
+    int shards = 0;
+    int checkpoint_interval = 64;
+    std::string out_dir;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (parse_job_flag(job, args, i)) continue;
+        if (args[i] == "--shards") shards = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--checkpoint-interval")
+            checkpoint_interval = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--out-dir") out_dir = flag_value(args, i);
+        else if (args[i] == "--list-workloads") {
+            for (const auto& name : workloads::npbench_kernel_names())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else return usage(("unknown plan option " + args[i]).c_str());
+    }
+    if (shards < 1) return usage("plan needs --shards >= 1");
+    if (out_dir.empty()) return usage("plan needs --out-dir");
+    finalize_job(job);
+
+    const ir::SDFG program = shard::load_job_program(job);
+    const auto manifests = shard::plan_shards(job, program, shards, checkpoint_interval);
+    std::filesystem::create_directories(out_dir);
+    for (const auto& m : manifests)
+        write_text_file(out_dir + "/shard-" + std::to_string(m.shard_index) + ".json",
+                        m.to_json().dump(2) + "\n");
+    std::printf("planned %zu shard(s) over %lld units (%lld instances x %d trials) in %s\n",
+                manifests.size(), static_cast<long long>(manifests.back().unit_end),
+                static_cast<long long>(manifests.front().instance_count), job.max_trials,
+                out_dir.c_str());
+    return 0;
+}
+
+int cmd_run_shard(const std::vector<std::string>& args) {
+    std::string manifest_path, records_path, records_dir;
+    shard::RunShardOptions options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--manifest") manifest_path = flag_value(args, i);
+        else if (args[i] == "--records") records_path = flag_value(args, i);
+        else if (args[i] == "--records-dir") records_dir = flag_value(args, i);
+        else if (args[i] == "--threads") options.num_threads = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--trial-chunk")
+            options.trial_chunk = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--no-resume") options.resume = false;
+        else if (args[i] == "--interrupt-after-units")
+            options.interrupt_after_units = int_value(args, i);
+        else return usage(("unknown run-shard option " + args[i]).c_str());
+    }
+    if (manifest_path.empty()) return usage("run-shard needs --manifest");
+    if (records_path.empty() && records_dir.empty())
+        return usage("run-shard needs --records or --records-dir");
+
+    const shard::ShardManifest manifest =
+        shard::ShardManifest::from_json(common::Json::parse_file(manifest_path));
+    if (records_path.empty()) {
+        std::filesystem::create_directories(records_dir);
+        records_path = records_path_for(records_dir, manifest.shard_index);
+    }
+
+    const shard::RunShardResult result = shard::run_shard(manifest, records_path, options);
+    std::printf("shard %d/%d: %s %lld unit(s) of [%lld, %lld) -> %s%s\n", manifest.shard_index,
+                manifest.shard_count, result.resumed_from > manifest.unit_begin ? "resumed," : "ran",
+                static_cast<long long>(result.units_run),
+                static_cast<long long>(manifest.unit_begin),
+                static_cast<long long>(manifest.unit_end), records_path.c_str(),
+                result.completed ? "" : " (INTERRUPTED — rerun to resume)");
+    return result.completed ? 0 : 3;
+}
+
+int cmd_merge(const std::vector<std::string>& args) {
+    std::vector<std::string> record_paths;
+    std::string records_dir, out_path;
+    shard::MergeOptions options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--records") record_paths.push_back(flag_value(args, i));
+        else if (args[i] == "--records-dir") records_dir = flag_value(args, i);
+        else if (args[i] == "--artifact-dir") options.artifact_dir = flag_value(args, i);
+        else if (args[i] == "--out") out_path = flag_value(args, i);
+        else if (args[i] == "--threads") options.num_threads = static_cast<int>(int_value(args, i));
+        else return usage(("unknown merge option " + args[i]).c_str());
+    }
+    if (!records_dir.empty()) {
+        for (const auto& entry : std::filesystem::directory_iterator(records_dir)) {
+            const std::string name = entry.path().filename().string();
+            if (name.rfind("records-", 0) == 0 && name.size() > 6 &&
+                name.substr(name.size() - 6) == ".jsonl")
+                record_paths.push_back(entry.path().string());
+        }
+    }
+    if (record_paths.empty()) return usage("merge needs --records or a non-empty --records-dir");
+    if (!options.artifact_dir.empty()) std::filesystem::create_directories(options.artifact_dir);
+
+    shard::MergeResult merged = shard::merge_shards(record_paths, options);
+    std::printf("merged %zu shard file(s), %lld record(s), %zu instance(s)\n", merged.shard_files,
+                static_cast<long long>(merged.records), merged.reports.size());
+    emit_report(std::move(merged.reports), out_path);
+    return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+    shard::JobSpec job;
+    std::string out_path;
+    int threads = 0;
+    std::string artifact_dir;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (parse_job_flag(job, args, i)) continue;
+        if (args[i] == "--threads") threads = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--artifact-dir") artifact_dir = flag_value(args, i);
+        else if (args[i] == "--out") out_path = flag_value(args, i);
+        else return usage(("unknown run option " + args[i]).c_str());
+    }
+    finalize_job(job);
+    if (!artifact_dir.empty()) std::filesystem::create_directories(artifact_dir);
+
+    core::FuzzConfig config = shard::job_fuzz_config(job);
+    config.num_threads = threads;
+    config.artifact_dir = artifact_dir;
+    core::Fuzzer fuzzer(config);
+    std::vector<core::FuzzReport> reports =
+        fuzzer.audit(shard::load_job_program(job), shard::job_passes(job));
+    std::printf("audited %zu instance(s)\n", reports.size());
+    emit_report(std::move(reports), out_path);
+    return 0;
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+    if (args.size() != 1 || args[0].rfind("--", 0) == 0)
+        return usage("replay expects exactly one <testcase.json>");
+    const core::LoadedTestCase tc = core::load_testcase_file(args[0]);
+    std::printf("transformation: %s\n", tc.transformation.c_str());
+    std::printf("recorded verdict: %s (%s)\n", tc.verdict.c_str(), tc.detail.c_str());
+    const core::ReplayResult replay = core::replay_testcase(tc);
+    std::printf("replayed verdict: %s\n", core::verdict_name(replay.outcome.verdict));
+    if (!replay.outcome.detail.empty()) std::printf("  %s\n", replay.outcome.detail.c_str());
+    std::printf("%s\n", replay.reproduced ? "REPRODUCED" : "DID NOT REPRODUCE");
+    return replay.reproduced ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (command == "plan") return cmd_plan(args);
+        if (command == "run-shard") return cmd_run_shard(args);
+        if (command == "merge") return cmd_merge(args);
+        if (command == "run") return cmd_run(args);
+        if (command == "replay") return cmd_replay(args);
+        if (command == "--help" || command == "-h" || command == "help") return usage();
+        return usage(("unknown command " + command).c_str());
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "ffaudit %s: %s\n", command.c_str(), e.what());
+        return 1;
+    }
+}
