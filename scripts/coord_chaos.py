@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Coordinator chaos smoke: crash + stall workers, demand byte-identical reports.
+
+Drives `ffaudit serve` with coordinator-spawned worker processes under
+injected faults and checks the fault-tolerance acceptance bar end to end:
+
+1. single-process reference: `ffaudit run` (canonical report + artifacts);
+2. for each worker count in {1, 2, 4}: `ffaudit serve --spawn-workers N`
+   where worker 0 is SIGKILLed mid-shard (`kill-after-units=3`, leaving a
+   torn record tail for the replacement to salvage) and worker 1 — when
+   there is one — stalls far past its lease (`delay-lease-ms=4000`, forcing
+   an expiry and a re-issue);
+3. every serve run must exit 0, report byte-identical to step 1, artifacts
+   byte-identical to step 1, and its summary line must prove the faults
+   actually fired (a worker was lost and a replacement spawned).
+
+Usage:  python3 scripts/coord_chaos.py --ffaudit build/ffaudit
+Exits non-zero on the first violated expectation.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+JOB_FLAGS = [
+    "--workload", "gemm",
+    "--passes", "table2",
+    "--trials", "10",
+    "--size-max", "6",
+    "--max-transitions", "2000",
+]
+
+WORKER_COUNTS = [1, 2, 4]
+
+
+def fail(message: str) -> None:
+    print(f"coord_chaos: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(cmd, expect_rc=0, timeout=600) -> str:
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=timeout)
+    print(f"$ {' '.join(str(c) for c in cmd)}")
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != expect_rc:
+        fail(f"expected exit {expect_rc}, got {proc.returncode}")
+    return proc.stdout + proc.stderr
+
+
+def dir_bytes(path: Path) -> dict:
+    return {p.name: p.read_bytes() for p in sorted(path.iterdir())} if path.exists() else {}
+
+
+def summary_counts(output: str) -> dict:
+    """Parses the `served N shard(s): ...` summary into named counters."""
+    m = re.search(
+        r"served (\d+) shard\(s\): (\d+) lease\(s\), (\d+) expiration\(s\), "
+        r"(\d+) requeue\(s\), (\d+) hedge\(s\), (\d+) duplicate completion\(s\) "
+        r"\((\d+) byte-verified\), (\d+) worker\(s\) seen, (\d+) lost, (\d+) spawned",
+        output)
+    if not m:
+        fail("serve printed no summary line")
+    keys = ("shards", "leases", "expirations", "requeues", "hedges",
+            "duplicates", "verified", "seen", "lost", "spawned")
+    return dict(zip(keys, (int(g) for g in m.groups())))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--ffaudit", required=True, help="path to the ffaudit binary")
+    args = parser.parse_args()
+    ffaudit = args.ffaudit
+
+    with tempfile.TemporaryDirectory(prefix="coord_chaos_") as tmp:
+        root = Path(tmp)
+        ref_report, ref_art = root / "report-single.json", root / "art-single"
+
+        # 1. Single-process reference.
+        run([ffaudit, "run", *JOB_FLAGS, "--out", ref_report, "--artifact-dir", ref_art])
+        ref_artifacts = dir_bytes(ref_art)
+        if not ref_artifacts:
+            fail("reference run produced no reproducer artifacts — chaos job lost its teeth")
+
+        # 2. Coordinated runs under faults, at several worker counts.
+        for n in WORKER_COUNTS:
+            report = root / f"report-n{n}.json"
+            art = root / f"art-n{n}"
+            cmd = [ffaudit, "serve", *JOB_FLAGS,
+                   "--shards", "4",
+                   "--checkpoint-interval", "2",
+                   "--records-dir", root / f"records-n{n}",
+                   "--artifact-dir", art,
+                   "--out", report,
+                   "--spawn-workers", str(n),
+                   # Tight leases so the stall visibly expires one, and an
+                   # aggressive straggler factor so hedging gets exercise.
+                   "--lease-ms", "1500",
+                   "--heartbeat-ms", "300",
+                   "--straggler-factor", "1.0",
+                   "--linger-ms", "8000",
+                   # Worker 0 dies by SIGKILL mid-shard, after its first
+                   # durable checkpoint (interval 2, killed after 3 units).
+                   "--worker-fault", "0=kill-after-units=3"]
+            if n > 1:
+                # Worker 1 stalls far past its lease before running.
+                cmd += ["--worker-fault", "1=delay-lease-ms=4000"]
+            out = run(cmd)
+
+            counts = summary_counts(out)
+            if counts["shards"] != 4:
+                fail(f"n={n}: merged {counts['shards']} shards, wanted 4")
+            if counts["lost"] < 1:
+                fail(f"n={n}: no worker was lost — the kill fault never fired")
+            if counts["spawned"] <= n:
+                fail(f"n={n}: {counts['spawned']} spawns for {n} workers — "
+                     "the killed worker was never replaced")
+            if n > 1 and counts["expirations"] < 1:
+                fail(f"n={n}: no lease expired — the stall fault never fired")
+
+            # 3. The acceptance bar: bytes, not summaries.
+            if report.read_bytes() != ref_report.read_bytes():
+                fail(f"n={n}: coordinated report differs from the single-process report")
+            if dir_bytes(art) != ref_artifacts:
+                fail(f"n={n}: reproducer artifacts differ from the single-process ones")
+            print(f"coord_chaos: n={n} byte-identical "
+                  f"({counts['lost']} worker(s) lost, {counts['spawned']} spawned, "
+                  f"{counts['expirations']} expiration(s), {counts['duplicates']} "
+                  f"duplicate(s) byte-verified)")
+
+    print("coord_chaos: PASS (crash + stall at every worker count; reports byte-identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -85,9 +85,10 @@ def main() -> None:
         run([ffaudit, "run-shard", "--manifest", plan_dir / "shard-1.json",
              "--records-dir", rec_dir, "--interrupt-after-units", "7"], expect_rc=3)
 
-        # 5. Merging an incomplete shard set must be refused.
+        # 5. Merging an incomplete shard set must be refused (exit 6 =
+        # merge/validation failure).
         run([ffaudit, "merge", "--records-dir", rec_dir, "--out", merged_report],
-            expect_rc=1)
+            expect_rc=6)
 
         # 6. Resume shard 1 from its checkpoint.
         out = run([ffaudit, "run-shard", "--manifest", plan_dir / "shard-1.json",

@@ -62,4 +62,31 @@ public:
     explicit ParseError(const std::string& msg) : Error("parse: " + msg) {}
 };
 
+/// Malformed content of a named input file (a shard manifest, a record
+/// stream, a test case): carries the file path and — when known — the line,
+/// so diagnostics read `plan/shard-0.json, line 3: expected ':'` instead of
+/// a bare parse throw.  The ffaudit CLI maps this type to its own exit code.
+class FileParseError : public ParseError {
+public:
+    FileParseError(const std::string& path, int line, const std::string& what)
+        : ParseError(path + (line > 0 ? ", line " + std::to_string(line) : "") + ": " + what),
+          path_(path),
+          line_(line) {}
+    const std::string& path() const { return path_; }
+    int line() const { return line_; }  ///< 1-based; 0 when unknown.
+
+private:
+    std::string path_;
+    int line_;
+};
+
+/// The message of `e` without the "parse: " prefix ParseError adds —
+/// for wrapping a low-level parse failure into a higher-level one
+/// (FileParseError) without stacking prefixes.
+inline std::string error_detail(const std::exception& e) {
+    std::string msg = e.what();
+    if (msg.rfind("parse: ", 0) == 0) msg.erase(0, 7);
+    return msg;
+}
+
 }  // namespace ff::common

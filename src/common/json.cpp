@@ -151,7 +151,18 @@ public:
 
 private:
     [[noreturn]] void fail(const std::string& msg) const {
-        throw ParseError("json at offset " + std::to_string(pos_) + ": " + msg);
+        // 1-based line/column of the failure point, so file-level readers
+        // can report `file, line N` instead of a byte offset.
+        int line = 1, column = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                column = 1;
+            } else {
+                ++column;
+            }
+        }
+        throw JsonParseError(line, column, msg);
     }
 
     void skip_ws() {
@@ -316,7 +327,77 @@ Json Json::parse_file(const std::string& path) {
     std::ostringstream text;
     text << in.rdbuf();
     if (in.bad()) throw Error("read failed on " + path);
-    return parse(text.str());
+    try {
+        return parse(text.str());
+    } catch (const JsonParseError& e) {
+        throw FileParseError(path, e.line(),
+                             e.detail() + " (column " + std::to_string(e.column()) + ")");
+    }
+}
+
+const char* json_type_name(const Json& j) {
+    if (j.is_null()) return "null";
+    if (j.is_bool()) return "a boolean";
+    if (j.is_int()) return "an integer";
+    if (j.is_double()) return "a number";
+    if (j.is_string()) return "a string";
+    if (j.is_array()) return "an array";
+    return "an object";
+}
+
+namespace {
+
+const Json& field_or_throw(const Json& j, const std::string& key, const char* expected) {
+    if (!j.is_object())
+        throw ParseError("expected an object carrying key '" + key + "', got " +
+                         json_type_name(j));
+    const auto& obj = j.as_object();
+    auto it = obj.find(key);
+    if (it == obj.end())
+        throw ParseError("missing key '" + key + "' (expected " + expected + ")");
+    return it->second;
+}
+
+[[noreturn]] void wrong_type(const std::string& key, const char* expected, const Json& got) {
+    throw ParseError("key '" + key + "': expected " + expected + ", got " + json_type_name(got));
+}
+
+}  // namespace
+
+std::int64_t json_int(const Json& j, const std::string& key) {
+    const Json& v = field_or_throw(j, key, "an integer");
+    if (!v.is_number()) wrong_type(key, "an integer", v);
+    return v.as_int();
+}
+
+double json_double(const Json& j, const std::string& key) {
+    const Json& v = field_or_throw(j, key, "a number");
+    if (!v.is_number()) wrong_type(key, "a number", v);
+    return v.as_double();
+}
+
+bool json_bool(const Json& j, const std::string& key) {
+    const Json& v = field_or_throw(j, key, "a boolean");
+    if (!v.is_bool()) wrong_type(key, "a boolean", v);
+    return v.as_bool();
+}
+
+const std::string& json_string(const Json& j, const std::string& key) {
+    const Json& v = field_or_throw(j, key, "a string");
+    if (!v.is_string()) wrong_type(key, "a string", v);
+    return v.as_string();
+}
+
+const JsonObject& json_object_field(const Json& j, const std::string& key) {
+    const Json& v = field_or_throw(j, key, "an object");
+    if (!v.is_object()) wrong_type(key, "an object", v);
+    return v.as_object();
+}
+
+const JsonArray& json_array_field(const Json& j, const std::string& key) {
+    const Json& v = field_or_throw(j, key, "an array");
+    if (!v.is_array()) wrong_type(key, "an array", v);
+    return v.as_array();
 }
 
 }  // namespace ff::common

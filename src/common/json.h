@@ -14,7 +14,30 @@
 #include <variant>
 #include <vector>
 
+#include "common/error.h"
+
 namespace ff::common {
+
+/// Syntax error from Json::parse carrying the 1-based source position, so
+/// file-level readers can turn it into a `file, line N` diagnostic
+/// (FileParseError) instead of a bare parse throw.
+class JsonParseError : public ParseError {
+public:
+    JsonParseError(int line, int column, const std::string& detail)
+        : ParseError("json: line " + std::to_string(line) + ", column " +
+                     std::to_string(column) + ": " + detail),
+          line_(line),
+          column_(column),
+          detail_(detail) {}
+    int line() const { return line_; }
+    int column() const { return column_; }
+    const std::string& detail() const { return detail_; }
+
+private:
+    int line_;
+    int column_;
+    std::string detail_;
+};
 
 class Json;
 using JsonArray = std::vector<Json>;
@@ -79,5 +102,20 @@ private:
     std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, JsonArray, JsonObject>
         value_;
 };
+
+/// Human name of a Json value's runtime type ("object", "integer", ...).
+const char* json_type_name(const Json& j);
+
+/// Typed field accessors with self-describing errors.  `json_int(j, "seed")`
+/// throws ParseError("key 'seed': expected an integer, got a string")
+/// instead of a bare variant access failure — every wire-format reader
+/// (shard manifests, record streams) goes through these so malformed input
+/// names the offending field and the expected shape.
+std::int64_t json_int(const Json& j, const std::string& key);
+double json_double(const Json& j, const std::string& key);
+bool json_bool(const Json& j, const std::string& key);
+const std::string& json_string(const Json& j, const std::string& key);
+const JsonObject& json_object_field(const Json& j, const std::string& key);
+const JsonArray& json_array_field(const Json& j, const std::string& key);
 
 }  // namespace ff::common

@@ -1,0 +1,544 @@
+#include "coord/coordinator.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <utility>
+
+#include "common/error.h"
+#include "coord/protocol.h"
+#include "shard/records.h"
+
+namespace ff::coord {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+using common::Json;
+
+double ms_since(TimePoint then, TimePoint now) {
+    return std::chrono::duration<double, std::milli>(now - then).count();
+}
+
+/// One accepted worker connection.
+struct Connection {
+    int fd = -1;
+    FrameBuffer frames;
+    std::string key;   ///< Queue identity, unique per connection ("w0#3").
+    std::string name;  ///< As announced in hello (logging only).
+    bool registered = false;
+    int shard = -1;    ///< Current assignment; -1 when idle.
+    int attempt = -1;
+    bool done_sent = false;  ///< "done" already pushed to this peer.
+};
+
+/// One spawned worker process.
+struct Child {
+    pid_t pid = -1;
+    int index = 0;  ///< Spawn slot (for the worker id and fault lookup).
+};
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw common::Error("cannot read " + path + ": " + std::strerror(errno));
+    std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+/// The whole serve() run as an object so the destructor can tear down
+/// sockets and child processes on every exit path, including throws.
+class Server {
+public:
+    explicit Server(const CoordConfig& config) : config_(config) {}
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    ~Server() {
+        for (Connection& conn : conns_) {
+            if (conn.fd >= 0) ::close(conn.fd);
+        }
+        if (listen_fd_ >= 0) {
+            ::close(listen_fd_);
+            ::unlink(config_.socket_path.c_str());
+        }
+        // Leftover children are expendable (losing hedges, stalled
+        // stragglers): kill and reap so serve() never leaks processes.
+        for (const Child& child : children_) {
+            if (child.pid > 0) ::kill(child.pid, SIGKILL);
+        }
+        for (const Child& child : children_) {
+            if (child.pid > 0) ::waitpid(child.pid, nullptr, 0);
+        }
+    }
+
+    ServeResult run();
+
+private:
+    std::string records_path(int shard, int attempt) const {
+        return config_.records_dir + "/lease-s" + std::to_string(shard) + "-a" +
+               std::to_string(attempt) + ".jsonl";
+    }
+
+    void log(const std::string& line) const {
+        if (config_.verbose) std::fprintf(stderr, "[coord] %s\n", line.c_str());
+    }
+
+    void spawn_worker(int index, const std::string& fault_spec);
+    void reap_children();
+    void accept_connections();
+    void read_connection(std::size_t i);
+    void drop_connection(std::size_t i, const std::string& why, TimePoint now);
+    /// Returns false when the connection should be dropped.
+    bool handle_frame(Connection& conn, const Json& msg, TimePoint now);
+    void handle_lease_request(Connection& conn, TimePoint now);
+    void handle_complete(Connection& conn, int shard, int attempt, TimePoint now);
+    void fold_records(shard::ShardRecordFile& file);
+    void announce_done(TimePoint now);
+    /// Throws when a Failed shard has no surviving attempt anywhere.
+    void check_hopeless();
+
+    const CoordConfig& config_;
+    std::vector<shard::ShardManifest> manifests_;
+    std::unique_ptr<core::Fuzzer> fuzzer_;
+    std::unique_ptr<core::PreparedAudit> audit_;
+    std::unique_ptr<LeaseQueue> queue_;
+    int listen_fd_ = -1;
+    std::vector<Connection> conns_;
+    std::vector<Child> children_;
+    int conn_seq_ = 0;
+    int respawns_used_ = 0;
+    bool done_ = false;
+    TimePoint done_at_{};
+    std::vector<std::string> winner_path_;  ///< Per shard, "" until merged.
+    CoordStats stats_;
+};
+
+void Server::spawn_worker(int index, const std::string& fault_spec) {
+    std::string binary = config_.ffaudit_path.empty() ? "/proc/self/exe" : config_.ffaudit_path;
+    std::string id = "w" + std::to_string(index);
+    std::vector<std::string> args = {binary,
+                                     "worker",
+                                     "--socket",
+                                     config_.socket_path,
+                                     "--id",
+                                     id,
+                                     "--threads",
+                                     std::to_string(config_.worker_threads)};
+    if (!fault_spec.empty()) {
+        args.push_back("--fault");
+        args.push_back(fault_spec);
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) throw common::Error(std::string("fork: ") + std::strerror(errno));
+    if (pid == 0) {
+        std::vector<char*> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string& a : args) argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(binary.c_str(), argv.data());
+        std::fprintf(stderr, "[coord] execv %s: %s\n", binary.c_str(), std::strerror(errno));
+        ::_exit(127);
+    }
+    children_.push_back({pid, index});
+    ++stats_.workers_spawned;
+    log("spawned worker " + id + " pid " + std::to_string(pid) +
+        (fault_spec.empty() ? "" : " fault=" + fault_spec));
+}
+
+void Server::reap_children() {
+    for (Child& child : children_) {
+        if (child.pid <= 0) continue;
+        int status = 0;
+        pid_t r = ::waitpid(child.pid, &status, WNOHANG);
+        if (r != child.pid) continue;
+        int index = child.index;
+        bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        std::string how = WIFSIGNALED(status)
+                              ? "signal " + std::to_string(WTERMSIG(status))
+                              : "exit " + std::to_string(WEXITSTATUS(status));
+        log("worker w" + std::to_string(index) + " pid " + std::to_string(child.pid) +
+            " terminated (" + how + ")");
+        child.pid = -1;
+        if (!clean && !done_ && respawns_used_ < config_.max_respawns) {
+            ++respawns_used_;
+            // The replacement is always fault-free: the fault is a plan,
+            // not a property of the slot.
+            spawn_worker(index, "");
+        }
+    }
+}
+
+void Server::accept_connections() {
+    while (true) {
+        int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+            if (errno == EINTR) continue;
+            throw common::Error(std::string("accept: ") + std::strerror(errno));
+        }
+        Connection conn;
+        conn.fd = fd;
+        conns_.push_back(std::move(conn));
+    }
+}
+
+void Server::drop_connection(std::size_t i, const std::string& why, TimePoint now) {
+    Connection& conn = conns_[i];
+    log("connection " + (conn.registered ? conn.key : std::string("<anon>")) + " dropped (" +
+        why + ")");
+    if (conn.registered) {
+        ++stats_.workers_lost;
+        for (const auto& lost : queue_->worker_lost(conn.key, now)) {
+            log("  lost lease shard " + std::to_string(lost.shard) + " attempt " +
+                std::to_string(lost.attempt));
+        }
+    }
+    ::close(conn.fd);
+    conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+void Server::read_connection(std::size_t i) {
+    Connection& conn = conns_[i];
+    char chunk[4096];
+    ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    TimePoint now = Clock::now();
+    if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+        drop_connection(i, std::strerror(errno), now);
+        return;
+    }
+    if (n == 0) {
+        drop_connection(i, "eof", now);
+        return;
+    }
+    conn.frames.append(chunk, static_cast<std::size_t>(n));
+    try {
+        while (auto msg = conn.frames.next()) {
+            if (!handle_frame(conn, *msg, now)) {
+                drop_connection(i, "protocol error", now);
+                return;
+            }
+        }
+    } catch (const common::Error& e) {
+        drop_connection(i, e.what(), now);
+    }
+}
+
+bool Server::handle_frame(Connection& conn, const Json& msg, TimePoint now) {
+    const std::string& type = common::json_string(msg, "type");
+    if (!conn.registered) {
+        if (type != "hello") {
+            log("first frame was '" + type + "', expected hello");
+            return false;
+        }
+        if (common::json_int(msg, "protocol") != kProtocolVersion) {
+            write_frame(conn.fd, [&] {
+                Json j = Json::object();
+                j["type"] = "error";
+                j["error"] = std::string("protocol version mismatch (coordinator speaks ") +
+                             std::to_string(kProtocolVersion) + ")";
+                return j;
+            }());
+            return false;
+        }
+        conn.name = common::json_string(msg, "worker");
+        conn.key = conn.name + "#" + std::to_string(conn_seq_++);
+        conn.registered = true;
+        ++stats_.workers_seen;
+        Json welcome = Json::object();
+        welcome["type"] = "welcome";
+        welcome["protocol"] = kProtocolVersion;
+        welcome["heartbeat_ms"] = config_.lease.heartbeat_ms;
+        write_frame(conn.fd, welcome);
+        log("worker " + conn.key + " connected");
+        return true;
+    }
+    if (type == "lease-request") {
+        handle_lease_request(conn, now);
+        return true;
+    }
+    if (type == "heartbeat") {
+        queue_->heartbeat(static_cast<int>(common::json_int(msg, "shard")),
+                          static_cast<int>(common::json_int(msg, "attempt")), now);
+        return true;
+    }
+    if (type == "complete") {
+        handle_complete(conn, static_cast<int>(common::json_int(msg, "shard")),
+                        static_cast<int>(common::json_int(msg, "attempt")), now);
+        return true;
+    }
+    if (type == "failed") {
+        int shard = static_cast<int>(common::json_int(msg, "shard"));
+        int attempt = static_cast<int>(common::json_int(msg, "attempt"));
+        const std::string& error = common::json_string(msg, "error");
+        log("worker " + conn.key + " failed shard " + std::to_string(shard) + " attempt " +
+            std::to_string(attempt) + ": " + error);
+        queue_->fail(shard, attempt, now, error);
+        conn.shard = conn.attempt = -1;
+        Json ack = Json::object();
+        ack["type"] = "ack";
+        ack["done"] = queue_->all_done();
+        write_frame(conn.fd, ack);
+        return true;
+    }
+    log("unknown frame type '" + type + "' from " + conn.key);
+    return false;
+}
+
+void Server::handle_lease_request(Connection& conn, TimePoint now) {
+    conn.shard = conn.attempt = -1;
+    if (queue_->all_done()) {
+        Json done = Json::object();
+        done["type"] = "done";
+        write_frame(conn.fd, done);
+        conn.done_sent = true;
+        return;
+    }
+    std::optional<Lease> lease = queue_->acquire(conn.key, now);
+    if (!lease) {
+        auto next = queue_->next_event_ms(now);
+        Json wait = Json::object();
+        wait["type"] = "wait";
+        wait["retry_ms"] = std::clamp(next.value_or(config_.poll_ms), 20.0, 1000.0);
+        write_frame(conn.fd, wait);
+        return;
+    }
+    conn.shard = lease->shard;
+    conn.attempt = lease->attempt;
+    Json grant = Json::object();
+    grant["type"] = "lease";
+    grant["shard"] = lease->shard;
+    grant["attempt"] = lease->attempt;
+    grant["hedge"] = lease->hedge;
+    grant["manifest"] = lease->manifest.to_json();
+    grant["records_path"] = records_path(lease->shard, lease->attempt);
+    Json candidates = Json::array();
+    // Newest prior attempt first: the worker salvages the checkpointed
+    // prefix of the first readable candidate.
+    for (int a = lease->attempt - 1; a >= 0; --a) {
+        candidates.push_back(records_path(lease->shard, a));
+    }
+    grant["resume_candidates"] = std::move(candidates);
+    grant["lease_ms"] = config_.lease.lease_ms;
+    grant["heartbeat_ms"] = config_.lease.heartbeat_ms;
+    write_frame(conn.fd, grant);
+    log("leased shard " + std::to_string(lease->shard) + " attempt " +
+        std::to_string(lease->attempt) + (lease->hedge ? " (hedge)" : "") + " to " + conn.key);
+}
+
+void Server::handle_complete(Connection& conn, int shard, int attempt, TimePoint now) {
+    conn.shard = conn.attempt = -1;
+    std::string path = records_path(shard, attempt);
+    shard::ShardRecordFile file;
+    bool valid = true;
+    std::string error;
+    try {
+        file = shard::read_record_file(path);
+        if (file.manifest.to_json().dump() != manifests_.at(shard).to_json().dump()) {
+            valid = false;
+            error = path + ": manifest does not match the planned shard";
+        } else if (!file.complete()) {
+            valid = false;
+            error = path + ": incomplete (checkpoint at " + std::to_string(file.checkpoint) +
+                    " of " + std::to_string(file.manifest.unit_end) + ")";
+        }
+    } catch (const common::Error& e) {
+        valid = false;
+        error = e.what();
+    }
+    if (!valid) {
+        log("rejected completion of shard " + std::to_string(shard) + " attempt " +
+            std::to_string(attempt) + ": " + error);
+        queue_->fail(shard, attempt, now, error);
+        Json reject = Json::object();
+        reject["type"] = "reject";
+        reject["error"] = error;
+        write_frame(conn.fd, reject);
+        return;
+    }
+    bool first = queue_->complete(shard, attempt);
+    if (first) {
+        winner_path_[shard] = path;
+        fold_records(file);
+        ++stats_.shards_merged;
+        log("shard " + std::to_string(shard) + " complete (attempt " +
+            std::to_string(attempt) + " by " + conn.key + ")");
+    } else {
+        // The determinism contract's strongest field check: a re-executed
+        // shard must reproduce the winner's record stream byte for byte.
+        std::string winner = slurp(winner_path_[shard]);
+        std::string loser = slurp(path);
+        if (winner != loser) {
+            throw common::Error(
+                "determinism violation: duplicate completion of shard " +
+                std::to_string(shard) + " (attempt " + std::to_string(attempt) + ", " + path +
+                ") differs from the accepted file " + winner_path_[shard] +
+                " — two executions of the same shard produced different records");
+        }
+        ++stats_.duplicate_files_verified;
+        log("duplicate completion of shard " + std::to_string(shard) + " attempt " +
+            std::to_string(attempt) + " verified byte-identical");
+    }
+    Json ack = Json::object();
+    ack["type"] = "ack";
+    ack["done"] = queue_->all_done();
+    write_frame(conn.fd, ack);
+}
+
+void Server::fold_records(shard::ShardRecordFile& file) {
+    for (auto& [unit, record] : file.records) {
+        audit_->set_record(unit, std::move(record));
+        ++stats_.records_merged;
+    }
+}
+
+void Server::announce_done(TimePoint now) {
+    done_ = true;
+    done_at_ = now;
+    for (Connection& conn : conns_) {
+        // Idle workers are told proactively; assigned ones learn from the
+        // ack of their in-flight attempt (or this push, if it lands first).
+        if (conn.done_sent || !conn.registered) continue;
+        try {
+            Json done = Json::object();
+            done["type"] = "done";
+            write_frame(conn.fd, done);
+            conn.done_sent = true;
+        } catch (const common::Error&) {
+            // The drop will surface via poll.
+        }
+    }
+    log("all shards complete");
+}
+
+void Server::check_hopeless() {
+    for (int shard = 0; shard < queue_->shard_count(); ++shard) {
+        if (queue_->state(shard) != ShardState::Failed) continue;
+        // A zombie attempt (expired lease, worker still executing) can
+        // still rescue the shard; only give up once nobody holds it.
+        bool held = false;
+        for (const Connection& conn : conns_) held = held || conn.shard == shard;
+        if (!held) {
+            throw common::Error("shard " + std::to_string(shard) + " permanently failed after " +
+                                std::to_string(queue_->attempts_issued(shard)) +
+                                " attempts: " + queue_->last_error(shard));
+        }
+    }
+}
+
+ServeResult Server::run() {
+    if (config_.socket_path.empty()) throw common::Error("serve: socket_path is required");
+    if (config_.records_dir.empty()) throw common::Error("serve: records_dir is required");
+    fs::create_directories(config_.records_dir);
+    // The fuzzer reports (rather than fixes) a missing artifact directory,
+    // so create it up front like the records directory.
+    if (!config_.artifact_dir.empty()) fs::create_directories(config_.artifact_dir);
+
+    // Plan and prepare once; completed shards fold into this audit as they
+    // arrive and finalize() emits the canonical report at the end.
+    const ir::SDFG program = shard::load_job_program(config_.job);
+    manifests_ = shard::plan_shards(config_.job, program, config_.shard_count,
+                                    config_.checkpoint_interval);
+    core::FuzzConfig fuzz_config = shard::job_fuzz_config(config_.job);
+    fuzz_config.num_threads = config_.prepare_threads;
+    fuzz_config.artifact_dir = config_.artifact_dir;
+    fuzzer_ = std::make_unique<core::Fuzzer>(fuzz_config);
+    audit_ = std::make_unique<core::PreparedAudit>(
+        fuzzer_->prepare(program, shard::job_passes(config_.job)));
+    if (static_cast<std::int64_t>(audit_->instance_count()) != manifests_.front().instance_count) {
+        throw common::Error("prepared " + std::to_string(audit_->instance_count()) +
+                            " instances but planned " +
+                            std::to_string(manifests_.front().instance_count));
+    }
+    winner_path_.assign(manifests_.size(), "");
+    queue_ = std::make_unique<LeaseQueue>(manifests_, config_.lease);
+
+    listen_fd_ = listen_unix(config_.socket_path, 64);
+    // Nonblocking accept: the event loop drains the backlog until EAGAIN.
+    ::fcntl(listen_fd_, F_SETFL, ::fcntl(listen_fd_, F_GETFL) | O_NONBLOCK);
+    log("serving " + std::to_string(manifests_.size()) + " shards on " + config_.socket_path);
+
+    for (int i = 0; i < config_.spawn_workers; ++i) {
+        auto it = config_.worker_faults.find(i);
+        spawn_worker(i, it == config_.worker_faults.end() ? "" : it->second);
+    }
+
+    while (true) {
+        TimePoint now = Clock::now();
+
+        if (queue_->all_done() && !done_) announce_done(now);
+        if (done_) {
+            bool anyone_running = false;
+            for (const Connection& conn : conns_) {
+                anyone_running = anyone_running || conn.shard >= 0;
+            }
+            if (!anyone_running || ms_since(done_at_, now) >= config_.linger_ms) break;
+        }
+
+        double timeout = config_.poll_ms;
+        if (auto next = queue_->next_event_ms(now)) timeout = std::min(timeout, *next);
+        timeout = std::clamp(timeout, 0.0, config_.poll_ms);
+
+        std::vector<pollfd> pfds;
+        pfds.push_back({listen_fd_, POLLIN, 0});
+        for (const Connection& conn : conns_) pfds.push_back({conn.fd, POLLIN, 0});
+        int pr = ::poll(pfds.data(), pfds.size(), static_cast<int>(timeout) + 1);
+        if (pr < 0 && errno != EINTR) {
+            throw common::Error(std::string("poll: ") + std::strerror(errno));
+        }
+
+        if (pr > 0) {
+            if (pfds[0].revents & POLLIN) accept_connections();
+            // Walk backwards: read_connection may erase the entry.
+            for (std::size_t i = conns_.size(); i-- > 0;) {
+                short revents = pfds[i + 1].revents;
+                if (revents & (POLLIN | POLLERR | POLLHUP)) read_connection(i);
+            }
+        }
+
+        now = Clock::now();
+        for (const auto& lost : queue_->expire(now)) {
+            log("lease expired: shard " + std::to_string(lost.shard) + " attempt " +
+                std::to_string(lost.attempt) + " (worker " + lost.worker + ")");
+            // The holder may still be executing (a zombie); clearing the
+            // assignment is the worker's business — it learns on its next
+            // completion/failure, which the queue handles as stale-but-
+            // welcome.
+        }
+        reap_children();
+        if (!done_) check_hopeless();
+    }
+
+    ServeResult result;
+    result.reports = audit_->finalize();
+    stats_.queue = queue_->stats();
+    result.stats = stats_;
+    log("audit finalized: " + std::to_string(result.reports.size()) + " reports, " +
+        std::to_string(stats_.records_merged) + " records merged, " +
+        std::to_string(stats_.duplicate_files_verified) + " duplicates verified");
+    return result;
+}
+
+}  // namespace
+
+ServeResult serve(const CoordConfig& config) {
+    ignore_sigpipe();
+    Server server(config);
+    return server.run();
+}
+
+}  // namespace ff::coord

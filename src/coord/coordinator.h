@@ -1,0 +1,89 @@
+// The audit coordinator: one process that owns the shard queue and drives
+// N workers to a finished, byte-identical report under worker crashes,
+// hangs and stragglers.
+//
+// serve() plans the job's shards, prepares the audit once (for the final
+// canonical merge), then runs a single-threaded poll loop over a unix
+// socket: granting leases (coord/queue.h), tracking heartbeats, expiring
+// and re-issuing lost shards with backoff, hedging stragglers, and folding
+// each completed shard's records into the prepared audit the moment they
+// arrive.  Fault tolerance leans entirely on the determinism contract
+// (docs/ARCHITECTURE.md): a re-executed shard reproduces its record stream
+// byte for byte, so the coordinator re-issues work freely and *verifies*
+// duplicate completions byte-for-byte instead of discarding them —
+// every race the fault model creates becomes a free end-to-end check.
+//
+// Workers are external by design (they connect over the socket; `ffaudit
+// worker`), but serve() can also spawn and babysit its own worker
+// processes (spawn_workers > 0): children that die are reaped and
+// restarted, which is what the CI chaos job exercises with SIGKILL.
+#pragma once
+
+/// \file
+/// serve(): the fault-tolerant coordinator event loop.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "coord/queue.h"
+#include "core/fuzzer.h"
+#include "shard/manifest.h"
+
+namespace ff::coord {
+
+/// Everything one serve() run needs.
+struct CoordConfig {
+    shard::JobSpec job;           ///< The audit to run.
+    int shard_count = 4;          ///< Shards to plan.
+    int checkpoint_interval = 64; ///< Units per durable chunk (docs/TUNING.md).
+    std::string socket_path;      ///< Unix socket the workers dial.
+    std::string records_dir;      ///< Where per-attempt record streams live.
+    std::string artifact_dir;     ///< Reproducer artifacts at finalize ("" = off).
+    LeaseConfig lease;            ///< Lease/heartbeat/backoff/straggler knobs.
+    double poll_ms = 100.0;       ///< Event-loop tick bound (housekeeping cadence).
+    /// After the last shard completes, keep serving this long while
+    /// in-flight duplicate attempts finish (their completions byte-verify
+    /// against the winners); 0 shuts down immediately.
+    double linger_ms = 1000.0;
+    int prepare_threads = 1;      ///< Pool width of the coordinator's own prepare.
+    int spawn_workers = 0;        ///< Worker processes to fork+exec (0 = external only).
+    int worker_threads = 1;       ///< --threads of spawned workers.
+    /// Spawned workers that die are restarted (fault-free) up to this many
+    /// times across the whole run.
+    int max_respawns = 8;
+    /// Fault specs (FaultPlan::parse syntax) by spawned-worker index — the
+    /// chaos harness; respawned replacements are always clean.
+    std::map<int, std::string> worker_faults;
+    /// Binary to exec for spawned workers ("" = /proc/self/exe).
+    std::string ffaudit_path;
+    bool verbose = false;         ///< Log lease traffic to stderr.
+};
+
+/// Counters of one serve() run.
+struct CoordStats {
+    LeaseQueueStats queue;             ///< Lease state-machine counters.
+    std::int64_t records_merged = 0;   ///< Records folded into the audit.
+    int shards_merged = 0;             ///< Winning completions folded.
+    /// Losing duplicate completions whose record files were verified
+    /// byte-identical to the winner's (a failed verification aborts serve).
+    int duplicate_files_verified = 0;
+    int workers_seen = 0;     ///< Hello handshakes accepted.
+    int workers_lost = 0;     ///< Connections that dropped.
+    int workers_spawned = 0;  ///< Child processes forked (incl. respawns).
+};
+
+/// What serve() produced.
+struct ServeResult {
+    std::vector<core::FuzzReport> reports;  ///< finalize() output, canonical order.
+    CoordStats stats;
+};
+
+/// Runs the coordinator to completion and returns the finalized reports.
+/// Throws common::Error when a shard fails permanently (retry cap with no
+/// surviving attempt), when a duplicate completion is not byte-identical
+/// (a determinism violation — never acceptable), or on socket/plan errors.
+ServeResult serve(const CoordConfig& config);
+
+}  // namespace ff::coord

@@ -1,0 +1,92 @@
+#include "coord/fault.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ff::coord {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t end = s.find(sep, start);
+        if (end == std::string::npos) end = s.size();
+        out.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+std::int64_t parse_i64(const std::string& key, const std::string& value) {
+    char* end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size() || errno != 0) {
+        throw common::Error("fault plan: " + key + "=" + value + ": expected an integer");
+    }
+    return static_cast<std::int64_t>(v);
+}
+
+double parse_f64(const std::string& key, const std::string& value) {
+    char* end = nullptr;
+    errno = 0;
+    double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size() || errno != 0) {
+        throw common::Error("fault plan: " + key + "=" + value + ": expected a number");
+    }
+    return v;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+    FaultPlan plan;
+    if (spec.empty()) return plan;
+    for (const std::string& token : split(spec, ',')) {
+        if (token.empty()) continue;
+        std::size_t eq = token.find('=');
+        std::string key = token.substr(0, eq);
+        std::string value = eq == std::string::npos ? "" : token.substr(eq + 1);
+        bool has_value = eq != std::string::npos;
+        if (key == "kill-after-units" && has_value) {
+            plan.kill_after_units = parse_i64(key, value);
+        } else if (key == "abandon-after-units" && has_value) {
+            plan.abandon_after_units = parse_i64(key, value);
+        } else if (key == "delay-lease-ms" && has_value) {
+            plan.delay_lease_ms = parse_f64(key, value);
+        } else if (key == "drop-heartbeats" && !has_value) {
+            plan.drop_heartbeats = true;
+        } else {
+            throw common::Error(
+                "fault plan: unknown token '" + token +
+                "' (expected kill-after-units=N, abandon-after-units=N, "
+                "delay-lease-ms=N or drop-heartbeats)");
+        }
+    }
+    return plan;
+}
+
+std::string FaultPlan::describe() const {
+    if (empty()) return "none";
+    std::string out;
+    auto add = [&out](const std::string& piece) {
+        if (!out.empty()) out += ",";
+        out += piece;
+    };
+    if (kill_after_units >= 0) add("kill-after-units=" + std::to_string(kill_after_units));
+    if (abandon_after_units >= 0) {
+        add("abandon-after-units=" + std::to_string(abandon_after_units));
+    }
+    if (drop_heartbeats) add("drop-heartbeats");
+    if (delay_lease_ms > 0.0) {
+        add("delay-lease-ms=" + std::to_string(static_cast<long long>(delay_lease_ms)));
+    }
+    return out;
+}
+
+}  // namespace ff::coord

@@ -1,0 +1,182 @@
+#include "coord/protocol.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace ff::coord {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw common::Error(what + ": " + std::strerror(errno));
+}
+
+/// Encodes a 32-bit big-endian length prefix.
+void put_u32_be(char out[4], std::uint32_t v) {
+    out[0] = static_cast<char>((v >> 24) & 0xff);
+    out[1] = static_cast<char>((v >> 16) & 0xff);
+    out[2] = static_cast<char>((v >> 8) & 0xff);
+    out[3] = static_cast<char>(v & 0xff);
+}
+
+std::uint32_t get_u32_be(const char* in) {
+    return (static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) << 24) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 16) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 8) |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(in[3]));
+}
+
+/// Fills `addr` from `path`; unix socket paths have a hard ~107 byte bound.
+sockaddr_un make_addr(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw common::Error("socket path too long (" + std::to_string(path.size()) +
+                            " bytes, limit " + std::to_string(sizeof(addr.sun_path) - 1) +
+                            "): " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+}  // namespace
+
+void write_frame(int fd, const common::Json& message) {
+    std::string payload = message.dump();
+    if (payload.size() > kMaxFrameBytes) {
+        throw common::Error("frame payload too large: " + std::to_string(payload.size()) +
+                            " bytes");
+    }
+    char prefix[4];
+    put_u32_be(prefix, static_cast<std::uint32_t>(payload.size()));
+    std::string wire(prefix, 4);
+    wire += payload;
+    std::size_t off = 0;
+    while (off < wire.size()) {
+        // MSG_NOSIGNAL: a peer that died mid-write surfaces as EPIPE, not
+        // a process-killing SIGPIPE.
+        ssize_t n = ::send(fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("send");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void FrameBuffer::append(const char* data, std::size_t size) { buf_.append(data, size); }
+
+std::optional<common::Json> FrameBuffer::next() {
+    if (buf_.size() < 4) return std::nullopt;
+    std::uint32_t len = get_u32_be(buf_.data());
+    if (len > kMaxFrameBytes) {
+        throw common::Error("oversized frame: " + std::to_string(len) + " bytes");
+    }
+    if (buf_.size() < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+    common::Json message = common::Json::parse(buf_.substr(4, len));
+    buf_.erase(0, 4 + static_cast<std::size_t>(len));
+    return message;
+}
+
+FramedConn::FramedConn(FramedConn&& other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_)) {
+    other.fd_ = -1;
+}
+
+FramedConn& FramedConn::operator=(FramedConn&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        buf_ = std::move(other.buf_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+FramedConn::~FramedConn() { close(); }
+
+void FramedConn::write(const common::Json& message) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (fd_ < 0) throw common::Error("write on a closed connection");
+    write_frame(fd_, message);
+}
+
+ReadResult FramedConn::read(int timeout_ms) {
+    if (fd_ < 0) throw common::Error("read on a closed connection");
+    while (true) {
+        if (auto frame = buf_.next()) return {ReadStatus::Ok, std::move(*frame)};
+        if (timeout_ms >= 0) {
+            pollfd pfd{fd_, POLLIN, 0};
+            int pr = ::poll(&pfd, 1, timeout_ms);
+            if (pr < 0) {
+                if (errno == EINTR) continue;
+                throw_errno("poll");
+            }
+            if (pr == 0) return {ReadStatus::Timeout, {}};
+        }
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("recv");
+        }
+        if (n == 0) return {ReadStatus::Closed, {}};
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+void FrameBuffer::clear() { buf_.clear(); }
+
+void FramedConn::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        buf_.clear();
+    }
+}
+
+int listen_unix(const std::string& path, int backlog) {
+    sockaddr_un addr = make_addr(path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket");
+    ::unlink(path.c_str());  // stale socket file from a previous run
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("bind " + path);
+    }
+    if (::listen(fd, backlog) < 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("listen " + path);
+    }
+    return fd;
+}
+
+void ignore_sigpipe() {
+    static std::once_flag once;
+    std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+int connect_unix(const std::string& path) {
+    sockaddr_un addr = make_addr(path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+}  // namespace ff::coord

@@ -1,0 +1,135 @@
+// Coordinator wire protocol: length-prefixed JSON frames over a local
+// stream socket.
+//
+// One frame = a 4-byte big-endian payload length followed by that many
+// bytes of compact JSON.  The hand-rolled framing keeps the transport
+// dependency-free and debuggable (`socat - UNIX:coord.sock | xxd`), in the
+// same spirit as small binary RPC stacks with explicit sequencing; JSON as
+// the payload reuses the shard wire codecs (manifests travel inside lease
+// grants verbatim).
+//
+// Message flow (worker-initiated, strictly request/reply except for
+// one-way heartbeats and the coordinator's terminal "done" broadcast):
+//
+//   worker -> coord   {"type":"hello","worker":"w0","protocol":1}
+//   coord  -> worker  {"type":"welcome","protocol":1,"heartbeat_ms":N}
+//   worker -> coord   {"type":"lease-request"}
+//   coord  -> worker  {"type":"lease","shard":i,"attempt":a,
+//                      "manifest":{...},"records_path":"...",
+//                      "resume_candidates":[...],"lease_ms":N,
+//                      "heartbeat_ms":N}
+//                   | {"type":"wait","retry_ms":N}   (queue momentarily dry)
+//                   | {"type":"done"}                (audit finished, exit)
+//   worker -> coord   {"type":"heartbeat","shard":i,"attempt":a,"units":u}
+//                     (one-way; extends the lease deadline)
+//   worker -> coord   {"type":"complete","shard":i,"attempt":a}
+//   coord  -> worker  {"type":"ack","done":bool}
+//                   | {"type":"reject","error":"..."}  (file failed validation)
+//   worker -> coord   {"type":"failed","shard":i,"attempt":a,"error":"..."}
+//   coord  -> worker  {"type":"ack","done":bool}
+#pragma once
+
+/// \file
+/// Length-prefixed JSON framing and local-socket helpers for src/coord.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+
+namespace ff::coord {
+
+/// Version spoken by this build; hello/welcome exchange rejects mismatches.
+constexpr int kProtocolVersion = 1;
+
+/// Frames larger than this are a protocol violation (a manifest is ~1 KiB;
+/// nothing legitimate approaches the bound).
+constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Outcome of a framed read.
+enum class ReadStatus {
+    Ok,       ///< A complete frame was decoded.
+    Timeout,  ///< The deadline elapsed before a full frame arrived.
+    Closed,   ///< Orderly EOF from the peer.
+};
+
+/// A framed read: `message` is meaningful only when `status == Ok`.
+struct ReadResult {
+    ReadStatus status = ReadStatus::Closed;
+    common::Json message;
+};
+
+/// Writes one frame (blocking).  Throws common::Error on I/O failure or an
+/// oversized payload.  A dead peer surfaces as an error, never SIGPIPE.
+void write_frame(int fd, const common::Json& message);
+
+/// Incremental frame decoder for the coordinator's nonblocking event loop:
+/// append whatever recv produced, then drain complete frames with next().
+class FrameBuffer {
+public:
+    /// Appends raw socket bytes.
+    void append(const char* data, std::size_t size);
+
+    /// Extracts the next complete frame, or nullopt when more bytes are
+    /// needed.  Throws common::Error on an oversized length prefix or
+    /// unparseable payload (the connection should be dropped).
+    std::optional<common::Json> next();
+
+    /// Discards any buffered bytes.
+    void clear();
+
+private:
+    std::string buf_;  ///< Undecoded bytes, oldest first.
+};
+
+/// A worker-side framed connection: blocking reads with a timeout, writes
+/// serialized by a mutex (the heartbeat thread shares the socket with the
+/// request/reply loop).  Bytes recv'd past the frame a read() returns are
+/// kept for the next read — a pushed "done" broadcast arriving glued to a
+/// reply can never desynchronize the stream.
+class FramedConn {
+public:
+    FramedConn() = default;
+    explicit FramedConn(int fd) : fd_(fd) {}
+    FramedConn(FramedConn&& other) noexcept;
+    FramedConn& operator=(FramedConn&& other) noexcept;
+    FramedConn(const FramedConn&) = delete;
+    FramedConn& operator=(const FramedConn&) = delete;
+    ~FramedConn();
+
+    bool open() const { return fd_ >= 0; }
+
+    /// Writes one frame under the write mutex (thread-safe).
+    void write(const common::Json& message);
+
+    /// Reads the next frame, waiting up to `timeout_ms` (< 0 = forever).
+    /// Single-reader only.  EOF returns ReadStatus::Closed (any partial
+    /// frame in flight is discarded with the connection).
+    ReadResult read(int timeout_ms);
+
+    /// Closes the socket (idempotent).
+    void close();
+
+private:
+    int fd_ = -1;
+    FrameBuffer buf_;       ///< Leftover bytes across read() calls.
+    std::mutex write_mu_;   ///< Serializes concurrent write() frames.
+};
+
+/// Binds + listens on a unix-domain stream socket, unlinking any stale
+/// file at `path` first.  Returns the listening fd; throws on failure.
+int listen_unix(const std::string& path, int backlog);
+
+/// Connects to a unix-domain socket.  Returns the fd, or -1 when the
+/// coordinator is not (yet) there — callers retry with backoff.
+int connect_unix(const std::string& path);
+
+/// Ignores SIGPIPE process-wide, once (thread-safe): a peer that dies
+/// mid-frame must surface as an I/O error, not kill the process.  Called
+/// by serve() and run_worker(), which may run as threads of one test
+/// process.
+void ignore_sigpipe();
+
+}  // namespace ff::coord

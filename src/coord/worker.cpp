@@ -1,0 +1,338 @@
+#include "coord/worker.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "coord/protocol.h"
+#include "shard/records.h"
+#include "shard/runner.h"
+
+namespace ff::coord {
+
+namespace {
+
+namespace fs = std::filesystem;
+using common::Json;
+
+void sleep_ms(double ms) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Unrecoverable conditions (protocol mismatch, reconnect budget spent) —
+/// everything else an inner-loop error just triggers a reconnect.
+struct FatalError : common::Error {
+    using common::Error::Error;
+};
+
+/// Sends heartbeats for one lease while the main thread executes the
+/// shard.  The first beat goes out immediately — a long prepare phase must
+/// not look like death — then one per interval.  Write errors end the
+/// thread silently; the main thread notices the dead socket on its next
+/// frame.
+class HeartbeatThread {
+public:
+    HeartbeatThread(FramedConn& conn, int shard, int attempt, double interval_ms, bool enabled) {
+        if (!enabled) return;
+        thread_ = std::thread([this, &conn, shard, attempt, interval_ms] {
+            while (!stop_.load(std::memory_order_relaxed)) {
+                Json beat = Json::object();
+                beat["type"] = "heartbeat";
+                beat["shard"] = shard;
+                beat["attempt"] = attempt;
+                try {
+                    conn.write(beat);
+                } catch (...) {
+                    return;
+                }
+                double slept = 0.0;
+                while (slept < interval_ms && !stop_.load(std::memory_order_relaxed)) {
+                    sleep_ms(20.0);
+                    slept += 20.0;
+                }
+            }
+        });
+    }
+
+    HeartbeatThread(const HeartbeatThread&) = delete;
+    HeartbeatThread& operator=(const HeartbeatThread&) = delete;
+    ~HeartbeatThread() { stop(); }
+
+    void stop() {
+        stop_.store(true, std::memory_order_relaxed);
+        if (thread_.joinable()) thread_.join();
+    }
+
+private:
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+class Worker {
+public:
+    explicit Worker(const WorkerConfig& config)
+        : config_(config),
+          id_(config.worker_id.empty() ? "pid" + std::to_string(::getpid())
+                                       : config.worker_id),
+          rng_(common::splitmix64(std::hash<std::string>{}(id_))),
+          fault_armed_(!config.fault.empty()) {}
+
+    WorkerStats run();
+
+private:
+    enum class Outcome { Continue, Done, Abandon, Reconnect };
+
+    void log(const std::string& line) const {
+        if (config_.verbose) {
+            std::fprintf(stderr, "[worker %s] %s\n", id_.c_str(), line.c_str());
+        }
+    }
+
+    bool connect();
+    Outcome serve_leases();  ///< The request loop on one connection.
+    Outcome execute_lease(Json grant);
+    void salvage(const shard::ShardManifest& manifest, const std::string& records_path,
+                 const Json& candidates);
+
+    WorkerConfig config_;
+    std::string id_;
+    common::Rng rng_;
+    FramedConn conn_;
+    double heartbeat_ms_ = 2500.0;
+    bool fault_armed_;  ///< One-shot faults not yet fired.
+    WorkerStats stats_;
+};
+
+bool Worker::connect() {
+    bool ok = common::retry_with_backoff(
+        config_.max_connect_attempts, config_.reconnect, rng_,
+        [&] {
+            int fd = connect_unix(config_.socket_path);
+            if (fd < 0) return false;
+            conn_ = FramedConn(fd);
+            return true;
+        },
+        [](double ms) { sleep_ms(ms); });
+    if (!ok) return false;
+    Json hello = Json::object();
+    hello["type"] = "hello";
+    hello["worker"] = id_;
+    hello["protocol"] = kProtocolVersion;
+    try {
+        conn_.write(hello);
+        ReadResult r = conn_.read(static_cast<int>(config_.reply_timeout_ms));
+        if (r.status != ReadStatus::Ok) return false;
+        const std::string& type = common::json_string(r.message, "type");
+        if (type == "error") {
+            throw FatalError("coordinator refused hello: " +
+                             common::json_string(r.message, "error"));
+        }
+        if (type != "welcome") return false;
+        heartbeat_ms_ = common::json_double(r.message, "heartbeat_ms");
+    } catch (const FatalError&) {
+        throw;
+    } catch (const common::Error&) {
+        return false;
+    }
+    log("connected to " + config_.socket_path);
+    return true;
+}
+
+Worker::Outcome Worker::serve_leases() {
+    while (true) {
+        try {
+            Json request = Json::object();
+            request["type"] = "lease-request";
+            conn_.write(request);
+            ReadResult r = conn_.read(static_cast<int>(config_.reply_timeout_ms));
+            if (r.status == ReadStatus::Timeout) {
+                throw common::Error("no reply from the coordinator");
+            }
+            if (r.status == ReadStatus::Closed) return Outcome::Reconnect;
+            const std::string& type = common::json_string(r.message, "type");
+            if (type == "done") return Outcome::Done;
+            if (type == "wait") {
+                sleep_ms(common::json_double(r.message, "retry_ms"));
+                continue;
+            }
+            if (type == "lease") {
+                Outcome out = execute_lease(std::move(r.message));
+                if (out != Outcome::Continue) return out;
+                continue;
+            }
+            if (type == "error") {
+                throw FatalError("coordinator: " + common::json_string(r.message, "error"));
+            }
+            throw common::Error("unexpected frame '" + type + "'");
+        } catch (const FatalError&) {
+            throw;
+        } catch (const common::Error& e) {
+            log(std::string("connection trouble: ") + e.what());
+            return Outcome::Reconnect;
+        }
+    }
+}
+
+Worker::Outcome Worker::execute_lease(Json grant) {
+    int shard = static_cast<int>(common::json_int(grant, "shard"));
+    int attempt = static_cast<int>(common::json_int(grant, "attempt"));
+    shard::ShardManifest manifest = shard::ShardManifest::from_json(grant["manifest"]);
+    const std::string records_path = common::json_string(grant, "records_path");
+    heartbeat_ms_ = common::json_double(grant, "heartbeat_ms");
+    log("leased shard " + std::to_string(shard) + " attempt " + std::to_string(attempt) +
+        " [" + std::to_string(manifest.unit_begin) + ", " + std::to_string(manifest.unit_end) +
+        ")");
+
+    if (fault_armed_ && config_.fault.delay_lease_ms > 0.0) {
+        log("fault: delaying " + std::to_string(config_.fault.delay_lease_ms) + " ms");
+        sleep_ms(config_.fault.delay_lease_ms);
+    }
+
+    salvage(manifest, records_path, grant["resume_candidates"]);
+
+    shard::RunShardOptions options;
+    options.num_threads = config_.num_threads;
+    options.trial_chunk = config_.trial_chunk;
+    options.resume = true;
+    if (fault_armed_ && config_.fault.kill_after_units >= 0) {
+        options.interrupt_after_units = config_.fault.kill_after_units;
+    } else if (fault_armed_ && config_.fault.abandon_after_units >= 0) {
+        options.interrupt_after_units = config_.fault.abandon_after_units;
+    }
+
+    shard::RunShardResult result;
+    {
+        HeartbeatThread heartbeats(conn_, shard, attempt, heartbeat_ms_,
+                                   !config_.fault.drop_heartbeats);
+        try {
+            result = shard::run_shard(manifest, records_path, options);
+        } catch (const common::Error& e) {
+            heartbeats.stop();
+            log("shard " + std::to_string(shard) + " failed: " + e.what());
+            ++stats_.shards_failed;
+            Json failed = Json::object();
+            failed["type"] = "failed";
+            failed["shard"] = shard;
+            failed["attempt"] = attempt;
+            failed["error"] = std::string(e.what());
+            conn_.write(failed);
+            ReadResult r = conn_.read(static_cast<int>(config_.reply_timeout_ms));
+            if (r.status != ReadStatus::Ok) return Outcome::Reconnect;
+            if (common::json_string(r.message, "type") == "done") return Outcome::Done;
+            return Outcome::Continue;
+        }
+    }
+
+    if (!result.completed) {
+        // The interrupt hook only fires for an armed kill/abandon fault.
+        fault_armed_ = false;
+        if (config_.fault.kill_after_units >= 0) {
+            // A real mid-shard crash: the record file keeps its torn tail.
+            ::raise(SIGKILL);
+        }
+        log("fault: abandoning shard " + std::to_string(shard) + " after " +
+            std::to_string(result.units_run) + " units");
+        conn_.close();
+        return Outcome::Abandon;
+    }
+    fault_armed_ = false;
+
+    Json complete = Json::object();
+    complete["type"] = "complete";
+    complete["shard"] = shard;
+    complete["attempt"] = attempt;
+    conn_.write(complete);
+    ReadResult r = conn_.read(static_cast<int>(config_.reply_timeout_ms));
+    if (r.status != ReadStatus::Ok) return Outcome::Reconnect;
+    const std::string& type = common::json_string(r.message, "type");
+    if (type == "done") return Outcome::Done;
+    if (type == "reject") {
+        log("completion rejected: " + common::json_string(r.message, "error"));
+        ++stats_.shards_failed;
+        return Outcome::Continue;
+    }
+    if (type != "ack") throw common::Error("unexpected reply '" + type + "' to complete");
+    ++stats_.shards_completed;
+    stats_.units_run += result.units_run;
+    log("shard " + std::to_string(shard) + " complete (" + std::to_string(result.units_run) +
+        " units this attempt)");
+    return common::json_bool(r.message, "done") ? Outcome::Done : Outcome::Continue;
+}
+
+void Worker::salvage(const shard::ShardManifest& manifest, const std::string& records_path,
+                     const Json& candidates) {
+    if (!candidates.is_array() || fs::exists(records_path)) return;
+    const std::string want = manifest.to_json().dump();
+    for (const Json& candidate : candidates.as_array()) {
+        if (!candidate.is_string()) continue;
+        const std::string& path = candidate.as_string();
+        try {
+            shard::ShardRecordFile file = shard::read_record_file(path);
+            if (file.manifest.to_json().dump() != want) continue;
+            if (file.checkpoint <= manifest.unit_begin) continue;  // nothing durable
+            // Copy the durable prefix — safe even while the prior attempt
+            // is still writing, because resume_offset never exceeds the
+            // bytes that were fsync'd under its last checkpoint.
+            std::ifstream in(path, std::ios::binary);
+            std::string bytes((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+            bytes.resize(static_cast<std::size_t>(file.resume_offset));
+            std::ofstream out(records_path, std::ios::binary | std::ios::trunc);
+            out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+            out.close();
+            if (!out) throw common::Error("cannot write " + records_path);
+            ++stats_.salvages;
+            log("salvaged " + std::to_string(file.checkpoint - manifest.unit_begin) +
+                " units from " + path);
+            return;
+        } catch (const common::Error&) {
+            continue;  // unreadable/foreign candidate; try the next
+        }
+    }
+}
+
+WorkerStats Worker::run() {
+    bool first = true;
+    while (true) {
+        if (!connect()) {
+            throw common::Error("worker " + id_ + ": coordinator unreachable at " +
+                                config_.socket_path + " after " +
+                                std::to_string(config_.max_connect_attempts) + " attempts");
+        }
+        if (!first) ++stats_.reconnects;
+        first = false;
+        switch (serve_leases()) {
+            case Outcome::Done:
+                log("audit done; exiting");
+                return stats_;
+            case Outcome::Abandon:
+                stats_.abandoned = true;
+                return stats_;
+            case Outcome::Reconnect:
+                conn_.close();
+                break;
+            case Outcome::Continue:
+                break;  // unreachable
+        }
+    }
+}
+
+}  // namespace
+
+WorkerStats run_worker(const WorkerConfig& config) {
+    ignore_sigpipe();
+    Worker worker(config);
+    return worker.run();
+}
+
+}  // namespace ff::coord

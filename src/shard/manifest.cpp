@@ -31,17 +31,21 @@ Json JobSpec::to_json() const {
 
 JobSpec JobSpec::from_json(const Json& j) {
     JobSpec spec;
-    spec.workload = j.at("workload").as_string();
-    spec.sdfg_path = j.at("sdfg_path").as_string();
-    spec.passes = j.at("passes").as_string();
-    spec.seed = static_cast<std::uint64_t>(j.at("seed").as_int());
-    spec.max_trials = static_cast<int>(j.at("max_trials").as_int());
-    spec.size_max = j.at("size_max").as_int();
-    spec.threshold = j.at("threshold").as_double();
-    spec.max_state_transitions = j.at("max_state_transitions").as_int();
-    spec.use_mincut = j.at("use_mincut").as_bool();
-    for (const auto& [name, value] : j.at("defaults").as_object())
+    spec.workload = common::json_string(j, "workload");
+    spec.sdfg_path = common::json_string(j, "sdfg_path");
+    spec.passes = common::json_string(j, "passes");
+    spec.seed = static_cast<std::uint64_t>(common::json_int(j, "seed"));
+    spec.max_trials = static_cast<int>(common::json_int(j, "max_trials"));
+    spec.size_max = common::json_int(j, "size_max");
+    spec.threshold = common::json_double(j, "threshold");
+    spec.max_state_transitions = common::json_int(j, "max_state_transitions");
+    spec.use_mincut = common::json_bool(j, "use_mincut");
+    for (const auto& [name, value] : common::json_object_field(j, "defaults")) {
+        if (!value.is_number())
+            throw common::ParseError("defaults entry '" + name + "': expected an integer, got " +
+                                     common::json_type_name(value));
         spec.defaults[name] = value.as_int();
+    }
     return spec;
 }
 
@@ -93,19 +97,35 @@ Json ShardManifest::to_json() const {
 
 ShardManifest ShardManifest::from_json(const Json& j) {
     ShardManifest m;
-    m.format_version = static_cast<int>(j.at("format_version").as_int());
+    m.format_version = static_cast<int>(common::json_int(j, "format_version"));
     if (m.format_version != kFormatVersion)
         throw common::Error("unsupported shard format version " +
                             std::to_string(m.format_version) + " (this build speaks " +
                             std::to_string(kFormatVersion) + ")");
-    m.job = JobSpec::from_json(j.at("job"));
-    m.shard_index = static_cast<int>(j.at("shard_index").as_int());
-    m.shard_count = static_cast<int>(j.at("shard_count").as_int());
-    m.unit_begin = j.at("unit_begin").as_int();
-    m.unit_end = j.at("unit_end").as_int();
-    m.instance_count = j.at("instance_count").as_int();
-    m.checkpoint_interval = static_cast<int>(j.at("checkpoint_interval").as_int());
+    try {
+        m.job = JobSpec::from_json(j.at("job"));
+    } catch (const common::ParseError& e) {
+        throw common::ParseError("job: " + common::error_detail(e));
+    }
+    m.shard_index = static_cast<int>(common::json_int(j, "shard_index"));
+    m.shard_count = static_cast<int>(common::json_int(j, "shard_count"));
+    m.unit_begin = common::json_int(j, "unit_begin");
+    m.unit_end = common::json_int(j, "unit_end");
+    m.instance_count = common::json_int(j, "instance_count");
+    m.checkpoint_interval = static_cast<int>(common::json_int(j, "checkpoint_interval"));
     return m;
+}
+
+ShardManifest load_manifest_file(const std::string& path) {
+    // parse_file already yields file+line for JSON syntax errors; field and
+    // shape errors from from_json gain the file name here.
+    try {
+        return ShardManifest::from_json(Json::parse_file(path));
+    } catch (const common::FileParseError&) {
+        throw;
+    } catch (const common::ParseError& e) {
+        throw common::FileParseError(path, 0, common::error_detail(e));
+    }
 }
 
 std::vector<ShardManifest> plan_shards(const JobSpec& job, const ir::SDFG& program,

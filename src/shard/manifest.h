@@ -99,6 +99,11 @@ struct ShardManifest {
     static ShardManifest from_json(const common::Json& j);
 };
 
+/// Loads a manifest JSON file; malformed content throws
+/// common::FileParseError naming the file, the line (for syntax errors) and
+/// the expected shape (for field errors).
+ShardManifest load_manifest_file(const std::string& path);
+
 /// Deterministically partitions the job's unit space into `shard_count`
 /// contiguous slices, balanced to within one unit (the first
 /// `units % shard_count` shards take the extra unit).  Runs the job's match

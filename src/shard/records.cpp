@@ -1,6 +1,13 @@
 #include "shard/records.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "common/error.h"
 #include "core/testcase_io.h"
@@ -9,31 +16,113 @@ namespace ff::shard {
 
 using common::Json;
 
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw common::Error(what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const char* data, std::size_t size, const std::string& path) {
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("write failed on record stream " + path);
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+}
+
+/// fsync of the containing directory, so a just-renamed file survives a
+/// crash of the directory entry itself.
+void sync_parent_dir(const std::string& path) {
+    const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+    const std::string dir = parent.empty() ? "." : parent.string();
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return;  // best effort: some filesystems refuse directory fds
+    ::fsync(fd);
+    ::close(fd);
+}
+
+}  // namespace
+
 RecordWriter RecordWriter::create(const std::string& path, const ShardManifest& manifest) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) throw common::Error("cannot create record file: " + path);
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) throw_errno("cannot create record file " + tmp);
+    RecordWriter writer(fd, path, /*published=*/false);
     Json header = Json::object();
     header["type"] = "header";
     header["format"] = kFormatVersion;
     header["manifest"] = manifest.to_json();
-    out << header.dump() << '\n';
-    out.flush();
-    if (!out) throw common::Error("write failed on record file: " + path);
-    return RecordWriter(std::move(out));
+    writer.buffered_write(header.dump() + '\n');
+    writer.flush();
+    return writer;
 }
 
 RecordWriter RecordWriter::resume(const std::string& path, std::int64_t resume_offset) {
     // Drop the interrupted chunk (and any torn final line) before
     // appending: the resumed run re-executes it, and duplicate record lines
     // would break the reader's ascending-unit invariant.
-    std::error_code ec;
-    std::filesystem::resize_file(path, static_cast<std::uintmax_t>(resume_offset), ec);
-    if (ec)
-        throw common::Error("cannot truncate record file " + path + " for resume: " +
-                            ec.message());
-    std::ofstream out(path, std::ios::binary | std::ios::app);
-    if (!out) throw common::Error("cannot reopen record file for resume: " + path);
-    return RecordWriter(std::move(out));
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) throw_errno("cannot reopen record file for resume " + path);
+    if (::ftruncate(fd, static_cast<off_t>(resume_offset)) != 0) {
+        ::close(fd);
+        throw_errno("cannot truncate record file " + path + " for resume");
+    }
+    if (::lseek(fd, 0, SEEK_END) < 0) {
+        ::close(fd);
+        throw_errno("cannot seek record file " + path);
+    }
+    return RecordWriter(fd, path, /*published=*/true);
+}
+
+RecordWriter::RecordWriter(RecordWriter&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      published_(other.published_),
+      buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+}
+
+RecordWriter& RecordWriter::operator=(RecordWriter&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = other.fd_;
+        path_ = std::move(other.path_);
+        published_ = other.published_;
+        buffer_ = std::move(other.buffer_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+RecordWriter::~RecordWriter() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void RecordWriter::buffered_write(const std::string& bytes) {
+    buffer_ += bytes;
+    if (buffer_.size() >= 1 << 16) flush();
+}
+
+void RecordWriter::flush() {
+    if (buffer_.empty()) return;
+    write_all(fd_, buffer_.data(), buffer_.size(), path_);
+    buffer_.clear();
+}
+
+void RecordWriter::sync() {
+    if (::fsync(fd_) != 0) throw_errno("fsync failed on record stream " + path_);
+}
+
+void RecordWriter::publish() {
+    const std::string tmp = path_ + ".tmp";
+    if (::rename(tmp.c_str(), path_.c_str()) != 0)
+        throw_errno("cannot publish record file " + path_);
+    sync_parent_dir(path_);
+    published_ = true;
 }
 
 void RecordWriter::write_record(std::int64_t unit, const core::TrialRecord& record) {
@@ -41,82 +130,112 @@ void RecordWriter::write_record(std::int64_t unit, const core::TrialRecord& reco
     line["type"] = "record";
     line["unit"] = unit;
     line["rec"] = core::trial_record_to_json(record);
-    out_ << line.dump() << '\n';
-    if (!out_) throw common::Error("write failed on record stream");
+    buffered_write(line.dump() + '\n');
 }
 
 void RecordWriter::checkpoint(std::int64_t completed) {
+    // Records first, durably — only then the line that asserts they exist.
+    flush();
+    sync();
     Json line = Json::object();
     line["type"] = "checkpoint";
     line["completed"] = completed;
-    out_ << line.dump() << '\n';
-    out_.flush();
-    if (!out_) throw common::Error("checkpoint write failed on record stream");
+    buffered_write(line.dump() + '\n');
+    flush();
+    sync();
+    if (!published_) publish();
 }
 
 void RecordWriter::append_raw(const std::string& bytes) {
-    out_ << bytes;
-    out_.flush();
+    flush();
+    write_all(fd_, bytes.data(), bytes.size(), path_);
 }
 
 ShardRecordFile read_record_file(const std::string& path) {
     std::ifstream in(path, std::ios::binary);
     if (!in) throw common::Error("cannot open record file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) throw common::Error("read failed on record file: " + path);
+    const std::string text = buf.str();
 
     ShardRecordFile file;
     bool have_header = false;
     std::int64_t offset = 0;  // byte position of the current line's start
-    std::string line;
-    while (std::getline(in, line)) {
+    int lineno = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
         // A final line without its trailing newline is a torn write from an
         // interrupted process: everything from here on is discarded (the
         // resume path truncates it away).
-        if (in.eof()) break;
+        if (nl == std::string::npos) break;
+        const std::string_view line(text.data() + pos, nl - pos);
+        const bool last_line = nl + 1 >= text.size();
+        ++lineno;
         const std::int64_t line_end = offset + static_cast<std::int64_t>(line.size()) + 1;
         Json j;
         try {
             j = Json::parse(line);
-        } catch (const std::exception&) {
-            break;  // torn/corrupt tail: stop at the last intact checkpoint
+        } catch (const common::JsonParseError& e) {
+            // Only the file's very last line may be torn (a mid-write
+            // kill); malformed JSON with intact lines after it is
+            // corruption and must be diagnosed, not silently dropped.
+            if (last_line) break;
+            throw common::FileParseError(
+                path, lineno, e.detail() + " (column " + std::to_string(e.column()) + ")");
         }
-        const std::string& type = j.at("type").as_string();
-        if (type == "header") {
-            if (have_header) throw common::Error(path + ": duplicate header line");
-            if (j.at("format").as_int() != kFormatVersion)
-                throw common::Error(path + ": unsupported record format version " +
-                                    std::to_string(j.at("format").as_int()));
-            file.manifest = ShardManifest::from_json(j.at("manifest"));
-            file.checkpoint = file.manifest.unit_begin;
-            file.resume_offset = line_end;
-            have_header = true;
-        } else if (type == "record") {
-            if (!have_header) throw common::Error(path + ": record line before header");
-            const std::int64_t unit = j.at("unit").as_int();
-            const std::int64_t expected =
-                file.manifest.unit_begin + static_cast<std::int64_t>(file.records.size());
-            if (unit != expected)
-                throw common::Error(path + ": record for unit " + std::to_string(unit) +
-                                    " where unit " + std::to_string(expected) + " was expected");
-            if (unit >= file.manifest.unit_end)
-                throw common::Error(path + ": record for unit " + std::to_string(unit) +
-                                    " outside the shard range");
-            file.records.emplace_back(unit, core::trial_record_from_json(j.at("rec")));
-        } else if (type == "checkpoint") {
-            if (!have_header) throw common::Error(path + ": checkpoint line before header");
-            const std::int64_t completed = j.at("completed").as_int();
-            const std::int64_t covered =
-                file.manifest.unit_begin + static_cast<std::int64_t>(file.records.size());
-            if (completed != covered)
-                throw common::Error(path + ": checkpoint claims " + std::to_string(completed) +
-                                    " units but records cover " + std::to_string(covered));
-            file.checkpoint = completed;
-            file.resume_offset = line_end;
-        } else {
-            throw common::Error(path + ": unknown line type '" + type + "'");
+        try {
+            const std::string& type = common::json_string(j, "type");
+            if (type == "header") {
+                if (have_header) throw common::Error("duplicate header line");
+                const std::int64_t format = common::json_int(j, "format");
+                if (format != kFormatVersion)
+                    throw common::Error("unsupported record format version " +
+                                        std::to_string(format) + " (this build speaks " +
+                                        std::to_string(kFormatVersion) + ")");
+                file.manifest = ShardManifest::from_json(j.at("manifest"));
+                file.checkpoint = file.manifest.unit_begin;
+                file.resume_offset = line_end;
+                have_header = true;
+            } else if (type == "record") {
+                if (!have_header) throw common::Error("record line before the header");
+                const std::int64_t unit = common::json_int(j, "unit");
+                const std::int64_t expected =
+                    file.manifest.unit_begin + static_cast<std::int64_t>(file.records.size());
+                if (unit != expected)
+                    throw common::Error("record for unit " + std::to_string(unit) +
+                                        " where unit " + std::to_string(expected) +
+                                        " was expected");
+                if (unit >= file.manifest.unit_end)
+                    throw common::Error("record for unit " + std::to_string(unit) +
+                                        " outside the shard range");
+                file.records.emplace_back(unit, core::trial_record_from_json(j.at("rec")));
+            } else if (type == "checkpoint") {
+                if (!have_header) throw common::Error("checkpoint line before the header");
+                const std::int64_t completed = common::json_int(j, "completed");
+                const std::int64_t covered =
+                    file.manifest.unit_begin + static_cast<std::int64_t>(file.records.size());
+                if (completed != covered)
+                    throw common::Error("checkpoint claims " + std::to_string(completed) +
+                                        " units but records cover " + std::to_string(covered));
+                file.checkpoint = completed;
+                file.resume_offset = line_end;
+            } else {
+                throw common::Error("unknown line type '" + type +
+                                    "' (expected header, record, or checkpoint)");
+            }
+        } catch (const common::FileParseError&) {
+            throw;
+        } catch (const common::Error& e) {
+            throw common::FileParseError(path, lineno, common::error_detail(e));
         }
         offset = line_end;
+        pos = nl + 1;
     }
-    if (!have_header) throw common::Error(path + ": no record stream header");
+    if (!have_header)
+        throw common::FileParseError(path, 0, "no record stream header (expected a first line "
+                                              "{\"type\":\"header\",...})");
     // Records past the last checkpoint belong to a chunk that never
     // completed — siblings may be missing, so none of them are durable.
     file.records.resize(static_cast<std::size_t>(file.checkpoint - file.manifest.unit_begin));

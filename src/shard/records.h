@@ -7,11 +7,19 @@
 //
 // Records appear in ascending unit order.  A checkpoint line asserts that
 // every unit in [manifest.unit_begin, completed) has a record line above
-// it and has been flushed to disk; an interrupted shard resumes from its
+// it and has been fsync'd to disk; an interrupted shard resumes from its
 // last checkpoint instead of restarting (the partially written chunk after
 // it — including a torn final line from a mid-write kill — is discarded by
 // truncation).  A shard is *complete* when its last checkpoint reaches
 // manifest.unit_end.
+//
+// Durability (the checkpoint invariant): the writer streams to
+// `<path>.tmp` and publishes the file under its real name by atomic rename
+// at the first checkpoint, so a reader never observes a stream without a
+// durable checkpoint.  Every checkpoint fsyncs twice — records first, then
+// the checkpoint line — so a crash at any instant can never leave a
+// durable checkpoint line above unsynced records.  Torn *tails* are
+// recoverable; a checkpoint that lies about its prefix is impossible.
 //
 // The record payload is core::trial_record_to_json: kind, and for failing
 // trials the verdict, detail and exact inputs — everything the canonical
@@ -20,14 +28,20 @@
 // explicit "not-run" records, so a complete shard always carries exactly
 // `unit_end - unit_begin` record lines and coverage validation is a count,
 // not a guess.
+//
+// Re-run determinism: records are pure functions of the job, and
+// checkpoints land on the same interval grid whatever the interruption /
+// resume history, so two complete record files of the same shard are
+// byte-identical — the property the coordinator (src/coord) exploits to
+// cross-check duplicate completions of a re-issued shard.
 #pragma once
 
 /// \file
-/// Shard record streams: append-only writer with checkpoints, tolerant
-/// reader with a resume point.
+/// Shard record streams: append-only writer with fsync'd checkpoints and
+/// atomic first-checkpoint publication, tolerant reader with a resume
+/// point.
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,33 +51,55 @@
 
 namespace ff::shard {
 
-/// Append-only writer of one shard's record stream.  All writes go through
-/// the filesystem page cache until checkpoint(), which flushes — a crash
-/// between checkpoints loses at most one chunk.
+/// Append-only writer of one shard's record stream.  Record writes are
+/// buffered in user space and flushed (write + fsync) by checkpoint(); a
+/// crash between checkpoints loses at most one chunk.  The stream lives at
+/// `<path>.tmp` until the first checkpoint atomically renames it to
+/// `path` — a visible record file therefore always contains at least one
+/// durable checkpoint.
 class RecordWriter {
 public:
-    /// Fresh stream: truncates/creates `path` and writes the header line.
+    /// Fresh stream: creates/truncates `path + ".tmp"` and writes the
+    /// header line.  The file appears at `path` at the first checkpoint().
     static RecordWriter create(const std::string& path, const ShardManifest& manifest);
 
-    /// Resume: truncates `path` to `resume_offset` (the byte offset just
-    /// past the last checkpoint line, from read_record_file) — dropping any
-    /// partially written chunk — and appends after it.
+    /// Resume: truncates the published `path` to `resume_offset` (the byte
+    /// offset just past the last checkpoint line, from read_record_file) —
+    /// dropping any partially written chunk — and appends after it.
     static RecordWriter resume(const std::string& path, std::int64_t resume_offset);
 
-    /// Appends one trial slot at flat unit index `unit`.
+    RecordWriter(RecordWriter&& other) noexcept;
+    RecordWriter& operator=(RecordWriter&& other) noexcept;
+    RecordWriter(const RecordWriter&) = delete;
+    RecordWriter& operator=(const RecordWriter&) = delete;
+    ~RecordWriter();
+
+    /// Appends one trial slot at flat unit index `unit` (buffered).
     void write_record(std::int64_t unit, const core::TrialRecord& record);
 
-    /// Flushes everything written so far and appends a checkpoint line:
-    /// every unit in [unit_begin, completed) is durably recorded.
+    /// Makes every unit in [unit_begin, completed) durable: writes + fsyncs
+    /// the buffered records, then writes + fsyncs the checkpoint line (two
+    /// fsyncs, so the checkpoint can never be durable above unsynced
+    /// records), then — on the first checkpoint — atomically renames the
+    /// `.tmp` stream to its real path and fsyncs the directory.
     void checkpoint(std::int64_t completed);
 
-    /// Appends raw bytes without a newline or flush — a test hook that
-    /// simulates a process killed mid-write (torn final line).
+    /// Appends raw bytes without a newline, checkpoint or fsync — a test
+    /// hook that simulates a process killed mid-write (torn final line).
     void append_raw(const std::string& bytes);
 
 private:
-    explicit RecordWriter(std::ofstream out) : out_(std::move(out)) {}
-    std::ofstream out_;  ///< The append-only stream.
+    RecordWriter(int fd, std::string path, bool published)
+        : fd_(fd), path_(std::move(path)), published_(published) {}
+    void buffered_write(const std::string& bytes);
+    void flush();  ///< write(2) the buffer; no fsync.
+    void sync();   ///< fsync(2) the stream.
+    void publish();  ///< rename .tmp -> path + directory fsync.
+
+    int fd_ = -1;           ///< POSIX descriptor of the stream.
+    std::string path_;      ///< Published path (stream is at path_ + ".tmp" until then).
+    bool published_ = false;  ///< Whether the stream is visible at path_.
+    std::string buffer_;    ///< Pending bytes since the last flush.
 };
 
 /// Parsed view of one shard record file.
@@ -84,9 +120,10 @@ struct ShardRecordFile {
 
 /// Reads a shard record stream.  Tolerates a torn final line (truncated by
 /// a kill mid-write) by stopping at the last intact checkpoint; throws
-/// common::Error when the file is missing, has no parseable header, or
-/// violates the format (records out of range/order, checkpoint without its
-/// records).
+/// common::FileParseError — naming the file, the 1-based line and what was
+/// expected — when the file is missing, has no parseable header, contains
+/// malformed JSON before its final line, or violates the format (records
+/// out of range/order, checkpoint without its records).
 ShardRecordFile read_record_file(const std::string& path);
 
 }  // namespace ff::shard

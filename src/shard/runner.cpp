@@ -55,6 +55,7 @@ RunShardResult run_shard(const ShardManifest& manifest, const std::string& recor
     // Open the stream: fresh, or resumed from the last intact checkpoint.
     std::int64_t start = manifest.unit_begin;
     std::optional<RecordWriter> writer;
+    bool fresh = true;
     std::error_code ec;
     const bool existing_nonempty = std::filesystem::exists(records_path, ec) &&
                                    std::filesystem::file_size(records_path, ec) > 0 && !ec;
@@ -76,6 +77,7 @@ RunShardResult run_shard(const ShardManifest& manifest, const std::string& recor
                 throw common::Error(records_path +
                                     " belongs to a different shard or job; refusing to resume");
             start = existing->checkpoint;
+            fresh = false;
             // Completed records re-enter the audit so early-stop watermarks
             // (a failure recorded before the interruption) keep suppressing
             // later trials of the same instance.
@@ -93,6 +95,11 @@ RunShardResult run_shard(const ShardManifest& manifest, const std::string& recor
     result.resumed_from = start;
     const std::int64_t interval = std::max(manifest.checkpoint_interval, 1);
     const core::TrialRecord not_run;
+    // An empty shard runs no chunks, so no checkpoint would ever publish
+    // the stream; emit its one (empty) checkpoint explicitly.  Only for a
+    // fresh stream: a resumed empty shard is already complete and another
+    // checkpoint line would break re-run byte-identity.
+    if (start == manifest.unit_end && fresh) writer->checkpoint(manifest.unit_end);
     for (std::int64_t u = start; u < manifest.unit_end; u += interval) {
         const std::int64_t chunk_end = std::min(u + interval, manifest.unit_end);
         audit.run_range(u, chunk_end);
@@ -111,6 +118,7 @@ RunShardResult run_shard(const ShardManifest& manifest, const std::string& recor
         for (std::int64_t unit = u; unit < chunk_end; ++unit)
             writer->write_record(unit, unit_record(audit, unit, not_run));
         writer->checkpoint(chunk_end);
+        if (options.on_progress) options.on_progress(result.units_run);
     }
     result.completed = true;
     result.stats = audit.stats();

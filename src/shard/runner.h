@@ -13,6 +13,7 @@
 /// run_shard: chunked, checkpointed execution of one shard manifest.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "core/fuzzer.h"
@@ -33,6 +34,13 @@ struct RunShardOptions {
     /// flight writes some records and a torn final line but no checkpoint,
     /// exactly like a kill -9 mid-write.  < 0 runs to completion.
     std::int64_t interrupt_after_units = -1;
+    /// Called after each durable checkpoint with the units completed by
+    /// this invocation so far.  The coordinator's workers send lease
+    /// heartbeats (and fire fault injections) from here; results cannot
+    /// depend on it.  Exceptions propagate out of run_shard after the
+    /// checkpoint they follow, so everything already reported durable
+    /// stays durable.
+    std::function<void(std::int64_t units_done)> on_progress;
 };
 
 /// What one run_shard invocation did.

@@ -1,0 +1,135 @@
+// The ffaudit command-line contract: exit codes are part of the interface
+// (orchestration scripts and the CI chaos job branch on them), so each
+// class is pinned by driving the real binary as a subprocess.  The binary's
+// path arrives via the FFAUDIT_PATH compile definition (CMakeLists.txt).
+//
+//   0  success (including a replay that reproduces)
+//   2  usage errors (bad flags, bad fault specs)
+//   3  an interrupted, resumable shard
+//   4  job construction failures
+//   5  shard execution failures
+//   6  merge/validation failures
+//   7  malformed input files (parse errors)
+//   8  coordinator/worker gave up
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace ff {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty scratch directory under the gtest temp root.
+std::string scratch_dir(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "ff_cli_" + name;
+    fs::remove_all(path);
+    fs::create_directories(path);
+    return path;
+}
+
+struct CliResult {
+    int code = -1;     ///< Exit code, or -1 when the process died on a signal.
+    std::string out;   ///< Combined stdout + stderr.
+};
+
+/// Runs `ffaudit <args>` and captures its exit code and output.
+CliResult run_cli(const std::string& args) {
+    static int counter = 0;
+    const std::string capture =
+        ::testing::TempDir() + "ff_cli_capture_" + std::to_string(counter++) + ".txt";
+    const std::string cmd = std::string(FFAUDIT_PATH) + " " + args + " > " + capture + " 2>&1";
+    const int status = std::system(cmd.c_str());
+    CliResult result;
+    if (WIFEXITED(status)) result.code = WEXITSTATUS(status);
+    std::ifstream in(capture, std::ios::binary);
+    result.out.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    fs::remove(capture);
+    return result;
+}
+
+/// The job flags every test reuses — small enough to run in milliseconds.
+const char kJob[] = "--workload gemm --passes table2 --trials 4 --size-max 5 "
+                    "--max-transitions 2000";
+
+TEST(CliUsage, BadInvocationsExitTwo) {
+    EXPECT_EQ(run_cli("").code, 2);
+    EXPECT_EQ(run_cli("frobnicate").code, 2);
+    EXPECT_EQ(run_cli("plan --workload gemm").code, 2);  // missing --shards/--out-dir
+    EXPECT_EQ(run_cli("run-shard").code, 2);             // missing --manifest
+    EXPECT_EQ(run_cli("worker").code, 2);                // missing --socket
+    EXPECT_EQ(run_cli("worker --socket /tmp/x.sock --fault explode").code, 2);
+    EXPECT_EQ(run_cli("serve --records-dir /tmp/r --worker-fault 0=bogus").code, 2);
+
+    const CliResult help = run_cli("--help");
+    EXPECT_EQ(help.code, 0);
+    EXPECT_NE(help.out.find("exit codes:"), std::string::npos)
+        << "--help must document the exit-code contract";
+}
+
+TEST(CliJobErrors, UnknownWorkloadExitsFour) {
+    const CliResult r = run_cli("run --workload no_such_kernel");
+    EXPECT_EQ(r.code, 4);
+    EXPECT_NE(r.out.find("no_such_kernel"), std::string::npos) << r.out;
+}
+
+TEST(CliParseErrors, MalformedManifestExitsSeven) {
+    const std::string dir = scratch_dir("bad_manifest");
+    std::ofstream(dir + "/shard-0.json") << "{\"job\": nope}";
+    const CliResult r = run_cli("run-shard --manifest " + dir + "/shard-0.json --records-dir " +
+                                dir);
+    EXPECT_EQ(r.code, 7);
+    EXPECT_NE(r.out.find("shard-0.json"), std::string::npos) << r.out;
+}
+
+TEST(CliShardLifecycle, PlanInterruptResumeMergeExitCodes) {
+    const std::string dir = scratch_dir("lifecycle");
+    const std::string plan_dir = dir + "/plan";
+    const std::string records_dir = dir + "/records";
+
+    EXPECT_EQ(run_cli(std::string("plan ") + kJob + " --shards 2 --out-dir " + plan_dir +
+                      " --checkpoint-interval 2")
+                  .code,
+              0);
+    ASSERT_TRUE(fs::exists(plan_dir + "/shard-0.json"));
+
+    // An interrupted shard is a distinct, resumable condition: exit 3.
+    const std::string run_shard =
+        "run-shard --manifest " + plan_dir + "/shard-0.json --records-dir " + records_dir;
+    EXPECT_EQ(run_cli(run_shard + " --interrupt-after-units 2").code, 3);
+
+    // Merging while a shard is incomplete is a validation failure: exit 6.
+    EXPECT_EQ(run_cli("merge --records-dir " + records_dir).code, 6);
+
+    // A garbage record stream is a parse failure: exit 7.
+    std::ofstream(records_dir + "/records-9.jsonl") << "{\"type\":\"record\",\"unit\":0}\n";
+    EXPECT_EQ(run_cli("merge --records " + records_dir + "/records-9.jsonl").code, 7);
+
+    // Resuming to completion clears the way: both shards, then the merge.
+    fs::remove(records_dir + "/records-9.jsonl");
+    EXPECT_EQ(run_cli(run_shard).code, 0);
+    EXPECT_EQ(run_cli("run-shard --manifest " + plan_dir + "/shard-1.json --records-dir " +
+                      records_dir)
+                  .code,
+              0);
+    EXPECT_EQ(run_cli("merge --records-dir " + records_dir + " --out " + dir + "/report.json")
+                  .code,
+              0);
+    EXPECT_TRUE(fs::exists(dir + "/report.json"));
+}
+
+TEST(CliCoordinator, UnreachableCoordinatorExitsEight) {
+    const std::string dir = scratch_dir("unreachable");
+    const CliResult r = run_cli("worker --socket " + dir + "/nobody.sock --connect-attempts 2 "
+                                "--quiet");
+    EXPECT_EQ(r.code, 8);
+    EXPECT_NE(r.out.find("unreachable"), std::string::npos) << r.out;
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,531 @@
+// The fault-tolerant coordinator (src/coord): lease state-machine unit
+// tests driven by a fake clock (expiry, backoff, retry caps, straggler
+// hedging, duplicate completion), wire-framing round trips, fault-plan
+// parsing, and the end-to-end acceptance bar — a coordinator plus in-
+// process worker threads, with one worker crashing mid-shard and one
+// stalling past its lease, finishes the audit with a report byte-identical
+// to the single-process Fuzzer::audit at worker counts {1, 2, 4}
+// (docs/ARCHITECTURE.md "Coordinator").
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "coord/coordinator.h"
+#include "coord/fault.h"
+#include "coord/protocol.h"
+#include "coord/queue.h"
+#include "coord/worker.h"
+#include "core/fuzzer.h"
+#include "shard/manifest.h"
+#include "shard/merger.h"
+#include "workloads/npbench.h"
+
+namespace ff {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty scratch directory under the gtest temp root.
+std::string scratch_dir(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "ff_coord_" + name;
+    fs::remove_all(path);
+    fs::create_directories(path);
+    return path;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+/// filename -> bytes of every regular file in `dir`.
+std::map<std::string, std::string> dir_contents(const std::string& dir) {
+    std::map<std::string, std::string> out;
+    if (!fs::exists(dir)) return out;
+    for (const auto& entry : fs::directory_iterator(dir))
+        if (entry.is_regular_file())
+            out[entry.path().filename().string()] = read_file(entry.path().string());
+    return out;
+}
+
+shard::JobSpec gemm_job(int trials = 8) {
+    shard::JobSpec job;
+    job.workload = "gemm";
+    job.passes = "table2";
+    job.max_trials = trials;
+    job.size_max = 5;
+    job.max_state_transitions = 2000;
+    job.defaults = workloads::npbench_defaults();
+    return job;
+}
+
+// --- FaultPlan ---------------------------------------------------------------
+
+TEST(FaultPlan, ParsesSpecsAndDescribesThem) {
+    coord::FaultPlan none = coord::FaultPlan::parse("");
+    EXPECT_TRUE(none.empty());
+    EXPECT_EQ(none.describe(), "none");
+
+    coord::FaultPlan plan = coord::FaultPlan::parse("kill-after-units=3,drop-heartbeats");
+    EXPECT_EQ(plan.kill_after_units, 3);
+    EXPECT_TRUE(plan.drop_heartbeats);
+    EXPECT_FALSE(plan.empty());
+    EXPECT_EQ(plan.describe(), "kill-after-units=3,drop-heartbeats");
+
+    coord::FaultPlan stall = coord::FaultPlan::parse("delay-lease-ms=500");
+    EXPECT_DOUBLE_EQ(stall.delay_lease_ms, 500.0);
+    EXPECT_EQ(coord::FaultPlan::parse("abandon-after-units=2").abandon_after_units, 2);
+
+    EXPECT_THROW(coord::FaultPlan::parse("explode"), common::Error);
+    EXPECT_THROW(coord::FaultPlan::parse("kill-after-units=soon"), common::Error);
+    EXPECT_THROW(coord::FaultPlan::parse("drop-heartbeats=yes"), common::Error);
+}
+
+// --- Frame codec -------------------------------------------------------------
+
+/// Encodes one frame the way write_frame does.
+std::string frame_bytes(const common::Json& message) {
+    std::string payload = message.dump();
+    std::string wire;
+    auto len = static_cast<std::uint32_t>(payload.size());
+    wire.push_back(static_cast<char>((len >> 24) & 0xff));
+    wire.push_back(static_cast<char>((len >> 16) & 0xff));
+    wire.push_back(static_cast<char>((len >> 8) & 0xff));
+    wire.push_back(static_cast<char>(len & 0xff));
+    wire += payload;
+    return wire;
+}
+
+TEST(FrameBuffer, ReassemblesArbitrarySplitsAndGluedFrames) {
+    common::Json a = common::Json::object();
+    a["type"] = "hello";
+    a["worker"] = "w0";
+    common::Json b = common::Json::object();
+    b["type"] = "lease-request";
+    const std::string wire = frame_bytes(a) + frame_bytes(b);
+
+    // Feed one byte at a time: frames must pop out exactly at their ends.
+    coord::FrameBuffer buf;
+    std::vector<common::Json> got;
+    for (char c : wire) {
+        buf.append(&c, 1);
+        while (auto frame = buf.next()) got.push_back(std::move(*frame));
+    }
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].dump(), a.dump());
+    EXPECT_EQ(got[1].dump(), b.dump());
+
+    // All at once.
+    coord::FrameBuffer glued;
+    glued.append(wire.data(), wire.size());
+    EXPECT_EQ(glued.next()->dump(), a.dump());
+    EXPECT_EQ(glued.next()->dump(), b.dump());
+    EXPECT_FALSE(glued.next().has_value());
+}
+
+TEST(FrameBuffer, RejectsOversizedFrames) {
+    coord::FrameBuffer buf;
+    const char huge[4] = {0x7f, 0x00, 0x00, 0x00};  // ~2 GiB length prefix
+    buf.append(huge, 4);
+    EXPECT_THROW(buf.next(), common::Error);
+}
+
+// --- LeaseQueue (fake clock) -------------------------------------------------
+
+coord::TimePoint at_ms(double ms) {
+    return coord::TimePoint{} +
+           std::chrono::duration_cast<coord::TimePoint::duration>(
+               std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Two trivial manifests (the queue never looks inside them).
+std::vector<shard::ShardManifest> toy_shards(int count, std::int64_t units_each = 4) {
+    std::vector<shard::ShardManifest> shards;
+    for (int i = 0; i < count; ++i) {
+        shard::ShardManifest m;
+        m.job = gemm_job(4);
+        m.shard_index = i;
+        m.shard_count = count;
+        m.unit_begin = i * units_each;
+        m.unit_end = (i + 1) * units_each;
+        m.instance_count = count;
+        shards.push_back(m);
+    }
+    return shards;
+}
+
+coord::LeaseConfig toy_lease() {
+    coord::LeaseConfig lease;
+    lease.lease_ms = 1000.0;
+    lease.max_failures = 3;
+    lease.backoff = {100.0, 2.0, 1000.0, 0.0};  // jitter off: exact delays
+    lease.straggler_factor = 3.0;
+    lease.max_active_per_shard = 2;
+    return lease;
+}
+
+TEST(LeaseQueue, GrantsShardsInOrderThenRunsDry) {
+    coord::LeaseQueue queue(toy_shards(2), toy_lease());
+    auto l0 = queue.acquire("a", at_ms(0));
+    auto l1 = queue.acquire("b", at_ms(0));
+    ASSERT_TRUE(l0 && l1);
+    EXPECT_EQ(l0->shard, 0);
+    EXPECT_EQ(l0->attempt, 0);
+    EXPECT_EQ(l1->shard, 1);
+    EXPECT_FALSE(l0->hedge);
+    // Nothing grantable until a lease ages into hedge eligibility.
+    EXPECT_FALSE(queue.acquire("c", at_ms(0)).has_value());
+    EXPECT_EQ(queue.stats().granted, 2);
+}
+
+TEST(LeaseQueue, ExpiryRequeuesBehindBackoffAndHeartbeatPrevents) {
+    coord::LeaseQueue queue(toy_shards(1), toy_lease());
+    ASSERT_TRUE(queue.acquire("a", at_ms(0)));
+
+    // A heartbeat at 900 pushes the deadline to 1900.
+    EXPECT_TRUE(queue.heartbeat(0, 0, at_ms(900)));
+    EXPECT_TRUE(queue.expire(at_ms(1500)).empty());
+
+    auto lost = queue.expire(at_ms(1901));
+    ASSERT_EQ(lost.size(), 1u);
+    EXPECT_EQ(lost[0].shard, 0);
+    EXPECT_EQ(lost[0].worker, "a");
+    EXPECT_EQ(queue.state(0), coord::ShardState::Pending);
+    EXPECT_EQ(queue.stats().expirations, 1);
+    EXPECT_EQ(queue.stats().requeues, 1);
+
+    // The re-issue waits out the first backoff delay (100 ms, no jitter).
+    EXPECT_FALSE(queue.acquire("b", at_ms(1950)).has_value());
+    auto next = queue.next_event_ms(at_ms(1950));
+    ASSERT_TRUE(next.has_value());
+    EXPECT_NEAR(*next, 51.0, 1.5);
+    auto retry = queue.acquire("b", at_ms(2002));
+    ASSERT_TRUE(retry.has_value());
+    EXPECT_EQ(retry->attempt, 1);
+
+    // Heartbeats from the expired attempt are stale no-ops.
+    EXPECT_FALSE(queue.heartbeat(0, 0, at_ms(2005)));
+}
+
+TEST(LeaseQueue, RetryCapFailsShardAndLateCompletionRescuesIt) {
+    coord::LeaseConfig lease = toy_lease();
+    lease.max_failures = 2;
+    coord::LeaseQueue queue(toy_shards(1), lease);
+
+    ASSERT_TRUE(queue.acquire("a", at_ms(0)));
+    ASSERT_EQ(queue.expire(at_ms(1001)).size(), 1u);
+    ASSERT_TRUE(queue.acquire("a", at_ms(1200)));
+    ASSERT_EQ(queue.expire(at_ms(2500)).size(), 1u);
+
+    EXPECT_EQ(queue.state(0), coord::ShardState::Failed);
+    EXPECT_EQ(queue.stats().shards_failed, 1);
+    EXPECT_FALSE(queue.acquire("b", at_ms(3000)).has_value());
+    EXPECT_FALSE(queue.all_done());
+
+    // A zombie attempt finishing anyway still rescues the shard.
+    EXPECT_TRUE(queue.complete(0, 1));
+    EXPECT_EQ(queue.state(0), coord::ShardState::Done);
+    EXPECT_EQ(queue.stats().shards_failed, 0);
+    EXPECT_TRUE(queue.all_done());
+}
+
+TEST(LeaseQueue, WorkerLossRequeuesItsLeasesImmediately) {
+    coord::LeaseQueue queue(toy_shards(2), toy_lease());
+    ASSERT_TRUE(queue.acquire("a", at_ms(0)));
+    ASSERT_TRUE(queue.acquire("b", at_ms(0)));
+
+    auto lost = queue.worker_lost("a", at_ms(100));
+    ASSERT_EQ(lost.size(), 1u);
+    EXPECT_EQ(lost[0].shard, 0);
+    EXPECT_EQ(queue.state(0), coord::ShardState::Pending);
+    EXPECT_EQ(queue.state(1), coord::ShardState::Leased);
+    EXPECT_NE(queue.last_error(0).find("disconnected"), std::string::npos);
+}
+
+TEST(LeaseQueue, ReportedFailureRequeuesWithTheError) {
+    coord::LeaseQueue queue(toy_shards(1), toy_lease());
+    ASSERT_TRUE(queue.acquire("a", at_ms(0)));
+    queue.fail(0, 0, at_ms(50), "interpreter budget exceeded");
+    EXPECT_EQ(queue.state(0), coord::ShardState::Pending);
+    EXPECT_EQ(queue.stats().worker_failures, 1);
+    EXPECT_EQ(queue.last_error(0), "interpreter budget exceeded");
+    // Stale failure reports (unknown attempt) are ignored.
+    queue.fail(0, 7, at_ms(60), "ghost");
+    EXPECT_EQ(queue.stats().worker_failures, 1);
+}
+
+TEST(LeaseQueue, HedgesTheStragglerAndFirstCompletionWins) {
+    coord::LeaseQueue queue(toy_shards(1), toy_lease());  // straggler after 3000 ms
+    ASSERT_TRUE(queue.acquire("slow", at_ms(0)));
+
+    // Keep the straggler's lease alive; no hedge before the threshold.
+    EXPECT_TRUE(queue.heartbeat(0, 0, at_ms(2500)));
+    EXPECT_FALSE(queue.acquire("idle", at_ms(2999)).has_value());
+
+    auto hedge = queue.acquire("idle", at_ms(3001));
+    ASSERT_TRUE(hedge.has_value());
+    EXPECT_EQ(hedge->shard, 0);
+    EXPECT_EQ(hedge->attempt, 1);
+    EXPECT_TRUE(hedge->hedge);
+    EXPECT_EQ(queue.stats().hedges, 1);
+    // The attempt cap (2) blocks a third concurrent attempt.
+    EXPECT_FALSE(queue.acquire("eager", at_ms(9000)).has_value());
+
+    // First completion wins; the loser's is a duplicate to byte-verify.
+    EXPECT_TRUE(queue.complete(0, 1));
+    EXPECT_FALSE(queue.complete(0, 0));
+    EXPECT_EQ(queue.stats().completions, 1);
+    EXPECT_EQ(queue.stats().duplicate_completions, 1);
+    EXPECT_TRUE(queue.all_done());
+    EXPECT_EQ(queue.active_attempts(), 0);
+}
+
+TEST(LeaseQueue, NextEventTracksDeadlinesAndBackoffGates) {
+    coord::LeaseQueue queue(toy_shards(1), toy_lease());
+    // Fresh pending shard: nothing scheduled, the caller polls at its pace.
+    EXPECT_FALSE(queue.next_event_ms(at_ms(0)).has_value());
+    ASSERT_TRUE(queue.acquire("a", at_ms(0)));
+    // Next event is the lease deadline (1000), not hedge eligibility (3000).
+    auto next = queue.next_event_ms(at_ms(400));
+    ASSERT_TRUE(next.has_value());
+    EXPECT_NEAR(*next, 600.0, 1.5);
+}
+
+// --- End to end: coordinator + in-process workers ----------------------------
+
+/// The single-process reference: canonical report document + artifacts.
+std::string reference_doc(const shard::JobSpec& job, const std::string& artifact_dir) {
+    core::FuzzConfig config = shard::job_fuzz_config(job);
+    config.num_threads = 2;
+    config.artifact_dir = artifact_dir;
+    if (!artifact_dir.empty()) fs::create_directories(artifact_dir);
+    core::Fuzzer fuzzer(config);
+    std::vector<core::FuzzReport> reports =
+        fuzzer.audit(shard::load_job_program(job), shard::job_passes(job));
+    return shard::canonical_report_document(std::move(reports)).dump(2);
+}
+
+struct ClusterResult {
+    coord::ServeResult serve;
+    std::vector<coord::WorkerStats> workers;
+    std::vector<std::string> worker_errors;
+};
+
+/// Runs serve() in one thread and each worker in its own thread — the
+/// in-process stand-in for a process fleet, where a crash is an abandon
+/// fault (socket closed without a word, shard half-written) instead of a
+/// SIGKILL.  A worker that abandons is replaced by a fault-free clone,
+/// mirroring the coordinator's process-mode respawn.
+ClusterResult run_cluster(const coord::CoordConfig& config,
+                          std::vector<coord::WorkerConfig> workers) {
+    ClusterResult result;
+    std::mutex mu;
+    std::exception_ptr serve_error;
+    std::thread coordinator([&] {
+        try {
+            result.serve = coord::serve(config);
+        } catch (...) {
+            serve_error = std::current_exception();
+        }
+    });
+    std::vector<std::thread> threads;
+    for (coord::WorkerConfig wc : workers) {
+        threads.emplace_back([&, wc]() mutable {
+            try {
+                coord::WorkerStats stats = coord::run_worker(wc);
+                bool abandoned = stats.abandoned;
+                {
+                    std::lock_guard<std::mutex> lock(mu);
+                    result.workers.push_back(stats);
+                }
+                if (abandoned) {
+                    wc.fault = coord::FaultPlan{};
+                    wc.worker_id += "-respawn";
+                    coord::WorkerStats again = coord::run_worker(wc);
+                    std::lock_guard<std::mutex> lock(mu);
+                    result.workers.push_back(again);
+                }
+            } catch (const std::exception& e) {
+                std::lock_guard<std::mutex> lock(mu);
+                result.worker_errors.push_back(e.what());
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    coordinator.join();
+    if (serve_error) std::rethrow_exception(serve_error);
+    return result;
+}
+
+coord::CoordConfig cluster_config(const std::string& dir, const shard::JobSpec& job) {
+    coord::CoordConfig config;
+    config.job = job;
+    config.shard_count = 4;
+    config.checkpoint_interval = 2;
+    config.socket_path = dir + "/coord.sock";
+    config.records_dir = dir + "/records";
+    config.artifact_dir = dir + "/artifacts";
+    config.lease.lease_ms = 600.0;
+    config.lease.heartbeat_ms = 150.0;
+    config.lease.max_failures = 8;
+    config.lease.backoff = {50.0, 2.0, 200.0, 0.2};
+    config.lease.straggler_factor = 50.0;  // hedging off: faults drive this test
+    config.linger_ms = 8000.0;             // wait for stalled duplicates to land
+    return config;
+}
+
+coord::WorkerConfig cluster_worker(const coord::CoordConfig& config, int index) {
+    coord::WorkerConfig wc;
+    wc.socket_path = config.socket_path;
+    wc.worker_id = "w" + std::to_string(index);
+    wc.num_threads = 1;
+    return wc;
+}
+
+TEST(CoordEndToEnd, SurvivesCrashAndStallAtWorkerCounts124) {
+    const shard::JobSpec job = gemm_job(6);
+    const std::string ref_dir = scratch_dir("e2e_ref");
+    const std::string want_doc = reference_doc(job, ref_dir + "/artifacts");
+    const auto want_artifacts = dir_contents(ref_dir + "/artifacts");
+    ASSERT_FALSE(want_artifacts.empty()) << "job produced no reproducer artifacts; "
+                                            "the artifact byte-comparison would be vacuous";
+
+    for (int worker_count : {1, 2, 4}) {
+        SCOPED_TRACE("worker_count=" + std::to_string(worker_count));
+        const std::string dir = scratch_dir("e2e_n" + std::to_string(worker_count));
+        coord::CoordConfig config = cluster_config(dir, job);
+
+        std::vector<coord::WorkerConfig> workers;
+        for (int i = 0; i < worker_count; ++i) workers.push_back(cluster_worker(config, i));
+        // One worker crashes mid-shard (after its first durable
+        // checkpoint); one stalls past its lease.  At n=1 the crasher's
+        // respawned clone carries the stall, so both faults still happen.
+        workers[0].fault = coord::FaultPlan::parse("abandon-after-units=3");
+        if (worker_count > 1) {
+            workers[1].fault = coord::FaultPlan::parse("delay-lease-ms=2000");
+        } else {
+            // Single worker: pile the stall onto the same first lease — the
+            // delay expires the lease, the abandon then crashes the attempt,
+            // and the fault-free respawned clone finishes the audit alone.
+            workers[0].fault.delay_lease_ms = 2000.0;
+        }
+
+        ClusterResult result = run_cluster(config, workers);
+        EXPECT_TRUE(result.worker_errors.empty())
+            << "worker error: " << result.worker_errors.front();
+
+        const coord::CoordStats& stats = result.serve.stats;
+        EXPECT_EQ(stats.shards_merged, config.shard_count);
+        EXPECT_EQ(stats.queue.completions, config.shard_count);
+        EXPECT_GE(stats.workers_lost, 1);  // the abandoned connection
+
+        const std::string got_doc =
+            shard::canonical_report_document(result.serve.reports).dump(2);
+        EXPECT_EQ(got_doc, want_doc);
+        EXPECT_EQ(dir_contents(config.artifact_dir), want_artifacts);
+    }
+}
+
+TEST(CoordEndToEnd, StalledWorkerLosesTheRaceAndItsBytesAreVerified) {
+    const shard::JobSpec job = gemm_job(4);
+    const std::string ref_dir = scratch_dir("dup_ref");
+    const std::string want_doc = reference_doc(job, "");
+
+    const std::string dir = scratch_dir("dup");
+    coord::CoordConfig config = cluster_config(dir, job);
+    config.shard_count = 1;  // one shard, so both workers race for it
+    config.artifact_dir.clear();
+    config.lease.lease_ms = 400.0;
+
+    std::vector<coord::WorkerConfig> workers;
+    workers.push_back(cluster_worker(config, 0));
+    workers.push_back(cluster_worker(config, 1));
+    // w0 takes the only shard, then sleeps far past its lease without
+    // heartbeats; w1 gets the re-issue and completes first; w0's eventual
+    // completion must be accepted as a byte-identical duplicate.
+    workers[0].fault = coord::FaultPlan::parse("drop-heartbeats,delay-lease-ms=2500");
+
+    // Stagger the start so w0 deterministically leases the shard first.
+    ClusterResult result;
+    {
+        std::mutex mu;
+        std::exception_ptr serve_error;
+        std::thread coordinator([&] {
+            try {
+                result.serve = coord::serve(config);
+            } catch (...) {
+                serve_error = std::current_exception();
+            }
+        });
+        std::thread first([&] {
+            try {
+                result.workers.push_back(coord::run_worker(workers[0]));
+            } catch (const std::exception& e) {
+                std::lock_guard<std::mutex> lock(mu);
+                result.worker_errors.push_back(e.what());
+            }
+        });
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        std::thread second([&] {
+            try {
+                result.workers.push_back(coord::run_worker(workers[1]));
+            } catch (const std::exception& e) {
+                std::lock_guard<std::mutex> lock(mu);
+                result.worker_errors.push_back(e.what());
+            }
+        });
+        first.join();
+        second.join();
+        coordinator.join();
+        if (serve_error) std::rethrow_exception(serve_error);
+    }
+
+    EXPECT_TRUE(result.worker_errors.empty()) << result.worker_errors.front();
+    const coord::CoordStats& stats = result.serve.stats;
+    EXPECT_EQ(stats.queue.expirations, 1);
+    EXPECT_EQ(stats.queue.completions, 1);
+    EXPECT_EQ(stats.queue.duplicate_completions, 1);
+    EXPECT_EQ(stats.duplicate_files_verified, 1);
+    // Both attempts' record files exist and are byte-identical — the
+    // determinism contract, enforced per completion.
+    const std::string a0 = read_file(config.records_dir + "/lease-s0-a0.jsonl");
+    const std::string a1 = read_file(config.records_dir + "/lease-s0-a1.jsonl");
+    EXPECT_EQ(a0, a1);
+    EXPECT_EQ(shard::canonical_report_document(result.serve.reports).dump(2), want_doc);
+}
+
+TEST(CoordEndToEnd, CrashedShardIsSalvagedFromItsCheckpoint) {
+    const shard::JobSpec job = gemm_job(6);
+    const std::string dir = scratch_dir("salvage");
+    coord::CoordConfig config = cluster_config(dir, job);
+    config.shard_count = 2;
+    config.artifact_dir.clear();
+
+    std::vector<coord::WorkerConfig> workers;
+    workers.push_back(cluster_worker(config, 0));
+    // Abandon after >3 units with checkpoint_interval=2: exactly one
+    // durable chunk, so the replacement must salvage 2 units.
+    workers[0].fault = coord::FaultPlan::parse("abandon-after-units=3");
+
+    ClusterResult result = run_cluster(config, workers);
+    EXPECT_TRUE(result.worker_errors.empty());
+    std::int64_t salvaged = 0;
+    for (const coord::WorkerStats& w : result.workers) salvaged += w.salvages;
+    EXPECT_GE(salvaged, 1);
+    EXPECT_EQ(result.serve.stats.shards_merged, 2);
+    EXPECT_EQ(shard::canonical_report_document(result.serve.reports).dump(2),
+              reference_doc(job, ""));
+}
+
+}  // namespace
+}  // namespace ff

@@ -277,30 +277,101 @@ TEST(ShardRecords, WriterReaderRoundTripWithTornTail) {
     EXPECT_EQ(done.records.size(), 20u);
 }
 
-TEST(ShardRecords, ReaderRejectsCorruptStreams) {
+TEST(ShardRecords, FirstCheckpointPublishesAtomically) {
+    const std::string dir = scratch_dir("records_publish");
+    const std::string path = dir + "/records-0.jsonl";
+    auto writer = shard::RecordWriter::create(path, tiny_manifest(0, 8));
+    writer.write_record(0, core::TrialRecord{});
+    writer.write_record(1, core::TrialRecord{});
+    // Until the first checkpoint the stream lives at `<path>.tmp`: a reader
+    // can never observe a record file without a durable checkpoint.
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_TRUE(fs::exists(path + ".tmp"));
+
+    writer.checkpoint(2);
+    EXPECT_TRUE(fs::exists(path));
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+    EXPECT_EQ(shard::read_record_file(path).checkpoint, 2);
+
+    // Later checkpoints append in place; no .tmp reappears.
+    writer.write_record(2, core::TrialRecord{});
+    writer.checkpoint(3);
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+    EXPECT_EQ(shard::read_record_file(path).checkpoint, 3);
+}
+
+/// Runs `fn`, requires it to throw FileParseError, and requires every
+/// string in `needles` to appear in the message — the "which file, which
+/// line, what was expected" contract of the parse diagnostics.
+template <typename Fn>
+void expect_file_parse_error(Fn fn, const std::vector<std::string>& needles) {
+    try {
+        fn();
+        FAIL() << "expected a FileParseError";
+    } catch (const common::FileParseError& e) {
+        const std::string msg = e.what();
+        for (const std::string& needle : needles)
+            EXPECT_NE(msg.find(needle), std::string::npos)
+                << "message '" << msg << "' lacks '" << needle << "'";
+    }
+}
+
+TEST(ShardRecords, ReaderRejectsCorruptStreamsNamingFileAndLine) {
     const std::string dir = scratch_dir("records_corrupt");
     const shard::ShardManifest manifest = tiny_manifest(0, 8);
 
     {  // no header
         const std::string path = dir + "/no_header.jsonl";
         std::ofstream(path) << "{\"type\":\"record\",\"unit\":0,\"rec\":{\"kind\":\"pass\"}}\n";
-        EXPECT_THROW(shard::read_record_file(path), common::Error);
+        expect_file_parse_error([&] { shard::read_record_file(path); },
+                                {path, "line 1", "header"});
     }
-    {  // out-of-order record
+    {  // out-of-order record appended to a published stream
         const std::string path = dir + "/out_of_order.jsonl";
         auto writer = shard::RecordWriter::create(path, manifest);
         writer.write_record(0, core::TrialRecord{});
+        writer.write_record(1, core::TrialRecord{});
+        writer.checkpoint(2);
         writer.append_raw("{\"rec\":{\"kind\":\"pass\"},\"type\":\"record\",\"unit\":5}\n");
-        EXPECT_THROW(shard::read_record_file(path), common::Error);
+        // Lines: header, two records, checkpoint, then the corrupt one.
+        expect_file_parse_error([&] { shard::read_record_file(path); },
+                                {path, "line 5", "unit 5", "unit 2 was expected"});
     }
     {  // checkpoint claiming units its records do not cover
         const std::string path = dir + "/bad_checkpoint.jsonl";
         auto writer = shard::RecordWriter::create(path, manifest);
         writer.write_record(0, core::TrialRecord{});
+        writer.checkpoint(1);
         writer.append_raw("{\"completed\":5,\"type\":\"checkpoint\"}\n");
-        EXPECT_THROW(shard::read_record_file(path), common::Error);
+        expect_file_parse_error([&] { shard::read_record_file(path); },
+                                {path, "line 4", "claims 5 units", "records cover 1"});
+    }
+    {  // malformed JSON mid-file (only a torn *final* line is forgiven)
+        const std::string path = dir + "/mid_file_garbage.jsonl";
+        auto writer = shard::RecordWriter::create(path, manifest);
+        writer.write_record(0, core::TrialRecord{});
+        writer.checkpoint(1);
+        writer.append_raw("{\"type\":\"rec\n{\"type\":\"checkpoint\",\"completed\":1}\n");
+        expect_file_parse_error([&] { shard::read_record_file(path); },
+                                {path, "line 4", "column"});
     }
     EXPECT_THROW(shard::read_record_file(dir + "/missing.jsonl"), common::Error);
+}
+
+TEST(ShardPlanner, ManifestFileErrorsNameFileLineAndField) {
+    const std::string dir = scratch_dir("manifest_errors");
+    {  // JSON syntax error: file + line + column
+        const std::string path = dir + "/syntax.json";
+        std::ofstream(path) << "{\n  \"job\": {,}\n}\n";
+        expect_file_parse_error([&] { shard::load_manifest_file(path); }, {path, "line 2"});
+    }
+    {  // well-formed JSON missing a field: file + field name
+        const std::string path = dir + "/missing_field.json";
+        common::Json j = tiny_manifest(0, 8).to_json();
+        j.as_object().erase("unit_end");
+        std::ofstream(path) << j.dump();
+        expect_file_parse_error([&] { shard::load_manifest_file(path); }, {path, "unit_end"});
+    }
 }
 
 // --- End-to-end: shard counts, interruption, merge validation -----------------
@@ -490,7 +561,22 @@ TEST(ArtifactErrors, SurfacedInReportAndAuditTable) {
     EXPECT_EQ(table_errors, errors);
     const std::string table = core::audit_table(summaries);
     EXPECT_NE(table.find("Artifact errors"), std::string::npos);
-    EXPECT_NE(table.find(std::to_string(errors)), std::string::npos);
+    // Each failing transformation's row carries its own error count (the
+    // audit-wide total is split per row, so searching for it would only
+    // ever match stray timing digits).
+    for (const auto& s : summaries) {
+        if (s.artifact_errors == 0) continue;
+        std::istringstream lines(table);
+        std::string line;
+        bool found = false;
+        while (std::getline(lines, line)) {
+            if (line.find(s.transformation) != std::string::npos &&
+                line.find(std::to_string(s.artifact_errors)) != std::string::npos)
+                found = true;
+        }
+        EXPECT_TRUE(found) << "no table row shows " << s.artifact_errors
+                           << " artifact error(s) for " << s.transformation;
+    }
 }
 
 }  // namespace

@@ -15,6 +15,15 @@
 //       the single-process reference (same canonical report document);
 //   ffaudit replay testcase.json
 //       re-runs a reproducer artifact through the differential tester.
+//
+// The fault-tolerant workflow (docs/ARCHITECTURE.md "Coordinator"):
+//
+//   ffaudit serve --workload gemm --records-dir records/ --spawn-workers 4
+//       plans the shards, leases them to workers over a unix socket,
+//       re-issues crashed/expired leases, hedges stragglers, and folds
+//       completions into the same canonical report as `ffaudit run`;
+//   ffaudit worker --socket records/coord.sock
+//       one worker: lease, execute, report, repeat until the audit is done.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -23,6 +32,9 @@
 #include <vector>
 
 #include "common/error.h"
+#include "coord/coordinator.h"
+#include "coord/fault.h"
+#include "coord/worker.h"
 #include "core/report.h"
 #include "core/testcase_io.h"
 #include "shard/manifest.h"
@@ -35,6 +47,18 @@ using namespace ff;
 
 namespace {
 
+// Exit codes: scripts (scripts/coord_chaos.py, CI) branch on these, so
+// each failure class gets a stable, distinct value (see usage()).
+constexpr int kExitOk = 0;           ///< Success.
+constexpr int kExitInternal = 1;     ///< Unexpected error (bug or environment).
+constexpr int kExitUsage = 2;        ///< Bad command line.
+constexpr int kExitInterrupted = 3;  ///< run-shard stopped early; resumable.
+constexpr int kExitJob = 4;          ///< Job construction failed (bad workload/passes/SDFG).
+constexpr int kExitExecution = 5;    ///< The audit/shard itself failed to execute.
+constexpr int kExitMerge = 6;        ///< Merge/coverage validation failed.
+constexpr int kExitParse = 7;        ///< Malformed input file (manifest/records/testcase).
+constexpr int kExitCoordinator = 8;  ///< Coordinator/worker gave up.
+
 int usage(const char* detail = nullptr) {
     if (detail) std::fprintf(stderr, "ffaudit: %s\n\n", detail);
     std::fprintf(stderr,
@@ -45,6 +69,8 @@ int usage(const char* detail = nullptr) {
                  "  run-shard  execute one shard manifest (checkpointed, resumable)\n"
                  "  merge      merge complete shard record files into the canonical report\n"
                  "  run        single-process audit emitting the same canonical report\n"
+                 "  serve      coordinate a fault-tolerant audit over a unix socket\n"
+                 "  worker     execute leases from a `ffaudit serve` coordinator\n"
                  "  replay     re-run a reproducer test case JSON\n"
                  "\n"
                  "job options (plan, run):\n"
@@ -66,8 +92,32 @@ int usage(const char* detail = nullptr) {
                  "merge:     --records-dir <dir> | --records <file>... \n"
                  "           [--artifact-dir <dir>] [--out <file>] [--threads <n>]\n"
                  "run:       [--threads <n>] [--artifact-dir <dir>] [--out <file>]\n"
-                 "replay:    <testcase.json>\n");
-    return 2;
+                 "serve:     --records-dir <dir> [--socket <path>] [--shards <n>]\n"
+                 "           [--spawn-workers <n>] [--worker-threads <n>] [--out <file>]\n"
+                 "           [--artifact-dir <dir>] [--checkpoint-interval <n>]\n"
+                 "           [--lease-ms <x>] [--heartbeat-ms <x>] [--max-failures <n>]\n"
+                 "           [--backoff-base-ms <x>] [--backoff-max-ms <x>]\n"
+                 "           [--straggler-factor <x>] [--linger-ms <x>]\n"
+                 "           [--max-respawns <n>] [--worker-fault <k>=<spec>] [--quiet]\n"
+                 "worker:    --socket <path> [--id <name>] [--threads <n>]\n"
+                 "           [--trial-chunk <n>] [--fault <spec>]\n"
+                 "           [--connect-attempts <n>] [--quiet]\n"
+                 "           fault <spec>: kill-after-units=N | abandon-after-units=N |\n"
+                 "                         delay-lease-ms=N | drop-heartbeats (comma-joined)\n"
+                 "replay:    <testcase.json>\n"
+                 "\n"
+                 "exit codes:\n"
+                 "  0  success (replay: reproduced)\n"
+                 "  1  internal/unexpected error (replay: did not reproduce)\n"
+                 "  2  usage error\n"
+                 "  3  shard interrupted before completion (rerun to resume)\n"
+                 "  4  job construction failed (unknown workload/pass set, bad SDFG)\n"
+                 "  5  audit execution failed\n"
+                 "  6  merge or coverage validation failed\n"
+                 "  7  malformed input file (manifest, record stream, test case)\n"
+                 "  8  coordinator gave up (shard permanently failed, determinism\n"
+                 "     violation) or worker lost the coordinator\n");
+    return kExitUsage;
 }
 
 /// Value of a --flag; advances `i`.  Throws common::Error when missing.
@@ -190,8 +240,7 @@ int cmd_run_shard(const std::vector<std::string>& args) {
     if (records_path.empty() && records_dir.empty())
         return usage("run-shard needs --records or --records-dir");
 
-    const shard::ShardManifest manifest =
-        shard::ShardManifest::from_json(common::Json::parse_file(manifest_path));
+    const shard::ShardManifest manifest = shard::load_manifest_file(manifest_path);
     if (records_path.empty()) {
         std::filesystem::create_directories(records_dir);
         records_path = records_path_for(records_dir, manifest.shard_index);
@@ -204,7 +253,7 @@ int cmd_run_shard(const std::vector<std::string>& args) {
                 static_cast<long long>(manifest.unit_begin),
                 static_cast<long long>(manifest.unit_end), records_path.c_str(),
                 result.completed ? "" : " (INTERRUPTED — rerun to resume)");
-    return result.completed ? 0 : 3;
+    return result.completed ? kExitOk : kExitInterrupted;
 }
 
 int cmd_merge(const std::vector<std::string>& args) {
@@ -255,12 +304,126 @@ int cmd_run(const std::vector<std::string>& args) {
     core::FuzzConfig config = shard::job_fuzz_config(job);
     config.num_threads = threads;
     config.artifact_dir = artifact_dir;
+    const ir::SDFG program = shard::load_job_program(job);
+    auto passes = shard::job_passes(job);
     core::Fuzzer fuzzer(config);
-    std::vector<core::FuzzReport> reports =
-        fuzzer.audit(shard::load_job_program(job), shard::job_passes(job));
+    std::vector<core::FuzzReport> reports;
+    try {
+        reports = fuzzer.audit(program, std::move(passes));
+    } catch (const common::Error& e) {
+        std::fprintf(stderr, "ffaudit run: %s\n", e.what());
+        return kExitExecution;
+    }
     std::printf("audited %zu instance(s)\n", reports.size());
     emit_report(std::move(reports), out_path);
     return 0;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+    coord::CoordConfig config;
+    config.verbose = true;
+    std::string out_path;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (parse_job_flag(config.job, args, i)) continue;
+        if (args[i] == "--shards") config.shard_count = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--checkpoint-interval")
+            config.checkpoint_interval = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--socket") config.socket_path = flag_value(args, i);
+        else if (args[i] == "--records-dir") config.records_dir = flag_value(args, i);
+        else if (args[i] == "--artifact-dir") config.artifact_dir = flag_value(args, i);
+        else if (args[i] == "--out") out_path = flag_value(args, i);
+        else if (args[i] == "--threads")
+            config.prepare_threads = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--spawn-workers")
+            config.spawn_workers = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--worker-threads")
+            config.worker_threads = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--max-respawns")
+            config.max_respawns = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--lease-ms") config.lease.lease_ms = std::stod(flag_value(args, i));
+        else if (args[i] == "--heartbeat-ms")
+            config.lease.heartbeat_ms = std::stod(flag_value(args, i));
+        else if (args[i] == "--max-failures")
+            config.lease.max_failures = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--backoff-base-ms")
+            config.lease.backoff.base_ms = std::stod(flag_value(args, i));
+        else if (args[i] == "--backoff-max-ms")
+            config.lease.backoff.max_ms = std::stod(flag_value(args, i));
+        else if (args[i] == "--straggler-factor")
+            config.lease.straggler_factor = std::stod(flag_value(args, i));
+        else if (args[i] == "--linger-ms") config.linger_ms = std::stod(flag_value(args, i));
+        else if (args[i] == "--quiet") config.verbose = false;
+        else if (args[i] == "--worker-fault") {
+            const std::string kv = flag_value(args, i);
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos)
+                return usage(("--worker-fault expects <k>=<spec>: " + kv).c_str());
+            const int index = static_cast<int>(std::stoll(kv.substr(0, eq)));
+            try {
+                coord::FaultPlan::parse(kv.substr(eq + 1));  // validate up front
+            } catch (const common::Error& e) {
+                return usage(e.what());
+            }
+            config.worker_faults[index] = kv.substr(eq + 1);
+        } else return usage(("unknown serve option " + args[i]).c_str());
+    }
+    if (config.records_dir.empty()) return usage("serve needs --records-dir");
+    if (config.socket_path.empty()) config.socket_path = config.records_dir + "/coord.sock";
+    try {
+        finalize_job(config.job);
+        shard::load_job_program(config.job);  // fail early with the job exit code
+        shard::job_passes(config.job);
+    } catch (const common::Error& e) {
+        std::fprintf(stderr, "ffaudit serve: %s\n", e.what());
+        return kExitJob;
+    }
+    if (!config.artifact_dir.empty()) std::filesystem::create_directories(config.artifact_dir);
+
+    coord::ServeResult result = coord::serve(config);
+    const coord::CoordStats& s = result.stats;
+    std::printf("served %d shard(s): %lld lease(s), %lld expiration(s), %lld requeue(s), "
+                "%lld hedge(s), %lld duplicate completion(s) (%d byte-verified), "
+                "%d worker(s) seen, %d lost, %d spawned\n",
+                s.shards_merged, static_cast<long long>(s.queue.granted),
+                static_cast<long long>(s.queue.expirations),
+                static_cast<long long>(s.queue.requeues),
+                static_cast<long long>(s.queue.hedges),
+                static_cast<long long>(s.queue.duplicate_completions),
+                s.duplicate_files_verified, s.workers_seen, s.workers_lost, s.workers_spawned);
+    emit_report(std::move(result.reports), out_path);
+    return kExitOk;
+}
+
+int cmd_worker(const std::vector<std::string>& args) {
+    coord::WorkerConfig config;
+    config.verbose = true;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--socket") config.socket_path = flag_value(args, i);
+        else if (args[i] == "--id") config.worker_id = flag_value(args, i);
+        else if (args[i] == "--threads") config.num_threads = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--trial-chunk")
+            config.trial_chunk = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--fault") {
+            try {
+                config.fault = coord::FaultPlan::parse(flag_value(args, i));
+            } catch (const common::Error& e) {
+                return usage(e.what());
+            }
+        }
+        else if (args[i] == "--connect-attempts")
+            config.max_connect_attempts = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--quiet") config.verbose = false;
+        else return usage(("unknown worker option " + args[i]).c_str());
+    }
+    if (config.socket_path.empty()) return usage("worker needs --socket");
+
+    coord::WorkerStats stats = coord::run_worker(config);
+    std::printf("worker done: %d shard(s) completed, %d failed, %d salvage(s), "
+                "%lld unit(s)%s\n",
+                stats.shards_completed, stats.shards_failed, stats.salvages,
+                static_cast<long long>(stats.units_run),
+                stats.abandoned ? " (abandoned by fault plan)" : "");
+    return kExitOk;
 }
 
 int cmd_replay(const std::vector<std::string>& args) {
@@ -278,6 +441,23 @@ int cmd_replay(const std::vector<std::string>& args) {
 
 }  // namespace
 
+namespace {
+
+/// The exit code an uncaught common::Error maps to, per command: the
+/// dominant failure class of each command's main phase.  Malformed input
+/// files override to kExitParse via the exception type, and commands remap
+/// their secondary phases inline (e.g. `run` returns kExitExecution for an
+/// audit failure but kExitJob for a bad job).
+int default_error_code(const std::string& command) {
+    if (command == "plan" || command == "run") return kExitJob;
+    if (command == "run-shard") return kExitExecution;
+    if (command == "merge") return kExitMerge;
+    if (command == "serve" || command == "worker") return kExitCoordinator;
+    return kExitInternal;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string command = argv[1];
@@ -287,11 +467,22 @@ int main(int argc, char** argv) {
         if (command == "run-shard") return cmd_run_shard(args);
         if (command == "merge") return cmd_merge(args);
         if (command == "run") return cmd_run(args);
+        if (command == "serve") return cmd_serve(args);
+        if (command == "worker") return cmd_worker(args);
         if (command == "replay") return cmd_replay(args);
-        if (command == "--help" || command == "-h" || command == "help") return usage();
+        if (command == "--help" || command == "-h" || command == "help") {
+            usage();  // asked for, so not an error
+            return kExitOk;
+        }
         return usage(("unknown command " + command).c_str());
+    } catch (const common::ParseError& e) {
+        std::fprintf(stderr, "ffaudit %s: %s\n", command.c_str(), e.what());
+        return kExitParse;
+    } catch (const common::Error& e) {
+        std::fprintf(stderr, "ffaudit %s: %s\n", command.c_str(), e.what());
+        return default_error_code(command);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "ffaudit %s: %s\n", command.c_str(), e.what());
-        return 1;
+        return kExitInternal;
     }
 }
