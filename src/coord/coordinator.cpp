@@ -4,6 +4,7 @@
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -32,6 +33,11 @@ using common::Json;
 double ms_since(TimePoint then, TimePoint now) {
     return std::chrono::duration<double, std::milli>(now - then).count();
 }
+
+/// SO_SNDTIMEO for worker connections: far above any healthy local-socket
+/// send, far below wedging the audit (a timed-out peer is dropped and its
+/// lease re-issued).
+constexpr long kSendTimeoutMs = 2000;
 
 /// One accepted worker connection.
 struct Connection {
@@ -160,6 +166,9 @@ void Server::spawn_worker(int index, const std::string& fault_spec) {
 }
 
 void Server::reap_children() {
+    // Respawns are deferred past the loop: spawn_worker() appends to
+    // children_, which would invalidate this iteration.
+    std::vector<int> respawn;
     for (Child& child : children_) {
         if (child.pid <= 0) continue;
         int status = 0;
@@ -177,9 +186,10 @@ void Server::reap_children() {
             ++respawns_used_;
             // The replacement is always fault-free: the fault is a plan,
             // not a property of the slot.
-            spawn_worker(index, "");
+            respawn.push_back(index);
         }
     }
+    for (int index : respawn) spawn_worker(index, "");
 }
 
 void Server::accept_connections() {
@@ -190,6 +200,15 @@ void Server::accept_connections() {
             if (errno == EINTR) continue;
             throw common::Error(std::string("accept: ") + std::strerror(errno));
         }
+        // A worker that stops reading (stalled process, full socket
+        // buffer) must not wedge the single-threaded event loop inside
+        // write_frame's blocking send: bound every send and let the
+        // timeout error drop the connection — lease expiry then re-issues
+        // its shard as usual.
+        timeval tv{};
+        tv.tv_sec = static_cast<time_t>(kSendTimeoutMs / 1000);
+        tv.tv_usec = static_cast<suseconds_t>(kSendTimeoutMs % 1000 * 1000);
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
         Connection conn;
         conn.fd = fd;
         conns_.push_back(std::move(conn));
@@ -342,6 +361,18 @@ void Server::handle_lease_request(Connection& conn, TimePoint now) {
 
 void Server::handle_complete(Connection& conn, int shard, int attempt, TimePoint now) {
     conn.shard = conn.attempt = -1;
+    if (shard < 0 || shard >= static_cast<int>(manifests_.size())) {
+        // A malformed frame is a protocol error, not a coordinator abort:
+        // without this check the out-of-range index would escape as
+        // std::out_of_range past read_connection's common::Error net.
+        std::string error = "complete: shard " + std::to_string(shard) + " out of range";
+        log("rejected completion from " + conn.key + ": " + error);
+        Json reject = Json::object();
+        reject["type"] = "reject";
+        reject["error"] = error;
+        write_frame(conn.fd, reject);
+        return;
+    }
     std::string path = records_path(shard, attempt);
     shard::ShardRecordFile file;
     bool valid = true;
@@ -502,12 +533,15 @@ ServeResult Server::run() {
         }
 
         if (pr > 0) {
-            if (pfds[0].revents & POLLIN) accept_connections();
-            // Walk backwards: read_connection may erase the entry.
+            // Read before accepting: pfds was sized from the pre-poll
+            // conns_, so accepting first would leave the loop indexing
+            // past pfds' end.  Walk backwards: read_connection may erase
+            // the entry.  Fresh connections get polled next tick.
             for (std::size_t i = conns_.size(); i-- > 0;) {
                 short revents = pfds[i + 1].revents;
                 if (revents & (POLLIN | POLLERR | POLLHUP)) read_connection(i);
             }
+            if (pfds[0].revents & POLLIN) accept_connections();
         }
 
         now = Clock::now();

@@ -66,6 +66,12 @@ void write_frame(int fd, const common::Json& message) {
         ssize_t n = ::send(fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // SO_SNDTIMEO expired: the peer stopped draining its
+                // socket.  The caller drops the connection; the frame is
+                // torn mid-wire, which the peer's FrameBuffer never sees.
+                throw common::Error("send timed out (peer not reading)");
+            }
             throw_errno("send");
         }
         off += static_cast<std::size_t>(n);

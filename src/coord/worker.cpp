@@ -209,6 +209,23 @@ Worker::Outcome Worker::execute_lease(Json grant) {
     } else if (fault_armed_ && config_.fault.abandon_after_units >= 0) {
         options.interrupt_after_units = config_.fault.abandon_after_units;
     }
+    if (!config_.fault.drop_heartbeats) {
+        // Each durable checkpoint doubles as a heartbeat alongside the
+        // timer thread's beats (FramedConn::write is mutex-guarded, so
+        // the two interleave safely).  Write errors are swallowed: the
+        // records are durable and duplicate completions byte-verify, so
+        // the shard is worth finishing even on a dead socket.
+        options.on_progress = [this, shard, attempt](std::int64_t) {
+            Json beat = Json::object();
+            beat["type"] = "heartbeat";
+            beat["shard"] = shard;
+            beat["attempt"] = attempt;
+            try {
+                conn_.write(beat);
+            } catch (const common::Error&) {
+            }
+        };
+    }
 
     shard::RunShardResult result;
     {

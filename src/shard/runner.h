@@ -35,11 +35,11 @@ struct RunShardOptions {
     /// exactly like a kill -9 mid-write.  < 0 runs to completion.
     std::int64_t interrupt_after_units = -1;
     /// Called after each durable checkpoint with the units completed by
-    /// this invocation so far.  The coordinator's workers send lease
-    /// heartbeats (and fire fault injections) from here; results cannot
-    /// depend on it.  Exceptions propagate out of run_shard after the
-    /// checkpoint they follow, so everything already reported durable
-    /// stays durable.
+    /// this invocation so far.  The coordinator's workers send a
+    /// progress-triggered lease heartbeat from here (coord/worker.cpp);
+    /// results cannot depend on it.  Exceptions propagate out of
+    /// run_shard after the checkpoint they follow, so everything already
+    /// reported durable stays durable.
     std::function<void(std::int64_t units_done)> on_progress;
 };
 
