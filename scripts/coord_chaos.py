@@ -12,7 +12,15 @@ injected faults and checks the fault-tolerance acceptance bar end to end:
    an expiry and a re-issue);
 3. every serve run must exit 0, report byte-identical to step 1, artifacts
    byte-identical to step 1, and its summary line must prove the faults
-   actually fired (a worker was lost and a replacement spawned).
+   actually fired (a worker was lost and a replacement spawned);
+4. poison-unit quarantine: two workers under hostile-trial faults — one
+   spins forever after its first checkpoint (heartbeats keep flowing, only
+   the wall-clock watchdog catches it, exit 113) and one allocates without
+   bound (caught by RLIMIT_AS, exit 114) — with `--max-failures 1`, so each
+   death permanently fails its shard.  serve must quarantine the blamed
+   units, finish the audit, exit 9, name the quarantined units, and still
+   produce a report byte-identical to step 1 (the blamed units are benign:
+   the faults lived in the workers, not the trials).
 
 Usage:  python3 scripts/coord_chaos.py --ffaudit build/ffaudit
 Exits non-zero on the first violated expectation.
@@ -60,12 +68,14 @@ def summary_counts(output: str) -> dict:
     m = re.search(
         r"served (\d+) shard\(s\): (\d+) lease\(s\), (\d+) expiration\(s\), "
         r"(\d+) requeue\(s\), (\d+) hedge\(s\), (\d+) duplicate completion\(s\) "
-        r"\((\d+) byte-verified\), (\d+) worker\(s\) seen, (\d+) lost, (\d+) spawned",
+        r"\((\d+) byte-verified\), (\d+) worker\(s\) seen, (\d+) lost, (\d+) spawned, "
+        r"(\d+) quarantined unit\(s\), (\d+) split shard\(s\)",
         output)
     if not m:
         fail("serve printed no summary line")
     keys = ("shards", "leases", "expirations", "requeues", "hedges",
-            "duplicates", "verified", "seen", "lost", "spawned")
+            "duplicates", "verified", "seen", "lost", "spawned",
+            "quarantined", "split")
     return dict(zip(keys, (int(g) for g in m.groups())))
 
 
@@ -120,6 +130,9 @@ def main() -> None:
                      "the killed worker was never replaced")
             if n > 1 and counts["expirations"] < 1:
                 fail(f"n={n}: no lease expired — the stall fault never fired")
+            if counts["quarantined"] != 0:
+                fail(f"n={n}: {counts['quarantined']} unit(s) quarantined in a "
+                     "scenario whose faults are all recoverable")
 
             # 3. The acceptance bar: bytes, not summaries.
             if report.read_bytes() != ref_report.read_bytes():
@@ -131,7 +144,49 @@ def main() -> None:
                   f"{counts['expirations']} expiration(s), {counts['duplicates']} "
                   f"duplicate(s) byte-verified)")
 
-    print("coord_chaos: PASS (crash + stall at every worker count; reports byte-identical)")
+        # 4. Poison-unit quarantine: a spinner (watchdog, exit 113) and a
+        #    memory hog (RLIMIT_AS, exit 114), each permanently failing its
+        #    shard at --max-failures 1.  The audit must still finish — with
+        #    the blamed units quarantined, exit code 9, and a report that is
+        #    byte-identical to the single-process one (the faults live in
+        #    the workers, so every blamed unit is benign under re-run).
+        report = root / "report-poison.json"
+        art = root / "art-poison"
+        out = run([ffaudit, "serve", *JOB_FLAGS,
+                   "--shards", "4",
+                   "--checkpoint-interval", "2",
+                   "--records-dir", root / "records-poison",
+                   "--artifact-dir", art,
+                   "--out", report,
+                   "--spawn-workers", "2",
+                   "--lease-ms", "4000",
+                   "--heartbeat-ms", "300",
+                   "--linger-ms", "8000",
+                   "--max-failures", "1",
+                   "--worker-watchdog-ms", "600",
+                   "--worker-rlimit-as", str(1 << 30),
+                   "--worker-fault", "0=spin-after-units=1",
+                   "--worker-fault", "1=hog-memory-after-units=1"],
+                  expect_rc=9)
+        counts = summary_counts(out)
+        if counts["quarantined"] < 1:
+            fail("poison: nothing was quarantined — the poison faults never fired")
+        if counts["split"] < 1:
+            fail("poison: no shard remainder was split and re-issued")
+        if counts["lost"] < 2:
+            fail(f"poison: only {counts['lost']} worker(s) lost — expected both "
+                 "the spinner (watchdog) and the hog (rlimit) to die")
+        if "quarantined units:" not in out:
+            fail("poison: summary does not name the quarantined units")
+        if report.read_bytes() != ref_report.read_bytes():
+            fail("poison: quarantined report differs from the single-process report")
+        if dir_bytes(art) != ref_artifacts:
+            fail("poison: reproducer artifacts differ from the single-process ones")
+        print(f"coord_chaos: poison byte-identical ({counts['quarantined']} unit(s) "
+              f"quarantined, {counts['split']} split shard(s), exit 9)")
+
+    print("coord_chaos: PASS (crash + stall at every worker count; poison units "
+          "quarantined; reports byte-identical)")
 
 
 if __name__ == "__main__":

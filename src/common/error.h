@@ -56,6 +56,22 @@ public:
         : Error("state machine exceeded " + std::to_string(limit) + " transitions") {}
 };
 
+/// A deterministic per-execution resource budget was exhausted (map-point
+/// fuel or the allocation budget).  The message names only the limit —
+/// never a running counter — so every execution tier raises byte-identical
+/// text from whichever program point it detects exhaustion at.
+class ResourceError : public Error {
+public:
+    explicit ResourceError(const std::string& msg) : Error(msg) {}
+
+    static ResourceError points(long long limit) {
+        return ResourceError("map execution exceeded " + std::to_string(limit) + " points");
+    }
+    static ResourceError alloc(long long limit) {
+        return ResourceError("allocation exceeded " + std::to_string(limit) + " bytes");
+    }
+};
+
 /// Malformed textual input (expression / tasklet / JSON parsing).
 class ParseError : public Error {
 public:

@@ -20,6 +20,7 @@
 
 #include "common/error.h"
 #include "coord/protocol.h"
+#include "coord/worker.h"
 #include "shard/records.h"
 
 namespace ff::coord {
@@ -62,6 +63,22 @@ std::string slurp(const std::string& path) {
     if (!in) throw common::Error("cannot read " + path + ": " + std::strerror(errno));
     std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
     return bytes;
+}
+
+/// Deep copy of a trial slot (TrialRecord is move-only because of the
+/// retained inputs) — the quarantine path copies a record out of the
+/// side audit's slots into the main audit.
+core::TrialRecord clone_record(const core::TrialRecord& rec) {
+    core::TrialRecord out;
+    out.kind = rec.kind;
+    out.verdict = rec.verdict;
+    out.detail = rec.detail;
+    out.original_points = rec.original_points;
+    out.original_instructions = rec.original_instructions;
+    out.transformed_points = rec.transformed_points;
+    out.transformed_instructions = rec.transformed_instructions;
+    if (rec.inputs) out.inputs = std::make_unique<interp::Context>(*rec.inputs);
+    return out;
 }
 
 /// The whole serve() run as an object so the destructor can tear down
@@ -114,13 +131,26 @@ private:
     void handle_complete(Connection& conn, int shard, int attempt, TimePoint now);
     void fold_records(shard::ShardRecordFile& file);
     void announce_done(TimePoint now);
-    /// Throws when a Failed shard has no surviving attempt anywhere.
-    void check_hopeless();
+    /// Quarantines every Failed shard that has no surviving attempt
+    /// anywhere (a zombie holder can still rescue it, so those wait).
+    void handle_failed_shards(TimePoint now);
+    /// Poison-unit quarantine of one permanently Failed shard: salvage the
+    /// best durable checkpoint, blame the first unfinished unit, re-run it
+    /// in-process under tightened budgets, and split the remainder into
+    /// fresh sub-shards.
+    void quarantine_shard(int shard, TimePoint now);
+    /// The side audit the quarantine re-run executes in — same job, but
+    /// with the tightened resource budgets; prepared lazily on the first
+    /// quarantine (preparation is deterministic, so the blamed unit's
+    /// record is exactly what any budgeted run would produce).
+    core::PreparedAudit& quarantine_audit();
 
     const CoordConfig& config_;
     std::vector<shard::ShardManifest> manifests_;
     std::unique_ptr<core::Fuzzer> fuzzer_;
     std::unique_ptr<core::PreparedAudit> audit_;
+    std::unique_ptr<core::Fuzzer> quarantine_fuzzer_;
+    std::unique_ptr<core::PreparedAudit> quarantine_audit_;
     std::unique_ptr<LeaseQueue> queue_;
     int listen_fd_ = -1;
     std::vector<Connection> conns_;
@@ -144,6 +174,14 @@ void Server::spawn_worker(int index, const std::string& fault_spec) {
                                      id,
                                      "--threads",
                                      std::to_string(config_.worker_threads)};
+    if (config_.worker_watchdog_ms > 0.0) {
+        args.push_back("--watchdog-ms");
+        args.push_back(std::to_string(config_.worker_watchdog_ms));
+    }
+    if (config_.worker_rlimit_as > 0) {
+        args.push_back("--rlimit-as");
+        args.push_back(std::to_string(config_.worker_rlimit_as));
+    }
     if (!fault_spec.empty()) {
         args.push_back("--fault");
         args.push_back(fault_spec);
@@ -179,6 +217,11 @@ void Server::reap_children() {
         std::string how = WIFSIGNALED(status)
                               ? "signal " + std::to_string(WTERMSIG(status))
                               : "exit " + std::to_string(WEXITSTATUS(status));
+        if (WIFEXITED(status) && WEXITSTATUS(status) == kWorkerExitWatchdog) {
+            how += " — watchdog: stalled mid-unit";
+        } else if (WIFEXITED(status) && WEXITSTATUS(status) == kWorkerExitMemoryCap) {
+            how += " — address-space cap hit";
+        }
         log("worker w" + std::to_string(index) + " pid " + std::to_string(child.pid) +
             " terminated (" + how + ")");
         child.pid = -1;
@@ -408,6 +451,15 @@ void Server::handle_complete(Connection& conn, int shard, int attempt, TimePoint
         ++stats_.shards_merged;
         log("shard " + std::to_string(shard) + " complete (attempt " +
             std::to_string(attempt) + " by " + conn.key + ")");
+    } else if (winner_path_[shard].empty()) {
+        // The shard was resolved by quarantine, not by a completed record
+        // file: its prefix came from a salvaged checkpoint and the blamed
+        // unit from the tightened in-process re-run.  There is no winner
+        // file to verify against (and the blamed unit's record may
+        // legitimately differ under the tightened budgets), so the zombie's
+        // completion is acknowledged and its records are left unused.
+        log("late completion of quarantined shard " + std::to_string(shard) + " attempt " +
+            std::to_string(attempt) + " acknowledged (no byte-verify: quarantine resolved it)");
     } else {
         // The determinism contract's strongest field check: a re-executed
         // shard must reproduce the winner's record stream byte for byte.
@@ -456,19 +508,143 @@ void Server::announce_done(TimePoint now) {
     log("all shards complete");
 }
 
-void Server::check_hopeless() {
+void Server::handle_failed_shards(TimePoint now) {
+    bool quarantined = false;
     for (int shard = 0; shard < queue_->shard_count(); ++shard) {
         if (queue_->state(shard) != ShardState::Failed) continue;
         // A zombie attempt (expired lease, worker still executing) can
-        // still rescue the shard; only give up once nobody holds it.
+        // still rescue the shard; only quarantine once nobody holds it.
         bool held = false;
         for (const Connection& conn : conns_) held = held || conn.shard == shard;
         if (!held) {
-            throw common::Error("shard " + std::to_string(shard) + " permanently failed after " +
-                                std::to_string(queue_->attempts_issued(shard)) +
-                                " attempts: " + queue_->last_error(shard));
+            quarantine_shard(shard, now);
+            quarantined = true;
         }
     }
+    // The quarantine re-run blocked this thread for however long the blamed
+    // unit took; healthy workers kept heartbeating into an unread socket the
+    // whole time.  Push every active deadline past the blackout so the next
+    // expire() doesn't fail their leases for the coordinator's own absence.
+    if (quarantined) queue_->extend_active(Clock::now());
+}
+
+core::PreparedAudit& Server::quarantine_audit() {
+    if (quarantine_audit_) return *quarantine_audit_;
+    core::FuzzConfig qc = shard::job_fuzz_config(config_.job);
+    qc.num_threads = 1;
+    qc.artifact_dir = "";  // artifacts are saved by the main audit's finalize
+    if (qc.diff.exec.max_points <= 0 || qc.diff.exec.max_points > config_.quarantine_max_points) {
+        qc.diff.exec.max_points = config_.quarantine_max_points;
+    }
+    if (qc.diff.exec.max_alloc_bytes <= 0 ||
+        qc.diff.exec.max_alloc_bytes > config_.quarantine_max_alloc_bytes) {
+        qc.diff.exec.max_alloc_bytes = config_.quarantine_max_alloc_bytes;
+    }
+    log("preparing quarantine audit (max_points=" + std::to_string(qc.diff.exec.max_points) +
+        ", max_alloc_bytes=" + std::to_string(qc.diff.exec.max_alloc_bytes) + ")");
+    const ir::SDFG program = shard::load_job_program(config_.job);
+    quarantine_fuzzer_ = std::make_unique<core::Fuzzer>(qc);
+    quarantine_audit_ = std::make_unique<core::PreparedAudit>(
+        quarantine_fuzzer_->prepare(program, shard::job_passes(config_.job)));
+    return *quarantine_audit_;
+}
+
+void Server::quarantine_shard(int shard, TimePoint now) {
+    // By value: the split loop below grows manifests_, which would leave a
+    // reference dangling on reallocation.
+    const shard::ShardManifest manifest = manifests_.at(static_cast<std::size_t>(shard));
+    log("quarantining shard " + std::to_string(shard) + " after " +
+        std::to_string(queue_->attempts_issued(shard)) +
+        " attempts: " + queue_->last_error(shard));
+
+    // Salvage the attempt file with the deepest durable checkpoint — every
+    // record under it is a fact (fsync'd, pure function of the job).
+    shard::ShardRecordFile best;
+    std::string best_path;
+    bool have = false;
+    const std::string want = manifest.to_json().dump();
+    for (int a = 0; a < queue_->attempts_issued(shard); ++a) {
+        const std::string path = records_path(shard, a);
+        try {
+            shard::ShardRecordFile file = shard::read_record_file(path);
+            if (file.manifest.to_json().dump() != want) continue;
+            if (!have || file.checkpoint > best.checkpoint) {
+                best = std::move(file);
+                best_path = path;
+                have = true;
+            }
+        } catch (const common::Error&) {
+            continue;  // unreadable/foreign attempt file
+        }
+    }
+
+    if (have && best.complete()) {
+        // The shard actually finished — an attempt's file is complete on
+        // disk even though no completion frame ever arrived (the worker
+        // died between the last checkpoint and the report).
+        queue_->complete(shard, 0);
+        winner_path_[static_cast<std::size_t>(shard)] = best_path;
+        fold_records(best);
+        ++stats_.shards_merged;
+        log("quarantine: shard " + std::to_string(shard) + " salvaged complete from " +
+            best_path);
+        return;
+    }
+
+    const std::int64_t salvaged_to = have ? best.checkpoint : manifest.unit_begin;
+    if (have) fold_records(best);
+
+    // Blame the first unfinished unit: every attempt died somewhere in
+    // [salvaged_to, unit_end), and the deterministic scheduler reaches
+    // salvaged_to first, so it is the prime suspect.  Re-run it here,
+    // under budgets that guarantee the coordinator survives it, and record
+    // whatever verdict that produces.
+    const std::int64_t blamed = salvaged_to;
+    if (blamed < manifest.unit_end) {
+        core::PreparedAudit& side = quarantine_audit();
+        side.run_range(blamed, blamed + 1);
+        const std::size_t instance =
+            static_cast<std::size_t>(blamed / std::max(side.max_trials(), 1));
+        const int trial = static_cast<int>(blamed % std::max(side.max_trials(), 1));
+        const auto& slots = side.records(instance);
+        if (!slots.empty()) {
+            const core::TrialRecord& rec = slots.at(static_cast<std::size_t>(trial));
+            log("quarantine: unit " + std::to_string(blamed) + " re-ran in-process (" +
+                (rec.kind == core::TrialRecord::Kind::Failed
+                     ? std::string(core::verdict_name(rec.verdict))
+                     : std::string("no failure")) +
+                ")");
+            audit_->set_record(blamed, clone_record(rec));
+            ++stats_.records_merged;
+        }
+        stats_.quarantined_units.push_back(blamed);
+    }
+
+    // Close out the poisoned shard and re-issue the rest as fresh, smaller
+    // shards — bisection: if another poison unit lurks in the remainder,
+    // the next quarantine blames it from a tighter range.
+    queue_->complete(shard, 0);
+    ++stats_.shards_quarantined;
+    const std::int64_t rest_begin = std::min(blamed + 1, manifest.unit_end);
+    if (rest_begin < manifest.unit_end) {
+        const std::int64_t mid = rest_begin + (manifest.unit_end - rest_begin) / 2;
+        const std::pair<std::int64_t, std::int64_t> halves[2] = {
+            {rest_begin, mid}, {mid, manifest.unit_end}};
+        for (const auto& [begin, end] : halves) {
+            if (begin >= end) continue;
+            shard::ShardManifest sub = manifest;
+            sub.shard_index = static_cast<int>(manifests_.size());
+            sub.unit_begin = begin;
+            sub.unit_end = end;
+            manifests_.push_back(sub);
+            winner_path_.emplace_back();
+            const int index = queue_->add_shard(sub);
+            ++stats_.shards_split;
+            log("quarantine: re-issued [" + std::to_string(begin) + ", " + std::to_string(end) +
+                ") as shard " + std::to_string(index));
+        }
+    }
+    (void)now;
 }
 
 ServeResult Server::run() {
@@ -513,11 +689,12 @@ ServeResult Server::run() {
 
         if (queue_->all_done() && !done_) announce_done(now);
         if (done_) {
-            bool anyone_running = false;
-            for (const Connection& conn : conns_) {
-                anyone_running = anyone_running || conn.shard >= 0;
-            }
-            if (!anyone_running || ms_since(done_at_, now) >= config_.linger_ms) break;
+            // Serve until every worker has read its 'done' and closed, or
+            // linger expires.  An idle worker sleeping on a wait retry must
+            // find the socket alive for its next lease-request — tearing it
+            // down the instant the last shard lands would burn that worker's
+            // whole reconnect budget against a vanished socket.
+            if (conns_.empty() || ms_since(done_at_, now) >= config_.linger_ms) break;
         }
 
         double timeout = config_.poll_ms;
@@ -554,7 +731,7 @@ ServeResult Server::run() {
             // welcome.
         }
         reap_children();
-        if (!done_) check_hopeless();
+        if (!done_) handle_failed_shards(now);
     }
 
     ServeResult result;

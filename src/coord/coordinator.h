@@ -58,6 +58,20 @@ struct CoordConfig {
     std::map<int, std::string> worker_faults;
     /// Binary to exec for spawned workers ("" = /proc/self/exe).
     std::string ffaudit_path;
+    /// Wall-clock watchdog passed to spawned workers (--watchdog-ms); a
+    /// worker that lands no durable checkpoint for this long exits with
+    /// kWorkerExitWatchdog.  0 = off.
+    double worker_watchdog_ms = 0.0;
+    /// RLIMIT_AS cap passed to spawned workers (--rlimit-as); a worker
+    /// whose allocations hit the cap exits with kWorkerExitMemoryCap.
+    /// 0 = off.
+    std::int64_t worker_rlimit_as = 0;
+    /// Budget caps for the quarantine re-run of a blamed unit.  The re-run
+    /// executes in the coordinator's own process, so it must terminate no
+    /// matter how hostile the trial: the caps apply whenever the job's own
+    /// budgets are unset or looser.
+    std::int64_t quarantine_max_points = 16'000'000;
+    std::int64_t quarantine_max_alloc_bytes = 256ll << 20;
     bool verbose = false;         ///< Log lease traffic to stderr.
 };
 
@@ -72,6 +86,13 @@ struct CoordStats {
     int workers_seen = 0;     ///< Hello handshakes accepted.
     int workers_lost = 0;     ///< Connections that dropped.
     int workers_spawned = 0;  ///< Child processes forked (incl. respawns).
+    /// Flat unit indices re-run in-process under tightened budgets after
+    /// their shard permanently failed (poison-unit quarantine), in blame
+    /// order.  Non-empty turns ffaudit serve's exit code into
+    /// "completed with quarantined units".
+    std::vector<std::int64_t> quarantined_units;
+    int shards_quarantined = 0;  ///< Failed shards resolved by quarantine.
+    int shards_split = 0;        ///< Fresh sub-shards re-issued from remainders.
 };
 
 /// What serve() produced.
@@ -81,9 +102,14 @@ struct ServeResult {
 };
 
 /// Runs the coordinator to completion and returns the finalized reports.
-/// Throws common::Error when a shard fails permanently (retry cap with no
-/// surviving attempt), when a duplicate completion is not byte-identical
-/// (a determinism violation — never acceptable), or on socket/plan errors.
+/// A shard that fails permanently (retry cap with no surviving attempt) is
+/// quarantined rather than fatal: the best durable checkpoint is salvaged,
+/// the first unfinished unit is blamed and re-run in-process under
+/// tightened budgets, and the remainder is split into fresh sub-shards —
+/// the audit finishes, with the blamed units listed in
+/// CoordStats::quarantined_units.  Throws common::Error when a duplicate
+/// completion is not byte-identical (a determinism violation — never
+/// acceptable) or on socket/plan errors.
 ServeResult serve(const CoordConfig& config);
 
 }  // namespace ff::coord

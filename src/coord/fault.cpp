@@ -57,6 +57,10 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
             plan.kill_after_units = parse_i64(key, value);
         } else if (key == "abandon-after-units" && has_value) {
             plan.abandon_after_units = parse_i64(key, value);
+        } else if (key == "spin-after-units" && has_value) {
+            plan.spin_after_units = parse_i64(key, value);
+        } else if (key == "hog-memory-after-units" && has_value) {
+            plan.hog_memory_after_units = parse_i64(key, value);
         } else if (key == "delay-lease-ms" && has_value) {
             plan.delay_lease_ms = parse_f64(key, value);
         } else if (key == "drop-heartbeats" && !has_value) {
@@ -65,6 +69,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
             throw common::Error(
                 "fault plan: unknown token '" + token +
                 "' (expected kill-after-units=N, abandon-after-units=N, "
+                "spin-after-units=N, hog-memory-after-units=N, "
                 "delay-lease-ms=N or drop-heartbeats)");
         }
     }
@@ -81,6 +86,10 @@ std::string FaultPlan::describe() const {
     if (kill_after_units >= 0) add("kill-after-units=" + std::to_string(kill_after_units));
     if (abandon_after_units >= 0) {
         add("abandon-after-units=" + std::to_string(abandon_after_units));
+    }
+    if (spin_after_units >= 0) add("spin-after-units=" + std::to_string(spin_after_units));
+    if (hog_memory_after_units >= 0) {
+        add("hog-memory-after-units=" + std::to_string(hog_memory_after_units));
     }
     if (drop_heartbeats) add("drop-heartbeats");
     if (delay_lease_ms > 0.0) {

@@ -35,6 +35,19 @@ struct FaultPlan {
     /// < 0 = disabled.
     std::int64_t abandon_after_units = -1;
 
+    /// Spin forever (inside the runner's progress hook, so heartbeats keep
+    /// flowing) after this many units of the first leased shard — a poison
+    /// unit that stalls the worker without ever missing a heartbeat.  Only
+    /// the wall-clock watchdog can catch it (worker exit code 113).
+    /// < 0 = disabled.
+    std::int64_t spin_after_units = -1;
+
+    /// Allocate memory without bound after this many units of the first
+    /// leased shard — a poison unit with a hostile footprint.  Under an
+    /// --rlimit-as cap the allocation fails and the worker dies with exit
+    /// code 114.  < 0 = disabled.
+    std::int64_t hog_memory_after_units = -1;
+
     /// Never send heartbeats, so every lease this worker holds expires
     /// even while it keeps (slowly, from the coordinator's view) working.
     bool drop_heartbeats = false;
@@ -45,15 +58,16 @@ struct FaultPlan {
 
     /// True when no fault is configured.
     bool empty() const {
-        return kill_after_units < 0 && abandon_after_units < 0 && !drop_heartbeats &&
-               delay_lease_ms <= 0.0;
+        return kill_after_units < 0 && abandon_after_units < 0 && spin_after_units < 0 &&
+               hog_memory_after_units < 0 && !drop_heartbeats && delay_lease_ms <= 0.0;
     }
 
     /// Parses a comma-separated spec, e.g.
     /// "kill-after-units=3,drop-heartbeats" or "delay-lease-ms=500".
-    /// Keys: kill-after-units, abandon-after-units, drop-heartbeats,
-    /// delay-lease-ms.  Empty spec = no faults.  Throws common::Error on
-    /// unknown keys or malformed values.
+    /// Keys: kill-after-units, abandon-after-units, spin-after-units,
+    /// hog-memory-after-units, drop-heartbeats, delay-lease-ms.  Empty
+    /// spec = no faults.  Throws common::Error on unknown keys or
+    /// malformed values.
     static FaultPlan parse(const std::string& spec);
 
     /// Human-readable summary ("none" when empty) for logs.

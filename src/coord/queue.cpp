@@ -128,6 +128,19 @@ bool LeaseQueue::complete(int shard, int attempt) {
     return true;
 }
 
+void LeaseQueue::extend_active(TimePoint now) {
+    for (ShardEntry& entry : shards_) {
+        for (Attempt& a : entry.active) a.deadline = add_ms(now, config_.lease_ms);
+    }
+}
+
+int LeaseQueue::add_shard(const shard::ShardManifest& manifest) {
+    ShardEntry entry;
+    entry.manifest = manifest;
+    shards_.push_back(std::move(entry));
+    return static_cast<int>(shards_.size()) - 1;
+}
+
 void LeaseQueue::fail(int shard, int attempt, TimePoint now, const std::string& error) {
     if (shard < 0 || shard >= shard_count()) return;
     ShardEntry& entry = shards_[shard];

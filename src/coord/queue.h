@@ -116,6 +116,20 @@ public:
     /// requeued behind backoff or declared Failed at the cap.
     void fail(int shard, int attempt, TimePoint now, const std::string& error);
 
+    /// Resets every active attempt's deadline to now + lease_ms.  Called
+    /// after the event loop was blocked (a quarantine re-run executes trials
+    /// in the coordinator's own thread): workers kept heartbeating into an
+    /// unread socket, so expiring their leases for the coordinator's own
+    /// absence would be wrong — and at a tight max_failures it would cascade
+    /// healthy shards into quarantine.
+    void extend_active(TimePoint now);
+
+    /// Appends a fresh Pending shard mid-run and returns its index — the
+    /// coordinator's quarantine path re-issues the unfinished remainder of
+    /// a permanently Failed shard as new (smaller) shards.  The new shard
+    /// starts with a clean failure count and no backoff gate.
+    int add_shard(const shard::ShardManifest& manifest);
+
     /// An attempt lost to expiry or disconnection.
     struct LostAttempt {
         int shard = 0;

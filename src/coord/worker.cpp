@@ -1,16 +1,23 @@
 #include "coord/worker.h"
 
 #include <signal.h>
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <memory>
+#include <new>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -77,6 +84,77 @@ private:
     std::atomic<bool> stop_{false};
     std::thread thread_;
 };
+
+/// Per-lease wall-clock watchdog.  The main thread calls reset() from the
+/// runner's progress hook (one durable checkpoint = one reset); when the
+/// gap since the last reset exceeds the budget the whole process dies
+/// with kWorkerExitWatchdog via _Exit — no unwinding, exactly like an
+/// external kill, so the record file keeps whatever was durable.  A
+/// poison unit that spins forever keeps heartbeating (HeartbeatThread is
+/// a separate thread) but stops resetting; only this catches it.
+class Watchdog {
+public:
+    Watchdog(double budget_ms, const std::string& worker_id) {
+        if (budget_ms <= 0.0) return;
+        last_ms_.store(now_ms(), std::memory_order_relaxed);
+        thread_ = std::thread([this, budget_ms, worker_id] {
+            while (!stop_.load(std::memory_order_relaxed)) {
+                sleep_ms(20.0);
+                const std::int64_t idle = now_ms() - last_ms_.load(std::memory_order_relaxed);
+                if (static_cast<double>(idle) > budget_ms) {
+                    std::fprintf(stderr,
+                                 "[worker %s] watchdog: no progress in %lld ms; exiting %d\n",
+                                 worker_id.c_str(), static_cast<long long>(idle),
+                                 kWorkerExitWatchdog);
+                    std::_Exit(kWorkerExitWatchdog);
+                }
+            }
+        });
+    }
+
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+    ~Watchdog() { disarm(); }
+
+    void reset() { last_ms_.store(now_ms(), std::memory_order_relaxed); }
+
+    /// Stops the timer for good — called once the shard result is in, so
+    /// slow coordinator replies are never mistaken for a stalled trial.
+    void disarm() {
+        stop_.store(true, std::memory_order_relaxed);
+        if (thread_.joinable()) thread_.join();
+    }
+
+private:
+    static std::int64_t now_ms() {
+        return std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+
+    std::atomic<std::int64_t> last_ms_{0};
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+/// The hog-memory fault: allocate and touch blocks until the process
+/// ceiling pushes back.  Meant to run under --rlimit-as, where either the
+/// new-handler (installed by run_worker) or the bad_alloc below ends the
+/// process with kWorkerExitMemoryCap; without a cap it runs until the OS
+/// kills it, which the coordinator survives as an ordinary crash.
+[[noreturn]] void hog_memory() {
+    std::vector<std::unique_ptr<char[]>> hoard;
+    try {
+        for (;;) {
+            constexpr std::size_t kBlock = std::size_t(16) << 20;
+            auto block = std::make_unique<char[]>(kBlock);
+            std::memset(block.get(), 0x5a, kBlock);  // touch: address space AND memory
+            hoard.push_back(std::move(block));
+        }
+    } catch (const std::bad_alloc&) {
+    }
+    std::_Exit(kWorkerExitMemoryCap);
+}
 
 class Worker {
 public:
@@ -200,6 +278,8 @@ Worker::Outcome Worker::execute_lease(Json grant) {
 
     salvage(manifest, records_path, grant["resume_candidates"]);
 
+    Watchdog watchdog(config_.watchdog_ms, id_);
+
     shard::RunShardOptions options;
     options.num_threads = config_.num_threads;
     options.trial_chunk = config_.trial_chunk;
@@ -209,23 +289,39 @@ Worker::Outcome Worker::execute_lease(Json grant) {
     } else if (fault_armed_ && config_.fault.abandon_after_units >= 0) {
         options.interrupt_after_units = config_.fault.abandon_after_units;
     }
-    if (!config_.fault.drop_heartbeats) {
-        // Each durable checkpoint doubles as a heartbeat alongside the
-        // timer thread's beats (FramedConn::write is mutex-guarded, so
-        // the two interleave safely).  Write errors are swallowed: the
-        // records are durable and duplicate completions byte-verify, so
-        // the shard is worth finishing even on a dead socket.
-        options.on_progress = [this, shard, attempt](std::int64_t) {
-            Json beat = Json::object();
-            beat["type"] = "heartbeat";
-            beat["shard"] = shard;
-            beat["attempt"] = attempt;
-            try {
-                conn_.write(beat);
-            } catch (const common::Error&) {
-            }
-        };
-    }
+    // Each durable checkpoint resets the watchdog, doubles as a heartbeat
+    // alongside the timer thread's beats (FramedConn::write is
+    // mutex-guarded, so the two interleave safely), and is where the
+    // poison faults fire.  Heartbeat write errors are swallowed: the
+    // records are durable and duplicate completions byte-verify, so the
+    // shard is worth finishing even on a dead socket.
+    options.on_progress = [this, &watchdog, shard, attempt](std::int64_t units_done) {
+        watchdog.reset();
+        if (fault_armed_ && config_.fault.hog_memory_after_units >= 0 &&
+            units_done > config_.fault.hog_memory_after_units) {
+            fault_armed_ = false;
+            log("fault: hogging memory after " + std::to_string(units_done) + " units");
+            hog_memory();  // never returns
+        }
+        if (fault_armed_ && config_.fault.spin_after_units >= 0 &&
+            units_done > config_.fault.spin_after_units) {
+            fault_armed_ = false;
+            log("fault: spinning after " + std::to_string(units_done) + " units");
+            // The HeartbeatThread keeps beating — from the lease queue's
+            // seat this worker looks perfectly healthy.  Only the
+            // wall-clock watchdog (or an external kill) ends this.
+            for (;;) sleep_ms(50.0);
+        }
+        if (config_.fault.drop_heartbeats) return;
+        Json beat = Json::object();
+        beat["type"] = "heartbeat";
+        beat["shard"] = shard;
+        beat["attempt"] = attempt;
+        try {
+            conn_.write(beat);
+        } catch (const common::Error&) {
+        }
+    };
 
     shard::RunShardResult result;
     {
@@ -235,6 +331,7 @@ Worker::Outcome Worker::execute_lease(Json grant) {
             result = shard::run_shard(manifest, records_path, options);
         } catch (const common::Error& e) {
             heartbeats.stop();
+            watchdog.disarm();
             log("shard " + std::to_string(shard) + " failed: " + e.what());
             ++stats_.shards_failed;
             Json failed = Json::object();
@@ -249,6 +346,7 @@ Worker::Outcome Worker::execute_lease(Json grant) {
             return Outcome::Continue;
         }
     }
+    watchdog.disarm();
 
     if (!result.completed) {
         // The interrupt hook only fires for an armed kill/abandon fault.
@@ -348,6 +446,20 @@ WorkerStats Worker::run() {
 
 WorkerStats run_worker(const WorkerConfig& config) {
     ignore_sigpipe();
+    if (config.rlimit_as_bytes > 0) {
+        struct rlimit lim;
+        lim.rlim_cur = static_cast<rlim_t>(config.rlimit_as_bytes);
+        lim.rlim_max = static_cast<rlim_t>(config.rlimit_as_bytes);
+        if (::setrlimit(RLIMIT_AS, &lim) != 0) {
+            throw common::Error("worker: setrlimit(RLIMIT_AS, " +
+                                std::to_string(config.rlimit_as_bytes) +
+                                ") failed: " + std::strerror(errno));
+        }
+        // Under the cap, a failed allocation must kill ONLY this worker
+        // with a distinguishable code — never unwind into a Crash verdict
+        // that other runs (under other caps) would not reproduce.
+        std::set_new_handler([] { std::_Exit(kWorkerExitMemoryCap); });
+    }
     Worker worker(config);
     return worker.run();
 }

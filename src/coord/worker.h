@@ -26,6 +26,16 @@
 
 namespace ff::coord {
 
+/// Exit code of a worker killed by its own wall-clock watchdog: no
+/// durable progress for watchdog_ms, even though heartbeats may still
+/// have been flowing.  Distinct from any ffaudit exit code so the
+/// coordinator's reaper can name the cause.
+constexpr int kWorkerExitWatchdog = 113;
+
+/// Exit code of a worker that failed an allocation under its RLIMIT_AS
+/// cap — a hostile trial's footprint hit the process ceiling.
+constexpr int kWorkerExitMemoryCap = 114;
+
 /// One worker's knobs.
 struct WorkerConfig {
     std::string socket_path;   ///< The coordinator's unix socket.
@@ -40,6 +50,17 @@ struct WorkerConfig {
     /// Patience for a reply frame; generous, the coordinator answers every
     /// request promptly unless it is gone.
     double reply_timeout_ms = 60000.0;
+    /// Wall-clock containment: when > 0, a background watchdog kills the
+    /// process with kWorkerExitWatchdog if no durable checkpoint lands for
+    /// this long while a lease is executing.  Catches trials that spin
+    /// forever INSIDE a unit — those keep heartbeating (the beat thread is
+    /// independent), so only wall-clock progress exposes them.
+    double watchdog_ms = 0.0;
+    /// Address-space containment: when > 0, RLIMIT_AS is capped to this
+    /// many bytes at startup and any failed allocation exits with
+    /// kWorkerExitMemoryCap instead of unwinding into a nondeterministic
+    /// in-process verdict.
+    std::int64_t rlimit_as_bytes = 0;
     bool verbose = false;  ///< Log lease activity to stderr.
 };
 

@@ -12,13 +12,17 @@ const char* verdict_name(Verdict v) {
         case Verdict::TransformedHang: return "transformed-hang";
         case Verdict::InvalidCode: return "invalid-code";
         case Verdict::Uninteresting: return "uninteresting";
+        case Verdict::ResourceExhausted: return "resource-exhausted";
     }
     return "?";
 }
 
 Verdict verdict_from_name(const std::string& name) {
+    // Every enum value must appear here — the exhaustive round-trip test in
+    // tests/test_fuzzer.cpp fails on any gap.
     for (Verdict v : {Verdict::Pass, Verdict::SemanticsChanged, Verdict::TransformedCrash,
-                      Verdict::TransformedHang, Verdict::InvalidCode, Verdict::Uninteresting}) {
+                      Verdict::TransformedHang, Verdict::InvalidCode, Verdict::Uninteresting,
+                      Verdict::ResourceExhausted}) {
         if (name == verdict_name(v)) return v;
     }
     throw common::Error("unknown verdict name: " + name);
@@ -74,35 +78,57 @@ TrialOutcome DifferentialTester::run_trial(const interp::Context& inputs) {
 
     interp::Context ctx_original = inputs;
     const interp::ExecResult r1 = interp_original_.run(*original_, ctx_original);
+    // A resource-budget exhaustion on the *original* side is the input's
+    // fault, exactly like an original-side crash or hang: resampled.
     if (!r1.ok()) return TrialOutcome{Verdict::Uninteresting, r1.message};
+
+    TrialOutcome outcome;
+    outcome.original_points = r1.points;
+    outcome.original_instructions = r1.instructions;
 
     interp::Context ctx_transformed = inputs;
     const interp::ExecResult r2 = interp_transformed_.run(*transformed_, ctx_transformed);
-    if (r2.status == interp::ExecStatus::Hang)
-        return TrialOutcome{Verdict::TransformedHang, r2.message};
-    if (r2.status == interp::ExecStatus::Crash)
-        return TrialOutcome{Verdict::TransformedCrash, r2.message};
+    if (r2.status == interp::ExecStatus::Hang) {
+        outcome.verdict = Verdict::TransformedHang;
+        outcome.detail = r2.message;
+        return outcome;
+    }
+    if (r2.status == interp::ExecStatus::Crash) {
+        outcome.verdict = Verdict::TransformedCrash;
+        outcome.detail = r2.message;
+        return outcome;
+    }
+    if (r2.status == interp::ExecStatus::Resource) {
+        outcome.verdict = Verdict::ResourceExhausted;
+        outcome.detail = r2.message;
+        return outcome;
+    }
+    outcome.transformed_points = r2.points;
+    outcome.transformed_instructions = r2.instructions;
 
     // System-state comparison.
     for (const auto& name : *system_state_) {
         const bool in1 = ctx_original.has_buffer(name);
         const bool in2 = ctx_transformed.has_buffer(name);
         if (!in1 && !in2) continue;  // neither side touched it
-        if (in1 != in2)
-            return TrialOutcome{Verdict::SemanticsChanged,
-                                "system state container '" + name +
-                                    "' produced by only one side"};
+        if (in1 != in2) {
+            outcome.verdict = Verdict::SemanticsChanged;
+            outcome.detail = "system state container '" + name + "' produced by only one side";
+            return outcome;
+        }
         const auto mismatch = interp::compare_buffers(
             ctx_original.buffers.at(name), ctx_transformed.buffers.at(name), config_.threshold);
         if (mismatch) {
-            return TrialOutcome{
-                Verdict::SemanticsChanged,
-                "'" + name + "' differs at flat index " + std::to_string(mismatch->flat_index) +
-                    ": " + std::to_string(mismatch->lhs) + " vs " +
-                    std::to_string(mismatch->rhs)};
+            outcome.verdict = Verdict::SemanticsChanged;
+            outcome.detail = "'" + name + "' differs at flat index " +
+                             std::to_string(mismatch->flat_index) + ": " +
+                             std::to_string(mismatch->lhs) + " vs " +
+                             std::to_string(mismatch->rhs);
+            return outcome;
         }
     }
-    return TrialOutcome{Verdict::Pass, ""};
+    outcome.verdict = Verdict::Pass;
+    return outcome;
 }
 
 std::unique_ptr<DifferentialTester> TesterCache::acquire(

@@ -39,7 +39,18 @@ enum class Verdict {
     TransformedHang,   ///< Transformed side exceeded the transition budget.
     InvalidCode,       ///< apply() raised, or the result fails validation.
     Uninteresting,     ///< The *original* rejected the input; resampled.
+    /// Transformed side exhausted a deterministic resource budget
+    /// (interp::ExecConfig::max_points / max_alloc_bytes) that the original
+    /// stayed within.  A failing verdict: like a hang, it is a pure function
+    /// of (program, inputs, budget), so reports stay byte-identical at any
+    /// parallelism — budgets are part of the job key.
+    ResourceExhausted,
 };
+
+/// Number of Verdict enum values — lets tests iterate the enum exhaustively
+/// (the name<->value round-trip must cover every verdict).  Keep in sync
+/// with the last enumerator above.
+inline constexpr int kVerdictCount = static_cast<int>(Verdict::ResourceExhausted) + 1;
 
 /// Stable lower-case name of `v` (used in reports and artifacts).
 const char* verdict_name(Verdict v);
@@ -52,6 +63,14 @@ Verdict verdict_from_name(const std::string& name);
 struct TrialOutcome {
     Verdict verdict = Verdict::Pass;  ///< Classification of the trial.
     std::string detail;               ///< Human-readable mismatch/crash info.
+    /// Per-side execution cost (interp::ExecResult's counters), captured
+    /// only for a side that completed Ok — error-path counts can differ
+    /// between execution tiers and must never enter the record stream.
+    /// These seed the performance-differential verdict class (ROADMAP).
+    std::int64_t original_points = 0;
+    std::int64_t original_instructions = 0;
+    std::int64_t transformed_points = 0;
+    std::int64_t transformed_instructions = 0;
 };
 
 /// Comparison and execution parameters of the differential tester.

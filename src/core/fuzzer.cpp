@@ -216,6 +216,10 @@ void run_unit(InstanceJob& job, int trial, DifferentialTester& tester,
         return;
     }
     const TrialOutcome outcome = tester.run_trial(inputs);
+    rec.original_points = outcome.original_points;
+    rec.original_instructions = outcome.original_instructions;
+    rec.transformed_points = outcome.transformed_points;
+    rec.transformed_instructions = outcome.transformed_instructions;
     if (outcome.verdict == Verdict::Uninteresting) {
         rec.kind = TrialRecord::Kind::Uninteresting;
         return;

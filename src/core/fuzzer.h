@@ -95,6 +95,14 @@ struct FuzzReport {
     /// the whole pool, never a sum of per-thread rates.
     double trials_per_second = 0.0;
     std::string detail;         ///< Failure detail of the reported verdict.
+    /// Per-side execution cost summed over the counted trials (canonical
+    /// merge order, stopping at the first failure like `trials`).  A pure
+    /// function of the prepared job, so shard/thread counts never change it
+    /// — the first concrete surface of performance-differential verdicts.
+    std::int64_t original_points = 0;
+    std::int64_t original_instructions = 0;
+    std::int64_t transformed_points = 0;
+    std::int64_t transformed_instructions = 0;
     std::string artifact_path;  ///< Saved reproducer (failing instances only).
     /// Why writing the reproducer artifact failed (empty on success or when
     /// no artifact was due).  A failing instance with a configured

@@ -10,6 +10,10 @@ const TrialRecord* merge_trial_records(const std::vector<TrialRecord>& records,
                                        FuzzReport& report) {
     for (const TrialRecord& rec : records) {
         if (rec.kind == TrialRecord::Kind::NotRun) break;  // past the first failure
+        report.original_points += rec.original_points;
+        report.original_instructions += rec.original_instructions;
+        report.transformed_points += rec.transformed_points;
+        report.transformed_instructions += rec.transformed_instructions;
         if (rec.kind == TrialRecord::Kind::Uninteresting) {
             ++report.uninteresting;
             continue;

@@ -30,6 +30,14 @@ struct TrialRecord {
     Kind kind = Kind::NotRun;         ///< Slot state.
     Verdict verdict = Verdict::Pass;  ///< Failure classification (Failed only).
     std::string detail;               ///< Failure detail (Failed only).
+    /// Per-side execution cost of the trial (TrialOutcome's counters; zero
+    /// for a side that did not complete Ok).  Part of the record wire form
+    /// and summed into FuzzReport by the canonical merge — the seed of
+    /// performance-differential verdicts.
+    std::int64_t original_points = 0;
+    std::int64_t original_instructions = 0;
+    std::int64_t transformed_points = 0;
+    std::int64_t transformed_instructions = 0;
     /// Inputs are retained only for failing trials (artifact reproduction).
     std::unique_ptr<interp::Context> inputs;
 };

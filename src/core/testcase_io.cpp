@@ -1,9 +1,12 @@
 #include "core/testcase_io.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <string>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -90,6 +93,17 @@ interp::Context context_from_json(const Json& j) {
 Json trial_record_to_json(const TrialRecord& record) {
     Json j = Json::object();
     j["kind"] = trial_kind_name(record.kind);
+    if (record.kind != TrialRecord::Kind::NotRun) {
+        // Per-side cost counters [original points, original instructions,
+        // transformed points, transformed instructions] — deterministic per
+        // unit, so they participate in the byte-identity contract.
+        Json cost = Json::array();
+        cost.push_back(Json(record.original_points));
+        cost.push_back(Json(record.original_instructions));
+        cost.push_back(Json(record.transformed_points));
+        cost.push_back(Json(record.transformed_instructions));
+        j["cost"] = std::move(cost);
+    }
     if (record.kind == TrialRecord::Kind::Failed) {
         j["verdict"] = verdict_name(record.verdict);
         j["detail"] = record.detail;
@@ -101,6 +115,16 @@ Json trial_record_to_json(const TrialRecord& record) {
 TrialRecord trial_record_from_json(const Json& j) {
     TrialRecord record;
     record.kind = trial_kind_from_name(j.at("kind").as_string());
+    if (record.kind != TrialRecord::Kind::NotRun) {
+        const auto& cost = j.at("cost").as_array();
+        if (cost.size() != 4)
+            throw common::Error("trial record cost must have 4 entries, got " +
+                                std::to_string(cost.size()));
+        record.original_points = cost[0].as_int();
+        record.original_instructions = cost[1].as_int();
+        record.transformed_points = cost[2].as_int();
+        record.transformed_instructions = cost[3].as_int();
+    }
     if (record.kind == TrialRecord::Kind::Failed) {
         record.verdict = verdict_from_name(j.at("verdict").as_string());
         record.detail = j.at("detail").as_string();
@@ -119,6 +143,10 @@ Json fuzz_report_to_json(const FuzzReport& report) {
     j["verdict"] = verdict_name(report.verdict);
     j["trials"] = report.trials;
     j["uninteresting"] = report.uninteresting;
+    j["original_points"] = report.original_points;
+    j["original_instructions"] = report.original_instructions;
+    j["transformed_points"] = report.transformed_points;
+    j["transformed_instructions"] = report.transformed_instructions;
     j["threads"] = report.threads;
     j["seconds"] = report.seconds;
     j["trials_per_second"] = report.trials_per_second;
@@ -141,6 +169,10 @@ FuzzReport fuzz_report_from_json(const Json& j) {
     report.verdict = verdict_from_name(j.at("verdict").as_string());
     report.trials = static_cast<int>(j.at("trials").as_int());
     report.uninteresting = static_cast<int>(j.at("uninteresting").as_int());
+    report.original_points = j.at("original_points").as_int();
+    report.original_instructions = j.at("original_instructions").as_int();
+    report.transformed_points = j.at("transformed_points").as_int();
+    report.transformed_instructions = j.at("transformed_instructions").as_int();
     report.threads = static_cast<int>(j.at("threads").as_int());
     report.seconds = j.at("seconds").as_double();
     report.trials_per_second = j.at("trials_per_second").as_double();
@@ -210,16 +242,26 @@ std::string save_testcase_artifact(const std::string& dir, const Cutout& cutout,
     std::snprintf(name, sizeof(name), "testcase_%016llx.json",
                   static_cast<unsigned long long>(h));
     const std::string path = dir + "/" + name;
-    std::ofstream out(path);
+    // Publish atomically: write under a per-process temp name, then rename.
+    // The artifact name is content-derived, so two processes saving the same
+    // finding write identical bytes — a racing reader must only ever see a
+    // complete file, never a torn in-progress write.
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    std::ofstream out(tmp);
     if (!out) {
-        if (error) *error = "cannot open " + path + ": " + std::strerror(errno);
+        if (error) *error = "cannot open " + tmp + ": " + std::strerror(errno);
         return "";
     }
     out << text;
     out.close();
     if (out.fail()) {
-        if (error) *error = "short write to " + path + ": " + std::strerror(errno);
-        std::remove(path.c_str());  // never leave a truncated reproducer behind
+        if (error) *error = "short write to " + tmp + ": " + std::strerror(errno);
+        std::remove(tmp.c_str());  // never leave a truncated reproducer behind
+        return "";
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (error) *error = "cannot publish " + path + ": " + std::strerror(errno);
+        std::remove(tmp.c_str());
         return "";
     }
     return path;

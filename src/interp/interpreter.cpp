@@ -1,6 +1,7 @@
 #include "interp/interpreter.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "common/error.h"
@@ -48,6 +49,15 @@ RangePlan lower_range(const ir::Range& r, sym::SymbolTable& tab,
     rp.end = sym::CompiledExpr::lower(r.end, tab, &used);
     rp.step = sym::CompiledExpr::lower(r.step, tab, &used);
     return rp;
+}
+
+/// Saturating counter add: hostile iteration footprints (a kernel launch's
+/// point product can exceed int64) must clamp, never wrap into a fresh
+/// budget.
+std::int64_t saturating_add(std::int64_t counter, __int128 amount) {
+    const __int128 sum = static_cast<__int128>(counter) + amount;
+    constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+    return sum > kMax ? kMax : static_cast<std::int64_t>(sum);
 }
 
 }  // namespace
@@ -400,6 +410,9 @@ void Interpreter::rebind_plan_cache(PlanCachePtr plans) {
 ExecResult Interpreter::run(const ir::SDFG& sdfg, Context& ctx) {
     ExecResult result;
     invalidate_execution_cache();
+    points_used_ = 0;
+    instructions_used_ = 0;
+    alloc_used_ = 0;
     try {
         ir::StateId current = sdfg.start_state();
         while (true) {
@@ -433,10 +446,18 @@ ExecResult Interpreter::run(const ir::SDFG& sdfg, Context& ctx) {
     } catch (const common::HangError& e) {
         result.status = ExecStatus::Hang;
         result.message = e.what();
+    } catch (const common::ResourceError& e) {
+        result.status = ExecStatus::Resource;
+        result.message = e.what();
     } catch (const std::exception& e) {
         result.status = ExecStatus::Crash;
         result.message = e.what();
     }
+    // Cost counters are byte-identical across execution tiers only for Ok
+    // results (see ExecResult); they are still reported on error paths for
+    // diagnostics.
+    result.points = points_used_;
+    result.instructions = instructions_used_;
     return result;
 }
 
@@ -524,6 +545,13 @@ void Interpreter::execute_scope(const ir::SDFG& sdfg, const ir::State& state,
     // level because they may reference parameters of enclosing scopes.
     auto iterate = [&](auto&& self, std::size_t level) -> void {
         if (level == nparams) {
+            // One map point.  The fuel check fires *before* the point's
+            // children execute, so the kernel path's launch-entry pre-charge
+            // (execute_scope_kernel) detects exhaustion of the same budget
+            // with the same message — byte-identical results either way.
+            points_used_ = saturating_add(points_used_, 1);
+            if (config_.max_points > 0 && points_used_ > config_.max_points)
+                throw common::ResourceError::points(config_.max_points);
             for (NodeId child : sp.children)
                 execute_node_planned(sdfg, state, plan, child, ctx);
             return;
@@ -668,10 +696,28 @@ bool Interpreter::execute_scope_kernel(const ir::SDFG& sdfg, const StatePlan& pl
         return false;  // generic replay re-raises from the right point
     }
 
+    // 3.5. Resource accounting, whole launch at once: the committed loop
+    // below cannot raise (footprint proven in bounds, throw-free tasklet
+    // programs by classification), so the generic path run on the same
+    // launch either completes every point or hits the same fuel exhaustion
+    // — charging up front is observationally identical and keeps the loop
+    // check-free.  Charged after lane setup so a fallback never
+    // double-counts.
+    const std::size_t ntasklets = kern.tasklets.size();
+    {
+        __int128 total = 1;
+        for (std::size_t k = 0; k < nparams; ++k) total *= s.kcount[k];
+        if (config_.max_points > 0 &&
+            static_cast<__int128>(points_used_) + total > config_.max_points)
+            throw common::ResourceError::points(config_.max_points);
+        points_used_ = saturating_add(points_used_, total);
+        instructions_used_ =
+            saturating_add(instructions_used_, total * static_cast<__int128>(ntasklets));
+    }
+
     // 4. The loop.  Per point: gather -> VM -> scatter per tasklet through
     // the lanes; advancing to the next point is one add per lane.
     s.kiter.assign(nparams, 0);
-    const std::size_t ntasklets = kern.tasklets.size();
     for (;;) {
         std::size_t a = 0;
         for (std::size_t t = 0; t < ntasklets; ++t) {
@@ -751,6 +797,19 @@ Buffer& Interpreter::ensure_buffer(const ir::SDFG& sdfg, Context& ctx, const std
         sym::Bindings merged = ctx.symbols;
         for (const auto& ap : scratch_.active_params) merged[*ap.name] = ap.value;
         shape = desc.concrete_shape(merged);
+    }
+    // Allocation budget, charged before construction: a rejected allocation
+    // leaves the context untouched, so a kernel-setup fallback replays this
+    // exact check at the exact generic program point without double-charging
+    // (buffers that did allocate early-return above).  Degenerate shapes
+    // skip the check and fault in the Buffer constructor as before.
+    if (std::all_of(shape.begin(), shape.end(), [](std::int64_t d) { return d >= 0; })) {
+        __int128 bytes = static_cast<__int128>(ir::dtype_size(desc.dtype));
+        for (std::int64_t d : shape) bytes *= d;
+        if (config_.max_alloc_bytes > 0 &&
+            static_cast<__int128>(alloc_used_) + bytes > config_.max_alloc_bytes)
+            throw common::ResourceError::alloc(config_.max_alloc_bytes);
+        alloc_used_ = saturating_add(alloc_used_, bytes);
     }
     Buffer buf(desc.dtype, std::move(shape));
     if (desc.storage == ir::Storage::Device) {
@@ -835,6 +894,7 @@ TaskletProgramPtr Interpreter::program_for(const std::string& code) {
 
 void Interpreter::execute_tasklet(const ir::SDFG& sdfg, const ir::State& state, NodeId nid,
                                   Context& ctx) {
+    instructions_used_ = saturating_add(instructions_used_, 1);
     const DataflowNode& node = state.graph().node(nid);
     TaskletProgramPtr prog = program_for(node.code);
 
@@ -945,6 +1005,10 @@ void Interpreter::execute_tasklet_planned(const ir::SDFG& sdfg, const ir::State&
                                           const StatePlan& plan, const TaskletPlan& tp,
                                           Context& ctx) {
     (void)state;
+    // One dispatch regardless of which VM runs it (the f64 fallback below
+    // re-runs on the tagged path without re-counting) — the cost counters
+    // must be invariant across tiers.
+    instructions_used_ = saturating_add(instructions_used_, 1);
     Scratch& s = scratch_;
     if (s.cache_plan != &plan || s.cache_ctx != &ctx) {
         s.buffer_cache.assign(static_cast<std::size_t>(plan.cache_slots), nullptr);

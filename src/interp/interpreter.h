@@ -99,6 +99,15 @@ namespace ff::interp {
 
 struct ExecConfig {
     std::int64_t max_state_transitions = 100000;
+    /// Map-point fuel: total points executed across all map scopes of one
+    /// run() before ExecStatus::Resource (0 = unlimited).  Checked in the
+    /// generic odometer and pre-charged per launch by the flat-stride
+    /// kernels — exhaustion is a pure function of (program, inputs, budget),
+    /// so results stay byte-identical across execution tiers.
+    std::int64_t max_points = 0;
+    /// Per-run() allocation budget over lazily created buffers, in bytes
+    /// (0 = unlimited).  Caller-provided input buffers are never charged.
+    std::int64_t max_alloc_bytes = 0;
     std::uint64_t device_garbage_seed = 0xD00DULL;
     /// Execute tasklets via the bytecode VM against precomputed memlet
     /// access plans (the fast path).  false selects the reference AST
@@ -114,12 +123,26 @@ struct ExecConfig {
     bool specialize = true;
 };
 
-enum class ExecStatus { Ok, Crash, Hang };
+enum class ExecStatus {
+    Ok,
+    Crash,
+    Hang,
+    /// A deterministic resource budget (ExecConfig::max_points /
+    /// max_alloc_bytes) was exhausted.
+    Resource,
+};
 
 struct ExecResult {
     ExecStatus status = ExecStatus::Ok;
     std::string message;
     std::int64_t state_transitions = 0;
+    /// Cost counters of this execution (maintained for the resource fuel,
+    /// surfaced as the seed of performance-differential verdicts).  Totals
+    /// are byte-identical across execution tiers when status == Ok; on error
+    /// paths the tiers may detect exhaustion at different granularity, so
+    /// consumers must only compare them for Ok results.
+    std::int64_t points = 0;        ///< Map points executed.
+    std::int64_t instructions = 0;  ///< Tasklet dispatches executed.
 
     bool ok() const { return status == ExecStatus::Ok; }
 };
@@ -389,6 +412,15 @@ private:
     PlanCachePtr plans_;  ///< Shared derived-artifact cache (see plan_cache.h).
     /// Thread-private memo over plans_: steady-state lookups take no lock.
     std::map<PlanKey, std::shared_ptr<const StatePlan>> plan_memo_;
+
+    /// Per-run() resource accounting, reset at run() entry: map points and
+    /// tasklet dispatches executed (the fuel behind ExecConfig::max_points
+    /// and ExecResult's cost counters) and bytes charged to the allocation
+    /// budget.  Saturating adds — hostile footprints must not overflow into
+    /// a fresh budget.
+    std::int64_t points_used_ = 0;
+    std::int64_t instructions_used_ = 0;
+    std::int64_t alloc_used_ = 0;
 
     /// Flat, reusable execution scratch: all per-map-point storage lives
     /// here so steady-state tasklet execution performs no heap allocation.

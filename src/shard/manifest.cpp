@@ -22,6 +22,8 @@ Json JobSpec::to_json() const {
     j["size_max"] = size_max;
     j["threshold"] = threshold;
     j["max_state_transitions"] = max_state_transitions;
+    j["max_points"] = max_points;
+    j["max_alloc_bytes"] = max_alloc_bytes;
     j["use_mincut"] = use_mincut;
     Json defs = Json::object();
     for (const auto& [name, value] : defaults) defs[name] = value;
@@ -39,6 +41,8 @@ JobSpec JobSpec::from_json(const Json& j) {
     spec.size_max = common::json_int(j, "size_max");
     spec.threshold = common::json_double(j, "threshold");
     spec.max_state_transitions = common::json_int(j, "max_state_transitions");
+    spec.max_points = common::json_int(j, "max_points");
+    spec.max_alloc_bytes = common::json_int(j, "max_alloc_bytes");
     spec.use_mincut = common::json_bool(j, "use_mincut");
     for (const auto& [name, value] : common::json_object_field(j, "defaults")) {
         if (!value.is_number())
@@ -77,6 +81,8 @@ core::FuzzConfig job_fuzz_config(const JobSpec& job) {
     config.diff.threshold = job.threshold;
     if (job.max_state_transitions > 0)
         config.diff.exec.max_state_transitions = job.max_state_transitions;
+    if (job.max_points > 0) config.diff.exec.max_points = job.max_points;
+    if (job.max_alloc_bytes > 0) config.diff.exec.max_alloc_bytes = job.max_alloc_bytes;
     config.use_mincut = job.use_mincut;
     config.cutout.defaults = job.defaults;
     return config;

@@ -51,6 +51,14 @@ struct JobSpec {
     double threshold = 1e-5;      ///< Differential comparison threshold.
     /// Interpreter transition budget; 0 keeps the interpreter default.
     std::int64_t max_state_transitions = 0;
+    /// Map-point fuel per execution (interp::ExecConfig::max_points);
+    /// 0 = unlimited.  Budgets are part of the job key: exhaustion is a
+    /// deterministic verdict, so two runs only agree byte-for-byte when
+    /// they agree on the budgets.
+    std::int64_t max_points = 0;
+    /// Allocation budget per execution in bytes
+    /// (interp::ExecConfig::max_alloc_bytes); 0 = unlimited.
+    std::int64_t max_alloc_bytes = 0;
     bool use_mincut = true;  ///< Run the minimum input-flow cut.
     /// Default symbol bindings for cutout volume accounting
     /// (CutoutOptions::defaults); the planner seeds npbench defaults for

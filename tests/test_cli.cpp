@@ -11,6 +11,7 @@
 //   6  merge/validation failures
 //   7  malformed input files (parse errors)
 //   8  coordinator/worker gave up
+//   9  audit completed but poison units were quarantined (serve)
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -121,6 +122,25 @@ TEST(CliShardLifecycle, PlanInterruptResumeMergeExitCodes) {
                   .code,
               0);
     EXPECT_TRUE(fs::exists(dir + "/report.json"));
+}
+
+TEST(CliCoordinator, QuarantinedPoisonUnitsExitNine) {
+    // A spawned worker that spins forever after its first durable checkpoint
+    // (heartbeats keep flowing — only the wall-clock watchdog catches it) is
+    // killed with exit 113; at --max-failures 1 its shard is quarantined:
+    // the audit still completes and writes a report, but serve exits 9 so
+    // orchestration can tell a clean audit from one with poisoned units.
+    const std::string dir = scratch_dir("quarantine");
+    const CliResult r = run_cli(std::string("serve ") + kJob +
+                                " --shards 2 --checkpoint-interval 2 --socket " + dir +
+                                "/coord.sock --records-dir " + dir + "/records" +
+                                " --spawn-workers 1 --worker-fault 0=spin-after-units=1" +
+                                " --worker-watchdog-ms 300 --max-failures 1" +
+                                " --lease-ms 4000 --heartbeat-ms 300 --out " + dir +
+                                "/report.json --quiet");
+    EXPECT_EQ(r.code, 9) << r.out;
+    EXPECT_NE(r.out.find("quarantined units:"), std::string::npos) << r.out;
+    EXPECT_TRUE(fs::exists(dir + "/report.json")) << r.out;
 }
 
 TEST(CliCoordinator, UnreachableCoordinatorExitsEight) {

@@ -5,7 +5,9 @@
 // process worker threads, with one worker crashing mid-shard and one
 // stalling past its lease, finishes the audit with a report byte-identical
 // to the single-process Fuzzer::audit at worker counts {1, 2, 4}
-// (docs/ARCHITECTURE.md "Coordinator").
+// (docs/ARCHITECTURE.md "Coordinator") — plus the poison-unit quarantine
+// path: a permanently failed shard is salvaged, its blamed unit re-run
+// in-process under tightened budgets, and the remainder split and re-issued.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -86,9 +88,19 @@ TEST(FaultPlan, ParsesSpecsAndDescribesThem) {
     EXPECT_DOUBLE_EQ(stall.delay_lease_ms, 500.0);
     EXPECT_EQ(coord::FaultPlan::parse("abandon-after-units=2").abandon_after_units, 2);
 
+    // The poison-unit faults: the worker keeps heartbeating but stops making
+    // durable progress (spin) or allocates without bound (hog).
+    coord::FaultPlan poison =
+        coord::FaultPlan::parse("spin-after-units=2,hog-memory-after-units=5");
+    EXPECT_EQ(poison.spin_after_units, 2);
+    EXPECT_EQ(poison.hog_memory_after_units, 5);
+    EXPECT_FALSE(poison.empty());
+    EXPECT_EQ(poison.describe(), "spin-after-units=2,hog-memory-after-units=5");
+
     EXPECT_THROW(coord::FaultPlan::parse("explode"), common::Error);
     EXPECT_THROW(coord::FaultPlan::parse("kill-after-units=soon"), common::Error);
     EXPECT_THROW(coord::FaultPlan::parse("drop-heartbeats=yes"), common::Error);
+    EXPECT_THROW(coord::FaultPlan::parse("spin-after-units=never"), common::Error);
 }
 
 // --- Frame codec -------------------------------------------------------------
@@ -288,6 +300,39 @@ TEST(LeaseQueue, HedgesTheStragglerAndFirstCompletionWins) {
     EXPECT_EQ(queue.stats().duplicate_completions, 1);
     EXPECT_TRUE(queue.all_done());
     EXPECT_EQ(queue.active_attempts(), 0);
+}
+
+TEST(LeaseQueue, AddShardMidRunStartsCleanAndGrantable) {
+    coord::LeaseConfig lease = toy_lease();
+    lease.max_failures = 1;
+    coord::LeaseQueue queue(toy_shards(1), lease);
+    ASSERT_TRUE(queue.acquire("a", at_ms(0)));
+    ASSERT_EQ(queue.expire(at_ms(1001)).size(), 1u);
+    ASSERT_EQ(queue.state(0), coord::ShardState::Failed);
+
+    // The quarantine path resolves the failed shard (complete is accepted in
+    // any state) and re-issues its remainder as a fresh shard.
+    EXPECT_TRUE(queue.complete(0, 0));
+    EXPECT_EQ(queue.stats().shards_failed, 0);
+    shard::ShardManifest sub = toy_shards(1)[0];
+    sub.unit_begin = 2;
+    sub.unit_end = 4;
+    const int idx = queue.add_shard(sub);
+    EXPECT_EQ(idx, 1);
+    EXPECT_EQ(queue.shard_count(), 2);
+    EXPECT_FALSE(queue.all_done());
+    EXPECT_EQ(queue.state(idx), coord::ShardState::Pending);
+
+    // Immediately grantable: clean failure count, no backoff gate, and the
+    // manifest carried through verbatim.
+    auto retry = queue.acquire("b", at_ms(1002));
+    ASSERT_TRUE(retry.has_value());
+    EXPECT_EQ(retry->shard, idx);
+    EXPECT_EQ(retry->attempt, 0);
+    EXPECT_EQ(retry->manifest.unit_begin, 2);
+    EXPECT_EQ(retry->manifest.unit_end, 4);
+    EXPECT_TRUE(queue.complete(idx, 0));
+    EXPECT_TRUE(queue.all_done());
 }
 
 TEST(LeaseQueue, NextEventTracksDeadlinesAndBackoffGates) {
@@ -501,6 +546,38 @@ TEST(CoordEndToEnd, StalledWorkerLosesTheRaceAndItsBytesAreVerified) {
     const std::string a0 = read_file(config.records_dir + "/lease-s0-a0.jsonl");
     const std::string a1 = read_file(config.records_dir + "/lease-s0-a1.jsonl");
     EXPECT_EQ(a0, a1);
+    EXPECT_EQ(shard::canonical_report_document(result.serve.reports).dump(2), want_doc);
+}
+
+TEST(CoordEndToEnd, PoisonShardIsQuarantinedAndReportStaysByteIdentical) {
+    const shard::JobSpec job = gemm_job(6);
+    const std::string want_doc = reference_doc(job, "");
+
+    const std::string dir = scratch_dir("quarantine");
+    coord::CoordConfig config = cluster_config(dir, job);
+    config.artifact_dir.clear();
+    // One lost attempt is a permanent failure: the crash below routes the
+    // shard straight into the quarantine path instead of a clean re-issue.
+    config.lease.max_failures = 1;
+
+    std::vector<coord::WorkerConfig> workers;
+    workers.push_back(cluster_worker(config, 0));
+    workers.push_back(cluster_worker(config, 1));
+    workers[0].fault = coord::FaultPlan::parse("abandon-after-units=3");
+
+    ClusterResult result = run_cluster(config, workers);
+    EXPECT_TRUE(result.worker_errors.empty()) << result.worker_errors.front();
+
+    const coord::CoordStats& stats = result.serve.stats;
+    EXPECT_EQ(stats.shards_quarantined, 1);
+    ASSERT_EQ(stats.quarantined_units.size(), 1u);
+    EXPECT_GE(stats.shards_split, 1);
+    EXPECT_EQ(stats.queue.shards_failed, 0);  // quarantine resolved it
+    // The fault lived in the worker, not the trial: the blamed unit is
+    // benign, so its tightened-budget in-process re-run reproduces the
+    // record a healthy worker would have written, the split remainder is
+    // drained by the fault-free workers, and the finished audit matches the
+    // single-process run byte for byte.
     EXPECT_EQ(shard::canonical_report_document(result.serve.reports).dump(2), want_doc);
 }
 

@@ -3,6 +3,7 @@
 #include "common/error.h"
 
 #include <cstdio>
+#include <set>
 
 #include "core/constraints.h"
 #include "core/diff_test.h"
@@ -152,6 +153,69 @@ TEST(DiffTester, InvalidTransformedProgram) {
     inputs.symbols["N"] = 2;
     inputs.buffers.emplace("x", ff::testing::make_buffer({1, 2}));
     EXPECT_EQ(tester.run_trial(inputs).verdict, Verdict::InvalidCode);
+}
+
+TEST(DiffTester, VerdictNamesRoundTripExhaustively) {
+    // Iterate the enum by value, not by a hand-written list: adding a
+    // verdict without extending verdict_name/verdict_from_name (or without
+    // bumping kVerdictCount) must fail here, not in a shard merge at 3 a.m.
+    std::set<std::string> names;
+    for (int i = 0; i < kVerdictCount; ++i) {
+        const Verdict v = static_cast<Verdict>(i);
+        const std::string name = verdict_name(v);
+        ASSERT_FALSE(name.empty());
+        EXPECT_NE(name, "?") << "verdict_name missing case for value " << i;
+        EXPECT_TRUE(names.insert(name).second) << "duplicate verdict name: " << name;
+        EXPECT_EQ(verdict_from_name(name), v) << name;
+    }
+    EXPECT_EQ(names.count("resource-exhausted"), 1u);
+    EXPECT_THROW(verdict_from_name("no-such-verdict"), common::Error);
+    EXPECT_THROW(verdict_from_name(""), common::Error);
+}
+
+TEST(DiffTester, ResourceBudgetIsDeterministicAndBlamesTransformed) {
+    // The "transformed" side computes the same function through two maps
+    // (y = (x + 1) * 3 via a transient), so it spends 2N point fuel where
+    // the original (y = 3x + 3) spends N: a budget between the two costs
+    // yields ResourceExhausted, and re-running the identical trial yields
+    // the identical outcome — budget exhaustion is a pure function of
+    // (program, inputs, budget).
+    const ir::SDFG p = make_scale_sdfg("o = i * 3.0 + 3.0");
+    const ir::SDFG q = ff::testing::make_chain_sdfg("o = i + 1.0", "o = i * 3.0");
+
+    interp::Context inputs;
+    inputs.symbols["N"] = 8;
+    inputs.buffers.emplace("x", ff::testing::make_buffer({1, 2, 3, 4, 5, 6, 7, 8}));
+    // Pre-create the output (as the sampler does for every non-transient
+    // container) so the only budget-charged allocation is the chain's T.
+    inputs.buffers.emplace("y", ff::testing::make_buffer(std::vector<double>(8, 0.0)));
+
+    DiffConfig cfg;
+    cfg.exec.max_points = 9;  // original spends 8, the two-map chain 16
+    DifferentialTester tester(p, q, {"y"}, cfg);
+    const TrialOutcome first = tester.run_trial(inputs);
+    EXPECT_EQ(first.verdict, Verdict::ResourceExhausted) << first.detail;
+    // Cost counters are captured only for sides that completed Ok.
+    EXPECT_EQ(first.original_points, 8);
+    EXPECT_EQ(first.transformed_points, 0);
+    EXPECT_EQ(first.transformed_instructions, 0);
+    const TrialOutcome again = tester.run_trial(inputs);
+    EXPECT_EQ(again.verdict, first.verdict);
+    EXPECT_EQ(again.detail, first.detail);
+
+    // The allocation budget trips on the chain's transient (8 f64 = 64
+    // bytes) while the transient-free original allocates nothing.
+    DiffConfig lowmem;
+    lowmem.exec.max_alloc_bytes = 32;
+    DifferentialTester cramped(p, q, {"y"}, lowmem);
+    EXPECT_EQ(cramped.run_trial(inputs).verdict, Verdict::ResourceExhausted);
+
+    // The original side exhausting the budget is the input's fault, exactly
+    // like an original-side crash: resampled, never reported.
+    DiffConfig tight;
+    tight.exec.max_points = 4;
+    DifferentialTester strict(p, q, {"y"}, tight);
+    EXPECT_EQ(strict.run_trial(inputs).verdict, Verdict::Uninteresting);
 }
 
 TEST(DiffTester, OriginalCrashIsUninteresting) {

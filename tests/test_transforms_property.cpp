@@ -4,6 +4,9 @@
 // meaningful (a "failure" is the transformation's fault, not the fuzzer's).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "common/error.h"
 
 #include "common/rng.h"
@@ -53,6 +56,36 @@ void expect_equivalent(const ir::SDFG& p, const ir::SDFG& q, const sym::Bindings
             interp::compare_buffers(cp.buffers.at(name), cq.buffers.at(name), 1e-9);
         EXPECT_FALSE(mismatch.has_value())
             << label << ": '" << name << "' differs at " << (mismatch ? mismatch->flat_index : 0);
+    }
+
+    // Budget purity (docs/ARCHITECTURE.md determinism contract): re-running
+    // each side under a point budget of exactly its own measured fuel must
+    // still succeed, land bitwise-identical state, and burn identical
+    // counters.  This is what lets budgets be part of the job key — an
+    // enabled budget below the limit is unobservable, and exhaustion (one
+    // point less would trip it) is a pure function of (program, inputs,
+    // budget) across every execution tier the interpreter picks.
+    interp::ExecConfig budget;
+    budget.max_points = std::max<std::int64_t>({rp.points, rq.points, 1});
+    budget.max_alloc_bytes = 1ll << 30;
+    interp::Interpreter bp(budget), bq(budget);
+    auto cbp = random_inputs(p, bindings, 1234);
+    auto cbq = cbp;
+    const auto rbp = bp.run(p, cbp);
+    const auto rbq = bq.run(q, cbq);
+    ASSERT_TRUE(rbp.ok()) << label << " budgeted original: " << rbp.message;
+    ASSERT_TRUE(rbq.ok()) << label << " budgeted transformed: " << rbq.message;
+    EXPECT_EQ(rbp.points, rp.points) << label;
+    EXPECT_EQ(rbq.points, rq.points) << label;
+    EXPECT_EQ(rbp.instructions, rp.instructions) << label;
+    EXPECT_EQ(rbq.instructions, rq.instructions) << label;
+    for (const auto& [name, desc] : p.containers()) {
+        if (desc.transient) continue;
+        if (!cp.buffers.count(name) || !cbp.buffers.count(name)) continue;
+        EXPECT_TRUE(cbp.buffers.at(name).bitwise_equal(cp.buffers.at(name)))
+            << label << ": budgeted original perturbed '" << name << "'";
+        EXPECT_TRUE(cbq.buffers.at(name).bitwise_equal(cq.buffers.at(name)))
+            << label << ": budgeted transformed perturbed '" << name << "'";
     }
 }
 

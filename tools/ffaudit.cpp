@@ -58,6 +58,8 @@ constexpr int kExitExecution = 5;    ///< The audit/shard itself failed to execu
 constexpr int kExitMerge = 6;        ///< Merge/coverage validation failed.
 constexpr int kExitParse = 7;        ///< Malformed input file (manifest/records/testcase).
 constexpr int kExitCoordinator = 8;  ///< Coordinator/worker gave up.
+/// Audit completed, but only by quarantining poison units (serve).
+constexpr int kExitQuarantined = 9;
 
 int usage(const char* detail = nullptr) {
     if (detail) std::fprintf(stderr, "ffaudit: %s\n\n", detail);
@@ -82,6 +84,8 @@ int usage(const char* detail = nullptr) {
                  "  --size-max <n>           sampler size bound         [16]\n"
                  "  --threshold <x>          comparison threshold       [1e-5]\n"
                  "  --max-transitions <n>    interpreter budget         [default]\n"
+                 "  --max-points <n>         map-point fuel per trial   [unlimited]\n"
+                 "  --max-alloc-bytes <n>    allocation budget per trial [unlimited]\n"
                  "  --no-mincut              skip the minimum input-flow cut\n"
                  "  --default <sym>=<val>    default symbol binding (repeatable)\n"
                  "\n"
@@ -99,10 +103,14 @@ int usage(const char* detail = nullptr) {
                  "           [--backoff-base-ms <x>] [--backoff-max-ms <x>]\n"
                  "           [--straggler-factor <x>] [--linger-ms <x>]\n"
                  "           [--max-respawns <n>] [--worker-fault <k>=<spec>] [--quiet]\n"
+                 "           [--worker-watchdog-ms <x>] [--worker-rlimit-as <bytes>]\n"
+                 "           [--quarantine-max-points <n>] [--quarantine-max-alloc-bytes <n>]\n"
                  "worker:    --socket <path> [--id <name>] [--threads <n>]\n"
                  "           [--trial-chunk <n>] [--fault <spec>]\n"
+                 "           [--watchdog-ms <x>] [--rlimit-as <bytes>]\n"
                  "           [--connect-attempts <n>] [--quiet]\n"
                  "           fault <spec>: kill-after-units=N | abandon-after-units=N |\n"
+                 "                         spin-after-units=N | hog-memory-after-units=N |\n"
                  "                         delay-lease-ms=N | drop-heartbeats (comma-joined)\n"
                  "replay:    <testcase.json>\n"
                  "\n"
@@ -116,7 +124,8 @@ int usage(const char* detail = nullptr) {
                  "  6  merge or coverage validation failed\n"
                  "  7  malformed input file (manifest, record stream, test case)\n"
                  "  8  coordinator gave up (shard permanently failed, determinism\n"
-                 "     violation) or worker lost the coordinator\n");
+                 "     violation) or worker lost the coordinator\n"
+                 "  9  audit completed but poison units were quarantined (serve)\n");
     return kExitUsage;
 }
 
@@ -142,6 +151,8 @@ bool parse_job_flag(shard::JobSpec& job, const std::vector<std::string>& args, s
     else if (a == "--size-max") job.size_max = int_value(args, i);
     else if (a == "--threshold") job.threshold = std::stod(flag_value(args, i));
     else if (a == "--max-transitions") job.max_state_transitions = int_value(args, i);
+    else if (a == "--max-points") job.max_points = int_value(args, i);
+    else if (a == "--max-alloc-bytes") job.max_alloc_bytes = int_value(args, i);
     else if (a == "--no-mincut") job.use_mincut = false;
     else if (a == "--default") {
         const std::string kv = flag_value(args, i);
@@ -352,6 +363,13 @@ int cmd_serve(const std::vector<std::string>& args) {
         else if (args[i] == "--straggler-factor")
             config.lease.straggler_factor = std::stod(flag_value(args, i));
         else if (args[i] == "--linger-ms") config.linger_ms = std::stod(flag_value(args, i));
+        else if (args[i] == "--worker-watchdog-ms")
+            config.worker_watchdog_ms = std::stod(flag_value(args, i));
+        else if (args[i] == "--worker-rlimit-as") config.worker_rlimit_as = int_value(args, i);
+        else if (args[i] == "--quarantine-max-points")
+            config.quarantine_max_points = int_value(args, i);
+        else if (args[i] == "--quarantine-max-alloc-bytes")
+            config.quarantine_max_alloc_bytes = int_value(args, i);
         else if (args[i] == "--quiet") config.verbose = false;
         else if (args[i] == "--worker-fault") {
             const std::string kv = flag_value(args, i);
@@ -383,15 +401,25 @@ int cmd_serve(const std::vector<std::string>& args) {
     const coord::CoordStats& s = result.stats;
     std::printf("served %d shard(s): %lld lease(s), %lld expiration(s), %lld requeue(s), "
                 "%lld hedge(s), %lld duplicate completion(s) (%d byte-verified), "
-                "%d worker(s) seen, %d lost, %d spawned\n",
+                "%d worker(s) seen, %d lost, %d spawned, %zu quarantined unit(s), "
+                "%d split shard(s)\n",
                 s.shards_merged, static_cast<long long>(s.queue.granted),
                 static_cast<long long>(s.queue.expirations),
                 static_cast<long long>(s.queue.requeues),
                 static_cast<long long>(s.queue.hedges),
                 static_cast<long long>(s.queue.duplicate_completions),
-                s.duplicate_files_verified, s.workers_seen, s.workers_lost, s.workers_spawned);
+                s.duplicate_files_verified, s.workers_seen, s.workers_lost, s.workers_spawned,
+                s.quarantined_units.size(), s.shards_split);
+    if (!s.quarantined_units.empty()) {
+        std::string units;
+        for (std::int64_t unit : s.quarantined_units) {
+            if (!units.empty()) units += ", ";
+            units += std::to_string(unit);
+        }
+        std::printf("quarantined units: %s\n", units.c_str());
+    }
     emit_report(std::move(result.reports), out_path);
-    return kExitOk;
+    return s.quarantined_units.empty() ? kExitOk : kExitQuarantined;
 }
 
 int cmd_worker(const std::vector<std::string>& args) {
@@ -412,6 +440,8 @@ int cmd_worker(const std::vector<std::string>& args) {
         }
         else if (args[i] == "--connect-attempts")
             config.max_connect_attempts = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--watchdog-ms") config.watchdog_ms = std::stod(flag_value(args, i));
+        else if (args[i] == "--rlimit-as") config.rlimit_as_bytes = int_value(args, i);
         else if (args[i] == "--quiet") config.verbose = false;
         else return usage(("unknown worker option " + args[i]).c_str());
     }
