@@ -8,9 +8,12 @@
 //    construction and fresh gather/scatter vectors;
 //  * generic     — bytecode VM over precomputed memlet access plans and a
 //    reusable flat scratch arena (ExecConfig::specialize = false);
-//  * specialized — flat-stride map kernels + the untagged f64 VM on top of
-//    the generic path (the default; see docs/ARCHITECTURE.md
-//    "Specialization tiers").
+//  * specialized — flat-stride map kernels + the untagged f64/i64 VMs on
+//    top of the generic path (batch_segments = false here, so this is the
+//    per-point kernel loop; see docs/ARCHITECTURE.md "Specialization
+//    tiers");
+//  * batched     — segment-eligible kernels run the whole stride-1 inner
+//    extent per dispatch through the vertical batch VMs (the default).
 //
 // The workload is tasklet-dense on purpose (chained elementwise maps with
 // arithmetic, a matmul-style accumulation nest, and a branchy activation —
@@ -18,6 +21,10 @@
 // is constant-extent f64, so the specialization tiers fully apply.  The
 // acceptance bars: compiled >= 3x the reference engine, and specialized
 // >= 1.5x the generic compiled path (both on one thread).
+//
+// A second, flat-stride section measures the batched segment tier against
+// the per-point kernel loop on straight-line 1-D chains per dtype (f64,
+// f32, i64).  Acceptance bar: batched >= 2x per-point on the f64 section.
 //
 // Lines prefixed BENCH_KV are machine-readable; scripts/bench_hotpath_json.py
 // folds them into a BENCH_hotpath.json baseline artifact (CI uploads it).
@@ -84,12 +91,13 @@ sym::Bindings bindings() { return {{"N", kN}, {"M", kM}, {"K", kK}}; }
 /// Executions/second on one engine; runs `reps` full program executions
 /// against a warm interpreter (plan + tasklet caches populated).  `spec`
 /// optionally receives the plan cache's specialization counters.
-double measure(bool compiled, bool specialize, int reps,
+double measure(bool compiled, bool specialize, bool batch, int reps,
                interp::SpecStats* spec = nullptr) {
     ir::SDFG p = build_hotpath();
     interp::ExecConfig cfg;
     cfg.use_compiled_tasklets = compiled;
     cfg.specialize = specialize;
+    cfg.batch_segments = batch;
     interp::Interpreter interp(cfg);
 
     interp::Context warm = bench::random_inputs(p, bindings());
@@ -109,6 +117,57 @@ double measure(bool compiled, bool specialize, int reps,
                             .count();
     if (spec) *spec = interp.plan_cache()->spec_stats();
     return static_cast<double>(tasklet_executions_per_run()) * reps / secs;
+}
+
+// --- Flat-stride batched vs per-point, per dtype ------------------------------
+
+constexpr std::int64_t kFlatN = 1 << 15;
+
+/// Two chained straight-line 1-D elementwise maps over `dtype` containers:
+/// the shape the segment tier exists for (every launch is one contiguous
+/// stride-1 segment of kFlatN points).
+ir::SDFG build_flat(ir::DType dtype) {
+    ir::SDFG p("flat");
+    p.add_symbol("N");
+    const sym::ExprPtr n = sym::symb("N");
+    p.add_array("x", dtype, {n});
+    p.add_array("t", dtype, {n}, /*transient=*/true);
+    p.add_array("y", dtype, {n});
+    ir::State& st = p.state(p.add_state("main", true));
+    const bool is_float = ir::dtype_is_float(dtype);
+    const ir::NodeId t = workloads::ew_unary(
+        p, st, st.add_access("x"), "t",
+        is_float ? "o = i * 0.5 + 1.0" : "o = i * 3 + 1");
+    workloads::ew_unary(p, st, t, "y",
+                        is_float ? "o = i * i - i * 0.25" : "o = i * i - i");
+    return p;
+}
+
+/// Map points/second on the flat-stride chain for one dtype, batched or
+/// per-point (both run the specialized kernel tier).
+double measure_flat(ir::DType dtype, bool batch, int reps,
+                    interp::SpecStats* spec = nullptr) {
+    ir::SDFG p = build_flat(dtype);
+    interp::ExecConfig cfg;
+    cfg.batch_segments = batch;
+    interp::Interpreter interp(cfg);
+    const sym::Bindings binds{{"N", kFlatN}};
+
+    interp::Context warm = bench::random_inputs(p, binds);
+    if (!interp.run(p, warm).ok()) throw common::Error("flat warmup failed");
+
+    std::vector<interp::Context> contexts;
+    contexts.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r)
+        contexts.push_back(bench::random_inputs(p, binds, 777 + static_cast<unsigned>(r)));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (interp::Context& ctx : contexts)
+        if (!interp.run(p, ctx).ok()) throw common::Error("flat run failed");
+    const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                            .count();
+    if (spec) *spec = interp.plan_cache()->spec_stats();
+    return static_cast<double>(2 * kFlatN) * reps / secs;
 }
 
 void BM_HotpathReference(benchmark::State& state) {
@@ -180,11 +239,15 @@ double measure_parallel(int threads, int reps_per_thread) {
 
 void print_report() {
     const int reps = 6;
-    const double ref = measure(/*compiled=*/false, /*specialize=*/false, reps);
-    const double generic = measure(/*compiled=*/true, /*specialize=*/false, reps);
+    const double ref = measure(/*compiled=*/false, /*specialize=*/false, /*batch=*/false, reps);
+    const double generic =
+        measure(/*compiled=*/true, /*specialize=*/false, /*batch=*/false, reps);
     interp::SpecStats spec_stats;
-    const double specialized = measure(/*compiled=*/true, /*specialize=*/true, reps,
-                                       &spec_stats);
+    const double specialized = measure(/*compiled=*/true, /*specialize=*/true, /*batch=*/false,
+                                       reps, &spec_stats);
+    interp::SpecStats batch_stats;
+    const double batched = measure(/*compiled=*/true, /*specialize=*/true, /*batch=*/true,
+                                   reps, &batch_stats);
     // The 3x bar gates the *generic* compiled path (the pre-specialization
     // guarantee — still a supported mode and the kernel fallback target);
     // the 1.5x bar gates specialization on top of it.
@@ -197,7 +260,8 @@ void print_report() {
                   std::to_string(kK) + ", constant-extent f64)");
     std::printf("  reference   (AST walker + ConnectorEnv): %12.0f exec/s\n", ref);
     std::printf("  generic     (bytecode VM, no kernels)  : %12.0f exec/s\n", generic);
-    std::printf("  specialized (flat-stride + untagged f64): %12.0f exec/s\n", specialized);
+    std::printf("  specialized (per-point kernel loop)    : %12.0f exec/s\n", specialized);
+    std::printf("  batched     (segment tier, the default): %12.0f exec/s\n", batched);
     std::printf("  generic compiled speedup: %.2fx vs reference (acceptance bar: >= 3x)  -> %s\n",
                 compiled_speedup, compiled_speedup >= 3.0 ? "PASS" : "FAIL");
     std::printf("  specialization speedup: %.2fx vs generic (acceptance bar: >= 1.5x)  -> %s\n",
@@ -205,14 +269,46 @@ void print_report() {
     std::printf("  total: %.2fx vs reference\n", total_speedup);
 
     bench::banner("Specialization hit rates (plan classification + launches)");
-    std::printf("  scopes: %lld/%lld flat-stride, tasklets: %lld/%lld untagged f64\n",
+    std::printf("  scopes: %lld/%lld flat-stride (%lld segment-eligible), "
+                "tasklets: %lld f64 + %lld i64 of %lld untagged\n",
                 static_cast<long long>(spec_stats.scopes_specialized),
                 static_cast<long long>(spec_stats.scopes_planned),
+                static_cast<long long>(spec_stats.scopes_segmented),
                 static_cast<long long>(spec_stats.tasklets_f64),
+                static_cast<long long>(spec_stats.tasklets_i64),
                 static_cast<long long>(spec_stats.tasklets_planned));
-    std::printf("  kernel launches: %lld committed, %lld fell back to the odometer\n",
+    std::printf("  kernel launches: %lld committed, %lld fell back to the odometer, "
+                "%lld ran batched segments\n",
                 static_cast<long long>(spec_stats.kernel_launches),
-                static_cast<long long>(spec_stats.kernel_fallbacks));
+                static_cast<long long>(spec_stats.kernel_fallbacks),
+                static_cast<long long>(batch_stats.segment_launches));
+
+    // Flat-stride straight-line chains, per dtype: the segment tier's home
+    // turf.  The f64 section carries the acceptance bar.
+    struct FlatRow {
+        const char* name;
+        ir::DType dtype;
+        double perpoint, batched;
+        std::int64_t segments;
+    };
+    FlatRow flats[] = {{"f64", ir::DType::F64, 0, 0, 0},
+                       {"f32", ir::DType::F32, 0, 0, 0},
+                       {"i64", ir::DType::I64, 0, 0, 0}};
+    bench::banner("Batched segment tier - flat-stride map points per second (N=" +
+                  std::to_string(kFlatN) + ", 2 straight-line maps)");
+    for (FlatRow& row : flats) {
+        interp::SpecStats fs;
+        row.perpoint = measure_flat(row.dtype, /*batch=*/false, 20);
+        row.batched = measure_flat(row.dtype, /*batch=*/true, 20, &fs);
+        row.segments = fs.segment_launches;
+        const double speedup = row.batched / row.perpoint;
+        std::printf("  %s: per-point %12.0f pts/s, batched %12.0f pts/s -> %.2fx%s\n",
+                    row.name, row.perpoint, row.batched, speedup,
+                    row.dtype == ir::DType::F64
+                        ? (speedup >= 2.0 ? "  (acceptance bar: >= 2x) PASS"
+                                          : "  (acceptance bar: >= 2x) FAIL")
+                        : "");
+    }
 
     // Thread scaling over the shared plan cache.  FF_BENCH_THREADS overrides
     // the thread count (CI runs 1 and N and prints the ratio).
@@ -232,18 +328,32 @@ void print_report() {
     std::printf("BENCH_KV reference_exec_per_s=%.0f\n", ref);
     std::printf("BENCH_KV generic_exec_per_s=%.0f\n", generic);
     std::printf("BENCH_KV specialized_exec_per_s=%.0f\n", specialized);
+    std::printf("BENCH_KV batched_exec_per_s=%.0f\n", batched);
     std::printf("BENCH_KV compiled_speedup=%.3f\n", compiled_speedup);
     std::printf("BENCH_KV specialization_speedup=%.3f\n", spec_speedup);
+    std::printf("BENCH_KV batched_speedup=%.3f\n", batched / specialized);
     std::printf("BENCH_KV total_speedup=%.3f\n", total_speedup);
-    std::printf("BENCH_KV scopes_specialized=%lld scopes_planned=%lld\n",
+    std::printf("BENCH_KV scopes_specialized=%lld scopes_planned=%lld scopes_segmented=%lld\n",
                 static_cast<long long>(spec_stats.scopes_specialized),
-                static_cast<long long>(spec_stats.scopes_planned));
-    std::printf("BENCH_KV tasklets_f64=%lld tasklets_planned=%lld\n",
+                static_cast<long long>(spec_stats.scopes_planned),
+                static_cast<long long>(spec_stats.scopes_segmented));
+    std::printf("BENCH_KV tasklets_f64=%lld tasklets_i64=%lld tasklets_planned=%lld\n",
                 static_cast<long long>(spec_stats.tasklets_f64),
+                static_cast<long long>(spec_stats.tasklets_i64),
                 static_cast<long long>(spec_stats.tasklets_planned));
-    std::printf("BENCH_KV kernel_launches=%lld kernel_fallbacks=%lld\n",
+    std::printf("BENCH_KV kernel_launches=%lld kernel_fallbacks=%lld segment_launches=%lld\n",
                 static_cast<long long>(spec_stats.kernel_launches),
-                static_cast<long long>(spec_stats.kernel_fallbacks));
+                static_cast<long long>(spec_stats.kernel_fallbacks),
+                static_cast<long long>(batch_stats.segment_launches));
+    std::printf("BENCH_KV flat_n=%lld\n", static_cast<long long>(kFlatN));
+    for (const FlatRow& row : flats) {
+        std::printf("BENCH_KV flat_%s_perpoint_pts_per_s=%.0f\n", row.name, row.perpoint);
+        std::printf("BENCH_KV flat_%s_batched_pts_per_s=%.0f\n", row.name, row.batched);
+        std::printf("BENCH_KV flat_%s_batch_speedup=%.3f\n", row.name,
+                    row.batched / row.perpoint);
+        std::printf("BENCH_KV flat_%s_segment_launches=%lld\n", row.name,
+                    static_cast<long long>(row.segments));
+    }
     std::printf("BENCH_KV parallel_1t_exec_per_s=%.0f\n", one);
     std::printf("BENCH_KV parallel_nt_exec_per_s=%.0f parallel_threads=%d\n", many, threads);
 }

@@ -23,8 +23,14 @@ REQUIRED_KEYS = (
     "reference_exec_per_s",
     "generic_exec_per_s",
     "specialized_exec_per_s",
+    "batched_exec_per_s",
     "specialization_speedup",
+    "batched_speedup",
     "kernel_launches",
+    "segment_launches",
+    "flat_f64_batch_speedup",
+    "flat_f32_batch_speedup",
+    "flat_i64_batch_speedup",
 )
 
 

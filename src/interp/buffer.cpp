@@ -90,6 +90,9 @@ void Buffer::fill_garbage(std::uint64_t seed) {
 
 bool Buffer::bitwise_equal(const Buffer& other) const {
     if (dtype_ != other.dtype_ || shape_ != other.shape_) return false;
+    // Empty buffers are trivially equal; an empty vector's data() may be
+    // null, which memcmp is declared never to accept.
+    if (size_ == 0) return true;
     return std::memcmp(raw_data(), other.raw_data(), raw_bytes()) == 0;
 }
 

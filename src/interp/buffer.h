@@ -45,6 +45,34 @@ public:
         return v ? v->data() : nullptr;
     }
 
+    /// Typed siblings of f64_data() for the widened untagged/segment tiers:
+    /// raw storage, or nullptr unless dtype() matches.  Same contract — the
+    /// kernel path validates the whole footprint before touching these.
+    float* f32_data() {
+        auto* v = std::get_if<std::vector<float>>(&data_);
+        return v ? v->data() : nullptr;
+    }
+    const float* f32_data() const {
+        const auto* v = std::get_if<std::vector<float>>(&data_);
+        return v ? v->data() : nullptr;
+    }
+    std::int64_t* i64_data() {
+        auto* v = std::get_if<std::vector<std::int64_t>>(&data_);
+        return v ? v->data() : nullptr;
+    }
+    const std::int64_t* i64_data() const {
+        const auto* v = std::get_if<std::vector<std::int64_t>>(&data_);
+        return v ? v->data() : nullptr;
+    }
+    std::int32_t* i32_data() {
+        auto* v = std::get_if<std::vector<std::int32_t>>(&data_);
+        return v ? v->data() : nullptr;
+    }
+    const std::int32_t* i32_data() const {
+        const auto* v = std::get_if<std::vector<std::int32_t>>(&data_);
+        return v ? v->data() : nullptr;
+    }
+
     /// Row-major flat index; throws common::OutOfBoundsError (tagged with
     /// `container` for diagnostics) when any coordinate is out of range.
     std::int64_t flat_index(const std::vector<std::int64_t>& idx,

@@ -60,6 +60,75 @@ std::int64_t saturating_add(std::int64_t counter, __int128 amount) {
     return sum > kMax ? kMax : static_cast<std::int64_t>(sum);
 }
 
+// --- Untagged load/store conversions -----------------------------------------
+//
+// The untagged tiers move values between raw Buffer storage and flat
+// double/int64 arenas.  These helpers are the exact expressions Buffer::load
+// / Buffer::store apply on the tagged path, so every tier stays
+// byte-identical for any container dtype:
+//  * loads promote within the signature's family (F32 -> double mirrors the
+//    tagged load; I32 -> int64 likewise);
+//  * stores convert the untagged result like Buffer::store converts the
+//    tagged Value — including int64 -> float *via double* (Buffer::store
+//    casts as_double(), which double-rounds; a direct int64 -> float cast
+//    can differ in the last bit).
+
+/// Raw storage base of `buf`'s runtime dtype (never null for a constructed
+/// buffer).
+void* raw_data_of(Buffer& buf) {
+    switch (buf.dtype()) {
+        case ir::DType::F64: return buf.f64_data();
+        case ir::DType::F32: return buf.f32_data();
+        case ir::DType::I64: return buf.i64_data();
+        case ir::DType::I32: return buf.i32_data();
+    }
+    return nullptr;
+}
+
+double load_to_f64(const void* raw, ir::DType dt, std::int64_t flat) {
+    return dt == ir::DType::F64
+               ? static_cast<const double*>(raw)[flat]
+               : static_cast<double>(static_cast<const float*>(raw)[flat]);
+}
+
+std::int64_t load_to_i64(const void* raw, ir::DType dt, std::int64_t flat) {
+    return dt == ir::DType::I64
+               ? static_cast<const std::int64_t*>(raw)[flat]
+               : static_cast<std::int64_t>(static_cast<const std::int32_t*>(raw)[flat]);
+}
+
+void store_from_f64(void* raw, ir::DType dt, std::int64_t flat, double v) {
+    switch (dt) {
+        case ir::DType::F64: static_cast<double*>(raw)[flat] = v; break;
+        case ir::DType::F32:
+            static_cast<float*>(raw)[flat] = static_cast<float>(v);
+            break;
+        case ir::DType::I64:
+            static_cast<std::int64_t*>(raw)[flat] = static_cast<std::int64_t>(v);
+            break;
+        case ir::DType::I32:
+            static_cast<std::int32_t*>(raw)[flat] =
+                static_cast<std::int32_t>(static_cast<std::int64_t>(v));
+            break;
+    }
+}
+
+void store_from_i64(void* raw, ir::DType dt, std::int64_t flat, std::int64_t v) {
+    switch (dt) {
+        case ir::DType::F64:
+            static_cast<double*>(raw)[flat] = static_cast<double>(v);
+            break;
+        case ir::DType::F32:
+            static_cast<float*>(raw)[flat] =
+                static_cast<float>(static_cast<double>(v));
+            break;
+        case ir::DType::I64: static_cast<std::int64_t*>(raw)[flat] = v; break;
+        case ir::DType::I32:
+            static_cast<std::int32_t*>(raw)[flat] = static_cast<std::int32_t>(v);
+            break;
+    }
+}
+
 }  // namespace
 
 StatePlan Interpreter::build_plan(const ir::SDFG& sdfg, const ir::State& state) {
@@ -165,15 +234,21 @@ StatePlan Interpreter::build_plan(const ir::SDFG& sdfg, const ir::State& state) 
     }
 
     // Specialization tier: flat-stride kernels for qualifying scopes.
-    std::int64_t f64_count = 0;
-    for (const TaskletPlan& tp : plan.tasklet_plans) f64_count += tp.use_f64 ? 1 : 0;
-    std::int64_t specialized = 0;
+    std::int64_t f64_count = 0, i64_count = 0;
+    for (const TaskletPlan& tp : plan.tasklet_plans) {
+        f64_count += tp.sig == VMSig::F64 ? 1 : 0;
+        i64_count += tp.sig == VMSig::I64 ? 1 : 0;
+    }
+    std::int64_t specialized = 0, segmented = 0;
     for (ScopePlan& sp : plan.scope_plans) {
         classify_scope_kernel(sdfg, state, plan, sp);
         specialized += sp.kernel >= 0 ? 1 : 0;
+        if (sp.kernel >= 0 && plan.kernels[static_cast<std::size_t>(sp.kernel)].segment_ok)
+            ++segmented;
     }
     plans_->note_classification(static_cast<std::int64_t>(plan.scope_plans.size()), specialized,
-                                static_cast<std::int64_t>(plan.tasklet_plans.size()), f64_count);
+                                segmented, static_cast<std::int64_t>(plan.tasklet_plans.size()),
+                                f64_count, i64_count);
 
     plan.referenced.reserve(used.size());
     for (const sym::SymId id : used) plan.referenced.emplace_back(id, tab.name(id));
@@ -248,6 +323,19 @@ void Interpreter::classify_scope_kernel(const ir::SDFG& sdfg, const ir::State& s
         for (std::size_t i = 0; i < tp->outputs.size(); ++i)
             if (!classify_access(tp->outputs[i], true, static_cast<int>(i))) return;
         kern.tasklets.push_back(plan.node_to_plan[static_cast<std::size_t>(c)]);
+    }
+
+    // Segment eligibility: every tasklet runs an untagged VM (so lanes move
+    // through raw storage) and is straight-line (so the vertical batch VMs
+    // apply).  Tagged-sig tasklets are excluded — batching them would
+    // re-introduce per-element tag dispatch for no gain.  Note integer
+    // Div/Mod can never reach here: the throw-free gate above only admits
+    // div/mod under the f64 feasibility proof.
+    kern.segment_ok = !kern.tasklets.empty();
+    for (const int t : kern.tasklets) {
+        const TaskletPlan& tp = plan.tasklet_plans[static_cast<std::size_t>(t)];
+        kern.segment_ok =
+            kern.segment_ok && tp.sig != VMSig::Tagged && tp.prog->is_straightline();
     }
 
     sp.kernel = static_cast<int>(plan.kernels.size());
@@ -349,18 +437,36 @@ void Interpreter::build_tasklet_plan(const ir::SDFG& sdfg, const ir::State& stat
         tp.outputs.push_back(std::move(ap));
     }
 
-    // Untagged f64 engine selection: program-side feasibility (proved at
-    // parse time under the all-inputs-are-doubles assumption) plus
-    // graph-side facts — every connector binds a single-point subset of an
-    // F64 container, with no passthrough staging or invalid outputs.
-    tp.use_f64 = !tp.use_reference && prog.has_f64_variant();
-    auto f64_access = [&](const AccessPlan& ap) {
-        return ap.single_point && !ap.invalid && ap.passthrough_pool < 0 &&
-               sdfg.has_container(ap.memlet->data) &&
-               sdfg.container(ap.memlet->data).dtype == ir::DType::F64;
+    // Dtype-signature selection (see VMSig): program-side feasibility
+    // (proved at parse time under the all-inputs-arrive-as-the-family
+    // assumption) plus graph-side facts.  Every *input* must bind a
+    // single-point subset of a matching-family container — F32 inputs work
+    // on the f64 engine because the tagged VM already promotes F32 loads to
+    // double (Buffer::load), so computing in double is what the tagged path
+    // does anyway.  *Outputs* bind a single-point subset of any dtype: the
+    // untagged scatter conversions mirror Buffer::store's casts on the
+    // tagged result exactly (including int64 -> float via double).  No
+    // passthrough staging or invalid outputs on either side.
+    auto untagged_ok = [&](bool float_family) {
+        auto shape_ok = [&](const AccessPlan& ap) {
+            return ap.single_point && !ap.invalid && ap.passthrough_pool < 0 &&
+                   sdfg.has_container(ap.memlet->data);
+        };
+        for (const AccessPlan& ap : tp.inputs) {
+            if (!shape_ok(ap)) return false;
+            if (ir::dtype_is_float(sdfg.container(ap.memlet->data).dtype) != float_family)
+                return false;
+        }
+        for (const AccessPlan& ap : tp.outputs)
+            if (!shape_ok(ap)) return false;
+        return true;
     };
-    for (const AccessPlan& ap : tp.inputs) tp.use_f64 = tp.use_f64 && f64_access(ap);
-    for (const AccessPlan& ap : tp.outputs) tp.use_f64 = tp.use_f64 && f64_access(ap);
+    if (!tp.use_reference) {
+        if (prog.has_f64_variant() && untagged_ok(/*float_family=*/true))
+            tp.sig = VMSig::F64;
+        else if (prog.has_i64_variant() && untagged_ok(/*float_family=*/false))
+            tp.sig = VMSig::I64;
+    }
 }
 
 const StatePlan& Interpreter::plan_for(const ir::SDFG& sdfg, const ir::State& state) {
@@ -655,11 +761,21 @@ bool Interpreter::execute_scope_kernel(const ir::SDFG& sdfg, const StatePlan& pl
         Buffer& buf = plan_buffer(sdfg, ctx, plan, ap);
         Scratch::KernelLane& lane = s.lanes[a];
         lane.buf = &buf;
-        lane.f64 = tp.use_f64 ? buf.f64_data() : nullptr;
+        lane.raw = nullptr;
+        lane.dt = buf.dtype();
         lane.slot = ap.slot_base;
         const std::size_t dims = ap.dims.size();
         if (buf.dims() != dims) return false;  // generic raises rank mismatch
-        if (tp.use_f64 && !lane.f64) return false;  // defensive: dtype drift
+        if (tp.sig != VMSig::Tagged) {
+            // Input dtype drift outside the signature's family: the generic
+            // tagged path handles any dtype.  Outputs convert on store, so
+            // only their raw pointer matters.
+            if (!ka.output &&
+                ir::dtype_is_float(lane.dt) != (tp.sig == VMSig::F64))
+                return false;
+            lane.raw = raw_data_of(buf);
+            if (!lane.raw) return false;  // defensive
+        }
         const auto& shape = buf.shape();
         const auto& strides = buf.strides();
         __int128 flat0 = 0;
@@ -715,6 +831,21 @@ bool Interpreter::execute_scope_kernel(const ir::SDFG& sdfg, const StatePlan& pl
             saturating_add(instructions_used_, total * static_cast<__int128>(ntasklets));
     }
 
+    // 3.75. Segment (batched) execution: when the kernel is
+    // segment-eligible, the knob is on, and this launch's concrete lane
+    // windows are alias-safe, run the whole innermost extent per dispatch
+    // through the vertical batch VMs.  Falls through to the per-point loop
+    // below (still a committed launch — same results, point at a time)
+    // when any condition fails.
+    const std::size_t inner = nparams - 1;
+    const std::int64_t seg_len = s.kcount[inner];
+    if (kern.segment_ok && config_.batch_segments && seg_len > 1 &&
+        segment_alias_safe(kern, nparams, seg_len)) {
+        run_segment_kernel(plan, kern, nparams, seg_len);
+        plans_->note_segment_launch();
+        return true;
+    }
+
     // 4. The loop.  Per point: gather -> VM -> scatter per tasklet through
     // the lanes; advancing to the next point is one add per lane.
     s.kiter.assign(nparams, 0);
@@ -725,7 +856,7 @@ bool Interpreter::execute_scope_kernel(const ir::SDFG& sdfg, const StatePlan& pl
                 plan.tasklet_plans[static_cast<std::size_t>(kern.tasklets[t])];
             const std::size_t nin = tp.inputs.size();
             const std::size_t nout = tp.outputs.size();
-            if (tp.use_f64) {
+            if (tp.sig == VMSig::F64) {
                 const std::size_t nslots = static_cast<std::size_t>(tp.prog->slot_count());
                 const std::size_t nregs = static_cast<std::size_t>(tp.prog->reg_count());
                 if (s.f64_slots.size() < nslots) s.f64_slots.resize(nslots);
@@ -735,13 +866,31 @@ bool Interpreter::execute_scope_kernel(const ir::SDFG& sdfg, const StatePlan& pl
                     const Scratch::KernelLane& lane = s.lanes[a];
                     if (lane.slot >= 0)
                         s.f64_slots[static_cast<std::size_t>(lane.slot)] =
-                            lane.f64[lane.offset];
+                            load_to_f64(lane.raw, lane.dt, lane.offset);
                 }
                 tp.prog->execute_f64(s.f64_slots.data(), s.f64_regs.data());
                 for (std::size_t i = 0; i < nout; ++i, ++a) {
                     const Scratch::KernelLane& lane = s.lanes[a];
-                    lane.f64[lane.offset] =
-                        s.f64_slots[static_cast<std::size_t>(lane.slot)];
+                    store_from_f64(lane.raw, lane.dt, lane.offset,
+                                   s.f64_slots[static_cast<std::size_t>(lane.slot)]);
+                }
+            } else if (tp.sig == VMSig::I64) {
+                const std::size_t nslots = static_cast<std::size_t>(tp.prog->slot_count());
+                const std::size_t nregs = static_cast<std::size_t>(tp.prog->reg_count());
+                if (s.i64_slots.size() < nslots) s.i64_slots.resize(nslots);
+                std::fill_n(s.i64_slots.begin(), nslots, std::int64_t{0});
+                if (s.i64_regs.size() < nregs) s.i64_regs.resize(nregs);
+                for (std::size_t i = 0; i < nin; ++i, ++a) {
+                    const Scratch::KernelLane& lane = s.lanes[a];
+                    if (lane.slot >= 0)
+                        s.i64_slots[static_cast<std::size_t>(lane.slot)] =
+                            load_to_i64(lane.raw, lane.dt, lane.offset);
+                }
+                tp.prog->execute_i64(s.i64_slots.data(), s.i64_regs.data());
+                for (std::size_t i = 0; i < nout; ++i, ++a) {
+                    const Scratch::KernelLane& lane = s.lanes[a];
+                    store_from_i64(lane.raw, lane.dt, lane.offset,
+                                   s.i64_slots[static_cast<std::size_t>(lane.slot)]);
                 }
             } else {
                 const std::size_t nslots = static_cast<std::size_t>(tp.prog->slot_count());
@@ -775,6 +924,212 @@ bool Interpreter::execute_scope_kernel(const ir::SDFG& sdfg, const StatePlan& pl
         }
         for (std::size_t l = 0; l < nlanes; ++l)
             s.lanes[l].offset += s.lane_delta[l * nparams + k];
+    }
+}
+
+bool Interpreter::segment_alias_safe(const ScopeKernel& kern, std::size_t nparams,
+                                     std::int64_t seg_len) const {
+    const Scratch& s = scratch_;
+    const std::size_t nlanes = kern.accesses.size();
+    const std::size_t inner = nparams - 1;
+    for (std::size_t w = 0; w < nlanes; ++w) {
+        if (!kern.accesses[w].output) continue;
+        const std::int64_t wd = s.lane_delta[w * nparams + inner];
+        const std::int64_t wo = s.lanes[w].offset;
+        for (std::size_t l = 0; l < nlanes; ++l) {
+            if (l == w) continue;
+            // Inputs with no slot are never loaded (side-effect-only
+            // gathers); they cannot observe reordering.
+            if (!kern.accesses[l].output && s.lanes[l].slot < 0) continue;
+            if (s.lanes[l].buf != s.lanes[w].buf) continue;
+            const std::int64_t ld = s.lane_delta[l * nparams + inner];
+            const std::int64_t lo = s.lanes[l].offset;
+            // Pointwise-aligned: the pair touches each address only at the
+            // same inner position, so relative order per address is
+            // preserved.  Stride 0 over a multi-point segment is a repeated
+            // same-address access — a sequential dependency, not aligned.
+            if (wo == lo && wd == ld && wd != 0) continue;
+            // Otherwise the windows must be disjoint.  Offsets are proven
+            // inside [0, buffer size) by lane setup, so the interval
+            // arithmetic cannot overflow.
+            const std::int64_t wlo = wd < 0 ? wo + wd * (seg_len - 1) : wo;
+            const std::int64_t whi = wd < 0 ? wo : wo + wd * (seg_len - 1);
+            const std::int64_t llo = ld < 0 ? lo + ld * (seg_len - 1) : lo;
+            const std::int64_t lhi = ld < 0 ? lo : lo + ld * (seg_len - 1);
+            if (whi < llo || lhi < wlo) continue;
+            return false;
+        }
+    }
+    return true;
+}
+
+void Interpreter::run_segment_kernel(const StatePlan& plan, const ScopeKernel& kern,
+                                     std::size_t nparams, std::int64_t seg_len) {
+    Scratch& s = scratch_;
+    const std::size_t nlanes = kern.accesses.size();
+    const std::size_t ntasklets = kern.tasklets.size();
+    const std::size_t inner = nparams - 1;
+
+    // Column arenas: tile the segment so scratch stays cache-resident, sized
+    // once for the largest program of each signature.  Tile-outer /
+    // tasklet-inner order: within a tile every tasklet sees its
+    // predecessors' stores for the whole tile — for pointwise-aligned
+    // dependencies (the only cross-lane interaction the alias check admits)
+    // that is exactly per-point order.
+    constexpr std::int64_t kTile = 256;
+    std::size_t f64_cols = 0, i64_cols = 0;
+    for (std::size_t t = 0; t < ntasklets; ++t) {
+        const TaskletPlan& tp = plan.tasklet_plans[static_cast<std::size_t>(kern.tasklets[t])];
+        const std::size_t cols = static_cast<std::size_t>(tp.prog->slot_count()) +
+                                 static_cast<std::size_t>(tp.prog->reg_count());
+        if (tp.sig == VMSig::F64) f64_cols = std::max(f64_cols, cols);
+        else i64_cols = std::max(i64_cols, cols);
+    }
+    const auto tile_sz = static_cast<std::size_t>(kTile);
+    if (s.seg_f64.size() < f64_cols * tile_sz) s.seg_f64.resize(f64_cols * tile_sz);
+    if (s.seg_i64.size() < i64_cols * tile_sz) s.seg_i64.resize(i64_cols * tile_sz);
+
+    // Lane offsets stay at the segment's start point; addresses inside a
+    // segment are offset + j * inner-stride.
+    s.kiter.assign(nparams, 0);
+    for (;;) {
+        for (std::int64_t j0 = 0; j0 < seg_len; j0 += kTile) {
+            const std::int64_t tn = std::min(kTile, seg_len - j0);
+            std::size_t a = 0;
+            for (std::size_t t = 0; t < ntasklets; ++t) {
+                const TaskletPlan& tp =
+                    plan.tasklet_plans[static_cast<std::size_t>(kern.tasklets[t])];
+                const std::size_t nin = tp.inputs.size();
+                const std::size_t nout = tp.outputs.size();
+                const auto nslots = static_cast<std::int64_t>(tp.prog->slot_count());
+                if (tp.sig == VMSig::F64) {
+                    double* cols = s.seg_f64.data();
+                    double* regs = cols + nslots * tn;
+                    std::fill_n(cols, static_cast<std::size_t>(nslots * tn), 0.0);
+                    for (std::size_t i = 0; i < nin; ++i, ++a) {
+                        const Scratch::KernelLane& lane = s.lanes[a];
+                        if (lane.slot < 0) continue;
+                        const std::int64_t d = s.lane_delta[a * nparams + inner];
+                        const std::int64_t base = lane.offset + j0 * d;
+                        double* col = cols + static_cast<std::int64_t>(lane.slot) * tn;
+                        if (lane.dt == ir::DType::F64) {
+                            const double* src = static_cast<const double*>(lane.raw) + base;
+                            for (std::int64_t j = 0; j < tn; ++j) col[j] = src[j * d];
+                        } else {
+                            const float* src = static_cast<const float*>(lane.raw) + base;
+                            for (std::int64_t j = 0; j < tn; ++j)
+                                col[j] = static_cast<double>(src[j * d]);
+                        }
+                    }
+                    tp.prog->execute_f64_batch(cols, regs, tn);
+                    for (std::size_t i = 0; i < nout; ++i, ++a) {
+                        const Scratch::KernelLane& lane = s.lanes[a];
+                        const std::int64_t d = s.lane_delta[a * nparams + inner];
+                        const std::int64_t base = lane.offset + j0 * d;
+                        const double* col = cols + static_cast<std::int64_t>(lane.slot) * tn;
+                        switch (lane.dt) {
+                            case ir::DType::F64: {
+                                double* dst = static_cast<double*>(lane.raw) + base;
+                                for (std::int64_t j = 0; j < tn; ++j) dst[j * d] = col[j];
+                                break;
+                            }
+                            case ir::DType::F32: {
+                                float* dst = static_cast<float*>(lane.raw) + base;
+                                for (std::int64_t j = 0; j < tn; ++j)
+                                    dst[j * d] = static_cast<float>(col[j]);
+                                break;
+                            }
+                            case ir::DType::I64: {
+                                std::int64_t* dst = static_cast<std::int64_t*>(lane.raw) + base;
+                                for (std::int64_t j = 0; j < tn; ++j)
+                                    dst[j * d] = static_cast<std::int64_t>(col[j]);
+                                break;
+                            }
+                            case ir::DType::I32: {
+                                std::int32_t* dst = static_cast<std::int32_t*>(lane.raw) + base;
+                                for (std::int64_t j = 0; j < tn; ++j)
+                                    dst[j * d] = static_cast<std::int32_t>(
+                                        static_cast<std::int64_t>(col[j]));
+                                break;
+                            }
+                        }
+                    }
+                } else {  // VMSig::I64 — segment_ok excludes Tagged
+                    std::int64_t* cols = s.seg_i64.data();
+                    std::int64_t* regs = cols + nslots * tn;
+                    std::fill_n(cols, static_cast<std::size_t>(nslots * tn), std::int64_t{0});
+                    for (std::size_t i = 0; i < nin; ++i, ++a) {
+                        const Scratch::KernelLane& lane = s.lanes[a];
+                        if (lane.slot < 0) continue;
+                        const std::int64_t d = s.lane_delta[a * nparams + inner];
+                        const std::int64_t base = lane.offset + j0 * d;
+                        std::int64_t* col = cols + static_cast<std::int64_t>(lane.slot) * tn;
+                        if (lane.dt == ir::DType::I64) {
+                            const std::int64_t* src =
+                                static_cast<const std::int64_t*>(lane.raw) + base;
+                            for (std::int64_t j = 0; j < tn; ++j) col[j] = src[j * d];
+                        } else {
+                            const std::int32_t* src =
+                                static_cast<const std::int32_t*>(lane.raw) + base;
+                            for (std::int64_t j = 0; j < tn; ++j)
+                                col[j] = static_cast<std::int64_t>(src[j * d]);
+                        }
+                    }
+                    tp.prog->execute_i64_batch(cols, regs, tn);
+                    for (std::size_t i = 0; i < nout; ++i, ++a) {
+                        const Scratch::KernelLane& lane = s.lanes[a];
+                        const std::int64_t d = s.lane_delta[a * nparams + inner];
+                        const std::int64_t base = lane.offset + j0 * d;
+                        const std::int64_t* col =
+                            cols + static_cast<std::int64_t>(lane.slot) * tn;
+                        switch (lane.dt) {
+                            case ir::DType::F64: {
+                                double* dst = static_cast<double*>(lane.raw) + base;
+                                for (std::int64_t j = 0; j < tn; ++j)
+                                    dst[j * d] = static_cast<double>(col[j]);
+                                break;
+                            }
+                            case ir::DType::F32: {
+                                // Via double: mirrors Buffer::store's
+                                // as_double() double-rounding.
+                                float* dst = static_cast<float*>(lane.raw) + base;
+                                for (std::int64_t j = 0; j < tn; ++j)
+                                    dst[j * d] =
+                                        static_cast<float>(static_cast<double>(col[j]));
+                                break;
+                            }
+                            case ir::DType::I64: {
+                                std::int64_t* dst = static_cast<std::int64_t*>(lane.raw) + base;
+                                for (std::int64_t j = 0; j < tn; ++j) dst[j * d] = col[j];
+                                break;
+                            }
+                            case ir::DType::I32: {
+                                std::int32_t* dst = static_cast<std::int32_t*>(lane.raw) + base;
+                                for (std::int64_t j = 0; j < tn; ++j)
+                                    dst[j * d] = static_cast<std::int32_t>(col[j]);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Outer odometer (levels [0, inner)); a level-k advance moves every
+        // lane from this segment's start to the next segment's start: the
+        // per-point delta for level k (which folds the resets of all deeper
+        // levels, including the untraveled inner one) plus the inner
+        // traversal the per-point path would have performed.
+        if (inner == 0) return;
+        std::size_t k = inner - 1;
+        for (;;) {
+            if (++s.kiter[k] < s.kcount[k]) break;
+            s.kiter[k] = 0;
+            if (k == 0) return;
+            --k;
+        }
+        for (std::size_t l = 0; l < nlanes; ++l)
+            s.lanes[l].offset += s.lane_delta[l * nparams + k] +
+                                 s.lane_delta[l * nparams + inner] * (seg_len - 1);
     }
 }
 
@@ -1005,9 +1360,9 @@ void Interpreter::execute_tasklet_planned(const ir::SDFG& sdfg, const ir::State&
                                           const StatePlan& plan, const TaskletPlan& tp,
                                           Context& ctx) {
     (void)state;
-    // One dispatch regardless of which VM runs it (the f64 fallback below
-    // re-runs on the tagged path without re-counting) — the cost counters
-    // must be invariant across tiers.
+    // One dispatch regardless of which VM runs it (the untagged fallback
+    // below re-runs on the tagged path without re-counting) — the cost
+    // counters must be invariant across tiers.
     instructions_used_ = saturating_add(instructions_used_, 1);
     Scratch& s = scratch_;
     if (s.cache_plan != &plan || s.cache_ctx != &ctx) {
@@ -1015,7 +1370,9 @@ void Interpreter::execute_tasklet_planned(const ir::SDFG& sdfg, const ir::State&
         s.cache_plan = &plan;
         s.cache_ctx = &ctx;
     }
-    if (tp.use_f64 && config_.specialize && execute_tasklet_f64(sdfg, plan, tp, ctx)) return;
+    if (tp.sig != VMSig::Tagged && config_.specialize &&
+        execute_tasklet_untagged(sdfg, plan, tp, ctx))
+        return;
 
     const std::size_t nslots = static_cast<std::size_t>(tp.prog->slot_count());
     const std::size_t nregs = static_cast<std::size_t>(tp.prog->reg_count());
@@ -1039,25 +1396,36 @@ void Interpreter::execute_tasklet_planned(const ir::SDFG& sdfg, const ir::State&
     for (const AccessPlan& ap : tp.outputs) plan_scatter(sdfg, ctx, plan, tp, ap, s.slots.data());
 }
 
-bool Interpreter::execute_tasklet_f64(const ir::SDFG& sdfg, const StatePlan& plan,
-                                      const TaskletPlan& tp, Context& ctx) {
-    // Twin of execute_tasklet_planned for tp.use_f64 nodes outside
-    // flat-stride kernels: every access is a single F64 point (by
-    // classification), so gathers and scatters move raw doubles between
-    // bounds-checked flat indices and the untagged slot array.  Evaluation
-    // order — inputs in edge order, declared-input checks, program, outputs
-    // in edge order — matches the tagged path instruction for instruction,
-    // including lazy output-buffer allocation at each scatter (an earlier
-    // output's bounds error must leave later outputs unallocated, exactly
-    // like the tagged path).  The output dtype-drift check is therefore a
-    // pure lookup: a buffer absent from the context will be allocated from
-    // the declared F64 container and cannot have drifted.
+bool Interpreter::execute_tasklet_untagged(const ir::SDFG& sdfg, const StatePlan& plan,
+                                           const TaskletPlan& tp, Context& ctx) {
+    // Twin of execute_tasklet_planned for tp.sig != Tagged nodes outside
+    // flat-stride kernels: every access is a single point (by
+    // classification), so gathers and scatters move raw values between
+    // bounds-checked flat indices and the untagged slot array, converting
+    // per the buffer's runtime dtype (the exact Buffer::load/store
+    // expressions — see the conversion helpers).  Evaluation order — inputs
+    // in edge order, declared-input checks, program, outputs in edge order —
+    // matches the tagged path instruction for instruction, including lazy
+    // output-buffer allocation at each scatter (an earlier output's bounds
+    // error must leave later outputs unallocated, exactly like the tagged
+    // path).  A caller-provided *input* buffer whose runtime dtype drifted
+    // outside the signature's family hands the node back to the tagged path
+    // (return false, before any store); output buffers convert from the
+    // untagged result whatever their dtype, so they can never force a
+    // fallback.
     Scratch& s = scratch_;
+    const bool is_f64 = tp.sig == VMSig::F64;
     const std::size_t nslots = static_cast<std::size_t>(tp.prog->slot_count());
     const std::size_t nregs = static_cast<std::size_t>(tp.prog->reg_count());
-    if (s.f64_slots.size() < nslots) s.f64_slots.resize(nslots);
-    std::fill_n(s.f64_slots.begin(), nslots, 0.0);
-    if (s.f64_regs.size() < nregs) s.f64_regs.resize(nregs);
+    if (is_f64) {
+        if (s.f64_slots.size() < nslots) s.f64_slots.resize(nslots);
+        std::fill_n(s.f64_slots.begin(), nslots, 0.0);
+        if (s.f64_regs.size() < nregs) s.f64_regs.resize(nregs);
+    } else {
+        if (s.i64_slots.size() < nslots) s.i64_slots.resize(nslots);
+        std::fill_n(s.i64_slots.begin(), nslots, std::int64_t{0});
+        if (s.i64_regs.size() < nregs) s.i64_regs.resize(nregs);
+    }
 
     auto& idx = s.idx;
     auto flat_of = [&](Buffer& buf, const AccessPlan& ap) {
@@ -1071,28 +1439,32 @@ bool Interpreter::execute_tasklet_f64(const ir::SDFG& sdfg, const StatePlan& pla
     for (std::size_t i = 0; i < tp.inputs.size(); ++i) {
         const AccessPlan& ap = tp.inputs[i];
         Buffer& buf = plan_buffer(sdfg, ctx, plan, ap);
-        const double* data = buf.f64_data();
-        if (!data) return false;  // dtype drift: tagged path handles it
+        if (ir::dtype_is_float(buf.dtype()) != is_f64)
+            return false;  // input dtype drift: tagged path handles it
+        const void* data = raw_data_of(buf);
         const std::int64_t flat = flat_of(buf, ap);
-        if (ap.slot_base >= 0)
-            s.f64_slots[static_cast<std::size_t>(ap.slot_base)] = data[flat];
+        if (ap.slot_base >= 0) {
+            const auto slot = static_cast<std::size_t>(ap.slot_base);
+            if (is_f64) s.f64_slots[slot] = load_to_f64(data, buf.dtype(), flat);
+            else s.i64_slots[slot] = load_to_i64(data, buf.dtype(), flat);
+        }
         s.input_counts[i] = 1;
     }
     for (const TaskletPlan::InputCheck& check : tp.input_checks)
         if (check.input_index < 0 ||
             s.input_counts[static_cast<std::size_t>(check.input_index)] < check.width)
             throw common::Error("tasklet: missing input connector '" + check.conn + "'");
-    for (const AccessPlan& ap : tp.outputs) {
-        const auto it = ctx.buffers.find(ap.memlet->data);
-        if (it != ctx.buffers.end() && !it->second.f64_data()) return false;
-    }
 
-    tp.prog->execute_f64(s.f64_slots.data(), s.f64_regs.data());
+    if (is_f64) tp.prog->execute_f64(s.f64_slots.data(), s.f64_regs.data());
+    else tp.prog->execute_i64(s.i64_slots.data(), s.i64_regs.data());
 
     for (const AccessPlan& ap : tp.outputs) {
         Buffer& buf = plan_buffer(sdfg, ctx, plan, ap);
-        buf.f64_data()[flat_of(buf, ap)] =
-            s.f64_slots[static_cast<std::size_t>(ap.slot_base)];
+        void* data = raw_data_of(buf);
+        const std::int64_t flat = flat_of(buf, ap);
+        const auto slot = static_cast<std::size_t>(ap.slot_base);
+        if (is_f64) store_from_f64(data, buf.dtype(), flat, s.f64_slots[slot]);
+        else store_from_i64(data, buf.dtype(), flat, s.i64_slots[slot]);
     }
     return true;
 }

@@ -61,13 +61,26 @@
 // bounds-checked flat_index calls — advancing a point is one add per
 // connector, and the whole iteration footprint is validated once per launch
 // (a launch that could fault falls back to the generic odometer, which owns
-// partial-effect and error-ordering semantics).  Independently, a tasklet
-// whose connectors all bind scalar F64 containers and whose program admits
-// it (see TaskletProgram::has_f64_variant) selects the untagged double-only
-// VM; inside a kernel its inner loop runs over raw Buffer f64 storage.
-// Classification lives in the shared plan (keyed, like everything else, on
-// plan uid + mutation epoch); ExecConfig::specialize selects whether
-// execution uses it, and results are byte-identical either way.
+// partial-effect and error-ordering semantics).  Independently, each tasklet
+// selects a *dtype signature* (TaskletPlan::sig): a program admitting the
+// untagged double VM (TaskletProgram::has_f64_variant) whose input
+// connectors all bind scalar float-family (F64/F32) containers runs tagless
+// on raw doubles, and a program admitting the int twin (has_i64_variant)
+// whose inputs all bind int-family (I64/I32) containers runs on raw int64s;
+// output containers may be any dtype — the store-side conversions mirror the
+// tagged VM's Buffer::store casts exactly.  Inside a kernel an untagged
+// tasklet's inner loop runs over raw Buffer storage with per-lane dtype
+// conversion.  On top of that sits the *segment* tier: a kernel whose
+// tasklets are all untagged and straight-line (no branches, no traps) can
+// run its whole stride-1 innermost extent per dispatch through the vertical
+// batch VMs (TaskletProgram::execute_*_batch) — auto-vectorizable column
+// loops instead of per-point dispatch.  Each launch checks the concrete lane
+// windows for unsafe aliasing (vertical execution reorders loads/stores
+// across points) and silently degrades to the per-point kernel loop when
+// segments could overlap.  Classification lives in the shared plan (keyed,
+// like everything else, on plan uid + mutation epoch); ExecConfig::specialize
+// and ExecConfig::batch_segments select what execution uses, and results are
+// byte-identical under every toggle combination.
 //
 // Plan sharing across threads:
 //
@@ -115,12 +128,18 @@ struct ExecConfig {
     /// for differential testing and the hot-path benchmark.
     bool use_compiled_tasklets = true;
     /// Use the plan's specialization tiers: flat-stride map kernels and the
-    /// untagged f64 tasklet VM (only meaningful with compiled tasklets).
-    /// Plans always carry the classification; this selects whether execution
-    /// uses it.  Off reproduces the generic compiled path — results are
-    /// byte-identical either way (the determinism contract), so this knob
-    /// exists for benchmarking and differential self-checks.
+    /// untagged f64/i64 tasklet VMs (only meaningful with compiled
+    /// tasklets).  Plans always carry the classification; this selects
+    /// whether execution uses it.  Off reproduces the generic compiled path
+    /// — results are byte-identical either way (the determinism contract),
+    /// so this knob exists for benchmarking and differential self-checks.
     bool specialize = true;
+    /// Run segment-eligible kernels through the batched vertical VMs (whole
+    /// stride-1 innermost extent per dispatch) instead of the per-point
+    /// kernel loop.  Only meaningful with specialize; results are
+    /// byte-identical either way, so this knob exists for benchmarking and
+    /// differential self-checks.
+    bool batch_segments = true;
 };
 
 enum class ExecStatus {
@@ -183,6 +202,20 @@ struct AccessPlan {
     std::vector<RangePlan> dims;
 };
 
+/// Dtype signature of a planned tasklet: which VM executes it under
+/// ExecConfig::specialize.  Untagged signatures require the program to admit
+/// the corresponding engine (TaskletProgram::has_f64_variant /
+/// has_i64_variant), every *input* connector to bind a single-point subset
+/// of a matching-family container (float family F64/F32 for F64, int family
+/// I64/I32 for I64), and every output connector a single-point subset of any
+/// dtype — output conversions mirror the tagged VM's Buffer::store casts
+/// exactly, so results are byte-identical.
+enum class VMSig : std::uint8_t {
+    Tagged,  ///< Generic tagged-Value bytecode VM (always correct).
+    F64,     ///< Untagged double VM (float-family inputs).
+    I64,     ///< Untagged int64 VM (int-family inputs).
+};
+
 /// Compiled execution recipe for one tasklet node.
 struct TaskletPlan {
     TaskletProgramPtr prog;
@@ -202,11 +235,9 @@ struct TaskletPlan {
     /// Trap connector bound by an edge: the static unbound-lane analysis
     /// does not apply, run this node on the reference engine.
     bool use_reference = false;
-    /// Run the untagged double-only bytecode: the program admits it (see
-    /// TaskletProgram::has_f64_variant) and every connector binds a
-    /// single-point subset of an F64 container.  Gated at execution time by
-    /// ExecConfig::specialize.
-    bool use_f64 = false;
+    /// Dtype signature selected at plan time (see VMSig).  Untagged
+    /// signatures are gated at execution time by ExecConfig::specialize.
+    VMSig sig = VMSig::Tagged;
 };
 
 /// Compiled execution recipe for one map scope.
@@ -248,6 +279,11 @@ struct KernelAccess {
 struct ScopeKernel {
     std::vector<int> tasklets;           ///< tasklet_plans indices, child order.
     std::vector<KernelAccess> accesses;  ///< Grouped by tasklet, inputs first.
+    /// Segment-eligible: every tasklet selected an untagged signature and is
+    /// straight-line, so the innermost extent can execute through the batch
+    /// VMs.  Each launch still checks the concrete lane windows for unsafe
+    /// aliasing before batching (see execute_scope_kernel).
+    bool segment_ok = false;
 };
 
 /// Precomputed execution structure of one state: topological order, scope
@@ -361,19 +397,41 @@ private:
     /// path, so step-0 / unbound-symbol errors surface identically.
     bool execute_scope_kernel(const ir::SDFG& sdfg, const StatePlan& plan, const ScopePlan& sp,
                               const ScopeKernel& kern, Context& ctx);
+    /// Whether this launch's concrete lane windows permit vertical (batched)
+    /// execution of the innermost extent.  Vertical execution reorders
+    /// loads/stores across points, so every (write, other) lane pair on the
+    /// same buffer must either be pointwise-aligned — same start offset and
+    /// same nonzero inner stride, so the pair only ever interacts at equal
+    /// inner positions — or cover disjoint address windows.  In particular a
+    /// stride-0 in-place update (x = f(x) broadcast over the segment) is a
+    /// sequential dependency and stays on the per-point loop.  Reads scratch
+    /// lane state set up by execute_scope_kernel.
+    bool segment_alias_safe(const ScopeKernel& kern, std::size_t nparams,
+                            std::int64_t seg_len) const;
+    /// The batched inner loop of a committed, alias-safe launch: iterates
+    /// the outer levels, and per segment runs each tasklet's whole innermost
+    /// extent through the vertical VMs in tiles (gather columns -> batch VM
+    /// -> scatter columns, converting per lane dtype).  Tile-outer /
+    /// tasklet-inner order preserves per-point semantics for
+    /// pointwise-aligned cross-tasklet dependencies.  Must only be called
+    /// from execute_scope_kernel after footprint validation and fuel
+    /// charging; cannot throw (straight-line, throw-free programs by
+    /// classification).
+    void run_segment_kernel(const StatePlan& plan, const ScopeKernel& kern, std::size_t nparams,
+                            std::int64_t seg_len);
     void execute_tasklet(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
                          Context& ctx);
     void execute_tasklet_planned(const ir::SDFG& sdfg, const ir::State& state,
                                  const StatePlan& plan, const TaskletPlan& tp, Context& ctx);
-    /// Untagged f64 twin of execute_tasklet_planned (tp.use_f64 only):
-    /// single-point gathers/scatters straight between raw F64 storage and a
-    /// flat double slot array, no Value tags anywhere.  Returns false —
-    /// before any store, with only idempotent work done — when a
-    /// caller-provided context buffer's dtype drifted from the declared F64
-    /// container; the caller then runs the tagged path, which handles any
-    /// dtype.
-    bool execute_tasklet_f64(const ir::SDFG& sdfg, const StatePlan& plan, const TaskletPlan& tp,
-                             Context& ctx);
+    /// Untagged twin of execute_tasklet_planned (tp.sig != Tagged only):
+    /// single-point gathers/scatters straight between raw Buffer storage and
+    /// a flat double/int64 slot array, converting per the lane's dtype — no
+    /// Value tags anywhere.  Returns false — before any store, with only
+    /// idempotent work done — when a caller-provided context buffer's dtype
+    /// drifted outside the signature's input family; the caller then runs
+    /// the tagged path, which handles any dtype.
+    bool execute_tasklet_untagged(const ir::SDFG& sdfg, const StatePlan& plan,
+                                  const TaskletPlan& tp, Context& ctx);
     void execute_access_copies(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
                                Context& ctx);
     void execute_comm_single_rank(const ir::SDFG& sdfg, const ir::State& state, ir::NodeId node,
@@ -456,16 +514,27 @@ private:
         };
         std::vector<ActiveParam> active_params;
 
-        // Untagged f64 tasklet execution (TaskletPlan::use_f64).
-        std::vector<double> f64_slots;  // connector lanes, raw doubles
-        std::vector<double> f64_regs;   // f64 VM register file
+        // Untagged tasklet execution (TaskletPlan::sig != Tagged).
+        std::vector<double> f64_slots;          // connector lanes, raw doubles
+        std::vector<double> f64_regs;           // f64 VM register file
+        std::vector<std::int64_t> i64_slots;    // connector lanes, raw int64s
+        std::vector<std::int64_t> i64_regs;     // i64 VM register file
+
+        // Segment (batched) execution: column arenas for the vertical VMs —
+        // slot and register columns of one tile (slot s occupies
+        // [s*tile, s*tile + tile)).  Sized max(slot_count, ...) + reg columns
+        // per sig at launch time, reused across tiles and launches.
+        std::vector<double> seg_f64;
+        std::vector<std::int64_t> seg_i64;
 
         // Flat-stride kernel launch state (reused across launches).
-        /// One access of the running kernel: its buffer, an optional raw f64
-        /// pointer (F64 fast path), and the current flat offset.
+        /// One access of the running kernel: its buffer, the raw storage
+        /// pointer + runtime dtype (untagged fast path), and the current
+        /// flat offset.
         struct KernelLane {
             Buffer* buf = nullptr;
-            double* f64 = nullptr;
+            void* raw = nullptr;            // dtype-erased storage base
+            ir::DType dt = ir::DType::F64;  // runtime buffer dtype
             std::int64_t offset = 0;
             int slot = -1;  // connector slot base; -1 = side-effect-only gather
         };

@@ -508,9 +508,15 @@ private:
             mark_assigned(s.var, s.lane);
         }
         p_.reg_count_ = max_reg_ + 1;
-        for (const BCInstr& in : p_.bytecode_)
+        p_.straightline_ = true;
+        for (const BCInstr& in : p_.bytecode_) {
             if (in.op == BC::Div || in.op == BC::Mod) p_.has_div_mod_ = true;
+            if (in.op == BC::Jump || in.op == BC::JumpIfFalse || in.op == BC::JumpIfTrue ||
+                in.op == BC::Trap)
+                p_.straightline_ = false;
+        }
         analyze_f64();
+        analyze_i64();
     }
 
     // --- Untagged f64 feasibility (see TaskletProgram::has_f64_variant) ---
@@ -637,6 +643,29 @@ private:
         if (!feasible) return;
         p_.f64consts_.reserve(p_.consts_.size());
         for (const Value& c : p_.consts_) p_.f64consts_.push_back(c.as_double());
+    }
+
+    /// Untagged i64 feasibility (see TaskletProgram::has_i64_variant).  With
+    /// every input arriving as int64 and every constant integer, values can
+    /// only become float through a float-producing opcode — so feasibility is
+    /// a pure instruction scan, no abstract interpretation needed.
+    void analyze_i64() {
+        bool feasible = true;
+        for (const Value& c : p_.consts_) feasible = feasible && !c.is_float;
+        for (const BCInstr& in : p_.bytecode_) {
+            switch (in.op) {
+                case BC::Trap:
+                case BC::Exp: case BC::Log: case BC::Sqrt: case BC::Sin: case BC::Cos:
+                case BC::Tanh: case BC::Floor: case BC::Ceil: case BC::Pow:
+                    feasible = false;
+                    break;
+                default: break;
+            }
+        }
+        p_.i64_feasible_ = feasible;
+        if (!feasible) return;
+        p_.i64consts_.reserve(p_.consts_.size());
+        for (const Value& c : p_.consts_) p_.i64consts_.push_back(c.i);
     }
 
     void build_slot_table() {
@@ -1064,6 +1093,282 @@ void TaskletProgram::execute_f64(double* slots, double* regs) const {
             case BC::Pow: regs[in.dst] = std::pow(regs[in.a], regs[in.b]); break;
         }
         ++pc;
+    }
+}
+
+void TaskletProgram::execute_i64(std::int64_t* slots, std::int64_t* regs) const {
+    // Untagged int64 twin of execute_compiled: feasibility (has_i64_variant)
+    // proved every runtime value stays integer-tagged, so each opcode mirrors
+    // the tagged VM's int path exactly.  Comparisons go through double
+    // conversion because the tagged VM compares as_double() — identical for
+    // every operand, including magnitudes past 2^53 where the conversion
+    // rounds (both engines then compare the same rounded doubles).
+    const BCInstr* code = bytecode_.data();
+    const std::size_t n = bytecode_.size();
+    const std::int64_t* consts = i64consts_.data();
+    std::size_t pc = 0;
+    while (pc < n) {
+        const BCInstr& in = code[pc];
+        switch (in.op) {
+            case BC::Const: regs[in.dst] = consts[in.a]; break;
+            case BC::LoadSlot: regs[in.dst] = slots[in.a]; break;
+            case BC::StoreSlot: slots[in.a] = regs[in.b]; break;
+            case BC::Bool: regs[in.dst] = regs[in.a] != 0 ? 1 : 0; break;
+            case BC::Trap:
+                // Feasibility rejects traps; keep the tagged VM's error for
+                // defense in depth.
+                throw common::Error("tasklet: unbound connector '" +
+                                    var_names_[static_cast<std::size_t>(in.a)] + "'");
+            case BC::Jump: pc = static_cast<std::size_t>(in.a); continue;
+            case BC::JumpIfFalse:
+                if (regs[in.a] == 0) { pc = static_cast<std::size_t>(in.b); continue; }
+                break;
+            case BC::JumpIfTrue:
+                if (regs[in.a] != 0) { pc = static_cast<std::size_t>(in.b); continue; }
+                break;
+            case BC::Neg: regs[in.dst] = -regs[in.a]; break;
+            case BC::Not: regs[in.dst] = regs[in.a] == 0 ? 1 : 0; break;
+            case BC::Abs: regs[in.dst] = regs[in.a] < 0 ? -regs[in.a] : regs[in.a]; break;
+            case BC::Exp: case BC::Log: case BC::Sqrt: case BC::Sin: case BC::Cos:
+            case BC::Tanh: case BC::Floor: case BC::Ceil: case BC::Pow:
+                throw common::Error("tasklet: i64 engine reached a float opcode");
+            case BC::Add: regs[in.dst] = regs[in.a] + regs[in.b]; break;
+            case BC::Sub: regs[in.dst] = regs[in.a] - regs[in.b]; break;
+            case BC::Mul: regs[in.dst] = regs[in.a] * regs[in.b]; break;
+            case BC::Div: regs[in.dst] = sym::floordiv_i64(regs[in.a], regs[in.b]); break;
+            case BC::Mod: regs[in.dst] = sym::floormod_i64(regs[in.a], regs[in.b]); break;
+            case BC::Lt:
+                regs[in.dst] =
+                    static_cast<double>(regs[in.a]) < static_cast<double>(regs[in.b]) ? 1 : 0;
+                break;
+            case BC::Le:
+                regs[in.dst] =
+                    static_cast<double>(regs[in.a]) <= static_cast<double>(regs[in.b]) ? 1 : 0;
+                break;
+            case BC::Gt:
+                regs[in.dst] =
+                    static_cast<double>(regs[in.a]) > static_cast<double>(regs[in.b]) ? 1 : 0;
+                break;
+            case BC::Ge:
+                regs[in.dst] =
+                    static_cast<double>(regs[in.a]) >= static_cast<double>(regs[in.b]) ? 1 : 0;
+                break;
+            case BC::Eq:
+                regs[in.dst] =
+                    static_cast<double>(regs[in.a]) == static_cast<double>(regs[in.b]) ? 1 : 0;
+                break;
+            case BC::Ne:
+                regs[in.dst] =
+                    static_cast<double>(regs[in.a]) != static_cast<double>(regs[in.b]) ? 1 : 0;
+                break;
+            case BC::Min: regs[in.dst] = std::min(regs[in.a], regs[in.b]); break;
+            case BC::Max: regs[in.dst] = std::max(regs[in.a], regs[in.b]); break;
+        }
+        ++pc;
+    }
+}
+
+// --- Batched (segment) execution ---------------------------------------------
+//
+// Vertical twins of the untagged engines for straight-line programs: one
+// pass over the bytecode, each instruction executing as a tight loop over a
+// column of `n` lanes.  The loops carry no cross-lane dependencies and no
+// branches, so the compiler auto-vectorizes them — this is the inner loop of
+// the interpreter's segment kernels.  Straight-line bytecode has no jumps or
+// traps by definition (is_straightline), so pc only ever advances.
+
+void TaskletProgram::execute_f64_batch(double* slots, double* regs, std::int64_t n) const {
+    for (const BCInstr& in : bytecode_) {
+        double* d = regs + static_cast<std::int64_t>(in.dst) * n;
+        const double* a = regs + static_cast<std::int64_t>(in.a) * n;
+        const double* b = regs + static_cast<std::int64_t>(in.b) * n;
+        switch (in.op) {
+            case BC::Const: {
+                const double c = f64consts_[static_cast<std::size_t>(in.a)];
+                for (std::int64_t j = 0; j < n; ++j) d[j] = c;
+                break;
+            }
+            case BC::LoadSlot: {
+                const double* src = slots + static_cast<std::int64_t>(in.a) * n;
+                for (std::int64_t j = 0; j < n; ++j) d[j] = src[j];
+                break;
+            }
+            case BC::StoreSlot: {
+                double* dst = slots + static_cast<std::int64_t>(in.a) * n;
+                for (std::int64_t j = 0; j < n; ++j) dst[j] = b[j];
+                break;
+            }
+            case BC::Bool:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] != 0.0 ? 1.0 : 0.0;
+                break;
+            case BC::Trap: case BC::Jump: case BC::JumpIfFalse: case BC::JumpIfTrue:
+                throw common::Error("tasklet: batch engine on non-straight-line program");
+            case BC::Neg:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = -a[j];
+                break;
+            case BC::Not:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] == 0.0 ? 1.0 : 0.0;
+                break;
+            case BC::Abs:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::fabs(a[j]);
+                break;
+            case BC::Exp:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::exp(a[j]);
+                break;
+            case BC::Log:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::log(a[j]);
+                break;
+            case BC::Sqrt:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::sqrt(a[j]);
+                break;
+            case BC::Sin:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::sin(a[j]);
+                break;
+            case BC::Cos:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::cos(a[j]);
+                break;
+            case BC::Tanh:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::tanh(a[j]);
+                break;
+            case BC::Floor:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::floor(a[j]);
+                break;
+            case BC::Ceil:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::ceil(a[j]);
+                break;
+            case BC::Add:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] + b[j];
+                break;
+            case BC::Sub:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] - b[j];
+                break;
+            case BC::Mul:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] * b[j];
+                break;
+            case BC::Div:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] / b[j];
+                break;
+            case BC::Mod:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::fmod(a[j], b[j]);
+                break;
+            case BC::Lt:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] < b[j] ? 1.0 : 0.0;
+                break;
+            case BC::Le:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] <= b[j] ? 1.0 : 0.0;
+                break;
+            case BC::Gt:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] > b[j] ? 1.0 : 0.0;
+                break;
+            case BC::Ge:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] >= b[j] ? 1.0 : 0.0;
+                break;
+            case BC::Eq:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] == b[j] ? 1.0 : 0.0;
+                break;
+            case BC::Ne:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] != b[j] ? 1.0 : 0.0;
+                break;
+            case BC::Min:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::fmin(a[j], b[j]);
+                break;
+            case BC::Max:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::fmax(a[j], b[j]);
+                break;
+            case BC::Pow:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::pow(a[j], b[j]);
+                break;
+        }
+    }
+}
+
+void TaskletProgram::execute_i64_batch(std::int64_t* slots, std::int64_t* regs,
+                                       std::int64_t n) const {
+    for (const BCInstr& in : bytecode_) {
+        std::int64_t* d = regs + static_cast<std::int64_t>(in.dst) * n;
+        const std::int64_t* a = regs + static_cast<std::int64_t>(in.a) * n;
+        const std::int64_t* b = regs + static_cast<std::int64_t>(in.b) * n;
+        switch (in.op) {
+            case BC::Const: {
+                const std::int64_t c = i64consts_[static_cast<std::size_t>(in.a)];
+                for (std::int64_t j = 0; j < n; ++j) d[j] = c;
+                break;
+            }
+            case BC::LoadSlot: {
+                const std::int64_t* src = slots + static_cast<std::int64_t>(in.a) * n;
+                for (std::int64_t j = 0; j < n; ++j) d[j] = src[j];
+                break;
+            }
+            case BC::StoreSlot: {
+                std::int64_t* dst = slots + static_cast<std::int64_t>(in.a) * n;
+                for (std::int64_t j = 0; j < n; ++j) dst[j] = b[j];
+                break;
+            }
+            case BC::Bool:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] != 0 ? 1 : 0;
+                break;
+            case BC::Trap: case BC::Jump: case BC::JumpIfFalse: case BC::JumpIfTrue:
+                throw common::Error("tasklet: batch engine on non-straight-line program");
+            case BC::Exp: case BC::Log: case BC::Sqrt: case BC::Sin: case BC::Cos:
+            case BC::Tanh: case BC::Floor: case BC::Ceil: case BC::Pow:
+                throw common::Error("tasklet: i64 engine reached a float opcode");
+            case BC::Neg:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = -a[j];
+                break;
+            case BC::Not:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] == 0 ? 1 : 0;
+                break;
+            case BC::Abs:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] < 0 ? -a[j] : a[j];
+                break;
+            case BC::Add:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] + b[j];
+                break;
+            case BC::Sub:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] - b[j];
+                break;
+            case BC::Mul:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = a[j] * b[j];
+                break;
+            case BC::Div:
+                // Unreachable from segment kernels (classification requires
+                // throw-free programs); kept exact for direct callers.
+                for (std::int64_t j = 0; j < n; ++j) d[j] = sym::floordiv_i64(a[j], b[j]);
+                break;
+            case BC::Mod:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = sym::floormod_i64(a[j], b[j]);
+                break;
+            case BC::Lt:
+                for (std::int64_t j = 0; j < n; ++j)
+                    d[j] = static_cast<double>(a[j]) < static_cast<double>(b[j]) ? 1 : 0;
+                break;
+            case BC::Le:
+                for (std::int64_t j = 0; j < n; ++j)
+                    d[j] = static_cast<double>(a[j]) <= static_cast<double>(b[j]) ? 1 : 0;
+                break;
+            case BC::Gt:
+                for (std::int64_t j = 0; j < n; ++j)
+                    d[j] = static_cast<double>(a[j]) > static_cast<double>(b[j]) ? 1 : 0;
+                break;
+            case BC::Ge:
+                for (std::int64_t j = 0; j < n; ++j)
+                    d[j] = static_cast<double>(a[j]) >= static_cast<double>(b[j]) ? 1 : 0;
+                break;
+            case BC::Eq:
+                for (std::int64_t j = 0; j < n; ++j)
+                    d[j] = static_cast<double>(a[j]) == static_cast<double>(b[j]) ? 1 : 0;
+                break;
+            case BC::Ne:
+                for (std::int64_t j = 0; j < n; ++j)
+                    d[j] = static_cast<double>(a[j]) != static_cast<double>(b[j]) ? 1 : 0;
+                break;
+            case BC::Min:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::min(a[j], b[j]);
+                break;
+            case BC::Max:
+                for (std::int64_t j = 0; j < n; ++j) d[j] = std::max(a[j], b[j]);
+                break;
+        }
     }
 }
 

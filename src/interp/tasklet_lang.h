@@ -132,6 +132,48 @@ public:
     /// dispatches on a value tag.  Only valid when has_f64_variant().
     void execute_f64(double* slots, double* regs) const;
 
+    // --- Untagged i64 engine ---
+
+    /// Whether the untagged int64-only variant of this program exists.
+    ///
+    /// The dual of has_f64_variant for integer-family containers: assuming
+    /// every input lane arrives as an int64 (the interpreter selects this
+    /// engine only for tasklets whose input connectors all bind I64/I32
+    /// containers), every runtime value provably stays integer-tagged in the
+    /// tagged VM — so representing it as a raw int64 is bit-identical.  The
+    /// checks: no trap instructions, no float constants, and no
+    /// float-producing opcode (exp/log/sqrt/sin/cos/tanh/floor/ceil/pow).
+    /// Add/Sub/Mul/Min/Max/Neg/Abs on two ints stay int; comparisons and
+    /// logic yield int 0/1; Div/Mod take the tagged VM's floor-semantics int
+    /// path, which execute_i64 mirrors including the divide-by-zero throw.
+    /// Comparisons in the tagged VM go through as_double(), so execute_i64
+    /// compares the double conversions — identical for any operand values.
+    bool has_i64_variant() const { return i64_feasible_; }
+
+    /// Runs the untagged int64 variant: raw int64 slots/registers, no value
+    /// tags.  Only valid when has_i64_variant().  Throws common::Error on
+    /// integer division/modulo by zero, exactly like the tagged VM.
+    void execute_i64(std::int64_t* slots, std::int64_t* regs) const;
+
+    // --- Batched (segment) execution ---
+
+    /// Whether the bytecode is straight-line: no jump, no conditional jump,
+    /// no trap.  Only straight-line programs can execute vertically (one
+    /// instruction over a whole lane batch), so the interpreter's segment
+    /// kernels require this in addition to an untagged variant.
+    bool is_straightline() const { return straightline_; }
+
+    /// Vertical twin of execute_f64 for straight-line programs: `slots` and
+    /// `regs` are arrays of `n`-element columns (slot s occupies
+    /// slots[s*n .. s*n+n)), and every instruction executes as one loop over
+    /// the batch — the auto-vectorizable inner loops of the segment tier.
+    /// Only valid when has_f64_variant() && is_straightline().
+    void execute_f64_batch(double* slots, double* regs, std::int64_t n) const;
+
+    /// Vertical twin of execute_i64 (same column layout).  Only valid when
+    /// has_i64_variant() && is_straightline().
+    void execute_i64_batch(std::int64_t* slots, std::int64_t* regs, std::int64_t n) const;
+
     /// Connectors for which the compiler emitted unbound-lane traps (a read
     /// of a non-input lane no earlier statement assigns).  The interpreter
     /// falls back to the reference engine when a graph edge binds one of
@@ -210,7 +252,10 @@ private:
     std::vector<BCInstr> bytecode_;
     std::vector<Value> consts_;
     std::vector<double> f64consts_;  ///< consts_ as doubles (f64 engine).
+    std::vector<std::int64_t> i64consts_;  ///< consts_ as int64s (i64 engine).
     bool f64_feasible_ = false;      ///< See has_f64_variant().
+    bool i64_feasible_ = false;      ///< See has_i64_variant().
+    bool straightline_ = false;      ///< See is_straightline().
     bool has_div_mod_ = false;       ///< See has_div_mod().
     std::vector<SlotDesc> slot_table_;  // indexed by var index
     std::vector<std::string> trap_connectors_;

@@ -8,6 +8,10 @@ namespace ff::ir {
 
 enum class DType { F64, F32, I64, I32 };
 
+/// Number of DType enumerators; keeps exhaustive iteration (name round-trip
+/// tests, per-dtype stat arrays) in sync when a dtype is added.
+inline constexpr int kDTypeCount = 4;
+
 /// Size in bytes of one element.
 std::size_t dtype_size(DType t);
 

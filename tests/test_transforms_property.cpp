@@ -38,22 +38,93 @@ interp::Context random_inputs(const ir::SDFG& sdfg, const sym::Bindings& binding
     return ctx;
 }
 
+/// Runs `sdfg` under every execution tier — reference AST engine, generic
+/// compiled VM, specialized per-point kernels, batched segment kernels — and
+/// requires identical observable behavior: same status and message, equal
+/// cost counters for Ok runs, the same set of live buffers, and bitwise-
+/// identical contents for every one of them (transients included).  This is
+/// the tier half of the determinism contract the differential reports rest
+/// on.  Returns the batched (default-config) run.
+struct TierRun {
+    interp::ExecResult res;
+    interp::Context ctx;
+};
+
+TierRun run_all_tiers(const ir::SDFG& sdfg, const sym::Bindings& bindings, std::uint64_t seed,
+                      const std::string& label) {
+    struct Tier {
+        const char* name;
+        bool compiled, specialize, batch;
+    };
+    constexpr Tier kTiers[] = {
+        {"reference", false, false, false},
+        {"generic-compiled", true, false, false},
+        {"specialized-per-point", true, true, false},
+        {"batched-segments", true, true, true},
+    };
+    TierRun baseline;
+    TierRun last;
+    for (const Tier& t : kTiers) {
+        interp::ExecConfig cfg;
+        cfg.use_compiled_tasklets = t.compiled;
+        cfg.specialize = t.specialize;
+        cfg.batch_segments = t.batch;
+        interp::Interpreter interp(cfg);
+        TierRun run;
+        run.ctx = random_inputs(sdfg, bindings, seed);
+        run.res = interp.run(sdfg, run.ctx);
+        if (&t == &kTiers[0]) {
+            baseline = run;
+        } else {
+            EXPECT_EQ(run.res.status, baseline.res.status) << label << " tier " << t.name;
+            EXPECT_EQ(run.res.message, baseline.res.message) << label << " tier " << t.name;
+            if (run.res.ok() && baseline.res.ok()) {
+                EXPECT_EQ(run.res.points, baseline.res.points) << label << " tier " << t.name;
+                EXPECT_EQ(run.res.instructions, baseline.res.instructions)
+                    << label << " tier " << t.name;
+            }
+            EXPECT_EQ(run.ctx.buffers.size(), baseline.ctx.buffers.size())
+                << label << " tier " << t.name;
+            for (const auto& [name, buf] : run.ctx.buffers) {
+                const auto it = baseline.ctx.buffers.find(name);
+                if (it == baseline.ctx.buffers.end()) {
+                    ADD_FAILURE() << label << " tier " << t.name << ": extra buffer '" << name
+                                  << "'";
+                    continue;
+                }
+                EXPECT_TRUE(buf.bitwise_equal(it->second))
+                    << label << " tier " << t.name << ": '" << name
+                    << "' diverged from the reference engine";
+            }
+        }
+        last = std::move(run);
+    }
+    return last;
+}
+
 /// Non-transient containers must be unchanged (within fp threshold) between
-/// the original and transformed run.
+/// the original and transformed run.  Both sides first pass the full
+/// execution-tier sweep (run_all_tiers), so the comparison below holds for
+/// every tier at once.
+/// `threshold` is the p-vs-q float tolerance: 1e-9 suits f64 storage; the
+/// f32-bearing dtype schemes pass 1e-4 because passes that reassociate a
+/// reduction (MapReduceFusion) legitimately shift f32-rounded partial sums
+/// by a few float ulps.  Tier-vs-tier comparison stays bitwise regardless.
 void expect_equivalent(const ir::SDFG& p, const ir::SDFG& q, const sym::Bindings& bindings,
-                       const std::string& label) {
-    interp::Interpreter ip, iq;
-    auto cp = random_inputs(p, bindings, 1234);
-    auto cq = cp;
-    const auto rp = ip.run(p, cp);
-    const auto rq = iq.run(q, cq);
+                       const std::string& label, double threshold = 1e-9) {
+    TierRun tp = run_all_tiers(p, bindings, 1234, label + " original");
+    TierRun tq = run_all_tiers(q, bindings, 1234, label + " transformed");
+    const auto& rp = tp.res;
+    const auto& rq = tq.res;
+    auto& cp = tp.ctx;
+    auto& cq = tq.ctx;
     ASSERT_TRUE(rp.ok()) << label << " original: " << rp.message;
     ASSERT_TRUE(rq.ok()) << label << " transformed: " << rq.message;
     for (const auto& [name, desc] : p.containers()) {
         if (desc.transient) continue;
         if (!cp.buffers.count(name) || !cq.buffers.count(name)) continue;
         const auto mismatch =
-            interp::compare_buffers(cp.buffers.at(name), cq.buffers.at(name), 1e-9);
+            interp::compare_buffers(cp.buffers.at(name), cq.buffers.at(name), threshold);
         EXPECT_FALSE(mismatch.has_value())
             << label << ": '" << name << "' differs at " << (mismatch ? mismatch->flat_index : 0);
     }
@@ -118,6 +189,101 @@ INSTANTIATE_TEST_SUITE_P(Suite, CorrectPassProperty,
                                            "go_fast", "compute", "scalar_pipeline", "ew_chain",
                                            "copy_pipeline", "alias_stages", "arc_distance",
                                            "unroll_candidates", "conv1d", "vadv_lite"));
+
+/// Container-dtype rewrite schemes for the widened differential battery.
+/// The kernels are authored with f64 floats; these schemes retype the
+/// containers in place so the same 420-program oracle also exercises the
+/// f32 conversion paths, the untagged i64 VM, and mixed-dtype kernels where
+/// a single tasklet loads one family and stores another.
+enum class DtypeScheme { F32, I64, Mixed };
+
+const char* scheme_name(DtypeScheme s) {
+    switch (s) {
+        case DtypeScheme::F32: return "F32";
+        case DtypeScheme::I64: return "I64";
+        case DtypeScheme::Mixed: return "Mixed";
+    }
+    return "?";
+}
+
+/// Rewrites every container's dtype according to `scheme`:
+///  * F32   — float containers become F32 (ints keep their type),
+///  * I64   — int containers become I64 (floats keep their type, so tasklets
+///            mix int loads with float math and int/float stores),
+///  * Mixed — cycles {F64, F32, I64, I32} within each family in container
+///            order, producing cross-dtype producer/consumer chains.
+/// Families are preserved so arithmetic semantics (notably integer division
+/// by a zero-valued input) cannot differ from the f64 battery; what changes
+/// is purely the storage conversion surface the tiers must agree on.
+void retype_containers(ir::SDFG& sdfg, DtypeScheme scheme) {
+    int float_idx = 0, int_idx = 0;
+    for (const auto& [name, desc] : sdfg.containers()) {
+        ir::DataDesc& d = sdfg.container(name);
+        const bool is_float = ir::dtype_is_float(d.dtype);
+        switch (scheme) {
+            case DtypeScheme::F32:
+                if (is_float) d.dtype = ir::DType::F32;
+                break;
+            case DtypeScheme::I64:
+                if (!is_float) d.dtype = ir::DType::I64;
+                break;
+            case DtypeScheme::Mixed:
+                if (is_float)
+                    d.dtype = (float_idx++ % 2 == 0) ? ir::DType::F64 : ir::DType::F32;
+                else
+                    d.dtype = (int_idx++ % 2 == 0) ? ir::DType::I64 : ir::DType::I32;
+                break;
+        }
+    }
+    // Direct IR mutation bypasses Transformation::apply, so warm plan caches
+    // must be invalidated by hand (see PlanCache key docs).
+    sdfg.bump_mutation_epoch();
+}
+
+/// The pass-preservation property again, but over retyped containers: every
+/// correct-mode pass, applied to every match on every kernel, must preserve
+/// semantics when the containers are f32 / widened-int / mixed-dtype — and
+/// run_all_tiers inside expect_equivalent additionally pins all four
+/// execution tiers to the reference engine bitwise for each such program.
+class DtypeWidenedProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, DtypeScheme>> {};
+
+TEST_P(DtypeWidenedProperty, PreservesSemanticsOnAllMatches) {
+    const auto& [kernel, scheme] = GetParam();
+    const sym::Bindings bindings = workloads::npbench_defaults();
+    const auto passes = builtin_transformations({.table2_bugs = false});
+    ir::SDFG original = workloads::build_npbench_kernel(kernel);
+    retype_containers(original, scheme);
+    ASSERT_NO_THROW(original.validate()) << kernel << " retyped " << scheme_name(scheme);
+    for (const auto& pass : passes) {
+        if (pass->name() == "Vectorization") continue;  // input-dependent by design
+        const auto matches = pass->find_matches(original);
+        for (std::size_t i = 0; i < matches.size(); ++i) {
+            ir::SDFG transformed = original;
+            ASSERT_NO_THROW(pass->apply(transformed, matches[i]))
+                << kernel << " / " << pass->name();
+            ASSERT_NO_THROW(transformed.validate()) << kernel << " / " << pass->name();
+            const double threshold = scheme == DtypeScheme::I64 ? 1e-9 : 1e-4;
+            expect_equivalent(original, transformed, bindings,
+                              kernel + "[" + scheme_name(scheme) + "] / " + pass->name() +
+                                  " #" + std::to_string(i),
+                              threshold);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, DtypeWidenedProperty,
+    ::testing::Combine(::testing::Values("gemm", "atax", "mvt", "gesummv", "syrk", "jacobi_1d",
+                                         "jacobi_2d", "hdiff", "l2norm", "go_fast", "compute",
+                                         "scalar_pipeline", "ew_chain", "copy_pipeline",
+                                         "alias_stages", "arc_distance", "unroll_candidates",
+                                         "conv1d", "vadv_lite"),
+                       ::testing::Values(DtypeScheme::F32, DtypeScheme::I64,
+                                         DtypeScheme::Mixed)),
+    [](const ::testing::TestParamInfo<DtypeWidenedProperty::ParamType>& info) {
+        return std::get<0>(info.param) + "_" + scheme_name(std::get<1>(info.param));
+    });
 
 /// Vectorization preserves semantics exactly on divisible sizes.
 class VectorizationDivisibleProperty : public ::testing::TestWithParam<int> {};
