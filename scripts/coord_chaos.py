@@ -22,7 +22,15 @@ injected faults and checks the fault-tolerance acceptance bar end to end:
    produce a report byte-identical to step 1 (the blamed units are benign:
    the faults lived in the workers, not the trials).
 
-Usage:  python3 scripts/coord_chaos.py --ffaudit build/ffaudit
+With --net the scenario changes to network chaos: the coordinator listens
+on TCP (127.0.0.1, kernel-assigned port) and interposes the deterministic
+frame-fault proxy (`--net-fault`) between itself and its spawned workers —
+periodic frame drops, per-frame delay, duplication, one corrupted frame
+and one timed partition with heal — at the same worker counts, with the
+same byte-identical acceptance bar; severed connections must come back as
+session *resumes*, not lease expirations.
+
+Usage:  python3 scripts/coord_chaos.py --ffaudit build/ffaudit [--net]
 Exits non-zero on the first violated expectation.
 """
 
@@ -69,19 +77,98 @@ def summary_counts(output: str) -> dict:
         r"served (\d+) shard\(s\): (\d+) lease\(s\), (\d+) expiration\(s\), "
         r"(\d+) requeue\(s\), (\d+) hedge\(s\), (\d+) duplicate completion\(s\) "
         r"\((\d+) byte-verified\), (\d+) worker\(s\) seen, (\d+) lost, (\d+) spawned, "
-        r"(\d+) quarantined unit\(s\), (\d+) split shard\(s\)",
+        r"(\d+) quarantined unit\(s\), (\d+) split shard\(s\), "
+        r"(\d+) session\(s\) parked, (\d+) resumed, (\d+) grace-expired",
         output)
     if not m:
         fail("serve printed no summary line")
     keys = ("shards", "leases", "expirations", "requeues", "hedges",
             "duplicates", "verified", "seen", "lost", "spawned",
-            "quarantined", "split")
+            "quarantined", "split", "parked", "resumed", "grace_expired")
     return dict(zip(keys, (int(g) for g in m.groups())))
+
+
+def net_counts(output: str) -> dict:
+    """Parses the `net faults: ...` proxy summary into named counters."""
+    m = re.search(
+        r"net faults: (\d+) frame\(s\) forwarded, (\d+) dropped, (\d+) duplicated, "
+        r"(\d+) corrupted, (\d+) partition\(s\)",
+        output)
+    if not m:
+        fail("serve printed no net-faults summary line")
+    keys = ("forwarded", "dropped", "duplicated", "corrupted", "partitions")
+    return dict(zip(keys, (int(g) for g in m.groups())))
+
+
+def net_chaos(ffaudit: str, root: Path, ref_report: Path, ref_artifacts: dict) -> None:
+    """--net mode: a TCP coordinator behind the deterministic frame proxy.
+
+    Every network fault class at once — periodic frame loss, per-frame
+    delay, duplication, one corrupted frame (the receiver's CRC must turn
+    it into a clean disconnect) and one timed partition with heal — at
+    worker counts {1, 2, 4}.  Each run must exit 0, prove via the summary
+    that the faults fired and that broken connections were resumed (not
+    expired), and produce a report and artifacts byte-identical to the
+    single-process reference.
+    """
+    for n in WORKER_COUNTS:
+        report = root / f"report-net{n}.json"
+        art = root / f"art-net{n}"
+        cmd = [ffaudit, "serve", *JOB_FLAGS,
+               "--shards", "4",
+               "--checkpoint-interval", "2",
+               "--records-dir", root / f"records-net{n}",
+               "--artifact-dir", art,
+               "--out", report,
+               "--spawn-workers", str(n),
+               "--listen", "127.0.0.1:0",
+               "--net-fault", ("drop-frame-every-n=7,delay-frame-ms=5,"
+                               "duplicate-frame=9,corrupt-frame-byte=15,"
+                               "partition-after-units=3,heal-ms=1500"),
+               # Leases stay alive through the partition via the grace
+               # window; dropped replies re-request fast.
+               "--lease-ms", "3000",
+               "--heartbeat-ms", "300",
+               "--session-grace-ms", "8000",
+               "--worker-reply-timeout-ms", "2000",
+               "--straggler-factor", "50",
+               "--linger-ms", "8000"]
+        out = run(cmd, timeout=900)
+
+        counts = summary_counts(out)
+        net = net_counts(out)
+        if counts["shards"] != 4:
+            fail(f"net n={n}: merged {counts['shards']} shards, wanted 4")
+        if net["dropped"] < 1 or net["duplicated"] < 1:
+            fail(f"net n={n}: proxy dropped {net['dropped']}, duplicated "
+                 f"{net['duplicated']} — the frame faults never fired")
+        if net["corrupted"] != 1:
+            fail(f"net n={n}: {net['corrupted']} corrupted frame(s), wanted exactly 1")
+        if net["partitions"] != 1:
+            fail(f"net n={n}: {net['partitions']} partition(s), wanted exactly 1")
+        if counts["resumed"] < 1:
+            fail(f"net n={n}: no session resumed — severed connections were "
+                 "not spliced back onto their leases")
+
+        if report.read_bytes() != ref_report.read_bytes():
+            fail(f"net n={n}: report differs from the single-process report")
+        if dir_bytes(art) != ref_artifacts:
+            fail(f"net n={n}: reproducer artifacts differ from the single-process ones")
+        print(f"coord_chaos: net n={n} byte-identical "
+              f"({net['dropped']} dropped, {net['duplicated']} duplicated, "
+              f"{net['corrupted']} corrupted, {net['partitions']} partition(s), "
+              f"{counts['parked']} parked, {counts['resumed']} resumed)")
+
+    print("coord_chaos: PASS (drop + delay + duplicate + corrupt + partition/heal "
+          "over TCP at every worker count; reports byte-identical)")
 
 
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--ffaudit", required=True, help="path to the ffaudit binary")
+    parser.add_argument("--net", action="store_true",
+                        help="network chaos instead: TCP transport through the "
+                             "deterministic frame-fault proxy")
     args = parser.parse_args()
     ffaudit = args.ffaudit
 
@@ -94,6 +181,10 @@ def main() -> None:
         ref_artifacts = dir_bytes(ref_art)
         if not ref_artifacts:
             fail("reference run produced no reproducer artifacts — chaos job lost its teeth")
+
+        if args.net:
+            net_chaos(ffaudit, root, ref_report, ref_artifacts)
+            return
 
         # 2. Coordinated runs under faults, at several worker counts.
         for n in WORKER_COUNTS:

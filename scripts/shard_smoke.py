@@ -14,7 +14,13 @@ workflow on a small npbench audit:
 6. shard 1 is re-invoked and resumes from its last checkpoint (the log
    must prove it resumed rather than restarted);
 7. `ffaudit merge` over all three record files must produce a report file
-   and reproducer artifacts byte-identical to step 1.
+   and reproducer artifacts byte-identical to step 1;
+8. one byte of a finished shard's record file is flipped on disk; merge
+   must refuse with a record-integrity error (exit 6) naming the file and
+   line, and `ffaudit fsck` must report the same corruption (exit 6);
+9. `ffaudit fsck --repair` truncates the file back to its last verifiable
+   prefix, re-running the shard resumes from that prefix, and the final
+   merge is again byte-identical to step 1.
 
 Usage:  python3 scripts/shard_smoke.py --ffaudit build/ffaudit
 Exits non-zero on the first violated expectation.
@@ -47,7 +53,7 @@ def run(cmd, expect_rc=0) -> str:
     sys.stderr.write(proc.stderr)
     if proc.returncode != expect_rc:
         fail(f"expected exit {expect_rc}, got {proc.returncode}")
-    return proc.stdout
+    return proc.stdout + proc.stderr
 
 
 def dir_bytes(path: Path) -> dict:
@@ -107,7 +113,49 @@ def main() -> None:
         if dir_bytes(merged_art) != ref_artifacts:
             fail("merged reproducer artifacts differ from the single-process ones")
 
-    print("shard_smoke: PASS (interrupted shard resumed; merge byte-identical)")
+        # 8. Silent at-rest corruption: flip one byte in the middle of a
+        # finished shard's record stream.  The per-line CRC must catch it —
+        # merge refuses with exit 6 naming the file and line, and fsck
+        # reports the same corruption.
+        victim = rec_dir / "records-0.jsonl"
+        pristine = victim.read_bytes()
+        flipped = bytearray(pristine)
+        at = len(flipped) // 2
+        while flipped[at] == ord("\n"):  # stay inside a line
+            at += 1
+        flipped[at] ^= 0x08
+        victim.write_bytes(bytes(flipped))
+
+        out = run([ffaudit, "merge", "--records-dir", rec_dir, "--out", merged_report],
+                  expect_rc=6)
+        if victim.name not in out or "line" not in out:
+            fail("merge's integrity refusal does not name the corrupt file and line")
+        out = run([ffaudit, "fsck", "--records-dir", rec_dir], expect_rc=6)
+        if victim.name not in out or "line" not in out:
+            fail("fsck did not name the corrupt file and line")
+
+        # 9. Repair truncates to the last verifiable prefix; the shard
+        # resumes from it and the audit is whole again, byte for byte.
+        run([ffaudit, "fsck", "--records", victim, "--repair"], expect_rc=6)
+        if len(victim.read_bytes()) >= len(pristine):
+            fail("fsck --repair did not truncate the corrupt suffix")
+        run([ffaudit, "fsck", "--records", victim])  # clean now: exit 0
+        out = run([ffaudit, "run-shard", "--manifest", plan_dir / "shard-0.json",
+                   "--records-dir", rec_dir])
+        if "resumed" not in out:
+            fail("repaired shard restarted from scratch instead of resuming")
+        if victim.read_bytes() != pristine:
+            fail("repair + resume did not reproduce the original record stream bytes")
+        final_art = root / "art-final"
+        run([ffaudit, "merge", "--records-dir", rec_dir, "--out", merged_report,
+             "--artifact-dir", final_art])
+        if merged_report.read_bytes() != ref_report.read_bytes():
+            fail("post-repair merged report differs from the single-process report")
+        if dir_bytes(final_art) != ref_artifacts:
+            fail("post-repair reproducer artifacts differ from the single-process ones")
+
+    print("shard_smoke: PASS (interrupted shard resumed; corruption detected, "
+          "repaired and resumed; merges byte-identical)")
 
 
 if __name__ == "__main__":

@@ -96,6 +96,27 @@ private:
     int line_;
 };
 
+/// Checksummed content failed its integrity verification: a record-stream
+/// line whose CRC32C does not match its bytes, a trailer whose digest or
+/// record count disagrees with the stream, or data appearing after the
+/// trailer.  Deliberately NOT a ParseError — the bytes may parse fine; they
+/// are provably not the bytes that were written.  The ffaudit CLI maps this
+/// to the merge/validation exit code (6), and `ffaudit fsck --repair` can
+/// truncate the file back to its last verifiable prefix.
+class IntegrityError : public Error {
+public:
+    IntegrityError(const std::string& path, int line, const std::string& what)
+        : Error(path + (line > 0 ? ", line " + std::to_string(line) : "") + ": " + what),
+          path_(path),
+          line_(line) {}
+    const std::string& path() const { return path_; }
+    int line() const { return line_; }  ///< 1-based; 0 when unknown.
+
+private:
+    std::string path_;
+    int line_;
+};
+
 /// The message of `e` without the "parse: " prefix ParseError adds —
 /// for wrapping a low-level parse failure into a higher-level one
 /// (FileParseError) without stacking prefixes.

@@ -13,7 +13,10 @@ double BackoffPolicy::delay_ms(int attempt, Rng& rng) const {
         const double spread = std::clamp(jitter, 0.0, 1.0);
         delay *= rng.uniform_double(1.0 - spread, 1.0 + spread);
     }
-    return std::max(delay, 0.0);
+    // max_ms is a hard ceiling, jitter included: upward jitter on a
+    // capped delay must not overshoot it, or a fleet's worst-case
+    // reconnect stretches past what the grace windows were sized for.
+    return std::clamp(delay, 0.0, max_ms);
 }
 
 bool retry_with_backoff(int max_attempts, const BackoffPolicy& policy, Rng& rng,

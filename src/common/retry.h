@@ -23,7 +23,8 @@ namespace ff::common {
 
 /// Exponential-backoff schedule.  Attempt 0 waits `base_ms`, attempt k waits
 /// `base_ms * factor^k`, capped at `max_ms`; the result is then spread by
-/// ±`jitter` (a fraction of the delay) using the caller's Rng.
+/// ±`jitter` (a fraction of the delay) using the caller's Rng.  `max_ms` is
+/// a hard ceiling — it binds after jitter as well.
 struct BackoffPolicy {
     double base_ms = 100.0;  ///< Delay before the first retry.
     double factor = 2.0;     ///< Geometric growth per attempt.

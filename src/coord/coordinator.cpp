@@ -15,10 +15,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <set>
 #include <utility>
 
 #include "common/error.h"
+#include "coord/net_fault.h"
 #include "coord/protocol.h"
 #include "coord/worker.h"
 #include "shard/records.h"
@@ -42,9 +45,12 @@ constexpr long kSendTimeoutMs = 2000;
 
 /// One accepted worker connection.
 struct Connection {
-    int fd = -1;
+    int fd = -1;  ///< -1 = superseded by a session resume; swept next tick.
     FrameBuffer frames;
-    std::string key;   ///< Queue identity, unique per connection ("w0#3").
+    /// Queue identity.  The worker's session id when its hello carries one
+    /// ("w0/711.0" — stable across reconnects, so a resumed connection
+    /// heartbeats the same leases), else unique per connection ("w0#3").
+    std::string key;
     std::string name;  ///< As announced in hello (logging only).
     bool registered = false;
     int shard = -1;    ///< Current assignment; -1 when idle.
@@ -91,12 +97,17 @@ public:
     Server& operator=(const Server&) = delete;
 
     ~Server() {
+        // The proxy's pump threads dial and relay to listen_fd_; stop them
+        // before the endpoint goes away.
+        if (proxy_) proxy_->stop();
         for (Connection& conn : conns_) {
             if (conn.fd >= 0) ::close(conn.fd);
         }
         if (listen_fd_ >= 0) {
             ::close(listen_fd_);
-            ::unlink(config_.socket_path.c_str());
+            if (!listen_ep_.tcp && !listen_ep_.path.empty()) {
+                ::unlink(listen_ep_.path.c_str());
+            }
         }
         // Leftover children are expendable (losing hedges, stalled
         // stragglers): kill and reap so serve() never leaks processes.
@@ -153,8 +164,15 @@ private:
     std::unique_ptr<core::PreparedAudit> quarantine_audit_;
     std::unique_ptr<LeaseQueue> queue_;
     int listen_fd_ = -1;
+    Endpoint listen_ep_;  ///< What run() actually bound (TCP port resolved).
+    Endpoint dial_ep_;    ///< What spawned workers dial (the proxy, if any).
+    std::unique_ptr<FrameProxy> proxy_;
     std::vector<Connection> conns_;
     std::vector<Child> children_;
+    /// Sessions whose connection dropped while holding leases: the leases
+    /// stay issued (deadline pushed to the grace window) awaiting a resume.
+    /// Keyed by session id; the value is when the session parked.
+    std::map<std::string, TimePoint> parked_;
     int conn_seq_ = 0;
     int respawns_used_ = 0;
     bool done_ = false;
@@ -166,14 +184,22 @@ private:
 void Server::spawn_worker(int index, const std::string& fault_spec) {
     std::string binary = config_.ffaudit_path.empty() ? "/proc/self/exe" : config_.ffaudit_path;
     std::string id = "w" + std::to_string(index);
-    std::vector<std::string> args = {binary,
-                                     "worker",
-                                     "--socket",
-                                     config_.socket_path,
-                                     "--id",
-                                     id,
-                                     "--threads",
-                                     std::to_string(config_.worker_threads)};
+    std::vector<std::string> args = {binary, "worker"};
+    if (dial_ep_.tcp) {
+        args.push_back("--connect");
+        args.push_back(dial_ep_.describe());
+    } else {
+        args.push_back("--socket");
+        args.push_back(dial_ep_.path);
+    }
+    args.push_back("--id");
+    args.push_back(id);
+    args.push_back("--threads");
+    args.push_back(std::to_string(config_.worker_threads));
+    if (config_.worker_reply_timeout_ms > 0.0) {
+        args.push_back("--reply-timeout-ms");
+        args.push_back(std::to_string(config_.worker_reply_timeout_ms));
+    }
     if (config_.worker_watchdog_ms > 0.0) {
         args.push_back("--watchdog-ms");
         args.push_back(std::to_string(config_.worker_watchdog_ms));
@@ -225,6 +251,23 @@ void Server::reap_children() {
         log("worker w" + std::to_string(index) + " pid " + std::to_string(child.pid) +
             " terminated (" + how + ")");
         child.pid = -1;
+        // A reaped process can never resume its parked sessions: force the
+        // grace window shut so its leases re-issue now, not at the lapse.
+        const std::string prefix = "w" + std::to_string(index) + "/";
+        TimePoint now = Clock::now();
+        for (auto it = parked_.begin(); it != parked_.end();) {
+            if (it->first.compare(0, prefix.size(), prefix) != 0) {
+                ++it;
+                continue;
+            }
+            log("session " + it->first + " force-expired (its process was reaped)");
+            for (const auto& lost : queue_->worker_lost(it->first, now)) {
+                log("  lost lease shard " + std::to_string(lost.shard) + " attempt " +
+                    std::to_string(lost.attempt));
+            }
+            ++stats_.sessions_expired;
+            it = parked_.erase(it);
+        }
         if (!clean && !done_ && respawns_used_ < config_.max_respawns) {
             ++respawns_used_;
             // The replacement is always fault-free: the fault is a plan,
@@ -264,17 +307,40 @@ void Server::drop_connection(std::size_t i, const std::string& why, TimePoint no
         why + ")");
     if (conn.registered) {
         ++stats_.workers_lost;
-        for (const auto& lost : queue_->worker_lost(conn.key, now)) {
-            log("  lost lease shard " + std::to_string(lost.shard) + " attempt " +
-                std::to_string(lost.attempt));
+        bool parked = false;
+        if (config_.session_grace_ms > 0.0) {
+            // Park instead of expiring: the worker may only have lost its
+            // socket (network blip, partition) while the shard keeps
+            // executing — a resume within the grace window continues
+            // heartbeating the same attempt, so the lease is never
+            // re-issued for a transport hiccup.
+            auto held = queue_->park_worker(conn.key, now, config_.session_grace_ms);
+            if (!held.empty()) {
+                parked = true;
+                parked_[conn.key] = now;
+                ++stats_.sessions_parked;
+                for (const auto& p : held) {
+                    log("  parked lease shard " + std::to_string(p.shard) + " attempt " +
+                        std::to_string(p.attempt) + " (grace " +
+                        std::to_string(static_cast<long long>(config_.session_grace_ms)) +
+                        " ms)");
+                }
+            }
+        }
+        if (!parked) {
+            for (const auto& lost : queue_->worker_lost(conn.key, now)) {
+                log("  lost lease shard " + std::to_string(lost.shard) + " attempt " +
+                    std::to_string(lost.attempt));
+            }
         }
     }
-    ::close(conn.fd);
+    if (conn.fd >= 0) ::close(conn.fd);
     conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
 void Server::read_connection(std::size_t i) {
     Connection& conn = conns_[i];
+    if (conn.fd < 0) return;  // superseded this tick; swept before the next poll
     char chunk[4096];
     ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
     TimePoint now = Clock::now();
@@ -294,6 +360,25 @@ void Server::read_connection(std::size_t i) {
                 drop_connection(i, "protocol error", now);
                 return;
             }
+        }
+    } catch (const FrameError& e) {
+        // Every malformed frame is a *classified* drop, never a crash.  A
+        // peer speaking another protocol version gets a best-effort
+        // readable refusal before the handshake drop; corruption
+        // (checksum/length/payload) is treated exactly like a disconnect —
+        // a registered holder's session parks as usual.
+        if (e.kind() == FrameError::Kind::BadVersion && !conn.registered) {
+            try {
+                Json refuse = Json::object();
+                refuse["type"] = "error";
+                refuse["error"] = std::string("protocol version mismatch (coordinator speaks ") +
+                                  std::to_string(kProtocolVersion) + ")";
+                write_frame(conn.fd, refuse);
+            } catch (const common::Error&) {
+            }
+            drop_connection(i, std::string("handshake: ") + e.what(), now);
+        } else {
+            drop_connection(i, e.what(), now);
         }
     } catch (const common::Error& e) {
         drop_connection(i, e.what(), now);
@@ -318,15 +403,48 @@ bool Server::handle_frame(Connection& conn, const Json& msg, TimePoint now) {
             return false;
         }
         conn.name = common::json_string(msg, "worker");
-        conn.key = conn.name + "#" + std::to_string(conn_seq_++);
+        const std::string session =
+            msg.contains("session") ? common::json_string(msg, "session") : std::string();
+        bool resumed = false;
+        if (!session.empty()) {
+            conn.key = session;
+            // A reconnect can beat the old socket's EOF here: supersede the
+            // stale connection in place (close + fd = -1, swept before the
+            // next poll) WITHOUT touching its leases — they belong to the
+            // session, which is alive again on this connection.
+            for (Connection& other : conns_) {
+                if (&other == &conn || !other.registered || other.key != session) continue;
+                log("session " + session + " superseded a stale connection");
+                if (other.fd >= 0) ::close(other.fd);
+                other.fd = -1;
+                other.registered = false;
+                resumed = true;
+            }
+            if (parked_.erase(session) > 0) resumed = true;
+        } else {
+            conn.key = conn.name + "#" + std::to_string(conn_seq_++);
+        }
         conn.registered = true;
-        ++stats_.workers_seen;
+        if (resumed) {
+            ++stats_.sessions_resumed;
+            log("worker " + conn.key + " resumed its session");
+        } else {
+            ++stats_.workers_seen;
+            log("worker " + conn.key + " connected");
+        }
         Json welcome = Json::object();
         welcome["type"] = "welcome";
         welcome["protocol"] = kProtocolVersion;
         welcome["heartbeat_ms"] = config_.lease.heartbeat_ms;
+        welcome["resumed"] = resumed;
         write_frame(conn.fd, welcome);
-        log("worker " + conn.key + " connected");
+        return true;
+    }
+    if (type == "hello") {
+        // A duplicated hello (network-level frame duplication) on an
+        // already-registered connection: idempotent no-op — the first copy
+        // did the work and its welcome is in flight.
+        log("duplicate hello from " + conn.key + " ignored");
         return true;
     }
     if (type == "lease-request") {
@@ -334,8 +452,13 @@ bool Server::handle_frame(Connection& conn, const Json& msg, TimePoint now) {
         return true;
     }
     if (type == "heartbeat") {
-        queue_->heartbeat(static_cast<int>(common::json_int(msg, "shard")),
-                          static_cast<int>(common::json_int(msg, "attempt")), now);
+        // Track the beaten assignment on the connection too: a resumed
+        // session's new connection must count as *holding* its shard (the
+        // quarantine gate checks holders) even though its lease-grant
+        // frame arrived on the dead predecessor.
+        conn.shard = static_cast<int>(common::json_int(msg, "shard"));
+        conn.attempt = static_cast<int>(common::json_int(msg, "attempt"));
+        queue_->heartbeat(conn.shard, conn.attempt, now);
         return true;
     }
     if (type == "complete") {
@@ -648,7 +771,10 @@ void Server::quarantine_shard(int shard, TimePoint now) {
 }
 
 ServeResult Server::run() {
-    if (config_.socket_path.empty()) throw common::Error("serve: socket_path is required");
+    const bool tcp = !config_.listen_address.empty();
+    if (!tcp && config_.socket_path.empty()) {
+        throw common::Error("serve: socket_path or listen_address is required");
+    }
     if (config_.records_dir.empty()) throw common::Error("serve: records_dir is required");
     fs::create_directories(config_.records_dir);
     // The fuzzer reports (rather than fixes) a missing artifact directory,
@@ -674,10 +800,32 @@ ServeResult Server::run() {
     winner_path_.assign(manifests_.size(), "");
     queue_ = std::make_unique<LeaseQueue>(manifests_, config_.lease);
 
-    listen_fd_ = listen_unix(config_.socket_path, 64);
+    Endpoint ep = tcp ? Endpoint::parse_tcp(config_.listen_address)
+                      : Endpoint::unix_path(config_.socket_path);
+    int bound_port = 0;
+    listen_fd_ = listen_endpoint(ep, 64, &bound_port);
+    if (ep.tcp) ep.port = bound_port;  // resolve a kernel-assigned port 0
+    listen_ep_ = ep;
     // Nonblocking accept: the event loop drains the backlog until EAGAIN.
     ::fcntl(listen_fd_, F_SETFL, ::fcntl(listen_fd_, F_GETFL) | O_NONBLOCK);
-    log("serving " + std::to_string(manifests_.size()) + " shards on " + config_.socket_path);
+
+    // Where spawned workers dial: the bound endpoint (loopback when we
+    // listened on a wildcard address), or the fault proxy interposed in
+    // front of it.
+    dial_ep_ = listen_ep_;
+    if (dial_ep_.tcp &&
+        (dial_ep_.host.empty() || dial_ep_.host == "0.0.0.0" || dial_ep_.host == "::")) {
+        dial_ep_.host = "127.0.0.1";
+    }
+    NetFaultPlan net_plan = NetFaultPlan::parse(config_.net_fault);
+    if (!net_plan.empty()) {
+        Endpoint proxy_ep = listen_ep_.tcp ? Endpoint::parse_tcp("127.0.0.1:0")
+                                           : Endpoint::unix_path(config_.socket_path + ".fault");
+        proxy_ = std::make_unique<FrameProxy>(proxy_ep, dial_ep_, net_plan);
+        dial_ep_ = proxy_->listen_endpoint();
+        log("net-fault proxy [" + net_plan.describe() + "] on " + dial_ep_.describe());
+    }
+    log("serving " + std::to_string(manifests_.size()) + " shards on " + listen_ep_.describe());
 
     for (int i = 0; i < config_.spawn_workers; ++i) {
         auto it = config_.worker_faults.find(i);
@@ -701,6 +849,14 @@ ServeResult Server::run() {
         if (auto next = queue_->next_event_ms(now)) timeout = std::min(timeout, *next);
         timeout = std::clamp(timeout, 0.0, config_.poll_ms);
 
+        // Sweep connections superseded by a session resume (fd already
+        // closed, registered already cleared) before sizing pfds from
+        // conns_ — handle_frame cannot erase mid-iteration, so it only
+        // marks.
+        conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                    [](const Connection& c) { return c.fd < 0; }),
+                     conns_.end());
+
         std::vector<pollfd> pfds;
         pfds.push_back({listen_fd_, POLLIN, 0});
         for (const Connection& conn : conns_) pfds.push_back({conn.fd, POLLIN, 0});
@@ -722,7 +878,13 @@ ServeResult Server::run() {
         }
 
         now = Clock::now();
+        std::set<std::string> grace_expired;
         for (const auto& lost : queue_->expire(now)) {
+            if (parked_.erase(lost.worker) > 0) {
+                grace_expired.insert(lost.worker);
+                ++stats_.sessions_expired;
+            }
+            if (grace_expired.count(lost.worker) > 0) continue;  // logged once below
             log("lease expired: shard " + std::to_string(lost.shard) + " attempt " +
                 std::to_string(lost.attempt) + " (worker " + lost.worker + ")");
             // The holder may still be executing (a zombie); clearing the
@@ -730,8 +892,24 @@ ServeResult Server::run() {
             // completion/failure, which the queue handles as stale-but-
             // welcome.
         }
+        // One line per session, not per parked attempt: the session spent
+        // its whole grace window without resuming, so its leases just
+        // went back to the queue.
+        for (const std::string& session : grace_expired) {
+            log("session " + session + " never resumed; grace window expired, leases re-issued");
+        }
         reap_children();
         if (!done_) handle_failed_shards(now);
+    }
+
+    if (proxy_) {
+        proxy_->stop();
+        stats_.net = proxy_->stats();
+        log("net-fault proxy: " + std::to_string(stats_.net.frames_forwarded) + " forwarded, " +
+            std::to_string(stats_.net.frames_dropped) + " dropped, " +
+            std::to_string(stats_.net.frames_duplicated) + " duplicated, " +
+            std::to_string(stats_.net.frames_corrupted) + " corrupted, " +
+            std::to_string(stats_.net.partitions) + " partition(s)");
     }
 
     ServeResult result;

@@ -3,8 +3,10 @@
 // hangs and stragglers.
 //
 // serve() plans the job's shards, prepares the audit once (for the final
-// canonical merge), then runs a single-threaded poll loop over a unix
-// socket: granting leases (coord/queue.h), tracking heartbeats, expiring
+// canonical merge), then runs a single-threaded poll loop over its listen
+// socket (unix-domain by default, TCP for multi-host audits — see
+// CoordConfig::listen_address): granting leases (coord/queue.h), tracking
+// heartbeats, expiring
 // and re-issuing lost shards with backoff, hedging stragglers, and folding
 // each completed shard's records into the prepared audit the moment they
 // arrive.  Fault tolerance leans entirely on the determinism contract
@@ -27,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "coord/net_fault.h"
 #include "coord/queue.h"
 #include "core/fuzzer.h"
 #include "shard/manifest.h"
@@ -39,6 +42,23 @@ struct CoordConfig {
     int shard_count = 4;          ///< Shards to plan.
     int checkpoint_interval = 64; ///< Units per durable chunk (docs/TUNING.md).
     std::string socket_path;      ///< Unix socket the workers dial.
+    /// TCP listen address ("host:port", port 0 = kernel-assigned).  When
+    /// set it replaces the unix socket as the transport; spawned workers
+    /// are handed the resolved address via --connect.
+    std::string listen_address;
+    /// Network fault spec (NetFaultPlan::parse syntax).  When set, serve()
+    /// interposes a FrameProxy between itself and the workers it spawns —
+    /// the chaos harness for the wire-integrity and session-resume
+    /// machinery.  "" = no proxy.
+    std::string net_fault;
+    /// When a registered worker's connection drops while it holds leases,
+    /// park those leases for this long instead of re-issuing them — a
+    /// reconnect with the same session id resumes heartbeating the same
+    /// attempt.  0 disables parking (drop = immediate worker_lost).
+    double session_grace_ms = 3000.0;
+    /// --reply-timeout-ms for spawned workers (0 = worker default); the
+    /// chaos harness shrinks it so dropped frames re-request quickly.
+    double worker_reply_timeout_ms = 0.0;
     std::string records_dir;      ///< Where per-attempt record streams live.
     std::string artifact_dir;     ///< Reproducer artifacts at finalize ("" = off).
     LeaseConfig lease;            ///< Lease/heartbeat/backoff/straggler knobs.
@@ -83,9 +103,16 @@ struct CoordStats {
     /// Losing duplicate completions whose record files were verified
     /// byte-identical to the winner's (a failed verification aborts serve).
     int duplicate_files_verified = 0;
-    int workers_seen = 0;     ///< Hello handshakes accepted.
+    int workers_seen = 0;     ///< Hello handshakes accepted (fresh sessions).
     int workers_lost = 0;     ///< Connections that dropped.
     int workers_spawned = 0;  ///< Child processes forked (incl. respawns).
+    int sessions_parked = 0;   ///< Disconnects that parked live leases.
+    int sessions_resumed = 0;  ///< Reconnects spliced onto a live session.
+    /// Parked sessions whose grace window lapsed (or whose process was
+    /// reaped) before a resume — their leases went back to the queue.
+    int sessions_expired = 0;
+    /// What the interposed FrameProxy did (all zero without --net-fault).
+    NetFaultStats net;
     /// Flat unit indices re-run in-process under tightened budgets after
     /// their shard permanently failed (poison-unit quarantine), in blame
     /// order.  Non-empty turns ffaudit serve's exit code into

@@ -61,6 +61,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
             plan.spin_after_units = parse_i64(key, value);
         } else if (key == "hog-memory-after-units" && has_value) {
             plan.hog_memory_after_units = parse_i64(key, value);
+        } else if (key == "disconnect-after-units" && has_value) {
+            plan.disconnect_after_units = parse_i64(key, value);
         } else if (key == "delay-lease-ms" && has_value) {
             plan.delay_lease_ms = parse_f64(key, value);
         } else if (key == "drop-heartbeats" && !has_value) {
@@ -70,7 +72,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
                 "fault plan: unknown token '" + token +
                 "' (expected kill-after-units=N, abandon-after-units=N, "
                 "spin-after-units=N, hog-memory-after-units=N, "
-                "delay-lease-ms=N or drop-heartbeats)");
+                "disconnect-after-units=N, delay-lease-ms=N or drop-heartbeats)");
         }
     }
     return plan;
@@ -90,6 +92,9 @@ std::string FaultPlan::describe() const {
     if (spin_after_units >= 0) add("spin-after-units=" + std::to_string(spin_after_units));
     if (hog_memory_after_units >= 0) {
         add("hog-memory-after-units=" + std::to_string(hog_memory_after_units));
+    }
+    if (disconnect_after_units >= 0) {
+        add("disconnect-after-units=" + std::to_string(disconnect_after_units));
     }
     if (drop_heartbeats) add("drop-heartbeats");
     if (delay_lease_ms > 0.0) {

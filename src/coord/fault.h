@@ -48,6 +48,14 @@ struct FaultPlan {
     /// code 114.  < 0 = disabled.
     std::int64_t hog_memory_after_units = -1;
 
+    /// Close the coordinator connection after this many units of the first
+    /// leased shard — but *keep executing*.  The worker's heartbeat path
+    /// notices the dead socket, reconnects with the same session id and
+    /// resumes beating the same attempt: the deterministic driver of the
+    /// coordinator's session-resume machinery (the lease must be parked,
+    /// not re-issued).  < 0 = disabled.
+    std::int64_t disconnect_after_units = -1;
+
     /// Never send heartbeats, so every lease this worker holds expires
     /// even while it keeps (slowly, from the coordinator's view) working.
     bool drop_heartbeats = false;
@@ -59,15 +67,16 @@ struct FaultPlan {
     /// True when no fault is configured.
     bool empty() const {
         return kill_after_units < 0 && abandon_after_units < 0 && spin_after_units < 0 &&
-               hog_memory_after_units < 0 && !drop_heartbeats && delay_lease_ms <= 0.0;
+               hog_memory_after_units < 0 && disconnect_after_units < 0 &&
+               !drop_heartbeats && delay_lease_ms <= 0.0;
     }
 
     /// Parses a comma-separated spec, e.g.
     /// "kill-after-units=3,drop-heartbeats" or "delay-lease-ms=500".
     /// Keys: kill-after-units, abandon-after-units, spin-after-units,
-    /// hog-memory-after-units, drop-heartbeats, delay-lease-ms.  Empty
-    /// spec = no faults.  Throws common::Error on unknown keys or
-    /// malformed values.
+    /// hog-memory-after-units, disconnect-after-units, drop-heartbeats,
+    /// delay-lease-ms.  Empty spec = no faults.  Throws common::Error on
+    /// unknown keys or malformed values.
     static FaultPlan parse(const std::string& spec);
 
     /// Human-readable summary ("none" when empty) for logs.

@@ -202,6 +202,23 @@ std::vector<LeaseQueue::LostAttempt> LeaseQueue::worker_lost(const std::string& 
     return lost;
 }
 
+std::vector<LeaseQueue::LostAttempt> LeaseQueue::park_worker(const std::string& worker,
+                                                             TimePoint now, double grace_ms) {
+    std::vector<LostAttempt> parked;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        ShardEntry& entry = shards_[i];
+        if (entry.state != ShardState::Leased) continue;
+        for (Attempt& a : entry.active) {
+            if (a.worker != worker) continue;
+            // max(): a lease whose deadline already reaches past the grace
+            // window keeps it — parking never *shortens* a lease.
+            a.deadline = std::max(a.deadline, add_ms(now, grace_ms));
+            parked.push_back({static_cast<int>(i), a.attempt, a.worker});
+        }
+    }
+    return parked;
+}
+
 void LeaseQueue::requeue_or_fail(ShardEntry& entry, TimePoint now) {
     if (entry.failures >= config_.max_failures) {
         entry.state = ShardState::Failed;

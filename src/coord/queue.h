@@ -146,6 +146,16 @@ public:
     /// timeout, so no need to wait out the lease.
     std::vector<LostAttempt> worker_lost(const std::string& worker, TimePoint now);
 
+    /// Session resume, coordinator side: the worker's *connection* died but
+    /// its session may come back, so instead of dropping its attempts,
+    /// extend each one's deadline to at least `now + grace_ms`.  A
+    /// reconnecting worker resumes heartbeating the same attempts; one that
+    /// never returns loses them through the ordinary expire() path when the
+    /// grace lapses.  Returns the parked attempts (empty = nothing was
+    /// active, caller falls back to worker_lost bookkeeping).
+    std::vector<LostAttempt> park_worker(const std::string& worker, TimePoint now,
+                                         double grace_ms);
+
     bool all_done() const;  ///< Every shard Done.
     ShardState state(int shard) const;
     /// Last error/expiry note recorded for the shard ("" when none).

@@ -14,6 +14,7 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <thread>
 #include <utility>
@@ -36,6 +37,28 @@ void sleep_ms(double ms) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
+/// FNV-1a of the worker id, seeding the reconnect-jitter Rng.  Not
+/// std::hash: that is implementation-defined, and the jitter schedule must
+/// be a pure function of the worker id so a fault-injection run replays
+/// the same delay sequence on every build.
+std::uint64_t fnv1a(const std::string& s) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/// Session id: stable across every reconnect of this worker lifetime,
+/// unique across processes and across run_worker() calls in one process
+/// (in-process test clusters).  The coordinator splices a reconnect with a
+/// known session id back onto its parked leases.
+std::string make_session(const std::string& id) {
+    static std::atomic<int> seq{0};
+    return id + "/" + std::to_string(::getpid()) + "." + std::to_string(seq.fetch_add(1));
+}
+
 /// Unrecoverable conditions (protocol mismatch, reconnect budget spent) —
 /// everything else an inner-loop error just triggers a reconnect.
 struct FatalError : common::Error {
@@ -44,24 +67,22 @@ struct FatalError : common::Error {
 
 /// Sends heartbeats for one lease while the main thread executes the
 /// shard.  The first beat goes out immediately — a long prepare phase must
-/// not look like death — then one per interval.  Write errors end the
-/// thread silently; the main thread notices the dead socket on its next
-/// frame.
+/// not look like death — then one per interval.  The beat callback owns
+/// delivery (including reconnecting a dead socket); when it reports the
+/// connection unrecoverable the thread ends silently and the main thread
+/// notices on its next frame.
 class HeartbeatThread {
 public:
-    HeartbeatThread(FramedConn& conn, int shard, int attempt, double interval_ms, bool enabled) {
+    /// The beat callback receives the thread's stop flag so a reconnect in
+    /// progress can abandon its backoff sleeps the moment stop() is called
+    /// — joining this thread must never stall the main thread for a whole
+    /// backoff schedule.
+    HeartbeatThread(std::function<bool(const std::atomic<bool>&)> beat, double interval_ms,
+                    bool enabled) {
         if (!enabled) return;
-        thread_ = std::thread([this, &conn, shard, attempt, interval_ms] {
+        thread_ = std::thread([this, beat = std::move(beat), interval_ms] {
             while (!stop_.load(std::memory_order_relaxed)) {
-                Json beat = Json::object();
-                beat["type"] = "heartbeat";
-                beat["shard"] = shard;
-                beat["attempt"] = attempt;
-                try {
-                    conn.write(beat);
-                } catch (...) {
-                    return;
-                }
+                if (!beat(stop_)) return;
                 double slept = 0.0;
                 while (slept < interval_ms && !stop_.load(std::memory_order_relaxed)) {
                     sleep_ms(20.0);
@@ -162,7 +183,8 @@ public:
         : config_(config),
           id_(config.worker_id.empty() ? "pid" + std::to_string(::getpid())
                                        : config.worker_id),
-          rng_(common::splitmix64(std::hash<std::string>{}(id_))),
+          session_(make_session(id_)),
+          rng_(common::splitmix64(fnv1a(id_))),
           fault_armed_(!config.fault.empty()) {}
 
     WorkerStats run();
@@ -176,54 +198,142 @@ private:
         }
     }
 
-    bool connect();
+    Endpoint endpoint() const {
+        return config_.connect_address.empty() ? Endpoint::unix_path(config_.socket_path)
+                                               : Endpoint::parse_tcp(config_.connect_address);
+    }
+
+    /// One dial + hello exchange.  Returns false on anything recoverable
+    /// (unreachable, dropped hello, dead stream) so the backoff loop
+    /// retries; throws FatalError on an explicit protocol refusal.
+    /// Callers serialize via conn_mu_ whenever a heartbeat thread is alive.
+    bool connect_once();
+    /// connect_once under the backoff schedule.  Same serialization rule.
+    bool reconnect(int max_attempts);
+    /// One heartbeat delivery, reconnecting the session on a dead socket
+    /// (HeartbeatThread's beat callback; `stop` aborts backoff sleeps).
+    /// False = unrecoverable.
+    bool send_heartbeat(int shard, int attempt, const std::atomic<bool>& stop);
+    Json make_beat(int shard, int attempt) const;
+
     Outcome serve_leases();  ///< The request loop on one connection.
     Outcome execute_lease(Json grant);
+    /// The completion handshake, resending across reconnects: the records
+    /// are durable and duplicate completions byte-verify, so a dead socket
+    /// must not forfeit a finished shard.
+    Outcome report_complete(int shard, int attempt, std::int64_t units_run);
     void salvage(const shard::ShardManifest& manifest, const std::string& records_path,
                  const Json& candidates);
 
     WorkerConfig config_;
     std::string id_;
+    std::string session_;
     common::Rng rng_;
+    /// Guards conn_'s identity (replacement on reconnect) and rng_.  The
+    /// beat thread holds it across its reconnects; the runner's progress
+    /// hook only try_locks (a skipped progress beat is harmless).
+    std::mutex conn_mu_;
     FramedConn conn_;
     double heartbeat_ms_ = 2500.0;
+    std::atomic<std::int64_t> units_done_{0};  ///< Carried in heartbeats.
     bool fault_armed_;  ///< One-shot faults not yet fired.
     WorkerStats stats_;
 };
 
-bool Worker::connect() {
-    bool ok = common::retry_with_backoff(
-        config_.max_connect_attempts, config_.reconnect, rng_,
-        [&] {
-            int fd = connect_unix(config_.socket_path);
-            if (fd < 0) return false;
-            conn_ = FramedConn(fd);
-            return true;
-        },
-        [](double ms) { sleep_ms(ms); });
-    if (!ok) return false;
+bool Worker::connect_once() {
+    int fd = connect_endpoint(endpoint());
+    if (fd < 0) return false;
+    FramedConn fresh(fd);
     Json hello = Json::object();
     hello["type"] = "hello";
     hello["worker"] = id_;
+    hello["session"] = session_;
     hello["protocol"] = kProtocolVersion;
     try {
-        conn_.write(hello);
-        ReadResult r = conn_.read(static_cast<int>(config_.reply_timeout_ms));
-        if (r.status != ReadStatus::Ok) return false;
-        const std::string& type = common::json_string(r.message, "type");
-        if (type == "error") {
-            throw FatalError("coordinator refused hello: " +
-                             common::json_string(r.message, "error"));
+        fresh.write(hello);
+        while (true) {
+            ReadResult r = fresh.read(static_cast<int>(config_.reply_timeout_ms));
+            if (r.status != ReadStatus::Ok) return false;
+            const std::string& type = common::json_string(r.message, "type");
+            if (type == "error") {
+                throw FatalError("coordinator refused hello: " +
+                                 common::json_string(r.message, "error"));
+            }
+            if (type != "welcome") continue;  // a stray duplicated reply; keep reading
+            heartbeat_ms_ = common::json_double(r.message, "heartbeat_ms");
+            if (r.message.contains("resumed") && common::json_bool(r.message, "resumed")) {
+                log("session " + session_ + " resumed");
+            }
+            break;
         }
-        if (type != "welcome") return false;
-        heartbeat_ms_ = common::json_double(r.message, "heartbeat_ms");
     } catch (const FatalError&) {
         throw;
     } catch (const common::Error&) {
         return false;
     }
-    log("connected to " + config_.socket_path);
+    conn_ = std::move(fresh);
+    log("connected to " + endpoint().describe());
     return true;
+}
+
+bool Worker::reconnect(int max_attempts) {
+    conn_.close();
+    return common::retry_with_backoff(
+        max_attempts, config_.reconnect, rng_, [&] { return connect_once(); },
+        [](double ms) { sleep_ms(ms); });
+}
+
+Json Worker::make_beat(int shard, int attempt) const {
+    Json beat = Json::object();
+    beat["type"] = "heartbeat";
+    beat["shard"] = shard;
+    beat["attempt"] = attempt;
+    beat["units"] = units_done_.load(std::memory_order_relaxed);
+    return beat;
+}
+
+bool Worker::send_heartbeat(int shard, int attempt, const std::atomic<bool>& stop) {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    try {
+        conn_.write(make_beat(shard, attempt));
+        return true;
+    } catch (const common::Error&) {
+    }
+    // The socket died mid-lease (partition, coordinator blip, injected
+    // disconnect).  Reconnect with the same session id and resume beating
+    // the same attempt: the coordinator parked the lease on the drop and
+    // splices this session back onto it, so the shard in progress is never
+    // re-issued for a transport hiccup.  The stop flag short-circuits both
+    // the attempts and the sleeps — once the lease is over, nobody needs
+    // this connection enough to wait out a backoff schedule for it.
+    conn_.close();
+    bool ok = false;
+    try {
+        ok = common::retry_with_backoff(
+            config_.max_connect_attempts, config_.reconnect, rng_,
+            [&] {
+                if (stop.load(std::memory_order_relaxed)) return true;  // abandon quietly
+                return connect_once();
+            },
+            [&](double ms) {
+                double slept = 0.0;
+                while (slept < ms && !stop.load(std::memory_order_relaxed)) {
+                    sleep_ms(std::min(20.0, ms - slept));
+                    slept += 20.0;
+                }
+            });
+    } catch (const FatalError&) {
+        return false;  // refusal surfaces on the main thread's next frame
+    }
+    if (!ok || stop.load(std::memory_order_relaxed)) return false;
+    ++stats_.reconnects;
+    log("heartbeat reconnected (session " + session_ + ", shard " + std::to_string(shard) + ")");
+    try {
+        conn_.write(make_beat(shard, attempt));
+        return true;
+    } catch (const common::Error&) {
+        return false;
+    }
 }
 
 Worker::Outcome Worker::serve_leases() {
@@ -232,26 +342,30 @@ Worker::Outcome Worker::serve_leases() {
             Json request = Json::object();
             request["type"] = "lease-request";
             conn_.write(request);
-            ReadResult r = conn_.read(static_cast<int>(config_.reply_timeout_ms));
-            if (r.status == ReadStatus::Timeout) {
-                throw common::Error("no reply from the coordinator");
+            bool served = false;
+            while (!served) {
+                ReadResult r = conn_.read(static_cast<int>(config_.reply_timeout_ms));
+                if (r.status == ReadStatus::Timeout) {
+                    throw common::Error("no reply from the coordinator");
+                }
+                if (r.status == ReadStatus::Closed) return Outcome::Reconnect;
+                const std::string& type = common::json_string(r.message, "type");
+                if (type == "done") return Outcome::Done;
+                if (type == "wait") {
+                    sleep_ms(common::json_double(r.message, "retry_ms"));
+                    served = true;  // re-request
+                } else if (type == "lease") {
+                    Outcome out = execute_lease(std::move(r.message));
+                    if (out != Outcome::Continue) return out;
+                    served = true;
+                } else if (type == "error") {
+                    throw FatalError("coordinator: " + common::json_string(r.message, "error"));
+                } else {
+                    // A duplicated request's extra reply, or a stale ack
+                    // from before a resume: skip, never desynchronize.
+                    log("ignoring stray '" + type + "' frame");
+                }
             }
-            if (r.status == ReadStatus::Closed) return Outcome::Reconnect;
-            const std::string& type = common::json_string(r.message, "type");
-            if (type == "done") return Outcome::Done;
-            if (type == "wait") {
-                sleep_ms(common::json_double(r.message, "retry_ms"));
-                continue;
-            }
-            if (type == "lease") {
-                Outcome out = execute_lease(std::move(r.message));
-                if (out != Outcome::Continue) return out;
-                continue;
-            }
-            if (type == "error") {
-                throw FatalError("coordinator: " + common::json_string(r.message, "error"));
-            }
-            throw common::Error("unexpected frame '" + type + "'");
         } catch (const FatalError&) {
             throw;
         } catch (const common::Error& e) {
@@ -267,6 +381,7 @@ Worker::Outcome Worker::execute_lease(Json grant) {
     shard::ShardManifest manifest = shard::ShardManifest::from_json(grant["manifest"]);
     const std::string records_path = common::json_string(grant, "records_path");
     heartbeat_ms_ = common::json_double(grant, "heartbeat_ms");
+    units_done_.store(0, std::memory_order_relaxed);
     log("leased shard " + std::to_string(shard) + " attempt " + std::to_string(attempt) +
         " [" + std::to_string(manifest.unit_begin) + ", " + std::to_string(manifest.unit_end) +
         ")");
@@ -289,14 +404,15 @@ Worker::Outcome Worker::execute_lease(Json grant) {
     } else if (fault_armed_ && config_.fault.abandon_after_units >= 0) {
         options.interrupt_after_units = config_.fault.abandon_after_units;
     }
-    // Each durable checkpoint resets the watchdog, doubles as a heartbeat
-    // alongside the timer thread's beats (FramedConn::write is
-    // mutex-guarded, so the two interleave safely), and is where the
-    // poison faults fire.  Heartbeat write errors are swallowed: the
-    // records are durable and duplicate completions byte-verify, so the
-    // shard is worth finishing even on a dead socket.
+    // Each durable checkpoint resets the watchdog and doubles as a
+    // heartbeat alongside the timer thread's beats.  The progress beat
+    // only try_locks: if the beat thread holds the connection (possibly
+    // mid-reconnect), skipping one is harmless.  Heartbeat write errors
+    // are swallowed — the records are durable and duplicate completions
+    // byte-verify, so the shard is worth finishing even on a dead socket.
     options.on_progress = [this, &watchdog, shard, attempt](std::int64_t units_done) {
         watchdog.reset();
+        units_done_.store(units_done, std::memory_order_relaxed);
         if (fault_armed_ && config_.fault.hog_memory_after_units >= 0 &&
             units_done > config_.fault.hog_memory_after_units) {
             fault_armed_ = false;
@@ -312,21 +428,34 @@ Worker::Outcome Worker::execute_lease(Json grant) {
             // wall-clock watchdog (or an external kill) ends this.
             for (;;) sleep_ms(50.0);
         }
+        if (fault_armed_ && config_.fault.disconnect_after_units >= 0 &&
+            units_done > config_.fault.disconnect_after_units) {
+            fault_armed_ = false;
+            log("fault: dropping the connection after " + std::to_string(units_done) +
+                " units (still executing)");
+            // The deterministic driver of session resume: the coordinator
+            // sees EOF and parks the lease; the beat thread's next write
+            // fails, reconnects with the same session, and resumes it.
+            std::lock_guard<std::mutex> lock(conn_mu_);
+            conn_.close();
+            return;
+        }
         if (config_.fault.drop_heartbeats) return;
-        Json beat = Json::object();
-        beat["type"] = "heartbeat";
-        beat["shard"] = shard;
-        beat["attempt"] = attempt;
+        std::unique_lock<std::mutex> lock(conn_mu_, std::try_to_lock);
+        if (!lock.owns_lock()) return;
         try {
-            conn_.write(beat);
+            conn_.write(make_beat(shard, attempt));
         } catch (const common::Error&) {
         }
     };
 
     shard::RunShardResult result;
     {
-        HeartbeatThread heartbeats(conn_, shard, attempt, heartbeat_ms_,
-                                   !config_.fault.drop_heartbeats);
+        HeartbeatThread heartbeats(
+            [this, shard, attempt](const std::atomic<bool>& stop) {
+                return send_heartbeat(shard, attempt, stop);
+            },
+            heartbeat_ms_, !config_.fault.drop_heartbeats);
         try {
             result = shard::run_shard(manifest, records_path, options);
         } catch (const common::Error& e) {
@@ -340,10 +469,14 @@ Worker::Outcome Worker::execute_lease(Json grant) {
             failed["attempt"] = attempt;
             failed["error"] = std::string(e.what());
             conn_.write(failed);
-            ReadResult r = conn_.read(static_cast<int>(config_.reply_timeout_ms));
-            if (r.status != ReadStatus::Ok) return Outcome::Reconnect;
-            if (common::json_string(r.message, "type") == "done") return Outcome::Done;
-            return Outcome::Continue;
+            while (true) {
+                ReadResult r = conn_.read(static_cast<int>(config_.reply_timeout_ms));
+                if (r.status != ReadStatus::Ok) return Outcome::Reconnect;
+                const std::string& type = common::json_string(r.message, "type");
+                if (type == "done") return Outcome::Done;
+                if (type == "ack") return Outcome::Continue;
+                log("ignoring stray '" + type + "' frame");
+            }
         }
     }
     watchdog.disarm();
@@ -361,27 +494,54 @@ Worker::Outcome Worker::execute_lease(Json grant) {
         return Outcome::Abandon;
     }
     fault_armed_ = false;
+    return report_complete(shard, attempt, result.units_run);
+}
 
+Worker::Outcome Worker::report_complete(int shard, int attempt, std::int64_t units_run) {
     Json complete = Json::object();
     complete["type"] = "complete";
     complete["shard"] = shard;
     complete["attempt"] = attempt;
-    conn_.write(complete);
-    ReadResult r = conn_.read(static_cast<int>(config_.reply_timeout_ms));
-    if (r.status != ReadStatus::Ok) return Outcome::Reconnect;
-    const std::string& type = common::json_string(r.message, "type");
-    if (type == "done") return Outcome::Done;
-    if (type == "reject") {
-        log("completion rejected: " + common::json_string(r.message, "error"));
-        ++stats_.shards_failed;
-        return Outcome::Continue;
+    // Up to three socket lifetimes: resending a completion is always safe
+    // (the coordinator byte-verifies duplicates), while giving up hands a
+    // finished shard back to the queue for a pointless re-execution.
+    for (int round = 0; round < 3; ++round) {
+        if (round > 0) {
+            try {
+                if (!reconnect(config_.max_connect_attempts)) return Outcome::Reconnect;
+            } catch (const FatalError&) {
+                throw;
+            }
+            ++stats_.reconnects;
+            log("reconnected to resend completion of shard " + std::to_string(shard));
+        }
+        try {
+            conn_.write(complete);
+            while (true) {
+                ReadResult r = conn_.read(static_cast<int>(config_.reply_timeout_ms));
+                if (r.status != ReadStatus::Ok) break;  // reconnect + resend
+                const std::string& type = common::json_string(r.message, "type");
+                if (type == "done") return Outcome::Done;
+                if (type == "reject") {
+                    log("completion rejected: " + common::json_string(r.message, "error"));
+                    ++stats_.shards_failed;
+                    return Outcome::Continue;
+                }
+                if (type == "ack") {
+                    ++stats_.shards_completed;
+                    stats_.units_run += units_run;
+                    log("shard " + std::to_string(shard) + " complete (" +
+                        std::to_string(units_run) + " units this attempt)");
+                    return common::json_bool(r.message, "done") ? Outcome::Done
+                                                                : Outcome::Continue;
+                }
+                log("ignoring stray '" + type + "' frame");  // stale wait/lease/welcome
+            }
+        } catch (const common::Error& e) {
+            log(std::string("completion handshake failed: ") + e.what());
+        }
     }
-    if (type != "ack") throw common::Error("unexpected reply '" + type + "' to complete");
-    ++stats_.shards_completed;
-    stats_.units_run += result.units_run;
-    log("shard " + std::to_string(shard) + " complete (" + std::to_string(result.units_run) +
-        " units this attempt)");
-    return common::json_bool(r.message, "done") ? Outcome::Done : Outcome::Continue;
+    return Outcome::Reconnect;
 }
 
 void Worker::salvage(const shard::ShardManifest& manifest, const std::string& records_path,
@@ -419,9 +579,9 @@ void Worker::salvage(const shard::ShardManifest& manifest, const std::string& re
 WorkerStats Worker::run() {
     bool first = true;
     while (true) {
-        if (!connect()) {
+        if (!reconnect(config_.max_connect_attempts)) {
             throw common::Error("worker " + id_ + ": coordinator unreachable at " +
-                                config_.socket_path + " after " +
+                                endpoint().describe() + " after " +
                                 std::to_string(config_.max_connect_attempts) + " attempts");
         }
         if (!first) ++stats_.reconnects;

@@ -1,14 +1,17 @@
 // The coordinator's worker: lease, run, report, heartbeat, repeat.
 //
-// run_worker() dials the coordinator's socket (with jittered reconnect
-// backoff — common/retry.h), then loops: request a lease, execute the
-// granted shard with shard::run_shard (salvaging the checkpointed prefix
-// of a prior attempt's record file when the coordinator names one), report
-// completion, ask again.  A background thread heartbeats while a shard is
-// executing so long prepare phases and slow chunks never look like death.
-// Faults (coord/fault.h) fire at their planned points; everything else —
-// socket errors, coordinator restarts, rejected completions — is survived
-// by reconnecting and re-requesting.
+// run_worker() dials the coordinator (unix socket or TCP, with jittered
+// reconnect backoff — common/retry.h), then loops: request a lease, execute
+// the granted shard with shard::run_shard (salvaging the checkpointed
+// prefix of a prior attempt's record file when the coordinator names one),
+// report completion, ask again.  A background thread heartbeats while a
+// shard is executing so long prepare phases and slow chunks never look
+// like death — and when the socket dies mid-shard, that thread reconnects
+// with the worker's session id and resumes beating the same attempt, so a
+// transport blip never forfeits a lease (the coordinator parks it for a
+// grace window).  Faults (coord/fault.h) fire at their planned points;
+// everything else — socket errors, coordinator restarts, rejected
+// completions — is survived by reconnecting and re-requesting.
 //
 // Workers are deliberately stateless between leases: every fact they need
 // is in the lease grant, so a worker can die at ANY instant and its
@@ -39,6 +42,9 @@ constexpr int kWorkerExitMemoryCap = 114;
 /// One worker's knobs.
 struct WorkerConfig {
     std::string socket_path;   ///< The coordinator's unix socket.
+    /// TCP coordinator address ("host:port"); when set it replaces
+    /// socket_path as the transport.
+    std::string connect_address;
     std::string worker_id;     ///< Name in hello ("" = "pid<pid>").
     int num_threads = 1;       ///< Threads of each shard's trial pool.
     int trial_chunk = 1;       ///< Scheduler chunking (execution-only).

@@ -29,8 +29,10 @@
 namespace ff::shard {
 
 /// Version of the manifest and record wire format.  Readers reject files
-/// from a different major version instead of mis-parsing them.
-constexpr int kFormatVersion = 1;
+/// from a different major version instead of mis-parsing them.  Version 2
+/// added the per-line "crc" checksum field and the record-stream trailer
+/// (see shard/records.h).
+constexpr int kFormatVersion = 2;
 
 /// Everything that identifies one audit job across processes.  Two
 /// processes with equal JobSpecs prepare identical instances and sample

@@ -1,9 +1,11 @@
 // The shard record wire format: one append-only JSONL stream per shard.
 //
-// Line types (each a compact single-line JSON object):
-//   {"type":"header","format":1,"manifest":{...}}       — first line
-//   {"type":"record","unit":<u>,"rec":{...}}            — one trial slot
-//   {"type":"checkpoint","completed":<u>}               — durability marker
+// Line types (each a compact single-line JSON object; since format 2 every
+// line carries a trailing per-line CRC32C over its other bytes):
+//   {"type":"header","format":2,"manifest":{...},"crc":"xxxxxxxx"}
+//   {"type":"record","unit":<u>,"rec":{...},"crc":"xxxxxxxx"}
+//   {"type":"checkpoint","completed":<u>,"crc":"xxxxxxxx"}
+//   {"digest":"xxxxxxxx","records":<n>,"type":"trailer","crc":"xxxxxxxx"}
 //
 // Records appear in ascending unit order.  A checkpoint line asserts that
 // every unit in [manifest.unit_begin, completed) has a record line above
@@ -11,7 +13,19 @@
 // last checkpoint instead of restarting (the partially written chunk after
 // it — including a torn final line from a mid-write kill — is discarded by
 // truncation).  A shard is *complete* when its last checkpoint reaches
-// manifest.unit_end.
+// manifest.unit_end AND the stream ends with its trailer line.
+//
+// Integrity (format 2): the "crc" field of each line is the CRC32C of the
+// line with that field removed — a flipped bit anywhere in a line is
+// detected before its JSON is even parsed.  The trailer seals the whole
+// stream: "records" is the count of record lines and "digest" is the
+// rolling CRC32C of every byte of the file before the trailer line itself,
+// so dropped or reordered *whole lines* (individually checksum-valid) are
+// caught too.  Readers verify all of it unconditionally; a mismatch throws
+// common::IntegrityError naming the file and line (`ffaudit fsck` reports
+// it, `fsck --repair` truncates back to the last verifiable prefix).  Only
+// a torn final line — the signature of a mid-write kill, never of silent
+// corruption — is tolerated, exactly as before.
 //
 // Durability (the checkpoint invariant): the writer streams to
 // `<path>.tmp` and publishes the file under its real name by atomic rename
@@ -33,13 +47,15 @@
 // checkpoints land on the same interval grid whatever the interruption /
 // resume history, so two complete record files of the same shard are
 // byte-identical — the property the coordinator (src/coord) exploits to
-// cross-check duplicate completions of a re-issued shard.
+// cross-check duplicate completions of a re-issued shard.  The trailer is
+// a pure function of the preceding bytes, so it preserves that property.
 #pragma once
 
 /// \file
-/// Shard record streams: append-only writer with fsync'd checkpoints and
-/// atomic first-checkpoint publication, tolerant reader with a resume
-/// point.
+/// Shard record streams: append-only writer with fsync'd checkpoints,
+/// atomic first-checkpoint publication and per-line CRC32C + stream
+/// trailer; verifying reader with a resume point; tolerant scanner for
+/// `ffaudit fsck`.
 
 #include <cstdint>
 #include <string>
@@ -56,7 +72,9 @@ namespace ff::shard {
 /// crash between checkpoints loses at most one chunk.  The stream lives at
 /// `<path>.tmp` until the first checkpoint atomically renames it to
 /// `path` — a visible record file therefore always contains at least one
-/// durable checkpoint.
+/// durable checkpoint.  Every line is written with its CRC32C field, and
+/// the checkpoint that reaches `unit_end` automatically appends the stream
+/// trailer.
 class RecordWriter {
 public:
     /// Fresh stream: creates/truncates `path + ".tmp"` and writes the
@@ -66,7 +84,14 @@ public:
     /// Resume: truncates the published `path` to `resume_offset` (the byte
     /// offset just past the last checkpoint line, from read_record_file) —
     /// dropping any partially written chunk — and appends after it.
-    static RecordWriter resume(const std::string& path, std::int64_t resume_offset);
+    /// `unit_end` comes from the manifest and `records_so_far` is the
+    /// number of record lines in the retained prefix
+    /// (`checkpoint - unit_begin`); both re-arm the trailer bookkeeping,
+    /// and the retained bytes are re-read to re-seed the rolling stream
+    /// digest so a resumed stream stays byte-identical to an uninterrupted
+    /// one.
+    static RecordWriter resume(const std::string& path, std::int64_t resume_offset,
+                               std::int64_t unit_end, std::int64_t records_so_far);
 
     RecordWriter(RecordWriter&& other) noexcept;
     RecordWriter& operator=(RecordWriter&& other) noexcept;
@@ -81,8 +106,14 @@ public:
     /// the buffered records, then writes + fsyncs the checkpoint line (two
     /// fsyncs, so the checkpoint can never be durable above unsynced
     /// records), then — on the first checkpoint — atomically renames the
-    /// `.tmp` stream to its real path and fsyncs the directory.
+    /// `.tmp` stream to its real path and fsyncs the directory.  The final
+    /// checkpoint (`completed == unit_end`) also writes the stream trailer.
     void checkpoint(std::int64_t completed);
+
+    /// Writes the stream trailer without a new checkpoint — for resuming a
+    /// stream whose final checkpoint is durable but whose trailer was torn
+    /// off by a crash.  No-op when the trailer was already written.
+    void finish();
 
     /// Appends raw bytes without a newline, checkpoint or fsync — a test
     /// hook that simulates a process killed mid-write (torn final line).
@@ -91,6 +122,8 @@ public:
 private:
     RecordWriter(int fd, std::string path, bool published)
         : fd_(fd), path_(std::move(path)), published_(published) {}
+    void write_line(const common::Json& line);  ///< checksum + digest + buffer
+    void write_trailer();
     void buffered_write(const std::string& bytes);
     void flush();  ///< write(2) the buffer; no fsync.
     void sync();   ///< fsync(2) the stream.
@@ -100,6 +133,10 @@ private:
     std::string path_;      ///< Published path (stream is at path_ + ".tmp" until then).
     bool published_ = false;  ///< Whether the stream is visible at path_.
     std::string buffer_;    ///< Pending bytes since the last flush.
+    std::int64_t unit_end_ = 0;       ///< Shard range end; arms the trailer.
+    std::int64_t record_count_ = 0;   ///< Record lines written (incl. resumed prefix).
+    std::uint32_t digest_ = 0;        ///< Rolling CRC32C of all stream bytes so far.
+    bool trailer_written_ = false;
 };
 
 /// Parsed view of one shard record file.
@@ -107,23 +144,67 @@ struct ShardRecordFile {
     ShardManifest manifest;      ///< From the header line.
     std::int64_t checkpoint = 0;  ///< Units [unit_begin, checkpoint) are durable.
     /// Byte offset just past the last checkpoint line (or the header when
-    /// none) — where RecordWriter::resume truncates to.
+    /// none; past the trailer when present) — where RecordWriter::resume
+    /// truncates to.
     std::int64_t resume_offset = 0;
     /// (unit, record) pairs covered by the last checkpoint, ascending by
     /// unit.  Record lines past the checkpoint (an interrupted chunk) are
     /// dropped: their chunk never completed, so siblings may be missing.
     std::vector<std::pair<std::int64_t, core::TrialRecord>> records;
+    /// Whether the verified stream trailer was present.
+    bool has_trailer = false;
 
-    /// Whether the shard ran to the end of its range.
-    bool complete() const { return checkpoint == manifest.unit_end; }
+    /// Whether the shard ran to the end of its range and the stream is
+    /// sealed by its trailer.
+    bool complete() const { return checkpoint == manifest.unit_end && has_trailer; }
 };
 
-/// Reads a shard record stream.  Tolerates a torn final line (truncated by
-/// a kill mid-write) by stopping at the last intact checkpoint; throws
+/// How scan_record_file classified the first defect it hit.
+enum class ScanErrorKind {
+    None,       ///< No hard corruption (the stream may still be torn).
+    Parse,      ///< Malformed JSON / format violation -> common::FileParseError.
+    Integrity,  ///< Checksum, digest or trailer violation -> common::IntegrityError.
+};
+
+/// Result of the tolerant scan behind `ffaudit fsck`: the longest valid
+/// prefix plus a classification of whatever stopped the scan.
+struct RecordScan {
+    ShardRecordFile file;  ///< Valid prefix (records resized to the checkpoint).
+    bool have_header = false;
+    /// A final line missing its newline or unparseable — the signature of a
+    /// mid-write kill.  Tolerated by the strict reader; reported by fsck.
+    bool torn_tail = false;
+    int torn_line = 0;           ///< 1-based line of the tear (0 = none).
+    ScanErrorKind error_kind = ScanErrorKind::None;
+    int error_line = 0;          ///< 1-based line of the corruption (0 = none).
+    std::string error;           ///< Human detail of the corruption.
+    std::int64_t lines = 0;      ///< Lines examined, including a bad one.
+
+    /// Fully healthy: header present, no corruption, no tear.
+    bool clean() const {
+        return have_header && error_kind == ScanErrorKind::None && !torn_tail;
+    }
+};
+
+/// Scans a shard record stream without throwing on corruption: consumes
+/// lines until the first defect, classifying it instead of raising.  Still
+/// throws common::Error when the file cannot be opened or read at all.
+RecordScan scan_record_file(const std::string& path);
+
+/// Reads a shard record stream, verifying every line checksum and — when
+/// present — the stream trailer.  Tolerates a torn final line (truncated
+/// by a kill mid-write) by stopping at the last intact checkpoint; throws
+/// common::IntegrityError on a checksum/digest/trailer mismatch and
 /// common::FileParseError — naming the file, the 1-based line and what was
 /// expected — when the file is missing, has no parseable header, contains
 /// malformed JSON before its final line, or violates the format (records
 /// out of range/order, checkpoint without its records).
 ShardRecordFile read_record_file(const std::string& path);
+
+/// `ffaudit fsck --repair`: truncates `path` back to the last verifiable
+/// prefix found by `scan` (its resume_offset; the whole file when no
+/// header survived).  The result is a valid resumable stream — or an empty
+/// file a fresh run recreates.  Returns the number of bytes removed.
+std::int64_t repair_record_file(const std::string& path, const RecordScan& scan);
 
 }  // namespace ff::shard

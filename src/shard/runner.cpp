@@ -56,6 +56,7 @@ RunShardResult run_shard(const ShardManifest& manifest, const std::string& recor
     std::int64_t start = manifest.unit_begin;
     std::optional<RecordWriter> writer;
     bool fresh = true;
+    bool needs_trailer = false;
     std::error_code ec;
     const bool existing_nonempty = std::filesystem::exists(records_path, ec) &&
                                    std::filesystem::file_size(records_path, ec) > 0 && !ec;
@@ -78,12 +79,19 @@ RunShardResult run_shard(const ShardManifest& manifest, const std::string& recor
                                     " belongs to a different shard or job; refusing to resume");
             start = existing->checkpoint;
             fresh = false;
+            // A stream whose final checkpoint is durable but whose trailer
+            // was torn off by a crash only needs the trailer re-emitted
+            // (a pure function of the retained bytes, so byte-identity
+            // with an uninterrupted run is preserved).
+            needs_trailer = start == manifest.unit_end && !existing->has_trailer;
             // Completed records re-enter the audit so early-stop watermarks
             // (a failure recorded before the interruption) keep suppressing
             // later trials of the same instance.
             for (auto& [unit, record] : existing->records)
                 audit.set_record(unit, std::move(record));
-            writer.emplace(RecordWriter::resume(records_path, existing->resume_offset));
+            writer.emplace(RecordWriter::resume(records_path, existing->resume_offset,
+                                                manifest.unit_end,
+                                                existing->checkpoint - manifest.unit_begin));
         } else {
             writer.emplace(RecordWriter::create(records_path, manifest));
         }
@@ -100,6 +108,7 @@ RunShardResult run_shard(const ShardManifest& manifest, const std::string& recor
     // fresh stream: a resumed empty shard is already complete and another
     // checkpoint line would break re-run byte-identity.
     if (start == manifest.unit_end && fresh) writer->checkpoint(manifest.unit_end);
+    if (needs_trailer) writer->finish();
     for (std::int64_t u = start; u < manifest.unit_end; u += interval) {
         const std::int64_t chunk_end = std::min(u + interval, manifest.unit_end);
         audit.run_range(u, chunk_end);

@@ -8,7 +8,8 @@
 //   3  an interrupted, resumable shard
 //   4  job construction failures
 //   5  shard execution failures
-//   6  merge/validation failures
+//   6  merge/validation failures, incl. record-integrity violations and
+//      `fsck` having found corruption (clean fsck = 0)
 //   7  malformed input files (parse errors)
 //   8  coordinator/worker gave up
 //   9  audit completed but poison units were quarantined (serve)
@@ -122,6 +123,49 @@ TEST(CliShardLifecycle, PlanInterruptResumeMergeExitCodes) {
                   .code,
               0);
     EXPECT_TRUE(fs::exists(dir + "/report.json"));
+}
+
+TEST(CliFsck, CleanExitsZeroAndCorruptionExitsSix) {
+    const std::string dir = scratch_dir("fsck");
+    const std::string plan_dir = dir + "/plan";
+    const std::string records_dir = dir + "/records";
+    ASSERT_EQ(run_cli(std::string("plan ") + kJob + " --shards 1 --out-dir " + plan_dir +
+                      " --checkpoint-interval 2")
+                  .code,
+              0);
+    ASSERT_EQ(run_cli("run-shard --manifest " + plan_dir + "/shard-0.json --records-dir " +
+                      records_dir)
+                  .code,
+              0);
+    const std::string victim = records_dir + "/records-0.jsonl";
+
+    // A healthy record set: exit 0.
+    EXPECT_EQ(run_cli("fsck --records-dir " + records_dir).code, 0);
+    EXPECT_EQ(run_cli("fsck --records " + victim).code, 0);
+
+    // One flipped byte: corruption found = exit 6, naming file and line.
+    std::string bytes;
+    {
+        std::ifstream in(victim, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    }
+    std::size_t at = bytes.size() / 2;
+    while (bytes[at] == '\n') ++at;
+    bytes[at] = static_cast<char>(bytes[at] ^ 0x04);
+    std::ofstream(victim, std::ios::binary | std::ios::trunc) << bytes;
+
+    const CliResult corrupt = run_cli("fsck --records-dir " + records_dir);
+    EXPECT_EQ(corrupt.code, 6) << corrupt.out;
+    EXPECT_NE(corrupt.out.find("records-0.jsonl"), std::string::npos) << corrupt.out;
+    EXPECT_NE(corrupt.out.find("line"), std::string::npos) << corrupt.out;
+
+    // --repair still reports the corruption it found (6)...
+    EXPECT_EQ(run_cli("fsck --records " + victim + " --repair").code, 6);
+    // ...but the surviving prefix verifies clean afterwards.
+    EXPECT_EQ(run_cli("fsck --records " + victim).code, 0);
+
+    // No inputs at all is a usage error, not a vacuous pass.
+    EXPECT_EQ(run_cli("fsck").code, 2);
 }
 
 TEST(CliCoordinator, QuarantinedPoisonUnitsExitNine) {

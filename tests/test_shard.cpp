@@ -10,10 +10,12 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/checksum.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "core/report.h"
@@ -268,11 +270,14 @@ TEST(ShardRecords, WriterReaderRoundTripWithTornTail) {
         EXPECT_EQ(core::trial_record_to_json(file.records[i].second).dump(), wire[i]);
     }
 
-    // Resume truncates the interrupted chunk and completes the range.
-    auto resumed = shard::RecordWriter::resume(path, file.resume_offset);
+    // Resume truncates the interrupted chunk and completes the range; the
+    // final checkpoint seals the stream with its trailer.
+    auto resumed = shard::RecordWriter::resume(path, file.resume_offset, manifest.unit_end,
+                                               file.checkpoint - manifest.unit_begin);
     for (std::int64_t u = 18; u < 30; ++u) resumed.write_record(u, core::TrialRecord{});
     resumed.checkpoint(30);
     const shard::ShardRecordFile done = shard::read_record_file(path);
+    EXPECT_TRUE(done.has_trailer);
     EXPECT_TRUE(done.complete());
     EXPECT_EQ(done.records.size(), 20u);
 }
@@ -316,6 +321,42 @@ void expect_file_parse_error(Fn fn, const std::vector<std::string>& needles) {
     }
 }
 
+/// Like expect_file_parse_error, for common::IntegrityError — the
+/// checksum/digest/trailer violations that must NOT read as mere parse
+/// noise (they map to a distinct exit code in ffaudit).
+template <typename Fn>
+void expect_integrity_error(Fn fn, const std::vector<std::string>& needles) {
+    try {
+        fn();
+        FAIL() << "expected an IntegrityError";
+    } catch (const common::IntegrityError& e) {
+        const std::string msg = e.what();
+        for (const std::string& needle : needles)
+            EXPECT_NE(msg.find(needle), std::string::npos)
+                << "message '" << msg << "' lacks '" << needle << "'";
+    }
+}
+
+/// Splices a valid per-line CRC32C into a hand-crafted compact JSON line
+/// (must end with '}'), matching the writer's wire format.  Lets the
+/// corruption tests get PAST the checksum gate to exercise the semantic
+/// validation behind it (unit order, checkpoint coverage).
+std::string checksummed(std::string line) {
+    const std::uint32_t crc = common::crc32c(line);
+    line.insert(line.size() - 1, ",\"crc\":\"" + common::crc32c_hex(crc) + "\"");
+    return line + "\n";
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+}
+
 TEST(ShardRecords, ReaderRejectsCorruptStreamsNamingFileAndLine) {
     const std::string dir = scratch_dir("records_corrupt");
     const shard::ShardManifest manifest = tiny_manifest(0, 8);
@@ -332,7 +373,7 @@ TEST(ShardRecords, ReaderRejectsCorruptStreamsNamingFileAndLine) {
         writer.write_record(0, core::TrialRecord{});
         writer.write_record(1, core::TrialRecord{});
         writer.checkpoint(2);
-        writer.append_raw("{\"rec\":{\"kind\":\"pass\"},\"type\":\"record\",\"unit\":5}\n");
+        writer.append_raw(checksummed("{\"rec\":{\"kind\":\"pass\"},\"type\":\"record\",\"unit\":5}"));
         // Lines: header, two records, checkpoint, then the corrupt one.
         expect_file_parse_error([&] { shard::read_record_file(path); },
                                 {path, "line 5", "unit 5", "unit 2 was expected"});
@@ -342,7 +383,7 @@ TEST(ShardRecords, ReaderRejectsCorruptStreamsNamingFileAndLine) {
         auto writer = shard::RecordWriter::create(path, manifest);
         writer.write_record(0, core::TrialRecord{});
         writer.checkpoint(1);
-        writer.append_raw("{\"completed\":5,\"type\":\"checkpoint\"}\n");
+        writer.append_raw(checksummed("{\"completed\":5,\"type\":\"checkpoint\"}"));
         expect_file_parse_error([&] { shard::read_record_file(path); },
                                 {path, "line 4", "claims 5 units", "records cover 1"});
     }
@@ -351,11 +392,135 @@ TEST(ShardRecords, ReaderRejectsCorruptStreamsNamingFileAndLine) {
         auto writer = shard::RecordWriter::create(path, manifest);
         writer.write_record(0, core::TrialRecord{});
         writer.checkpoint(1);
-        writer.append_raw("{\"type\":\"rec\n{\"type\":\"checkpoint\",\"completed\":1}\n");
+        // Checksum-valid bytes whose JSON is torn: parse diagnostics still
+        // fire behind the integrity gate.
+        writer.append_raw(checksummed("{\"type\":\"rec}") +
+                          checksummed("{\"completed\":1,\"type\":\"checkpoint\"}"));
         expect_file_parse_error([&] { shard::read_record_file(path); },
                                 {path, "line 4", "column"});
     }
     EXPECT_THROW(shard::read_record_file(dir + "/missing.jsonl"), common::Error);
+}
+
+TEST(ShardRecords, IntegrityViolationsThrowNamingFileAndLine) {
+    const std::string dir = scratch_dir("records_integrity");
+
+    {  // a flipped bit anywhere in a line fails its checksum
+        const std::string path = dir + "/bit_flip.jsonl";
+        auto writer = shard::RecordWriter::create(path, tiny_manifest(0, 2));
+        writer.write_record(0, core::TrialRecord{});
+        writer.write_record(1, core::TrialRecord{});
+        writer.checkpoint(2);  // final checkpoint: seals with the trailer
+        std::string text = slurp(path);
+        const std::size_t at = text.find("\"unit\":1");
+        ASSERT_NE(at, std::string::npos);
+        text[at + 7] = '2';  // record line keeps valid JSON, wrong bytes
+        spew(path, text);
+        expect_integrity_error([&] { shard::read_record_file(path); },
+                               {path, "line 3", "checksum mismatch"});
+    }
+    {  // a line stripped of its checksum field is equally loud
+        const std::string path = dir + "/missing_crc.jsonl";
+        auto writer = shard::RecordWriter::create(path, tiny_manifest(0, 2));
+        writer.write_record(0, core::TrialRecord{});
+        writer.checkpoint(1);
+        writer.append_raw("{\"rec\":{\"kind\":\"pass\"},\"type\":\"record\",\"unit\":1}\n");
+        expect_integrity_error([&] { shard::read_record_file(path); },
+                               {path, "line 4", "missing its checksum"});
+    }
+    {  // a dropped WHOLE line (checksum-valid stream) fails the trailer digest
+        const std::string path = dir + "/dropped_line.jsonl";
+        auto writer = shard::RecordWriter::create(path, tiny_manifest(0, 4));
+        writer.write_record(0, core::TrialRecord{});
+        writer.write_record(1, core::TrialRecord{});
+        writer.checkpoint(2);
+        writer.write_record(2, core::TrialRecord{});
+        writer.write_record(3, core::TrialRecord{});
+        writer.checkpoint(4);
+        std::string text = slurp(path);
+        const std::size_t at = text.find("{\"completed\":2");  // mid-stream checkpoint
+        ASSERT_NE(at, std::string::npos);
+        text.erase(at, text.find('\n', at) - at + 1);  // semantically invisible drop
+        spew(path, text);
+        expect_integrity_error([&] { shard::read_record_file(path); },
+                               {path, "line 7", "digest mismatch"});
+    }
+    {  // bytes appended after the sealing trailer
+        const std::string path = dir + "/after_trailer.jsonl";
+        auto writer = shard::RecordWriter::create(path, tiny_manifest(0, 1));
+        writer.write_record(0, core::TrialRecord{});
+        writer.checkpoint(1);
+        writer.append_raw(checksummed("{\"completed\":1,\"type\":\"checkpoint\"}"));
+        expect_integrity_error([&] { shard::read_record_file(path); },
+                               {path, "line 5", "after the stream trailer"});
+    }
+}
+
+TEST(ShardRecords, ScanClassifiesAndRepairRestoresResumableStream) {
+    const std::string dir = scratch_dir("records_fsck");
+    const shard::ShardManifest manifest = tiny_manifest(0, 8);
+    const std::string path = dir + "/records-0.jsonl";
+    {
+        auto writer = shard::RecordWriter::create(path, manifest);
+        writer.write_record(0, core::TrialRecord{});
+        writer.write_record(1, core::TrialRecord{});
+        writer.checkpoint(2);
+        writer.write_record(2, core::TrialRecord{});
+        writer.write_record(3, core::TrialRecord{});
+        writer.checkpoint(4);
+    }
+    const std::string pristine = slurp(path);
+
+    {  // healthy, mid-run: clean, not complete, nothing to repair
+        const shard::RecordScan scan = shard::scan_record_file(path);
+        EXPECT_TRUE(scan.clean());
+        EXPECT_FALSE(scan.file.complete());
+        EXPECT_EQ(scan.file.checkpoint, 4);
+    }
+    {  // torn tail: classified, tolerated by the reader, trimmed by repair
+        spew(path, pristine + "{\"rec\":{\"kind\":\"pa");
+        const shard::RecordScan scan = shard::scan_record_file(path);
+        EXPECT_FALSE(scan.clean());
+        EXPECT_TRUE(scan.torn_tail);
+        EXPECT_EQ(scan.torn_line, 8);
+        EXPECT_EQ(scan.error_kind, shard::ScanErrorKind::None);
+        EXPECT_EQ(shard::read_record_file(path).checkpoint, 4) << "reader tolerates the tear";
+        shard::repair_record_file(path, scan);
+        EXPECT_EQ(slurp(path), pristine) << "repair trimmed exactly the tear";
+        EXPECT_TRUE(shard::scan_record_file(path).clean());
+    }
+    {  // bit flip in the second chunk: repair truncates back to checkpoint 2
+        std::string text = pristine;
+        const std::size_t at = text.find("\"unit\":3");
+        ASSERT_NE(at, std::string::npos);
+        text[at + 7] = '7';
+        spew(path, text);
+        const shard::RecordScan scan = shard::scan_record_file(path);
+        EXPECT_FALSE(scan.clean());
+        EXPECT_EQ(scan.error_kind, shard::ScanErrorKind::Integrity);
+        EXPECT_EQ(scan.error_line, 6);
+        const std::int64_t removed = shard::repair_record_file(path, scan);
+        EXPECT_GT(removed, 0);
+        const shard::RecordScan again = shard::scan_record_file(path);
+        EXPECT_TRUE(again.clean());
+        EXPECT_EQ(again.file.checkpoint, 2) << "verifiable prefix ends at the 1st checkpoint";
+
+        // The repaired stream is a first-class resume point: finishing it
+        // yields a complete, trailer-sealed, fully verified file.
+        auto resumed = shard::RecordWriter::resume(
+            path, again.file.resume_offset, manifest.unit_end,
+            again.file.checkpoint - manifest.unit_begin);
+        for (std::int64_t u = 2; u < 8; ++u) resumed.write_record(u, core::TrialRecord{});
+        resumed.checkpoint(8);
+        EXPECT_TRUE(shard::read_record_file(path).complete());
+    }
+    {  // no surviving header: repair empties the file for a fresh start
+        spew(path, "{\"type\":\"hea");
+        const shard::RecordScan scan = shard::scan_record_file(path);
+        EXPECT_FALSE(scan.have_header);
+        shard::repair_record_file(path, scan);
+        EXPECT_EQ(slurp(path), "");
+    }
 }
 
 TEST(ShardPlanner, ManifestFileErrorsNameFileLineAndField) {

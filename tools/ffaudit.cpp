@@ -19,11 +19,17 @@
 // The fault-tolerant workflow (docs/ARCHITECTURE.md "Coordinator"):
 //
 //   ffaudit serve --workload gemm --records-dir records/ --spawn-workers 4
-//       plans the shards, leases them to workers over a unix socket,
-//       re-issues crashed/expired leases, hedges stragglers, and folds
-//       completions into the same canonical report as `ffaudit run`;
-//   ffaudit worker --socket records/coord.sock
-//       one worker: lease, execute, report, repeat until the audit is done.
+//       plans the shards, leases them to workers over a unix socket (or TCP
+//       with --listen host:port), re-issues crashed/expired leases, hedges
+//       stragglers, and folds completions into the same canonical report as
+//       `ffaudit run`;
+//   ffaudit worker --socket records/coord.sock      (or --connect host:port)
+//       one worker: lease, execute, report, repeat until the audit is done;
+//   ffaudit fsck --records-dir records/
+//       verifies record-stream integrity (per-line CRCs, stream trailer)
+//       and, with --repair, truncates corrupt files to their last
+//       verifiable prefix so run-shard/serve can resume them.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -71,8 +77,9 @@ int usage(const char* detail = nullptr) {
                  "  run-shard  execute one shard manifest (checkpointed, resumable)\n"
                  "  merge      merge complete shard record files into the canonical report\n"
                  "  run        single-process audit emitting the same canonical report\n"
-                 "  serve      coordinate a fault-tolerant audit over a unix socket\n"
+                 "  serve      coordinate a fault-tolerant audit (unix socket or TCP)\n"
                  "  worker     execute leases from a `ffaudit serve` coordinator\n"
+                 "  fsck       verify record-file integrity; --repair salvages a prefix\n"
                  "  replay     re-run a reproducer test case JSON\n"
                  "\n"
                  "job options (plan, run):\n"
@@ -96,22 +103,28 @@ int usage(const char* detail = nullptr) {
                  "merge:     --records-dir <dir> | --records <file>... \n"
                  "           [--artifact-dir <dir>] [--out <file>] [--threads <n>]\n"
                  "run:       [--threads <n>] [--artifact-dir <dir>] [--out <file>]\n"
-                 "serve:     --records-dir <dir> [--socket <path>] [--shards <n>]\n"
+                 "serve:     --records-dir <dir> [--socket <path> | --listen <host:port>]\n"
                  "           [--spawn-workers <n>] [--worker-threads <n>] [--out <file>]\n"
-                 "           [--artifact-dir <dir>] [--checkpoint-interval <n>]\n"
+                 "           [--shards <n>] [--artifact-dir <dir>] [--checkpoint-interval <n>]\n"
                  "           [--lease-ms <x>] [--heartbeat-ms <x>] [--max-failures <n>]\n"
                  "           [--backoff-base-ms <x>] [--backoff-max-ms <x>]\n"
                  "           [--straggler-factor <x>] [--linger-ms <x>]\n"
                  "           [--max-respawns <n>] [--worker-fault <k>=<spec>] [--quiet]\n"
                  "           [--worker-watchdog-ms <x>] [--worker-rlimit-as <bytes>]\n"
                  "           [--quarantine-max-points <n>] [--quarantine-max-alloc-bytes <n>]\n"
-                 "worker:    --socket <path> [--id <name>] [--threads <n>]\n"
-                 "           [--trial-chunk <n>] [--fault <spec>]\n"
+                 "           [--session-grace-ms <x>] [--worker-reply-timeout-ms <x>]\n"
+                 "           [--net-fault <spec>]  (deterministic frame-proxy chaos:\n"
+                 "             drop-frame-every-n=N | delay-frame-ms=N | duplicate-frame=N |\n"
+                 "             corrupt-frame-byte=N | partition-after-units=N | heal-ms=N)\n"
+                 "worker:    --socket <path> | --connect <host:port> [--id <name>]\n"
+                 "           [--threads <n>] [--trial-chunk <n>] [--fault <spec>]\n"
                  "           [--watchdog-ms <x>] [--rlimit-as <bytes>]\n"
-                 "           [--connect-attempts <n>] [--quiet]\n"
+                 "           [--connect-attempts <n>] [--reply-timeout-ms <x>] [--quiet]\n"
                  "           fault <spec>: kill-after-units=N | abandon-after-units=N |\n"
                  "                         spin-after-units=N | hog-memory-after-units=N |\n"
-                 "                         delay-lease-ms=N | drop-heartbeats (comma-joined)\n"
+                 "                         disconnect-after-units=N | delay-lease-ms=N |\n"
+                 "                         drop-heartbeats (comma-joined)\n"
+                 "fsck:      --records <file>... | --records-dir <dir> [--repair]\n"
                  "replay:    <testcase.json>\n"
                  "\n"
                  "exit codes:\n"
@@ -121,7 +134,8 @@ int usage(const char* detail = nullptr) {
                  "  3  shard interrupted before completion (rerun to resume)\n"
                  "  4  job construction failed (unknown workload/pass set, bad SDFG)\n"
                  "  5  audit execution failed\n"
-                 "  6  merge or coverage validation failed\n"
+                 "  6  merge, coverage or record-integrity validation failed\n"
+                 "     (also: fsck found corruption)\n"
                  "  7  malformed input file (manifest, record stream, test case)\n"
                  "  8  coordinator gave up (shard permanently failed, determinism\n"
                  "     violation) or worker lost the coordinator\n"
@@ -370,6 +384,19 @@ int cmd_serve(const std::vector<std::string>& args) {
             config.quarantine_max_points = int_value(args, i);
         else if (args[i] == "--quarantine-max-alloc-bytes")
             config.quarantine_max_alloc_bytes = int_value(args, i);
+        else if (args[i] == "--listen") config.listen_address = flag_value(args, i);
+        else if (args[i] == "--session-grace-ms")
+            config.session_grace_ms = std::stod(flag_value(args, i));
+        else if (args[i] == "--worker-reply-timeout-ms")
+            config.worker_reply_timeout_ms = std::stod(flag_value(args, i));
+        else if (args[i] == "--net-fault") {
+            config.net_fault = flag_value(args, i);
+            try {
+                coord::NetFaultPlan::parse(config.net_fault);  // validate up front
+            } catch (const common::Error& e) {
+                return usage(e.what());
+            }
+        }
         else if (args[i] == "--quiet") config.verbose = false;
         else if (args[i] == "--worker-fault") {
             const std::string kv = flag_value(args, i);
@@ -402,14 +429,23 @@ int cmd_serve(const std::vector<std::string>& args) {
     std::printf("served %d shard(s): %lld lease(s), %lld expiration(s), %lld requeue(s), "
                 "%lld hedge(s), %lld duplicate completion(s) (%d byte-verified), "
                 "%d worker(s) seen, %d lost, %d spawned, %zu quarantined unit(s), "
-                "%d split shard(s)\n",
+                "%d split shard(s), %d session(s) parked, %d resumed, %d grace-expired\n",
                 s.shards_merged, static_cast<long long>(s.queue.granted),
                 static_cast<long long>(s.queue.expirations),
                 static_cast<long long>(s.queue.requeues),
                 static_cast<long long>(s.queue.hedges),
                 static_cast<long long>(s.queue.duplicate_completions),
                 s.duplicate_files_verified, s.workers_seen, s.workers_lost, s.workers_spawned,
-                s.quarantined_units.size(), s.shards_split);
+                s.quarantined_units.size(), s.shards_split, s.sessions_parked,
+                s.sessions_resumed, s.sessions_expired);
+    if (!config.net_fault.empty()) {
+        std::printf("net faults: %lld frame(s) forwarded, %lld dropped, %lld duplicated, "
+                    "%lld corrupted, %d partition(s)\n",
+                    static_cast<long long>(s.net.frames_forwarded),
+                    static_cast<long long>(s.net.frames_dropped),
+                    static_cast<long long>(s.net.frames_duplicated),
+                    static_cast<long long>(s.net.frames_corrupted), s.net.partitions);
+    }
     if (!s.quarantined_units.empty()) {
         std::string units;
         for (std::int64_t unit : s.quarantined_units) {
@@ -427,6 +463,7 @@ int cmd_worker(const std::vector<std::string>& args) {
     config.verbose = true;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--socket") config.socket_path = flag_value(args, i);
+        else if (args[i] == "--connect") config.connect_address = flag_value(args, i);
         else if (args[i] == "--id") config.worker_id = flag_value(args, i);
         else if (args[i] == "--threads") config.num_threads = static_cast<int>(int_value(args, i));
         else if (args[i] == "--trial-chunk")
@@ -440,12 +477,15 @@ int cmd_worker(const std::vector<std::string>& args) {
         }
         else if (args[i] == "--connect-attempts")
             config.max_connect_attempts = static_cast<int>(int_value(args, i));
+        else if (args[i] == "--reply-timeout-ms")
+            config.reply_timeout_ms = std::stod(flag_value(args, i));
         else if (args[i] == "--watchdog-ms") config.watchdog_ms = std::stod(flag_value(args, i));
         else if (args[i] == "--rlimit-as") config.rlimit_as_bytes = int_value(args, i);
         else if (args[i] == "--quiet") config.verbose = false;
         else return usage(("unknown worker option " + args[i]).c_str());
     }
-    if (config.socket_path.empty()) return usage("worker needs --socket");
+    if (config.socket_path.empty() && config.connect_address.empty())
+        return usage("worker needs --socket or --connect");
 
     coord::WorkerStats stats = coord::run_worker(config);
     std::printf("worker done: %d shard(s) completed, %d failed, %d salvage(s), "
@@ -454,6 +494,77 @@ int cmd_worker(const std::vector<std::string>& args) {
                 static_cast<long long>(stats.units_run),
                 stats.abandoned ? " (abandoned by fault plan)" : "");
     return kExitOk;
+}
+
+/// `ffaudit fsck`: verify record streams, report corruption with file and
+/// line, optionally truncate back to the last verifiable prefix.  Exit 0
+/// when every file is healthy (complete or cleanly in progress); exit 6
+/// when any corruption — bit flip, torn tail, dropped line, missing
+/// header — was found, whether or not --repair salvaged it.
+int cmd_fsck(const std::vector<std::string>& args) {
+    std::vector<std::string> paths;
+    std::string records_dir;
+    bool repair = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--records") paths.push_back(flag_value(args, i));
+        else if (args[i] == "--records-dir") records_dir = flag_value(args, i);
+        else if (args[i] == "--repair") repair = true;
+        else return usage(("unknown fsck option " + args[i]).c_str());
+    }
+    if (!records_dir.empty()) {
+        for (const auto& entry : std::filesystem::directory_iterator(records_dir)) {
+            if (entry.path().extension() == ".jsonl") paths.push_back(entry.path().string());
+        }
+    }
+    if (paths.empty()) return usage("fsck needs --records or a non-empty --records-dir");
+    std::sort(paths.begin(), paths.end());  // deterministic report order
+
+    int corrupt_files = 0;
+    for (const std::string& path : paths) {
+        shard::RecordScan scan;
+        try {
+            scan = shard::scan_record_file(path);
+        } catch (const common::Error& e) {
+            std::printf("fsck: %s: UNREADABLE: %s\n", path.c_str(), e.what());
+            ++corrupt_files;
+            continue;
+        }
+        if (scan.clean()) {
+            if (scan.file.complete()) {
+                std::printf("fsck: %s: ok — %zu record(s), sealed by trailer\n", path.c_str(),
+                            scan.file.records.size());
+            } else {
+                std::printf("fsck: %s: ok — in progress (checkpoint %lld of %lld)\n",
+                            path.c_str(), static_cast<long long>(scan.file.checkpoint),
+                            static_cast<long long>(scan.file.manifest.unit_end));
+            }
+            continue;
+        }
+        ++corrupt_files;
+        if (scan.error_kind == shard::ScanErrorKind::Integrity) {
+            std::printf("fsck: %s: CORRUPT (integrity), line %d: %s\n", path.c_str(),
+                        scan.error_line, scan.error.c_str());
+        } else if (scan.error_kind == shard::ScanErrorKind::Parse) {
+            std::printf("fsck: %s: CORRUPT (structure), line %d: %s\n", path.c_str(),
+                        scan.error_line, scan.error.c_str());
+        } else if (!scan.have_header) {
+            std::printf("fsck: %s: CORRUPT, line 1: no parseable header line\n", path.c_str());
+        } else {
+            std::printf("fsck: %s: torn tail, line %d (mid-write kill; durable prefix ends at "
+                        "offset %lld)\n",
+                        path.c_str(), scan.torn_line,
+                        static_cast<long long>(scan.file.resume_offset));
+        }
+        if (repair) {
+            const std::int64_t removed = shard::repair_record_file(path, scan);
+            std::printf("fsck: %s: repaired — truncated %lld byte(s); resumable at checkpoint "
+                        "%lld\n",
+                        path.c_str(), static_cast<long long>(removed),
+                        static_cast<long long>(scan.have_header ? scan.file.checkpoint : 0));
+        }
+    }
+    std::printf("fsck: %zu file(s), %d corrupt\n", paths.size(), corrupt_files);
+    return corrupt_files > 0 ? kExitMerge : kExitOk;
 }
 
 int cmd_replay(const std::vector<std::string>& args) {
@@ -481,7 +592,7 @@ namespace {
 int default_error_code(const std::string& command) {
     if (command == "plan" || command == "run") return kExitJob;
     if (command == "run-shard") return kExitExecution;
-    if (command == "merge") return kExitMerge;
+    if (command == "merge" || command == "fsck") return kExitMerge;
     if (command == "serve" || command == "worker") return kExitCoordinator;
     return kExitInternal;
 }
@@ -499,6 +610,7 @@ int main(int argc, char** argv) {
         if (command == "run") return cmd_run(args);
         if (command == "serve") return cmd_serve(args);
         if (command == "worker") return cmd_worker(args);
+        if (command == "fsck") return cmd_fsck(args);
         if (command == "replay") return cmd_replay(args);
         if (command == "--help" || command == "-h" || command == "help") {
             usage();  // asked for, so not an error
