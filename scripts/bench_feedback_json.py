@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Measure feedback guidance and fold it into a BENCH_feedback.json baseline.
+
+Drives the `ffaudit` CLI as real subprocesses over the tiling audit the
+feedback knobs are tuned for (docs/TUNING.md: 30 trials in 3 generations
+of 10 at size-max 96) and emits:
+
+* `guided_pairs_hit` / `unguided_pairs_hit` / `pairs_total` — def-use
+  pairs covered by the guided (`--feedback`) and unguided (`--coverage`
+  only) runs at the same trial budget, and the atlas size;
+* `guidance_ratio` and the normalized `*_pairs_per_1k_trials` rates —
+  the acceptance bar is guided >= 1.5x unguided, and since coverage is a
+  pure function of the job the ratio is exact, so the bar gates CI;
+* `corpus_entries` / `corpus_generations` — corpus shape (entries in
+  more than one generation prove mutation kept absorbing new coverage);
+* `coverage_off_seconds` / `unguided_seconds` / `guided_seconds` and
+  `coverage_overhead_ratio` — wall-clock cost of instrumentation
+  (informational: subprocess timing is noisy, so nothing gates on it;
+  `bench_interp_hotpath` owns the <5% engine-level bar).
+
+Usage:
+    python3 scripts/bench_feedback_json.py BENCH_feedback.json --ffaudit build/ffaudit
+
+Exits non-zero when the guided run fails to clear the 1.5x bar or the
+corpus never left generation 0, so a baseline without a guidance win
+cannot pass CI.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+GENERATION_SIZE = 10
+TRIALS = 30
+JOB_FLAGS = [
+    "--workload", "gemm",
+    "--passes", "tiling",
+    "--trials", str(TRIALS),
+    "--size-max", "96",
+    "--max-transitions", "2000",
+]
+GUIDANCE_BAR = 1.5
+
+
+def run(cmd) -> float:
+    """Runs a subprocess (raising on failure); returns wall seconds."""
+    t0 = time.monotonic()
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    return time.monotonic() - t0
+
+
+def coverage_totals(report_path: Path) -> tuple[int, int]:
+    doc = json.loads(report_path.read_text())
+    reports = doc["reports"]
+    return (sum(r.get("pairs_hit", 0) for r in reports),
+            sum(r.get("pairs_total", 0) for r in reports))
+
+
+def corpus_shape(corpus_path: Path) -> tuple[int, int]:
+    trials = []
+    for line in corpus_path.read_text().splitlines():
+        record = json.loads(line)
+        if record.get("type") == "entry":
+            trials.append(record["entry"]["trial"])
+    return len(trials), len({t // GENERATION_SIZE for t in trials})
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("json_out", help="baseline JSON to write")
+    parser.add_argument("--ffaudit", required=True, help="path to the ffaudit binary")
+    args = parser.parse_args()
+    ffaudit = args.ffaudit
+
+    data = {}
+    with tempfile.TemporaryDirectory(prefix="bench_feedback_") as tmp:
+        root = Path(tmp)
+        plain, unguided, guided = (root / "plain.json", root / "unguided.json",
+                                   root / "guided.json")
+        corpus = root / "corpus.jsonl"
+
+        data["coverage_off_seconds"] = round(
+            run([ffaudit, "run", *JOB_FLAGS, "--out", str(plain)]), 3)
+        data["unguided_seconds"] = round(
+            run([ffaudit, "run", *JOB_FLAGS, "--coverage", "--out", str(unguided)]), 3)
+        data["guided_seconds"] = round(
+            run([ffaudit, "run", *JOB_FLAGS, "--feedback",
+                 "--generation-size", str(GENERATION_SIZE),
+                 "--out", str(guided), "--corpus-out", str(corpus)]), 3)
+        if data["coverage_off_seconds"] > 0:
+            data["coverage_overhead_ratio"] = round(
+                data["unguided_seconds"] / data["coverage_off_seconds"], 3)
+
+        unguided_hit, pairs_total = coverage_totals(unguided)
+        guided_hit, guided_total = coverage_totals(guided)
+        if pairs_total != guided_total:
+            print("bench_feedback_json: atlas size differs between runs "
+                  f"({pairs_total} vs {guided_total})", file=sys.stderr)
+            return 1
+        data["pairs_total"] = pairs_total
+        data["unguided_pairs_hit"] = unguided_hit
+        data["guided_pairs_hit"] = guided_hit
+        data["unguided_pairs_per_1k_trials"] = round(unguided_hit * 1000 / TRIALS, 1)
+        data["guided_pairs_per_1k_trials"] = round(guided_hit * 1000 / TRIALS, 1)
+        data["guidance_ratio"] = round(guided_hit / max(unguided_hit, 1), 3)
+        data["corpus_entries"], data["corpus_generations"] = corpus_shape(corpus)
+
+    if data["guidance_ratio"] < GUIDANCE_BAR:
+        print(f"bench_feedback_json: guidance ratio {data['guidance_ratio']} "
+              f"below the {GUIDANCE_BAR}x bar "
+              f"({data['guided_pairs_hit']} vs {data['unguided_pairs_hit']} pairs)",
+              file=sys.stderr)
+        return 1
+    if data["corpus_generations"] < 2:
+        print("bench_feedback_json: corpus never left generation 0 — "
+              "mutation is not absorbing new coverage", file=sys.stderr)
+        return 1
+
+    Path(args.json_out).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

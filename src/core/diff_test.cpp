@@ -70,21 +70,45 @@ void DifferentialTester::bind(const ir::SDFG& original, const ir::SDFG& transfor
                                                   : std::make_shared<interp::PlanCache>());
     interp_transformed_.rebind_plan_cache(interp_original_.plan_cache());
     validation_ = prevalidated ? *prevalidated : ValidationResult::of(transformed);
+
+    // Coverage instruments the *original* side only: the corpus and report
+    // counters are defined over original-side def-use pairs, which exist on
+    // every trial (the transformed side may not even run).
+    if (config_.exec.coverage) {
+        atlas_ = interp_original_.plan_cache()->atlas_for(original);
+        cov_map_.reset(atlas_->pair_count());
+        interp_original_.set_coverage(&cov_map_);
+    } else {
+        atlas_.reset();
+        interp_original_.set_coverage(nullptr);
+    }
 }
 
 TrialOutcome DifferentialTester::run_trial(const interp::Context& inputs) {
     if (!original_) throw common::Error("DifferentialTester: run_trial on unbound tester");
-    if (!validation_.valid) return TrialOutcome{Verdict::InvalidCode, validation_.error};
+    if (!validation_.valid) {
+        TrialOutcome invalid;
+        invalid.verdict = Verdict::InvalidCode;
+        invalid.detail = validation_.error;
+        return invalid;
+    }
 
+    if (atlas_) cov_map_.reset(atlas_->pair_count());
     interp::Context ctx_original = inputs;
     const interp::ExecResult r1 = interp_original_.run(*original_, ctx_original);
     // A resource-budget exhaustion on the *original* side is the input's
     // fault, exactly like an original-side crash or hang: resampled.
-    if (!r1.ok()) return TrialOutcome{Verdict::Uninteresting, r1.message};
+    if (!r1.ok()) {
+        TrialOutcome uninteresting;
+        uninteresting.verdict = Verdict::Uninteresting;
+        uninteresting.detail = r1.message;
+        return uninteresting;
+    }
 
     TrialOutcome outcome;
     outcome.original_points = r1.points;
     outcome.original_instructions = r1.instructions;
+    if (atlas_) outcome.coverage = cov_map_.trimmed_words();
 
     interp::Context ctx_transformed = inputs;
     const interp::ExecResult r2 = interp_transformed_.run(*transformed_, ctx_transformed);

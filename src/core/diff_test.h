@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "feedback/coverage.h"
 #include "interp/interpreter.h"
 #include "ir/sdfg.h"
 
@@ -71,6 +72,13 @@ struct TrialOutcome {
     std::int64_t original_instructions = 0;
     std::int64_t transformed_points = 0;
     std::int64_t transformed_instructions = 0;
+    /// Original-side def-use coverage of the trial (trimmed words, see
+    /// feedback/coverage.h), captured only when the tester's
+    /// ExecConfig::coverage is set and the original completed Ok — like the
+    /// cost counters, error-path coverage never enters the record stream.
+    /// Tier-invariant, so it rides records without breaking byte-identical
+    /// merges (docs/ARCHITECTURE.md clause 10).
+    std::vector<std::uint64_t> coverage;
 };
 
 /// Comparison and execution parameters of the differential tester.
@@ -157,6 +165,11 @@ private:
     ValidationResult validation_;               ///< Of the bound transformed graph.
     interp::Interpreter interp_original_;       ///< Original-side interpreter.
     interp::Interpreter interp_transformed_;    ///< Transformed-side interpreter.
+    /// Coverage instrumentation of the bound original side (only populated
+    /// when config_.exec.coverage): the shared atlas keys the per-trial
+    /// bitmap the original-side interpreter marks into.
+    std::shared_ptr<const feedback::CovAtlas> atlas_;
+    feedback::CoverageMap cov_map_;  ///< Reset per trial, read after Ok runs.
 };
 
 /// Bounded, thread-safe cache of idle DifferentialTesters, keyed by the

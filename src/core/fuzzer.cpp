@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "core/guided.h"
 #include "core/report.h"
 #include "core/testcase_io.h"
 
@@ -21,6 +22,16 @@ std::size_t count_dataflow_nodes(const ir::SDFG& sdfg) {
     std::size_t n = 0;
     for (ir::StateId sid : sdfg.states()) n += sdfg.state(sid).graph().node_count();
     return n;
+}
+
+/// Resolves the config's implication chain (feedback => coverage =>
+/// instrumented interpreters) once, so prepare, the tester cache and the
+/// per-instance feedback state all see the same effective settings.
+FuzzConfig normalized_config(FuzzConfig config) {
+    if (config.feedback) config.coverage = true;
+    if (config.coverage) config.diff.exec.coverage = true;
+    if (config.generation_size < 1) config.generation_size = 1;
+    return config;
 }
 
 int resolve_thread_count(int requested, std::int64_t available_units) {
@@ -44,6 +55,9 @@ struct InstanceJob {
     InputSampler sampler;       ///< Deterministic (seed, trial) input source.
     ValidationResult validation;  ///< Of `transformed`, computed once.
     std::vector<TrialRecord> records;  ///< Per-trial slots, indexed by trial.
+    /// Coverage-guided trial generation state (feedback jobs only); holds
+    /// references into this job, which the deque pins in place.
+    std::unique_ptr<InstanceFeedback> feedback;
     bool runnable = false;      ///< false: report is final (apply failed).
     double setup_seconds = 0.0;  ///< Cutout + min-cut + apply + constraints.
     /// Trial-phase wall clock: ns offsets from the pool epoch of the first
@@ -209,13 +223,22 @@ void run_unit(InstanceJob& job, int trial, DifferentialTester& tester,
     TrialRecord& rec = job.records[static_cast<std::size_t>(trial)];
     interp::Context inputs;
     try {
-        inputs = job.sampler.sample(job.cutout.program, job.cutout.input_config,
-                                    job.constraints, static_cast<std::uint64_t>(trial));
+        // Guided jobs draw from the feedback scheduler (a pure function of
+        // the prepared job, like the plain sampler path).
+        inputs = job.feedback ? job.feedback->sample_trial(trial)
+                              : job.sampler.sample(job.cutout.program, job.cutout.input_config,
+                                                   job.constraints,
+                                                   static_cast<std::uint64_t>(trial));
     } catch (const std::exception&) {
         rec.kind = TrialRecord::Kind::Uninteresting;  // unresolvable shapes
+        if (job.feedback) job.feedback->note_trial(trial, {});
         return;
     }
     const TrialOutcome outcome = tester.run_trial(inputs);
+    // Donate the original-side coverage so corpus derivation at finalize
+    // does not have to re-execute this trial.
+    if (job.feedback) job.feedback->note_trial(trial, outcome.coverage);
+    rec.coverage = outcome.coverage;
     rec.original_points = outcome.original_points;
     rec.original_instructions = outcome.original_instructions;
     rec.transformed_points = outcome.transformed_points;
@@ -335,6 +358,14 @@ void prepare_instance(const FuzzConfig& config, const ir::SDFG& p,
     job.sampler = InputSampler(config.sampler);
     job.validation = ValidationResult::of(job.transformed);
     job.records.resize(static_cast<std::size_t>(std::max(config.max_trials, 0)));
+    if (config.feedback) {
+        // The feedback state captures references into this job (pinned in
+        // the audit's deque) and runs its private derivation interpreter
+        // with the same exec settings the trial testers use.
+        job.feedback = std::make_unique<InstanceFeedback>(
+            job.cutout.program, job.cutout.input_config, job.constraints, job.sampler,
+            config.diff.exec, config.generation_size, static_cast<std::int64_t>(job.index));
+    }
     job.runnable = true;
     job.setup_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -347,6 +378,25 @@ void finalize_instance(const FuzzConfig& config, InstanceJob& job) {
     if (!job.runnable) return;  // report already final (apply failed)
     FuzzReport& report = job.report;
     const TrialRecord* failing = merge_trial_records(job.records, report);
+    if (config.coverage)
+        report.pairs_total = job.feedback
+                                 ? static_cast<std::int64_t>(job.feedback->pair_count())
+                                 : static_cast<std::int64_t>(
+                                       feedback::CovAtlas::build(job.cutout.program).pair_count());
+    if (job.feedback) {
+        // Complete the canonical corpus scan over the full trial space:
+        // donate every executed slot's coverage (empty = ran, no coverage),
+        // then derive the gaps (slots other shards ran, or slots early-stop
+        // skipped) by re-execution — shard- and thread-invariant by
+        // construction (docs/ARCHITECTURE.md clause 10).
+        for (std::size_t t = 0; t < job.records.size(); ++t) {
+            const TrialRecord& rec = job.records[t];
+            if (rec.kind == TrialRecord::Kind::NotRun) continue;
+            job.feedback->note_trial(static_cast<std::int64_t>(t), rec.coverage);
+        }
+        job.feedback->derive_through(static_cast<std::int64_t>(job.records.size()));
+        report.corpus_size = static_cast<std::int64_t>(job.feedback->entries().size());
+    }
     if (failing && !config.artifact_dir.empty()) {
         if (failing->inputs)
             report.artifact_path =
@@ -538,13 +588,28 @@ std::vector<FuzzReport> PreparedAudit::finalize() {
 
 const SchedulerStats& PreparedAudit::stats() const { return impl_->stats; }
 
+std::vector<feedback::CorpusEntry> PreparedAudit::corpus() const {
+    std::vector<feedback::CorpusEntry> out;
+    // Jobs are in canonical instance order and each instance's entries are
+    // in ascending trial order, so the concatenation is already the
+    // canonical merge order (feedback::merge_corpus_entries is a no-op on
+    // it).
+    for (const InstanceJob& job : impl_->jobs) {
+        if (!job.feedback) continue;
+        std::vector<feedback::CorpusEntry> entries = job.feedback->entries();
+        out.insert(out.end(), std::make_move_iterator(entries.begin()),
+                   std::make_move_iterator(entries.end()));
+    }
+    return out;
+}
+
 FuzzReport Fuzzer::test_instance(const ir::SDFG& p, const xform::Transformation& transformation,
                                  const xform::Match& match) {
     PreparedAudit audit;
-    audit.impl_->config = config_;
+    audit.impl_->config = normalized_config(config_);
     InstanceJob& job = audit.impl_->jobs.emplace_back();
     job.index = 0;
-    prepare_instance(config_, p, transformation, match, job);
+    prepare_instance(audit.impl_->config, p, transformation, match, job);
     audit.impl_->lowest_failure.assign(1, audit.impl_->max_trials());
     audit.impl_->stats.prepare_seconds = job.setup_seconds;
     audit.impl_->epoch = std::chrono::steady_clock::now();
@@ -573,7 +638,8 @@ PreparedAudit Fuzzer::prepare(const ir::SDFG& p,
     // count; only prepare_seconds varies.
     const auto prep0 = std::chrono::steady_clock::now();
     PreparedAudit prepared;
-    prepared.impl_->config = config_;
+    prepared.impl_->config = normalized_config(config_);
+    const FuzzConfig& config = prepared.impl_->config;
     std::deque<InstanceJob>& jobs = prepared.impl_->jobs;
     std::vector<std::pair<const xform::Transformation*, xform::Match>> units;
     for (const auto& pass : passes) {
@@ -587,7 +653,7 @@ PreparedAudit Fuzzer::prepare(const ir::SDFG& p,
         resolve_thread_count(config_.num_threads, static_cast<std::int64_t>(jobs.size()));
     if (prep_workers <= 1 || jobs.size() <= 1) {
         for (std::size_t i = 0; i < jobs.size(); ++i)
-            prepare_instance(config_, p, *units[i].first, units[i].second, jobs[i]);
+            prepare_instance(config, p, *units[i].first, units[i].second, jobs[i]);
     } else {
         // Claims are monotonic, so when a prepare throws, every lower-index
         // instance has already been claimed and will finish — rethrowing the
@@ -608,7 +674,7 @@ PreparedAudit Fuzzer::prepare(const ir::SDFG& p,
                 const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= jobs.size()) return;
                 try {
-                    prepare_instance(config_, p, *units[i].first, units[i].second, jobs[i]);
+                    prepare_instance(config, p, *units[i].first, units[i].second, jobs[i]);
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(error_mutex);
                     if (i < error_index) {

@@ -23,6 +23,7 @@
 
 #include "core/cutout.h"
 #include "core/diff_test.h"
+#include "feedback/corpus.h"
 #include "core/mincut.h"
 #include "core/sampler.h"
 #include "transforms/transformation.h"
@@ -71,6 +72,18 @@ struct FuzzConfig {
     /// Baseline mode: skip extraction and test on the whole program
     /// ("traditional approach" in the paper's comparisons).
     bool whole_program = false;
+    /// Instrument original-side def-use coverage (src/feedback): reports
+    /// gain pairs_total/pairs_hit and records carry coverage words.  Charged
+    /// identically by every execution tier, so reports stay byte-identical.
+    bool coverage = false;
+    /// Coverage-guided trial generation (implies `coverage`): generation N
+    /// deterministically mutates the corpus derived from generations < N
+    /// (see core/guided.h).  Reports and corpora remain pure functions of
+    /// the prepared job — byte-identical at any thread/shard count
+    /// (docs/ARCHITECTURE.md clause 10).
+    bool feedback = false;
+    /// Trials per feedback generation (values < 1 clamp to 1).
+    int generation_size = 25;
     /// When non-empty, failing trials dump a reproducer JSON here.
     std::string artifact_dir;
 };
@@ -103,6 +116,16 @@ struct FuzzReport {
     std::int64_t original_instructions = 0;
     std::int64_t transformed_points = 0;
     std::int64_t transformed_instructions = 0;
+    /// Def-use coverage of this instance (zero unless the job enabled
+    /// coverage): total pairs in the cutout's atlas, distinct pairs hit by
+    /// the counted trials (union over the canonical merge, stopping at the
+    /// lowest failure like `trials`), and corpus entries derived for the
+    /// instance.  All three are pure functions of the prepared job —
+    /// byte-identical at any thread/shard/worker count (docs/ARCHITECTURE.md
+    /// clause 10).
+    std::int64_t pairs_total = 0;
+    std::int64_t pairs_hit = 0;
+    std::int64_t corpus_size = 0;
     std::string artifact_path;  ///< Saved reproducer (failing instances only).
     /// Why writing the reproducer artifact failed (empty on success or when
     /// no artifact was due).  A failing instance with a configured
@@ -217,6 +240,13 @@ public:
 
     /// Scheduler counters accumulated over every run_range() call.
     const SchedulerStats& stats() const;
+
+    /// The audit's merged corpus: every instance's feedback corpus entries
+    /// concatenated in canonical (instance, trial) order.  Empty unless the
+    /// prepare-time config enabled `feedback`; call after finalize() (which
+    /// completes each instance's corpus derivation).  A pure function of the
+    /// prepared job — byte-identical across shard/thread counts.
+    std::vector<feedback::CorpusEntry> corpus() const;
 
 private:
     friend class Fuzzer;

@@ -4,16 +4,29 @@
 #include <cstdio>
 #include <sstream>
 
+#include "feedback/coverage.h"
+
 namespace ff::core {
 
 const TrialRecord* merge_trial_records(const std::vector<TrialRecord>& records,
                                        FuzzReport& report) {
+    // Distinct pairs hit across the counted records (the same canonical
+    // prefix the cost sums cover) — like every other merged field, a pure
+    // function of the records below the lowest failure.
+    std::vector<std::uint64_t> cov_union;
+    const auto fold_coverage = [&](const TrialRecord& rec) {
+        if (rec.coverage.empty()) return;
+        if (rec.coverage.size() > cov_union.size()) cov_union.resize(rec.coverage.size(), 0);
+        for (std::size_t i = 0; i < rec.coverage.size(); ++i) cov_union[i] |= rec.coverage[i];
+    };
+    const TrialRecord* failing = nullptr;
     for (const TrialRecord& rec : records) {
         if (rec.kind == TrialRecord::Kind::NotRun) break;  // past the first failure
         report.original_points += rec.original_points;
         report.original_instructions += rec.original_instructions;
         report.transformed_points += rec.transformed_points;
         report.transformed_instructions += rec.transformed_instructions;
+        fold_coverage(rec);
         if (rec.kind == TrialRecord::Kind::Uninteresting) {
             ++report.uninteresting;
             continue;
@@ -22,9 +35,11 @@ const TrialRecord* merge_trial_records(const std::vector<TrialRecord>& records,
         if (rec.kind == TrialRecord::Kind::Pass) continue;
         report.verdict = rec.verdict;
         report.detail = rec.detail;
-        return &rec;
+        failing = &rec;
+        break;
     }
-    return nullptr;
+    report.pairs_hit = feedback::cov_popcount(cov_union);
+    return failing;
 }
 
 TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
@@ -70,6 +85,9 @@ std::vector<AuditSummary> summarize_audit(const std::vector<FuzzReport>& reports
         s.total_seconds += r.seconds;
         s.total_trials += r.trials;
         s.total_uninteresting += r.uninteresting;
+        s.total_pairs += r.pairs_total;
+        s.total_pairs_hit += r.pairs_hit;
+        s.total_corpus += r.corpus_size;
         if (!r.artifact_error.empty()) ++s.artifact_errors;
         s.threads = std::max(s.threads, r.threads);
         if (r.failed()) {
@@ -85,7 +103,7 @@ std::vector<AuditSummary> summarize_audit(const std::vector<FuzzReport>& reports
 
 std::string audit_table(const std::vector<AuditSummary>& summaries) {
     TextTable table({"Transformation", "Instances", "Failures", "Trials/s", "Threads",
-                     "Failure classes", "Artifact errors"});
+                     "Pairs hit", "Corpus", "Failure classes", "Artifact errors"});
     for (const AuditSummary& s : summaries) {
         std::string classes;
         for (const auto& [name, count] : s.categories) {
@@ -95,8 +113,13 @@ std::string audit_table(const std::vector<AuditSummary>& summaries) {
         if (classes.empty()) classes = "-";
         char tps[32];
         std::snprintf(tps, sizeof(tps), "%.0f", s.trials_per_second());
+        const std::string pairs =
+            s.total_pairs > 0
+                ? std::to_string(s.total_pairs_hit) + "/" + std::to_string(s.total_pairs)
+                : "-";
         table.add_row({s.transformation, std::to_string(s.instances), std::to_string(s.failures),
-                       tps, std::to_string(s.threads), classes,
+                       tps, std::to_string(s.threads), pairs,
+                       s.total_pairs > 0 ? std::to_string(s.total_corpus) : "-", classes,
                        s.artifact_errors > 0 ? std::to_string(s.artifact_errors) : "-"});
     }
     return table.to_string();

@@ -38,6 +38,12 @@ struct TrialRecord {
     std::int64_t original_instructions = 0;
     std::int64_t transformed_points = 0;
     std::int64_t transformed_instructions = 0;
+    /// Original-side def-use coverage words (TrialOutcome::coverage; empty
+    /// when the job ran without coverage or the slot is not Pass/Failed).
+    /// Part of the record wire form (conditional "cov" field, so
+    /// coverage-off records keep their exact historical bytes); unioned into
+    /// FuzzReport::pairs_hit by the canonical merge.
+    std::vector<std::uint64_t> coverage;
     /// Inputs are retained only for failing trials (artifact reproduction).
     std::unique_ptr<interp::Context> inputs;
 };
@@ -87,6 +93,12 @@ struct AuditSummary {
     int artifact_errors = 0;
     /// Worker threads used (max across instances; they share one config).
     int threads = 1;
+    /// Coverage totals over the transformation's instances (all zero when
+    /// the audit ran without coverage): def-use pairs enumerated / hit, and
+    /// corpus entries derived (see FuzzReport).
+    std::int64_t total_pairs = 0;
+    std::int64_t total_pairs_hit = 0;
+    std::int64_t total_corpus = 0;
 
     /// Aggregate executed-trial throughput across instances (resampled
     /// trials included — they run the original program too); matches

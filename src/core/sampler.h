@@ -8,6 +8,7 @@
 // (seed, trial index).
 #pragma once
 
+#include "common/error.h"
 #include "core/constraints.h"
 #include "interp/interpreter.h"
 
@@ -28,7 +29,23 @@ struct SamplerConfig {
 
 class InputSampler {
 public:
-    explicit InputSampler(SamplerConfig config = {}) : config_(config) {}
+    /// Throws common::ValidationError on a config whose intervals are
+    /// inverted (float_lo > float_hi, int_lo > int_hi) or whose size_max
+    /// admits no valid size (< 1) — catching nonsense at construction
+    /// instead of sampling from an empty interval trials later.
+    explicit InputSampler(SamplerConfig config = {}) : config_(config) {
+        if (config_.float_lo > config_.float_hi)
+            throw common::ValidationError("sampler float interval is empty: float_lo " +
+                                          std::to_string(config_.float_lo) + " > float_hi " +
+                                          std::to_string(config_.float_hi));
+        if (config_.int_lo > config_.int_hi)
+            throw common::ValidationError("sampler int interval is empty: int_lo " +
+                                          std::to_string(config_.int_lo) + " > int_hi " +
+                                          std::to_string(config_.int_hi));
+        if (config_.size_max < 1)
+            throw common::ValidationError("sampler size_max must be >= 1, got " +
+                                          std::to_string(config_.size_max));
+    }
 
     const SamplerConfig& config() const { return config_; }
 
@@ -37,6 +54,17 @@ public:
     /// caller treats this as an uninteresting trial).
     interp::Context sample(const ir::SDFG& cutout, const std::set<std::string>& input_config,
                            const Constraints& constraints, std::uint64_t trial) const;
+
+    /// Deterministic mutation of a corpus parent: keeps or redraws each
+    /// symbol (size redraws are boundary-biased toward the empty / one-point
+    /// / full extents that flip def-use region classes) and refills input
+    /// buffers for the mutated shapes.  A pure function of (config seed,
+    /// trial, corpus_digest, parent) — the feedback scheduler derives
+    /// corpus_digest from the merged previous-generation corpus, so every
+    /// shard mutates identically (docs/ARCHITECTURE.md clause 10).
+    interp::Context mutate(const ir::SDFG& cutout, const std::set<std::string>& input_config,
+                           const Constraints& constraints, std::uint64_t trial,
+                           const interp::Context& parent, std::uint32_t corpus_digest) const;
 
 private:
     SamplerConfig config_;

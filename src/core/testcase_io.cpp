@@ -11,6 +11,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "core/report.h"
+#include "feedback/coverage.h"
 #include "ir/serialize.h"
 
 namespace ff::core {
@@ -103,6 +104,10 @@ Json trial_record_to_json(const TrialRecord& record) {
         cost.push_back(Json(record.transformed_points));
         cost.push_back(Json(record.transformed_instructions));
         j["cost"] = std::move(cost);
+        // Conditional field: coverage-off records keep their exact
+        // historical bytes (like "cost" vs pre-cost records).
+        if (!record.coverage.empty())
+            j["cov"] = feedback::cov_words_to_hex(record.coverage);
     }
     if (record.kind == TrialRecord::Kind::Failed) {
         j["verdict"] = verdict_name(record.verdict);
@@ -124,6 +129,8 @@ TrialRecord trial_record_from_json(const Json& j) {
         record.original_instructions = cost[1].as_int();
         record.transformed_points = cost[2].as_int();
         record.transformed_instructions = cost[3].as_int();
+        if (j.contains("cov"))
+            record.coverage = feedback::cov_words_from_hex(j.at("cov").as_string());
     }
     if (record.kind == TrialRecord::Kind::Failed) {
         record.verdict = verdict_from_name(j.at("verdict").as_string());
@@ -159,6 +166,13 @@ Json fuzz_report_to_json(const FuzzReport& report) {
     j["input_volume_before_mincut"] = report.input_volume_before_mincut;
     j["mincut_improved"] = report.mincut_improved;
     j["whole_program_cutout"] = report.whole_program_cutout;
+    // Conditional coverage counters (docs/ARCHITECTURE.md clause 10):
+    // coverage-off reports keep their exact historical bytes.
+    if (report.pairs_total != 0 || report.pairs_hit != 0 || report.corpus_size != 0) {
+        j["pairs_total"] = report.pairs_total;
+        j["pairs_hit"] = report.pairs_hit;
+        j["corpus_size"] = report.corpus_size;
+    }
     return j;
 }
 
@@ -185,6 +199,11 @@ FuzzReport fuzz_report_from_json(const Json& j) {
     report.input_volume_before_mincut = j.at("input_volume_before_mincut").as_int();
     report.mincut_improved = j.at("mincut_improved").as_bool();
     report.whole_program_cutout = j.at("whole_program_cutout").as_bool();
+    if (j.contains("pairs_total")) {
+        report.pairs_total = j.at("pairs_total").as_int();
+        report.pairs_hit = j.at("pairs_hit").as_int();
+        report.corpus_size = j.at("corpus_size").as_int();
+    }
     return report;
 }
 

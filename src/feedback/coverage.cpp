@@ -1,0 +1,102 @@
+#include "feedback/coverage.h"
+
+#include "common/error.h"
+
+namespace ff::feedback {
+
+namespace {
+
+/// Portable popcount (the repo compiles without assuming <bit>).
+inline int popcount64(std::uint64_t x) {
+    int n = 0;
+    while (x) {
+        x &= x - 1;
+        ++n;
+    }
+    return n;
+}
+
+}  // namespace
+
+CovAtlas CovAtlas::build(const ir::SDFG& sdfg) {
+    CovAtlas atlas;
+    std::uint32_t next = 0;
+    for (const ir::StateId sid : sdfg.states()) {
+        const ir::State& state = sdfg.state(sid);
+        const auto& graph = state.graph();
+        for (const graph::NodeId nid : graph.nodes()) {
+            if (graph.node(nid).kind != ir::NodeKind::Tasklet) continue;
+            std::uint32_t accesses = 0;
+            for (const graph::EdgeId eid : graph.in_edges(nid))
+                if (!graph.edge(eid).data.dst_conn.empty()) ++accesses;
+            accesses += static_cast<std::uint32_t>(graph.out_edges(nid).size());
+            if (accesses == 0) continue;  // unconnected tasklet: nothing to cover
+            atlas.base_[{sid, nid}] = next;
+            next += accesses * kNumClasses;
+        }
+    }
+    atlas.pairs_ = next;
+    return atlas;
+}
+
+std::int64_t CoverageMap::count() const { return cov_popcount(words_); }
+
+bool CoverageMap::absorb(const std::vector<std::uint64_t>& words) {
+    if (words.size() > words_.size()) {
+        for (std::size_t i = words_.size(); i < words.size(); ++i)
+            if (words[i] != 0)
+                throw common::Error("coverage words exceed the atlas's " +
+                                    std::to_string(bits_) + " pairs — atlas mismatch");
+    }
+    bool grew = false;
+    const std::size_t n = words.size() < words_.size() ? words.size() : words_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (words[i] & ~words_[i]) grew = true;
+        words_[i] |= words[i];
+    }
+    return grew;
+}
+
+std::vector<std::uint64_t> CoverageMap::trimmed_words() const {
+    std::vector<std::uint64_t> out = words_;
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+}
+
+std::string cov_words_to_hex(const std::vector<std::uint64_t>& words) {
+    std::size_t n = words.size();
+    while (n > 0 && words[n - 1] == 0) --n;
+    static const char* digits = "0123456789abcdef";
+    std::string out;
+    out.reserve(n * 16);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t w = words[i];
+        for (int shift = 60; shift >= 0; shift -= 4) out.push_back(digits[(w >> shift) & 0xF]);
+    }
+    return out;
+}
+
+std::vector<std::uint64_t> cov_words_from_hex(const std::string& hex) {
+    if (hex.size() % 16 != 0)
+        throw common::ParseError("coverage hex length " + std::to_string(hex.size()) +
+                                 " is not a multiple of 16");
+    std::vector<std::uint64_t> words(hex.size() / 16, 0);
+    for (std::size_t i = 0; i < hex.size(); ++i) {
+        const char c = hex[i];
+        std::uint64_t digit;
+        if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            throw common::ParseError(std::string("invalid coverage hex digit '") + c + "'");
+        words[i / 16] = (words[i / 16] << 4) | digit;
+    }
+    return words;
+}
+
+std::int64_t cov_popcount(const std::vector<std::uint64_t>& words) {
+    std::int64_t n = 0;
+    for (const std::uint64_t w : words) n += popcount64(w);
+    return n;
+}
+
+}  // namespace ff::feedback

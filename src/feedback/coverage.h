@@ -1,0 +1,127 @@
+// Dataflow def-use coverage: dense ids and a cheap bitmap (ROADMAP
+// "Feedback-guided trial generation", after datAFLow's def-use association
+// coverage).
+//
+// A *pair* is (memlet edge incident to a tasklet, subset-region class): the
+// atlas enumerates every tasklet-incident memlet of an SDFG — inputs (in-edge
+// order, skipping edges without a destination connector, exactly the
+// interpreter's TaskletPlan input order) then outputs (all out-edges, in
+// order) — and gives each one kNumClasses consecutive ids, one per region
+// class.  The region class buckets how many map points the enclosing scope
+// launch iterated (empty / one / few / many), so a trial that drives a map
+// over an empty extent and one that floods it hit *different* pairs through
+// the same memlet.  Dtype is part of the edge's identity already (container
+// dtypes are fixed per SDFG), so (memlet, region class) keys the
+// (memlet, subset-region, dtype-edge) def-use pair of the paper's framing.
+//
+// Determinism: the atlas is a pure function of the SDFG — states in
+// `SDFG::states()` order, nodes in insertion order, edges in adjacency
+// order — independent of plan-build order, execution tier, thread count and
+// process.  Marking is charged at scope-launch granularity (not per point),
+// and the launch's point count is tier-invariant by the fuel contract
+// (docs/ARCHITECTURE.md clause 8), so every engine tier produces the same
+// bitmap for the same inputs — the property that lets coverage ride the
+// record stream without breaking byte-identical merges.
+#pragma once
+
+/// \file
+/// Dense def-use pair ids (CovAtlas) and the per-trial coverage bitmap
+/// (CoverageMap) with its canonical hex wire form.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/sdfg.h"
+
+namespace ff::feedback {
+
+/// Region classes per tasklet-incident memlet: the scope launch's iterated
+/// point count bucketed as empty (0), one (1), few (2..16), many (>16).
+inline constexpr int kNumClasses = 4;
+
+/// The region class of a scope launch that iterated `points` map points.
+inline int region_class(std::int64_t points) {
+    if (points <= 0) return 0;
+    if (points == 1) return 1;
+    return points <= 16 ? 2 : 3;
+}
+
+/// Dense def-use pair enumeration of one SDFG.  Pure function of the graph;
+/// see the file comment for the enumeration order.
+class CovAtlas {
+public:
+    /// Enumerates `sdfg`'s tasklet-incident memlets.
+    static CovAtlas build(const ir::SDFG& sdfg);
+
+    /// Total def-use pairs (bitmap size in bits).
+    std::uint32_t pair_count() const { return pairs_; }
+
+    /// First pair id of tasklet `node` in state `state` (its access 0,
+    /// class 0); -1 when the node is not an enumerated tasklet.  Access j's
+    /// class-c pair is `base + j * kNumClasses + c`.
+    std::int64_t base_of(ir::StateId state, graph::NodeId node) const {
+        const auto it = base_.find({state, node});
+        return it == base_.end() ? -1 : static_cast<std::int64_t>(it->second);
+    }
+
+private:
+    std::map<std::pair<ir::StateId, graph::NodeId>, std::uint32_t> base_;
+    std::uint32_t pairs_ = 0;
+};
+
+/// Fixed-size bitmap over a CovAtlas's pair ids.  mark() is the interpreter
+/// hot-path operation: one shift, one or.
+class CoverageMap {
+public:
+    /// Sizes the map for `bits` pairs and clears every bit.
+    void reset(std::uint32_t bits) {
+        bits_ = bits;
+        words_.assign((bits + 63) / 64, 0);
+    }
+
+    /// Sets pair `id`.  Requires id < bit_size().
+    void mark(std::uint32_t id) { words_[id >> 6] |= std::uint64_t{1} << (id & 63); }
+
+    /// Whether pair `id` is set.
+    bool test(std::uint32_t id) const {
+        return (id >> 6) < words_.size() && (words_[id >> 6] >> (id & 63)) & 1;
+    }
+
+    /// Number of set pairs.
+    std::int64_t count() const;
+
+    /// ORs `words` (a trimmed or full word vector) into the map; returns
+    /// true when at least one previously unset bit was set — the "reached
+    /// new pairs" test the corpus scan runs.  Words beyond bit_size() must
+    /// be zero (an atlas mismatch) and throw common::Error.
+    bool absorb(const std::vector<std::uint64_t>& words);
+
+    /// The backing words (fixed length, trailing zeros included).
+    const std::vector<std::uint64_t>& words() const { return words_; }
+
+    /// Canonical wire form of the current bits: trailing zero words trimmed.
+    std::vector<std::uint64_t> trimmed_words() const;
+
+    std::uint32_t bit_size() const { return bits_; }
+
+private:
+    std::uint32_t bits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+/// Canonical hex wire form of coverage words: trailing zero words trimmed,
+/// then each word as 16 lowercase hex digits (least significant word
+/// first).  The empty vector encodes as "".
+std::string cov_words_to_hex(const std::vector<std::uint64_t>& words);
+
+/// Inverse of cov_words_to_hex; throws common::ParseError on malformed
+/// input (length not a multiple of 16, non-hex digits).
+std::vector<std::uint64_t> cov_words_from_hex(const std::string& hex);
+
+/// Set bits across `words`.
+std::int64_t cov_popcount(const std::vector<std::uint64_t>& words);
+
+}  // namespace ff::feedback

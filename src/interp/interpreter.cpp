@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "feedback/coverage.h"
 #include "interp/library_nodes.h"
 
 namespace ff::interp {
@@ -249,6 +250,43 @@ StatePlan Interpreter::build_plan(const ir::SDFG& sdfg, const ir::State& state) 
     plans_->note_classification(static_cast<std::int64_t>(plan.scope_plans.size()), specialized,
                                 segmented, static_cast<std::int64_t>(plan.tasklet_plans.size()),
                                 f64_count, i64_count);
+
+    // Def-use pair id bases (feedback/coverage.h).  The atlas enumerates the
+    // same accesses in the same order as the tasklet plans above, so each
+    // plan's j-th access takes base + j * kNumClasses.  Plans are shared
+    // between coverage-on and coverage-off interpreters; ExecConfig::coverage
+    // gates marking, not planning.
+    {
+        ir::StateId sid = graph::kInvalidNode;
+        for (const ir::StateId s : sdfg.states())
+            if (&sdfg.state(s) == &state) {
+                sid = s;
+                break;
+            }
+        const auto atlas = plans_->atlas_for(sdfg);
+        for (NodeId n : *topo) {
+            const int pi = static_cast<std::size_t>(n) < plan.node_to_plan.size()
+                               ? plan.node_to_plan[static_cast<std::size_t>(n)]
+                               : -1;
+            if (pi < 0) continue;
+            TaskletPlan& tp = plan.tasklet_plans[static_cast<std::size_t>(pi)];
+            const std::int64_t base = atlas->base_of(sid, n);
+            if (base < 0) continue;  // unconnected tasklet: not enumerated
+            const std::size_t accesses = tp.inputs.size() + tp.outputs.size();
+            tp.cov_bases.reserve(accesses);
+            for (std::size_t j = 0; j < accesses; ++j)
+                tp.cov_bases.push_back(static_cast<std::uint32_t>(base) +
+                                       static_cast<std::uint32_t>(j) * feedback::kNumClasses);
+        }
+        for (ScopePlan& sp : plan.scope_plans) {
+            for (NodeId c : sp.children) {
+                const TaskletPlan* tp = plan.plan_of(c);
+                if (!tp) continue;
+                sp.cov_bases.insert(sp.cov_bases.end(), tp->cov_bases.begin(),
+                                    tp->cov_bases.end());
+            }
+        }
+    }
 
     plan.referenced.reserve(used.size());
     for (const sym::SymId id : used) plan.referenced.emplace_back(id, tab.name(id));
@@ -571,7 +609,16 @@ void Interpreter::execute_state(const ir::SDFG& sdfg, const ir::State& state, Co
     const StatePlan& plan = plan_for(sdfg, state);
     invalidate_execution_cache();
     sync_flat_bindings(plan, ctx);
-    for (NodeId nid : plan.top_level) execute_node_planned(sdfg, state, plan, nid, ctx);
+    for (NodeId nid : plan.top_level) {
+        execute_node_planned(sdfg, state, plan, nid, ctx);
+        if (cov_map_) {
+            // A top-level tasklet executes exactly once: its accesses hit
+            // region class 1 (one point).  Scope-enclosed tasklets are
+            // marked at launch granularity by execute_scope instead.
+            if (const TaskletPlan* tp = plan.plan_of(nid))
+                for (const std::uint32_t base : tp->cov_bases) cov_map_->mark(base + 1);
+        }
+    }
 }
 
 void Interpreter::execute_node(const ir::SDFG& sdfg, const ir::State& state, NodeId nid,
@@ -635,6 +682,12 @@ void Interpreter::execute_scope(const ir::SDFG& sdfg, const ir::State& state,
         s.active_params.push_back(Scratch::ActiveParam{sp.param_names[i], 0});
     }
 
+    // Coverage is charged per launch from the launch's point-fuel delta:
+    // the kernel tier pre-charges the same total the generic odometer
+    // accumulates (contract clause 8), so the region class — and with it the
+    // bitmap — is byte-identical across tiers.
+    const std::int64_t cov_snapshot = points_used_;
+
     // Flat-stride kernel: when the scope classified at plan time and this
     // launch's ranks/footprint validate, the whole nest runs over
     // precomputed flat-offset advances (execute_scope_kernel); otherwise
@@ -676,6 +729,12 @@ void Interpreter::execute_scope(const ir::SDFG& sdfg, const ir::State& state,
         }
     };
     if (!kernel_done) iterate(iterate, 0);
+
+    if (cov_map_ && !sp.cov_bases.empty()) {
+        const std::uint32_t cls =
+            static_cast<std::uint32_t>(feedback::region_class(points_used_ - cov_snapshot));
+        for (const std::uint32_t base : sp.cov_bases) cov_map_->mark(base + cls);
+    }
 
     // Restore bindings.
     for (std::size_t i = 0; i < nparams; ++i) {

@@ -108,6 +108,10 @@
 #include "ir/sdfg.h"
 #include "symbolic/interned.h"
 
+namespace ff::feedback {
+class CoverageMap;
+}
+
 namespace ff::interp {
 
 struct ExecConfig {
@@ -140,6 +144,13 @@ struct ExecConfig {
     /// byte-identical either way, so this knob exists for benchmarking and
     /// differential self-checks.
     bool batch_segments = true;
+    /// Record def-use pair coverage (see feedback/coverage.h) into the map
+    /// installed via Interpreter::set_coverage.  Marking is charged at
+    /// scope-launch granularity from tier-invariant point counts, so the
+    /// resulting bitmap is byte-identical across every execution tier and
+    /// toggle combination — enabling this never perturbs results, it only
+    /// adds the (cheap) marking stores.
+    bool coverage = false;
 };
 
 enum class ExecStatus {
@@ -238,6 +249,11 @@ struct TaskletPlan {
     /// Dtype signature selected at plan time (see VMSig).  Untagged
     /// signatures are gated at execution time by ExecConfig::specialize.
     VMSig sig = VMSig::Tagged;
+    /// Def-use pair id bases of this tasklet's accesses, inputs then outputs
+    /// (the CovAtlas enumeration order matches inputs/outputs exactly).
+    /// Access j's class-c pair is cov_bases[j] + c.  Always populated —
+    /// plans are config-independent; ExecConfig::coverage gates marking.
+    std::vector<std::uint32_t> cov_bases;
 };
 
 /// Compiled execution recipe for one map scope.
@@ -254,6 +270,12 @@ struct ScopePlan {
     /// Index into StatePlan::kernels when this scope classified as a
     /// flat-stride kernel; -1 otherwise.
     int kernel = -1;
+    /// Concatenated cov_bases of this scope's *direct* tasklet children:
+    /// after a successful launch the interpreter marks base +
+    /// region_class(points this launch iterated) for each — one pass over a
+    /// flat vector, no per-point work (see feedback/coverage.h).  Nested
+    /// scopes mark their own tasklets per inner launch.
+    std::vector<std::uint32_t> cov_bases;
 };
 
 /// One memlet of a flat-stride kernel: the affine decomposition of its
@@ -384,6 +406,12 @@ public:
     /// themselves).
     void invalidate_execution_cache();
 
+    /// Installs (or clears, with nullptr) the def-use coverage bitmap this
+    /// interpreter marks into when ExecConfig::coverage is set.  The caller
+    /// owns the map, keyed to the executed SDFG's CovAtlas (see
+    /// PlanCache::atlas_for), and must keep it alive across run() calls.
+    void set_coverage(feedback::CoverageMap* map) { cov_map_ = map; }
+
 private:
     void execute_node_planned(const ir::SDFG& sdfg, const ir::State& state,
                               const StatePlan& plan, ir::NodeId node, Context& ctx);
@@ -468,6 +496,10 @@ private:
 
     ExecConfig config_;
     PlanCachePtr plans_;  ///< Shared derived-artifact cache (see plan_cache.h).
+    /// Coverage bitmap to mark (nullptr = off; see set_coverage).  Checked
+    /// only at scope-launch / top-level-dispatch granularity, never per
+    /// point.
+    feedback::CoverageMap* cov_map_ = nullptr;
     /// Thread-private memo over plans_: steady-state lookups take no lock.
     std::map<PlanKey, std::shared_ptr<const StatePlan>> plan_memo_;
 

@@ -42,7 +42,12 @@
 #include "interp/tasklet_lang.h"
 #include "symbolic/interned.h"
 
+namespace ff::feedback {
+class CovAtlas;
+}
+
 namespace ff::ir {
+class SDFG;
 class State;
 }
 
@@ -120,6 +125,13 @@ public:
     /// Parsed+compiled tasklet program for `code`, cached by content.
     TaskletProgramPtr program_for(const std::string& code);
 
+    /// Def-use pair atlas of `sdfg` (see feedback/coverage.h), built once
+    /// per (plan uid, mutation epoch) under a lock and shared — the atlas is
+    /// a pure function of the graph, so every interpreter and every thread
+    /// sees the same dense pair ids.  Stale-epoch atlases are evicted on the
+    /// next miss, mirroring plan eviction.
+    std::shared_ptr<const feedback::CovAtlas> atlas_for(const ir::SDFG& sdfg);
+
     /// Accumulates plan-time classification counts (once per built plan;
     /// called from inside the build callback, so effectively serialized).
     void note_classification(std::int64_t scopes, std::int64_t specialized,
@@ -171,6 +183,11 @@ private:
 
     std::mutex plans_mutex_;                                  ///< Guards plans_.
     std::map<PlanKey, std::shared_ptr<const StatePlan>> plans_;  ///< Keyed plans.
+    std::mutex atlas_mutex_;  ///< Guards atlases_.
+    /// Coverage atlases keyed by (SDFG plan uid, mutation epoch).
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::shared_ptr<const feedback::CovAtlas>>
+        atlases_;
     std::mutex programs_mutex_;                               ///< Guards programs_.
     std::unordered_map<std::string, TaskletProgramPtr> programs_;  ///< By content.
     sym::SymbolTable symbols_;  ///< Interned symbols shared by all plans.

@@ -25,6 +25,13 @@ Json JobSpec::to_json() const {
     j["max_points"] = max_points;
     j["max_alloc_bytes"] = max_alloc_bytes;
     j["use_mincut"] = use_mincut;
+    // Conditional keys: feedback-off job specs (and their key() identity
+    // strings) keep their exact historical bytes.
+    if (coverage || feedback) j["coverage"] = true;
+    if (feedback) {
+        j["feedback"] = true;
+        j["generation_size"] = generation_size;
+    }
     Json defs = Json::object();
     for (const auto& [name, value] : defaults) defs[name] = value;
     j["defaults"] = std::move(defs);
@@ -44,6 +51,11 @@ JobSpec JobSpec::from_json(const Json& j) {
     spec.max_points = common::json_int(j, "max_points");
     spec.max_alloc_bytes = common::json_int(j, "max_alloc_bytes");
     spec.use_mincut = common::json_bool(j, "use_mincut");
+    spec.coverage = j.contains("coverage") && common::json_bool(j, "coverage");
+    spec.feedback = j.contains("feedback") && common::json_bool(j, "feedback");
+    if (spec.feedback) spec.coverage = true;
+    if (j.contains("generation_size"))
+        spec.generation_size = static_cast<int>(common::json_int(j, "generation_size"));
     for (const auto& [name, value] : common::json_object_field(j, "defaults")) {
         if (!value.is_number())
             throw common::ParseError("defaults entry '" + name + "': expected an integer, got " +
@@ -84,6 +96,9 @@ core::FuzzConfig job_fuzz_config(const JobSpec& job) {
     if (job.max_points > 0) config.diff.exec.max_points = job.max_points;
     if (job.max_alloc_bytes > 0) config.diff.exec.max_alloc_bytes = job.max_alloc_bytes;
     config.use_mincut = job.use_mincut;
+    config.coverage = job.coverage;
+    config.feedback = job.feedback;
+    config.generation_size = job.generation_size;
     config.cutout.defaults = job.defaults;
     return config;
 }

@@ -62,6 +62,18 @@ struct JobSpec {
     /// (interp::ExecConfig::max_alloc_bytes); 0 = unlimited.
     std::int64_t max_alloc_bytes = 0;
     bool use_mincut = true;  ///< Run the minimum input-flow cut.
+    /// Def-use coverage instrumentation (FuzzConfig::coverage).  Part of the
+    /// job key: coverage-on records carry a "cov" field and reports carry
+    /// pair counters, so two runs only agree byte-for-byte when they agree
+    /// on it.  Emitted conditionally so coverage-off manifests keep their
+    /// exact historical bytes.
+    bool coverage = false;
+    /// Coverage-guided generation scheduling (FuzzConfig::feedback; implies
+    /// `coverage`).  Also part of the job key — it changes trial inputs.
+    bool feedback = false;
+    /// Trials per feedback generation (FuzzConfig::generation_size); only
+    /// meaningful (and only serialized) when `feedback` is set.
+    int generation_size = 25;
     /// Default symbol bindings for cutout volume accounting
     /// (CutoutOptions::defaults); the planner seeds npbench defaults for
     /// workload jobs so manifests are self-contained.

@@ -82,6 +82,8 @@ MergeResult merge_shards(const std::vector<std::string>& record_paths,
         }
     }
     result.reports = audit.finalize();
+    if (job.feedback) result.corpus = audit.corpus();
+    result.job = job;
     return result;
 }
 

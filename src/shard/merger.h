@@ -20,6 +20,8 @@
 
 #include "common/json.h"
 #include "core/fuzzer.h"
+#include "feedback/corpus.h"
+#include "shard/manifest.h"
 
 namespace ff::shard {
 
@@ -39,6 +41,15 @@ struct MergeResult {
     std::vector<core::FuzzReport> reports;  ///< Canonical per-instance reports.
     std::size_t shard_files = 0;            ///< Record files merged.
     std::int64_t records = 0;               ///< Record lines injected.
+    /// The audit's merged feedback corpus (empty unless the job enabled
+    /// feedback).  Derived during finalize from the injected records'
+    /// coverage (gaps re-executed), so it is byte-identical to the
+    /// single-process corpus at any shard count (docs/ARCHITECTURE.md
+    /// clause 10).
+    std::vector<feedback::CorpusEntry> corpus;
+    /// The merged job (every shard file agreed on it) — callers use it for
+    /// the corpus file's job-identity header.
+    JobSpec job;
 };
 
 /// Merges the given shard record files; throws common::Error when they do

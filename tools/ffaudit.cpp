@@ -43,6 +43,7 @@
 #include "coord/worker.h"
 #include "core/report.h"
 #include "core/testcase_io.h"
+#include "feedback/corpus.h"
 #include "shard/manifest.h"
 #include "shard/merger.h"
 #include "shard/records.h"
@@ -94,6 +95,10 @@ int usage(const char* detail = nullptr) {
                  "  --max-points <n>         map-point fuel per trial   [unlimited]\n"
                  "  --max-alloc-bytes <n>    allocation budget per trial [unlimited]\n"
                  "  --no-mincut              skip the minimum input-flow cut\n"
+                 "  --coverage               instrument def-use coverage (report counters)\n"
+                 "  --feedback               coverage-guided trial generation (implies\n"
+                 "                           --coverage; part of the job key)\n"
+                 "  --generation-size <n>    trials per feedback generation [25]\n"
                  "  --default <sym>=<val>    default symbol binding (repeatable)\n"
                  "\n"
                  "plan:      --shards <n> --out-dir <dir> [--checkpoint-interval <n>]\n"
@@ -102,7 +107,9 @@ int usage(const char* detail = nullptr) {
                  "           [--interrupt-after-units <n>]\n"
                  "merge:     --records-dir <dir> | --records <file>... \n"
                  "           [--artifact-dir <dir>] [--out <file>] [--threads <n>]\n"
+                 "           [--corpus-out <file>]\n"
                  "run:       [--threads <n>] [--artifact-dir <dir>] [--out <file>]\n"
+                 "           [--corpus-out <file>]\n"
                  "serve:     --records-dir <dir> [--socket <path> | --listen <host:port>]\n"
                  "           [--spawn-workers <n>] [--worker-threads <n>] [--out <file>]\n"
                  "           [--shards <n>] [--artifact-dir <dir>] [--checkpoint-interval <n>]\n"
@@ -168,6 +175,9 @@ bool parse_job_flag(shard::JobSpec& job, const std::vector<std::string>& args, s
     else if (a == "--max-points") job.max_points = int_value(args, i);
     else if (a == "--max-alloc-bytes") job.max_alloc_bytes = int_value(args, i);
     else if (a == "--no-mincut") job.use_mincut = false;
+    else if (a == "--coverage") job.coverage = true;
+    else if (a == "--feedback") job.feedback = job.coverage = true;
+    else if (a == "--generation-size") job.generation_size = static_cast<int>(int_value(args, i));
     else if (a == "--default") {
         const std::string kv = flag_value(args, i);
         const std::size_t eq = kv.find('=');
@@ -283,13 +293,14 @@ int cmd_run_shard(const std::vector<std::string>& args) {
 
 int cmd_merge(const std::vector<std::string>& args) {
     std::vector<std::string> record_paths;
-    std::string records_dir, out_path;
+    std::string records_dir, out_path, corpus_path;
     shard::MergeOptions options;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--records") record_paths.push_back(flag_value(args, i));
         else if (args[i] == "--records-dir") records_dir = flag_value(args, i);
         else if (args[i] == "--artifact-dir") options.artifact_dir = flag_value(args, i);
         else if (args[i] == "--out") out_path = flag_value(args, i);
+        else if (args[i] == "--corpus-out") corpus_path = flag_value(args, i);
         else if (args[i] == "--threads") options.num_threads = static_cast<int>(int_value(args, i));
         else return usage(("unknown merge option " + args[i]).c_str());
     }
@@ -307,13 +318,20 @@ int cmd_merge(const std::vector<std::string>& args) {
     shard::MergeResult merged = shard::merge_shards(record_paths, options);
     std::printf("merged %zu shard file(s), %lld record(s), %zu instance(s)\n", merged.shard_files,
                 static_cast<long long>(merged.records), merged.reports.size());
+    if (!corpus_path.empty()) {
+        if (!merged.job.feedback)
+            return usage("--corpus-out needs a job planned with --feedback");
+        feedback::write_corpus_file(corpus_path, merged.job.to_json(), merged.corpus);
+        std::printf("corpus: %s (%zu entr%s)\n", corpus_path.c_str(), merged.corpus.size(),
+                    merged.corpus.size() == 1 ? "y" : "ies");
+    }
     emit_report(std::move(merged.reports), out_path);
     return 0;
 }
 
 int cmd_run(const std::vector<std::string>& args) {
     shard::JobSpec job;
-    std::string out_path;
+    std::string out_path, corpus_path;
     int threads = 0;
     std::string artifact_dir;
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -321,9 +339,12 @@ int cmd_run(const std::vector<std::string>& args) {
         if (args[i] == "--threads") threads = static_cast<int>(int_value(args, i));
         else if (args[i] == "--artifact-dir") artifact_dir = flag_value(args, i);
         else if (args[i] == "--out") out_path = flag_value(args, i);
+        else if (args[i] == "--corpus-out") corpus_path = flag_value(args, i);
         else return usage(("unknown run option " + args[i]).c_str());
     }
     finalize_job(job);
+    if (!corpus_path.empty() && !job.feedback)
+        return usage("--corpus-out needs --feedback");
     if (!artifact_dir.empty()) std::filesystem::create_directories(artifact_dir);
 
     core::FuzzConfig config = shard::job_fuzz_config(job);
@@ -333,13 +354,24 @@ int cmd_run(const std::vector<std::string>& args) {
     auto passes = shard::job_passes(job);
     core::Fuzzer fuzzer(config);
     std::vector<core::FuzzReport> reports;
+    std::vector<feedback::CorpusEntry> corpus;
     try {
-        reports = fuzzer.audit(program, std::move(passes));
+        // The prepare/run_range/finalize split (rather than audit()) keeps
+        // the PreparedAudit alive so the derived corpus can be read out.
+        core::PreparedAudit audit = fuzzer.prepare(program, passes);
+        audit.run_range(0, audit.unit_count());
+        reports = audit.finalize();
+        if (job.feedback) corpus = audit.corpus();
     } catch (const common::Error& e) {
         std::fprintf(stderr, "ffaudit run: %s\n", e.what());
         return kExitExecution;
     }
     std::printf("audited %zu instance(s)\n", reports.size());
+    if (!corpus_path.empty()) {
+        feedback::write_corpus_file(corpus_path, job.to_json(), corpus);
+        std::printf("corpus: %s (%zu entr%s)\n", corpus_path.c_str(), corpus.size(),
+                    corpus.size() == 1 ? "y" : "ies");
+    }
     emit_report(std::move(reports), out_path);
     return 0;
 }
